@@ -1,0 +1,43 @@
+"""Benchmark-harness plumbing.
+
+Every experiment benchmark regenerates one paper table/figure, saves the
+rendered text under ``benchmarks/results/``, and echoes it into the pytest
+output (run with ``-s`` to see it live).  Timings come from
+pytest-benchmark; the regenerations use single-round pedantic mode since
+each one is itself a multi-run experiment.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def save_result(results_dir):
+    """Persist one experiment's rendered output."""
+
+    def _save(experiment_id: str, text: str) -> None:
+        path = results_dir / f"{experiment_id}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+def hpc_params(w):
+    """Benchmark-tier parameters for the HPC suite (paper-shaped scale)."""
+    if w.name.startswith("amg"):
+        return {"sweeps": 6}
+    if w.name == "lulesh":
+        return {"steps": 40}
+    return {}

@@ -1,0 +1,28 @@
+"""E1 — regenerate the §IV-A DataRaceBench results (paper reports in prose)."""
+
+import repro.harness.experiments as E
+from repro.workloads import REGISTRY
+
+
+def test_e1_dataracebench(benchmark, save_result):
+    table = benchmark.pedantic(
+        lambda: E.drb.run(nthreads=8, seed=0), rounds=1, iterations=1
+    )
+    save_result("E1_dataracebench", table.render())
+
+    rows = {row[0]: row for row in table.rows}
+    # No false alarms on any race-free benchmark.
+    for w in REGISTRY.suite("dataracebench"):
+        if not w.racy:
+            assert rows[w.name][3] == 0 and rows[w.name][4] == 0
+    # Paper's highlighted outcomes.
+    for name in ("indirectaccess1-orig-yes", "indirectaccess2-orig-yes",
+                 "indirectaccess3-orig-yes", "indirectaccess4-orig-yes"):
+        assert rows[name][3] == 0 and rows[name][4] == 0
+    assert rows["nowait-orig-yes"][3] == 0 and rows["nowait-orig-yes"][4] == 1
+    assert rows["privatemissing-orig-yes"][3] == 0
+    assert rows["privatemissing-orig-yes"][4] == 2
+    assert rows["plusplus-orig-yes"][3] == rows["plusplus-orig-yes"][4] == 2
+    # SWORD detects at least what ARCHER does, everywhere.
+    for row in table.rows:
+        assert row[4] >= row[3]

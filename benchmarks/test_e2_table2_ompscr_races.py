@@ -1,0 +1,28 @@
+"""E2 — regenerate Table II: OmpSCR races per tool."""
+
+import repro.harness.experiments as E
+from repro.harness.experiments.ompscr_races import SWORD_ONLY_BENCHMARKS
+from repro.workloads import REGISTRY
+
+
+def test_e2_table2(benchmark, save_result):
+    table = benchmark.pedantic(
+        lambda: E.ompscr_races.run(nthreads=8, seed=0), rounds=1, iterations=1
+    )
+    save_result("E2_table2_ompscr_races", table.render())
+
+    rows = {row[0]: row for row in table.rows}
+    # Shape 1: no false alarms on race-free benchmarks.
+    for w in REGISTRY.suite("ompscr"):
+        if not w.racy:
+            assert rows[w.name][2] == rows[w.name][3] == rows[w.name][4] == 0
+    # Shape 2: SWORD >= ARCHER everywhere; equal where no mechanism applies.
+    for row in table.rows:
+        archer, archer_low, sword = row[2], row[3], row[4]
+        assert sword >= archer
+        assert archer_low == archer  # flush-shadow does not change detection
+    # Shape 3: the paper's six benchmarks with new SWORD-only races.
+    for name in SWORD_ONLY_BENCHMARKS:
+        assert rows[name][5] > 0, f"{name} should have sword-only races"
+    # Shape 4: documented races are matched by both tools elsewhere.
+    assert rows["c_loopA.badSolution"][2] == rows["c_loopA.badSolution"][4] == 1

@@ -1,0 +1,39 @@
+"""E3 — regenerate Figure 6: OmpSCR geomean runtime/memory overheads."""
+
+import repro.harness.experiments as E
+
+
+def test_e3_figure6(benchmark, save_result):
+    runtime_fig, memory_fig = benchmark.pedantic(
+        lambda: E.ompscr_overhead.run(thread_counts=(8, 16, 24)),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(
+        "E3_fig6_ompscr_overhead",
+        runtime_fig.render() + "\n\n" + memory_fig.render(),
+    )
+
+    # Shape 1: every tool's memory includes the baseline's.
+    base_mem = memory_fig.get("baseline").ys()
+    for label in ("archer", "archer-low", "sword"):
+        ys = memory_fig.get(label).ys()
+        assert all(y >= b for y, b in zip(ys, base_mem))
+
+    # Shape 2: SWORD's *tool* overhead stays tens of MB (bounded), and its
+    # total memory beats ARCHER's at every thread count (small baselines
+    # mean shadow cells dominate ARCHER).
+    sword_mem = memory_fig.get("sword").ys()
+    archer_mem = memory_fig.get("archer").ys()
+    for s, a in zip(sword_mem, archer_mem):
+        assert s <= a
+
+    # Shape 3: paper's "< 100 MB for all tools" at this scale.
+    for label in ("archer", "archer-low", "sword"):
+        assert max(memory_fig.get(label).ys()) < 100 * 2**20
+
+    # Shape 4: the dynamic phase of SWORD stays within a modest factor of
+    # the checkers (runtime overhead "small for all tools").
+    base_rt = runtime_fig.get("baseline").ys()
+    sword_rt = runtime_fig.get("sword").ys()
+    assert all(s < 60 * b + 1.0 for s, b in zip(sword_rt, base_rt))

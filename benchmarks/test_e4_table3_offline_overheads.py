@@ -1,0 +1,27 @@
+"""E4 — regenerate Table III: OmpSCR DA/OA/MT analysis overheads."""
+
+import repro.harness.experiments as E
+
+
+def test_e4_table3(benchmark, save_result):
+    table = benchmark.pedantic(
+        lambda: E.ompscr_offline.run(nthreads=8, seed=0, mt_workers=4),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("E4_table3_offline_overheads", table.render())
+
+    # Every benchmark has all five measurements.
+    assert len(table.rows) >= 12
+    for row in table.rows:
+        assert all(cell for cell in row[1:])
+
+    # Shape: the offline analysis completes within the "less than a minute"
+    # envelope the paper reports for OmpSCR on one node.
+    def secs(cell: str) -> float:
+        value, unit = cell.split()
+        v = float(value)
+        return {"us": v / 1e6, "ms": v / 1e3, "s": v, "min": v * 60}[unit]
+
+    for row in table.rows:
+        assert secs(row[4]) < 60, f"{row[0]}: OA exceeded a minute"

@@ -1,0 +1,23 @@
+"""E5 — regenerate Table IV: HPC race counts with the AMG OOM crossover."""
+
+import repro.harness.experiments as E
+
+from conftest import hpc_params
+
+
+def test_e5_table4(benchmark, save_result):
+    table = benchmark.pedantic(
+        lambda: E.hpc_races.run(nthreads=8, seed=0, params_for=hpc_params),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("E5_table4_hpc_races", table.render())
+
+    rows = {row[0]: row[1:] for row in table.rows}
+    # The paper's Table IV, cell for cell.
+    assert rows["minife"] == (0, 0, 0)
+    assert rows["hpccg"] == (1, 1, 1)
+    assert rows["lulesh"] == (0, 0, 0)
+    for size in (10, 20, 30):
+        assert rows[f"amg2013_{size}"] == (4, 4, 14)
+    assert rows["amg2013_40"] == ("OOM", "OOM", 14)

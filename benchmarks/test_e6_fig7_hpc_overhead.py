@@ -1,0 +1,93 @@
+"""E6 — regenerate Figure 7 / Table V: HPC slowdown & memory vs threads."""
+
+import pytest
+
+import repro.harness.experiments as E
+
+from conftest import hpc_params
+
+THREADS = (8, 16, 24)
+
+
+@pytest.fixture(scope="module")
+def figures():
+    return E.hpc_overhead.run(
+        benchmarks=("hpccg", "minife", "lulesh", "amg2013_10"),
+        thread_counts=THREADS,
+        params_for=hpc_params,
+    )
+
+
+def test_e6_figure7(benchmark, save_result, figures):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    text = []
+    for name, (slow_fig, mem_fig) in figures.items():
+        text.append(slow_fig.render())
+        text.append(mem_fig.render())
+    save_result("E6_fig7_hpc_overhead", "\n\n".join(text))
+
+
+def test_e6_sword_memory_is_flat_per_thread(benchmark, figures):
+    """SWORD memory = N x 3.3 MB for every benchmark and thread count."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for name, (_slow, mem_fig) in figures.items():
+        sword = dict(mem_fig.get("sword").points)
+        per_thread = {n: sword[n] / n for n in THREADS}
+        values = list(per_thread.values())
+        assert max(values) - min(values) < 0.05 * values[0], name
+        assert values[0] == pytest.approx(3.3 * 2**20, rel=0.05)
+
+
+def test_e6_archer_memory_tracks_baseline_not_threads(benchmark, figures):
+    """ARCHER's footprint is application-proportional (5-7x region)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for name, (_slow, mem_fig) in figures.items():
+        archer = dict(mem_fig.get("archer").points)
+        # Same problem size at 8 vs 24 threads: footprint within 40%.
+        assert archer[24] < archer[8] * 1.4 + 64 * 2**20, name
+
+
+def test_e6_lulesh_offline_cost_tracks_region_count(benchmark, figures):
+    """The driver behind the paper's LULESH observation: SWORD's offline
+    cost is proportional to the number of parallel regions, and LULESH's
+    region count makes its offline phase as expensive as its collection
+    (Table V's story).
+
+    NOTE (EXPERIMENTS.md): the *direction* of the paper's Figure 7c — the
+    dynamic phase itself being slower than ARCHER's — does not reproduce
+    on this substrate, where buffered trace I/O is cheap relative to the
+    per-access cost of the happens-before baseline.
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    slow_fig, _mem = figures["lulesh"]
+    sword = dict(slow_fig.get("sword").points)
+    total = dict(slow_fig.get("sword-total").points)
+    # The offline pass at least doubles SWORD's cost on LULESH.
+    assert total[24] > sword[24] * 1.7
+    # And the many-small-regions structure is what drives it: measure the
+    # interval/pair load directly against a low-region benchmark.
+    from repro.harness.tools import driver as _driver
+    from repro.workloads import REGISTRY as _REG
+
+    lulesh = _driver("sword").run(
+        _REG.get("lulesh"), nthreads=8, seed=0, steps=40
+    )
+    hpccg = _driver("sword").run(_REG.get("hpccg"), nthreads=8, seed=0)
+    assert (
+        lulesh.stats["offline"]["intervals"]
+        > 5 * hpccg.stats["offline"]["intervals"]
+    )
+
+
+def test_e6_sword_dynamic_beats_archer_elsewhere(benchmark, figures):
+    """On the non-LULESH benchmarks SWORD's collection is the faster
+    dynamic phase at scale (paper: "typically faster than ARCHER")."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    wins = 0
+    for name in ("hpccg", "minife", "amg2013_10"):
+        slow_fig, _mem = figures[name]
+        sword = dict(slow_fig.get("sword").points)
+        archer = dict(slow_fig.get("archer").points)
+        if sword[24] <= archer[24]:
+            wins += 1
+    assert wins >= 2, "sword should win the dynamic phase on most benchmarks"

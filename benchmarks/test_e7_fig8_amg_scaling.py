@@ -1,0 +1,66 @@
+"""E7 — regenerate Figure 8: AMG2013 problem-size scaling and OOM."""
+
+import pytest
+
+import repro.harness.experiments as E
+
+
+@pytest.fixture(scope="module")
+def amg_results():
+    return E.amg_scaling.run(sizes=(10, 20, 30, 40), nthreads=8, sweeps=6)
+
+
+def test_e7_figure8(benchmark, save_result, amg_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    mem_fig, rt_fig, oom_table = amg_results
+    save_result(
+        "E7_fig8_amg_scaling",
+        "\n\n".join([mem_fig.render(), rt_fig.render(), oom_table.render()]),
+    )
+
+
+def test_e7_archer_ooms_only_at_largest(benchmark, amg_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    _mem, _rt, oom_table = amg_results
+    status = {row[0]: row[1:] for row in oom_table.rows}
+    for size in (10, 20, 30):
+        assert status[size] == ("ok", "ok", "ok", "ok")
+    assert status[40] == ("ok", "OOM", "OOM", "ok")
+
+
+def test_e7_memory_shapes(benchmark, amg_results):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    mem_fig, _rt, _oom = amg_results
+    base = dict(mem_fig.get("baseline").points)
+    archer = dict(mem_fig.get("archer").points)
+    sword = dict(mem_fig.get("sword").points)
+    # Baseline grows ~cubically with the grid edge.
+    assert base[40] > 30 * base[10]
+    # ARCHER tracks the baseline at 5-7x where it survives.
+    for size in (10, 20, 30):
+        ratio = archer[size] / base[size]
+        assert 4.5 <= ratio <= 8.0, (size, ratio)
+    # SWORD adds only its flat per-thread bound on top of the baseline.
+    for size in (10, 20, 30, 40):
+        assert sword[size] - base[size] < 40 * 2**20
+    # Paper's "1,000x more memory-efficient" headline at the large end:
+    # tool-only footprints differ by orders of magnitude.
+    archer_tool_30 = archer[30] - base[30]
+    sword_tool_30 = sword[30] - base[30]
+    assert archer_tool_30 / sword_tool_30 > 100
+
+
+def test_e7_runtime_grows_with_problem_size(benchmark, amg_results):
+    """Checker runtime grows with the problem size where the per-size work
+    actually grows: ARCHER's shadow processing is proportional to the
+    touched words.  (Baseline/SWORD runtimes are nearly size-independent on
+    this substrate — the model's accesses are bulk range events over
+    vectorised kernels — so only the proportional-work tool is asserted.)
+    """
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    _mem, rt_fig, _oom = amg_results
+    archer = dict(rt_fig.get("archer").points)
+    assert archer[30] > 1.5 * archer[10]
+    # SWORD completes every size (40^3 has no archer point at all).
+    sword = dict(rt_fig.get("sword").points)
+    assert set(sword) == {10, 20, 30, 40}

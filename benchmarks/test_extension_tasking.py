@@ -1,0 +1,72 @@
+"""Extension benchmark: OpenMP tasking (the paper's §VI future work).
+
+Regenerates a detection table for the tasking workload suite — the
+construct class the paper's SWORD explicitly cannot analyse (§III-C) —
+under the extended task-ordering judgment, plus a micro-benchmark of the
+judgment itself.
+"""
+
+from repro.harness.tables import Table
+from repro.harness.tools import driver
+from repro.workloads import REGISTRY
+
+
+def test_extension_tasking_detection(benchmark, save_result):
+    def run_suite():
+        table = Table(
+            "Extension: tasking suite detection (beyond-paper, §VI)",
+            ["workload", "racy", "seeded", "archer", "sword"],
+        )
+        for w in REGISTRY.suite("tasking"):
+            archer = driver("archer").run(w, nthreads=4, seed=0)
+            sword = driver("sword").run(w, nthreads=4, seed=0)
+            table.add(
+                w.name,
+                "yes" if w.racy else "no",
+                w.seeded_races,
+                archer.race_count,
+                sword.race_count,
+            )
+        table.note("tasks modelled as lightweight threads for the HB baseline")
+        table.note("sword uses the TaskGraph judgment (creation/taskwait edges)")
+        return table
+
+    table = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    save_result("extension_tasking", table.render())
+
+    rows = {row[0]: row for row in table.rows}
+    for w in REGISTRY.suite("tasking"):
+        assert rows[w.name][4] == w.seeded_races, w.name
+        if not w.racy:
+            assert rows[w.name][3] == 0  # no false alarms from either tool
+
+
+def test_bench_task_graph_judgment(benchmark):
+    """Micro: ordering queries over a deep creation/wait chain."""
+    from repro.tasking.graph import IMPLICIT, TaskGraph, TaskInfo
+
+    graph = TaskGraph()
+    # A chain of 200 tasks, each created by the previous, half waited.
+    for i in range(1, 201):
+        graph.add(
+            TaskInfo(
+                task_id=i,
+                creator=(i - 1) if i > 1 else IMPLICIT,
+                creator_gid=0,
+                pid=1,
+                bid=0,
+                create_seq=i % 3,
+                wait_seq=(i % 3 + 1) if i % 2 == 0 else None,
+            )
+        )
+
+    def probe():
+        hits = 0
+        for i in range(1, 201, 5):
+            for j in range(1, 201, 5):
+                if graph.concurrent(i, 0, 0, j, 0, 0):
+                    hits += 1
+        return hits
+
+    hits = benchmark(probe)
+    assert hits >= 0

@@ -1,0 +1,150 @@
+"""Micro-benchmarks of SWORD's hot kernels.
+
+These time the algorithmic building blocks the paper credits for bringing
+the offline analysis "from days to seconds": interval-tree insertion and
+search, streaming summarisation, the Diophantine overlap solver, the
+offset-span judgment, and ARCHER's vectorised shadow processing (for the
+comparison baseline).
+"""
+
+import numpy as np
+import pytest
+
+from repro.archer.shadow import AllocationShadow
+from repro.common.events import Access, accesses_to_records
+from repro.ilp.model import IntervalConstraint, OverlapSystem
+from repro.itree.builder import TreeBuilder
+from repro.itree.interval import StridedInterval
+from repro.itree.tree import IntervalTree
+from repro.memory.address_space import AddressSpace
+from repro.osl.concurrency import concurrent_intervals, make_interval_label
+from repro.sword.buffer import EventBuffer
+
+
+def _intervals(n, rng):
+    lows = rng.integers(0, 1_000_000, size=n)
+    return [
+        StridedInterval(low=int(lo), stride=8, size=8, count=int(c),
+                        is_write=bool(w), is_atomic=False, pc=int(pc), msid=0)
+        for lo, c, w, pc in zip(
+            lows,
+            rng.integers(1, 64, size=n),
+            rng.integers(0, 2, size=n),
+            rng.integers(1, 100, size=n),
+        )
+    ]
+
+
+def test_bench_tree_insert_10k(benchmark):
+    rng = np.random.default_rng(0)
+    ivs = _intervals(10_000, rng)
+
+    def build():
+        t = IntervalTree()
+        for iv in ivs:
+            t.insert(iv)
+        return t
+
+    tree = benchmark(build)
+    assert len(tree) == 10_000
+
+
+def test_bench_tree_overlap_queries(benchmark):
+    rng = np.random.default_rng(1)
+    tree = IntervalTree()
+    for iv in _intervals(10_000, rng):
+        tree.insert(iv)
+    queries = rng.integers(0, 1_000_000, size=1_000)
+
+    def probe():
+        hits = 0
+        for q in queries:
+            for _ in tree.iter_overlaps(int(q), int(q) + 512):
+                hits += 1
+        return hits
+
+    hits = benchmark(probe)
+    assert hits > 0
+
+
+def test_bench_builder_summarises_sweep(benchmark):
+    records = accesses_to_records(
+        Access(addr=i * 8, size=8, count=1, stride=0, is_write=True,
+               is_atomic=False, pc=7)
+        for i in range(50_000)
+    )
+
+    def build():
+        b = TreeBuilder()
+        b.add_records(records)
+        return b.finish()
+
+    tree = benchmark(build)
+    assert len(tree) == 1  # 50k accesses -> one summarised node
+
+
+def test_bench_diophantine_solver(benchmark):
+    systems = [
+        OverlapSystem(
+            IntervalConstraint(base=10 + i, stride=8, count=1000, size=4),
+            IntervalConstraint(base=14 + i * 3, stride=12, count=1000, size=4),
+        )
+        for i in range(100)
+    ]
+
+    def solve_all():
+        return sum(1 for s in systems if s.feasible())
+
+    feasible = benchmark(solve_all)
+    assert 0 <= feasible <= 100
+
+
+def test_bench_osl_judgment(benchmark):
+    labels = [
+        make_interval_label((1, s % 8, b % 4, 8), (10 + s % 3, 0, 0, 2))
+        for s, b in ((i, i * 7) for i in range(64))
+    ]
+
+    def judge_all():
+        count = 0
+        for a in labels:
+            for b in labels:
+                if concurrent_intervals(a, b):
+                    count += 1
+        return count
+
+    count = benchmark(judge_all)
+    assert count > 0
+
+
+def test_bench_buffer_append(benchmark):
+    access = Access(addr=0x1000, size=8, count=1, stride=0, is_write=True,
+                    is_atomic=False, pc=5)
+    buf = EventBuffer(capacity=25_000)
+
+    def fill():
+        for _ in range(25_000):
+            buf.append_access(access)
+        buf.flush()
+
+    benchmark(fill)
+    assert buf.events_total >= 25_000
+
+
+def test_bench_archer_shadow_bulk(benchmark):
+    space = AddressSpace()
+    arr = space.alloc_array("a", 100_000, np.float64)
+    shadow = AllocationShadow(arr.allocation, cells=4, word_bytes=8)
+    vc = np.zeros(8, dtype=np.int64)
+
+    def process():
+        hits = []
+        shadow.check_and_store(
+            addr=arr.addr(0), size=8, count=100_000, stride=8,
+            tid=1, clk=1, is_write=True, is_atomic=False, pc=3,
+            vc_array=vc, on_race=hits.append,
+        )
+        return hits
+
+    hits = benchmark(process)
+    assert hits == [] or hits  # either is valid; kernel must complete

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""The headline result: bounded memory vs proportional shadow memory.
+
+Sweeps the AMG2013 model's grid size on a simulated 32 GB node.  ARCHER's
+shadow cells grow with the application footprint (5-7x) until the node OOMs
+at 40^3; SWORD's overhead stays at ~3.3 MB per thread no matter how big the
+application gets, completes every size, and still reports the 10 races
+ARCHER's eviction loses (paper Table IV / Figure 8).
+
+Run:  python examples/memory_bounded_analysis.py
+"""
+
+from repro.harness import driver, fmt_bytes
+from repro.workloads import REGISTRY
+
+
+def main():
+    print(f"{'grid':>6s} {'tool':>10s} {'app memory':>12s} "
+          f"{'tool memory':>12s} {'status':>8s} {'races':>6s}")
+    for size in (10, 20, 30, 40):
+        workload = REGISTRY.get(f"amg2013_{size}")
+        for tool_name in ("archer", "sword"):
+            result = driver(tool_name).run(workload, nthreads=8, seed=0)
+            status = "OOM" if result.oom else "ok"
+            races = "-" if result.oom else str(result.race_count)
+            print(
+                f"{size:>4d}^3 {tool_name:>10s} "
+                f"{fmt_bytes(result.app_bytes):>12s} "
+                f"{fmt_bytes(result.tool_bytes):>12s} "
+                f"{status:>8s} {races:>6s}"
+            )
+    print("\nARCHER's footprint tracks the application and dies at 40^3;")
+    print("SWORD's N x 3.3 MB bound never moves, and it finds 14 races to")
+    print("ARCHER's 4 (shadow-cell eviction hides the other 10).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""SWORD reproduction: a bounded-memory OpenMP data-race detector.
+
+Reimplementation of *SWORD: A Bounded Memory-Overhead Detector of OpenMP
+Data Races in Production Runs* (Atzeni et al., IPDPS 2018) on a simulated
+OpenMP substrate.  See DESIGN.md for the system inventory and EXPERIMENTS.md
+for the paper-vs-measured record.
+
+Public entry points:
+
+* :mod:`repro.omp` — the simulated OpenMP runtime model programs run on;
+* :mod:`repro.sword` — the bounded-memory online collector (buffers,
+  compression, Table-I metadata);
+* :mod:`repro.offline` — the offline race analysis (offset-span labels,
+  interval trees, Diophantine overlap solving);
+* :mod:`repro.archer` — the ARCHER happens-before baseline (vector clocks,
+  4-cell shadow memory);
+* :mod:`repro.harness` — tool wrappers, metrics, schedule exploration, and
+  one experiment module per paper table/figure;
+* :mod:`repro.workloads` — DataRaceBench / OmpSCR / HPC / paper-example /
+  tasking model programs;
+* :mod:`repro.tasking` — the tasking extension (paper §VI future work):
+  task-ordering judgment beyond offset-span labels.
+
+Command line: ``python -m repro --help``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

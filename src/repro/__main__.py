@@ -1,0 +1,142 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list-workloads [--suite S]``      — show the benchmark registry;
+* ``check <workload> [options]``      — run one workload under a tool and
+  print race reports and overheads;
+* ``experiment <id> [--fast]``        — regenerate one paper table/figure
+  (E1..E10, see DESIGN.md);
+* ``analyze <trace-dir> [--workers N]`` — offline-analyze an existing
+  SWORD trace directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .common.config import NodeConfig, OfflineConfig
+from .harness.tables import fmt_bytes, fmt_seconds
+from .harness.tools import TOOL_NAMES, driver
+from .offline import OfflineAnalyzer, ParallelOfflineAnalyzer
+from .sword import TraceDir
+from .workloads import REGISTRY
+
+
+def cmd_list_workloads(args: argparse.Namespace) -> int:
+    workloads = REGISTRY.suite(args.suite) if args.suite else list(REGISTRY)
+    print(f"{'name':30s} {'suite':14s} {'racy':5s} {'seeded':>6s} {'archer misses':>13s}")
+    for w in workloads:
+        print(
+            f"{w.name:30s} {w.suite:14s} {'yes' if w.racy else 'no':5s} "
+            f"{w.seeded_races:>6d} {w.archer_misses:>13d}"
+        )
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    workload = REGISTRY.get(args.workload)
+    result = driver(args.tool).run(
+        workload,
+        nthreads=args.threads,
+        seed=args.seed,
+        node=NodeConfig(),
+    )
+    if result.oom:
+        print(f"{args.tool} ran OUT OF MEMORY on the simulated node")
+        return 2
+    print(
+        f"tool={args.tool} threads={args.threads} "
+        f"dynamic={fmt_seconds(result.dynamic_seconds)} "
+        f"offline={fmt_seconds(result.offline_seconds)} "
+        f"app={fmt_bytes(result.app_bytes)} tool-mem={fmt_bytes(result.tool_bytes)}"
+    )
+    if result.races is None:
+        print("(baseline: race checking disabled)")
+        return 0
+    print(f"races: {result.race_count}")
+    for race in result.races:
+        print(" ", race.describe())
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    import repro.harness.experiments as E
+
+    experiments = {
+        "E1": E.drb.main,
+        "E2": E.ompscr_races.main,
+        "E3": E.ompscr_overhead.main,
+        "E4": E.ompscr_offline.main,
+        "E5": E.hpc_races.main,
+        "E6": E.hpc_overhead.main,
+        "E7": E.amg_scaling.main,
+        "E8": E.hb_masking.main,
+        "E9": E.codec_compare.main,
+        "E10": E.examples_demo.main,
+    }
+    main = experiments.get(args.id.upper())
+    if main is None:
+        print(f"unknown experiment {args.id!r}; known: {sorted(experiments)}")
+        return 1
+    main()
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    trace = TraceDir(args.trace_dir)
+    if args.workers > 1:
+        result = ParallelOfflineAnalyzer(
+            trace, OfflineConfig(workers=args.workers)
+        ).analyze()
+    else:
+        result = OfflineAnalyzer(trace).analyze()
+    stats = result.stats
+    print(
+        f"intervals={stats.intervals} concurrent_pairs={stats.concurrent_pairs} "
+        f"trees={stats.trees_built} nodes={stats.tree_nodes} "
+        f"time={fmt_seconds(stats.total_seconds)}"
+    )
+    print(f"races: {result.race_count}")
+    for race in result.races:
+        print(" ", race.describe())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SWORD reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("list-workloads", help="show the benchmark registry")
+    p.add_argument("--suite", choices=["dataracebench", "ompscr", "hpc"])
+    p.set_defaults(func=cmd_list_workloads)
+
+    p = sub.add_parser("check", help="run one workload under one tool")
+    p.add_argument("workload")
+    p.add_argument("--tool", choices=TOOL_NAMES, default="sword")
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser("experiment", help="regenerate one paper table/figure")
+    p.add_argument("id", help="E1..E10 (see DESIGN.md)")
+    p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("analyze", help="offline-analyze a trace directory")
+    p.add_argument("trace_dir")
+    p.add_argument("--workers", type=int, default=1)
+    p.set_defaults(func=cmd_analyze)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""The ARCHER baseline: happens-before detection on 4-cell shadow memory."""
+
+from .shadow import (
+    CELL_ATOMIC,
+    CELL_BYTES,
+    CELL_WRITE,
+    AllocationShadow,
+    ShadowHit,
+    ShadowMemory,
+)
+from .tool import ArcherTool
+from .vectorclock import VectorClock
+
+__all__ = [
+    "AllocationShadow",
+    "ArcherTool",
+    "CELL_ATOMIC",
+    "CELL_BYTES",
+    "CELL_WRITE",
+    "ShadowHit",
+    "ShadowMemory",
+    "VectorClock",
+]

@@ -1,0 +1,235 @@
+"""The ARCHER baseline: an online happens-before race detector.
+
+Reimplements the behaviourally relevant core of ARCHER/TSan against the
+simulator's OMPT seam:
+
+* vector clocks transferred at forks, joins, barriers, and lock
+  release->acquire edges *in the observed order* — which is precisely what
+  produces the paper's Figure-1 schedule-dependent race masking;
+* 4-cell shadow memory with round-robin eviction
+  (:mod:`repro.archer.shadow`) — the source of the eviction misses;
+* memory charged proportionally to application allocations (shadow) plus
+  per-thread overhead — the source of the 5-7x footprint and the AMG OOM;
+* the ``flush_shadow`` option ("archer-low") releases shadow tables between
+  independent top-level regions, trading runtime for ~30% less memory;
+* explicit tasks are modelled as lightweight threads (TSan's approach):
+  every task gets its own sync-tid and vector clock seeded from the
+  creation point, ``taskwait`` joins children back, and barriers absorb
+  finished task clocks.  Detection of creator-vs-task races remains
+  schedule-dependent in the usual happens-before way.
+
+Races are deduplicated by pc pair, like SWORD's reports, so tool race
+counts are directly comparable (Tables II/IV).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..common.config import ArcherConfig
+from ..memory.accounting import NodeMemory
+from ..offline.report import RaceSet, make_report
+from ..omp.ompt import OmptTool
+from .shadow import ShadowHit, ShadowMemory
+from .vectorclock import VectorClock
+
+
+class ArcherTool(OmptTool):
+    """Happens-before dynamic race detection (the ARCHER baseline)."""
+
+    def __init__(
+        self,
+        config: ArcherConfig | None = None,
+        accountant: Optional[NodeMemory] = None,
+    ) -> None:
+        self.config = config or ArcherConfig()
+        self.config.validate()
+        self.accountant = accountant
+        self.shadow = ShadowMemory(self.config, accountant)
+        self.races = RaceSet()
+        self._vcs: dict[int, VectorClock] = {}        # sync-tid -> clock
+        self._fork_vcs: dict[int, VectorClock] = {}   # pid -> snapshot
+        self._join_accs: dict[int, VectorClock] = {}  # pid -> accumulator
+        self._barrier_accs: dict[tuple[int, int], VectorClock] = {}
+        self._lock_vcs: dict[int, VectorClock] = {}
+        self._charged: set[int] = set()
+        # Sync-tid interning: implicit threads and explicit tasks each get a
+        # dense id (TSan models OpenMP tasks as lightweight threads).
+        self._tids: dict[tuple, int] = {}
+        self._finished_task_tids: set[int] = set()
+        self._runtime = None
+        self.stats = {"accesses": 0, "sync_ops": 0}
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _intern(self, key: tuple) -> int:
+        tid = self._tids.get(key)
+        if tid is None:
+            tid = len(self._tids)
+            self._tids[key] = tid
+        return tid
+
+    def _vc(self, gid: int) -> VectorClock:
+        """Vector clock of a thread's *implicit* task."""
+        tid = self._intern(("g", gid))
+        vc = self._vcs.get(tid)
+        if vc is None:
+            vc = VectorClock()
+            vc.tick(tid)  # every entity starts at its own epoch 1
+            self._vcs[tid] = vc
+        if gid not in self._charged:
+            self._charged.add(gid)
+            if self.accountant is not None:
+                self.accountant.charge(
+                    NodeMemory.TOOL, self.config.per_thread_bytes
+                )
+        return vc
+
+    def _current_tid(self, thread) -> int:
+        """Sync-tid of the entity the thread is executing right now."""
+        if thread.task_stack:
+            return self._intern(("t", thread.task_stack[-1].task_id))
+        return self._intern(("g", thread.gid))
+
+    def _current_vc(self, thread) -> VectorClock:
+        if thread.task_stack:
+            self._vc(thread.gid)  # ensure the thread itself is charged
+            return self._vcs[self._intern(("t", thread.task_stack[-1].task_id))]
+        return self._vc(thread.gid)
+
+    # -- OMPT: structure -----------------------------------------------------------
+
+    def on_run_begin(self, runtime) -> None:  # noqa: D102
+        self._runtime = runtime
+
+    def on_parallel_begin(self, region) -> None:  # noqa: D102
+        parent = self._vc(region.parent_gid)
+        self._fork_vcs[region.pid] = parent.copy()
+        self._join_accs[region.pid] = VectorClock()
+        parent.tick(self._intern(("g", region.parent_gid)))
+        self.stats["sync_ops"] += 1
+
+    def on_implicit_task_begin(self, thread, region, slot) -> None:  # noqa: D102
+        vc = self._vc(thread.gid)
+        vc.join(self._fork_vcs[region.pid])
+        vc.tick(self._intern(("g", thread.gid)))
+
+    def on_implicit_task_end(self, thread, region, slot) -> None:  # noqa: D102
+        acc = self._join_accs.get(region.pid)
+        if acc is not None:
+            acc.join(self._vc(thread.gid))
+
+    def on_parallel_end(self, region) -> None:  # noqa: D102
+        parent = self._vc(region.parent_gid)
+        acc = self._join_accs.pop(region.pid, None)
+        if acc is not None:
+            parent.join(acc)
+        parent.tick(self._intern(("g", region.parent_gid)))
+        self._fork_vcs.pop(region.pid, None)
+        self.stats["sync_ops"] += 1
+        if self.config.flush_shadow and region.level == 1:
+            # "archer-low": release shadow between independent regions.
+            self.shadow.flush()
+
+    # -- OMPT: synchronisation ----------------------------------------------------------
+
+    def on_barrier_arrive(self, thread, region, bid) -> None:  # noqa: D102
+        acc = self._barrier_accs.setdefault((region.pid, bid), VectorClock())
+        acc.join(self._vc(thread.gid))
+        # OpenMP: all outstanding tasks complete at a barrier, so their
+        # clocks flow into the all-to-all join as well.
+        for task_tid in self._finished_task_tids:
+            acc.join(self._vcs[task_tid])
+        self.stats["sync_ops"] += 1
+
+    def on_barrier_depart(self, thread, region, new_bid) -> None:  # noqa: D102
+        acc = self._barrier_accs.get((region.pid, new_bid - 1))
+        vc = self._vc(thread.gid)
+        if acc is not None:
+            vc.join(acc)
+        vc.tick(self._intern(("g", thread.gid)))
+
+    def on_mutex_acquired(self, thread, mutex_id) -> None:  # noqa: D102
+        lock_vc = self._lock_vcs.get(mutex_id)
+        if lock_vc is not None:
+            self._current_vc(thread).join(lock_vc)
+        self.stats["sync_ops"] += 1
+
+    def on_mutex_released(self, thread, mutex_id) -> None:  # noqa: D102
+        vc = self._current_vc(thread)
+        lock_vc = self._lock_vcs.setdefault(mutex_id, VectorClock())
+        lock_vc.join(vc)
+        vc.tick(self._current_tid(thread))
+        self.stats["sync_ops"] += 1
+
+    # -- OMPT: explicit tasks (modelled as lightweight threads, like TSan) ----------
+
+    def on_task_create(self, thread, task) -> None:  # noqa: D102
+        creator_vc = self._current_vc(thread)
+        task_tid = self._intern(("t", task.task_id))
+        task_vc = creator_vc.copy()
+        task_vc.tick(task_tid)
+        self._vcs[task_tid] = task_vc
+        creator_vc.tick(self._current_tid(thread))
+        self.stats["sync_ops"] += 1
+
+    def on_task_end(self, thread, task) -> None:  # noqa: D102
+        self._finished_task_tids.add(self._intern(("t", task.task_id)))
+
+    def on_taskwait(self, thread, waited, new_seq) -> None:  # noqa: D102
+        vc = self._current_vc(thread)
+        for task in waited:
+            done_vc = self._vcs.get(self._intern(("t", task.task_id)))
+            if done_vc is not None:
+                vc.join(done_vc)
+        vc.tick(self._current_tid(thread))
+        self.stats["sync_ops"] += 1
+
+    # -- OMPT: accesses ---------------------------------------------------------------------
+
+    def on_access(self, thread, access) -> None:  # noqa: D102
+        self.stats["accesses"] += 1
+        tid = self._current_tid(thread)
+        vc = self._current_vc(thread)
+        space = self._runtime.space
+        alloc = space.find(access.addr)
+        if alloc is None:
+            return  # not heap-tracked (should not happen for model programs)
+
+        def _report(hit: ShadowHit) -> None:
+            self.races.add(
+                make_report(
+                    pc_a=hit.cell_pc,
+                    pc_b=access.pc,
+                    address=hit.address,
+                    write_a=hit.cell_write,
+                    write_b=access.is_write,
+                    gid_a=hit.cell_tid,
+                    gid_b=tid,
+                )
+            )
+
+        table = self.shadow.table_for(alloc)
+        table.check_and_store(
+            addr=access.addr,
+            size=access.size,
+            count=access.count,
+            stride=access.stride if access.count > 1 else 0,
+            tid=tid,
+            clk=vc.get(tid),
+            is_write=access.is_write,
+            is_atomic=access.is_atomic,
+            pc=access.pc,
+            vc_array=vc.as_array(len(self._tids) + 1),
+            on_race=_report,
+        )
+
+    # -- results ---------------------------------------------------------------------------------
+
+    @property
+    def race_count(self) -> int:
+        return len(self.races)
+
+    @property
+    def evictions(self) -> int:
+        return self.shadow.total_evictions

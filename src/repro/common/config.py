@@ -1,0 +1,182 @@
+"""Configuration objects for the runtime, the tools, and the simulated node.
+
+All sizes are bytes.  Defaults mirror the paper's reported constants:
+
+* SWORD's per-thread event buffer holds 25,000 events (~2 MB) and the OMPT +
+  auxiliary thread-local storage adds ~1.3 MB, for ~3.3 MB/thread total
+  (paper §III-A, "Bounded Dynamic Analysis Overhead").
+* ARCHER keeps 4 shadow cells per 8-byte application word; with per-thread
+  overhead this lands in the paper's observed 5-7x region (§I, §IV-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import ConfigError
+
+KiB = 1024
+MiB = 1024 * 1024
+GiB = 1024 * 1024 * 1024
+
+#: Paper constant: events per SWORD buffer before a flush.
+SWORD_BUFFER_EVENTS = 25_000
+#: Paper constant: nominal buffer footprint ("around 2 MB total").
+SWORD_BUFFER_BYTES = 2 * MiB
+#: Paper constant: OMPT + auxiliary TLS per thread ("around 1.3 MB").
+SWORD_AUX_BYTES = int(1.3 * MiB)
+
+
+@dataclass(slots=True)
+class SchedulerConfig:
+    """Cooperative-scheduler behaviour for the simulated OpenMP runtime.
+
+    Attributes:
+        seed: RNG seed selecting the interleaving.  Two different seeds can
+            produce the Figure-1 pair of schedules (one masks the race under
+            happens-before analysis, the other exposes it).
+        policy: ``"random"`` picks a random runnable thread at each switch
+            point; ``"round-robin"`` cycles deterministically.
+        yield_every: a running thread voluntarily yields after this many
+            bulk memory operations (0 disables periodic yields; threads then
+            switch only at synchronisation points).
+    """
+
+    seed: int = 0
+    policy: str = "random"
+    yield_every: int = 0
+
+    def validate(self) -> None:
+        if self.policy not in ("random", "round-robin"):
+            raise ConfigError(f"unknown scheduler policy: {self.policy!r}")
+        if self.yield_every < 0:
+            raise ConfigError("yield_every must be >= 0")
+
+
+@dataclass(slots=True)
+class SwordConfig:
+    """Online-phase knobs for the SWORD tool.
+
+    Attributes:
+        buffer_events: capacity of the per-thread event buffer; the paper
+            found 25,000 (~2 MB) optimal because it fits in L3.
+        buffer_bytes: nominal buffer footprint charged to the memory
+            accountant (user-adjustable bound in the paper).
+        aux_bytes: OMPT + thread-local auxiliary storage charged per thread.
+        codec: trace compression codec name (see
+            :mod:`repro.sword.compression.registry`); the paper compared LZO,
+            Snappy and LZ4 and found them equivalent, settling on LZO.
+        log_dir: directory receiving ``thread_<tid>.log`` / ``.meta`` files.
+    """
+
+    buffer_events: int = SWORD_BUFFER_EVENTS
+    buffer_bytes: int = SWORD_BUFFER_BYTES
+    aux_bytes: int = SWORD_AUX_BYTES
+    codec: str = "lzrle"
+    log_dir: str = ""
+
+    def validate(self) -> None:
+        if self.buffer_events <= 0:
+            raise ConfigError("buffer_events must be positive")
+        if self.buffer_bytes <= 0 or self.aux_bytes < 0:
+            raise ConfigError("buffer_bytes/aux_bytes must be positive")
+        if not self.log_dir:
+            raise ConfigError("SwordConfig.log_dir must be set")
+
+    @property
+    def per_thread_bytes(self) -> int:
+        """Total bounded overhead per thread (paper: ~3.3 MB)."""
+        return self.buffer_bytes + self.aux_bytes
+
+
+@dataclass(slots=True)
+class ArcherConfig:
+    """Baseline happens-before tool knobs.
+
+    Attributes:
+        shadow_cells: access records retained per 8-byte application word
+            (TSan/ARCHER default is 4; the 5th access evicts one -> the
+            paper's missed-race mechanism).
+        flush_shadow: the paper's "archer-low" mode -- release shadow memory
+            between independent parallel regions, trading extra runtime for
+            a ~30% smaller footprint.
+        shadow_word_bytes: granularity of one shadow line (8 in TSan).
+        per_thread_bytes: fixed per-thread bookkeeping charged to the
+            accountant (vector clocks, TLS).
+        misc_overhead_factor: additional footprint proportional to the
+            application (allocator metadata etc.); together with
+            ``shadow_cells`` this yields the observed 5-7x overhead.
+    """
+
+    shadow_cells: int = 4
+    flush_shadow: bool = False
+    shadow_word_bytes: int = 8
+    per_thread_bytes: int = 4 * MiB
+    misc_overhead_factor: float = 1.0
+
+    def validate(self) -> None:
+        if self.shadow_cells <= 0:
+            raise ConfigError("shadow_cells must be positive")
+        if self.shadow_word_bytes not in (4, 8, 16):
+            raise ConfigError("shadow_word_bytes must be 4, 8, or 16")
+        if self.misc_overhead_factor < 0:
+            raise ConfigError("misc_overhead_factor must be >= 0")
+
+
+@dataclass(slots=True)
+class NodeConfig:
+    """The simulated compute node.
+
+    The paper's testbed is a 2x12-core Xeon node with 32 GB RAM.  Experiments
+    scale ``memory_limit`` down alongside the scaled-down workloads so that
+    the OOM crossover (Table IV, Figure 8) falls in the same relative place.
+    """
+
+    memory_limit: int = 32 * GiB
+    cores: int = 24
+
+    def validate(self) -> None:
+        if self.memory_limit <= 0:
+            raise ConfigError("memory_limit must be positive")
+        if self.cores <= 0:
+            raise ConfigError("cores must be positive")
+
+
+@dataclass(slots=True)
+class OfflineConfig:
+    """Offline-analysis knobs.
+
+    Attributes:
+        chunk_events: streaming granularity -- how many decoded events the
+            reader hands to the tree builder at a time (paper: "reads access
+            information from log files in small chunks").
+        workers: worker processes for the "cluster" mode (Table III's MT
+            column distributes interval-tree comparison across nodes).
+        use_ilp_crosscheck: additionally verify each Diophantine overlap
+            verdict with the branch-and-bound ILP (slow; for tests).
+    """
+
+    chunk_events: int = 65_536
+    workers: int = 1
+    use_ilp_crosscheck: bool = False
+
+    def validate(self) -> None:
+        if self.chunk_events <= 0:
+            raise ConfigError("chunk_events must be positive")
+        if self.workers <= 0:
+            raise ConfigError("workers must be positive")
+
+
+@dataclass(slots=True)
+class RunConfig:
+    """Everything needed to execute one workload under one tool."""
+
+    nthreads: int = 8
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    node: NodeConfig = field(default_factory=NodeConfig)
+
+    def validate(self) -> None:
+        if self.nthreads <= 0:
+            raise ConfigError("nthreads must be positive")
+        self.scheduler.validate()
+        self.node.validate()

@@ -1,0 +1,204 @@
+"""Event records exchanged between the runtime, the tools, and the logs.
+
+One :class:`Access` describes a (possibly strided, bulk) memory operation:
+the compiler instrumentation of real SWORD emits one record per executed
+load/store, but a vectorised model program performs whole-array operations,
+so an access natively carries ``(addr, size, count, stride)`` — an arithmetic
+progression of byte addresses.  A scalar access is simply ``count == 1``.
+
+Records are serialised as a fixed-width NumPy structured array (40 bytes per
+event) so that the bounded buffer, the compressors, and the streaming reader
+can all operate on contiguous memory without per-event Python objects — the
+idiom the HPC guides call "vectorise the hot loop".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+# --- event kinds -----------------------------------------------------------
+
+KIND_ACCESS = 1
+KIND_PARALLEL_BEGIN = 2
+KIND_PARALLEL_END = 3
+KIND_BARRIER = 4
+KIND_MUTEX_ACQUIRED = 5
+KIND_MUTEX_RELEASED = 6
+KIND_THREAD_BEGIN = 7
+KIND_THREAD_END = 8
+
+KIND_NAMES = {
+    KIND_ACCESS: "access",
+    KIND_PARALLEL_BEGIN: "parallel_begin",
+    KIND_PARALLEL_END: "parallel_end",
+    KIND_BARRIER: "barrier",
+    KIND_MUTEX_ACQUIRED: "mutex_acquired",
+    KIND_MUTEX_RELEASED: "mutex_released",
+    KIND_THREAD_BEGIN: "thread_begin",
+    KIND_THREAD_END: "thread_end",
+}
+
+# --- access flags ----------------------------------------------------------
+
+FLAG_WRITE = 0x1
+FLAG_ATOMIC = 0x2
+
+#: Fixed-width on-disk/in-buffer record layout (40 bytes).
+EVENT_DTYPE = np.dtype(
+    [
+        ("kind", "u1"),
+        ("flags", "u1"),
+        ("size", "u2"),      # bytes per element (access) / unused otherwise
+        ("msid", "u4"),      # mutex-set id (access) / mutex id (mutex events)
+        ("addr", "u8"),      # start address (access) / region id (ompt)
+        ("count", "u4"),     # number of elements in the progression
+        ("stride", "i4"),    # byte distance between consecutive elements
+        ("pc", "u8"),        # program counter of the access site
+        ("aux", "u8"),       # kind-specific payload (e.g. barrier id)
+    ]
+)
+
+EVENT_BYTES = EVENT_DTYPE.itemsize
+assert EVENT_BYTES == 40
+
+
+@dataclass(frozen=True, slots=True)
+class Access:
+    """A bulk memory access: ``count`` elements of ``size`` bytes starting at
+    ``addr`` with ``stride`` bytes between element starts.
+
+    ``mutexset`` is the (interned id of the) set of mutexes the thread held
+    when it performed the access; SWORD's interval-tree nodes carry the same
+    information for the lockset part of the race condition.
+    """
+
+    addr: int
+    size: int
+    count: int
+    stride: int
+    is_write: bool
+    is_atomic: bool
+    pc: int
+    msid: int = 0
+    #: Execution point for the tasking extension: ``(entity, seq)`` packed
+    #: by :func:`repro.tasking.graph.encode_point`.  0 = implicit task at
+    #: sequence 0 (every pre-tasking access).
+    task_point: int = 0
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ValueError("access count must be positive")
+        if self.size <= 0:
+            raise ValueError("access size must be positive")
+        if self.count > 1 and self.stride == 0:
+            raise ValueError("bulk access requires a non-zero stride")
+
+    @property
+    def last_addr(self) -> int:
+        """First byte of the final element in the progression."""
+        return self.addr + (self.count - 1) * self.stride
+
+    @property
+    def low(self) -> int:
+        """Lowest byte address touched."""
+        return min(self.addr, self.last_addr)
+
+    @property
+    def high(self) -> int:
+        """Highest byte address touched (inclusive)."""
+        return max(self.addr, self.last_addr) + self.size - 1
+
+    def addresses(self) -> np.ndarray:
+        """All byte addresses touched, expanded (test/oracle use only)."""
+        starts = self.addr + self.stride * np.arange(self.count, dtype=np.int64)
+        offs = np.arange(self.size, dtype=np.int64)
+        return (starts[:, None] + offs[None, :]).ravel()
+
+    def normalized(self) -> "Access":
+        """Return an equivalent access with a non-negative stride."""
+        if self.stride >= 0 or self.count == 1:
+            return self
+        return Access(
+            addr=self.last_addr,
+            size=self.size,
+            count=self.count,
+            stride=-self.stride,
+            is_write=self.is_write,
+            is_atomic=self.is_atomic,
+            pc=self.pc,
+            msid=self.msid,
+            task_point=self.task_point,
+        )
+
+
+def access_to_record(a: Access) -> np.void:
+    """Pack one :class:`Access` into an :data:`EVENT_DTYPE` scalar."""
+    rec = np.zeros((), dtype=EVENT_DTYPE)
+    rec["kind"] = KIND_ACCESS
+    rec["flags"] = (FLAG_WRITE if a.is_write else 0) | (
+        FLAG_ATOMIC if a.is_atomic else 0
+    )
+    rec["size"] = a.size
+    rec["msid"] = a.msid
+    rec["addr"] = a.addr
+    rec["count"] = a.count
+    rec["stride"] = a.stride
+    rec["pc"] = a.pc
+    rec["aux"] = a.task_point
+    return rec[()]
+
+
+def record_to_access(rec: np.void) -> Access:
+    """Unpack an :data:`EVENT_DTYPE` scalar of kind ``ACCESS``."""
+    if int(rec["kind"]) != KIND_ACCESS:
+        raise ValueError(f"record kind {int(rec['kind'])} is not an access")
+    flags = int(rec["flags"])
+    return Access(
+        addr=int(rec["addr"]),
+        size=int(rec["size"]),
+        count=int(rec["count"]),
+        stride=int(rec["stride"]),
+        is_write=bool(flags & FLAG_WRITE),
+        is_atomic=bool(flags & FLAG_ATOMIC),
+        pc=int(rec["pc"]),
+        msid=int(rec["msid"]),
+        task_point=int(rec["aux"]),
+    )
+
+
+def make_event(kind: int, *, addr: int = 0, aux: int = 0, msid: int = 0) -> np.void:
+    """Pack a non-access runtime event (barrier, region, mutex, thread)."""
+    rec = np.zeros((), dtype=EVENT_DTYPE)
+    rec["kind"] = kind
+    rec["addr"] = addr
+    rec["aux"] = aux
+    rec["msid"] = msid
+    return rec[()]
+
+
+def records_to_bytes(records: np.ndarray) -> bytes:
+    """Serialise a contiguous record array to raw bytes."""
+    if records.dtype != EVENT_DTYPE:
+        raise ValueError("records must use EVENT_DTYPE")
+    return np.ascontiguousarray(records).tobytes()
+
+
+def bytes_to_records(data: bytes | memoryview) -> np.ndarray:
+    """Deserialise raw bytes back into a record array (zero-copy view)."""
+    if len(data) % EVENT_BYTES != 0:
+        raise ValueError(
+            f"byte length {len(data)} is not a multiple of {EVENT_BYTES}"
+        )
+    return np.frombuffer(data, dtype=EVENT_DTYPE)
+
+
+def accesses_to_records(accesses: Iterable[Access]) -> np.ndarray:
+    """Pack many accesses at once (convenience for tests and builders)."""
+    accesses = list(accesses)
+    out = np.zeros(len(accesses), dtype=EVENT_DTYPE)
+    for i, a in enumerate(accesses):
+        out[i] = access_to_record(a)
+    return out

@@ -1,0 +1,56 @@
+"""Monotonic identifier generators for runtime entities.
+
+The simulated OpenMP runtime hands out unique IDs for parallel regions,
+barriers, locks, and threads.  The OMPT interface of the real SWORD stores
+such IDs in per-callback data fields; we reproduce that by generating them
+centrally so that log records can refer to entities compactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+
+class IdGenerator:
+    """Thread-safe monotonic integer ID source.
+
+    The simulated runtime executes model threads as real Python threads (one
+    at a time under the cooperative scheduler), so generators must tolerate
+    being called from any of them.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._counter = itertools.count(start)
+        self._lock = threading.Lock()
+
+    def next(self) -> int:
+        """Return the next identifier."""
+        with self._lock:
+            return next(self._counter)
+
+
+class RuntimeIds:
+    """ID namespaces used by one simulated runtime instance.
+
+    Attributes:
+        parallel: parallel-region instance IDs (``pid`` in Table I).
+        thread: global simulated-thread IDs (log files are per thread).
+        lock: mutex IDs; OpenMP ``critical`` sections and ``omp_lock_t``
+            objects both draw from this namespace.
+        sync: generic synchronisation-object IDs (reductions, atomics).
+    """
+
+    def __init__(self) -> None:
+        self.parallel = IdGenerator(start=1)  # 0 is reserved for "no region"
+        self.thread = IdGenerator()
+        self.lock = IdGenerator(start=1)
+        self.sync = IdGenerator(start=1)
+        self.task = IdGenerator(start=1)  # 0 is reserved for implicit tasks
+
+
+#: Sentinel parallel-region id meaning "no enclosing region" (sequential code).
+NO_REGION = 0
+
+#: Sentinel parent id used in meta-data rows for top-level regions.
+NO_PARENT = -1

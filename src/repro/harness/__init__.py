@@ -1,0 +1,26 @@
+"""Experiment harness: tool drivers, metrics, tables, experiments."""
+
+from .tables import Figure, Series, Table, fmt_bytes, fmt_seconds, geomean
+from .tools import (
+    ArcherDriver,
+    BaselineDriver,
+    RunResult,
+    SwordDriver,
+    TOOL_NAMES,
+    driver,
+)
+
+__all__ = [
+    "ArcherDriver",
+    "BaselineDriver",
+    "Figure",
+    "RunResult",
+    "Series",
+    "SwordDriver",
+    "TOOL_NAMES",
+    "Table",
+    "driver",
+    "fmt_bytes",
+    "fmt_seconds",
+    "geomean",
+]

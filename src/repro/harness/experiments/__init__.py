@@ -1,0 +1,43 @@
+"""One experiment module per paper table/figure (see DESIGN.md §4).
+
+========  ==========================  ==============================
+Exp id    Paper artifact              Module
+========  ==========================  ==============================
+E1        §IV-A DataRaceBench         :mod:`.drb`
+E2        Table II                    :mod:`.ompscr_races`
+E3        Figure 6                    :mod:`.ompscr_overhead`
+E4        Table III                   :mod:`.ompscr_offline`
+E5        Table IV                    :mod:`.hpc_races`
+E6        Figure 7 / Table V          :mod:`.hpc_overhead`
+E7        Figure 8                    :mod:`.amg_scaling`
+E8        Figure 1                    :mod:`.hb_masking`
+E9        §III-A codec comparison     :mod:`.codec_compare`
+E10       §II eviction / Figure 5     :mod:`.examples_demo`
+========  ==========================  ==============================
+"""
+
+from . import (  # noqa: F401
+    amg_scaling,
+    codec_compare,
+    drb,
+    examples_demo,
+    hb_masking,
+    hpc_overhead,
+    hpc_races,
+    ompscr_offline,
+    ompscr_races,
+    ompscr_overhead,
+)
+
+__all__ = [
+    "amg_scaling",
+    "codec_compare",
+    "drb",
+    "examples_demo",
+    "hb_masking",
+    "hpc_overhead",
+    "hpc_races",
+    "ompscr_offline",
+    "ompscr_races",
+    "ompscr_overhead",
+]

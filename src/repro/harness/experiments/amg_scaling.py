@@ -1,0 +1,74 @@
+"""E7 — Figure 8: AMG2013 problem-size scaling.
+
+Figure 8 varies the AMG2013 grid from 10^3 to 40^3 and shows:
+
+* baseline memory growing with the problem size;
+* ARCHER's footprint tracking the baseline at 5-7x until it exceeds the
+  32 GB node at 40^3 (OOM — no result);
+* SWORD's footprint flat (bounded per-thread buffers), finishing all sizes;
+* runtime growing with the problem size for every tool.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ...common.config import NodeConfig
+from ..tables import Figure, Table, fmt_bytes, fmt_seconds
+from ..tools import driver
+from .common import suite_workloads
+
+TOOLS = ("baseline", "archer", "archer-low", "sword")
+
+
+def run(
+    sizes: Sequence[int] = (10, 20, 30, 40),
+    nthreads: int = 8,
+    seed: int = 0,
+    node: Optional[NodeConfig] = None,
+    sweeps: Optional[int] = None,
+) -> tuple[Figure, Figure, Table]:
+    """Return (memory figure, runtime figure, OOM summary table)."""
+    node = node or NodeConfig()
+    mem_fig = Figure(
+        "E7 / Figure 8a: AMG2013 memory vs problem size", "grid", "bytes"
+    )
+    rt_fig = Figure(
+        "E7 / Figure 8b: AMG2013 runtime vs problem size", "grid", "seconds"
+    )
+    oom_table = Table(
+        "E7 / Figure 8: completion status", ["grid"] + list(TOOLS)
+    )
+    mem_series = {t: mem_fig.new_series(t) for t in TOOLS}
+    rt_series = {t: rt_fig.new_series(t) for t in TOOLS}
+    for size in sizes:
+        (w,) = suite_workloads("hpc", include=[f"amg2013_{size}"])
+        params = {} if sweeps is None else {"sweeps": sweeps}
+        statuses = []
+        for tool in TOOLS:
+            res = driver(tool).run(
+                w, nthreads=nthreads, seed=seed, node=node, **params
+            )
+            if res.oom:
+                statuses.append("OOM")
+                continue
+            statuses.append("ok")
+            total = float(res.app_bytes + res.tool_bytes)
+            mem_series[tool].add(size, total)
+            rt_series[tool].add(size, res.total_seconds)
+        oom_table.add(size, *statuses)
+    oom_table.note(f"simulated node memory limit: {fmt_bytes(node.memory_limit)}")
+    return mem_fig, rt_fig, oom_table
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    mem, rt, oom = run()
+    print(mem.render())
+    print()
+    print(rt.render())
+    print()
+    print(oom.render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,62 @@
+"""Shared plumbing for the experiment modules."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+from ...common.config import NodeConfig
+from ...workloads.base import REGISTRY, Workload
+from ..tools import RunResult, driver
+
+
+@dataclass
+class DetectionRow:
+    """Per-benchmark detection outcome across tools."""
+
+    workload: Workload
+    results: dict[str, RunResult] = field(default_factory=dict)
+
+    def count(self, tool: str) -> Any:
+        res = self.results.get(tool)
+        if res is None:
+            return "-"
+        if res.oom:
+            return "OOM"
+        return res.race_count
+
+
+def run_detection(
+    workloads: Iterable[Workload],
+    tools: tuple[str, ...] = ("archer", "archer-low", "sword"),
+    *,
+    nthreads: int = 8,
+    seed: int = 0,
+    node: Optional[NodeConfig] = None,
+    params_for=None,
+    **driver_kwargs: Any,
+) -> list[DetectionRow]:
+    """Run every workload under every tool; collect race counts."""
+    rows = []
+    for w in workloads:
+        row = DetectionRow(workload=w)
+        params = dict(params_for(w)) if params_for else {}
+        for tool in tools:
+            row.results[tool] = driver(tool).run(
+                w, nthreads=nthreads, seed=seed, node=node,
+                **driver_kwargs, **params,
+            )
+        rows.append(row)
+    return rows
+
+
+def suite_workloads(suite: str, include=None, exclude=()) -> list[Workload]:
+    """Workloads of one suite, optionally filtered by name."""
+    selected = [
+        w
+        for w in REGISTRY.suite(suite)
+        if (include is None or w.name in include) and w.name not in exclude
+    ]
+    if not selected:
+        raise ValueError(f"no workloads selected from suite {suite!r}")
+    return selected

@@ -1,0 +1,77 @@
+"""E6 — Figure 7 / Table V: HPC slowdown and memory overhead vs threads.
+
+Figure 7 plots per-benchmark slowdown (tool runtime over baseline) and
+memory overhead while varying the thread count.  The observations to
+reproduce:
+
+* ARCHER's slowdown grows faster with thread count than SWORD's dynamic
+  phase, except on LULESH where SWORD's log collection is region/I-O bound;
+* ``archer-low`` trades extra runtime for a modestly smaller footprint;
+* ARCHER's memory overhead is proportional to the baseline footprint
+  (5-7x), while SWORD's stays flat at ~3.3 MB per thread.
+
+Table V additionally accounts SWORD's offline phase, which :func:`run`
+reports via the ``sword-total`` series.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ...common.config import NodeConfig
+from ..tables import Figure
+from ..tools import driver
+from .common import suite_workloads
+
+TOOLS = ("archer", "archer-low", "sword")
+
+
+def run(
+    benchmarks: Sequence[str] = ("hpccg", "minife", "lulesh", "amg2013_10"),
+    thread_counts: Sequence[int] = (8, 16, 24),
+    seed: int = 0,
+    params_for=None,
+) -> dict[str, tuple[Figure, Figure]]:
+    """Per benchmark: (slowdown figure, memory-overhead figure)."""
+    out: dict[str, tuple[Figure, Figure]] = {}
+    for name in benchmarks:
+        (w,) = suite_workloads("hpc", include=[name])
+        params = dict(params_for(w)) if params_for else {}
+        slow_fig = Figure(
+            f"E6 / Figure 7: {name} slowdown", "threads", "x over baseline"
+        )
+        mem_fig = Figure(
+            f"E6 / Figure 7: {name} tool memory", "threads", "tool bytes"
+        )
+        series_slow = {t: slow_fig.new_series(t) for t in TOOLS}
+        series_slow["sword-total"] = slow_fig.new_series("sword-total")
+        series_mem = {t: mem_fig.new_series(t) for t in TOOLS}
+        for nthreads in thread_counts:
+            base = driver("baseline").run(
+                w, nthreads=nthreads, seed=seed, node=NodeConfig(), **params
+            )
+            denom = max(base.dynamic_seconds, 1e-9)
+            for tool in TOOLS:
+                res = driver(tool).run(
+                    w, nthreads=nthreads, seed=seed, node=NodeConfig(), **params
+                )
+                series_slow[tool].add(nthreads, res.dynamic_seconds / denom)
+                series_mem[tool].add(nthreads, float(res.tool_bytes))
+                if tool == "sword":
+                    series_slow["sword-total"].add(
+                        nthreads, res.total_seconds / denom
+                    )
+        out[name] = (slow_fig, mem_fig)
+    return out
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    for name, (slow, mem) in run().items():
+        print(slow.render())
+        print()
+        print(mem.render())
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,54 @@
+"""E4 — Table III: OmpSCR offline-analysis overheads.
+
+Table III reports, per OmpSCR benchmark: the dynamic-analysis time of both
+ARCHER configurations and of SWORD, plus SWORD's offline analysis run on a
+single node (OA) and distributed across workers (MT).  The shape to
+reproduce: OA stays within seconds at this scale and MT cuts it further;
+SWORD's collection time is competitive with ARCHER's analysis time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..tables import Table, fmt_seconds
+from ..tools import driver
+from .common import suite_workloads
+
+
+def run(
+    nthreads: int = 8,
+    seed: int = 0,
+    include: Optional[Iterable[str]] = None,
+    mt_workers: int = 4,
+) -> Table:
+    """Measure DA/OA/MT per benchmark."""
+    workloads = suite_workloads("ompscr", include=include)
+    table = Table(
+        "E4 / Table III: OmpSCR analysis overheads",
+        ["benchmark", "archer DA", "archer-low DA", "sword DA", "sword OA", "sword MT"],
+    )
+    for w in workloads:
+        archer = driver("archer").run(w, nthreads=nthreads, seed=seed)
+        archer_low = driver("archer-low").run(w, nthreads=nthreads, seed=seed)
+        sword = driver("sword").run(
+            w, nthreads=nthreads, seed=seed, mt_workers=mt_workers
+        )
+        table.add(
+            w.name,
+            fmt_seconds(archer.dynamic_seconds),
+            fmt_seconds(archer_low.dynamic_seconds),
+            fmt_seconds(sword.dynamic_seconds),
+            fmt_seconds(sword.offline_seconds),
+            fmt_seconds(sword.offline_mt_seconds),
+        )
+    table.note("DA = dynamic analysis; OA = serial offline; MT = distributed offline")
+    return table
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

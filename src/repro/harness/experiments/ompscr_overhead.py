@@ -1,0 +1,64 @@
+"""E3 — Figure 6: OmpSCR geometric-mean runtime and memory overheads.
+
+Figure 6 plots, per thread count, the geometric mean across the OmpSCR
+suite of (a) runtime and (b) memory usage for baseline / archer /
+archer-low / sword.  The paper's observations to reproduce:
+
+* runtime overhead is small for all tools at this scale, with SWORD's data
+  collection at or below ARCHER's;
+* memory overhead relative to the tiny baselines looks large but stays
+  < 100 MB absolute; SWORD's is a constant ~3.3 MB per thread.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from ...common.config import NodeConfig
+from ..tables import Figure, geomean
+from ..tools import driver
+from .common import suite_workloads
+
+TOOLS = ("baseline", "archer", "archer-low", "sword")
+
+
+def run(
+    thread_counts: Sequence[int] = (8, 16, 24),
+    include: Optional[Iterable[str]] = None,
+    seed: int = 0,
+) -> tuple[Figure, Figure]:
+    """Return (runtime figure, memory figure) over the thread sweep."""
+    workloads = suite_workloads("ompscr", include=include)
+    runtime_fig = Figure(
+        "E3 / Figure 6a: OmpSCR geomean runtime", "threads", "seconds (geomean)"
+    )
+    memory_fig = Figure(
+        "E3 / Figure 6b: OmpSCR geomean memory", "threads", "bytes (geomean)"
+    )
+    series_rt = {t: runtime_fig.new_series(t) for t in TOOLS}
+    series_mem = {t: memory_fig.new_series(t) for t in TOOLS}
+    for nthreads in thread_counts:
+        times: dict[str, list[float]] = {t: [] for t in TOOLS}
+        mems: dict[str, list[float]] = {t: [] for t in TOOLS}
+        for w in workloads:
+            for tool in TOOLS:
+                res = driver(tool).run(
+                    w, nthreads=nthreads, seed=seed, node=NodeConfig()
+                )
+                times[tool].append(res.dynamic_seconds)
+                mems[tool].append(float(res.app_bytes + res.tool_bytes))
+        for tool in TOOLS:
+            series_rt[tool].add(nthreads, geomean(times[tool]))
+            series_mem[tool].add(nthreads, geomean(mems[tool]))
+    return runtime_fig, memory_fig
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    rt, mem = run()
+    print(rt.render())
+    print()
+    print(mem.render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

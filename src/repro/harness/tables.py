@@ -1,0 +1,142 @@
+"""ASCII table and series rendering for experiment outputs.
+
+The benchmark harness prints every reproduced table/figure as plain text
+rows so the regeneration is self-contained (no plotting dependencies); the
+figure experiments emit their data as labelled series, one row per x value.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable byte count."""
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024 or unit == "TiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    return f"{n:.1f} TiB"  # pragma: no cover - unreachable
+
+
+def fmt_seconds(s: float) -> str:
+    """Human-readable duration."""
+    if s < 1e-3:
+        return f"{s * 1e6:.0f} us"
+    if s < 1.0:
+        return f"{s * 1e3:.1f} ms"
+    if s < 120.0:
+        return f"{s:.2f} s"
+    return f"{s / 60:.1f} min"
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (the aggregation Figure 6 uses); 0 for empty input."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+@dataclass
+class Table:
+    """A titled ASCII table."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        cells = [[str(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(str(self.columns[i])), *(len(r[i]) for r in cells), 1)
+            if cells
+            else len(str(self.columns[i]))
+            for i in range(len(self.columns))
+        ]
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * max(len(self.title), len(sep))]
+        lines.append(" | ".join(str(c).ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append(sep)
+        for row in cells:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.render()
+
+    def column(self, name: str) -> list[Any]:
+        """Extract a column by name (experiment assertions use this)."""
+        i = list(self.columns).index(name)
+        return [row[i] for row in self.rows]
+
+
+@dataclass
+class Series:
+    """One labelled line of a reproduced figure (x -> y)."""
+
+    label: str
+    points: list[tuple[Any, float]] = field(default_factory=list)
+
+    def add(self, x: Any, y: float) -> None:
+        self.points.append((x, y))
+
+    def ys(self) -> list[float]:
+        return [y for _, y in self.points]
+
+
+@dataclass
+class Figure:
+    """A reproduced figure: multiple series over a shared x axis."""
+
+    title: str
+    xlabel: str
+    ylabel: str
+    series: list[Series] = field(default_factory=list)
+
+    def new_series(self, label: str) -> Series:
+        s = Series(label)
+        self.series.append(s)
+        return s
+
+    def get(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(label)
+
+    def render(self) -> str:
+        xs: list[Any] = []
+        for s in self.series:
+            for x, _ in s.points:
+                if x not in xs:
+                    xs.append(x)
+        table = Table(
+            f"{self.title}  [{self.ylabel} vs {self.xlabel}]",
+            [self.xlabel] + [s.label for s in self.series],
+        )
+        for x in xs:
+            row: list[Any] = [x]
+            for s in self.series:
+                match = [y for (sx, y) in s.points if sx == x]
+                row.append(f"{match[0]:.4g}" if match else "-")
+            table.add(*row)
+        return table.render()
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.render()

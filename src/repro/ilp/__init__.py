@@ -1,0 +1,26 @@
+"""Exact integer constraint solving for strided-interval overlap."""
+
+from .bruteforce import bruteforce_addresses, bruteforce_overlap
+from .diophantine import (
+    DiophantineSolution,
+    ext_gcd,
+    progressions_intersect,
+    solve_bounded,
+)
+from .model import IntervalConstraint, OverlapSystem, OverlapWitness
+from .overlap import OverlapResult, constraint_of, intervals_share_address
+
+__all__ = [
+    "DiophantineSolution",
+    "IntervalConstraint",
+    "OverlapResult",
+    "OverlapSystem",
+    "OverlapWitness",
+    "bruteforce_addresses",
+    "bruteforce_overlap",
+    "constraint_of",
+    "ext_gcd",
+    "intervals_share_address",
+    "progressions_intersect",
+    "solve_bounded",
+]

@@ -1,0 +1,40 @@
+"""Brute-force feasibility oracle for the overlap constraint system.
+
+Enumerates every byte address of the smaller interval and tests membership
+in the other — exponential-free but O(count * size), so strictly a test
+oracle for the exact Diophantine solver (hypothesis drives both on random
+systems and asserts agreement).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .model import IntervalConstraint
+
+
+def bruteforce_overlap(
+    c0: IntervalConstraint, c1: IntervalConstraint
+) -> Optional[int]:
+    """Return any shared byte address, or None (exhaustive search)."""
+    # Enumerate the interval with fewer touched bytes.
+    if c0.count * c0.size > c1.count * c1.size:
+        c0, c1 = c1, c0
+    stride = c0.stride if c0.count > 1 else 1
+    for x in range(c0.count):
+        start = c0.base + x * stride
+        for s in range(c0.size):
+            addr = start + s
+            if c1.contains(addr):
+                return addr
+    return None
+
+
+def bruteforce_addresses(c: IntervalConstraint) -> set[int]:
+    """The full byte-address set of one interval (small cases only)."""
+    stride = c.stride if c.count > 1 else 1
+    out: set[int] = set()
+    for x in range(c.count):
+        start = c.base + x * stride
+        out.update(range(start, start + c.size))
+    return out

@@ -1,0 +1,136 @@
+"""The paper's integer-linear constraint model for interval overlap.
+
+§III-B represents every byte address of an interval of thread ``T_i`` as
+
+    Δ_i · x_i + b_i + s_i = a
+    0 <= x_i <= (e_i - b_i) / Δ_i
+    0 <= s_i < size_i
+
+and reports a common address when the conjunction of two such systems is
+satisfiable (the paper feeds it to GLPK).  :class:`OverlapSystem` builds that
+system explicitly — so tests and docs can show the same formulation as the
+paper, e.g. the Figure-4 example — and solves it exactly by enumerating the
+bounded byte-offset difference and delegating each case to the Diophantine
+solver.  The search space is ``size_0 + size_1 - 1`` cases (at most 15 for
+8-byte accesses), each solved in O(log stride) — no LP relaxation needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..common.errors import SolverError
+from .diophantine import solve_bounded
+
+
+@dataclass(frozen=True, slots=True)
+class IntervalConstraint:
+    """One thread's interval as the paper's constraint triple.
+
+    Attributes:
+        base: starting byte address ``b``.
+        stride: ``Δ`` (positive; normalise descending accesses first).
+        count: number of elements (so ``x in [0, count - 1]``, equivalently
+            the paper's ``x <= (e - b)/Δ``).
+        size: bytes per element (``0 <= s < size``).
+    """
+
+    base: int
+    stride: int
+    count: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise SolverError("count must be >= 1")
+        if self.size < 1:
+            raise SolverError("size must be >= 1")
+        if self.count > 1 and self.stride < 1:
+            raise SolverError("stride must be positive for count > 1")
+
+    @property
+    def end(self) -> int:
+        """The paper's ``e``: start of the last element."""
+        return self.base + (self.count - 1) * self.stride
+
+    def contains(self, addr: int) -> bool:
+        """Membership test (used to validate witnesses).
+
+        ``addr`` belongs to the interval iff some element index ``x`` in
+        ``[0, count)`` satisfies ``0 <= addr - (base + x*stride) < size``.
+        When ``size > stride`` elements overlap, so a whole range of ``x``
+        may cover the byte; intersecting that range with the index box
+        decides membership in O(1).
+        """
+        off = addr - self.base
+        if off < 0:
+            return False
+        stride = self.stride if self.count > 1 else 1
+        x_hi = off // stride                       # largest x with start <= off
+        x_lo = -((-(off - self.size + 1)) // stride)  # ceil((off-size+1)/stride)
+        return max(x_lo, 0) <= min(x_hi, self.count - 1)
+
+    def pretty(self, var: str = "x", off: str = "s") -> str:
+        """The constraint rendered like the paper's §III-B display."""
+        return (
+            f"{self.stride}·{var} + {self.base} + {off} = a  ∧  "
+            f"0 ≤ {var} ≤ {self.count - 1}  ∧  0 ≤ {off} < {self.size}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class OverlapWitness:
+    """A satisfying assignment of the conjoined system."""
+
+    address: int
+    x0: int
+    s0: int
+    x1: int
+    s1: int
+
+
+class OverlapSystem:
+    """Conjunction of two interval constraints over a shared address ``a``."""
+
+    def __init__(self, c0: IntervalConstraint, c1: IntervalConstraint) -> None:
+        self.c0 = c0
+        self.c1 = c1
+
+    def pretty(self) -> str:
+        """Both systems rendered for display (cf. the Figure-4 example)."""
+        return (
+            "T_0: " + self.c0.pretty("x_0", "s_0") + "\n"
+            "T_1: " + self.c1.pretty("x_1", "s_1")
+        )
+
+    def solve(self) -> Optional[OverlapWitness]:
+        """Find a shared byte address, or None when the system is infeasible.
+
+        Feasibility requires ``Δ0·x0 + b0 + s0 == Δ1·x1 + b1 + s1``; for each
+        value of ``d = s1 - s0`` (in ``[-(size0 - 1), size1 - 1]``) this is a
+        bounded two-variable Diophantine equation.
+        """
+        c0, c1 = self.c0, self.c1
+        p = c0.stride if c0.count > 1 else 1
+        q = c1.stride if c1.count > 1 else 1
+        for d in range(-(c0.size - 1), c1.size):
+            # Δ0·x0 - Δ1·x1 = (b1 - b0) + d
+            sol = solve_bounded(p, q, (c1.base - c0.base) + d, c0.count - 1, c1.count - 1)
+            if sol is None:
+                continue
+            # Reconstruct concrete byte offsets: pick s0 maximal overlap-free.
+            if d >= 0:
+                s0, s1 = 0, d
+            else:
+                s0, s1 = -d, 0
+            addr = c0.base + p * sol.x + s0
+            witness = OverlapWitness(address=addr, x0=sol.x, s0=s0, x1=sol.y, s1=s1)
+            if not (c0.contains(addr) and c1.contains(addr)):
+                raise SolverError("overlap witness failed validation (solver bug)")
+            return witness
+        return None
+
+    def feasible(self) -> bool:
+        """Does a common byte address exist?"""
+        return self.solve() is not None

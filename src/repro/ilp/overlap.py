@@ -1,0 +1,57 @@
+"""Race-oriented overlap checking between strided intervals.
+
+Glue between the interval-tree layer and the constraint solver: converts
+:class:`~repro.itree.interval.StridedInterval` pairs into the paper's
+constraint systems, applies the cheap byte-extent rejection first, and
+returns a witness address for race reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..itree.interval import StridedInterval
+from .model import IntervalConstraint, OverlapSystem
+
+
+@dataclass(frozen=True, slots=True)
+class OverlapResult:
+    """Outcome of an exact overlap check."""
+
+    address: int  # a shared byte address (witness)
+
+
+def constraint_of(si: StridedInterval) -> IntervalConstraint:
+    """The paper's constraint triple for one tree node."""
+    return IntervalConstraint(
+        base=si.low,
+        stride=si.stride if si.count > 1 else si.size,
+        count=si.count,
+        size=si.size,
+    )
+
+
+def intervals_share_address(
+    a: StridedInterval, b: StridedInterval
+) -> Optional[OverlapResult]:
+    """Exact check: do the two progressions touch a common byte?
+
+    Fast paths:
+
+    * disjoint byte extents -> no;
+    * both dense (stride <= size) -> extent overlap alone is the answer —
+      no constraint solving needed (the overwhelmingly common unit-stride
+      case).
+
+    Otherwise the Diophantine-backed :class:`OverlapSystem` decides.
+    """
+    if not a.extent_overlaps(b):
+        return None
+    if a.dense and b.dense:
+        return OverlapResult(address=max(a.low, b.low))
+    system = OverlapSystem(constraint_of(a), constraint_of(b))
+    witness = system.solve()
+    if witness is None:
+        return None
+    return OverlapResult(address=witness.address)

@@ -1,0 +1,16 @@
+"""Self-balancing interval trees with strided-interval summarisation."""
+
+from .builder import TreeBuilder, build_tree
+from .interval import StridedInterval, interval_from_access
+from .tree import BLACK, IntervalTree, Node, RED
+
+__all__ = [
+    "BLACK",
+    "IntervalTree",
+    "Node",
+    "RED",
+    "StridedInterval",
+    "TreeBuilder",
+    "build_tree",
+    "interval_from_access",
+]

@@ -1,0 +1,361 @@
+"""Augmented red-black interval tree (CLRS 13 / 14.3).
+
+The paper: "we use an augmented red-black tree to maintain the interval tree
+balance and to speed up the operations of insertion and search".  Each node
+stores a :class:`~repro.itree.interval.StridedInterval` and is keyed by its
+``low`` endpoint; the augmentation ``max_high`` (maximum interval ``high`` in
+the subtree) prunes overlap searches to ``O(log n + k)``.
+
+Implementation notes:
+
+* a single shared NIL sentinel keeps the fixup code branch-light;
+* ``insert``/``delete`` are the textbook algorithms with the ``max_high``
+  augmentation maintained on rotations and on the ancestor paths;
+* :meth:`IntervalTree.validate` re-checks every invariant (BST order, red
+  and black rules, black-height, augmentation) and is exercised by the
+  property-based tests after random operation sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from .interval import StridedInterval
+
+RED = True
+BLACK = False
+
+
+class Node:
+    """One tree node.  ``key`` is the interval's low endpoint."""
+
+    __slots__ = ("interval", "key", "max_high", "color", "left", "right", "parent")
+
+    def __init__(self, interval: Optional[StridedInterval]) -> None:
+        self.interval = interval
+        self.key = interval.low if interval is not None else 0
+        self.max_high = interval.high if interval is not None else -1
+        self.color = BLACK
+        self.left: "Node" = self  # overwritten; self-links only valid for NIL
+        self.right: "Node" = self
+        self.parent: "Node" = self
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        color = "R" if self.color == RED else "B"
+        return f"<Node {color} key={self.key} max={self.max_high}>"
+
+
+class IntervalTree:
+    """Self-balancing interval tree over strided intervals."""
+
+    def __init__(self) -> None:
+        self.nil = Node(None)
+        self.nil.color = BLACK
+        self.nil.left = self.nil.right = self.nil.parent = self.nil
+        self.root = self.nil
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # -- augmentation helpers --------------------------------------------------
+
+    def _update_max(self, x: Node) -> None:
+        m = x.interval.high
+        if x.left is not self.nil and x.left.max_high > m:
+            m = x.left.max_high
+        if x.right is not self.nil and x.right.max_high > m:
+            m = x.right.max_high
+        x.max_high = m
+
+    def _update_max_upward(self, x: Node) -> None:
+        while x is not self.nil:
+            self._update_max(x)
+            x = x.parent
+
+    # -- rotations ----------------------------------------------------------------
+
+    def _left_rotate(self, x: Node) -> None:
+        y = x.right
+        x.right = y.left
+        if y.left is not self.nil:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is self.nil:
+            self.root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+        self._update_max(x)
+        self._update_max(y)
+
+    def _right_rotate(self, x: Node) -> None:
+        y = x.left
+        x.left = y.right
+        if y.right is not self.nil:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is self.nil:
+            self.root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+        self._update_max(x)
+        self._update_max(y)
+
+    # -- insertion ------------------------------------------------------------------
+
+    def insert(self, interval: StridedInterval) -> Node:
+        """Insert ``interval``; duplicates of the key are allowed."""
+        z = Node(interval)
+        z.left = z.right = z.parent = self.nil
+        y = self.nil
+        x = self.root
+        while x is not self.nil:
+            y = x
+            if z.key < x.key:
+                x = x.left
+            else:
+                x = x.right
+        z.parent = y
+        if y is self.nil:
+            self.root = z
+        elif z.key < y.key:
+            y.left = z
+        else:
+            y.right = z
+        z.color = RED
+        self._update_max_upward(z)
+        self._insert_fixup(z)
+        self._size += 1
+        return z
+
+    def _insert_fixup(self, z: Node) -> None:
+        while z.parent.color == RED:
+            if z.parent is z.parent.parent.left:
+                y = z.parent.parent.right
+                if y.color == RED:
+                    z.parent.color = BLACK
+                    y.color = BLACK
+                    z.parent.parent.color = RED
+                    z = z.parent.parent
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._left_rotate(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._right_rotate(z.parent.parent)
+            else:
+                y = z.parent.parent.left
+                if y.color == RED:
+                    z.parent.color = BLACK
+                    y.color = BLACK
+                    z.parent.parent.color = RED
+                    z = z.parent.parent
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._right_rotate(z)
+                    z.parent.color = BLACK
+                    z.parent.parent.color = RED
+                    self._left_rotate(z.parent.parent)
+        self.root.color = BLACK
+
+    # -- deletion --------------------------------------------------------------------
+
+    def _transplant(self, u: Node, v: Node) -> None:
+        if u.parent is self.nil:
+            self.root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        v.parent = u.parent
+
+    def _minimum(self, x: Node) -> Node:
+        while x.left is not self.nil:
+            x = x.left
+        return x
+
+    def delete(self, z: Node) -> None:
+        """Remove node ``z`` (a handle previously returned by insert/search)."""
+        if z.interval is None:
+            raise ValueError("cannot delete the NIL sentinel")
+        y = z
+        y_original_color = y.color
+        if z.left is self.nil:
+            x = z.right
+            self._transplant(z, z.right)
+            fix_from = x.parent
+        elif z.right is self.nil:
+            x = z.left
+            self._transplant(z, z.left)
+            fix_from = x.parent
+        else:
+            y = self._minimum(z.right)
+            y_original_color = y.color
+            x = y.right
+            if y.parent is z:
+                x.parent = y
+                fix_from = y
+            else:
+                fix_from = y.parent
+                self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+        self._update_max_upward(fix_from)
+        if y_original_color == BLACK:
+            self._delete_fixup(x)
+        self._size -= 1
+
+    def _delete_fixup(self, x: Node) -> None:
+        while x is not self.root and x.color == BLACK:
+            if x is x.parent.left:
+                w = x.parent.right
+                if w.color == RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._left_rotate(x.parent)
+                    w = x.parent.right
+                if w.left.color == BLACK and w.right.color == BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.right.color == BLACK:
+                        w.left.color = BLACK
+                        w.color = RED
+                        self._right_rotate(w)
+                        w = x.parent.right
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.right.color = BLACK
+                    self._left_rotate(x.parent)
+                    x = self.root
+            else:
+                w = x.parent.left
+                if w.color == RED:
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._right_rotate(x.parent)
+                    w = x.parent.left
+                if w.right.color == BLACK and w.left.color == BLACK:
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.left.color == BLACK:
+                        w.right.color = BLACK
+                        w.color = RED
+                        self._left_rotate(w)
+                        w = x.parent.left
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.left.color = BLACK
+                    self._right_rotate(x.parent)
+                    x = self.root
+        x.color = BLACK
+
+    # -- queries ------------------------------------------------------------------------
+
+    def search_overlap(self, low: int, high: int) -> Optional[Node]:
+        """Return *one* node whose byte extent intersects ``[low, high]``."""
+        x = self.root
+        while x is not self.nil:
+            if x.interval.low <= high and low <= x.interval.high:
+                return x
+            if x.left is not self.nil and x.left.max_high >= low:
+                x = x.left
+            else:
+                x = x.right
+        return None
+
+    def iter_overlaps(self, low: int, high: int) -> Iterator[Node]:
+        """Yield *every* node whose byte extent intersects ``[low, high]``."""
+        stack = [self.root]
+        while stack:
+            x = stack.pop()
+            if x is self.nil or x.max_high < low:
+                continue
+            if x.left is not self.nil:
+                stack.append(x.left)
+            if x.interval.low <= high:
+                if low <= x.interval.high:
+                    yield x
+                if x.right is not self.nil:
+                    stack.append(x.right)
+
+    def __iter__(self) -> Iterator[Node]:
+        """In-order traversal (ascending by low endpoint)."""
+        stack: list[Node] = []
+        x = self.root
+        while stack or x is not self.nil:
+            while x is not self.nil:
+                stack.append(x)
+                x = x.left
+            x = stack.pop()
+            yield x
+            x = x.right
+
+    def intervals(self) -> list[StridedInterval]:
+        """All stored intervals in ascending low order."""
+        return [n.interval for n in self]
+
+    def height(self) -> int:
+        """Actual tree height (0 for empty; for tests of balance)."""
+
+        def h(x: Node) -> int:
+            if x is self.nil:
+                return 0
+            return 1 + max(h(x.left), h(x.right))
+
+        return h(self.root)
+
+    # -- validation (test support) -----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Assert every red-black and augmentation invariant; raise on breakage."""
+        if self.root.color != BLACK:
+            raise AssertionError("root must be black")
+
+        def walk(x: Node, lo: Optional[int], hi: Optional[int]) -> int:
+            if x is self.nil:
+                return 1
+            if lo is not None and x.key < lo:
+                raise AssertionError("BST order violated (left bound)")
+            if hi is not None and x.key > hi:
+                raise AssertionError("BST order violated (right bound)")
+            if x.color == RED and (x.left.color == RED or x.right.color == RED):
+                raise AssertionError("red node with red child")
+            expected = x.interval.high
+            for child in (x.left, x.right):
+                if child is not self.nil:
+                    if child.parent is not x:
+                        raise AssertionError("broken parent link")
+                    expected = max(expected, child.max_high)
+            if x.max_high != expected:
+                raise AssertionError(
+                    f"max_high wrong at key {x.key}: {x.max_high} != {expected}"
+                )
+            bl = walk(x.left, lo, x.key)
+            br = walk(x.right, x.key, hi)
+            if bl != br:
+                raise AssertionError("black-height mismatch")
+            return bl + (1 if x.color == BLACK else 0)
+
+        walk(self.root, None, None)
+        count = sum(1 for _ in self)
+        if count != self._size:
+            raise AssertionError(f"size {self._size} != node count {count}")

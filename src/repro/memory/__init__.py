@@ -1,0 +1,13 @@
+"""Simulated memory substrate: address space, allocator, node accounting."""
+
+from .accounting import MemorySnapshot, NodeMemory
+from .address_space import ALIGNMENT, AddressSpace, Allocation, SharedArray
+
+__all__ = [
+    "ALIGNMENT",
+    "AddressSpace",
+    "Allocation",
+    "MemorySnapshot",
+    "NodeMemory",
+    "SharedArray",
+]

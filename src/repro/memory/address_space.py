@@ -1,0 +1,203 @@
+"""Simulated address space and allocator for model programs.
+
+Model workloads allocate :class:`SharedArray` objects: real NumPy arrays (so
+kernels compute genuine results) positioned at stable *simulated* byte
+addresses.  Race detectors only ever see those addresses, sizes, and strides,
+which is exactly the information LLVM instrumentation gives real SWORD.
+
+Scaled-down reproduction of memory-bound behaviour uses ``sim_scale``: a
+workload can declare that an allocation *represents* ``sim_scale`` times its
+backing size (e.g. AMG2013 at 40^3 per-node production footprint) without
+actually allocating gigabytes.  The accountant charges the simulated size, so
+ARCHER's proportional shadow memory OOMs in the same place the paper reports,
+while the computation and the access stream stay laptop sized.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.errors import RuntimeModelError
+from .accounting import NodeMemory
+
+#: Allocations are aligned to this many bytes (matches glibc malloc).
+ALIGNMENT = 16
+
+#: Base of the simulated heap; non-zero so address 0 stays invalid.
+HEAP_BASE = 0x10_0000
+
+
+@dataclass(frozen=True, slots=True)
+class Allocation:
+    """One region of the simulated heap.
+
+    Attributes:
+        base: first simulated byte address.
+        nbytes: backing size in bytes (addressable by accesses).
+        sim_bytes: size charged to the accountant (``nbytes * sim_scale``).
+        name: workload-facing label used in reports.
+    """
+
+    base: int
+    nbytes: int
+    sim_bytes: int
+    name: str
+
+    @property
+    def end(self) -> int:
+        """One past the last addressable simulated byte."""
+        return self.base + self.nbytes
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+
+class SharedArray:
+    """A shared NumPy-backed array living in the simulated address space.
+
+    The array is the unit of sharing in model programs: threads perform
+    reads/writes *through the runtime API* (which emits access events) and
+    may also use :attr:`data` directly for bookkeeping that is not part of
+    the modelled access stream (e.g. verification of kernel results).
+    """
+
+    def __init__(self, allocation: Allocation, data: np.ndarray) -> None:
+        self.allocation = allocation
+        self.data = data
+
+    @property
+    def name(self) -> str:
+        return self.allocation.name
+
+    @property
+    def itemsize(self) -> int:
+        return self.data.dtype.itemsize
+
+    def __len__(self) -> int:
+        return self.data.shape[0]
+
+    def addr(self, index: int = 0) -> int:
+        """Simulated byte address of element ``index`` (supports negatives)."""
+        n = self.data.size
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError(
+                f"index {index} out of range for {self.name!r} of size {n}"
+            )
+        return self.allocation.base + index * self.itemsize
+
+    def index_of(self, addr: int) -> int:
+        """Inverse of :meth:`addr` (element whose storage contains ``addr``)."""
+        off = addr - self.allocation.base
+        if not 0 <= off < self.data.size * self.itemsize:
+            raise IndexError(f"address {addr:#x} outside {self.name!r}")
+        return off // self.itemsize
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SharedArray({self.name!r}, base={self.allocation.base:#x}, "
+            f"shape={self.data.shape}, dtype={self.data.dtype})"
+        )
+
+
+class AddressSpace:
+    """Bump allocator over the simulated heap with reverse lookup.
+
+    Reverse lookup (:meth:`find`) lets ARCHER's shadow memory attach one
+    shadow table per allocation, which is both faster and closer to TSan's
+    region-based shadow mapping than a per-word dictionary.
+    """
+
+    def __init__(self, accountant: NodeMemory | None = None) -> None:
+        self._lock = threading.Lock()
+        self._next = HEAP_BASE
+        self._bases: list[int] = []
+        self._allocs: list[Allocation] = []
+        self.accountant = accountant
+
+    def alloc_array(
+        self,
+        name: str,
+        shape: int | tuple[int, ...],
+        dtype: np.dtype | type = np.float64,
+        *,
+        fill: float | int | None = 0,
+        sim_scale: int = 1,
+    ) -> SharedArray:
+        """Allocate a named shared array.
+
+        Args:
+            name: label used in race reports and debugging.
+            shape: NumPy shape (1-D sizes are the common case; accesses use
+                flat element indices).
+            dtype: element dtype; its itemsize becomes the access size.
+            fill: initial value, or ``None`` for uninitialised (``empty``).
+            sim_scale: multiplier applied to the accounted footprint.
+        """
+        if sim_scale < 1:
+            raise RuntimeModelError("sim_scale must be >= 1")
+        dtype = np.dtype(dtype)
+        if fill is None:
+            data = np.empty(shape, dtype=dtype)
+        else:
+            data = np.full(shape, fill, dtype=dtype)
+        nbytes = int(data.size) * dtype.itemsize
+        if nbytes == 0:
+            raise RuntimeModelError(f"allocation {name!r} has zero size")
+        sim_bytes = nbytes * sim_scale
+        with self._lock:
+            base = self._next
+            # Reserve the *simulated* extent so addresses never collide even
+            # when sim_scale inflates the footprint.
+            span = max(nbytes, sim_bytes)
+            self._next = _align_up(base + span, ALIGNMENT)
+            alloc = Allocation(base=base, nbytes=nbytes, sim_bytes=sim_bytes, name=name)
+            self._bases.append(base)
+            self._allocs.append(alloc)
+        if self.accountant is not None:
+            try:
+                self.accountant.charge(NodeMemory.APP, sim_bytes)
+            except Exception:
+                with self._lock:
+                    self._bases.pop()
+                    self._allocs.pop()
+                raise
+        return SharedArray(alloc, data)
+
+    def alloc_scalar(
+        self,
+        name: str,
+        dtype: np.dtype | type = np.float64,
+        *,
+        fill: float | int = 0,
+    ) -> SharedArray:
+        """Allocate a single shared scalar (an array of one element)."""
+        return self.alloc_array(name, 1, dtype, fill=fill)
+
+    def find(self, addr: int) -> Allocation | None:
+        """Return the allocation containing ``addr``, if any."""
+        with self._lock:
+            i = bisect.bisect_right(self._bases, addr) - 1
+            if i < 0:
+                return None
+            alloc = self._allocs[i]
+        return alloc if alloc.contains(addr) else None
+
+    def allocations(self) -> list[Allocation]:
+        with self._lock:
+            return list(self._allocs)
+
+    @property
+    def app_bytes(self) -> int:
+        """Total simulated application footprint."""
+        with self._lock:
+            return sum(a.sim_bytes for a in self._allocs)
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) // alignment * alignment

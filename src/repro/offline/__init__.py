@@ -1,0 +1,30 @@
+"""SWORD offline phase: concurrency recovery and interval-tree race analysis."""
+
+from .analyzer import (
+    AnalysisResult,
+    AnalysisStats,
+    OfflineAnalyzer,
+    analyze_trace,
+    check_node_pair,
+)
+from .intervals import IntervalData, IntervalInventory, IntervalKey
+from .oracle import oracle_races
+from .parallel import ParallelOfflineAnalyzer, default_workers
+from .report import RaceReport, RaceSet, make_report
+
+__all__ = [
+    "AnalysisResult",
+    "AnalysisStats",
+    "IntervalData",
+    "IntervalInventory",
+    "IntervalKey",
+    "OfflineAnalyzer",
+    "ParallelOfflineAnalyzer",
+    "RaceReport",
+    "RaceSet",
+    "analyze_trace",
+    "check_node_pair",
+    "default_workers",
+    "make_report",
+    "oracle_races",
+]

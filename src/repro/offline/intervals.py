@@ -1,0 +1,205 @@
+"""Interval inventory and concurrency planning for the offline phase.
+
+From the per-thread meta files the planner assembles one
+:class:`IntervalData` per (thread, region, barrier interval) and computes
+the set of interval pairs whose events may run concurrently — the only
+pairs the race checker compares.
+
+The pair computation avoids the naive O(I^2) label comparison by exploiting
+the structure of the judgment (:mod:`repro.osl.concurrency`):
+
+* **same region**: concurrent iff same ``bid``, different thread — pairs are
+  enumerated within each (pid, bid) group;
+* **different regions**: the verdict depends only on the two regions' fork
+  chains except when one region is an ancestor of the other, in which case
+  the ancestor's interval must sit at the exact fork position (same bid,
+  different slot).  Cross-region work therefore only exists when nested
+  parallelism is present, and is resolved per region *pair*, not per
+  interval pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Iterator
+
+from ..osl.concurrency import IntervalLabel
+from ..sword.reader import TraceDir
+
+
+@dataclass(frozen=True, slots=True)
+class IntervalKey:
+    """Identity of one thread's barrier interval."""
+
+    gid: int
+    pid: int
+    bid: int
+
+
+@dataclass(slots=True)
+class IntervalData:
+    """One interval's metadata: label, slot, and its log-file chunks."""
+
+    key: IntervalKey
+    slot: int
+    span: int
+    label: IntervalLabel
+    chunks: list[tuple[int, int]] = field(default_factory=list)  # (begin, size)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(size for _, size in self.chunks)
+
+
+class IntervalInventory:
+    """All intervals of a trace plus the concurrent-pair plan."""
+
+    def __init__(self, trace: TraceDir) -> None:
+        self.trace = trace
+        self.intervals: dict[IntervalKey, IntervalData] = {}
+        self._by_region: dict[int, list[IntervalData]] = {}
+        self._load()
+
+    def _load(self) -> None:
+        for gid in self.trace.thread_gids:
+            reader = self.trace.reader(gid)
+            try:
+                for row in reader.rows:
+                    key = IntervalKey(gid=gid, pid=row.pid, bid=row.bid)
+                    data = self.intervals.get(key)
+                    if data is None:
+                        data = IntervalData(
+                            key=key,
+                            slot=row.offset,
+                            span=row.span,
+                            label=self.trace.interval_label(
+                                row.pid, row.offset, row.bid
+                            ),
+                        )
+                        self.intervals[key] = data
+                        self._by_region.setdefault(row.pid, []).append(data)
+                    data.chunks.append((row.data_begin, row.size))
+            finally:
+                reader.close()
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+    def regions(self) -> list[int]:
+        return sorted(self._by_region)
+
+    def region_intervals(self, pid: int) -> list[IntervalData]:
+        return self._by_region.get(pid, [])
+
+    # -- concurrency planning ---------------------------------------------------
+
+    def task_intervals(self) -> set[tuple[int, int]]:
+        """Intervals containing explicit tasks (the tasking extension)."""
+        return {
+            (t.pid, t.bid) for t in self.trace.task_graph.tasks()
+        }
+
+    def concurrent_pairs(self) -> Iterator[tuple[IntervalData, IntervalData]]:
+        """Yield every pair of intervals that may execute concurrently.
+
+        Pairs between chunks of the *same* thread are never yielded (a
+        thread cannot race with itself) — except that an interval holding
+        explicit tasks is compared with *itself*: a deferred task is
+        concurrent with its executor's and creator's surrounding code, so
+        same-thread chunks can race through tasks (tasking extension).
+        """
+        tasky = self.task_intervals()
+        # Same-region pairs: group by (pid, bid), all cross-thread pairs.
+        for pid, intervals in self._by_region.items():
+            by_bid: dict[int, list[IntervalData]] = {}
+            for it in intervals:
+                by_bid.setdefault(it.key.bid, []).append(it)
+            for bid, group in by_bid.items():
+                if (pid, bid) in tasky:
+                    for a in group:
+                        yield a, a
+                for a, b in combinations(group, 2):
+                    if a.key.gid != b.key.gid:
+                        yield a, b
+
+        # Cross-region pairs exist only with nested parallelism.
+        nested = [
+            pid for pid in self._by_region if self.trace.regions[pid]["ppid"] > 0
+        ]
+        if not nested:
+            return
+        pids = sorted(self._by_region)
+        chains = {pid: self._chain(pid) for pid in pids}
+        for i, pid_a in enumerate(pids):
+            for pid_b in pids[i + 1 :]:
+                yield from self._cross_region_pairs(
+                    pid_a, pid_b, chains[pid_a], chains[pid_b]
+                )
+
+    def _chain(self, pid: int) -> IntervalLabel:
+        """Ancestor fork chain of a region including its own leaf marker.
+
+        Reuses the trace's label reconstruction with a placeholder leaf
+        (slot 0, bid 0); only the ancestor pairs matter for planning.
+        """
+        return self.trace.interval_label(pid, 0, 0)
+
+    def _cross_region_pairs(
+        self,
+        pid_a: int,
+        pid_b: int,
+        chain_a: IntervalLabel,
+        chain_b: IntervalLabel,
+    ) -> Iterator[tuple[IntervalData, IntervalData]]:
+        """Concurrent pairs between two distinct regions.
+
+        Walk the fork chains to the first divergence:
+
+        * divergence within both ancestor chains -> the verdict is uniform
+          over all interval pairs (concurrent iff same region, same bid,
+          different slot at the divergence level);
+        * one chain is a prefix of the other up to its leaf -> the shorter
+          region is an ancestor: only its intervals sitting *at the fork
+          position's bid* with a *different slot* than the forking thread
+          run concurrently with the descendant.
+        """
+        # Compare ancestor parts (exclude each chain's placeholder leaf).
+        anc_a = chain_a[:-1]
+        anc_b = chain_b[:-1]
+        n = min(len(anc_a), len(anc_b))
+        for lvl in range(n):
+            pa, pb = anc_a[lvl], anc_b[lvl]
+            if pa == pb:
+                continue
+            if pa.region != pb.region or pa.slot == pb.slot or pa.bid != pb.bid:
+                return  # sequential for every interval pair
+            # Uniformly concurrent: nested regions forked by different
+            # teammates inside one barrier interval (paper's R2/R3).
+            for a in self._by_region[pid_a]:
+                for b in self._by_region[pid_b]:
+                    if a.key.gid != b.key.gid:
+                        yield a, b
+            return
+        # No divergence in the common ancestor prefix: ancestor/descendant.
+        if len(anc_a) == len(anc_b):
+            # Sibling regions forked from the same position by the same
+            # thread -> serialised.
+            return
+        if len(anc_a) < len(anc_b):
+            ancestor_pid, descendant_pid = pid_a, pid_b
+            fork = anc_b[len(anc_a)]
+        else:
+            ancestor_pid, descendant_pid = pid_b, pid_a
+            fork = anc_a[len(anc_b)]
+        if fork.region != ancestor_pid:
+            # The descendant's lineage passes through a *different* region at
+            # this depth; its fork chain diverged from the ancestor region
+            # entirely -> sequential.
+            return
+        for a in self._by_region[ancestor_pid]:
+            if a.key.bid != fork.bid or a.slot == fork.slot:
+                continue  # barrier-separated, or the forking thread itself
+            for b in self._by_region[descendant_pid]:
+                if a.key.gid != b.key.gid:
+                    yield a, b

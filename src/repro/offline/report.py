@@ -1,0 +1,112 @@
+"""Race reports and their deduplication.
+
+Like the real tools, races are *counted* by distinct source-location pairs
+(program-counter pairs), not by dynamic occurrence: one racy line pair in a
+loop is one reported race no matter how many iterations trip it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..common.sourceloc import GLOBAL_PCS
+
+
+@dataclass(frozen=True, slots=True)
+class RaceReport:
+    """One detected data race between two access sites.
+
+    ``pc_a``/``pc_b`` are normalised so ``pc_a <= pc_b`` (the dedup key);
+    the remaining fields describe the first witnessing occurrence.
+    """
+
+    pc_a: int
+    pc_b: int
+    address: int
+    write_a: bool
+    write_b: bool
+    gid_a: int
+    gid_b: int
+    pid_a: int
+    pid_b: int
+    bid_a: int
+    bid_b: int
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.pc_a, self.pc_b)
+
+    def describe(self) -> str:
+        """Human-readable one-liner with resolved source locations."""
+        loc_a = GLOBAL_PCS.loc(self.pc_a)
+        loc_b = GLOBAL_PCS.loc(self.pc_b)
+        op_a = "write" if self.write_a else "read"
+        op_b = "write" if self.write_b else "read"
+        return (
+            f"data race at {self.address:#x}: {op_a} {loc_a} "
+            f"(thread {self.gid_a}, region {self.pid_a}) <-> {op_b} {loc_b} "
+            f"(thread {self.gid_b}, region {self.pid_b})"
+        )
+
+
+def make_report(
+    *,
+    pc_a: int,
+    pc_b: int,
+    address: int,
+    write_a: bool,
+    write_b: bool,
+    gid_a: int,
+    gid_b: int,
+    pid_a: int = 0,
+    pid_b: int = 0,
+    bid_a: int = 0,
+    bid_b: int = 0,
+) -> RaceReport:
+    """Construct a report with the pc pair normalised."""
+    if pc_a <= pc_b:
+        return RaceReport(
+            pc_a, pc_b, address, write_a, write_b,
+            gid_a, gid_b, pid_a, pid_b, bid_a, bid_b,
+        )
+    return RaceReport(
+        pc_b, pc_a, address, write_b, write_a,
+        gid_b, gid_a, pid_b, pid_a, bid_b, bid_a,
+    )
+
+
+@dataclass
+class RaceSet:
+    """Deduplicated collection of race reports (insertion-ordered)."""
+
+    _by_key: dict[tuple[int, int], RaceReport] = field(default_factory=dict)
+
+    def add(self, report: RaceReport) -> bool:
+        """Insert; returns True when the pc pair is new."""
+        if report.key in self._by_key:
+            return False
+        self._by_key[report.key] = report
+        return True
+
+    def update(self, reports: Iterable[RaceReport]) -> None:
+        for r in reports:
+            self.add(r)
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __iter__(self) -> Iterator[RaceReport]:
+        return iter(self._by_key.values())
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._by_key
+
+    def reports(self) -> list[RaceReport]:
+        return list(self._by_key.values())
+
+    def pc_pairs(self) -> set[tuple[int, int]]:
+        return set(self._by_key)
+
+    def describe_all(self) -> str:
+        return "\n".join(r.describe() for r in self)

@@ -1,0 +1,61 @@
+"""Plain-text race report files (what a tool run leaves behind).
+
+Real SWORD writes its offline results as report files next to the logs;
+this module renders an :class:`~repro.offline.analyzer.AnalysisResult` the
+same way: a header with the analysis statistics, then one block per race
+with both access sites resolved to source locations.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..common.sourceloc import GLOBAL_PCS
+from .analyzer import AnalysisResult
+
+REPORT_NAME = "races.txt"
+
+
+def render_report(result: AnalysisResult, *, title: str = "SWORD race report") -> str:
+    """Render one analysis result as a report document."""
+    stats = result.stats
+    lines = [
+        title,
+        "=" * len(title),
+        "",
+        f"intervals analysed:        {stats.intervals}",
+        f"concurrent interval pairs: {stats.concurrent_pairs}",
+        f"interval trees built:      {stats.trees_built} "
+        f"({stats.tree_nodes} nodes from {stats.events_read} events)",
+        f"overlap candidates:        {stats.overlap_candidates} "
+        f"({stats.ilp_solves} constraint solves)",
+        f"analysis time:             {stats.total_seconds:.3f} s "
+        f"(plan {stats.plan_seconds:.3f} / build {stats.build_seconds:.3f} "
+        f"/ compare {stats.compare_seconds:.3f})",
+        "",
+        f"data races: {len(result.races)}",
+    ]
+    for i, race in enumerate(result.races, start=1):
+        loc_a = GLOBAL_PCS.loc(race.pc_a)
+        loc_b = GLOBAL_PCS.loc(race.pc_b)
+        op_a = "write" if race.write_a else "read"
+        op_b = "write" if race.write_b else "read"
+        lines += [
+            "",
+            f"race #{i}: address {race.address:#x}",
+            f"  {op_a:5s} at {loc_a} "
+            f"(thread {race.gid_a}, region {race.pid_a}, interval {race.bid_a})",
+            f"  {op_b:5s} at {loc_b} "
+            f"(thread {race.gid_b}, region {race.pid_b}, interval {race.bid_b})",
+        ]
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(
+    result: AnalysisResult, directory: str | Path, *, title: str = "SWORD race report"
+) -> Path:
+    """Write the report into a trace/output directory; returns its path."""
+    path = Path(directory) / REPORT_NAME
+    path.write_text(render_report(result, title=title))
+    return path

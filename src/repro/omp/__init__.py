@@ -1,0 +1,36 @@
+"""Simulated OpenMP runtime: the substrate under both race detectors."""
+
+from .context import MasterContext, ThreadContext
+from .mutexset import EMPTY_MSID, MutexSetTable
+from .ompt import OmptTool, ToolMux
+from .recording import RecordingTool, TapeEntry
+from .runtime import (
+    OpenMPRuntime,
+    ParallelRegion,
+    SimLock,
+    SimThread,
+    TaskFrame,
+    Team,
+    WorkShare,
+)
+from .scheduler import Scheduler, ThreadHandle
+
+__all__ = [
+    "EMPTY_MSID",
+    "MasterContext",
+    "MutexSetTable",
+    "OmptTool",
+    "OpenMPRuntime",
+    "ParallelRegion",
+    "RecordingTool",
+    "Scheduler",
+    "SimLock",
+    "SimThread",
+    "TapeEntry",
+    "TaskFrame",
+    "Team",
+    "ThreadContext",
+    "ThreadHandle",
+    "ToolMux",
+    "WorkShare",
+]

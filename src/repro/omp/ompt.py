@@ -1,0 +1,172 @@
+"""OMPT-style tool interface of the simulated OpenMP runtime.
+
+Real SWORD attaches to the OpenMP runtime through OMPT callbacks (thread
+begin/end, parallel begin/end, implicit tasks, synchronisation) plus compiler
+instrumentation for loads/stores.  This module is the equivalent seam in the
+simulator: a tool subclasses :class:`OmptTool` and receives the same stream
+of structural events and memory accesses.  The SWORD online logger, the
+ARCHER baseline, and the test oracles are all just tools.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from ..common.events import Access
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .runtime import OpenMPRuntime, ParallelRegion, SimThread
+
+
+class OmptTool:
+    """Base tool: every callback defaults to a no-op.
+
+    Callback ordering guarantees (enforced by the runtime):
+
+    * ``on_parallel_begin`` fires on the encountering thread before any team
+      member runs; ``on_parallel_end`` fires on the master after every member
+      has retired from the region.
+    * ``on_implicit_task_begin``/``end`` bracket one member's participation.
+    * ``on_barrier_arrive`` fires for every member before any member's
+      ``on_barrier_depart`` for that barrier (all-to-all ordering).
+    * ``on_access`` fires only for accesses inside parallel regions —
+      sequential code is not instrumented, mirroring the paper ("we ignore
+      sequential instructions as they cannot race").
+    """
+
+    def on_run_begin(self, runtime: "OpenMPRuntime") -> None:
+        """The run is starting; the initial thread exists but has not run."""
+
+    def on_run_end(self, runtime: "OpenMPRuntime") -> None:
+        """The program finished normally (not called after an abort)."""
+
+    def on_thread_begin(self, thread: "SimThread") -> None:
+        """A runtime worker thread came into existence."""
+
+    def on_thread_end(self, thread: "SimThread") -> None:
+        """A runtime worker thread retired for good."""
+
+    def on_parallel_begin(self, region: "ParallelRegion") -> None:
+        """A parallel region is being forked (encountering thread context)."""
+
+    def on_parallel_end(self, region: "ParallelRegion") -> None:
+        """The region joined; the master thread resumes its parent context."""
+
+    def on_implicit_task_begin(
+        self, thread: "SimThread", region: "ParallelRegion", slot: int
+    ) -> None:
+        """``thread`` starts executing the region body as team member ``slot``."""
+
+    def on_implicit_task_end(
+        self, thread: "SimThread", region: "ParallelRegion", slot: int
+    ) -> None:
+        """``thread`` finished the region body (after the implicit barrier)."""
+
+    def on_barrier_arrive(
+        self, thread: "SimThread", region: "ParallelRegion", bid: int
+    ) -> None:
+        """``thread`` arrived at the barrier ending interval ``bid``."""
+
+    def on_barrier_depart(
+        self, thread: "SimThread", region: "ParallelRegion", new_bid: int
+    ) -> None:
+        """``thread`` left the barrier; its interval is now ``new_bid``."""
+
+    def on_mutex_acquired(self, thread: "SimThread", mutex_id: int) -> None:
+        """``thread`` now holds ``mutex_id`` (lock or named critical)."""
+
+    def on_mutex_released(self, thread: "SimThread", mutex_id: int) -> None:
+        """``thread`` released ``mutex_id``."""
+
+    def on_access(self, thread: "SimThread", access: Access) -> None:
+        """Instrumented (parallel-context) memory access."""
+
+    # -- tasking extension callbacks ----------------------------------------
+
+    def on_task_create(self, thread: "SimThread", task) -> None:
+        """``thread`` deferred explicit task ``task`` (a TaskObj)."""
+
+    def on_task_begin(self, thread: "SimThread", task) -> None:
+        """``thread`` starts executing deferred task ``task``."""
+
+    def on_task_end(self, thread: "SimThread", task) -> None:
+        """``thread`` finished executing ``task``."""
+
+    def on_taskwait(self, thread: "SimThread", waited: list, new_seq: int) -> None:
+        """``thread``'s taskwait completed; ``waited`` tasks are now ordered
+        before the waiting entity's points at ``seq >= new_seq``."""
+
+
+class ToolMux(OmptTool):
+    """Fan one callback stream out to several tools (fixed order)."""
+
+    def __init__(self, tools: Iterable[OmptTool]) -> None:
+        self.tools = list(tools)
+
+    def on_run_begin(self, runtime):  # noqa: D102 - delegation
+        for t in self.tools:
+            t.on_run_begin(runtime)
+
+    def on_run_end(self, runtime):  # noqa: D102
+        for t in self.tools:
+            t.on_run_end(runtime)
+
+    def on_thread_begin(self, thread):  # noqa: D102
+        for t in self.tools:
+            t.on_thread_begin(thread)
+
+    def on_thread_end(self, thread):  # noqa: D102
+        for t in self.tools:
+            t.on_thread_end(thread)
+
+    def on_parallel_begin(self, region):  # noqa: D102
+        for t in self.tools:
+            t.on_parallel_begin(region)
+
+    def on_parallel_end(self, region):  # noqa: D102
+        for t in self.tools:
+            t.on_parallel_end(region)
+
+    def on_implicit_task_begin(self, thread, region, slot):  # noqa: D102
+        for t in self.tools:
+            t.on_implicit_task_begin(thread, region, slot)
+
+    def on_implicit_task_end(self, thread, region, slot):  # noqa: D102
+        for t in self.tools:
+            t.on_implicit_task_end(thread, region, slot)
+
+    def on_barrier_arrive(self, thread, region, bid):  # noqa: D102
+        for t in self.tools:
+            t.on_barrier_arrive(thread, region, bid)
+
+    def on_barrier_depart(self, thread, region, new_bid):  # noqa: D102
+        for t in self.tools:
+            t.on_barrier_depart(thread, region, new_bid)
+
+    def on_mutex_acquired(self, thread, mutex_id):  # noqa: D102
+        for t in self.tools:
+            t.on_mutex_acquired(thread, mutex_id)
+
+    def on_mutex_released(self, thread, mutex_id):  # noqa: D102
+        for t in self.tools:
+            t.on_mutex_released(thread, mutex_id)
+
+    def on_access(self, thread, access):  # noqa: D102
+        for t in self.tools:
+            t.on_access(thread, access)
+
+    def on_task_create(self, thread, task):  # noqa: D102
+        for t in self.tools:
+            t.on_task_create(thread, task)
+
+    def on_task_begin(self, thread, task):  # noqa: D102
+        for t in self.tools:
+            t.on_task_begin(thread, task)
+
+    def on_task_end(self, thread, task):  # noqa: D102
+        for t in self.tools:
+            t.on_task_end(thread, task)
+
+    def on_taskwait(self, thread, waited, new_seq):  # noqa: D102
+        for t in self.tools:
+            t.on_taskwait(thread, waited, new_seq)

@@ -1,0 +1,156 @@
+"""A recording OMPT tool: the flat, globally ordered event tape.
+
+Used by tests (brute-force race oracle), by the operational-semantics replay
+(:mod:`repro.semantics`), and by the harness when it needs ground truth about
+an execution.  Every callback is appended to one list with a global sequence
+number — legal because the cooperative scheduler runs one thread at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..common.events import Access
+from .ompt import OmptTool
+
+
+@dataclass(frozen=True, slots=True)
+class TapeEntry:
+    """One globally ordered runtime event.
+
+    ``kind`` is one of ``thread_begin, thread_end, parallel_begin,
+    parallel_end, task_begin, task_end, barrier_arrive, barrier_depart,
+    mutex_acquired, mutex_released, access``.
+    """
+
+    seq: int
+    kind: str
+    gid: int                 # acting thread (-1 for region-scoped events)
+    region: int              # pid of the relevant region (0 if none)
+    slot: int                # team slot of the acting thread (-1 if n/a)
+    bid: int                 # barrier interval (-1 if n/a)
+    level: int               # nesting level of the acting thread
+    mutex: int               # mutex id for mutex events (0 otherwise)
+    access: Optional[Access] # populated for access events
+    chain: tuple             # thread's interval label at event time
+
+
+class RecordingTool(OmptTool):
+    """Record every callback with full structural context."""
+
+    def __init__(self) -> None:
+        from ..tasking.graph import TaskGraph
+
+        self.tape: list[TapeEntry] = []
+        self.regions: dict[int, Any] = {}
+        self.task_graph = TaskGraph()
+
+    def _entry(
+        self,
+        kind: str,
+        thread=None,
+        region=None,
+        *,
+        bid: int = -1,
+        mutex: int = 0,
+        access: Optional[Access] = None,
+    ) -> None:
+        gid = thread.gid if thread is not None else -1
+        slot = -1
+        level = 0
+        chain: tuple = ()
+        if thread is not None:
+            level = thread.level
+            chain = thread.interval_chain()
+            if thread.frames:
+                slot = thread.frames[-1].slot
+                if bid < 0:
+                    bid = thread.frames[-1].bid
+        pid = region.pid if region is not None else (
+            thread.frames[-1].team.region.pid
+            if thread is not None and thread.frames
+            else 0
+        )
+        self.tape.append(
+            TapeEntry(
+                seq=len(self.tape),
+                kind=kind,
+                gid=gid,
+                region=pid,
+                slot=slot,
+                bid=bid,
+                level=level,
+                mutex=mutex,
+                access=access,
+                chain=chain,
+            )
+        )
+
+    # -- callbacks ---------------------------------------------------------
+
+    def on_thread_begin(self, thread):  # noqa: D102
+        self._entry("thread_begin", thread)
+
+    def on_thread_end(self, thread):  # noqa: D102
+        self._entry("thread_end", thread)
+
+    def on_parallel_begin(self, region):  # noqa: D102
+        self.regions[region.pid] = region
+        self._entry("parallel_begin", None, region)
+
+    def on_parallel_end(self, region):  # noqa: D102
+        self._entry("parallel_end", None, region)
+
+    def on_implicit_task_begin(self, thread, region, slot):  # noqa: D102
+        self._entry("task_begin", thread, region)
+
+    def on_implicit_task_end(self, thread, region, slot):  # noqa: D102
+        self._entry("task_end", thread, region)
+
+    def on_barrier_arrive(self, thread, region, bid):  # noqa: D102
+        self._entry("barrier_arrive", thread, region, bid=bid)
+
+    def on_barrier_depart(self, thread, region, new_bid):  # noqa: D102
+        self._entry("barrier_depart", thread, region, bid=new_bid)
+
+    def on_mutex_acquired(self, thread, mutex_id):  # noqa: D102
+        self._entry("mutex_acquired", thread, mutex=mutex_id)
+
+    def on_mutex_released(self, thread, mutex_id):  # noqa: D102
+        self._entry("mutex_released", thread, mutex=mutex_id)
+
+    def on_access(self, thread, access):  # noqa: D102
+        self._entry("access", thread, access=access)
+
+    def on_task_create(self, thread, task):  # noqa: D102
+        from ..tasking.graph import TaskInfo
+
+        self.task_graph.add(
+            TaskInfo(
+                task_id=task.task_id,
+                creator=task.creator_entity,
+                creator_gid=task.creator_gid,
+                pid=task.pid,
+                bid=task.bid,
+                create_seq=task.create_seq,
+            )
+        )
+        self._entry("task_create", thread, mutex=task.task_id)
+
+    def on_task_begin(self, thread, task):  # noqa: D102
+        self._entry("task_begin_exec", thread, mutex=task.task_id)
+
+    def on_task_end(self, thread, task):  # noqa: D102
+        self._entry("task_end_exec", thread, mutex=task.task_id)
+
+    def on_taskwait(self, thread, waited, new_seq):  # noqa: D102
+        for task in waited:
+            self.task_graph.set_wait(task.task_id, new_seq)
+        self._entry("taskwait", thread, mutex=new_seq)
+
+    # -- convenience --------------------------------------------------------
+
+    def accesses(self) -> list[TapeEntry]:
+        """All access entries in global order."""
+        return [e for e in self.tape if e.kind == "access"]

@@ -1,0 +1,262 @@
+"""Cooperative scheduler for the simulated OpenMP runtime.
+
+Model threads are real Python threads, but exactly **one** runs at a time:
+control is handed over explicitly at *switch points* (synchronisation
+operations and optional periodic yields).  This gives the runtime full,
+seed-deterministic control over the interleaving — which is what lets the
+experiments reproduce schedule-dependent effects such as the Figure-1
+happens-before race masking — while letting model programs be written as
+ordinary imperative code with blocking barriers and locks.
+
+The design is classic baton passing: each thread owns a private
+:class:`threading.Event`; a thread giving up control picks the next runnable
+thread under the scheduler lock, sets that thread's event, and waits on its
+own.  Because only the baton holder ever mutates shared runtime state, the
+runtime internals need no further locking.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Callable, Optional
+
+from ..common.config import SchedulerConfig
+from ..common.errors import DeadlockError
+
+# Thread lifecycle states.
+CREATED = "created"
+RUNNABLE = "runnable"
+RUNNING = "running"
+BLOCKED = "blocked"
+IDLE = "idle"  # pool worker parked between team assignments
+DONE = "done"
+
+
+class AbortRun(BaseException):
+    """Internal unwind signal: the run failed elsewhere; exit quietly.
+
+    Derives from ``BaseException`` so model-program ``except Exception``
+    handlers cannot swallow it.
+    """
+
+
+class ThreadHandle:
+    """Scheduler-facing identity of one simulated thread."""
+
+    __slots__ = ("gid", "name", "state", "event", "py_thread")
+
+    def __init__(self, gid: int, name: str) -> None:
+        self.gid = gid
+        self.name = name
+        self.state = CREATED
+        self.event = threading.Event()
+        self.py_thread: Optional[threading.Thread] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ThreadHandle {self.name} gid={self.gid} {self.state}>"
+
+
+class Scheduler:
+    """Seed-deterministic cooperative scheduler.
+
+    Policies:
+        ``random``: at every switch point, pick uniformly among runnable
+        threads using the configured seed.
+        ``round-robin``: cycle through runnable threads by gid.
+    """
+
+    def __init__(self, config: SchedulerConfig) -> None:
+        config.validate()
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._lock = threading.Lock()
+        self._handles: list[ThreadHandle] = []
+        self._last_gid = -1
+        self.aborting = False
+        self.failure: Optional[BaseException] = None
+        self.completed = threading.Event()
+        self._live = 0  # threads not DONE
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, handle: ThreadHandle) -> None:
+        """Add a thread in CREATED state; it runs only once made runnable."""
+        with self._lock:
+            self._handles.append(handle)
+            self._live += 1
+
+    def make_runnable(self, handle: ThreadHandle) -> None:
+        """CREATED/IDLE/BLOCKED -> RUNNABLE (does not transfer the baton)."""
+        with self._lock:
+            if handle.state in (DONE, RUNNING):
+                raise RuntimeError(
+                    f"cannot make {handle!r} runnable from state {handle.state}"
+                )
+            handle.state = RUNNABLE
+
+    # -- baton passing -----------------------------------------------------
+
+    def start_initial(self, handle: ThreadHandle) -> None:
+        """Hand the baton to the very first thread of the run."""
+        with self._lock:
+            handle.state = RUNNING
+        handle.event.set()
+
+    def switch(self, me: ThreadHandle, *, block: bool = False) -> None:
+        """Give up the baton.
+
+        With ``block=True`` the caller must have arranged for somebody to
+        call :meth:`make_runnable` on it later (barrier release, lock
+        release, team join); with ``block=False`` the caller stays runnable
+        and may be re-picked immediately.
+        """
+        with self._lock:
+            me.state = BLOCKED if block else RUNNABLE
+            nxt = self._pick_locked()
+            if nxt is None:
+                self._no_runnable_locked(me)
+                # _no_runnable_locked either raised or aborted; if aborted we
+                # fall through to wait and promptly raise AbortRun below.
+            elif nxt is me:
+                me.state = RUNNING
+                return
+            else:
+                nxt.state = RUNNING
+                nxt.event.set()
+        me.event.wait()
+        me.event.clear()
+        if self.aborting:
+            raise AbortRun()
+
+    def park_idle(self, me: ThreadHandle) -> None:
+        """Pool worker finished its assignment: hand off and wait for work.
+
+        Returns when the worker has been assigned again (made runnable and
+        scheduled) or raises :class:`AbortRun` on teardown.
+        """
+        with self._lock:
+            me.state = IDLE
+            nxt = self._pick_locked()
+            if nxt is None:
+                self._no_runnable_locked(me)
+            else:
+                nxt.state = RUNNING
+                nxt.event.set()
+        me.event.wait()
+        me.event.clear()
+        if self.aborting:
+            raise AbortRun()
+
+    def finish(self, me: ThreadHandle) -> None:
+        """The calling thread is done for good; pass the baton on."""
+        with self._lock:
+            if me.state != DONE:
+                me.state = DONE
+                self._live -= 1
+            nxt = self._pick_locked()
+            if nxt is not None:
+                nxt.state = RUNNING
+                nxt.event.set()
+            elif self._live == 0 or self.aborting or self._only_idle_locked():
+                # Idle pool workers do not block completion: the run driver
+                # shuts them down after the program finishes.
+                self.completed.set()
+            else:
+                self._begin_abort_locked(
+                    DeadlockError(
+                        "no runnable thread remains; blocked threads: "
+                        + ", ".join(
+                            h.name for h in self._handles if h.state == BLOCKED
+                        )
+                    )
+                )
+
+    def fail(self, exc: BaseException) -> None:
+        """Record a failure and abort every other thread."""
+        with self._lock:
+            self._begin_abort_locked(exc)
+
+    def request_shutdown(self) -> None:
+        """Wake idle pool workers for teardown at the end of a run."""
+        with self._lock:
+            self.aborting = True
+            for h in self._handles:
+                if h.state not in (DONE,):
+                    h.event.set()
+
+    # -- internals ----------------------------------------------------------
+
+    def _begin_abort_locked(self, exc: BaseException) -> None:
+        if self.failure is None:
+            self.failure = exc
+        self.aborting = True
+        for h in self._handles:
+            if h.state not in (DONE, RUNNING):
+                h.event.set()
+        self.completed.set()
+
+    def _only_idle_locked(self) -> bool:
+        return all(h.state in (DONE, IDLE) for h in self._handles)
+
+    def _no_runnable_locked(self, me: ThreadHandle) -> None:
+        """Called with the lock held when no thread can be picked."""
+        if self.aborting:
+            return
+        live_blocked = [
+            h for h in self._handles if h.state in (BLOCKED,) and h is not me
+        ]
+        if me.state == BLOCKED:
+            live_blocked.append(me)
+        self._begin_abort_locked(
+            DeadlockError(
+                "deadlock: all live threads are blocked: "
+                + ", ".join(h.name for h in live_blocked)
+            )
+        )
+
+    def _pick_locked(self) -> Optional[ThreadHandle]:
+        runnable = [h for h in self._handles if h.state == RUNNABLE]
+        if not runnable:
+            return None
+        if self.config.policy == "round-robin":
+            runnable.sort(key=lambda h: h.gid)
+            for h in runnable:
+                if h.gid > self._last_gid:
+                    self._last_gid = h.gid
+                    return h
+            chosen = runnable[0]
+            self._last_gid = chosen.gid
+            return chosen
+        chosen = self._rng.choice(sorted(runnable, key=lambda h: h.gid))
+        self._last_gid = chosen.gid
+        return chosen
+
+
+def spawn_thread(
+    scheduler: Scheduler, handle: ThreadHandle, main: Callable[[], None]
+) -> None:
+    """Start the Python thread backing ``handle``.
+
+    The thread waits for its first baton handoff, runs ``main``, reports any
+    failure to the scheduler, and retires.
+    """
+
+    def _runner() -> None:
+        handle.event.wait()
+        handle.event.clear()
+        if scheduler.aborting:
+            scheduler.finish(handle)
+            return
+        try:
+            main()
+        except AbortRun:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - must capture all
+            scheduler.fail(exc)
+        finally:
+            scheduler.finish(handle)
+
+    t = threading.Thread(target=_runner, name=handle.name, daemon=True)
+    handle.py_thread = t
+    t.start()

@@ -1,0 +1,43 @@
+"""Offset-span labels and the barrier-interval concurrency judgment."""
+
+from .labels import (
+    Label,
+    OSPair,
+    after_barrier,
+    after_join,
+    concurrent_classic,
+    fork,
+    format_label,
+    initial_label,
+    is_prefix,
+    parse_label,
+    sequential_classic,
+)
+from .concurrency import (
+    IntervalLabel,
+    IntervalPair,
+    concurrent_intervals,
+    make_interval_label,
+    sequential_intervals,
+    to_classic,
+)
+
+__all__ = [
+    "IntervalLabel",
+    "IntervalPair",
+    "Label",
+    "OSPair",
+    "after_barrier",
+    "after_join",
+    "concurrent_classic",
+    "concurrent_intervals",
+    "fork",
+    "format_label",
+    "initial_label",
+    "is_prefix",
+    "make_interval_label",
+    "parse_label",
+    "sequential_classic",
+    "sequential_intervals",
+    "to_classic",
+]

@@ -1,0 +1,143 @@
+"""Offset-span labels (Mellor-Crummey) for OpenMP concurrency structure.
+
+An offset-span label tags an execution point with its lineage through forks
+and joins: a sequence of ``[offset, span]`` pairs, where ``span`` is the
+number of threads created by the fork a pair originates from and ``offset``
+distinguishes siblings.  The paper (§II) uses labels over
+``OSL = (N x N)*`` and classifies two labels as *sequential* when
+
+* **case 1**: one label is a prefix of the other
+  (``osl1 = P`` and ``osl2 = P.S``), or
+* **case 2**: they share a prefix ``P`` followed by pairs ``[o_x, s]`` and
+  ``[o_y, s]`` with ``o_x < o_y`` and ``o_x ≡ o_y (mod s)``,
+
+and as *concurrent* otherwise.  Joins and barriers advance a pair's offset by
+its span, which is what makes the case-2 congruence identify "the same
+thread slot, later phase".
+
+SWORD's offline analysis works on *barrier-interval labels* — see
+:mod:`repro.osl.concurrency` — where each level keeps the thread slot and the
+barrier-interval index separate (they are the ``offset``/``span`` plus
+``bid`` columns of the Table-I meta-data rows).  This module provides the
+classic label algebra; the interval judgment builds on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class OSPair:
+    """One ``[offset, span]`` pair of an offset-span label."""
+
+    offset: int
+    span: int
+
+    def __post_init__(self) -> None:
+        if self.span <= 0:
+            raise ValueError("span must be positive")
+        if self.offset < 0:
+            raise ValueError("offset must be non-negative")
+
+    @property
+    def slot(self) -> int:
+        """The thread slot this pair denotes (offset modulo span)."""
+        return self.offset % self.span
+
+    @property
+    def phase(self) -> int:
+        """How many joins/barriers have advanced this pair (offset // span)."""
+        return self.offset // self.span
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"[{self.offset},{self.span}]"
+
+
+Label = Tuple[OSPair, ...]
+
+
+def initial_label() -> Label:
+    """Label of the initial (master) thread: ``[0, 1]``."""
+    return (OSPair(0, 1),)
+
+
+def fork(parent: Label, child_index: int, span: int) -> Label:
+    """Label of child ``child_index`` of an ``span``-way fork of ``parent``."""
+    if not 0 <= child_index < span:
+        raise ValueError(f"child index {child_index} not in [0, {span})")
+    return parent + (OSPair(child_index, span),)
+
+
+def after_join(parent: Label) -> Label:
+    """Parent label after its children joined: last offset advances by span.
+
+    Mellor-Crummey's join rule; it makes every pre-join child label
+    sequential with the continuation via the case-2 congruence.
+    """
+    if not parent:
+        raise ValueError("cannot join an empty label")
+    last = parent[-1]
+    return parent[:-1] + (OSPair(last.offset + last.span, last.span),)
+
+
+def after_barrier(label: Label) -> Label:
+    """Thread label after a team barrier: last offset advances by span."""
+    if not label:
+        raise ValueError("cannot barrier an empty label")
+    last = label[-1]
+    return label[:-1] + (OSPair(last.offset + last.span, last.span),)
+
+
+def parse_label(text: str) -> Label:
+    """Parse ``"[0,1][0,2][1,2]"`` into a label (tests / CLI convenience)."""
+    pairs = []
+    stripped = text.replace(" ", "")
+    if stripped:
+        if not (stripped.startswith("[") and stripped.endswith("]")):
+            raise ValueError(f"malformed label {text!r}")
+        for chunk in stripped[1:-1].split("]["):
+            o, s = chunk.split(",")
+            pairs.append(OSPair(int(o), int(s)))
+    return tuple(pairs)
+
+
+def format_label(label: Iterable[OSPair]) -> str:
+    """Inverse of :func:`parse_label`."""
+    return "".join(str(p) for p in label)
+
+
+def is_prefix(shorter: Label, longer: Label) -> bool:
+    """True when ``shorter`` is a proper prefix of ``longer``."""
+    return len(shorter) < len(longer) and longer[: len(shorter)] == shorter
+
+
+def sequential_classic(osl1: Label, osl2: Label) -> bool:
+    """The paper's §II judgment: are the two labels ordered (non-concurrent)?
+
+    Returns True when case 1 or case 2 applies in either direction.  Equal
+    labels denote the same execution point and are trivially sequential.
+    """
+    if osl1 == osl2:
+        return True
+    # Case 1: prefix relation (fork lineage orders ancestor around child).
+    if is_prefix(osl1, osl2) or is_prefix(osl2, osl1):
+        return True
+    # Case 2: common prefix, then same-span pairs whose offsets are congruent
+    # modulo the span (same thread slot, different phase).
+    n = min(len(osl1), len(osl2))
+    for i in range(n):
+        a, b = osl1[i], osl2[i]
+        if a == b:
+            continue
+        if a.span != b.span:
+            return False
+        return a.offset % a.span == b.offset % b.span
+    # One exhausted without divergence -> prefix, handled above.
+    return False
+
+
+def concurrent_classic(osl1: Label, osl2: Label) -> bool:
+    """Negation of :func:`sequential_classic` (the paper's phrasing)."""
+    return not sequential_classic(osl1, osl2)

@@ -1,0 +1,5 @@
+"""Executable operational semantics of OpenMP concurrency structure."""
+
+from .model import SemAccess, SemanticsReplay, SemFrame, SemRegion, SemThread
+
+__all__ = ["SemAccess", "SemanticsReplay", "SemFrame", "SemRegion", "SemThread"]

@@ -1,0 +1,299 @@
+"""Operational semantics of OpenMP concurrency structure (paper §I/§II).
+
+SWORD "builds on an operational semantics that formally captures the notion
+of concurrent accesses within OpenMP regions" and its offline analysis is
+"driven by these semantic rules".  This module is that semantics made
+executable: a small-step state machine over the structural event alphabet
+
+    parallel_begin(pid) . task_begin(gid, pid, slot) . barrier_arrive .
+    barrier_depart . task_end . parallel_end . access . mutex ops
+
+which reconstructs — *independently of the runtime's own bookkeeping* —
+the region tree, every thread's barrier-interval position, and the classic
+Mellor-Crummey offset-span label (fork appends ``[slot, span]``; barriers
+and joins advance an offset by its span).
+
+The replay validates the structural well-formedness rules as it goes
+(threads only barrier inside regions, all arrivals precede any departure of
+a barrier instance, nesting is properly bracketed) and emits, per access,
+the interval label used by the concurrency judgment.  Tests replay
+recorded executions and assert that the semantics' reconstruction matches
+both the runtime's view and the trace-metadata reconstruction — the
+"faithful realization of our semantics" claim, checked mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..common.errors import AnalysisError
+from ..common.events import Access
+from ..osl.concurrency import IntervalLabel, IntervalPair, concurrent_intervals
+from ..osl.labels import Label, after_barrier, after_join, fork, initial_label
+
+
+@dataclass(slots=True)
+class SemRegion:
+    """A parallel-region instance in the semantic state."""
+
+    pid: int
+    ppid: int
+    span: int
+    level: int
+    parent_gid: int
+    parent_slot: int
+    parent_bid: int
+    chain_prefix: IntervalLabel
+    fork_label: Label
+    active_members: int = 0
+    # Barrier rendezvous bookkeeping: arrivals per bid.
+    arrivals: dict[int, int] = field(default_factory=dict)
+    departures: dict[int, int] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class SemFrame:
+    """One thread's membership of one region."""
+
+    region: SemRegion
+    slot: int
+    bid: int = 0
+
+
+@dataclass(slots=True)
+class SemThread:
+    """A thread in the semantic state."""
+
+    gid: int
+    frames: list[SemFrame] = field(default_factory=list)
+    classic: Label = field(default_factory=initial_label)
+    held: set = field(default_factory=set)
+
+    def chain(self) -> IntervalLabel:
+        if not self.frames:
+            return ()
+        f = self.frames[-1]
+        return f.region.chain_prefix + (
+            IntervalPair(f.region.pid, f.slot, f.bid, f.region.span),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class SemAccess:
+    """An access annotated with its semantic position."""
+
+    gid: int
+    chain: IntervalLabel
+    classic: Label
+    access: Access
+    mutexes: frozenset
+
+
+class SemanticsReplay:
+    """Small-step replay of a structural event tape."""
+
+    def __init__(self) -> None:
+        self.threads: dict[int, SemThread] = {}
+        self.regions: dict[int, SemRegion] = {}
+        self.accesses: list[SemAccess] = []
+        self.intervals: set[tuple[int, int, int]] = set()  # (gid, pid, bid)
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _thread(self, gid: int) -> SemThread:
+        th = self.threads.get(gid)
+        if th is None:
+            th = SemThread(gid=gid)
+            self.threads[gid] = th
+        return th
+
+    def _region(self, pid: int) -> SemRegion:
+        try:
+            return self.regions[pid]
+        except KeyError:
+            raise AnalysisError(f"event references unknown region {pid}") from None
+
+    # -- transition rules ---------------------------------------------------------
+
+    def parallel_begin(
+        self, pid: int, parent_gid: int, span: int, ppid: int = 0
+    ) -> None:
+        """Rule FORK-ANNOUNCE: the encountering thread opens a region."""
+        if pid in self.regions:
+            raise AnalysisError(f"region {pid} forked twice")
+        parent = self._thread(parent_gid)
+        parent_frame = parent.frames[-1] if parent.frames else None
+        self.regions[pid] = SemRegion(
+            pid=pid,
+            ppid=parent_frame.region.pid if parent_frame else 0,
+            span=span,
+            level=(parent_frame.region.level + 1) if parent_frame else 1,
+            parent_gid=parent_gid,
+            parent_slot=parent_frame.slot if parent_frame else 0,
+            parent_bid=parent_frame.bid if parent_frame else 0,
+            chain_prefix=parent.chain(),
+            fork_label=parent.classic,
+        )
+        if ppid and parent_frame and parent_frame.region.pid != ppid:
+            raise AnalysisError(
+                f"region {pid}: announced parent {ppid} but encountering "
+                f"thread is in region {parent_frame.region.pid}"
+            )
+
+    def task_begin(self, gid: int, pid: int, slot: int) -> None:
+        """Rule FORK-JOIN-TEAM: a thread becomes team member ``slot``."""
+        region = self._region(pid)
+        if not 0 <= slot < region.span:
+            raise AnalysisError(f"region {pid}: slot {slot} out of range")
+        th = self._thread(gid)
+        th.frames.append(SemFrame(region=region, slot=slot))
+        th.classic = fork(region.fork_label, slot, region.span)
+        region.active_members += 1
+        if region.active_members > region.span:
+            raise AnalysisError(f"region {pid}: too many members")
+        self.intervals.add((gid, pid, 0))
+
+    def barrier_arrive(self, gid: int, bid: int) -> None:
+        """Rule BARRIER-ARRIVE: a member reaches the barrier ending ``bid``."""
+        th = self._thread(gid)
+        if not th.frames:
+            raise AnalysisError(f"thread {gid}: barrier outside any region")
+        frame = th.frames[-1]
+        if frame.bid != bid:
+            raise AnalysisError(
+                f"thread {gid}: arrives at barrier {bid} but is in interval "
+                f"{frame.bid}"
+            )
+        region = frame.region
+        region.arrivals[bid] = region.arrivals.get(bid, 0) + 1
+        if region.arrivals[bid] > region.span:
+            raise AnalysisError(f"region {region.pid}: barrier {bid} over-arrived")
+
+    def barrier_depart(self, gid: int, new_bid: int) -> None:
+        """Rule BARRIER-DEPART: legal only after all members arrived."""
+        th = self._thread(gid)
+        frame = th.frames[-1]
+        region = frame.region
+        prev = new_bid - 1
+        if region.arrivals.get(prev, 0) != region.span:
+            raise AnalysisError(
+                f"region {region.pid}: departure from barrier {prev} before "
+                f"all {region.span} members arrived "
+                f"({region.arrivals.get(prev, 0)} so far)"
+            )
+        region.departures[prev] = region.departures.get(prev, 0) + 1
+        frame.bid = new_bid
+        th.classic = after_barrier(th.classic)
+        self.intervals.add((gid, region.pid, new_bid))
+
+    def task_end(self, gid: int, pid: int) -> None:
+        """Rule TEAM-RETIRE: a member leaves the region."""
+        th = self._thread(gid)
+        if not th.frames or th.frames[-1].region.pid != pid:
+            raise AnalysisError(f"thread {gid}: task_end for wrong region {pid}")
+        th.frames.pop()
+        region = self._region(pid)
+        region.active_members -= 1
+
+    def parallel_end(self, pid: int) -> None:
+        """Rule JOIN: region closes; the parent's label advances."""
+        region = self._region(pid)
+        if region.active_members != 0:
+            raise AnalysisError(
+                f"region {pid} ended with {region.active_members} live members"
+            )
+        parent = self._thread(region.parent_gid)
+        parent.classic = after_join(region.fork_label)
+
+    def mutex_acquired(self, gid: int, mutex: int) -> None:
+        self._thread(gid).held.add(mutex)
+
+    def mutex_released(self, gid: int, mutex: int) -> None:
+        th = self._thread(gid)
+        if mutex not in th.held:
+            raise AnalysisError(f"thread {gid}: releasing unheld mutex {mutex}")
+        th.held.discard(mutex)
+
+    def access(self, gid: int, access: Access) -> Optional[SemAccess]:
+        """Rule ACCESS: record an access at the thread's current position.
+
+        Sequential-context accesses (no enclosing region) return None —
+        they cannot race, mirroring SWORD's instrumentation policy.
+        """
+        th = self._thread(gid)
+        if not th.frames:
+            return None
+        sem = SemAccess(
+            gid=gid,
+            chain=th.chain(),
+            classic=th.classic,
+            access=access,
+            mutexes=frozenset(th.held),
+        )
+        self.accesses.append(sem)
+        return sem
+
+    # -- tape driver -------------------------------------------------------------------
+
+    def feed_tape(self, tape: Iterable, regions: dict) -> "SemanticsReplay":
+        """Replay a :class:`~repro.omp.recording.RecordingTool` tape.
+
+        ``regions`` is the recorder's pid -> ParallelRegion map, used only
+        for the fork announcements (parent gid and team size) — the same
+        information SWORD's trace regions table carries.
+        """
+        for entry in tape:
+            kind = entry.kind
+            if kind == "parallel_begin":
+                info = regions[entry.region]
+                self.parallel_begin(
+                    entry.region, info.parent_gid, info.span, info.ppid
+                )
+            elif kind == "task_begin":
+                self.task_begin(entry.gid, entry.region, entry.slot)
+            elif kind == "barrier_arrive":
+                self.barrier_arrive(entry.gid, entry.bid)
+            elif kind == "barrier_depart":
+                self.barrier_depart(entry.gid, entry.bid)
+            elif kind == "task_end":
+                self.task_end(entry.gid, entry.region)
+            elif kind == "parallel_end":
+                self.parallel_end(entry.region)
+            elif kind == "mutex_acquired":
+                self.mutex_acquired(entry.gid, entry.mutex)
+            elif kind == "mutex_released":
+                self.mutex_released(entry.gid, entry.mutex)
+            elif kind == "access":
+                self.access(entry.gid, entry.access)
+            # thread_begin / thread_end carry no semantic content.
+        return self
+
+    # -- judgments ------------------------------------------------------------------------
+
+    @staticmethod
+    def concurrent(a: SemAccess, b: SemAccess) -> bool:
+        """May the two recorded accesses execute concurrently?"""
+        if a.gid == b.gid:
+            return False
+        return concurrent_intervals(a.chain, b.chain)
+
+    @staticmethod
+    def may_race(a: SemAccess, b: SemAccess) -> bool:
+        """Full race condition over two semantic accesses."""
+        if not SemanticsReplay.concurrent(a, b):
+            return False
+        if not (a.access.is_write or b.access.is_write):
+            return False
+        if a.access.is_atomic and b.access.is_atomic:
+            return False
+        if a.mutexes & b.mutexes:
+            return False
+        lo = max(a.access.low, b.access.low)
+        hi = min(a.access.high, b.access.high)
+        if lo > hi:
+            return False
+        import numpy as np
+
+        common = np.intersect1d(a.access.addresses(), b.access.addresses())
+        return common.size > 0

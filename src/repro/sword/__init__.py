@@ -1,0 +1,30 @@
+"""SWORD online phase: bounded buffers, compression, trace logging."""
+
+from .buffer import EventBuffer
+from .logger import SwordTool
+from .reader import ThreadTraceReader, TraceDir
+from .traceformat import (
+    BlockHeader,
+    MetaRow,
+    format_meta_file,
+    log_name,
+    meta_name,
+    pack_block_header,
+    parse_meta_file,
+    unpack_block_header,
+)
+
+__all__ = [
+    "BlockHeader",
+    "EventBuffer",
+    "MetaRow",
+    "SwordTool",
+    "ThreadTraceReader",
+    "TraceDir",
+    "format_meta_file",
+    "log_name",
+    "meta_name",
+    "pack_block_header",
+    "parse_meta_file",
+    "unpack_block_header",
+]

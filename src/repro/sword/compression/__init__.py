@@ -1,0 +1,20 @@
+"""Trace-block compression codecs (paper's LZO/Snappy/LZ4 comparison)."""
+
+from .base import Codec
+from .lz4like import Lz4LikeCodec
+from .lzrle import LzRleCodec
+from .registry import available, by_id, by_name, register
+from .snappylike import SnappyLikeCodec
+from .zlibwrap import ZlibCodec
+
+__all__ = [
+    "Codec",
+    "Lz4LikeCodec",
+    "LzRleCodec",
+    "SnappyLikeCodec",
+    "ZlibCodec",
+    "available",
+    "by_id",
+    "by_name",
+    "register",
+]

@@ -1,0 +1,53 @@
+"""Codec registry: name/id lookup for writers and readers."""
+
+from __future__ import annotations
+
+from ...common.errors import CodecError
+from .base import Codec
+from .lz4like import Lz4LikeCodec
+from .lzrle import LzRleCodec
+from .snappylike import SnappyLikeCodec
+from .zlibwrap import ZlibCodec
+
+_CODECS: dict[str, Codec] = {}
+_BY_ID: dict[int, Codec] = {}
+
+
+def register(codec: Codec) -> Codec:
+    """Register a codec instance under its name and id."""
+    if codec.name in _CODECS:
+        raise CodecError(f"duplicate codec name {codec.name!r}")
+    if codec.codec_id in _BY_ID:
+        raise CodecError(f"duplicate codec id {codec.codec_id}")
+    _CODECS[codec.name] = codec
+    _BY_ID[codec.codec_id] = codec
+    return codec
+
+
+def by_name(name: str) -> Codec:
+    """Look a codec up by registry name."""
+    try:
+        return _CODECS[name]
+    except KeyError:
+        raise CodecError(
+            f"unknown codec {name!r}; available: {sorted(_CODECS)}"
+        ) from None
+
+
+def by_id(codec_id: int) -> Codec:
+    """Look a codec up by its block-header id."""
+    try:
+        return _BY_ID[codec_id]
+    except KeyError:
+        raise CodecError(f"unknown codec id {codec_id}") from None
+
+
+def available() -> list[str]:
+    """Registered codec names."""
+    return sorted(_CODECS)
+
+
+register(LzRleCodec())
+register(Lz4LikeCodec())
+register(SnappyLikeCodec())
+register(ZlibCodec())

@@ -1,0 +1,297 @@
+"""The SWORD online tool: bounded-buffer trace collection.
+
+Implements the paper's dynamic phase (§III-A) against the simulator's OMPT
+seam:
+
+* every thread owns one :class:`~repro.sword.buffer.EventBuffer`; full
+  buffers are compressed and appended to the thread's log file with no
+  coordination between threads;
+* a per-thread meta-data file records one Table-I row per barrier-interval
+  data chunk (``data_begin``/``size`` index into the *uncompressed* log
+  stream);
+* the bounded overhead — buffer + auxiliary TLS, ~3.3 MB/thread — is charged
+  to the node-memory accountant per participating thread, which is the whole
+  story of Figures 7/8: the charge never grows with the application.
+
+Nested parallelism: when a thread enters a nested region, its outer
+interval's chunk is closed and a fresh tracker is pushed; the outer interval
+resumes (as another chunk row with the same pid/bid) after the nested region
+ends.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..common.config import SwordConfig
+from ..common.events import (
+    EVENT_BYTES,
+    KIND_BARRIER,
+    KIND_MUTEX_ACQUIRED,
+    KIND_MUTEX_RELEASED,
+    KIND_PARALLEL_BEGIN,
+    KIND_PARALLEL_END,
+)
+from ..memory.accounting import NodeMemory
+from ..omp.ompt import OmptTool
+from .buffer import EventBuffer
+from .compression import by_name
+from .traceformat import (
+    MANIFEST_NAME,
+    MUTEXSETS_NAME,
+    REGIONS_NAME,
+    TASKS_NAME,
+    MetaRow,
+    format_meta_file,
+    log_name,
+    meta_name,
+    pack_block_header,
+)
+
+
+@dataclass(slots=True)
+class _IntervalTracker:
+    """Open barrier interval of one thread (stacked for nesting)."""
+
+    pid: int
+    ppid: int
+    slot: int
+    span: int
+    level: int
+    bid: int
+    chunk_start: int
+
+
+@dataclass(slots=True)
+class _ThreadLog:
+    """Per-thread collection state."""
+
+    gid: int
+    buffer: EventBuffer
+    file: object
+    flushed: int = 0  # uncompressed bytes already written out
+    rows: list[MetaRow] = field(default_factory=list)
+    stack: list[_IntervalTracker] = field(default_factory=list)
+
+    def logical_pos(self) -> int:
+        """Current position in uncompressed stream coordinates."""
+        return self.flushed + len(self.buffer) * EVENT_BYTES
+
+
+class SwordTool(OmptTool):
+    """The online (dynamic-analysis) half of SWORD."""
+
+    def __init__(
+        self,
+        config: SwordConfig,
+        accountant: NodeMemory | None = None,
+    ) -> None:
+        config.validate()
+        self.config = config
+        self.accountant = accountant
+        self.codec = by_name(config.codec)
+        self.dir = Path(config.log_dir)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        from ..tasking.graph import TaskGraph
+
+        self._logs: dict[int, _ThreadLog] = {}
+        self._regions: dict[int, dict] = {}
+        self._task_graph = TaskGraph()
+        self._runtime = None
+        # Statistics surfaced in the manifest and by the harness.
+        self.stats = {
+            "events": 0,
+            "flushes": 0,
+            "bytes_uncompressed": 0,
+            "bytes_compressed": 0,
+            "io_seconds": 0.0,
+            "threads": 0,
+        }
+
+    # -- per-thread state -------------------------------------------------------
+
+    def _log_for(self, gid: int) -> _ThreadLog:
+        log = self._logs.get(gid)
+        if log is None:
+            if self.accountant is not None:
+                self.accountant.charge(
+                    NodeMemory.TOOL, self.config.per_thread_bytes
+                )
+            fh = open(self.dir / log_name(gid), "wb")
+            log = _ThreadLog(
+                gid=gid,
+                buffer=EventBuffer(self.config.buffer_events),
+                file=fh,
+            )
+            log.buffer.on_flush = lambda records, _log=log: self._flush(
+                _log, records
+            )
+            self._logs[gid] = log
+            self.stats["threads"] += 1
+        return log
+
+    def _flush(self, log: _ThreadLog, records: np.ndarray) -> None:
+        """Compress one filled buffer and append it as a framed block."""
+        raw = np.ascontiguousarray(records).tobytes()
+        t0 = time.perf_counter()
+        payload = self.codec.compress(raw)
+        log.file.write(
+            pack_block_header(
+                log.flushed, len(payload), len(raw), self.codec.codec_id
+            )
+        )
+        log.file.write(payload)
+        self.stats["io_seconds"] += time.perf_counter() - t0
+        self.stats["flushes"] += 1
+        self.stats["bytes_uncompressed"] += len(raw)
+        self.stats["bytes_compressed"] += len(payload)
+        log.flushed += len(raw)
+
+    def _close_chunk(self, log: _ThreadLog) -> None:
+        """Emit a Table-I row for the current tracker's open chunk."""
+        tr = log.stack[-1]
+        pos = log.logical_pos()
+        if pos > tr.chunk_start:
+            log.rows.append(
+                MetaRow(
+                    pid=tr.pid,
+                    ppid=tr.ppid,
+                    bid=tr.bid,
+                    offset=tr.slot,
+                    span=tr.span,
+                    level=tr.level,
+                    data_begin=tr.chunk_start,
+                    size=pos - tr.chunk_start,
+                )
+            )
+        tr.chunk_start = pos
+
+    # -- OMPT callbacks -------------------------------------------------------------
+
+    def on_run_begin(self, runtime) -> None:  # noqa: D102
+        self._runtime = runtime
+
+    def on_parallel_begin(self, region) -> None:  # noqa: D102
+        self._regions[region.pid] = {
+            "ppid": region.ppid,
+            "parent_slot": region.parent_slot,
+            "parent_bid": region.parent_bid,
+            "span": region.span,
+            "level": region.level,
+        }
+
+    def on_implicit_task_begin(self, thread, region, slot) -> None:  # noqa: D102
+        log = self._log_for(thread.gid)
+        if log.stack:
+            self._close_chunk(log)  # pause the outer interval
+        log.stack.append(
+            _IntervalTracker(
+                pid=region.pid,
+                ppid=region.ppid,
+                slot=slot,
+                span=region.span,
+                level=region.level,
+                bid=0,
+                chunk_start=log.logical_pos(),
+            )
+        )
+        log.buffer.append_event(KIND_PARALLEL_BEGIN, addr=region.pid)
+        self.stats["events"] += 1
+
+    def on_implicit_task_end(self, thread, region, slot) -> None:  # noqa: D102
+        log = self._logs[thread.gid]
+        log.buffer.append_event(KIND_PARALLEL_END, addr=region.pid)
+        self.stats["events"] += 1
+        self._close_chunk(log)
+        log.stack.pop()
+        if log.stack:
+            # Resume the outer interval as a fresh chunk.
+            log.stack[-1].chunk_start = log.logical_pos()
+
+    def on_barrier_arrive(self, thread, region, bid) -> None:  # noqa: D102
+        log = self._logs[thread.gid]
+        log.buffer.append_event(KIND_BARRIER, addr=region.pid, aux=bid)
+        self.stats["events"] += 1
+        self._close_chunk(log)
+
+    def on_barrier_depart(self, thread, region, new_bid) -> None:  # noqa: D102
+        log = self._logs[thread.gid]
+        tr = log.stack[-1]
+        tr.bid = new_bid
+        tr.chunk_start = log.logical_pos()
+
+    def on_mutex_acquired(self, thread, mutex_id) -> None:  # noqa: D102
+        log = self._log_for(thread.gid)
+        if log.stack:
+            log.buffer.append_event(KIND_MUTEX_ACQUIRED, addr=mutex_id)
+            self.stats["events"] += 1
+
+    def on_mutex_released(self, thread, mutex_id) -> None:  # noqa: D102
+        log = self._log_for(thread.gid)
+        if log.stack:
+            log.buffer.append_event(KIND_MUTEX_RELEASED, addr=mutex_id)
+            self.stats["events"] += 1
+
+    def on_access(self, thread, access) -> None:  # noqa: D102
+        log = self._log_for(thread.gid)
+        log.buffer.append_access(access)
+        self.stats["events"] += 1
+
+    # -- tasking extension -----------------------------------------------------
+
+    def on_task_create(self, thread, task) -> None:  # noqa: D102
+        from ..tasking.graph import TaskInfo
+
+        self._task_graph.add(
+            TaskInfo(
+                task_id=task.task_id,
+                creator=task.creator_entity,
+                creator_gid=task.creator_gid,
+                pid=task.pid,
+                bid=task.bid,
+                create_seq=task.create_seq,
+            )
+        )
+
+    def on_taskwait(self, thread, waited, new_seq) -> None:  # noqa: D102
+        for task in waited:
+            self._task_graph.set_wait(task.task_id, new_seq)
+
+    def on_run_end(self, runtime) -> None:  # noqa: D102
+        self.finalize()
+
+    # -- finalisation --------------------------------------------------------------------
+
+    def finalize(self) -> None:
+        """Flush buffers, write meta files and run-wide tables."""
+        for log in self._logs.values():
+            log.buffer.flush()
+            log.file.close()
+            (self.dir / meta_name(log.gid)).write_text(
+                format_meta_file(log.rows)
+            )
+        (self.dir / REGIONS_NAME).write_text(
+            json.dumps(self._regions, indent=0, sort_keys=True)
+        )
+        (self.dir / TASKS_NAME).write_text(
+            json.dumps(self._task_graph.to_json(), indent=0, sort_keys=True)
+        )
+        if self._runtime is not None:
+            self._runtime.mutexsets.save(self.dir / MUTEXSETS_NAME)
+        manifest = dict(self.stats)
+        manifest["codec"] = self.config.codec
+        manifest["buffer_events"] = self.config.buffer_events
+        manifest["thread_gids"] = sorted(self._logs)
+        (self.dir / MANIFEST_NAME).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True)
+        )
+
+    @property
+    def per_thread_bytes(self) -> int:
+        """The paper's ``B + C`` (~3.3 MB)."""
+        return self.config.per_thread_bytes

@@ -1,0 +1,207 @@
+"""Streaming readers for SWORD trace directories.
+
+The offline phase must handle log files much larger than memory (the paper:
+"the size of a single log file can be dozens of gigabytes ... we employ a
+streaming algorithm that reads access information from log files in small
+chunks").  The reader therefore:
+
+* builds a block index by scanning the 24-byte frames (seeking over
+  payloads — no decompression);
+* serves byte ranges in *uncompressed stream coordinates* (what Table-I
+  ``data_begin``/``size`` reference) by decompressing only the overlapping
+  blocks, one at a time, yielding record batches.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from ..common.errors import TraceFormatError
+from ..common.events import EVENT_BYTES, EVENT_DTYPE
+from ..omp.mutexset import MutexSetTable
+from ..osl.concurrency import IntervalLabel, IntervalPair
+from .compression import by_id
+from ..tasking.graph import TaskGraph
+from .traceformat import (
+    BLOCK_HEADER_BYTES,
+    MANIFEST_NAME,
+    MUTEXSETS_NAME,
+    REGIONS_NAME,
+    TASKS_NAME,
+    MetaRow,
+    log_name,
+    meta_name,
+    parse_meta_file,
+    unpack_block_header,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class _BlockRef:
+    """Index entry: where one compressed block lives."""
+
+    uncompressed_offset: int
+    file_offset: int  # of the payload (past the header)
+    compressed_size: int
+    uncompressed_size: int
+    codec_id: int
+
+
+class ThreadTraceReader:
+    """Random/streaming access to one thread's log + meta files."""
+
+    def __init__(self, directory: Path, gid: int) -> None:
+        self.gid = gid
+        self.log_path = directory / log_name(gid)
+        self.meta_path = directory / meta_name(gid)
+        self.rows: list[MetaRow] = parse_meta_file(self.meta_path.read_text())
+        self._blocks: list[_BlockRef] = []
+        self._offsets: list[int] = []
+        self._index()
+        self._file = open(self.log_path, "rb")
+        # One-block decompression cache (ranges are read in ascending order).
+        self._cached_block: int = -1
+        self._cached_data: bytes = b""
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "ThreadTraceReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _index(self) -> None:
+        pos = 0
+        size = self.log_path.stat().st_size
+        with open(self.log_path, "rb") as fh:
+            while pos < size:
+                fh.seek(pos)
+                header = unpack_block_header(fh.read(BLOCK_HEADER_BYTES))
+                ref = _BlockRef(
+                    uncompressed_offset=header.uncompressed_offset,
+                    file_offset=pos + BLOCK_HEADER_BYTES,
+                    compressed_size=header.compressed_size,
+                    uncompressed_size=header.uncompressed_size,
+                    codec_id=header.codec_id,
+                )
+                self._blocks.append(ref)
+                self._offsets.append(ref.uncompressed_offset)
+                pos = ref.file_offset + ref.compressed_size
+        if pos != size:
+            raise TraceFormatError(f"{self.log_path}: trailing garbage")
+
+    @property
+    def uncompressed_bytes(self) -> int:
+        if not self._blocks:
+            return 0
+        last = self._blocks[-1]
+        return last.uncompressed_offset + last.uncompressed_size
+
+    def _block_bytes(self, i: int) -> bytes:
+        if i == self._cached_block:
+            return self._cached_data
+        ref = self._blocks[i]
+        self._file.seek(ref.file_offset)
+        payload = self._file.read(ref.compressed_size)
+        data = by_id(ref.codec_id).decompress(payload, ref.uncompressed_size)
+        self._cached_block = i
+        self._cached_data = data
+        return data
+
+    def read_range(self, begin: int, size: int) -> np.ndarray:
+        """Materialise one chunk ``[begin, begin+size)`` as a record array."""
+        parts = list(self.iter_range(begin, size))
+        if not parts:
+            return np.empty(0, dtype=EVENT_DTYPE)
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
+
+    def iter_range(self, begin: int, size: int) -> Iterator[np.ndarray]:
+        """Stream one chunk block-by-block (bounded memory)."""
+        if size == 0:
+            return
+        if begin % EVENT_BYTES or size % EVENT_BYTES:
+            raise TraceFormatError("chunk not record-aligned")
+        end = begin + size
+        if end > self.uncompressed_bytes:
+            raise TraceFormatError(
+                f"chunk [{begin}, {end}) beyond log end {self.uncompressed_bytes}"
+            )
+        i = bisect.bisect_right(self._offsets, begin) - 1
+        pos = begin
+        while pos < end:
+            ref = self._blocks[i]
+            data = self._block_bytes(i)
+            lo = pos - ref.uncompressed_offset
+            hi = min(end - ref.uncompressed_offset, ref.uncompressed_size)
+            chunk = data[lo:hi]
+            yield np.frombuffer(chunk, dtype=EVENT_DTYPE)
+            pos = ref.uncompressed_offset + hi
+            i += 1
+
+    def read_chunk(self, row: MetaRow) -> np.ndarray:
+        """Materialise the chunk a meta row points at."""
+        return self.read_range(row.data_begin, row.size)
+
+
+class TraceDir:
+    """A complete SWORD trace directory (one program run)."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        manifest_path = self.path / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise TraceFormatError(f"{self.path}: missing {MANIFEST_NAME}")
+        self.manifest = json.loads(manifest_path.read_text())
+        self.regions: dict[int, dict] = {
+            int(k): v
+            for k, v in json.loads((self.path / REGIONS_NAME).read_text()).items()
+        }
+        self.mutexsets = MutexSetTable.load(self.path / MUTEXSETS_NAME)
+        tasks_path = self.path / TASKS_NAME
+        if tasks_path.exists():
+            self.task_graph = TaskGraph.from_json(json.loads(tasks_path.read_text()))
+        else:  # traces from before the tasking extension
+            self.task_graph = TaskGraph()
+        self.thread_gids: list[int] = list(self.manifest["thread_gids"])
+
+    def reader(self, gid: int) -> ThreadTraceReader:
+        """Open one thread's log/meta pair."""
+        return ThreadTraceReader(self.path, gid)
+
+    def region_span(self, pid: int) -> int:
+        return int(self.regions[pid]["span"])
+
+    def interval_label(self, pid: int, slot: int, bid: int) -> IntervalLabel:
+        """Reconstruct the barrier-interval label from the regions table.
+
+        This is the offline recovery of the concurrency structure: the chain
+        of fork positions (ppid / parent slot / parent bid) up to a top-level
+        region, terminated by the interval's own leaf pair.
+        """
+        pairs = [
+            IntervalPair(region=pid, slot=slot, bid=bid, span=self.region_span(pid))
+        ]
+        info = self.regions[pid]
+        # Region ids start at 1; ppid <= 0 marks a top-level region.
+        while info["ppid"] > 0:
+            ppid = int(info["ppid"])
+            pairs.append(
+                IntervalPair(
+                    region=ppid,
+                    slot=int(info["parent_slot"]),
+                    bid=int(info["parent_bid"]),
+                    span=self.region_span(ppid),
+                )
+            )
+            info = self.regions[ppid]
+        return tuple(reversed(pairs))

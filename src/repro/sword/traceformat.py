@@ -1,0 +1,144 @@
+"""On-disk trace layout: block framing, Table-I metadata rows, manifest.
+
+Per-thread files in a trace directory:
+
+* ``thread_<gid>.log``  — concatenated compressed blocks of EVENT_DTYPE
+  records.  Each block is framed by a fixed 24-byte header carrying the
+  codec id and both sizes, so a reader can skip blocks without
+  decompressing and can resynchronise offsets in *uncompressed stream
+  coordinates* (what the metadata refers to).
+* ``thread_<gid>.meta`` — text rows, one per barrier-interval data chunk,
+  with exactly the paper's Table-I columns: ``pid ppid bid offset span
+  level data_begin size`` (``data_begin``/``size`` in uncompressed bytes).
+  An interval interrupted by a nested region contributes multiple chunks.
+
+Run-wide files:
+
+* ``regions.json``   — per region: ppid, parent slot/bid, span, level (the
+  fork positions the offline phase chains into offset-span labels);
+* ``mutexsets.json`` — the interned mutex-set table;
+* ``manifest.json``  — codec, thread list, counters.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..common.errors import TraceFormatError
+
+BLOCK_MAGIC = b"SWBL"
+#: ``magic, uncompressed stream offset, compressed size, uncompressed size,
+#: codec id, padding``
+BLOCK_HEADER = struct.Struct("<4sQIIB3x")
+BLOCK_HEADER_BYTES = BLOCK_HEADER.size
+assert BLOCK_HEADER_BYTES == 24
+
+META_COLUMNS = ("pid", "ppid", "bid", "offset", "span", "level", "data_begin", "size")
+MANIFEST_NAME = "manifest.json"
+REGIONS_NAME = "regions.json"
+MUTEXSETS_NAME = "mutexsets.json"
+TASKS_NAME = "tasks.json"
+
+
+def pack_block_header(
+    uncompressed_offset: int, compressed_size: int, uncompressed_size: int, codec_id: int
+) -> bytes:
+    """Frame one compressed block."""
+    return BLOCK_HEADER.pack(
+        BLOCK_MAGIC, uncompressed_offset, compressed_size, uncompressed_size, codec_id
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class BlockHeader:
+    """Parsed block frame."""
+
+    uncompressed_offset: int
+    compressed_size: int
+    uncompressed_size: int
+    codec_id: int
+
+
+def unpack_block_header(data: bytes) -> BlockHeader:
+    """Parse and validate one block frame."""
+    if len(data) < BLOCK_HEADER_BYTES:
+        raise TraceFormatError("truncated block header")
+    magic, off, csize, usize, codec_id = BLOCK_HEADER.unpack(
+        data[:BLOCK_HEADER_BYTES]
+    )
+    if magic != BLOCK_MAGIC:
+        raise TraceFormatError(f"bad block magic {magic!r}")
+    return BlockHeader(
+        uncompressed_offset=off,
+        compressed_size=csize,
+        uncompressed_size=usize,
+        codec_id=codec_id,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class MetaRow:
+    """One Table-I row: a barrier-interval data chunk of one thread."""
+
+    pid: int
+    ppid: int            # -1 for top-level regions (printed as '-')
+    bid: int
+    offset: int          # thread slot within the team
+    span: int            # team size
+    level: int
+    data_begin: int      # uncompressed byte offset into the thread's log
+    size: int            # chunk length in uncompressed bytes
+
+    def format(self) -> str:
+        ppid = "-" if self.ppid < 0 else str(self.ppid)
+        return (
+            f"{self.pid} {ppid} {self.bid} {self.offset} {self.span} "
+            f"{self.level} {self.data_begin} {self.size}"
+        )
+
+    @classmethod
+    def parse(cls, line: str) -> "MetaRow":
+        parts = line.split()
+        if len(parts) != len(META_COLUMNS):
+            raise TraceFormatError(f"malformed meta row: {line!r}")
+        try:
+            ppid = -1 if parts[1] == "-" else int(parts[1])
+            return cls(
+                pid=int(parts[0]),
+                ppid=ppid,
+                bid=int(parts[2]),
+                offset=int(parts[3]),
+                span=int(parts[4]),
+                level=int(parts[5]),
+                data_begin=int(parts[6]),
+                size=int(parts[7]),
+            )
+        except ValueError as exc:
+            raise TraceFormatError(f"malformed meta row: {line!r}") from exc
+
+
+def format_meta_file(rows: list[MetaRow]) -> str:
+    """Render a meta file (header comment + rows)."""
+    lines = ["# " + " ".join(META_COLUMNS)]
+    lines.extend(r.format() for r in rows)
+    return "\n".join(lines) + "\n"
+
+
+def parse_meta_file(text: str) -> list[MetaRow]:
+    """Parse a meta file, skipping comments and blank lines."""
+    rows = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        rows.append(MetaRow.parse(line))
+    return rows
+
+
+def log_name(gid: int) -> str:
+    return f"thread_{gid}.log"
+
+
+def meta_name(gid: int) -> str:
+    return f"thread_{gid}.meta"

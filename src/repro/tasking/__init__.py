@@ -1,0 +1,14 @@
+"""Tasking extension: task-ordering judgment beyond offset-span labels.
+
+The paper's §III-C limitation — offset-span labels cannot decide whether
+two explicit tasks are concurrent — and its §VI future work, implemented:
+the runtime supports ``task``/``taskwait`` (tasks execute at scheduling
+points, completing by the next barrier), access records carry encoded
+execution points, and the offline analysis refines the barrier-interval
+judgment with :class:`~repro.tasking.graph.TaskGraph` reachability over
+creation and taskwait edges.
+"""
+
+from .graph import IMPLICIT, TaskGraph, TaskInfo, decode_point, encode_point
+
+__all__ = ["IMPLICIT", "TaskGraph", "TaskInfo", "decode_point", "encode_point"]

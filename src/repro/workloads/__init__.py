@@ -1,0 +1,16 @@
+"""Model workloads: DataRaceBench, OmpSCR, and HPC suites.
+
+Importing this package populates :data:`repro.workloads.base.REGISTRY` with
+every benchmark.
+"""
+
+from .base import REGISTRY, Workload, WorkloadRegistry, workload
+
+# Suite modules register themselves on import.
+from .dataracebench import suite as _drb_suite  # noqa: F401
+from .ompscr import suite as _ompscr_suite  # noqa: F401
+from .hpc import suite as _hpc_suite  # noqa: F401
+from .paper import suite as _paper_suite  # noqa: F401
+from .tasking import suite as _tasking_suite  # noqa: F401
+
+__all__ = ["REGISTRY", "Workload", "WorkloadRegistry", "workload"]

@@ -1,0 +1,136 @@
+"""Workload framework: model programs with documented race ground truth.
+
+A workload is a model OpenMP program plus its metadata: which suite it
+belongs to (DataRaceBench / OmpSCR / HPC), whether it is racy, how many
+races its original authors documented, and how many distinct race site
+pairs our model actually contains (``seeded_races`` — the reproduction's
+ground truth, which SWORD is expected to find).
+
+Programs receive ``(master, params)`` where ``params`` is a namespace of
+the workload's tunables (sizes, iterations) merged with overrides — the
+harness uses this for the problem-size sweeps (AMG 10^3..40^3) and thread
+sweeps of Figures 7/8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import SimpleNamespace
+from typing import Any, Callable, Optional
+
+from ..omp.context import MasterContext
+
+ProgramFn = Callable[[MasterContext, SimpleNamespace], Any]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One registered model program."""
+
+    name: str
+    suite: str
+    fn: ProgramFn
+    racy: bool
+    documented_races: int
+    seeded_races: int
+    description: str
+    params: dict = field(default_factory=dict)
+    #: Races the happens-before baseline is expected to miss (by mechanism:
+    #: shadow-cell eviction or schedule masking) under the default seed.
+    archer_misses: int = 0
+    #: True when the happens-before verdict flips with the scheduler seed
+    #: (the Figure-1 programs); such workloads have no fixed archer count.
+    archer_schedule_dependent: bool = False
+    notes: str = ""
+
+    def make_params(self, **overrides: Any) -> SimpleNamespace:
+        merged = dict(self.params)
+        for key, value in overrides.items():
+            if key not in merged:
+                raise KeyError(
+                    f"{self.name}: unknown parameter {key!r}; "
+                    f"available: {sorted(merged)}"
+                )
+            merged[key] = value
+        return SimpleNamespace(**merged)
+
+    def run_program(self, master: MasterContext, **overrides: Any) -> Any:
+        return self.fn(master, self.make_params(**overrides))
+
+
+class WorkloadRegistry:
+    """Name -> workload mapping with suite views."""
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, Workload] = {}
+
+    def add(self, workload: Workload) -> Workload:
+        if workload.name in self._by_name:
+            raise ValueError(f"duplicate workload {workload.name!r}")
+        self._by_name[workload.name] = workload
+        return workload
+
+    def get(self, name: str) -> Workload:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown workload {name!r}; known: {sorted(self._by_name)}"
+            ) from None
+
+    def suite(self, suite: str) -> list[Workload]:
+        return sorted(
+            (w for w in self._by_name.values() if w.suite == suite),
+            key=lambda w: w.name,
+        )
+
+    def names(self) -> list[str]:
+        return sorted(self._by_name)
+
+    def __iter__(self):
+        return iter(sorted(self._by_name.values(), key=lambda w: w.name))
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+
+#: The process-wide registry all suite modules populate at import time.
+REGISTRY = WorkloadRegistry()
+
+
+def workload(
+    name: str,
+    suite: str,
+    *,
+    racy: bool,
+    documented_races: int = 0,
+    seeded_races: Optional[int] = None,
+    archer_misses: int = 0,
+    archer_schedule_dependent: bool = False,
+    description: str = "",
+    notes: str = "",
+    **params: Any,
+) -> Callable[[ProgramFn], ProgramFn]:
+    """Decorator registering a model program in :data:`REGISTRY`."""
+
+    def _decorate(fn: ProgramFn) -> ProgramFn:
+        REGISTRY.add(
+            Workload(
+                name=name,
+                suite=suite,
+                fn=fn,
+                racy=racy,
+                documented_races=documented_races,
+                seeded_races=(
+                    seeded_races if seeded_races is not None else documented_races
+                ),
+                description=description or (fn.__doc__ or "").strip().split("\n")[0],
+                params=params,
+                archer_misses=archer_misses,
+                archer_schedule_dependent=archer_schedule_dependent,
+                notes=notes,
+            )
+        )
+        return fn
+
+    return _decorate

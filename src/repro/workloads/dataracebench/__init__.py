@@ -1,0 +1,1 @@
+"""DataRaceBench model-program ports."""

@@ -1,0 +1,775 @@
+"""DataRaceBench model suite (paper §IV-A).
+
+Model-program ports of the DataRaceBench microbenchmarks the paper's
+evaluation discusses, preserving each benchmark's *race mechanism*:
+
+* the ``indirectaccess{1-4}-orig-yes`` races live on unexecuted
+  data-dependent paths — no dynamic tool can see them (all tools miss);
+* ``nowait-orig-yes`` and ``privatemissing-orig-yes`` carry read-write races
+  whose write record ARCHER loses to shadow-cell eviction (the §II
+  mechanism) while SWORD's complete logs retain it;
+* ``plusplus-orig-yes`` contains the "additional unknown race" every tool
+  reports beyond the documented one (read-write next to the documented
+  write-write on the same increment);
+* the ``*-no`` group is the false-positive control: every tool must stay
+  silent.
+
+Sizes are scaled to laptop budgets; mechanisms, synchronisation shapes, and
+schedule sensitivities are what the experiments measure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...common.sourceloc import pc_of
+from ..base import workload
+
+_SUITE = "dataracebench"
+
+
+def _pc(bench: str, line: int, func: str = "main") -> int:
+    return pc_of(f"{bench}.c", line, func)
+
+
+# ---------------------------------------------------------------------------
+# Racy benchmarks ("-yes")
+# ---------------------------------------------------------------------------
+
+
+@workload(
+    "antidep1-orig-yes",
+    _SUITE,
+    racy=True,
+    documented_races=1,
+    seeded_races=1,
+    description="Loop-carried anti-dependence: a[i] = a[i+1] + 1.",
+    n=128,
+)
+def antidep1_yes(m, p):
+    a = m.alloc_array("a", p.n + 1, fill=1)
+    pc_r = _pc("antidep1-orig-yes", 58)
+    pc_w = _pc("antidep1-orig-yes", 58, "store")
+
+    def body(ctx):
+        for i in ctx.for_range(p.n):
+            v = ctx.read(a, i + 1, pc=pc_r)
+            ctx.write(a, i, v + 1.0, pc=pc_w)
+
+    m.parallel(body)
+
+
+@workload(
+    "antidep2-orig-yes",
+    _SUITE,
+    racy=True,
+    documented_races=1,
+    seeded_races=1,
+    description="Anti-dependence under a dynamic schedule.",
+    n=96,
+)
+def antidep2_yes(m, p):
+    a = m.alloc_array("a", p.n + 1, fill=2)
+    pc_r = _pc("antidep2-orig-yes", 61)
+    pc_w = _pc("antidep2-orig-yes", 61, "store")
+
+    def body(ctx):
+        for i in ctx.for_range(p.n, schedule="dynamic", chunk=4):
+            v = ctx.read(a, i + 1, pc=pc_r)
+            ctx.write(a, i, v + 1.0, pc=pc_w)
+
+    m.parallel(body)
+
+
+def _indirect_yes(bench: str, n: int, gap: int):
+    """Shared builder for the indirectaccess family.
+
+    The original benchmarks write ``xa1[idx[i]]`` and ``xa2[idx2[i]]`` where
+    the index sets *can* collide for some inputs, but not for the packaged
+    one: the race needs a data-dependent path that this execution never
+    takes.  Dynamic tools (ARCHER and SWORD alike) analyse only the executed
+    path, so nobody reports it (paper §IV-A).
+    """
+
+    def program(m, p):
+        base = m.alloc_array(f"{bench}.base", n, dtype=np.float64)
+        # Index sets are disjoint for this input (offset by `gap`).
+        idx1 = np.arange(0, n // 2 - gap)
+        idx2 = np.arange(n // 2 + gap, n)
+        pc1 = _pc(bench, 70)
+        pc2 = _pc(bench, 75)
+
+        def body(ctx):
+            lo, hi = ctx.static_chunk(len(idx1))
+            ctx.write_elems(base, idx1[lo:hi], 1.0, pc=pc1)
+            lo2, hi2 = ctx.static_chunk(len(idx2))
+            ctx.write_elems(base, idx2[lo2:hi2], 2.0, pc=pc2)
+
+        m.parallel(body)
+
+    return program
+
+
+for _k, _gap in ((1, 1), (2, 2), (3, 3), (4, 4)):
+    workload(
+        f"indirectaccess{_k}-orig-yes",
+        _SUITE,
+        racy=True,
+        documented_races=1,
+        seeded_races=0,
+        description="Race on a data-dependent path not taken by this input.",
+        notes="No dynamic tool can detect it (paper: all tools miss these).",
+        n=64,
+    )(_indirect_yes(f"indirectaccess{_k}-orig-yes", 64, _gap))
+
+
+@workload(
+    "plusplus-orig-yes",
+    _SUITE,
+    racy=True,
+    documented_races=1,
+    seeded_races=2,
+    description="Unprotected counter increment by every thread.",
+    notes="All tools also report the undocumented read-write pair (§IV-A).",
+    iters=8,
+)
+def plusplus_yes(m, p):
+    count = m.alloc_scalar("count", dtype=np.int64)
+    pc_r = _pc("plusplus-orig-yes", 57, "load")
+    pc_w = _pc("plusplus-orig-yes", 57, "store")
+
+    def body(ctx):
+        for _ in range(p.iters):
+            v = ctx.read(count, 0, pc=pc_r)
+            ctx.write(count, 0, v + 1, pc=pc_w)
+
+    m.parallel(body)
+
+
+@workload(
+    "minusminus-orig-yes",
+    _SUITE,
+    racy=True,
+    documented_races=1,
+    seeded_races=2,
+    description="Unprotected counter decrement (numNodes--).",
+    iters=6,
+)
+def minusminus_yes(m, p):
+    num_nodes = m.alloc_scalar("numNodes", dtype=np.int64, fill=1000)
+    pc_r = _pc("minusminus-orig-yes", 62, "load")
+    pc_w = _pc("minusminus-orig-yes", 62, "store")
+
+    def body(ctx):
+        for _ in range(p.iters):
+            v = ctx.read(num_nodes, 0, pc=pc_r)
+            ctx.write(num_nodes, 0, v - 1, pc=pc_w)
+
+    m.parallel(body)
+
+
+@workload(
+    "nowait-orig-yes",
+    _SUITE,
+    racy=True,
+    documented_races=1,
+    seeded_races=1,
+    archer_misses=1,
+    description="Missing barrier via nowait: write a[0] races later reads.",
+    notes=(
+        "ARCHER loses the write record to eviction: the writing thread's own "
+        "re-reads of a[0] overwrite all four shadow cells before any other "
+        "thread reads (paper §II / §IV-A)."
+    ),
+    n=96,
+)
+def nowait_yes(m, p):
+    a = m.alloc_array("a", p.n, fill=3)
+    b = m.alloc_array("b", p.n)
+    pc_w = _pc("nowait-orig-yes", 58)
+    pc_r0 = _pc("nowait-orig-yes", 62)
+
+    def body(ctx):
+        for i in ctx.for_range(p.n, nowait=True):
+            ctx.write(a, i, float(i), pc=pc_w)
+        # Second loop in the same barrier interval reads a[0] every
+        # iteration: the owner's re-reads evict its own write record.
+        for i in ctx.for_range(p.n):
+            v = ctx.read(a, 0, pc=pc_r0)
+            ctx.write(b, i, v + i, pc=_pc("nowait-orig-yes", 63))
+
+    m.parallel(body)
+
+
+@workload(
+    "privatemissing-orig-yes",
+    _SUITE,
+    racy=True,
+    documented_races=1,
+    seeded_races=2,
+    archer_misses=2,
+    description="Shared temp that should be private: one write, many reads.",
+    notes=(
+        "SWORD additionally reports the second undocumented read site "
+        "(paper §IV-A); ARCHER misses both pairs to eviction."
+    ),
+    n=80,
+)
+def privatemissing_yes(m, p):
+    tmp = m.alloc_scalar("tmp")
+    out = m.alloc_array("out", p.n)
+    pc_w = _pc("privatemissing-orig-yes", 55)
+    pc_r1 = _pc("privatemissing-orig-yes", 59)
+    pc_r2 = _pc("privatemissing-orig-yes", 60)
+
+    def body(ctx):
+        with ctx.single(nowait=True) as mine:
+            if mine:
+                ctx.write(tmp, 0, 42.0, pc=pc_w)
+        for i in ctx.for_range(p.n):
+            v1 = ctx.read(tmp, 0, pc=pc_r1)
+            v2 = ctx.read(tmp, 0, pc=pc_r2)
+            ctx.write(out, i, v1 + v2, pc=_pc("privatemissing-orig-yes", 61))
+
+    m.parallel(body)
+
+
+@workload(
+    "outputdep-orig-yes",
+    _SUITE,
+    racy=True,
+    documented_races=2,
+    seeded_races=2,
+    description="Output dependence: every thread writes and reads shared x.",
+    n=48,
+)
+def outputdep_yes(m, p):
+    x = m.alloc_scalar("x", fill=10)
+    a = m.alloc_array("a", p.n)
+    pc_w = _pc("outputdep-orig-yes", 56)
+    pc_r = _pc("outputdep-orig-yes", 57)
+
+    def body(ctx):
+        for i in ctx.for_range(p.n):
+            ctx.write(x, 0, float(i), pc=pc_w)
+            v = ctx.read(x, 0, pc=pc_r)
+            ctx.write(a, i, v, pc=_pc("outputdep-orig-yes", 58))
+
+    m.parallel(body)
+
+
+@workload(
+    "reductionmissing-orig-yes",
+    _SUITE,
+    racy=True,
+    documented_races=1,
+    seeded_races=2,
+    description="Sum accumulated into a shared variable without reduction.",
+    n=64,
+)
+def reductionmissing_yes(m, p):
+    data = m.alloc_array("data", p.n, fill=1)
+    total = m.alloc_scalar("total")
+    pc_r = _pc("reductionmissing-orig-yes", 60, "load")
+    pc_w = _pc("reductionmissing-orig-yes", 60, "store")
+
+    def body(ctx):
+        for i in ctx.for_range(p.n):
+            v = ctx.read(data, i, pc=_pc("reductionmissing-orig-yes", 59))
+            s = ctx.read(total, 0, pc=pc_r)
+            ctx.write(total, 0, s + v, pc=pc_w)
+
+    m.parallel(body)
+
+
+@workload(
+    "nobarrier-orig-yes",
+    _SUITE,
+    racy=True,
+    documented_races=1,
+    seeded_races=1,
+    description="Missing barrier between a write phase and a shifted read.",
+    n=96,
+)
+def nobarrier_yes(m, p):
+    a = m.alloc_array("a", p.n, fill=1)
+    b = m.alloc_array("b", p.n)
+    pc_w = _pc("nobarrier-orig-yes", 54)
+    pc_r = _pc("nobarrier-orig-yes", 57)
+
+    def body(ctx):
+        lo, hi = ctx.static_chunk(p.n)
+        for i in range(lo, hi):
+            ctx.write(a, i, float(i), pc=pc_w)
+        # Missing ctx.barrier() here.
+        for i in range(lo, hi):
+            v = ctx.read(a, (i + 1) % p.n, pc=pc_r)
+            ctx.write(b, i, v, pc=_pc("nobarrier-orig-yes", 58))
+        ctx.barrier()
+
+    m.parallel(body)
+
+
+@workload(
+    "sections-orig-yes",
+    _SUITE,
+    racy=True,
+    documented_races=1,
+    seeded_races=1,
+    description="Two sections on different threads write the same variable.",
+)
+def sections_yes(m, p):
+    x = m.alloc_scalar("x")
+    pc_1 = _pc("sections-orig-yes", 55)
+    pc_2 = _pc("sections-orig-yes", 58)
+
+    def body(ctx):
+        # Section bodies pinned to distinct threads (models the racy
+        # distribution the original exhibits).
+        if ctx.tid == 0:
+            ctx.write(x, 0, 1.0, pc=pc_1)
+        elif ctx.tid == 1 % ctx.nthreads:
+            ctx.write(x, 0, 2.0, pc=pc_2)
+        ctx.barrier()
+
+    m.parallel(body)
+
+
+@workload(
+    "simdtruedep-orig-yes",
+    _SUITE,
+    racy=True,
+    documented_races=1,
+    seeded_races=1,
+    description="True dependence a[i] = a[i-1] (the paper's Fig-5 example).",
+    n=128,
+)
+def simdtruedep_yes(m, p):
+    a = m.alloc_array("a", p.n, fill=1)
+    pc_r = _pc("simdtruedep-orig-yes", 52)
+    pc_w = _pc("simdtruedep-orig-yes", 52, "store")
+
+    def body(ctx):
+        for i in ctx.for_range(p.n - 1):
+            v = ctx.read(a, i, pc=pc_r)
+            ctx.write(a, i + 1, v, pc=pc_w)
+
+    m.parallel(body)
+
+
+@workload(
+    "lastprivatemissing-orig-yes",
+    _SUITE,
+    racy=True,
+    documented_races=1,
+    seeded_races=1,
+    description="Loop live-out variable written by every thread.",
+    n=40,
+)
+def lastprivatemissing_yes(m, p):
+    x = m.alloc_scalar("x")
+    pc_w = _pc("lastprivatemissing-orig-yes", 53)
+
+    def body(ctx):
+        for i in ctx.for_range(p.n):
+            ctx.write(x, 0, float(i), pc=pc_w)
+
+    m.parallel(body)
+
+
+@workload(
+    "criticalmissing-orig-yes",
+    _SUITE,
+    racy=True,
+    documented_races=2,
+    seeded_races=2,
+    description="Balance updates without the intended critical section.",
+    iters=6,
+)
+def criticalmissing_yes(m, p):
+    balance = m.alloc_scalar("balance", fill=100)
+    pc_r = _pc("criticalmissing-orig-yes", 48, "load")
+    pc_w = _pc("criticalmissing-orig-yes", 48, "store")
+
+    def body(ctx):
+        for _ in range(p.iters):
+            v = ctx.read(balance, 0, pc=pc_r)
+            ctx.write(balance, 0, v + 1.0, pc=pc_w)
+
+    m.parallel(body)
+
+
+@workload(
+    "nestedparallel-orig-yes",
+    _SUITE,
+    racy=True,
+    documented_races=1,
+    seeded_races=1,
+    description="Figure-2 style: nested sibling regions race on shared y.",
+    inner=2,
+)
+def nestedparallel_yes(m, p):
+    y = m.alloc_scalar("y")
+    pc_w = _pc("nestedparallel-orig-yes", 60)
+
+    def inner(ctx2):
+        ctx2.write(y, 0, float(ctx2.tid), pc=pc_w)
+
+    def outer(ctx):
+        ctx.parallel(inner, nthreads=p.inner)
+
+    m.parallel(outer, nthreads=2)
+
+
+# ---------------------------------------------------------------------------
+# Race-free benchmarks ("-no"): the false-positive control group
+# ---------------------------------------------------------------------------
+
+
+@workload(
+    "antidep1-var-no",
+    _SUITE,
+    racy=False,
+    description="Anti-dependence resolved by splitting phases with a barrier.",
+    n=128,
+)
+def antidep1_no(m, p):
+    a = m.alloc_array("a", p.n + 1, fill=1)
+    b = m.alloc_array("b", p.n + 1)
+    pc_r = _pc("antidep1-var-no", 44)
+    pc_w = _pc("antidep1-var-no", 48)
+
+    def body(ctx):
+        lo, hi = ctx.static_chunk(p.n)
+        vals = ctx.read_slice(a, lo + 1, hi + 1, pc=pc_r)
+        ctx.write_slice(b, lo, hi, vals + 1.0, pc=_pc("antidep1-var-no", 45))
+        ctx.barrier()
+        ctx.write_slice(a, lo, hi, ctx.read_slice(b, lo, hi, pc=pc_w), pc=pc_w)
+
+    m.parallel(body)
+
+
+@workload(
+    "critical-orig-no",
+    _SUITE,
+    racy=False,
+    description="Shared counter correctly guarded by a critical section.",
+    iters=6,
+)
+def critical_no(m, p):
+    count = m.alloc_scalar("count", dtype=np.int64)
+    pc_r = _pc("critical-orig-no", 51, "load")
+    pc_w = _pc("critical-orig-no", 51, "store")
+
+    def body(ctx):
+        for _ in range(p.iters):
+            with ctx.critical("count"):
+                v = ctx.read(count, 0, pc=pc_r)
+                ctx.write(count, 0, v + 1, pc=pc_w)
+
+    m.parallel(body)
+
+
+@workload(
+    "atomic-orig-no",
+    _SUITE,
+    racy=False,
+    description="Shared counter updated with omp atomic.",
+    iters=8,
+)
+def atomic_no(m, p):
+    count = m.alloc_scalar("count", dtype=np.int64)
+    pc = _pc("atomic-orig-no", 49)
+
+    def body(ctx):
+        for _ in range(p.iters):
+            ctx.atomic_add(count, 0, 1, pc=pc)
+
+    m.parallel(body)
+
+
+@workload(
+    "barrier-orig-no",
+    _SUITE,
+    racy=False,
+    description="Write phase and shifted read phase separated by a barrier.",
+    n=96,
+)
+def barrier_no(m, p):
+    a = m.alloc_array("a", p.n, fill=1)
+    b = m.alloc_array("b", p.n)
+
+    def body(ctx):
+        lo, hi = ctx.static_chunk(p.n)
+        for i in range(lo, hi):
+            ctx.write(a, i, float(i), pc=_pc("barrier-orig-no", 44))
+        ctx.barrier()
+        for i in range(lo, hi):
+            v = ctx.read(a, (i + 1) % p.n, pc=_pc("barrier-orig-no", 47))
+            ctx.write(b, i, v, pc=_pc("barrier-orig-no", 48))
+
+    m.parallel(body)
+
+
+@workload(
+    "reduction-orig-no",
+    _SUITE,
+    racy=False,
+    description="Proper reduction: private accumulation + guarded combine.",
+    n=64,
+)
+def reduction_no(m, p):
+    data = m.alloc_array("data", p.n, fill=2)
+    total = m.alloc_scalar("total")
+    pc_r = _pc("reduction-orig-no", 52)
+
+    def body(ctx):
+        lo, hi = ctx.static_chunk(p.n)
+        local = float(ctx.read_slice(data, lo, hi, pc=pc_r).sum())
+        ctx.reduce_add(total, 0, local, pc=_pc("reduction-orig-no", 54))
+        ctx.barrier()
+
+    m.parallel(body)
+    assert m.data(total)[0] == 2.0 * p.n
+
+
+@workload(
+    "single-orig-no",
+    _SUITE,
+    racy=False,
+    description="Init inside single (with its implicit barrier), then reads.",
+    n=48,
+)
+def single_no(m, p):
+    init = m.alloc_scalar("init")
+    out = m.alloc_array("out", p.n)
+
+    def body(ctx):
+        with ctx.single() as mine:  # implicit barrier at the end
+            if mine:
+                ctx.write(init, 0, 7.0, pc=_pc("single-orig-no", 43))
+        lo, hi = ctx.static_chunk(p.n)
+        for i in range(lo, hi):
+            v = ctx.read(init, 0, pc=_pc("single-orig-no", 46))
+            ctx.write(out, i, v, pc=_pc("single-orig-no", 47))
+
+    m.parallel(body)
+
+
+@workload(
+    "firstprivate-orig-no",
+    _SUITE,
+    racy=False,
+    description="Private temporaries, disjoint output slices.",
+    n=96,
+)
+def firstprivate_no(m, p):
+    out = m.alloc_array("out", p.n)
+
+    def body(ctx):
+        tmp = 3.0  # genuinely private (a Python local)
+        lo, hi = ctx.static_chunk(p.n)
+        ctx.write_slice(
+            out, lo, hi, tmp * np.arange(lo, hi), pc=_pc("firstprivate-orig-no", 45)
+        )
+
+    m.parallel(body)
+
+
+@workload(
+    "indirectaccess-orig-no",
+    _SUITE,
+    racy=False,
+    description="Indirect writes through provably disjoint index sets.",
+    n=64,
+)
+def indirectaccess_no(m, p):
+    base = m.alloc_array("base", 2 * p.n)
+    idx = np.arange(p.n) * 2  # even slots only
+
+    def body(ctx):
+        lo, hi = ctx.static_chunk(p.n)
+        ctx.write_elems(base, idx[lo:hi], 1.0, pc=_pc("indirectaccess-orig-no", 52))
+
+    m.parallel(body)
+
+
+@workload(
+    "matrixvector-orig-no",
+    _SUITE,
+    racy=False,
+    description="Row-parallel matrix-vector product (shared reads only).",
+    n=24,
+)
+def matrixvector_no(m, p):
+    n = p.n
+    a = m.alloc_array("A", (n, n), fill=1)
+    x = m.alloc_array("x", n, fill=2)
+    y = m.alloc_array("y", n)
+
+    def body(ctx):
+        for i in ctx.for_range(n):
+            row = ctx.read_slice(a, i * n, (i + 1) * n, pc=_pc("matrixvector-orig-no", 47))
+            vec = ctx.read_slice(x, 0, n, pc=_pc("matrixvector-orig-no", 48))
+            ctx.write(y, i, float(row @ vec), pc=_pc("matrixvector-orig-no", 49))
+
+    m.parallel(body)
+    assert np.allclose(m.data(y), 2.0 * n)
+
+
+@workload(
+    "nowait-orig-no",
+    _SUITE,
+    racy=False,
+    description="nowait loops touching disjoint arrays (no cross dependence).",
+    n=96,
+)
+def nowait_no(m, p):
+    a = m.alloc_array("a", p.n)
+    b = m.alloc_array("b", p.n)
+
+    def body(ctx):
+        for i in ctx.for_range(p.n, nowait=True):
+            ctx.write(a, i, float(i), pc=_pc("nowait-orig-no", 44))
+        for i in ctx.for_range(p.n):
+            ctx.write(b, i, float(i) * 2, pc=_pc("nowait-orig-no", 46))
+
+    m.parallel(body)
+
+
+@workload(
+    "masterbarrier-orig-no",
+    _SUITE,
+    racy=False,
+    description="Master writes, explicit barrier, everyone reads.",
+    n=48,
+)
+def masterbarrier_no(m, p):
+    flag = m.alloc_scalar("flag")
+    out = m.alloc_array("out", p.n)
+
+    def body(ctx):
+        if ctx.master():
+            ctx.write(flag, 0, 5.0, pc=_pc("masterbarrier-orig-no", 42))
+        ctx.barrier()
+        lo, hi = ctx.static_chunk(p.n)
+        for i in range(lo, hi):
+            v = ctx.read(flag, 0, pc=_pc("masterbarrier-orig-no", 45))
+            ctx.write(out, i, v, pc=_pc("masterbarrier-orig-no", 46))
+
+    m.parallel(body)
+
+
+@workload(
+    "sectionslock-orig-no",
+    _SUITE,
+    racy=False,
+    description="Thread-dispatched writers sharing one lock.",
+)
+def sectionslock_no(m, p):
+    x = m.alloc_scalar("x")
+
+    def body(ctx):
+        lock_pc = _pc("sectionslock-orig-no", 51)
+        if ctx.tid == 0:
+            with ctx.critical("x"):
+                ctx.write(x, 0, 1.0, pc=lock_pc)
+        elif ctx.tid == 1 % ctx.nthreads:
+            with ctx.critical("x"):
+                ctx.write(x, 0, 2.0, pc=_pc("sectionslock-orig-no", 54))
+        ctx.barrier()
+
+    m.parallel(body)
+
+
+@workload(
+    "master-orig-yes",
+    _SUITE,
+    racy=True,
+    documented_races=1,
+    seeded_races=1,
+    archer_misses=1,
+    description="Master writes without a barrier; teammates read.",
+    notes=(
+        "Another §II eviction instance: the master's own per-iteration "
+        "re-reads of init purge its write record before any teammate reads."
+    ),
+    n=24,
+)
+def master_yes(m, p):
+    init = m.alloc_scalar("init")
+    out = m.alloc_array("out", p.n)
+    pc_w = _pc("master-orig-yes", 44)
+    pc_r = _pc("master-orig-yes", 47)
+
+    def body(ctx):
+        if ctx.master():
+            ctx.write(init, 0, 5.0, pc=pc_w)
+        # Missing barrier: master has no implied synchronisation.
+        lo, hi = ctx.static_chunk(p.n)
+        for i in range(lo, hi):
+            v = ctx.read(init, 0, pc=pc_r)
+            ctx.write(out, i, v, pc=_pc("master-orig-yes", 48))
+
+    m.parallel(body)
+
+
+@workload(
+    "truedeplinear-orig-yes",
+    _SUITE,
+    racy=True,
+    documented_races=1,
+    seeded_races=1,
+    description="Linear-offset true dependence: a[i+7] = a[i] + 1.",
+    n=120,
+)
+def truedeplinear_yes(m, p):
+    a = m.alloc_array("a", p.n + 7, fill=1)
+    pc_r = _pc("truedeplinear-orig-yes", 52)
+    pc_w = _pc("truedeplinear-orig-yes", 52, "store")
+
+    def body(ctx):
+        for i in ctx.for_range(p.n):
+            v = ctx.read(a, i, pc=pc_r)
+            ctx.write(a, i + 7, v + 1.0, pc=pc_w)
+
+    m.parallel(body)
+
+
+@workload(
+    "doall1-orig-no",
+    _SUITE,
+    racy=False,
+    description="Embarrassingly parallel loop: disjoint element writes.",
+    n=128,
+)
+def doall1_no(m, p):
+    a = m.alloc_array("a", p.n)
+
+    def body(ctx):
+        for i in ctx.for_range(p.n):
+            ctx.write(a, i, float(i), pc=_pc("doall1-orig-no", 43))
+
+    m.parallel(body)
+    assert m.data(a)[p.n - 1] == float(p.n - 1)
+
+
+@workload(
+    "doallchar-orig-no",
+    _SUITE,
+    racy=False,
+    description="Disjoint single-byte writes (sub-word shadow masks).",
+    n=64,
+)
+def doallchar_no(m, p):
+    import numpy as _np
+
+    a = m.alloc_array("chars", p.n, dtype=_np.int8)
+
+    def body(ctx):
+        lo, hi = ctx.static_chunk(p.n)
+        for i in range(lo, hi):
+            ctx.write(a, i, i % 100, pc=_pc("doallchar-orig-no", 41))
+
+    m.parallel(body)
+    assert int(m.data(a)[1]) == 1

@@ -1,0 +1,1 @@
+"""HPC mini-app models (HPCCG, miniFE, LULESH, AMG2013)."""

@@ -1,0 +1,339 @@
+"""HPC benchmark models (paper §IV-C, Tables IV/V, Figures 7/8).
+
+Scaled-down models of the four applications the paper evaluates, preserving
+the structural properties its results depend on:
+
+* **HPCCG** (Mantevo): CG solver; one documented write-write race where all
+  threads store the same value into a shared residual variable — benign
+  looking, undefined behaviour per the C/C++ standard (both tools find it).
+* **miniFE** (CORAL): FE assembly + CG, race-free; medium footprint.
+* **LULESH** (CORAL): race-free, but executes a very large number of small
+  parallel regions and barriers — the property that makes SWORD's log
+  collection I/O-bound (its one slowdown loss, Figure 7c) and its offline
+  analysis expensive (Table V).
+* **AMG2013** (CORAL): algebraic multigrid with a parameterised grid size
+  (10^3..40^3).  Its one large parallel region carries 4 "known" races plus
+  10 read-write races whose write records ARCHER loses to shadow-cell
+  eviction; its footprint scales with the problem size (``sim_scale``
+  models the production per-node footprint), so ARCHER's proportional
+  shadow memory OOMs the simulated 32 GB node at 40^3 while SWORD's
+  bounded per-thread buffers never do (Table IV, Figure 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...common.sourceloc import pc_of
+from ..base import workload
+
+_SUITE = "hpc"
+
+
+def _pc(bench: str, line: int, func: str = "main") -> int:
+    return pc_of(f"{bench}.c", line, func)
+
+
+# ---------------------------------------------------------------------------
+# HPCCG — CG with the documented benign-looking write-write race
+# ---------------------------------------------------------------------------
+
+
+@workload(
+    "hpccg",
+    _SUITE,
+    racy=True,
+    documented_races=1,
+    seeded_races=1,
+    description="Conjugate gradient; shared residual written by every thread.",
+    notes=(
+        "The race: every thread stores the *same* residual value into a "
+        "shared variable without synchronisation — undefined behaviour the "
+        "paper highlights (§IV-C).  One write-write site pair."
+    ),
+    n=512,
+    iters=6,
+)
+def hpccg(m, p):
+    n = p.n
+    # 1-D Laplacian in CSR-like dense diagonals (models the 27-pt stencil).
+    x = m.alloc_array("x", n, fill=0)
+    b = m.alloc_array("b", n, fill=1)
+    r = m.alloc_array("r", n)
+    pk = m.alloc_array("p", n)
+    ap = m.alloc_array("Ap", n)
+    rtrans = m.alloc_scalar("rtrans")
+    alpha_den = m.alloc_scalar("alpha_den")
+    normr = m.alloc_scalar("normr")  # the racy shared residual
+    pc_race = _pc("hpccg", 142, "cg_iter")
+
+    def spmv_chunk(ctx, src, dst, lo, hi):
+        mid = ctx.read_slice(src, lo, hi, pc=_pc("hpccg", 98, "spmv"))
+        left = ctx.read_slice(src, max(lo - 1, 0), max(hi - 1, 0),
+                              pc=_pc("hpccg", 99, "spmv"))
+        right = ctx.read_slice(src, min(lo + 1, n), min(hi + 1, n),
+                               pc=_pc("hpccg", 100, "spmv"))
+        left = np.pad(left, (mid.shape[0] - left.shape[0], 0))
+        right = np.pad(right, (0, mid.shape[0] - right.shape[0]))
+        ctx.write_slice(dst, lo, hi, 2.0 * mid - left - right,
+                        pc=_pc("hpccg", 101, "spmv"))
+
+    def body(ctx):
+        lo, hi = ctx.static_chunk(n)
+        bv = ctx.read_slice(b, lo, hi, pc=_pc("hpccg", 120, "init"))
+        ctx.write_slice(r, lo, hi, bv, pc=_pc("hpccg", 121, "init"))
+        ctx.write_slice(pk, lo, hi, bv, pc=_pc("hpccg", 122, "init"))
+        ctx.barrier()
+        for _ in range(p.iters):
+            # rtrans = r . r  (correct reduction)
+            with ctx.single() as mine:
+                if mine:
+                    ctx.write(rtrans, 0, 0.0, pc=_pc("hpccg", 130, "ddot"))
+            rv = ctx.read_slice(r, lo, hi, pc=_pc("hpccg", 132, "ddot"))
+            ctx.reduce_add(rtrans, 0, float(rv @ rv), pc=_pc("hpccg", 133, "ddot"))
+            ctx.barrier()
+            spmv_chunk(ctx, pk, ap, lo, hi)
+            ctx.barrier()
+            with ctx.single() as mine:
+                if mine:
+                    ctx.write(alpha_den, 0, 0.0, pc=_pc("hpccg", 136, "ddot"))
+            pv = ctx.read_slice(pk, lo, hi, pc=_pc("hpccg", 137, "ddot"))
+            av = ctx.read_slice(ap, lo, hi, pc=_pc("hpccg", 138, "ddot"))
+            ctx.reduce_add(alpha_den, 0, float(pv @ av), pc=_pc("hpccg", 139, "ddot"))
+            ctx.barrier()
+            num = float(m.data(rtrans)[0])
+            den = float(m.data(alpha_den)[0]) or 1.0
+            alpha = num / den
+            xv = ctx.read_slice(x, lo, hi, pc=_pc("hpccg", 140, "waxpby"))
+            ctx.write_slice(x, lo, hi, xv + alpha * pv, pc=_pc("hpccg", 141, "waxpby"))
+            ctx.write_slice(r, lo, hi, rv - alpha * av, pc=_pc("hpccg", 141, "waxpby2"))
+            # THE RACE: every thread stores the same residual value.
+            ctx.write(normr, 0, float(np.sqrt(max(num, 0.0))), pc=pc_race)
+            ctx.barrier()
+            beta = 1.0 / max(num, 1e-30) * max(num * 0.5, 1e-30)
+            rv2 = ctx.read_slice(r, lo, hi, pc=_pc("hpccg", 145, "waxpby"))
+            ctx.write_slice(pk, lo, hi, rv2 + beta * pv, pc=_pc("hpccg", 146, "waxpby"))
+            ctx.barrier()
+
+    m.parallel(body)
+
+
+# ---------------------------------------------------------------------------
+# miniFE — race-free FE assembly + CG
+# ---------------------------------------------------------------------------
+
+
+@workload(
+    "minife",
+    _SUITE,
+    racy=False,
+    description="Finite-element assembly and CG solve, correctly synchronised.",
+    n=400,
+    iters=5,
+)
+def minife(m, p):
+    n = p.n
+    diag = m.alloc_array("diag", n, fill=4)
+    off = m.alloc_array("off", n, fill=-1)
+    rhs = m.alloc_array("rhs", n)
+    x = m.alloc_array("x", n, fill=0)
+    r = m.alloc_array("r", n)
+    dot = m.alloc_scalar("dot")
+
+    def body(ctx):
+        lo, hi = ctx.static_chunk(n)
+        # Assembly: each thread owns disjoint rows.
+        ctx.write_slice(diag, lo, hi, 4.0 + np.zeros(hi - lo),
+                        pc=_pc("minife", 77, "assemble"))
+        ctx.write_slice(rhs, lo, hi, np.ones(hi - lo),
+                        pc=_pc("minife", 78, "assemble"))
+        ctx.barrier()
+        for _ in range(p.iters):
+            d = ctx.read_slice(diag, lo, hi, pc=_pc("minife", 90, "solve"))
+            o = ctx.read_slice(off, lo, hi, pc=_pc("minife", 91, "solve"))
+            xv = ctx.read_slice(x, lo, hi, pc=_pc("minife", 92, "solve"))
+            bv = ctx.read_slice(rhs, lo, hi, pc=_pc("minife", 93, "solve"))
+            res = bv - d * xv - o * xv
+            ctx.write_slice(r, lo, hi, res, pc=_pc("minife", 94, "solve"))
+            with ctx.single() as mine:
+                if mine:
+                    ctx.write(dot, 0, 0.0, pc=_pc("minife", 96, "solve"))
+            ctx.reduce_add(dot, 0, float(res @ res), pc=_pc("minife", 97, "solve"))
+            ctx.barrier()
+            ctx.write_slice(x, lo, hi, xv + 0.25 * res, pc=_pc("minife", 99, "solve"))
+            ctx.barrier()
+
+    m.parallel(body)
+
+
+# ---------------------------------------------------------------------------
+# LULESH — race-free; very many small regions (I/O pressure for SWORD)
+# ---------------------------------------------------------------------------
+
+
+@workload(
+    "lulesh",
+    _SUITE,
+    racy=False,
+    description="Shock hydro time stepping: many small regions and barriers.",
+    notes=(
+        "The structural point (Figure 7c / Table V): ~8 parallel regions "
+        "per time step over many steps inflate SWORD's per-region metadata "
+        "and I/O, making its collection slower than ARCHER's here."
+    ),
+    nelem=96,
+    steps=40,
+)
+def lulesh(m, p):
+    n = p.nelem
+    coords = m.alloc_array("coords", n, fill=0)
+    vel = m.alloc_array("vel", n, fill=0)
+    force = m.alloc_array("force", n, fill=0)
+    energy = m.alloc_array("energy", n, fill=1)
+    pressure = m.alloc_array("pressure", n, fill=1)
+    q = m.alloc_array("q", n, fill=0)
+    vol = m.alloc_array("vol", n, fill=1)
+    dt = m.alloc_scalar("dt", fill=1e-3)
+
+    def kernel(name, line, reads, writes, f):
+        """One LULESH sub-kernel = one parallel region."""
+
+        def body(ctx):
+            lo, hi = ctx.static_chunk(n)
+            ins = [
+                ctx.read_slice(a, lo, hi, pc=_pc("lulesh", line + k, name))
+                for k, a in enumerate(reads)
+            ]
+            outs = f(*ins)
+            if not isinstance(outs, tuple):
+                outs = (outs,)
+            for k, (a, v) in enumerate(zip(writes, outs)):
+                ctx.write_slice(a, lo, hi, v, pc=_pc("lulesh", line + 10 + k, name))
+
+        m.parallel(body)
+
+    for _step in range(p.steps):
+        kernel("CalcForce", 100, [pressure, q], [force],
+               lambda pr, qq: -(pr + qq))
+        kernel("CalcAccel", 120, [force], [vel],
+               lambda fo: fo * 1e-3)
+        kernel("CalcPos", 140, [coords, vel], [coords],
+               lambda c, v: c + v * 1e-3)
+        kernel("CalcKinematics", 160, [coords], [vol],
+               lambda c: 1.0 + 0.01 * np.abs(c))
+        kernel("CalcQ", 180, [vel, vol], [q],
+               lambda v, vo: np.abs(v) / vo)
+        kernel("CalcEOS", 200, [energy, vol], [pressure],
+               lambda e, vo: e / vo)
+        kernel("CalcEnergy", 220, [pressure, vol], [energy],
+               lambda pr, vo: np.maximum(pr * vo, 1e-9))
+
+        def update_dt(ctx):
+            # Courant reduction: every thread reads its chunk's velocities;
+            # only the master stores the new dt (after the implicit join of
+            # the previous region, so this is race-free).
+            lo, hi = ctx.static_chunk(n)
+            v = ctx.read_slice(vel, lo, hi, pc=_pc("lulesh", 240, "UpdateDt"))
+            _ = float(np.abs(v).max()) if v.shape[0] else 0.0
+            ctx.barrier()
+            if ctx.master():
+                ctx.write(dt, 0, 1e-3, pc=_pc("lulesh", 244, "UpdateDt"))
+
+        m.parallel(update_dt)
+
+
+# ---------------------------------------------------------------------------
+# AMG2013 — grid-size-parameterised multigrid with the seeded race families
+# ---------------------------------------------------------------------------
+
+#: Simulated per-gridpoint footprint: calibrated so the 40^3 problem's
+#: application memory times ARCHER's 5-7x overhead exceeds a 32 GiB node
+#: while 30^3 fits (Table IV / Figure 8 crossover).
+AMG_SIM_BYTES_PER_POINT = 110 * 1024
+
+#: Number of eviction-missed read-write races in the large region (paper:
+#: 10 additional races SWORD detects that ARCHER misses at every size).
+AMG_HIDDEN_RACES = 10
+#: Number of "known" races both tools detect.
+AMG_KNOWN_RACES = 4
+
+
+def _amg_program(m, p):
+    npts = p.size ** 3
+    sim_scale = max(1, AMG_SIM_BYTES_PER_POINT // 8 // 6)
+    u = m.alloc_array("amg.u", npts, fill=0, sim_scale=sim_scale)
+    f = m.alloc_array("amg.f", npts, fill=1, sim_scale=sim_scale)
+    r = m.alloc_array("amg.r", npts, fill=0, sim_scale=sim_scale)
+    coarse = m.alloc_array("amg.coarse", max(npts // 8, 8), fill=0,
+                           sim_scale=sim_scale)
+    aux = m.alloc_array("amg.aux", npts, fill=0, sim_scale=sim_scale)
+    work = m.alloc_array("amg.work", npts, fill=0, sim_scale=sim_scale)
+    # Shared scalars carrying the seeded races.
+    known = [m.alloc_scalar(f"amg.known{k}") for k in range(AMG_KNOWN_RACES)]
+    hidden = [m.alloc_scalar(f"amg.hidden{k}") for k in range(AMG_HIDDEN_RACES)]
+    pc_known_w = [
+        _pc("amg2013", 300 + k, "solve_store") for k in range(AMG_KNOWN_RACES)
+    ]
+    pc_hidden_w = [_pc("amg2013", 400 + k, "setup") for k in range(AMG_HIDDEN_RACES)]
+    pc_hidden_r = [
+        _pc("amg2013", 420 + k, "solve") for k in range(AMG_HIDDEN_RACES)
+    ]
+
+    def body(ctx):
+        # --- one large parallel region (~the paper's 400-LOC region) ---
+        lo, hi = ctx.static_chunk(npts)
+        # Hidden-race seeds: the claiming thread (the master, which has the
+        # head start) writes each stat cell once, then re-reads them all
+        # every sweep — evicting its own write records from ARCHER's cells.
+        with ctx.single(nowait=True) as mine:
+            if mine:
+                for k, cell in enumerate(hidden):
+                    ctx.write(cell, 0, float(k), pc=pc_hidden_w[k])
+        for sweep in range(p.sweeps):
+            # Relaxation: disjoint chunks, race-free.
+            uv = ctx.read_slice(u, lo, hi, pc=_pc("amg2013", 210, "relax"))
+            fv = ctx.read_slice(f, lo, hi, pc=_pc("amg2013", 211, "relax"))
+            ctx.write_slice(u, lo, hi, 0.8 * uv + 0.2 * fv,
+                            pc=_pc("amg2013", 212, "relax"))
+            ctx.write_slice(r, lo, hi, fv - uv, pc=_pc("amg2013", 213, "relax"))
+            ctx.write_slice(work, lo, hi, uv * 0.5, pc=_pc("amg2013", 214, "relax"))
+            # Known races: unsynchronised convergence flags (every thread
+            # stores into them each sweep -> one write-write pair per flag).
+            for k, cell in enumerate(known):
+                ctx.write(cell, 0, float(sweep), pc=pc_known_w[k])
+            # Hidden races: everyone polls the stat cells each sweep; the
+            # master's polls evicted its own writes long before workers run.
+            for k, cell in enumerate(hidden):
+                ctx.read(cell, 0, pc=pc_hidden_r[k])
+        ctx.barrier()
+        # Coarse-grid correction (race-free: disjoint coarse chunks).
+        clo, chi = ctx.static_chunk(len(coarse))
+        if chi > clo:
+            rv = ctx.read_slice(r, clo * 8, min(chi * 8, npts),
+                                pc=_pc("amg2013", 240, "restrict"))
+            agg = rv.reshape(-1, 8).mean(axis=1) if rv.shape[0] >= 8 else rv[:1]
+            agg = np.resize(agg, chi - clo)
+            ctx.write_slice(coarse, clo, chi, agg, pc=_pc("amg2013", 241, "restrict"))
+        ctx.barrier()
+        av = ctx.read_slice(u, lo, hi, pc=_pc("amg2013", 260, "prolong"))
+        ctx.write_slice(aux, lo, hi, av, pc=_pc("amg2013", 261, "prolong"))
+
+    m.parallel(body)
+
+
+for _size in (10, 20, 30, 40):
+    workload(
+        f"amg2013_{_size}",
+        _SUITE,
+        racy=True,
+        documented_races=AMG_KNOWN_RACES,
+        seeded_races=AMG_KNOWN_RACES + AMG_HIDDEN_RACES,
+        archer_misses=AMG_HIDDEN_RACES,
+        description=f"Algebraic multigrid, {_size}^3 grid (paper's AMG2013_{_size}).",
+        notes=(
+            "4 known counter races (both tools) + 10 eviction-missed stat "
+            "races (SWORD only).  Footprint scales as size^3 via sim_scale."
+        ),
+        size=_size,
+        sweeps=6,
+    )(_amg_program)

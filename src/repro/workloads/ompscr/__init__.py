@@ -1,0 +1,1 @@
+"""OmpSCR model-program ports."""

@@ -1,0 +1,536 @@
+"""OmpSCR model suite (paper §IV-B, Tables II/III, Figure 6).
+
+Ports of the OmpSCR benchmarks preserving each one's documented race
+mechanism plus the *undocumented* races the paper reports SWORD finding
+(in ``c_md``, ``c_testPath``, ``cpp_qsomp{1,2,5,6}``):
+
+* documented races are plain unordered conflicts both tools catch;
+* the SWORD-only races are seeded with the two mechanisms §I/§II describe —
+  shadow-cell eviction (a writer's own re-reads purge its write record
+  before any reader arrives) and happens-before masking (an unlocked access
+  ordered behind a lock edge by the observed schedule);
+* the race-free benchmarks (pi, jacobi, lu, fft, loop solutions) are the
+  false-positive control and also carry the compute kernels used for the
+  Figure-6 overhead measurements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...common.sourceloc import pc_of
+from ..base import workload
+
+_SUITE = "ompscr"
+
+
+def _pc(bench: str, line: int, func: str = "main") -> int:
+    return pc_of(f"{bench}.c", line, func)
+
+
+# ---------------------------------------------------------------------------
+# Racy benchmarks
+# ---------------------------------------------------------------------------
+
+
+@workload(
+    "c_loopA.badSolution",
+    _SUITE,
+    racy=True,
+    documented_races=1,
+    seeded_races=1,
+    description="Wavefront loop parallelised ignoring the true dependence.",
+    n=128,
+)
+def loopa_bad(m, p):
+    a = m.alloc_array("a", p.n, fill=1)
+    pc_r = _pc("c_loopA.badSolution", 40)
+    pc_w = _pc("c_loopA.badSolution", 40, "store")
+
+    def body(ctx):
+        for i in ctx.for_range(p.n - 1):
+            v = ctx.read(a, i, pc=pc_r)
+            ctx.write(a, i + 1, v + 1.0, pc=pc_w)
+
+    m.parallel(body)
+
+
+@workload(
+    "c_loopB.badSolution1",
+    _SUITE,
+    racy=True,
+    documented_races=1,
+    seeded_races=1,
+    description="Doubly nested wavefront with the inner dependence ignored.",
+    n=96,
+)
+def loopb_bad(m, p):
+    a = m.alloc_array("a", p.n, fill=2)
+    pc_r = _pc("c_loopB.badSolution1", 47)
+    pc_w = _pc("c_loopB.badSolution1", 47, "store")
+
+    def body(ctx):
+        for _sweep in range(2):
+            for i in ctx.for_range(p.n - 2):
+                v = ctx.read(a, i + 2, pc=pc_r)
+                ctx.write(a, i, 0.5 * v, pc=pc_w)
+
+    m.parallel(body)
+
+
+@workload(
+    "c_md",
+    _SUITE,
+    racy=True,
+    documented_races=2,
+    seeded_races=5,
+    archer_misses=1,
+    description="Molecular dynamics: racy force scatter + potential update.",
+    notes=(
+        "Documented: the unsynchronised force scatter f[j] and the shared "
+        "potential accumulation.  SWORD additionally finds the kinetic-"
+        "energy seed write, which ARCHER loses to shadow eviction (the "
+        "writer re-reads it every iteration of its chunk)."
+    ),
+    nparts=48,
+    neighbors=4,
+)
+def c_md(m, p):
+    n = p.nparts
+    pos = m.alloc_array("pos", n, fill=0)
+    f = m.alloc_array("f", n)
+    pot = m.alloc_scalar("pot")
+    kin = m.alloc_scalar("kin")
+    m.data(pos)[:] = np.linspace(0.0, 1.0, n)
+    pc_fr = _pc("c_md", 88, "compute")
+    pc_fw = _pc("c_md", 88, "compute_store")
+    pc_pr = _pc("c_md", 92, "compute")
+    pc_pw = _pc("c_md", 92, "compute_store")
+    pc_kw = _pc("c_md", 70, "init")
+    pc_kr = _pc("c_md", 96, "compute")
+
+    def body(ctx):
+        # The kinetic seed: written once by whichever thread initialises it
+        # (the master, which then re-reads it along its whole chunk).
+        with ctx.single(nowait=True) as mine:
+            if mine:
+                ctx.write(kin, 0, 1.0, pc=pc_kw)
+        for i in ctx.for_range(n):
+            xi = ctx.read(pos, i, pc=_pc("c_md", 85, "compute"))
+            for dj in range(1, p.neighbors + 1):
+                j = (i + dj) % n
+                xj = ctx.read(pos, j, pc=_pc("c_md", 86, "compute"))
+                d = float(xj - xi) or 1e-9
+                # Documented race 1: unsynchronised scatter to f[j].
+                fj = ctx.read(f, j, pc=pc_fr)
+                ctx.write(f, j, fj + 1.0 / (d * d), pc=pc_fw)
+            # Documented race 2: shared potential without reduction.
+            pv = ctx.read(pot, 0, pc=pc_pr)
+            ctx.write(pot, 0, pv + abs(float(xi)), pc=pc_pw)
+            # SWORD-only: every iteration re-reads the kinetic seed.
+            ctx.read(kin, 0, pc=pc_kr)
+
+    m.parallel(body)
+
+
+@workload(
+    "c_mandel",
+    _SUITE,
+    racy=True,
+    documented_races=1,
+    seeded_races=2,
+    description="Mandelbrot area: numoutside counter updated without sync.",
+    notes="The read-write half of the increment is the undocumented extra.",
+    width=24,
+    max_iter=12,
+)
+def c_mandel(m, p):
+    n = p.width * p.width
+    outside = m.alloc_scalar("numoutside", dtype=np.int64)
+    pc_r = _pc("c_mandel", 73, "testpoint")
+    pc_w = _pc("c_mandel", 73, "testpoint_store")
+
+    def body(ctx):
+        for k in ctx.for_range(n, schedule="dynamic", chunk=8):
+            cx = -2.0 + 2.5 * (k % p.width) / p.width
+            cy = -1.125 + 2.25 * (k // p.width) / p.width
+            z = complex(0.0, 0.0)
+            c = complex(cx, cy)
+            escaped = False
+            for _ in range(p.max_iter):
+                z = z * z + c
+                if (z.real * z.real + z.imag * z.imag) > 4.0:
+                    escaped = True
+                    break
+            if escaped:
+                v = ctx.read(outside, 0, pc=pc_r)
+                ctx.write(outside, 0, v + 1, pc=pc_w)
+
+    m.parallel(body)
+
+
+@workload(
+    "c_testPath",
+    _SUITE,
+    racy=True,
+    documented_races=0,
+    seeded_races=1,
+    archer_misses=1,
+    description="Path tester: unlocked best-cost fast path vs locked update.",
+    notes=(
+        "The SWORD-only race the paper reports: the encountering thread "
+        "seeds best[0] without the lock before entering the locked update "
+        "protocol; the observed release->acquire order masks it from the "
+        "happens-before baseline."
+    ),
+    npaths=32,
+)
+def c_testpath(m, p):
+    best = m.alloc_scalar("best", fill=1e18)
+    costs = m.alloc_array("costs", p.npaths, fill=0)
+    m.data(costs)[:] = np.abs(np.sin(np.arange(p.npaths))) * 100 + 1
+    lock_line = _pc("c_testPath", 66, "update")
+    pc_seed = _pc("c_testPath", 58, "seed")
+
+    def body(ctx):
+        if ctx.tid == 0:
+            # Unlocked seeding write (the race).
+            ctx.write(best, 0, 999.0, pc=pc_seed)
+        for i in ctx.for_range(p.npaths):
+            cost = float(m.data(costs)[i])
+            with ctx.critical("best"):
+                cur = ctx.read(best, 0, pc=lock_line)
+                if cost < cur:
+                    ctx.write(best, 0, cost, pc=_pc("c_testPath", 68, "update"))
+
+    m.parallel(body)
+
+
+def _qsomp(bench: str, *, documented: int, n: int):
+    """Quicksort-over-shared-stack family (cpp_qsomp*).
+
+    All variants sort for real using an explicit work stack guarded by one
+    lock.  The seeded SWORD-only race: the encountering thread initialises
+    the stack top *before* taking the lock; every later stack operation is
+    locked, so the observed lock chain happens-before-orders the seed write
+    for ARCHER while SWORD's mutex-set comparison still flags it.  Variants
+    with a documented race additionally publish the sorted-range counter
+    without synchronisation.
+    """
+
+    pc_seed = _pc(bench, 41, "init")
+    pc_pop = _pc(bench, 55, "worker")
+    pc_done_w = _pc(bench, 70, "worker")
+    pc_done_r = _pc(bench, 72, "worker")
+
+    def program(m, p):
+        data = m.alloc_array("data", p.n)
+        m.data(data)[:] = np.sin(np.arange(p.n)) * 1000
+        stack = m.alloc_array("stack", 2 * (p.n + 4), dtype=np.int64)
+        top = m.alloc_scalar("top", dtype=np.int64)
+        done = m.alloc_scalar("done", dtype=np.int64)
+        # Runtime-internal termination state (not part of the modelled
+        # access stream, like a real runtime's taskwait bookkeeping).
+        state = {"remaining": p.n}
+
+        def body(ctx):
+            if ctx.tid == 0:
+                # Racy unlocked seeding of the shared stack top.
+                ctx.write(stack, 0, 0, pc=pc_seed)
+                ctx.write(stack, 1, p.n - 1, pc=pc_seed)
+                ctx.write(top, 0, 1, pc=_pc(bench, 43, "init"))
+            flat = m.data(data)
+            while state["remaining"] > 0:
+                with ctx.critical(f"{bench}.stack"):
+                    t = int(ctx.read(top, 0, pc=pc_pop))
+                    if t <= 0:
+                        job = None
+                    else:
+                        lo = int(ctx.read(stack, 2 * (t - 1), pc=pc_pop))
+                        hi = int(ctx.read(stack, 2 * (t - 1) + 1, pc=pc_pop))
+                        ctx.write(top, 0, t - 1, pc=pc_pop)
+                        job = (lo, hi)
+                if job is None:
+                    # Nothing to steal yet: poll again (the lock acquire is
+                    # the scheduling point that lets producers progress).
+                    continue
+                lo, hi = job
+                if hi - lo < 8:
+                    flat[lo : hi + 1] = np.sort(flat[lo : hi + 1])
+                    ctx.write_slice(data, lo, hi + 1, flat[lo : hi + 1],
+                                    pc=_pc(bench, 60, "worker"))
+                    if documented:
+                        # Documented race: unsynchronised progress counter.
+                        d = ctx.read(done, 0, pc=pc_done_r)
+                        ctx.write(done, 0, d + (hi - lo + 1), pc=pc_done_w)
+                    state["remaining"] -= hi - lo + 1
+                    continue
+                pivot = flat[(lo + hi) // 2]
+                i, j = lo, hi
+                while i <= j:
+                    while flat[i] < pivot:
+                        i += 1
+                    while flat[j] > pivot:
+                        j -= 1
+                    if i <= j:
+                        flat[i], flat[j] = flat[j], flat[i]
+                        i += 1
+                        j -= 1
+                ctx.write_slice(data, lo, hi + 1, flat[lo : hi + 1],
+                                pc=_pc(bench, 64, "worker"))
+                pushes = []
+                if lo < j:
+                    pushes.append((lo, j))
+                if i < hi:
+                    pushes.append((i, hi))
+                with ctx.critical(f"{bench}.stack"):
+                    t = int(ctx.read(top, 0, pc=pc_pop))
+                    for (plo, phi) in pushes:
+                        ctx.write(stack, 2 * t, plo, pc=_pc(bench, 67, "worker"))
+                        ctx.write(stack, 2 * t + 1, phi, pc=_pc(bench, 67, "worker"))
+                        t += 1
+                    ctx.write(top, 0, t, pc=_pc(bench, 68, "worker"))
+                # Elements outside the pushed sub-ranges are in final
+                # position; account for them in one atomic-enough update.
+                pushed = sum(phi - plo + 1 for (plo, phi) in pushes)
+                state["remaining"] -= (hi - lo + 1) - pushed
+            ctx.barrier()
+
+        m.parallel(body)
+        assert (np.diff(m.data(data)) >= 0).all(), f"{bench}: sort failed"
+
+    return program
+
+
+for _name, _doc in (
+    ("cpp_qsomp1", 1),
+    ("cpp_qsomp2", 1),
+    ("cpp_qsomp5", 0),
+    ("cpp_qsomp6", 1),
+):
+    workload(
+        _name,
+        _SUITE,
+        racy=True,
+        documented_races=_doc,
+        # SWORD-only pairs: 4 from the unlocked stack seeding (masked for
+        # happens-before by the observed lock chain) + 2 from data-range
+        # writebacks handed off through the locked work queue (ordered for
+        # happens-before, concurrent-by-design under SWORD's barrier-
+        # interval semantics).  The documented counter race adds 2 pairs
+        # (R-W and W-W) that both tools see.
+        seeded_races=(_doc * 2) + 6,
+        archer_misses=6,
+        description="Quicksort over a shared lock-guarded work stack.",
+        notes=(
+            "The 6 SWORD-only pairs model the paper's undocumented qsomp "
+            "races: lock-masked seeding plus queue-handoff writebacks."
+        ),
+        n=64,
+    )(_qsomp(_name, documented=_doc, n=64))
+
+
+# ---------------------------------------------------------------------------
+# Race-free benchmarks (compute kernels for the Figure-6 overhead runs)
+# ---------------------------------------------------------------------------
+
+
+@workload(
+    "c_loopA.solution1",
+    _SUITE,
+    racy=False,
+    description="Wavefront loop fixed by phase splitting.",
+    n=128,
+)
+def loopa_ok(m, p):
+    a = m.alloc_array("a", p.n, fill=1)
+    b = m.alloc_array("b", p.n)
+
+    def body(ctx):
+        lo, hi = ctx.static_chunk(p.n - 1)
+        src = ctx.read_slice(a, lo, hi, pc=_pc("c_loopA.solution1", 52))
+        ctx.write_slice(b, lo + 1, hi + 1, src + 1.0, pc=_pc("c_loopA.solution1", 53))
+        ctx.barrier()
+        dst = ctx.read_slice(b, lo + 1, hi + 1, pc=_pc("c_loopA.solution1", 55))
+        ctx.write_slice(a, lo + 1, hi + 1, dst, pc=_pc("c_loopA.solution1", 56))
+
+    m.parallel(body)
+
+
+@workload(
+    "cpp_qsomp3",
+    _SUITE,
+    racy=False,
+    description="Quicksort variant with fully locked stack protocol.",
+    n=64,
+)
+def qsomp3_ok(m, p):
+    data = m.alloc_array("data", p.n)
+    m.data(data)[:] = np.cos(np.arange(p.n)) * 500
+
+    def body(ctx):
+        # The fixed variant partitions statically: each thread sorts its own
+        # slice, then the master merges after the implicit barrier.
+        lo, hi = ctx.static_chunk(p.n)
+        flat = m.data(data)
+        flat[lo:hi] = np.sort(flat[lo:hi])
+        ctx.write_slice(data, lo, hi, flat[lo:hi], pc=_pc("cpp_qsomp3", 49))
+
+    m.parallel(body)
+    arr = m.data(data)
+    arr[:] = np.sort(arr)
+
+
+@workload(
+    "c_pi",
+    _SUITE,
+    racy=False,
+    description="Pi by numerical integration with a proper reduction.",
+    n=4096,
+)
+def c_pi(m, p):
+    total = m.alloc_scalar("pi")
+    xs = m.alloc_array("xs", p.n)
+    m.data(xs)[:] = (np.arange(p.n) + 0.5) / p.n
+
+    def body(ctx):
+        lo, hi = ctx.static_chunk(p.n)
+        x = ctx.read_slice(xs, lo, hi, pc=_pc("c_pi", 38))
+        local = float((4.0 / (1.0 + x * x)).sum() / p.n)
+        ctx.reduce_add(total, 0, local, pc=_pc("c_pi", 40))
+        ctx.barrier()
+
+    m.parallel(body)
+    assert abs(m.data(total)[0] - np.pi) < 1e-3
+
+
+@workload(
+    "c_jacobi01",
+    _SUITE,
+    racy=False,
+    description="Jacobi solver: barriered sweep with double buffering.",
+    n=128,
+    sweeps=4,
+)
+def c_jacobi01(m, p):
+    u = m.alloc_array("u", p.n, fill=0)
+    unew = m.alloc_array("unew", p.n, fill=0)
+    m.data(u)[0] = 1.0
+    m.data(u)[-1] = 1.0
+
+    def body(ctx):
+        for _ in range(p.sweeps):
+            lo, hi = ctx.static_chunk(p.n - 2)
+            lo, hi = lo + 1, hi + 1
+            left = ctx.read_slice(u, lo - 1, hi - 1, pc=_pc("c_jacobi01", 66))
+            right = ctx.read_slice(u, lo + 1, hi + 1, pc=_pc("c_jacobi01", 67))
+            ctx.write_slice(unew, lo, hi, 0.5 * (left + right), pc=_pc("c_jacobi01", 68))
+            ctx.barrier()
+            vals = ctx.read_slice(unew, lo, hi, pc=_pc("c_jacobi01", 70))
+            ctx.write_slice(u, lo, hi, vals, pc=_pc("c_jacobi01", 71))
+            ctx.barrier()
+
+    m.parallel(body)
+
+
+@workload(
+    "c_jacobi02",
+    _SUITE,
+    racy=False,
+    description="Jacobi variant with residual reduction per sweep.",
+    n=128,
+    sweeps=3,
+)
+def c_jacobi02(m, p):
+    u = m.alloc_array("u", p.n, fill=0)
+    unew = m.alloc_array("unew", p.n, fill=0)
+    resid = m.alloc_scalar("resid")
+    m.data(u)[0] = 1.0
+
+    def body(ctx):
+        for _ in range(p.sweeps):
+            lo, hi = ctx.static_chunk(p.n - 2)
+            lo, hi = lo + 1, hi + 1
+            left = ctx.read_slice(u, lo - 1, hi - 1, pc=_pc("c_jacobi02", 70))
+            right = ctx.read_slice(u, lo + 1, hi + 1, pc=_pc("c_jacobi02", 71))
+            new = 0.5 * (left + right)
+            ctx.write_slice(unew, lo, hi, new, pc=_pc("c_jacobi02", 72))
+            old = ctx.read_slice(u, lo, hi, pc=_pc("c_jacobi02", 73))
+            ctx.reduce_add(resid, 0, float(np.abs(new - old).sum()),
+                           pc=_pc("c_jacobi02", 74))
+            ctx.barrier()
+            ctx.write_slice(u, lo, hi,
+                            ctx.read_slice(unew, lo, hi, pc=_pc("c_jacobi02", 76)),
+                            pc=_pc("c_jacobi02", 77))
+            ctx.barrier()
+
+    m.parallel(body)
+
+
+@workload(
+    "c_lu",
+    _SUITE,
+    racy=False,
+    description="LU decomposition, row-parallel elimination with barriers.",
+    n=16,
+)
+def c_lu(m, p):
+    n = p.n
+    a = m.alloc_array("A", (n, n))
+    rng = np.random.default_rng(7)
+    mat = rng.random((n, n)) + np.eye(n) * n
+    m.data(a)[:] = mat
+
+    def body(ctx):
+        flat = m.data(a)
+        for k in range(n - 1):
+            pivot_row = ctx.read_slice(a, k * n + k, k * n + n, pc=_pc("c_lu", 58))
+            for i in ctx.for_range(n - k - 1):
+                r = k + 1 + i
+                rik = ctx.read(a, r * n + k, pc=_pc("c_lu", 60))
+                factor = float(rik) / float(pivot_row[0])
+                row = ctx.read_slice(a, r * n + k, r * n + n, pc=_pc("c_lu", 62))
+                ctx.write_slice(a, r * n + k, r * n + n,
+                                row - factor * pivot_row, pc=_pc("c_lu", 63))
+                flat.reshape(-1)[r * n + k] = factor  # store multiplier (L)
+
+    m.parallel(body)
+
+
+@workload(
+    "c_fft",
+    _SUITE,
+    racy=False,
+    description="Iterative FFT butterflies with a barrier per stage.",
+    log2n=7,
+)
+def c_fft(m, p):
+    n = 1 << p.log2n
+    re = m.alloc_array("re", n)
+    im = m.alloc_array("im", n)
+    m.data(re)[:] = np.sin(np.arange(n))
+
+    def body(ctx):
+        size = 2
+        while size <= n:
+            half = size // 2
+            nblocks = n // size
+            for blk in ctx.for_range(nblocks):
+                base = blk * size
+                ang = -2j * np.pi * np.arange(half) / size
+                tw = np.exp(ang)
+                r_lo = ctx.read_slice(re, base, base + half, pc=_pc("c_fft", 81))
+                r_hi = ctx.read_slice(re, base + half, base + size, pc=_pc("c_fft", 82))
+                i_lo = ctx.read_slice(im, base, base + half, pc=_pc("c_fft", 83))
+                i_hi = ctx.read_slice(im, base + half, base + size, pc=_pc("c_fft", 84))
+                z_lo = r_lo + 1j * i_lo
+                z_hi = (r_hi + 1j * i_hi) * tw
+                out_lo = z_lo + z_hi
+                out_hi = z_lo - z_hi
+                ctx.write_slice(re, base, base + half, out_lo.real, pc=_pc("c_fft", 86))
+                ctx.write_slice(im, base, base + half, out_lo.imag, pc=_pc("c_fft", 87))
+                ctx.write_slice(re, base + half, base + size, out_hi.real, pc=_pc("c_fft", 88))
+                ctx.write_slice(im, base + half, base + size, out_hi.imag, pc=_pc("c_fft", 89))
+            size *= 2
+
+    m.parallel(body)

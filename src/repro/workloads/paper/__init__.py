@@ -1,0 +1,1 @@
+"""Paper worked-example model programs (Figures 1/2/5, §II)."""

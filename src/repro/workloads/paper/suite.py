@@ -1,0 +1,169 @@
+"""Model programs for the paper's worked examples (Figures 1, 2, 5; §II).
+
+These are the programs the paper uses to *explain* SWORD, registered as
+workloads so the harness, tests, and benchmarks can exercise them exactly
+like the evaluation suites:
+
+* ``figure2-nested`` — the concurrency structure of Figure 2: two levels of
+  nesting with barriers, seeded with the figure's three races: R1 (two
+  threads of one nested team, same barrier interval), R2 and R3 (threads
+  of *sibling* nested regions, which barrier intervals alone cannot order).
+* ``figure1-masking`` — the unlocked-write/locked-access pair whose
+  detection by happens-before depends on the schedule.
+* ``section2-eviction`` — ``a[i] = a[i] + a[0]``, the §II shadow-cell
+  eviction example.
+* ``figure5-truedep`` — ``a[i] = a[i-1]`` with two threads, the §III-B
+  interval-tree example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...common.sourceloc import pc_of
+from ..base import workload
+
+_SUITE = "paper"
+
+
+def _pc(bench: str, line: int, func: str = "main") -> int:
+    return pc_of(f"{bench}.c", line, func)
+
+
+@workload(
+    "figure2-nested",
+    _SUITE,
+    racy=True,
+    documented_races=3,
+    seeded_races=3,
+    archer_schedule_dependent=True,
+    description="Figure 2: nested regions with races R1, R2, R3.",
+    notes=(
+        "R1: write-write on y inside one nested team's barrier interval. "
+        "R2: writes to y from two sibling nested regions. "
+        "R3: write/read of x across sibling nested regions.  The happens-"
+        "before baseline masks R2/R3 under some schedules: a pool worker "
+        "reused across the sibling regions carries the first region's fork "
+        "edge into the second — incidental runtime-internal ordering, the "
+        "paper's §II masking phenomenon in its nested form."
+    ),
+)
+def figure2_nested(m, p):
+    x = m.alloc_scalar("x")
+    y = m.alloc_scalar("y")
+    pc_r1 = _pc("figure2", 21, "inner_a")      # y writes inside region A
+    pc_r2 = _pc("figure2", 31, "inner_b")      # y write inside region B
+    pc_x_w = _pc("figure2", 12, "outer")       # x write before the fork
+    pc_x_r = _pc("figure2", 33, "inner_b")     # x read inside region B
+
+    def inner_a(ctx):
+        # R1: both threads of this team write y in the same interval.
+        ctx.write(y, 0, 1.0 + ctx.tid, pc=pc_r1)
+        ctx.barrier()
+
+    def inner_b(ctx):
+        if ctx.tid == 0:
+            # R2: conflicts with inner_a's writes to y (sibling regions).
+            ctx.write(y, 0, 9.0, pc=pc_r2)
+        else:
+            # R3: reads x, written by outer thread 0 in the same outer
+            # interval (before it forked region A).
+            ctx.read(x, 0, pc=pc_x_r)
+        ctx.barrier()
+
+    def outer(ctx):
+        if ctx.tid == 0:
+            ctx.write(x, 0, 5.0, pc=pc_x_w)
+            ctx.parallel(inner_a, nthreads=2)
+        else:
+            ctx.parallel(inner_b, nthreads=2)
+        ctx.barrier()
+
+    m.parallel(outer, nthreads=2)
+
+
+@workload(
+    "figure1-masking",
+    _SUITE,
+    racy=True,
+    documented_races=1,
+    seeded_races=1,
+    archer_schedule_dependent=True,
+    description="Figure 1: unlocked write vs locked accesses (maskable).",
+    notes=(
+        "Happens-before detection of this race flips with the scheduler "
+        "seed: the racy pair is between two workers whose lock order is "
+        "schedule-dependent (experiment E8 sweeps it)."
+    ),
+)
+def figure1_masking(m, p):
+    a = m.alloc_scalar("a")
+    lock = m.new_lock("L")
+    pc_u = _pc("figure1", 5, "thread0")
+    pc_l = _pc("figure1", 9, "locked")
+
+    def body(ctx):
+        if ctx.tid == 1:
+            ctx.write(a, 0, 1.0, pc=pc_u)
+            with ctx.locked(lock):
+                ctx.write(a, 0, 2.0, pc=pc_l)
+        elif ctx.tid == 2 % ctx.nthreads:
+            with ctx.locked(lock):
+                ctx.read(a, 0, pc=pc_l)
+                ctx.write(a, 0, 3.0, pc=pc_l)
+
+    m.parallel(body, nthreads=3)
+
+
+@workload(
+    "section2-eviction",
+    _SUITE,
+    racy=True,
+    documented_races=1,
+    seeded_races=1,
+    archer_misses=1,
+    description="§II: a[i] = a[i] + a[0]; the write of a[0] gets evicted.",
+    notes=(
+        "One site pair: the master's write of a[0] vs every other thread's "
+        "per-iteration read.  Under the default master-first schedule the "
+        "owner's own re-reads purge the write record from the four shadow "
+        "cells before any worker reads, so the happens-before baseline "
+        "misses it."
+    ),
+    n=64,
+)
+def section2_eviction(m, p):
+    a = m.alloc_array("a", p.n, fill=1)
+    pc_r0 = _pc("section2", 4, "loop_read_a0")
+    pc_ri = _pc("section2", 4, "loop_read_ai")
+    pc_w = _pc("section2", 4, "loop")
+
+    def body(ctx):
+        for i in ctx.for_range(p.n):
+            v0 = ctx.read(a, 0, pc=pc_r0)
+            vi = ctx.read(a, i, pc=pc_ri)
+            ctx.write(a, i, vi + v0, pc=pc_w)
+
+    m.parallel(body)
+
+
+@workload(
+    "figure5-truedep",
+    _SUITE,
+    racy=True,
+    documented_races=1,
+    seeded_races=1,
+    description="Figure 5: a[i] = a[i-1], two threads, one boundary race.",
+    n=1000,
+)
+def figure5_truedep(m, p):
+    a = m.alloc_array("a", p.n, fill=0)
+    pc_r = _pc("figure5", 4, "loop")
+    pc_w = _pc("figure5", 4, "loop_store")
+
+    def body(ctx):
+        for i in ctx.for_range(p.n - 1):
+            v = ctx.read(a, i, pc=pc_r)
+            ctx.write(a, i + 1, v, pc=pc_w)
+
+    m.parallel(body, nthreads=2)

@@ -1,0 +1,1 @@
+"""Tasking-extension workloads (beyond-paper: §VI future work)."""

@@ -1,0 +1,157 @@
+"""Tasking-extension workloads (beyond the paper: its §VI future work).
+
+The paper's SWORD cannot analyse OpenMP tasking (§III-C); this suite
+exercises the reproduction's task-ordering extension on task-parallel
+idioms:
+
+* ``task-fib`` — a divide-and-conquer task tree with taskwait joins,
+  race-free (the canonical tasking example);
+* ``task-reduce-racy`` — sibling tasks accumulating into a shared cell
+  without synchronisation (racy);
+* ``task-pipeline`` — producer code racing a deferred consumer task that
+  was created before the produce (racy, creator-vs-task: the pattern a
+  happens-before tool misses whenever the creator drains its own task);
+* ``task-farm`` — a taskwait-synchronised task farm, race-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...common.sourceloc import pc_of
+from ..base import workload
+
+_SUITE = "tasking"
+
+
+def _pc(bench: str, line: int, func: str = "main") -> int:
+    return pc_of(f"{bench}.c", line, func)
+
+
+@workload(
+    "task-fib",
+    _SUITE,
+    racy=False,
+    description="Fibonacci task tree with taskwait joins (race-free).",
+    n=8,
+)
+def task_fib(m, p):
+    # Results table: slot per (node id); ids handed out sequentially.
+    results = m.alloc_array("fib", 2 ** (p.n + 1), dtype=np.int64)
+    counter = {"next": 0}
+
+    def fib(ctx, n, slot):
+        if n < 2:
+            ctx.write(results, slot, n, pc=_pc("task-fib", 12, "fib"))
+            return
+        counter["next"] += 2
+        left, right = counter["next"] - 1, counter["next"]
+        ctx.task(fib, n - 1, left)
+        ctx.task(fib, n - 2, right)
+        ctx.taskwait()
+        a = ctx.read(results, left, pc=_pc("task-fib", 17, "fib"))
+        b = ctx.read(results, right, pc=_pc("task-fib", 18, "fib"))
+        ctx.write(results, slot, a + b, pc=_pc("task-fib", 19, "fib"))
+
+    def body(ctx):
+        with ctx.single() as mine:
+            if mine:
+                counter["next"] = 0
+                fib(ctx, p.n, 0)
+
+    m.parallel(body, nthreads=4)
+    expected = [0, 1]
+    for _ in range(p.n - 1):
+        expected.append(expected[-1] + expected[-2])
+    assert m.data(results)[0] == expected[p.n]
+
+
+@workload(
+    "task-reduce-racy",
+    _SUITE,
+    racy=True,
+    documented_races=1,
+    seeded_races=2,
+    description="Sibling tasks accumulate into a shared sum without sync.",
+    notes="Two pc pairs: the read-write and write-write halves of sum += v.",
+    ntasks=8,
+)
+def task_reduce_racy(m, p):
+    data = m.alloc_array("data", p.ntasks, fill=3)
+    total = m.alloc_scalar("sum")
+    pc_r = _pc("task-reduce", 14, "load")
+    pc_w = _pc("task-reduce", 14, "store")
+
+    def accumulate(ctx, i):
+        v = ctx.read(data, i, pc=_pc("task-reduce", 13, "worker"))
+        s = ctx.read(total, 0, pc=pc_r)
+        ctx.write(total, 0, s + v, pc=pc_w)
+
+    def body(ctx):
+        if ctx.tid == 0:
+            for i in range(p.ntasks):
+                ctx.task(accumulate, i)
+
+    m.parallel(body, nthreads=4)
+
+
+@workload(
+    "task-pipeline",
+    _SUITE,
+    racy=True,
+    documented_races=1,
+    seeded_races=1,
+    description="Deferred consumer task races the produce after its creation.",
+    notes=(
+        "The §III-C showcase for offset-span labels: without task identity "
+        "the creator and its task look like one serial thread.  Both our "
+        "extended judgment and the task-edge-aware HB baseline report it."
+    ),
+    n=16,
+)
+def task_pipeline(m, p):
+    buf = m.alloc_array("buf", p.n, fill=0)
+    pc_consume = _pc("task-pipeline", 9, "consumer")
+    pc_produce = _pc("task-pipeline", 15, "producer")
+
+    def consumer(ctx):
+        ctx.read_slice(buf, 0, p.n, pc=pc_consume)
+
+    def body(ctx):
+        if ctx.tid == 0:
+            ctx.task(consumer)  # consumer deferred BEFORE the produce
+            ctx.write_slice(buf, 0, p.n, np.arange(p.n, dtype=float),
+                            pc=pc_produce)
+
+    m.parallel(body, nthreads=4)
+
+
+@workload(
+    "task-farm",
+    _SUITE,
+    racy=False,
+    description="Task farm over disjoint slices, joined by taskwait.",
+    n=64,
+    ntasks=8,
+)
+def task_farm(m, p):
+    data = m.alloc_array("data", p.n, fill=1)
+    out = m.alloc_array("out", p.n)
+    chunk = p.n // p.ntasks
+
+    def work(ctx, k):
+        lo, hi = k * chunk, (k + 1) * chunk
+        vals = ctx.read_slice(data, lo, hi, pc=_pc("task-farm", 11, "worker"))
+        ctx.write_slice(out, lo, hi, vals * 2.0, pc=_pc("task-farm", 12, "worker"))
+
+    def body(ctx):
+        with ctx.single(nowait=True) as mine:
+            if mine:
+                for k in range(p.ntasks):
+                    ctx.task(work, k)
+                ctx.taskwait()
+                total = ctx.read_slice(out, 0, p.n, pc=_pc("task-farm", 18, "sum"))
+                assert float(total.sum()) == 2.0 * p.n
+        ctx.barrier()
+
+    m.parallel(body, nthreads=4)

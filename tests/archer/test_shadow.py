@@ -1,0 +1,142 @@
+"""Shadow memory mechanics: cells, masks, eviction, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.archer.shadow import AllocationShadow, ShadowMemory
+from repro.common.config import ArcherConfig
+from repro.memory.accounting import NodeMemory
+from repro.memory.address_space import AddressSpace
+
+
+def make_shadow(nwords=8, cells=4):
+    space = AddressSpace()
+    arr = space.alloc_array("a", nwords, np.float64)
+    return AllocationShadow(arr.allocation, cells=cells, word_bytes=8), arr
+
+
+def hits_of(shadow, **kw):
+    hits = []
+    defaults = dict(size=8, count=1, stride=0, is_write=False,
+                    is_atomic=False, pc=1, clk=1,
+                    vc_array=np.zeros(16, dtype=np.int64))
+    defaults.update(kw)
+    shadow.check_and_store(on_race=hits.append, **defaults)
+    return hits
+
+
+class TestRaceChecks:
+    def test_write_read_conflict_detected(self):
+        shadow, arr = make_shadow()
+        assert hits_of(shadow, addr=arr.addr(0), tid=0, is_write=True, pc=10) == []
+        hits = hits_of(shadow, addr=arr.addr(0), tid=1, pc=20)
+        assert len(hits) == 1
+        assert hits[0].cell_pc == 10
+        assert hits[0].cell_write
+
+    def test_read_read_no_conflict(self):
+        shadow, arr = make_shadow()
+        hits_of(shadow, addr=arr.addr(0), tid=0)
+        assert hits_of(shadow, addr=arr.addr(0), tid=1) == []
+
+    def test_same_thread_no_conflict(self):
+        shadow, arr = make_shadow()
+        hits_of(shadow, addr=arr.addr(0), tid=0, is_write=True)
+        assert hits_of(shadow, addr=arr.addr(0), tid=0, is_write=True) == []
+
+    def test_hb_ordered_epoch_no_conflict(self):
+        shadow, arr = make_shadow()
+        hits_of(shadow, addr=arr.addr(0), tid=0, is_write=True, clk=3)
+        vc = np.zeros(16, dtype=np.int64)
+        vc[0] = 3  # the reader's clock covers the writer's epoch
+        assert hits_of(shadow, addr=arr.addr(0), tid=1, vc_array=vc) == []
+        vc[0] = 2  # stale knowledge: the epoch is not covered
+        assert len(hits_of(shadow, addr=arr.addr(0), tid=2, vc_array=vc)) == 1
+
+    def test_both_atomic_no_conflict(self):
+        shadow, arr = make_shadow()
+        hits_of(shadow, addr=arr.addr(0), tid=0, is_write=True, is_atomic=True)
+        assert hits_of(shadow, addr=arr.addr(0), tid=1, is_write=True,
+                       is_atomic=True) == []
+        # Mixed atomic/plain still conflicts.
+        assert len(hits_of(shadow, addr=arr.addr(0), tid=2, is_write=True)) >= 1
+
+    def test_byte_mask_disjoint_halves_no_conflict(self):
+        shadow, arr = make_shadow()
+        base = arr.addr(0)
+        hits_of(shadow, addr=base, size=4, tid=0, is_write=True)
+        assert hits_of(shadow, addr=base + 4, size=4, tid=1, is_write=True) == []
+        assert len(hits_of(shadow, addr=base + 2, size=4, tid=2,
+                           is_write=True)) == 1
+
+    def test_bulk_range_checked_vectorised(self):
+        shadow, arr = make_shadow(nwords=64)
+        hits_of(shadow, addr=arr.addr(0), count=64, stride=8, tid=0,
+                is_write=True, pc=7)
+        hits = hits_of(shadow, addr=arr.addr(32), count=16, stride=8, tid=1)
+        assert len(hits) == 1  # dedup by cell pc within one call
+        assert hits[0].cell_pc == 7
+
+
+class TestEviction:
+    def test_fifth_access_evicts(self):
+        shadow, arr = make_shadow(cells=4)
+        addr = arr.addr(0)
+        hits_of(shadow, addr=addr, tid=0, is_write=True, pc=100)  # the write
+        for i in range(4):
+            hits_of(shadow, addr=addr, tid=0, pc=200 + i)  # own reads
+        assert shadow.evictions == 1
+        # The write record is gone: a foreign read sees only reads.
+        assert hits_of(shadow, addr=addr, tid=1) == []
+
+    def test_round_robin_cycles_slots(self):
+        shadow, arr = make_shadow(cells=2)
+        addr = arr.addr(0)
+        for i in range(6):
+            hits_of(shadow, addr=addr, tid=0, pc=i)
+        assert shadow.evictions == 4
+        live_pcs = set(shadow.pc[0].tolist())
+        assert live_pcs == {4, 5}
+
+    def test_no_eviction_below_capacity(self):
+        shadow, arr = make_shadow(cells=4)
+        for i in range(4):
+            hits_of(shadow, addr=arr.addr(0), tid=0, pc=i)
+        assert shadow.evictions == 0
+
+
+class TestShadowMemory:
+    def test_lazy_tables_and_accounting(self):
+        accountant = NodeMemory(limit=10**9)
+        space = AddressSpace(accountant)
+        arr = space.alloc_array("a", 1000, np.float64)  # 8000 B
+        shadow = ShadowMemory(ArcherConfig(), accountant)
+        assert shadow.tables == 0
+        table = shadow.table_for(arr.allocation)
+        assert shadow.tables == 1
+        # 4 cells x 8 B per 8-byte word = 4x the application bytes...
+        assert accountant.current("shadow") == 4 * 8000
+        # ...plus the misc proportional overhead.
+        assert accountant.current("tool") == 8000
+        assert shadow.table_for(arr.allocation) is table
+
+    def test_sim_scaled_allocation_charges_scaled_shadow(self):
+        accountant = NodeMemory(limit=10**12)
+        space = AddressSpace(accountant)
+        arr = space.alloc_array("big", 1000, np.float64, sim_scale=100)
+        shadow = ShadowMemory(ArcherConfig(), accountant)
+        shadow.table_for(arr.allocation)
+        assert accountant.current("shadow") == 4 * 800_000
+
+    def test_flush_releases_shadow_keeps_misc(self):
+        accountant = NodeMemory(limit=10**9)
+        space = AddressSpace(accountant)
+        arr = space.alloc_array("a", 100, np.float64)
+        shadow = ShadowMemory(ArcherConfig(), accountant)
+        shadow.table_for(arr.allocation)
+        assert accountant.current("shadow") > 0
+        shadow.flush()
+        assert accountant.current("shadow") == 0
+        assert accountant.current("tool") > 0  # misc overhead stays
+        assert shadow.tables == 0
+        assert shadow.flushes == 1

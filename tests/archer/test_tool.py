@@ -1,0 +1,183 @@
+"""ARCHER behaviour: detection, HB edges, masking, eviction misses, OOM."""
+
+import numpy as np
+import pytest
+
+from repro.archer import ArcherTool
+from repro.common.config import ArcherConfig, RunConfig, SchedulerConfig
+from repro.common.errors import SimulatedOOMError
+from repro.common.sourceloc import pc_of
+from repro.memory.accounting import NodeMemory
+from repro.omp import OpenMPRuntime
+
+
+def run_archer(program, *, nthreads=4, seed=0, config=None, limit=None):
+    accountant = NodeMemory(limit) if limit else None
+    tool = ArcherTool(config or ArcherConfig(), accountant)
+    rt = OpenMPRuntime(
+        RunConfig(nthreads=nthreads, scheduler=SchedulerConfig(seed=seed)),
+        tool=tool,
+        accountant=accountant,
+    )
+    rt.run(program)
+    return tool
+
+
+def test_plain_conflict_detected():
+    def program(m):
+        x = m.alloc_scalar("x")
+
+        def body(ctx):
+            ctx.write(x, 0, float(ctx.tid), pc=pc_of("a.c", 1))
+        m.parallel(body, nthreads=2)
+
+    tool = run_archer(program, nthreads=2)
+    assert tool.race_count == 1
+
+
+def test_barrier_creates_hb_edge():
+    def program(m):
+        x = m.alloc_scalar("x")
+
+        def body(ctx):
+            if ctx.tid == 0:
+                ctx.write(x, 0, 1.0)
+            ctx.barrier()
+            if ctx.tid == 1:
+                ctx.read(x, 0)
+        m.parallel(body, nthreads=2)
+
+    assert run_archer(program, nthreads=2).race_count == 0
+
+
+def test_fork_join_edges():
+    def program(m):
+        x = m.alloc_scalar("x")
+
+        def first(ctx):
+            if ctx.tid == 0:
+                ctx.write(x, 0, 1.0)
+
+        def second(ctx):
+            ctx.read(x, 0)
+
+        m.parallel(first, nthreads=2)
+        m.parallel(second, nthreads=2)
+
+    assert run_archer(program).race_count == 0
+
+
+def test_lock_edges_in_observed_order_mask():
+    """The Figure-1 mechanism: detection depends on lock acquisition order.
+
+    The master runs first, so its critical section precedes the worker's and
+    the release->acquire edge orders the unlocked write: masked.
+    """
+
+    def program(m):
+        a = m.alloc_scalar("a")
+        lock = m.new_lock("L")
+
+        def body(ctx):
+            if ctx.tid == 0:
+                ctx.write(a, 0, 1.0, pc=pc_of("m.c", 5))
+                with ctx.locked(lock):
+                    ctx.write(a, 0, 2.0, pc=pc_of("m.c", 7))
+            else:
+                with ctx.locked(lock):
+                    ctx.read(a, 0, pc=pc_of("m.c", 10))
+        m.parallel(body, nthreads=2)
+
+    assert run_archer(program, nthreads=2).race_count == 0
+
+
+def test_eviction_miss_and_shadow_cells_knob():
+    """The §II mechanism, and that more cells would have caught it."""
+
+    def program(m):
+        a = m.alloc_array("a", 8)
+
+        def body(ctx):
+            if ctx.tid == 0:
+                ctx.write(a, 0, 1.0, pc=pc_of("ev.c", 1))
+                for _ in range(6):
+                    ctx.read(a, 0, pc=pc_of("ev.c", 2))
+            else:
+                ctx.read(a, 0, pc=pc_of("ev.c", 3))
+        m.parallel(body, nthreads=2)
+
+    missed = run_archer(program, nthreads=2)
+    assert missed.race_count == 0
+    assert missed.evictions > 0
+    # With enough cells the write record survives and the race is caught.
+    caught = run_archer(program, nthreads=2,
+                        config=ArcherConfig(shadow_cells=16))
+    assert caught.race_count == 1
+
+
+def test_atomics_do_not_race_each_other():
+    def program(m):
+        c = m.alloc_scalar("c", np.int64)
+
+        def body(ctx):
+            ctx.atomic_add(c, 0, 1)
+        m.parallel(body)
+
+    assert run_archer(program).race_count == 0
+
+
+def test_memory_overhead_is_proportional():
+    accountant_holder = {}
+
+    def program(m):
+        big = m.alloc_array("big", 100_000, np.float64)  # 800 KB
+
+        def body(ctx):
+            lo, hi = ctx.static_chunk(100_000)
+            ctx.write_slice(big, lo, hi, np.zeros(hi - lo))
+        m.parallel(body)
+
+    accountant = NodeMemory(10**12)
+    tool = ArcherTool(ArcherConfig(), accountant)
+    rt = OpenMPRuntime(RunConfig(nthreads=4), tool=tool, accountant=accountant)
+    rt.run(program)
+    app = accountant.peak("app")
+    shadow = accountant.peak("shadow")
+    assert shadow == 4 * app  # the 4-cells-per-word proportionality
+
+
+def test_oom_on_limited_node():
+    def program(m):
+        big = m.alloc_array("big", 1000, np.float64, sim_scale=1000)  # 8 MB sim
+
+        def body(ctx):
+            ctx.write(big, 0, 1.0)
+        m.parallel(body, nthreads=2)
+
+    with pytest.raises(SimulatedOOMError):
+        run_archer(program, nthreads=2, limit=24 * 2**20)  # 24 MiB node
+
+
+def test_flush_shadow_reduces_peak_for_multi_region():
+    def program(m):
+        arrays = [m.alloc_array(f"a{i}", 20_000, np.float64) for i in range(4)]
+
+        def use(ctx, arr):
+            lo, hi = ctx.static_chunk(20_000)
+            ctx.write_slice(arr, lo, hi, np.zeros(hi - lo))
+
+        for arr in arrays:
+            m.parallel(use, arr, nthreads=2)
+
+    acc_default = NodeMemory(10**12)
+    tool = ArcherTool(ArcherConfig(flush_shadow=False), acc_default)
+    OpenMPRuntime(RunConfig(nthreads=2), tool=tool,
+                  accountant=acc_default).run(program)
+
+    acc_low = NodeMemory(10**12)
+    tool_low = ArcherTool(ArcherConfig(flush_shadow=True), acc_low)
+    OpenMPRuntime(RunConfig(nthreads=2), tool=tool_low,
+                  accountant=acc_low).run(program)
+
+    assert acc_low.peak("shadow") < acc_default.peak("shadow")
+    assert tool_low.shadow.flushes == 4

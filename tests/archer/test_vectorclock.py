@@ -1,0 +1,108 @@
+"""Vector clock laws."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.archer.vectorclock import VectorClock
+
+
+def vc_from(d):
+    vc = VectorClock()
+    for tid, clk in d.items():
+        for _ in range(clk):
+            vc.tick(tid)
+    return vc
+
+
+def test_tick_and_get():
+    vc = VectorClock()
+    assert vc.get(3) == 0
+    assert vc.tick(3) == 1
+    assert vc.tick(3) == 2
+    assert vc.get(3) == 2
+    assert vc.get(1000) == 0  # beyond capacity reads as zero
+
+
+def test_join_is_pointwise_max():
+    a = vc_from({0: 3, 1: 1})
+    b = vc_from({1: 5, 2: 2})
+    a.join(b)
+    assert a.get(0) == 3 and a.get(1) == 5 and a.get(2) == 2
+
+
+def test_join_grows_capacity():
+    a = VectorClock(size=1)
+    b = vc_from({40: 2})
+    a.join(b)
+    assert a.get(40) == 2
+
+
+def test_copy_is_independent():
+    a = vc_from({0: 1})
+    b = a.copy()
+    b.tick(0)
+    assert a.get(0) == 1
+    assert b.get(0) == 2
+
+
+def test_happens_before():
+    a = vc_from({0: 1, 1: 2})
+    b = vc_from({0: 2, 1: 2})
+    assert a.happens_before(b)
+    assert not b.happens_before(a)
+    assert a.happens_before(a)
+    c = vc_from({5: 1})
+    assert not c.happens_before(b)  # component beyond b's knowledge
+
+
+def test_epoch_visible():
+    vc = vc_from({2: 4})
+    assert vc.epoch_visible(2, 4)
+    assert vc.epoch_visible(2, 3)
+    assert not vc.epoch_visible(2, 5)
+    assert vc.epoch_visible(9, 0)
+
+
+def test_as_array_padded():
+    vc = vc_from({1: 3})
+    arr = vc.as_array(5)
+    assert list(arr) == [0, 3, 0, 0, 0]
+
+
+@given(
+    st.dictionaries(st.integers(0, 8), st.integers(0, 5), max_size=6),
+    st.dictionaries(st.integers(0, 8), st.integers(0, 5), max_size=6),
+)
+def test_property_join_upper_bound(da, db):
+    a, b = vc_from(da), vc_from(db)
+    a_before = {i: a.get(i) for i in range(10)}
+    a.join(b)
+    for i in range(10):
+        assert a.get(i) == max(a_before[i], b.get(i))
+
+
+@given(
+    st.dictionaries(st.integers(0, 6), st.integers(0, 4), max_size=5),
+    st.dictionaries(st.integers(0, 6), st.integers(0, 4), max_size=5),
+)
+def test_property_hb_iff_pointwise_leq(da, db):
+    a, b = vc_from(da), vc_from(db)
+    expected = all(a.get(i) <= b.get(i) for i in range(10))
+    assert a.happens_before(b) == expected
+
+
+def test_mutual_joins_do_not_ratchet_capacity():
+    """Regression: clocks of mixed capacities joining each other must not
+    grow geometrically (this OOM-killed 20+-thread runs: capacities went
+    21 -> 32 -> 42 -> 64 -> 84 -> ... without bound)."""
+    clocks = [VectorClock() for _ in range(24)]
+    for i, vc in enumerate(clocks):
+        vc.tick(i)
+    acc = VectorClock()
+    for _round in range(200):
+        for vc in clocks:
+            acc.join(vc)
+        for vc in clocks:
+            vc.join(acc)
+    cap = max(vc._clocks.shape[0] for vc in clocks + [acc])
+    assert cap <= 64, f"capacity ratcheted to {cap}"

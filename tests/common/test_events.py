@@ -1,0 +1,118 @@
+"""Event record model and binary codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.events import (
+    EVENT_BYTES,
+    EVENT_DTYPE,
+    KIND_ACCESS,
+    KIND_BARRIER,
+    Access,
+    access_to_record,
+    accesses_to_records,
+    bytes_to_records,
+    make_event,
+    record_to_access,
+    records_to_bytes,
+)
+
+
+def test_record_layout_is_fixed_width():
+    assert EVENT_DTYPE.itemsize == EVENT_BYTES == 40
+
+
+def test_scalar_access_geometry():
+    a = Access(addr=100, size=8, count=1, stride=0, is_write=True,
+               is_atomic=False, pc=1)
+    assert a.low == 100
+    assert a.high == 107
+    assert a.last_addr == 100
+
+
+def test_bulk_access_geometry():
+    a = Access(addr=100, size=4, count=5, stride=8, is_write=False,
+               is_atomic=False, pc=1)
+    assert a.low == 100
+    assert a.last_addr == 132
+    assert a.high == 135
+    assert list(a.addresses()[:4]) == [100, 101, 102, 103]
+    assert a.addresses().shape[0] == 20
+
+
+def test_negative_stride_normalisation():
+    a = Access(addr=132, size=4, count=5, stride=-8, is_write=True,
+               is_atomic=False, pc=1)
+    n = a.normalized()
+    assert n.stride == 8
+    assert n.addr == 100
+    assert set(n.addresses()) == set(a.addresses())
+
+
+def test_access_validation():
+    with pytest.raises(ValueError):
+        Access(addr=0, size=8, count=0, stride=0, is_write=True,
+               is_atomic=False, pc=0)
+    with pytest.raises(ValueError):
+        Access(addr=0, size=0, count=1, stride=0, is_write=True,
+               is_atomic=False, pc=0)
+    with pytest.raises(ValueError):
+        Access(addr=0, size=8, count=2, stride=0, is_write=True,
+               is_atomic=False, pc=0)
+
+
+@given(
+    addr=st.integers(0, 2**48),
+    size=st.sampled_from([1, 2, 4, 8]),
+    count=st.integers(1, 1000),
+    stride=st.integers(1, 64),
+    is_write=st.booleans(),
+    is_atomic=st.booleans(),
+    pc=st.integers(0, 2**40),
+    msid=st.integers(0, 2**20),
+)
+def test_record_roundtrip(addr, size, count, stride, is_write, is_atomic, pc, msid):
+    a = Access(addr=addr, size=size, count=count,
+               stride=stride if count > 1 else 0,
+               is_write=is_write, is_atomic=is_atomic, pc=pc, msid=msid)
+    rec = access_to_record(a)
+    back = record_to_access(rec)
+    assert back == a
+
+
+def test_bytes_roundtrip():
+    accesses = [
+        Access(addr=i * 8, size=8, count=1, stride=0, is_write=i % 2 == 0,
+               is_atomic=False, pc=i)
+        for i in range(10)
+    ]
+    records = accesses_to_records(accesses)
+    raw = records_to_bytes(records)
+    assert len(raw) == 10 * EVENT_BYTES
+    back = bytes_to_records(raw)
+    assert (back == records).all()
+
+
+def test_bytes_roundtrip_rejects_misaligned():
+    with pytest.raises(ValueError):
+        bytes_to_records(b"x" * 41)
+
+
+def test_make_event_kinds():
+    rec = make_event(KIND_BARRIER, addr=7, aux=3)
+    assert int(rec["kind"]) == KIND_BARRIER
+    assert int(rec["addr"]) == 7
+    assert int(rec["aux"]) == 3
+    with pytest.raises(ValueError):
+        record_to_access(rec)
+
+
+def test_record_to_access_requires_access_kind():
+    rec = np.zeros((), dtype=EVENT_DTYPE)
+    rec["kind"] = KIND_ACCESS
+    rec["size"] = 8
+    rec["count"] = 1
+    a = record_to_access(rec[()])
+    assert a.size == 8

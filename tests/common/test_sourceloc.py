@@ -1,0 +1,36 @@
+"""Program-counter interning."""
+
+from repro.common.sourceloc import GLOBAL_PCS, PCRegistry, SourceLoc, pc_of
+
+
+def test_interning_is_stable():
+    reg = PCRegistry()
+    loc = SourceLoc("a.c", 10, "f")
+    pc1 = reg.pc(loc)
+    pc2 = reg.pc(SourceLoc("a.c", 10, "f"))
+    assert pc1 == pc2
+    assert reg.loc(pc1) == loc
+
+
+def test_distinct_locations_get_distinct_pcs():
+    reg = PCRegistry()
+    a = reg.pc(SourceLoc("a.c", 10))
+    b = reg.pc(SourceLoc("a.c", 11))
+    c = reg.pc(SourceLoc("b.c", 10))
+    assert len({a, b, c}) == 3
+    assert len(reg) == 3
+
+
+def test_unknown_pc_resolves_to_marker():
+    reg = PCRegistry()
+    assert reg.loc(0xDEAD).file == "<unknown>"
+
+
+def test_global_helper():
+    pc = pc_of("file.c", 5, "g")
+    assert GLOBAL_PCS.loc(pc) == SourceLoc("file.c", 5, "g")
+
+
+def test_str_formats():
+    assert str(SourceLoc("x.c", 3, "h")) == "x.c:3 (h)"
+    assert str(SourceLoc("x.c", 3)) == "x.c:3"

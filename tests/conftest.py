@@ -1,0 +1,63 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+# Make this conftest importable (`from conftest import ...`) from tests in
+# subdirectories, which are not packages.
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import shutil
+import tempfile
+
+import pytest
+
+from repro.common.config import RunConfig, SchedulerConfig, SwordConfig
+from repro.offline import OfflineAnalyzer, oracle_races
+from repro.omp import OpenMPRuntime, RecordingTool, ToolMux
+from repro.sword import SwordTool, TraceDir
+
+
+@pytest.fixture
+def trace_dir():
+    """A disposable trace directory."""
+    path = tempfile.mkdtemp(prefix="sword-test-")
+    yield path
+    shutil.rmtree(path, ignore_errors=True)
+
+
+def run_program(program, *, nthreads=4, seed=0, yield_every=0, tool=None):
+    """Run a model program on a fresh runtime; returns the runtime."""
+    rt = OpenMPRuntime(
+        RunConfig(
+            nthreads=nthreads,
+            scheduler=SchedulerConfig(seed=seed, yield_every=yield_every),
+        ),
+        tool=tool,
+    )
+    rt.run(program)
+    return rt
+
+
+def sword_and_oracle(program, trace_path, *, nthreads=4, seed=0, yield_every=0):
+    """Run once with recorder+sword attached; return (sword races, oracle races).
+
+    The workhorse of the end-to-end tests: the streaming interval-tree
+    analysis must agree exactly with the exhaustive oracle on the same
+    execution.
+    """
+    rec = RecordingTool()
+    sword = SwordTool(SwordConfig(log_dir=trace_path, buffer_events=128))
+    rt = OpenMPRuntime(
+        RunConfig(
+            nthreads=nthreads,
+            scheduler=SchedulerConfig(seed=seed, yield_every=yield_every),
+        ),
+        tool=ToolMux([rec, sword]),
+    )
+    rt.run(program)
+    analysis = OfflineAnalyzer(TraceDir(trace_path)).analyze()
+    oracle = oracle_races(rec, rt.mutexsets)
+    return analysis.races, oracle, rec, rt

@@ -1,0 +1,54 @@
+"""Schedule-space exploration driver."""
+
+import pytest
+
+from repro.common.config import NodeConfig
+from repro.harness.explore import explore_schedules
+from repro.workloads import REGISTRY
+
+
+def test_sword_detection_is_seed_invariant():
+    w = REGISTRY.get("plusplus-orig-yes")
+    result = explore_schedules(w, "sword", seeds=range(4), nthreads=4)
+    assert result.race_count == 2
+    assert len(result.stable_races()) == 2
+    assert result.flaky_races() == []
+
+
+def test_archer_masking_shows_up_as_flaky():
+    w = REGISTRY.get("figure1-masking")
+    result = explore_schedules(w, "archer", seeds=range(12), nthreads=3)
+    # The Figure-1 race is detected under some schedules only.
+    assert result.race_count == 1
+    (race,) = result.union.reports()
+    rate = result.detection_rate(race.key)
+    assert 0 < rate < 1, f"expected schedule-dependent detection, got {rate}"
+    assert result.flaky_races() == result.union.reports()
+
+    sword = explore_schedules(w, "sword", seeds=range(12), nthreads=3)
+    assert len(sword.stable_races()) == 1
+
+
+def test_union_across_seeds_never_shrinks():
+    w = REGISTRY.get("c_mandel")
+    few = explore_schedules(w, "sword", seeds=range(2), nthreads=4)
+    more = explore_schedules(w, "sword", seeds=range(4), nthreads=4)
+    assert few.union.pc_pairs() <= more.union.pc_pairs()
+
+
+def test_oom_runs_recorded_not_raised():
+    w = REGISTRY.get("amg2013_40")
+    result = explore_schedules(
+        w, "archer", seeds=range(2), nthreads=2, node=NodeConfig(), sweeps=2
+    )
+    assert result.ooms == [0, 1]
+    assert result.race_count == 0
+    assert result.detection_rate((0, 0)) == 0.0
+
+
+def test_summary_renders():
+    w = REGISTRY.get("nowait-orig-yes")
+    result = explore_schedules(w, "sword", seeds=range(2), nthreads=4)
+    text = result.summary()
+    assert "nowait-orig-yes" in text
+    assert "100%" in text

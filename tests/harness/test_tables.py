@@ -1,0 +1,99 @@
+"""Table/figure rendering and aggregation helpers."""
+
+import math
+
+import pytest
+
+from repro.harness.tables import (
+    Figure,
+    Table,
+    fmt_bytes,
+    fmt_seconds,
+    geomean,
+)
+
+
+class TestFormatting:
+    def test_fmt_bytes(self):
+        assert fmt_bytes(512) == "512 B"
+        assert fmt_bytes(2048) == "2.0 KiB"
+        assert fmt_bytes(3.3 * 1024 * 1024).startswith("3.3 MiB")
+        assert "GiB" in fmt_bytes(32 * 1024**3)
+
+    def test_fmt_seconds(self):
+        assert fmt_seconds(5e-7) == "1 us" or "us" in fmt_seconds(5e-7)
+        assert "ms" in fmt_seconds(0.05)
+        assert fmt_seconds(2.5) == "2.50 s"
+        assert "min" in fmt_seconds(600)
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert math.isclose(geomean([2, 8]), 4.0)
+        assert math.isclose(geomean([5]), 5.0)
+
+    def test_ignores_nonpositive(self):
+        assert math.isclose(geomean([0, 4, 4]), 4.0)
+        assert geomean([]) == 0.0
+        assert geomean([0.0]) == 0.0
+
+
+class TestTable:
+    def test_render_alignment(self):
+        t = Table("My Table", ["name", "value"])
+        t.add("alpha", 1)
+        t.add("b", 123456)
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert "name" in lines[2] and "value" in lines[2]
+        assert "alpha" in text and "123456" in text
+
+    def test_row_arity_checked(self):
+        t = Table("x", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_column_extraction(self):
+        t = Table("x", ["a", "b"])
+        t.add(1, "p")
+        t.add(2, "q")
+        assert t.column("b") == ["p", "q"]
+        with pytest.raises(ValueError):
+            t.column("c")
+
+    def test_notes_rendered(self):
+        t = Table("x", ["a"])
+        t.add(1)
+        t.note("context matters")
+        assert "note: context matters" in t.render()
+
+    def test_empty_table_renders(self):
+        t = Table("empty", ["col"])
+        assert "empty" in t.render()
+
+
+class TestFigure:
+    def test_series_and_render(self):
+        fig = Figure("F", "threads", "seconds")
+        s1 = fig.new_series("archer")
+        s2 = fig.new_series("sword")
+        for x in (8, 16):
+            s1.add(x, x * 1.0)
+            s2.add(x, x * 0.5)
+        text = fig.render()
+        assert "archer" in text and "sword" in text
+        assert "8" in text and "16" in text
+        assert fig.get("archer").ys() == [8.0, 16.0]
+        with pytest.raises(KeyError):
+            fig.get("nope")
+
+    def test_missing_points_render_as_dash(self):
+        fig = Figure("F", "x", "y")
+        a = fig.new_series("full")
+        b = fig.new_series("partial")
+        a.add(1, 1.0)
+        a.add(2, 2.0)
+        b.add(1, 1.0)  # no point at x=2 (e.g. OOM)
+        lines = fig.render().splitlines()
+        assert any("-" in line.split("|")[-1] for line in lines[4:])

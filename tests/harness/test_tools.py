@@ -1,0 +1,87 @@
+"""Tool drivers: uniform results, OOM handling, memory metrics."""
+
+import pytest
+
+from repro.common.config import NodeConfig
+from repro.harness.tools import TOOL_NAMES, driver
+from repro.workloads import REGISTRY
+
+
+@pytest.fixture(scope="module")
+def hpccg():
+    return REGISTRY.get("hpccg")
+
+
+def test_driver_factory():
+    for name in TOOL_NAMES:
+        assert driver(name).name == name
+    with pytest.raises(ValueError):
+        driver("tsan")
+
+
+def test_baseline_measures_without_detecting(hpccg):
+    res = driver("baseline").run(hpccg, nthreads=2, seed=0)
+    assert res.tool == "baseline"
+    assert res.race_count == 0
+    assert res.dynamic_seconds > 0
+    assert res.app_bytes > 0
+    assert res.tool_bytes == 0
+
+
+def test_archer_reports_races_and_memory(hpccg):
+    res = driver("archer").run(hpccg, nthreads=2, seed=0)
+    assert res.race_count == 1
+    assert res.tool_bytes > 4 * res.app_bytes  # shadow plus misc
+    assert res.stats["accesses"] > 0
+
+
+def test_sword_reports_races_and_phases(hpccg):
+    res = driver("sword").run(hpccg, nthreads=2, seed=0, mt_workers=2)
+    assert res.race_count == 1
+    assert res.offline_seconds > 0
+    assert res.offline_mt_seconds > 0
+    assert res.trace_bytes > 0
+    assert res.total_seconds >= res.dynamic_seconds
+    # Bounded overhead: ~3.3 MB per thread.
+    assert res.tool_bytes == pytest.approx(2 * 3.3 * 2**20, rel=0.05)
+
+
+def test_sword_memory_independent_of_app(hpccg):
+    small = driver("sword").run(hpccg, nthreads=2, seed=0, n=128)
+    large = driver("sword").run(hpccg, nthreads=2, seed=0, n=2048)
+    assert small.tool_bytes == large.tool_bytes
+    assert large.app_bytes > small.app_bytes
+
+
+def test_oom_result_is_reported_not_raised():
+    amg = REGISTRY.get("amg2013_40")
+    res = driver("archer").run(
+        amg, nthreads=2, seed=0, node=NodeConfig(), sweeps=2
+    )
+    assert res.oom
+    assert res.races is None
+    assert res.race_count == 0
+
+
+def test_sword_survives_the_same_node(hpccg):
+    amg = REGISTRY.get("amg2013_40")
+    res = driver("sword").run(
+        amg, nthreads=2, seed=0, node=NodeConfig(), sweeps=2
+    )
+    assert not res.oom
+    assert res.race_count > 0
+
+
+def test_keep_trace(tmp_path, hpccg):
+    trace = tmp_path / "trace"
+    res = driver("sword").run(
+        hpccg, nthreads=2, seed=0, trace_dir=str(trace), keep_trace=True
+    )
+    assert res.race_count == 1
+    assert (trace / "manifest.json").exists()
+
+
+def test_run_offline_false_skips_analysis(hpccg):
+    res = driver("sword").run(hpccg, nthreads=2, seed=0, run_offline=False)
+    assert res.races is None
+    assert res.offline_seconds == 0

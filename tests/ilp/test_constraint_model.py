@@ -1,0 +1,96 @@
+"""The paper's §III-B constraint model and its exact solver."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SolverError
+from repro.ilp.bruteforce import bruteforce_addresses, bruteforce_overlap
+from repro.ilp.model import IntervalConstraint, OverlapSystem
+
+
+class TestIntervalConstraint:
+    def test_paper_fields(self):
+        c = IntervalConstraint(base=10, stride=8, count=5, size=4)
+        assert c.end == 42  # b + (count-1) * stride
+
+    def test_contains(self):
+        c = IntervalConstraint(base=10, stride=8, count=5, size=4)
+        for addr in (10, 13, 18, 42, 45):
+            assert c.contains(addr), addr
+        for addr in (9, 14, 17, 46, 100):
+            assert not c.contains(addr), addr
+
+    def test_contains_overlapping_elements(self):
+        # size > stride: elements overlap; every byte in [0, 9] is covered.
+        c = IntervalConstraint(base=0, stride=2, count=4, size=4)
+        for addr in range(0, 10):
+            assert c.contains(addr)
+        assert not c.contains(10)
+
+    def test_contains_matches_bruteforce(self):
+        c = IntervalConstraint(base=3, stride=7, count=6, size=3)
+        addresses = bruteforce_addresses(c)
+        for addr in range(0, 60):
+            assert c.contains(addr) == (addr in addresses)
+
+    def test_validation(self):
+        with pytest.raises(SolverError):
+            IntervalConstraint(base=0, stride=1, count=0, size=1)
+        with pytest.raises(SolverError):
+            IntervalConstraint(base=0, stride=0, count=2, size=1)
+        with pytest.raises(SolverError):
+            IntervalConstraint(base=0, stride=1, count=1, size=0)
+
+    def test_pretty_renders_paper_form(self):
+        c = IntervalConstraint(base=10, stride=8, count=5, size=4)
+        text = c.pretty("x_0", "s_0")
+        assert "8·x_0 + 10 + s_0 = a" in text
+        assert "0 ≤ s_0 < 4" in text
+
+
+class TestOverlapSystem:
+    def test_figure4_non_overlap(self):
+        """Fig. 4: byte extents intersect, but no byte is shared."""
+        t0 = IntervalConstraint(base=10, stride=8, count=5, size=4)
+        t1 = IntervalConstraint(base=14, stride=8, count=5, size=4)
+        system = OverlapSystem(t0, t1)
+        assert not system.feasible()
+
+    def test_shifted_overlap(self):
+        t0 = IntervalConstraint(base=10, stride=8, count=5, size=4)
+        t1 = IntervalConstraint(base=12, stride=8, count=5, size=4)
+        witness = OverlapSystem(t0, t1).solve()
+        assert witness is not None
+        assert t0.contains(witness.address)
+        assert t1.contains(witness.address)
+
+    def test_singleton_vs_progression(self):
+        point = IntervalConstraint(base=26, stride=1, count=1, size=1)
+        prog = IntervalConstraint(base=10, stride=8, count=5, size=4)
+        assert OverlapSystem(point, prog).feasible()
+        miss = IntervalConstraint(base=30, stride=1, count=1, size=1)
+        assert not OverlapSystem(miss, prog).feasible()
+
+    def test_pretty_shows_both_systems(self):
+        t0 = IntervalConstraint(base=10, stride=8, count=5, size=4)
+        t1 = IntervalConstraint(base=14, stride=8, count=5, size=4)
+        text = OverlapSystem(t0, t1).pretty()
+        assert "T_0" in text and "T_1" in text
+
+    @settings(max_examples=400, deadline=None)
+    @given(
+        b0=st.integers(0, 80), d0=st.integers(1, 14),
+        n0=st.integers(1, 10), z0=st.sampled_from([1, 2, 4, 8]),
+        b1=st.integers(0, 80), d1=st.integers(1, 14),
+        n1=st.integers(1, 10), z1=st.sampled_from([1, 2, 4, 8]),
+    )
+    def test_property_matches_bruteforce(self, b0, d0, n0, z0, b1, d1, n1, z1):
+        c0 = IntervalConstraint(base=b0, stride=d0, count=n0, size=z0)
+        c1 = IntervalConstraint(base=b1, stride=d1, count=n1, size=z1)
+        witness = OverlapSystem(c0, c1).solve()
+        brute = bruteforce_overlap(c0, c1)
+        assert (witness is not None) == (brute is not None)
+        if witness is not None:
+            assert c0.contains(witness.address)
+            assert c1.contains(witness.address)

@@ -1,0 +1,114 @@
+"""Exact bounded Diophantine solving, cross-checked against brute force."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SolverError
+from repro.ilp.diophantine import (
+    ext_gcd,
+    progressions_intersect,
+    solve_bounded,
+)
+
+
+class TestExtGcd:
+    @given(st.integers(-10**9, 10**9), st.integers(-10**9, 10**9))
+    def test_bezout_identity(self, a, b):
+        g, u, v = ext_gcd(a, b)
+        assert a * u + b * v == g
+        assert g >= 0
+        if a or b:
+            assert a % g == 0 and b % g == 0
+
+    def test_zero_cases(self):
+        assert ext_gcd(0, 0)[0] == 0
+        assert ext_gcd(0, 7)[0] == 7
+        assert ext_gcd(-12, 18)[0] == 6
+
+
+class TestSolveBounded:
+    def test_simple_feasible(self):
+        sol = solve_bounded(8, 8, 0, 10, 10)
+        assert sol is not None
+        assert 8 * sol.x - 8 * sol.y == 0
+
+    def test_gcd_infeasible(self):
+        # 4x - 6y is always even; c = 3 unreachable.
+        assert solve_bounded(4, 6, 3, 100, 100) is None
+
+    def test_bounds_infeasible(self):
+        # 8x - 8y = 8 needs x = y + 1 but x is capped at 0.
+        assert solve_bounded(8, 8, 8, 0, 100) is None
+
+    def test_bounds_tight_feasible(self):
+        sol = solve_bounded(8, 8, 8, 1, 0)
+        assert sol is not None and sol.x == 1 and sol.y == 0
+
+    def test_rejects_nonpositive_strides(self):
+        with pytest.raises(SolverError):
+            solve_bounded(0, 8, 0, 1, 1)
+        with pytest.raises(SolverError):
+            solve_bounded(8, -8, 0, 1, 1)
+        with pytest.raises(SolverError):
+            solve_bounded(8, 8, 0, -1, 1)
+
+    @settings(max_examples=400, deadline=None)
+    @given(
+        p=st.integers(1, 30),
+        q=st.integers(1, 30),
+        c=st.integers(-200, 200),
+        x_max=st.integers(0, 25),
+        y_max=st.integers(0, 25),
+    )
+    def test_matches_enumeration(self, p, q, c, x_max, y_max):
+        expected = any(
+            p * x - q * y == c
+            for x in range(x_max + 1)
+            for y in range(y_max + 1)
+        )
+        sol = solve_bounded(p, q, c, x_max, y_max)
+        assert (sol is not None) == expected
+        if sol is not None:
+            assert p * sol.x - q * sol.y == c
+            assert 0 <= sol.x <= x_max and 0 <= sol.y <= y_max
+
+    def test_large_values_exact(self):
+        # Far beyond float precision: exact integer arithmetic required.
+        big = 10**15
+        sol = solve_bounded(big + 1, big, big + 1, 10**6, 10**6)
+        assert sol is not None
+        assert (big + 1) * sol.x - big * sol.y == big + 1
+
+
+class TestProgressionsIntersect:
+    def test_shared_element(self):
+        hit = progressions_intersect(0, 6, 10, 9, 3, 10)
+        assert hit is not None
+        value, i, j = hit
+        assert value == 0 + 6 * i == 9 + 3 * j
+
+    def test_disjoint_progressions(self):
+        # Evens starting at 0 vs odds starting at 1.
+        assert progressions_intersect(0, 2, 50, 1, 2, 50) is None
+
+    def test_singletons(self):
+        assert progressions_intersect(5, 0, 1, 5, 0, 1) is not None
+        assert progressions_intersect(5, 0, 1, 6, 0, 1) is None
+
+    def test_invalid_counts(self):
+        with pytest.raises(SolverError):
+            progressions_intersect(0, 1, 0, 0, 1, 1)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        b0=st.integers(0, 60), s0=st.integers(1, 12), n0=st.integers(1, 12),
+        b1=st.integers(0, 60), s1=st.integers(1, 12), n1=st.integers(1, 12),
+    )
+    def test_matches_set_intersection(self, b0, s0, n0, b1, s1, n1):
+        set0 = {b0 + s0 * i for i in range(n0)}
+        set1 = {b1 + s1 * j for j in range(n1)}
+        hit = progressions_intersect(b0, s0, n0, b1, s1, n1)
+        assert (hit is not None) == bool(set0 & set1)
+        if hit is not None:
+            assert hit[0] in set0 and hit[0] in set1

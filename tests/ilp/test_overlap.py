@@ -1,0 +1,67 @@
+"""Race-oriented overlap glue between interval trees and the solver."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilp.bruteforce import bruteforce_overlap
+from repro.ilp.overlap import constraint_of, intervals_share_address
+from repro.itree.interval import StridedInterval
+
+
+def si(low, stride, size, count, **kw):
+    defaults = dict(is_write=False, is_atomic=False, pc=0, msid=0)
+    defaults.update(kw)
+    return StridedInterval(low=low, stride=stride, size=size, count=count, **defaults)
+
+
+def test_disjoint_extents_fast_path():
+    a = si(0, 8, 8, 4)
+    b = si(1000, 8, 8, 4)
+    assert intervals_share_address(a, b) is None
+
+
+def test_dense_fast_path_no_solver():
+    a = si(0, 8, 8, 10)       # dense: stride == size
+    b = si(40, 8, 8, 10)
+    hit = intervals_share_address(a, b)
+    assert hit is not None
+    assert hit.address == 40
+
+
+def test_figure4_interleaved_strides_do_not_share():
+    a = si(10, 8, 4, 5)
+    b = si(14, 8, 4, 5)
+    assert a.extent_overlaps(b)
+    assert intervals_share_address(a, b) is None
+
+
+def test_strided_sharing_found():
+    a = si(0, 12, 4, 10)
+    b = si(24, 8, 4, 10)
+    hit = intervals_share_address(a, b)
+    assert hit is not None
+
+
+def test_constraint_of_singleton():
+    c = constraint_of(si(100, 8, 8, 1))
+    assert c.count == 1 and c.size == 8 and c.base == 100
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    lo_a=st.integers(0, 64), str_a=st.integers(1, 12),
+    sz_a=st.sampled_from([1, 2, 4, 8]), n_a=st.integers(1, 8),
+    lo_b=st.integers(0, 64), str_b=st.integers(1, 12),
+    sz_b=st.sampled_from([1, 2, 4, 8]), n_b=st.integers(1, 8),
+)
+def test_property_share_address_matches_bruteforce(
+    lo_a, str_a, sz_a, n_a, lo_b, str_b, sz_b, n_b
+):
+    a = si(lo_a, str_a, sz_a, n_a)
+    b = si(lo_b, str_b, sz_b, n_b)
+    got = intervals_share_address(a, b)
+    brute = bruteforce_overlap(constraint_of(a), constraint_of(b))
+    assert (got is not None) == (brute is not None)
+    if got is not None:
+        assert constraint_of(a).contains(got.address)
+        assert constraint_of(b).contains(got.address)

@@ -1,0 +1,67 @@
+"""Node-memory accountant: limits, categories, OOM."""
+
+import pytest
+
+from repro.common.errors import SimulatedOOMError
+from repro.memory.accounting import NodeMemory
+
+
+def test_charge_and_release():
+    mem = NodeMemory(limit=1000)
+    mem.charge("app", 400)
+    mem.charge("tool", 100)
+    assert mem.current() == 500
+    assert mem.current("app") == 400
+    mem.release("app", 150)
+    assert mem.current("app") == 250
+    assert mem.peak("app") == 400
+    assert mem.peak() == 500
+
+
+def test_oom_raises_and_leaves_state_consistent():
+    mem = NodeMemory(limit=1000)
+    mem.charge("app", 900)
+    with pytest.raises(SimulatedOOMError) as exc:
+        mem.charge("shadow", 200)
+    assert exc.value.requested == 200
+    assert exc.value.in_use == 900
+    assert exc.value.limit == 1000
+    # The failed charge was not applied.
+    assert mem.current() == 900
+    mem.charge("shadow", 100)  # exactly at the limit is fine
+    assert mem.current() == 1000
+
+
+def test_release_more_than_charged_is_an_error():
+    mem = NodeMemory(limit=100)
+    mem.charge("app", 10)
+    with pytest.raises(ValueError):
+        mem.release("app", 20)
+    with pytest.raises(ValueError):
+        mem.release("nonexistent", 1)
+
+
+def test_negative_amounts_rejected():
+    mem = NodeMemory(limit=100)
+    with pytest.raises(ValueError):
+        mem.charge("app", -1)
+    mem.charge("app", 5)
+    with pytest.raises(ValueError):
+        mem.release("app", -1)
+
+
+def test_snapshot():
+    mem = NodeMemory(limit=1000)
+    mem.charge("app", 300)
+    mem.charge("tool", 50)
+    mem.release("tool", 25)
+    snap = mem.snapshot()
+    assert snap.current_total == 325
+    assert snap.peak_total == 350
+    assert snap.by_category_current == {"app": 300, "tool": 25}
+    assert snap.by_category_peak == {"app": 300, "tool": 50}
+
+
+def test_zero_limit_rejected():
+    with pytest.raises(ValueError):
+        NodeMemory(limit=0)

@@ -1,0 +1,90 @@
+"""Simulated address space and allocator."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import RuntimeModelError, SimulatedOOMError
+from repro.memory.accounting import NodeMemory
+from repro.memory.address_space import ALIGNMENT, AddressSpace, HEAP_BASE
+
+
+def test_allocations_are_disjoint_and_aligned():
+    space = AddressSpace()
+    a = space.alloc_array("a", 100, np.float64)
+    b = space.alloc_array("b", 7, np.int32)
+    assert a.allocation.base % ALIGNMENT == 0 or a.allocation.base == HEAP_BASE
+    assert a.allocation.end <= b.allocation.base
+    assert b.allocation.base % ALIGNMENT == 0
+
+
+def test_addr_and_index_roundtrip():
+    space = AddressSpace()
+    a = space.alloc_array("a", 10, np.float64)
+    for i in range(10):
+        assert a.index_of(a.addr(i)) == i
+    assert a.addr(-1) == a.addr(9)
+    with pytest.raises(IndexError):
+        a.addr(10)
+    with pytest.raises(IndexError):
+        a.index_of(a.allocation.end)
+
+
+def test_find_reverse_lookup():
+    space = AddressSpace()
+    a = space.alloc_array("a", 4, np.float64)
+    b = space.alloc_array("b", 4, np.float64)
+    assert space.find(a.addr(2)) is a.allocation
+    assert space.find(b.addr(0)) is b.allocation
+    assert space.find(HEAP_BASE - 1) is None
+    # A gap address between allocations maps to nothing.
+    gap = a.allocation.end
+    if gap < b.allocation.base:
+        assert space.find(gap) is None
+
+
+def test_sim_scale_inflates_accounting_not_backing():
+    accountant = NodeMemory(limit=10**9)
+    space = AddressSpace(accountant)
+    a = space.alloc_array("big", 100, np.float64, sim_scale=1000)
+    assert a.data.nbytes == 800
+    assert a.allocation.sim_bytes == 800_000
+    assert accountant.current("app") == 800_000
+    # The simulated extent is reserved so the next base does not collide.
+    b = space.alloc_array("next", 1, np.float64)
+    assert b.allocation.base >= a.allocation.base + 800_000
+
+
+def test_alloc_oom_rolls_back():
+    accountant = NodeMemory(limit=1000)
+    space = AddressSpace(accountant)
+    space.alloc_array("ok", 10, np.float64)  # 80 bytes
+    with pytest.raises(SimulatedOOMError):
+        space.alloc_array("huge", 1000, np.float64)
+    # Rolled back: the failed allocation is not findable.
+    assert len(space.allocations()) == 1
+    assert accountant.current("app") == 80
+
+
+def test_fill_modes():
+    space = AddressSpace()
+    z = space.alloc_array("z", 5, np.float64, fill=3)
+    assert (z.data == 3.0).all()
+    e = space.alloc_array("e", 5, np.float64, fill=None)
+    assert e.data.shape == (5,)
+    s = space.alloc_scalar("s", np.int64, fill=7)
+    assert s.data[0] == 7
+
+
+def test_zero_size_and_bad_scale_rejected():
+    space = AddressSpace()
+    with pytest.raises(RuntimeModelError):
+        space.alloc_array("empty", 0, np.float64)
+    with pytest.raises(RuntimeModelError):
+        space.alloc_array("bad", 4, np.float64, sim_scale=0)
+
+
+def test_app_bytes_totals_sim_sizes():
+    space = AddressSpace()
+    space.alloc_array("a", 10, np.float64)
+    space.alloc_array("b", 10, np.float64, sim_scale=2)
+    assert space.app_bytes == 80 + 160

@@ -1,0 +1,252 @@
+"""Offline analyzer vs the exhaustive oracle, across programs and seeds."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import OfflineConfig
+from repro.common.sourceloc import pc_of
+from repro.offline import OfflineAnalyzer
+from repro.sword import TraceDir
+
+from conftest import sword_and_oracle
+
+
+def check(program, trace_dir, *, nthreads=4, seed=0, yield_every=0):
+    races, oracle, _rec, _rt = sword_and_oracle(
+        program, trace_dir, nthreads=nthreads, seed=seed,
+        yield_every=yield_every,
+    )
+    assert races.pc_pairs() == oracle.pc_pairs(), (
+        f"sword={sorted(races.pc_pairs())} oracle={sorted(oracle.pc_pairs())}"
+    )
+    return races
+
+
+def test_write_read_race_found(trace_dir):
+    def program(m):
+        a = m.alloc_array("a", 8)
+
+        def body(ctx):
+            if ctx.tid == 0:
+                ctx.write(a, 0, 1.0, pc=pc_of("t.c", 1))
+            else:
+                ctx.read(a, 0, pc=pc_of("t.c", 2))
+        m.parallel(body)
+
+    races = check(program, trace_dir)
+    assert len(races) == 1
+
+
+def test_read_read_is_not_a_race(trace_dir):
+    def program(m):
+        a = m.alloc_array("a", 8, fill=1)
+
+        def body(ctx):
+            ctx.read(a, 0)
+        m.parallel(body)
+
+    assert len(check(program, trace_dir)) == 0
+
+
+def test_barrier_separation_suppresses_race(trace_dir):
+    def program(m):
+        a = m.alloc_array("a", 8)
+
+        def body(ctx):
+            if ctx.tid == 0:
+                ctx.write(a, 0, 1.0)
+            ctx.barrier()
+            if ctx.tid == 1:
+                ctx.read(a, 0)
+        m.parallel(body)
+
+    assert len(check(program, trace_dir)) == 0
+
+
+def test_common_lock_suppresses_race(trace_dir):
+    def program(m):
+        a = m.alloc_array("a", 8)
+
+        def body(ctx):
+            with ctx.critical():
+                ctx.write(a, 0, float(ctx.tid))
+        m.parallel(body)
+
+    assert len(check(program, trace_dir)) == 0
+
+
+def test_different_locks_do_not_suppress(trace_dir):
+    def program(m):
+        a = m.alloc_array("a", 8)
+        l1 = m.new_lock("l1")
+        l2 = m.new_lock("l2")
+
+        def body(ctx):
+            lock = l1 if ctx.tid % 2 == 0 else l2
+            with ctx.locked(lock):
+                ctx.write(a, 0, 1.0, pc=pc_of("locks.c", ctx.tid % 2 + 1))
+        m.parallel(body, nthreads=2)
+
+    races = check(program, trace_dir, nthreads=2)
+    assert len(races) == 1
+
+
+def test_atomic_pair_suppressed_mixed_not(trace_dir):
+    def program(m):
+        a = m.alloc_scalar("a", np.int64)
+        b = m.alloc_scalar("b", np.int64)
+
+        def body(ctx):
+            ctx.atomic_add(a, 0, 1)           # atomic-atomic: fine
+            if ctx.tid == 0:
+                ctx.write(b, 0, 1, pc=pc_of("at.c", 10))   # plain write
+            else:
+                ctx.atomic_add(b, 0, 1, pc=pc_of("at.c", 11))
+        m.parallel(body, nthreads=2)
+
+    races = check(program, trace_dir, nthreads=2)
+    assert len(races) == 1  # only the mixed pair on b
+
+
+def test_strided_non_overlap_not_reported(trace_dir):
+    """Figure-4 style: extents overlap but no byte is shared."""
+
+    def program(m):
+        a = m.alloc_array("a", 64, dtype=np.int32)  # 4-byte elements
+
+        def body(ctx):
+            # Even int32 slots vs odd int32 slots: interleaved, disjoint.
+            if ctx.tid == 0:
+                ctx.write_slice(a, 0, 64, np.zeros(32, np.int32), step=2)
+            else:
+                ctx.write_slice(a, 1, 64, np.ones(32, np.int32), step=2)
+        m.parallel(body, nthreads=2)
+
+    assert len(check(program, trace_dir, nthreads=2)) == 0
+
+
+def test_strided_true_overlap_reported(trace_dir):
+    def program(m):
+        a = m.alloc_array("a", 64, dtype=np.int32)
+
+        def body(ctx):
+            if ctx.tid == 0:
+                ctx.write_slice(a, 0, 64, np.zeros(22, np.int32), step=3,
+                                pc=pc_of("stride.c", 1))
+            else:
+                ctx.write_slice(a, 0, 64, np.ones(16, np.int32), step=4,
+                                pc=pc_of("stride.c", 2))
+        m.parallel(body, nthreads=2)
+
+    races = check(program, trace_dir, nthreads=2)
+    assert len(races) == 1
+
+
+def test_partial_word_overlap_detected(trace_dir):
+    """Byte-level overlap of differently-sized accesses."""
+
+    def program(m):
+        a = m.alloc_array("a", 8, dtype=np.int64)
+        b = m.alloc_array("view", 64, dtype=np.int8)
+
+        def body(ctx):
+            if ctx.tid == 0:
+                ctx.write(a, 0, 7, pc=pc_of("pw.c", 1))  # 8 bytes
+            else:
+                ctx.write(b, 0, 1, pc=pc_of("pw.c", 2))  # 1 byte, other array
+        m.parallel(body, nthreads=2)
+
+    # Different allocations never overlap.
+    assert len(check(program, trace_dir, nthreads=2)) == 0
+
+
+def test_nested_region_races(trace_dir):
+    def program(m):
+        y = m.alloc_scalar("y")
+
+        def inner(ctx):
+            ctx.write(y, 0, 1.0, pc=pc_of("nest.c", 9))
+
+        def outer(ctx):
+            ctx.parallel(inner, nthreads=2)
+        m.parallel(outer, nthreads=2)
+
+    races = check(program, trace_dir, nthreads=2)
+    assert len(races) == 1
+
+
+def test_seed_sweep_agreement(trace_dir):
+    """Oracle equivalence holds across schedules and preemption rates."""
+
+    def program(m):
+        a = m.alloc_array("a", 32)
+        total = m.alloc_scalar("t")
+
+        def body(ctx):
+            for i in ctx.for_range(32, schedule="dynamic", chunk=3):
+                ctx.write(a, i, float(i), pc=pc_of("sweep.c", 1))
+            v = ctx.read(a, 0, pc=pc_of("sweep.c", 2))
+            ctx.reduce_add(total, 0, v, pc=pc_of("sweep.c", 3))
+        m.parallel(body)
+
+    import shutil
+    import tempfile
+
+    for seed in range(4):
+        for yield_every in (0, 3):
+            tmp = tempfile.mkdtemp(prefix="sweep-")
+            try:
+                check(program, tmp, seed=seed, yield_every=yield_every)
+            finally:
+                shutil.rmtree(tmp, ignore_errors=True)
+
+
+def test_streaming_chunk_size_does_not_change_result(trace_dir):
+    def program(m):
+        a = m.alloc_array("a", 256)
+
+        def body(ctx):
+            for i in ctx.for_range(256, nowait=True):
+                ctx.write(a, i, 1.0, pc=pc_of("chunked.c", 1))
+            ctx.read(a, 0, pc=pc_of("chunked.c", 2))
+        m.parallel(body)
+
+    races, oracle, _rec, _rt = sword_and_oracle(program, trace_dir)
+    for chunk_events in (1, 7, 1000):
+        result = OfflineAnalyzer(
+            TraceDir(trace_dir), OfflineConfig(chunk_events=chunk_events)
+        ).analyze()
+        assert result.races.pc_pairs() == races.pc_pairs() == oracle.pc_pairs()
+
+
+def test_ilp_crosscheck_mode(trace_dir):
+    def program(m):
+        a = m.alloc_array("a", 32, dtype=np.int32)
+
+        def body(ctx):
+            step = 2 + ctx.tid
+            ctx.write_slice(a, ctx.tid, 32, np.zeros(len(range(ctx.tid, 32, step)), np.int32),
+                            step=step, pc=pc_of("x.c", ctx.tid + 1))
+        m.parallel(body, nthreads=2)
+
+    races, _oracle, _rec, _rt = sword_and_oracle(program, trace_dir, nthreads=2)
+    checked = OfflineAnalyzer(
+        TraceDir(trace_dir), OfflineConfig(use_ilp_crosscheck=True)
+    ).analyze()
+    assert checked.races.pc_pairs() == races.pc_pairs()
+
+
+def test_stats_populated(trace_dir):
+    def program(m):
+        a = m.alloc_array("a", 16)
+
+        def body(ctx):
+            ctx.write(a, ctx.tid, 1.0)
+        m.parallel(body)
+
+    sword_and_oracle(program, trace_dir)
+    result = OfflineAnalyzer(TraceDir(trace_dir)).analyze()
+    assert result.stats.intervals > 0
+    assert result.stats.trees_built > 0
+    assert result.stats.events_read > 0
+    assert result.stats.total_seconds >= 0

@@ -1,0 +1,63 @@
+"""Race reports and pc-pair deduplication."""
+
+from repro.common.sourceloc import pc_of
+from repro.offline.report import RaceSet, make_report
+
+
+def rep(pc_a, pc_b, **kw):
+    defaults = dict(address=0x100, write_a=True, write_b=False,
+                    gid_a=0, gid_b=1)
+    defaults.update(kw)
+    return make_report(pc_a=pc_a, pc_b=pc_b, **defaults)
+
+
+def test_pc_pair_is_normalised():
+    r1 = rep(10, 20)
+    r2 = rep(20, 10)
+    assert r1.key == r2.key == (10, 20)
+    # Operation flags follow their pcs through the swap.
+    swapped = make_report(pc_a=20, pc_b=10, address=0, write_a=True,
+                          write_b=False, gid_a=5, gid_b=6)
+    assert swapped.write_a is False and swapped.write_b is True
+    assert swapped.gid_a == 6 and swapped.gid_b == 5
+
+
+def test_raceset_dedups_by_pair():
+    rs = RaceSet()
+    assert rs.add(rep(1, 2))
+    assert not rs.add(rep(2, 1))
+    assert rs.add(rep(1, 3))
+    assert len(rs) == 2
+    assert rs.pc_pairs() == {(1, 2), (1, 3)}
+    assert (1, 2) in rs
+    assert (2, 1) not in rs  # keys are stored normalised
+
+
+def test_raceset_preserves_first_occurrence():
+    rs = RaceSet()
+    rs.add(rep(1, 2, address=111))
+    rs.add(rep(1, 2, address=222))
+    assert [r.address for r in rs] == [111]
+
+
+def test_same_pc_pair_allows_self_race_site():
+    """A write-write race on one source line is the (pc, pc) pair."""
+    rs = RaceSet()
+    rs.add(rep(5, 5))
+    assert len(rs) == 1
+    assert (5, 5) in rs
+
+
+def test_describe_resolves_locations():
+    pc = pc_of("report.c", 33, "f")
+    r = rep(pc, pc)
+    text = r.describe()
+    assert "report.c:33" in text
+    assert "write" in text
+
+
+def test_update_and_reports():
+    rs = RaceSet()
+    rs.update([rep(1, 2), rep(3, 4), rep(1, 2)])
+    assert len(rs.reports()) == 2
+    assert len(rs.describe_all().splitlines()) == 2

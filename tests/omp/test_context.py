@@ -1,0 +1,253 @@
+"""ThreadContext surface: worksharing, single/master/sections, accesses."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import RuntimeModelError
+from repro.common.events import FLAG_ATOMIC
+from repro.omp import OpenMPRuntime, RecordingTool
+
+from conftest import run_program
+
+
+def collect_iters(schedule, n, nthreads, chunk=None, seed=0):
+    per_thread: dict[int, list[int]] = {}
+
+    def program(m):
+        def body(ctx):
+            per_thread[ctx.tid] = list(
+                ctx.for_range(n, schedule=schedule, chunk=chunk)
+            )
+        m.parallel(body, nthreads=nthreads)
+
+    run_program(program, nthreads=nthreads, seed=seed)
+    return per_thread
+
+
+class TestForRange:
+    @pytest.mark.parametrize("schedule", ["static", "dynamic", "guided"])
+    def test_every_iteration_exactly_once(self, schedule):
+        per_thread = collect_iters(schedule, 37, 4)
+        merged = sorted(i for its in per_thread.values() for i in its)
+        assert merged == list(range(37))
+
+    def test_static_default_is_contiguous(self):
+        per_thread = collect_iters("static", 40, 4)
+        for tid, its in per_thread.items():
+            assert its == list(range(tid * 10, (tid + 1) * 10))
+
+    def test_static_chunked_round_robin(self):
+        per_thread = collect_iters("static", 16, 2, chunk=2)
+        assert per_thread[0] == [0, 1, 4, 5, 8, 9, 12, 13]
+        assert per_thread[1] == [2, 3, 6, 7, 10, 11, 14, 15]
+
+    def test_dynamic_distributes_across_threads(self):
+        per_thread = collect_iters("dynamic", 64, 4, chunk=4, seed=5)
+        working = [tid for tid, its in per_thread.items() if its]
+        assert len(working) >= 2  # someone besides the master got chunks
+
+    def test_static_chunk_bounds(self):
+        bounds = {}
+
+        def program(m):
+            def body(ctx):
+                bounds[ctx.tid] = ctx.static_chunk(10)
+            m.parallel(body, nthreads=3)
+
+        run_program(program, nthreads=3)
+        assert bounds == {0: (0, 3), 1: (3, 6), 2: (6, 10)}
+
+    def test_zero_iterations(self):
+        per_thread = collect_iters("static", 0, 3)
+        assert all(its == [] for its in per_thread.values())
+
+    def test_unknown_schedule_rejected(self):
+        def program(m):
+            def body(ctx):
+                list(ctx.for_range(4, schedule="magic"))
+            m.parallel(body, nthreads=1)
+
+        with pytest.raises(RuntimeModelError):
+            run_program(program)
+
+    def test_nowait_omits_loop_barrier(self):
+        tool = RecordingTool()
+
+        def program(m):
+            def body(ctx):
+                for _ in ctx.for_range(8, nowait=True):
+                    pass
+            m.parallel(body, nthreads=2)
+
+        run_program(program, tool=tool, nthreads=2)
+        arrivals = [e for e in tool.tape if e.kind == "barrier_arrive"]
+        assert len(arrivals) == 2  # only the implicit region-end barrier
+
+
+class TestSingleMasterSections:
+    def test_single_claimed_by_exactly_one(self):
+        claims = []
+
+        def program(m):
+            def body(ctx):
+                with ctx.single() as mine:
+                    if mine:
+                        claims.append(ctx.tid)
+                with ctx.single() as mine:
+                    if mine:
+                        claims.append(ctx.tid)
+            m.parallel(body, nthreads=4)
+
+        run_program(program)
+        assert len(claims) == 2
+
+    def test_master_only_on_slot_zero(self):
+        masters = []
+
+        def program(m):
+            def body(ctx):
+                if ctx.master():
+                    masters.append(ctx.tid)
+            m.parallel(body, nthreads=4)
+
+        run_program(program)
+        assert masters == [0]
+
+    def test_sections_each_body_once(self):
+        runs = []
+
+        def program(m):
+            def body(ctx):
+                ctx.sections([
+                    lambda c: runs.append("a"),
+                    lambda c: runs.append("b"),
+                    lambda c: runs.append("c"),
+                ])
+            m.parallel(body, nthreads=2)
+
+        run_program(program)
+        assert sorted(runs) == ["a", "b", "c"]
+
+
+class TestAccessEmission:
+    def test_scalar_ops_do_real_work_and_emit(self):
+        tool = RecordingTool()
+
+        def program(m):
+            a = m.alloc_array("a", 8)
+
+            def body(ctx):
+                ctx.write(a, ctx.tid, float(ctx.tid))
+                assert ctx.read(a, ctx.tid) == float(ctx.tid)
+            m.parallel(body, nthreads=4)
+            return m.data(a).copy()
+
+        run_program(program, tool=tool)
+        accs = tool.accesses()
+        assert len(accs) == 8
+        writes = [e for e in accs if e.access.is_write]
+        assert len(writes) == 4
+
+    def test_slice_ops_emit_one_range_event(self):
+        tool = RecordingTool()
+
+        def program(m):
+            a = m.alloc_array("a", 100)
+
+            def body(ctx):
+                lo, hi = ctx.static_chunk(100)
+                ctx.write_slice(a, lo, hi, np.arange(lo, hi, dtype=float))
+                vals = ctx.read_slice(a, lo, hi, step=2)
+                assert vals[0] == lo
+            m.parallel(body, nthreads=2)
+
+        run_program(program, tool=tool, nthreads=2)
+        accs = [e.access for e in tool.accesses()]
+        assert len(accs) == 4  # one write + one read range per thread
+        w = [a for a in accs if a.is_write][0]
+        assert w.count == 50 and w.stride == 8
+        r = [a for a in accs if not a.is_write][0]
+        assert r.count == 25 and r.stride == 16
+
+    def test_elems_ops_emit_per_index(self):
+        tool = RecordingTool()
+
+        def program(m):
+            a = m.alloc_array("a", 16)
+
+            def body(ctx):
+                ctx.write_elems(a, [1, 5, 9], 2.0)
+                got = ctx.read_elems(a, [1, 5])
+                assert list(got) == [2.0, 2.0]
+            m.parallel(body, nthreads=1)
+
+        run_program(program, tool=tool)
+        accs = tool.accesses()
+        assert len(accs) == 5
+
+    def test_atomics_flagged(self):
+        tool = RecordingTool()
+
+        def program(m):
+            c = m.alloc_scalar("c", np.int64)
+
+            def body(ctx):
+                ctx.atomic_add(c, 0, 1)
+                ctx.atomic_read(c, 0)
+                ctx.atomic_write(c, 0, 5)
+            m.parallel(body, nthreads=2)
+            return m.data(c)[0]
+
+        rt = run_program(program, tool=tool)
+        accs = [e.access for e in tool.accesses()]
+        assert len(accs) == 6
+        assert all(a.is_atomic for a in accs)
+
+    def test_msid_tracks_held_locks(self):
+        tool = RecordingTool()
+
+        def program(m):
+            a = m.alloc_scalar("a")
+            lock = m.new_lock("L")
+
+            def body(ctx):
+                ctx.write(a, 0, 1.0)            # no locks
+                with ctx.locked(lock):
+                    ctx.write(a, 0, 2.0)        # {L}
+                with ctx.critical("x"):
+                    with ctx.locked(lock):
+                        ctx.write(a, 0, 3.0)    # {L, critical:x}
+            m.parallel(body, nthreads=1)
+
+        rt = run_program(program, tool=tool)
+        msids = [e.access.msid for e in tool.accesses()]
+        sets = [rt.mutexsets.get(m) for m in msids]
+        assert len(sets[0]) == 0
+        assert len(sets[1]) == 1
+        assert len(sets[2]) == 2
+
+    def test_slice_step_validation(self):
+        def program(m):
+            a = m.alloc_array("a", 4)
+
+            def body(ctx):
+                ctx.read_slice(a, 0, 4, step=0)
+            m.parallel(body, nthreads=1)
+
+        with pytest.raises(RuntimeModelError):
+            run_program(program)
+
+    def test_reduce_add_is_lock_protected(self):
+        tool = RecordingTool()
+
+        def program(m):
+            total = m.alloc_scalar("t")
+
+            def body(ctx):
+                ctx.reduce_add(total, 0, 1.0)
+            m.parallel(body, nthreads=4)
+            return m.data(total)[0]
+
+        rt = run_program(program, tool=tool)
+        accs = [e.access for e in tool.accesses()]
+        assert all(len(rt.mutexsets.get(a.msid)) == 1 for a in accs)

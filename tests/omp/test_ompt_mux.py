@@ -1,0 +1,70 @@
+"""ToolMux must fan out every callback — including newly added ones."""
+
+import inspect
+
+from repro.omp import OmptTool, OpenMPRuntime, ToolMux
+from repro.common.config import RunConfig, SchedulerConfig
+
+
+class _CallRecorder(OmptTool):
+    """Record every callback name invoked on this tool."""
+
+    def __init__(self) -> None:
+        self.calls: list[str] = []
+
+    def __getattribute__(self, name):
+        if name.startswith("on_"):
+            calls = object.__getattribute__(self, "calls")
+
+            def _record(*args, **kwargs):
+                calls.append(name)
+
+            return _record
+        return object.__getattribute__(self, name)
+
+
+def test_mux_overrides_every_callback():
+    """Every ``on_*`` method of OmptTool must be overridden by ToolMux —
+    a missing override silently drops the callback for all attached tools."""
+    base_callbacks = {
+        name for name, _ in inspect.getmembers(OmptTool, inspect.isfunction)
+        if name.startswith("on_")
+    }
+    mux_own = set(vars(ToolMux))
+    missing = base_callbacks - mux_own
+    assert not missing, f"ToolMux does not fan out: {sorted(missing)}"
+
+
+def test_mux_delivers_to_all_tools_in_order():
+    a, b = _CallRecorder(), _CallRecorder()
+    rt = OpenMPRuntime(
+        RunConfig(nthreads=2, scheduler=SchedulerConfig(seed=0)),
+        tool=ToolMux([a, b]),
+    )
+
+    def program(m):
+        x = m.alloc_scalar("x")
+        lock = m.new_lock()
+
+        def child(ctx):
+            ctx.write(x, 0, 1.0)
+
+        def body(ctx):
+            with ctx.locked(lock):
+                ctx.read(x, 0)
+            if ctx.tid == 0:
+                ctx.task(child)
+                ctx.taskwait()
+            ctx.barrier()
+        m.parallel(body)
+
+    rt.run(program)
+    assert a.calls == b.calls
+    for expected in (
+        "on_run_begin", "on_parallel_begin", "on_implicit_task_begin",
+        "on_access", "on_mutex_acquired", "on_mutex_released",
+        "on_task_create", "on_task_begin", "on_task_end", "on_taskwait",
+        "on_barrier_arrive", "on_barrier_depart", "on_implicit_task_end",
+        "on_parallel_end", "on_run_end",
+    ):
+        assert expected in a.calls, f"{expected} never delivered"

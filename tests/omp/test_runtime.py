@@ -1,0 +1,237 @@
+"""Simulated OpenMP runtime: regions, barriers, locks, nesting."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import RunConfig, SchedulerConfig
+from repro.common.errors import DeadlockError, RuntimeModelError
+from repro.omp import OpenMPRuntime, RecordingTool
+
+from conftest import run_program
+
+
+def test_parallel_region_runs_all_members():
+    seen = []
+
+    def program(m):
+        def body(ctx):
+            seen.append((ctx.tid, ctx.nthreads))
+        m.parallel(body, nthreads=5)
+
+    run_program(program)
+    assert sorted(seen) == [(i, 5) for i in range(5)]
+
+
+def test_master_is_member_zero_and_worker_pool_reused():
+    gids = {}
+
+    def program(m):
+        def body(ctx, tag):
+            gids.setdefault(tag, {})[ctx.tid] = ctx.gid
+        m.parallel(body, "first", nthreads=4)
+        m.parallel(body, "second", nthreads=4)
+
+    rt = run_program(program)
+    # The encountering (initial) thread is slot 0 in both regions.
+    assert gids["first"][0] == rt.initial_thread.gid
+    assert gids["second"][0] == rt.initial_thread.gid
+    # Pool workers are reused across regions: same gid set.
+    assert set(gids["first"].values()) == set(gids["second"].values())
+
+
+def test_return_value_propagates():
+    def program(m):
+        return 42
+
+    rt = OpenMPRuntime(RunConfig(nthreads=2))
+    assert rt.run(program) == 42
+
+
+def test_runtime_is_single_shot():
+    rt = OpenMPRuntime(RunConfig(nthreads=2))
+    rt.run(lambda m: None)
+    with pytest.raises(RuntimeModelError):
+        rt.run(lambda m: None)
+
+
+def test_workload_exception_propagates():
+    class Boom(Exception):
+        pass
+
+    def program(m):
+        def body(ctx):
+            if ctx.tid == 1:
+                raise Boom()
+        m.parallel(body, nthreads=3)
+
+    with pytest.raises(Boom):
+        run_program(program)
+
+
+def test_exception_in_master_body_aborts_workers_at_barrier():
+    class Boom(Exception):
+        pass
+
+    def program(m):
+        def body(ctx):
+            if ctx.tid == 0:
+                raise Boom()
+            ctx.barrier()  # workers block here; abort must wake them
+        m.parallel(body, nthreads=4)
+
+    with pytest.raises(Boom):
+        run_program(program)
+
+
+def test_barrier_all_arrive_before_any_departs():
+    tool = RecordingTool()
+
+    def program(m):
+        def body(ctx):
+            ctx.barrier()
+        m.parallel(body, nthreads=6)
+
+    run_program(program, tool=tool, nthreads=6)
+    per_barrier = {}
+    for e in tool.tape:
+        if e.kind in ("barrier_arrive", "barrier_depart"):
+            per_barrier.setdefault(e.bid if e.kind == "barrier_arrive" else e.bid - 1,
+                                   []).append(e.kind)
+    for bid, events in per_barrier.items():
+        first_depart = events.index("barrier_depart")
+        assert events[:first_depart].count("barrier_arrive") == 6, bid
+
+
+def test_lock_mutual_exclusion_and_msid():
+    def program(m):
+        counter = m.alloc_scalar("c", np.int64)
+        lock = m.new_lock("L")
+
+        def body(ctx):
+            for _ in range(20):
+                with ctx.locked(lock):
+                    v = ctx.read(counter, 0)
+                    ctx.write(counter, 0, v + 1)
+        m.parallel(body, nthreads=4)
+        return m.data(counter)[0]
+
+    rt = OpenMPRuntime(RunConfig(nthreads=4, scheduler=SchedulerConfig(seed=3)))
+    assert rt.run(program) == 80
+
+
+def test_release_unheld_lock_rejected():
+    def program(m):
+        lock = m.new_lock()
+
+        def body(ctx):
+            ctx.release(lock)
+        m.parallel(body, nthreads=1)
+
+    with pytest.raises(RuntimeModelError):
+        run_program(program)
+
+
+def test_relock_detected():
+    def program(m):
+        lock = m.new_lock()
+
+        def body(ctx):
+            ctx.acquire(lock)
+            ctx.acquire(lock)
+        m.parallel(body, nthreads=1)
+
+    with pytest.raises(RuntimeModelError):
+        run_program(program)
+
+
+def test_deadlock_detected_not_hung():
+    def program(m):
+        a = m.new_lock("a")
+        b = m.new_lock("b")
+
+        def body(ctx):
+            if ctx.tid == 0:
+                ctx.acquire(a)
+                ctx.yield_point()
+                ctx.acquire(b)
+            else:
+                ctx.acquire(b)
+                ctx.yield_point()
+                ctx.acquire(a)
+        m.parallel(body, nthreads=2)
+
+    with pytest.raises(DeadlockError):
+        run_program(program, seed=1)
+
+
+def test_mismatched_barriers_deadlock():
+    def program(m):
+        def body(ctx):
+            if ctx.tid == 0:
+                ctx.barrier()
+        m.parallel(body, nthreads=2)
+
+    with pytest.raises(DeadlockError):
+        run_program(program)
+
+
+def test_nested_parallelism_levels_and_pids():
+    tool = RecordingTool()
+
+    def program(m):
+        def inner(ctx):
+            pass
+
+        def outer(ctx):
+            ctx.parallel(inner, nthreads=2)
+        m.parallel(outer, nthreads=2)
+
+    run_program(program, tool=tool)
+    levels = {e.region: e.level for e in tool.tape if e.kind == "task_begin"}
+    assert sorted(levels.values()) == [1, 2, 2]
+    regions = {pid: r for pid, r in tool.regions.items()}
+    inner_regions = [r for r in regions.values() if r.level == 2]
+    assert len(inner_regions) == 2
+    assert all(r.ppid == 1 for r in inner_regions)
+
+
+def test_team_of_one():
+    def program(m):
+        x = m.alloc_scalar("x")
+
+        def body(ctx):
+            assert ctx.nthreads == 1
+            ctx.write(x, 0, 1.0)
+            ctx.barrier()
+        m.parallel(body, nthreads=1)
+        return m.data(x)[0]
+
+    rt = OpenMPRuntime(RunConfig(nthreads=1))
+    assert rt.run(program) == 1.0
+
+
+def test_default_team_size_from_config():
+    sizes = []
+
+    def program(m):
+        def body(ctx):
+            sizes.append(ctx.nthreads)
+        m.parallel(body)
+
+    run_program(program, nthreads=6)
+    assert sizes == [6] * 6
+
+
+def test_barrier_intervals_advance_bid():
+    tool = RecordingTool()
+
+    def program(m):
+        def body(ctx):
+            ctx.barrier()
+            ctx.barrier()
+        m.parallel(body, nthreads=3)
+
+    run_program(program, tool=tool, nthreads=3)
+    departs = [e.bid for e in tool.tape if e.kind == "barrier_depart"]
+    # Two explicit barriers + the implicit region-end barrier, 3 threads.
+    assert sorted(departs) == [1, 1, 1, 2, 2, 2, 3, 3, 3]

@@ -1,0 +1,145 @@
+"""Barrier-interval concurrency judgment (the pid/ppid-aware OSL form)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.osl.concurrency import (
+    IntervalPair,
+    concurrent_intervals,
+    make_interval_label,
+    sequential_intervals,
+    to_classic,
+)
+from repro.osl.labels import OSPair
+
+
+def L(*levels):
+    return make_interval_label(*levels)
+
+
+class TestSameRegion:
+    def test_same_interval_different_slots_concurrent(self):
+        # Paper's R1: teammates inside one barrier interval.
+        a = L((1, 0, 2, 4))
+        b = L((1, 1, 2, 4))
+        assert concurrent_intervals(a, b)
+
+    def test_different_intervals_sequential(self):
+        # Barrier-separated: cannot race even across threads.
+        a = L((1, 0, 1, 4))
+        b = L((1, 3, 2, 4))
+        assert sequential_intervals(a, b)
+
+    def test_same_slot_program_order(self):
+        a = L((1, 2, 0, 4))
+        b = L((1, 2, 5, 4))
+        assert sequential_intervals(a, b)
+
+    def test_identical_labels_sequential(self):
+        a = L((1, 2, 3, 4))
+        assert sequential_intervals(a, a)
+
+
+class TestNested:
+    def test_paper_r2_r3_sibling_nested_regions(self):
+        """Fig. 2: nested regions forked by different teammates race."""
+        a = L((1, 0, 0, 2), (2, 0, 0, 2))
+        b = L((1, 1, 0, 2), (3, 1, 0, 2))
+        assert concurrent_intervals(a, b)
+
+    def test_nested_vs_parent_forking_thread(self):
+        """Case 1: the forking thread is suspended during its child region."""
+        parent = L((1, 0, 0, 2))
+        child = L((1, 0, 0, 2), (2, 1, 0, 2))
+        assert sequential_intervals(parent, child)
+
+    def test_nested_vs_parent_teammate(self):
+        """A teammate of the forking thread runs concurrently with the child."""
+        teammate = L((1, 1, 0, 2))
+        child = L((1, 0, 0, 2), (2, 1, 0, 2))
+        assert concurrent_intervals(teammate, child)
+
+    def test_nested_regions_forked_across_barrier(self):
+        """Different fork intervals: the barrier serialises the regions."""
+        a = L((1, 0, 0, 2), (2, 0, 0, 2))
+        b = L((1, 1, 1, 2), (3, 0, 0, 2))
+        assert sequential_intervals(a, b)
+
+    def test_sibling_regions_same_forking_thread(self):
+        """One thread forks region 2 then region 3: fork-join serialises."""
+        a = L((1, 0, 0, 2), (2, 0, 0, 2))
+        b = L((1, 0, 0, 2), (3, 1, 0, 2))
+        assert sequential_intervals(a, b)
+
+    def test_two_top_level_regions_sequential(self):
+        """Successive top-level regions are serialised by the initial thread."""
+        a = L((1, 0, 0, 4))
+        b = L((2, 2, 0, 4))
+        assert sequential_intervals(a, b)
+
+    def test_parent_interval_after_child_fork_bid(self):
+        """Parent interval in a *different* bid than the fork: barrier orders."""
+        parent_later = L((1, 1, 5, 2))
+        child = L((1, 0, 0, 2), (2, 1, 0, 2))
+        assert sequential_intervals(parent_later, child)
+
+    def test_deep_nesting_divergence_at_top(self):
+        a = L((1, 0, 0, 2), (2, 0, 0, 2), (4, 0, 0, 2))
+        b = L((1, 1, 0, 2), (3, 1, 0, 2), (5, 1, 0, 2))
+        assert concurrent_intervals(a, b)
+
+
+def test_judgment_symmetry_exhaustive():
+    """Symmetry over a small exhaustive space of two-level labels."""
+    labels = []
+    for region in (1, 2):
+        for slot in (0, 1):
+            for bid in (0, 1):
+                labels.append(L((region, slot, bid, 2)))
+                labels.append(L((region, slot, bid, 2), (10 + region, 0, 0, 2)))
+    for a in labels:
+        for b in labels:
+            assert sequential_intervals(a, b) == sequential_intervals(b, a)
+
+
+def test_to_classic_folds_bid():
+    lbl = L((1, 1, 2, 4))
+    classic = to_classic(lbl)
+    assert classic == (OSPair(1 + 2 * 4, 4),)
+
+
+def test_interval_pair_validation():
+    with pytest.raises(ValueError):
+        IntervalPair(1, 2, 0, 2)  # slot >= span
+    with pytest.raises(ValueError):
+        IntervalPair(1, 0, -1, 2)
+    with pytest.raises(ValueError):
+        IntervalPair(1, 0, 0, 0)
+
+
+@st.composite
+def interval_labels(draw):
+    depth = draw(st.integers(1, 3))
+    pairs = []
+    for lvl in range(depth):
+        span = draw(st.integers(1, 3))
+        pairs.append(
+            (
+                draw(st.integers(1, 4)) + 10 * lvl,
+                draw(st.integers(0, span - 1)),
+                draw(st.integers(0, 2)),
+                span,
+            )
+        )
+    return make_interval_label(*pairs)
+
+
+@given(interval_labels(), interval_labels())
+def test_property_symmetric(a, b):
+    assert sequential_intervals(a, b) == sequential_intervals(b, a)
+
+
+@given(interval_labels())
+def test_property_reflexive(a):
+    assert sequential_intervals(a, a)

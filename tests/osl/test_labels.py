@@ -1,0 +1,136 @@
+"""Classic offset-span labels (paper §II)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.osl.labels import (
+    OSPair,
+    after_barrier,
+    after_join,
+    concurrent_classic,
+    fork,
+    format_label,
+    initial_label,
+    is_prefix,
+    parse_label,
+    sequential_classic,
+)
+
+
+def test_paper_example_label():
+    """The paper's worked example: [0,1][0,2][0,2] for Thread 3 of Fig. 2."""
+    label = parse_label("[0,1][0,2][0,2]")
+    assert len(label) == 3
+    assert label[0] == OSPair(0, 1)
+    assert format_label(label) == "[0,1][0,2][0,2]"
+
+
+def test_fork_creates_siblings():
+    root = initial_label()
+    c0 = fork(root, 0, 2)
+    c1 = fork(root, 1, 2)
+    assert concurrent_classic(c0, c1)
+    assert sequential_classic(root, c0)  # case 1: prefix
+    assert sequential_classic(root, c1)
+
+
+def test_join_orders_children_before_continuation():
+    root = initial_label()
+    children = [fork(root, i, 3) for i in range(3)]
+    cont = after_join(root)
+    for c in children:
+        assert sequential_classic(c, cont)  # case 2 congruence
+
+
+def test_two_successive_fork_joins_are_sequential():
+    root = initial_label()
+    gen1 = [fork(root, i, 2) for i in range(2)]
+    cont = after_join(root)
+    gen2 = [fork(cont, i, 2) for i in range(2)]
+    for a in gen1:
+        for b in gen2:
+            assert sequential_classic(a, b), (a, b)
+
+
+def test_barrier_advances_same_slot_only():
+    root = initial_label()
+    t0 = fork(root, 0, 2)
+    t1 = fork(root, 1, 2)
+    t0_after = after_barrier(t0)
+    # Same slot across the barrier: ordered (case-2 congruence).
+    assert sequential_classic(t0, t0_after)
+    # Classic OSL alone cannot express cross-thread barrier ordering; that
+    # is the role of the barrier-interval judgment (and why SWORD keeps bid
+    # separate in its metadata).
+    assert concurrent_classic(t1, t0_after)
+
+
+def test_case2_requires_equal_spans():
+    a = (OSPair(0, 2),)
+    b = (OSPair(1, 3),)
+    assert concurrent_classic(a, b)
+
+
+def test_identical_labels_are_sequential():
+    lbl = parse_label("[0,1][1,2]")
+    assert sequential_classic(lbl, lbl)
+
+
+def test_is_prefix():
+    p = parse_label("[0,1]")
+    q = parse_label("[0,1][0,2]")
+    assert is_prefix(p, q)
+    assert not is_prefix(q, p)
+    assert not is_prefix(p, p)
+
+
+def test_parse_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_label("0,1")
+
+
+def test_pair_validation():
+    with pytest.raises(ValueError):
+        OSPair(0, 0)
+    with pytest.raises(ValueError):
+        OSPair(-1, 2)
+    with pytest.raises(ValueError):
+        fork(initial_label(), 2, 2)
+    with pytest.raises(ValueError):
+        after_join(())
+
+
+def test_pair_slot_phase():
+    assert OSPair(5, 2).slot == 1
+    assert OSPair(5, 2).phase == 2
+
+
+@st.composite
+def labels(draw):
+    depth = draw(st.integers(1, 4))
+    pairs = []
+    for _ in range(depth):
+        span = draw(st.integers(1, 4))
+        offset = draw(st.integers(0, 3 * span))
+        pairs.append(OSPair(offset, span))
+    return tuple(pairs)
+
+
+@given(labels(), labels())
+def test_judgment_is_symmetric(l1, l2):
+    assert sequential_classic(l1, l2) == sequential_classic(l2, l1)
+
+
+@given(labels())
+def test_judgment_is_reflexive(lbl):
+    assert sequential_classic(lbl, lbl)
+
+
+@given(labels(), st.integers(0, 3))
+def test_fork_children_concurrent_with_each_other(lbl, i):
+    span = 4
+    ci = fork(lbl, i, span)
+    cj = fork(lbl, (i + 1) % span, span)
+    assert concurrent_classic(ci, cj)
+    assert sequential_classic(lbl, ci)

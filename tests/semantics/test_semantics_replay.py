@@ -1,0 +1,187 @@
+"""Operational semantics: replay equivalence and well-formedness rules."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import AnalysisError
+from repro.common.events import Access
+from repro.omp import RecordingTool
+from repro.semantics import SemanticsReplay
+
+from conftest import run_program
+
+
+def replay_of(program, *, nthreads=4, seed=0):
+    tool = RecordingTool()
+    rt = run_program(program, nthreads=nthreads, seed=seed, tool=tool)
+    sem = SemanticsReplay().feed_tape(tool.tape, tool.regions)
+    return sem, tool, rt
+
+
+def test_replay_reconstructs_runtime_chains():
+    """The semantics must agree with the runtime's own structural view."""
+
+    def program(m):
+        a = m.alloc_array("a", 32)
+
+        def inner(ctx):
+            ctx.write(a, 16 + ctx.tid, 1.0)
+
+        def outer(ctx):
+            ctx.write(a, ctx.tid, 1.0)
+            ctx.barrier()
+            if ctx.tid == 1:
+                ctx.parallel(inner, nthreads=2)
+            ctx.write(a, 8 + ctx.tid, 1.0)
+        m.parallel(outer, nthreads=3)
+
+    sem, tool, _rt = replay_of(program, nthreads=3)
+    recorded = tool.accesses()
+    assert len(sem.accesses) == len(recorded)
+    for ours, runtime_view in zip(sem.accesses, recorded):
+        assert ours.chain == runtime_view.chain
+        assert ours.gid == runtime_view.gid
+
+
+def test_replay_tracks_classic_labels():
+    def program(m):
+        a = m.alloc_array("a", 8)
+
+        def body(ctx):
+            ctx.write(a, ctx.tid, 1.0)
+            ctx.barrier()
+            ctx.write(a, ctx.tid + 4, 1.0)
+        m.parallel(body, nthreads=2)
+
+    sem, _tool, _rt = replay_of(program, nthreads=2)
+    # After the barrier each thread's last pair offset advanced by the span.
+    post = [a.classic for a in sem.accesses if a.access.addr >= a.access.addr]
+    labels = {a.classic[-1].offset for a in sem.accesses}
+    assert labels == {0, 1, 2, 3}  # slots 0/1 before, 2/3 after the barrier
+
+
+def test_replay_mutex_sets():
+    def program(m):
+        x = m.alloc_scalar("x")
+        lock = m.new_lock()
+
+        def body(ctx):
+            with ctx.locked(lock):
+                ctx.write(x, 0, 1.0)
+            ctx.write(x, 0, 2.0)
+        m.parallel(body, nthreads=2)
+
+    sem, _tool, _rt = replay_of(program, nthreads=2)
+    locked = [a for a in sem.accesses if a.mutexes]
+    unlocked = [a for a in sem.accesses if not a.mutexes]
+    assert len(locked) == 2
+    assert len(unlocked) == 2
+
+
+def test_may_race_judgment():
+    def program(m):
+        x = m.alloc_scalar("x")
+
+        def body(ctx):
+            if ctx.tid == 0:
+                ctx.write(x, 0, 1.0)
+            else:
+                ctx.read(x, 0)
+            ctx.barrier()
+            if ctx.tid == 0:
+                ctx.read(x, 0)
+        m.parallel(body, nthreads=2)
+
+    sem, _tool, _rt = replay_of(program, nthreads=2)
+    w = next(a for a in sem.accesses if a.access.is_write)
+    reads = [a for a in sem.accesses if not a.access.is_write]
+    same_interval_read = next(r for r in reads if r.chain[-1].bid == 0)
+    later_read = next(r for r in reads if r.chain[-1].bid == 1)
+    assert SemanticsReplay.may_race(w, same_interval_read)
+    assert not SemanticsReplay.may_race(w, later_read)  # barrier-ordered
+
+
+def test_sequential_accesses_ignored():
+    sem = SemanticsReplay()
+    out = sem.access(0, Access(addr=8, size=8, count=1, stride=0,
+                               is_write=True, is_atomic=False, pc=1))
+    assert out is None
+    assert sem.accesses == []
+
+
+class TestWellFormedness:
+    def test_unknown_region_rejected(self):
+        sem = SemanticsReplay()
+        with pytest.raises(AnalysisError):
+            sem.task_begin(0, 99, 0)
+
+    def test_double_fork_rejected(self):
+        sem = SemanticsReplay()
+        sem.parallel_begin(1, parent_gid=0, span=2)
+        with pytest.raises(AnalysisError):
+            sem.parallel_begin(1, parent_gid=0, span=2)
+
+    def test_slot_out_of_range(self):
+        sem = SemanticsReplay()
+        sem.parallel_begin(1, parent_gid=0, span=2)
+        with pytest.raises(AnalysisError):
+            sem.task_begin(5, 1, 2)
+
+    def test_too_many_members(self):
+        sem = SemanticsReplay()
+        sem.parallel_begin(1, parent_gid=0, span=1)
+        sem.task_begin(0, 1, 0)
+        with pytest.raises(AnalysisError):
+            sem.task_begin(1, 1, 0)
+
+    def test_barrier_outside_region(self):
+        sem = SemanticsReplay()
+        with pytest.raises(AnalysisError):
+            sem.barrier_arrive(0, 0)
+
+    def test_departure_before_full_arrival(self):
+        sem = SemanticsReplay()
+        sem.parallel_begin(1, parent_gid=0, span=2)
+        sem.task_begin(1, 1, 0)
+        sem.task_begin(2, 1, 1)
+        sem.barrier_arrive(1, 0)
+        with pytest.raises(AnalysisError):
+            sem.barrier_depart(1, 1)
+
+    def test_over_arrival(self):
+        sem = SemanticsReplay()
+        sem.parallel_begin(1, parent_gid=0, span=1)
+        sem.task_begin(1, 1, 0)
+        sem.barrier_arrive(1, 0)
+        with pytest.raises(AnalysisError):
+            sem.barrier_arrive(1, 0)
+
+    def test_region_end_with_live_members(self):
+        sem = SemanticsReplay()
+        sem.parallel_begin(1, parent_gid=0, span=1)
+        sem.task_begin(1, 1, 0)
+        with pytest.raises(AnalysisError):
+            sem.parallel_end(1)
+
+    def test_release_unheld_mutex(self):
+        sem = SemanticsReplay()
+        with pytest.raises(AnalysisError):
+            sem.mutex_released(0, 5)
+
+    def test_task_end_wrong_region(self):
+        sem = SemanticsReplay()
+        sem.parallel_begin(1, parent_gid=0, span=1)
+        sem.task_begin(1, 1, 0)
+        with pytest.raises(AnalysisError):
+            sem.task_end(1, 42)
+
+
+def test_every_workload_tape_is_well_formed():
+    """The runtime's emissions always satisfy the semantic rules."""
+    from repro.workloads import REGISTRY
+
+    for name in ("plusplus-orig-yes", "c_jacobi01", "nestedparallel-orig-yes"):
+        w = REGISTRY.get(name)
+        tool = RecordingTool()
+        run_program(lambda m: w.run_program(m), tool=tool, seed=3)
+        SemanticsReplay().feed_tape(tool.tape, tool.regions)  # must not raise

@@ -1,0 +1,95 @@
+"""Bounded event buffer: capacity, flush callbacks, fixed footprint."""
+
+import numpy as np
+import pytest
+
+from repro.common.events import EVENT_BYTES, KIND_ACCESS, KIND_BARRIER, Access
+from repro.sword.buffer import EventBuffer
+
+
+def acc(i):
+    return Access(addr=i * 8, size=8, count=1, stride=0, is_write=True,
+                  is_atomic=False, pc=i)
+
+
+def test_append_and_len():
+    b = EventBuffer(capacity=10)
+    for i in range(7):
+        b.append_access(acc(i))
+    assert len(b) == 7
+    assert b.events_total == 7
+    assert b.flushes == 0
+
+
+def test_flush_on_capacity():
+    flushed = []
+    b = EventBuffer(capacity=5, on_flush=lambda r: flushed.append(r.copy()))
+    for i in range(12):
+        b.append_access(acc(i))
+    assert b.flushes == 2
+    assert [r.shape[0] for r in flushed] == [5, 5]
+    assert len(b) == 2
+    b.flush()
+    assert [r.shape[0] for r in flushed] == [5, 5, 2]
+    # Contents preserved in order.
+    addrs = [int(rec["addr"]) for batch in flushed for rec in batch]
+    assert addrs == [i * 8 for i in range(12)]
+
+
+def test_flush_empty_is_noop():
+    calls = []
+    b = EventBuffer(capacity=4, on_flush=lambda r: calls.append(1))
+    b.flush()
+    assert calls == []
+
+
+def test_mixed_event_kinds():
+    b = EventBuffer(capacity=16)
+    b.append_access(acc(1))
+    b.append_event(KIND_BARRIER, addr=3, aux=2)
+    records = None
+
+    def grab(r):
+        nonlocal records
+        records = r.copy()
+
+    b.on_flush = grab
+    b.flush()
+    assert records.shape[0] == 2
+    assert int(records[0]["kind"]) == KIND_ACCESS
+    assert int(records[1]["kind"]) == KIND_BARRIER
+    assert int(records[1]["aux"]) == 2
+
+
+def test_footprint_is_fixed():
+    b = EventBuffer(capacity=25_000)
+    assert b.nbytes == 25_000 * EVENT_BYTES  # ~1 MB of records
+    before = b.nbytes
+    for i in range(60_000):
+        b.append_access(acc(i))
+    assert b.nbytes == before  # bounded: appends never grow it
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        EventBuffer(capacity=0)
+
+
+def test_slot_reuse_after_flush_does_not_leak_old_fields():
+    b = EventBuffer(capacity=2)
+    b.append_access(Access(addr=1, size=8, count=9, stride=8, is_write=True,
+                           is_atomic=True, pc=5, msid=7))
+    b.append_access(acc(2))  # fills buffer
+    b.append_access(acc(3))  # triggers flush, reuses slot 0
+    captured = None
+
+    def grab(r):
+        nonlocal captured
+        captured = r.copy()
+
+    b.on_flush = grab
+    b.flush()
+    rec = captured[0]
+    assert int(rec["aux"]) == 0
+    assert int(rec["msid"]) == 0
+    assert int(rec["count"]) == 1

@@ -1,0 +1,80 @@
+"""Block framing and Table-I metadata rows."""
+
+import pytest
+
+from repro.common.errors import TraceFormatError
+from repro.sword.traceformat import (
+    BLOCK_HEADER_BYTES,
+    MetaRow,
+    format_meta_file,
+    pack_block_header,
+    parse_meta_file,
+    unpack_block_header,
+)
+
+
+class TestBlockHeaders:
+    def test_roundtrip(self):
+        raw = pack_block_header(12345, 678, 91011, 2)
+        header = unpack_block_header(raw)
+        assert header.uncompressed_offset == 12345
+        assert header.compressed_size == 678
+        assert header.uncompressed_size == 91011
+        assert header.codec_id == 2
+
+    def test_fixed_size(self):
+        assert len(pack_block_header(0, 0, 0, 0)) == BLOCK_HEADER_BYTES == 24
+
+    def test_bad_magic(self):
+        raw = bytearray(pack_block_header(1, 2, 3, 4))
+        raw[0] = ord("X")
+        with pytest.raises(TraceFormatError):
+            unpack_block_header(bytes(raw))
+
+    def test_truncated(self):
+        with pytest.raises(TraceFormatError):
+            unpack_block_header(b"SWBL")
+
+
+class TestMetaRows:
+    def test_table1_column_roundtrip(self):
+        row = MetaRow(pid=1, ppid=-1, bid=0, offset=0, span=24, level=1,
+                      data_begin=0, size=50_000)
+        parsed = MetaRow.parse(row.format())
+        assert parsed == row
+
+    def test_table1_example_rows(self):
+        """The paper's Table-I example rows parse as printed."""
+        text = "\n".join([
+            "# pid ppid bid offset span level data_begin size",
+            "0 - 0 0 24 1 0 50000",
+            "0 - 1 0 24 1 50000 75000",
+            "1 - 0 0 24 1 75000 10000",
+        ])
+        rows = parse_meta_file(text)
+        assert len(rows) == 3
+        assert rows[0].span == 24
+        assert rows[1].bid == 1
+        assert rows[1].data_begin == 50_000
+        assert rows[2].pid == 1
+        assert all(r.ppid == -1 for r in rows)
+
+    def test_nested_ppid_kept(self):
+        row = MetaRow(pid=7, ppid=3, bid=2, offset=1, span=2, level=2,
+                      data_begin=400, size=80)
+        assert MetaRow.parse(row.format()).ppid == 3
+
+    def test_malformed_rows_rejected(self):
+        with pytest.raises(TraceFormatError):
+            MetaRow.parse("1 2 3")
+        with pytest.raises(TraceFormatError):
+            MetaRow.parse("a b c d e f g h")
+
+    def test_file_format_skips_comments_and_blanks(self):
+        rows = [
+            MetaRow(pid=i, ppid=-1, bid=0, offset=i, span=4, level=1,
+                    data_begin=i * 40, size=40)
+            for i in range(3)
+        ]
+        text = format_meta_file(rows) + "\n# trailing comment\n\n"
+        assert parse_meta_file(text) == rows

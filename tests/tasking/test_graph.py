@@ -1,0 +1,169 @@
+"""Task-ordering graph: the judgment itself, in isolation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tasking.graph import (
+    IMPLICIT,
+    TaskGraph,
+    TaskInfo,
+    decode_point,
+    encode_point,
+)
+
+
+def task(graph, task_id, *, creator=IMPLICIT, creator_gid=0, e=0, w=None):
+    graph.add(
+        TaskInfo(
+            task_id=task_id,
+            creator=creator,
+            creator_gid=creator_gid,
+            pid=1,
+            bid=0,
+            create_seq=e,
+            wait_seq=w,
+        )
+    )
+    return task_id
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        aux = encode_point(42, 1234)
+        assert decode_point(aux) == (42, 1234)
+
+    def test_zero_is_implicit_origin(self):
+        assert decode_point(0) == (0, 0)
+
+    def test_negative_seq_rejected(self):
+        with pytest.raises(ValueError):
+            encode_point(1, -1)
+
+    @given(st.integers(0, 2**30), st.integers(0, 2**24 - 1))
+    def test_property_roundtrip(self, entity, seq):
+        assert decode_point(encode_point(entity, seq)) == (entity, seq)
+
+
+class TestRegistration:
+    def test_duplicate_rejected(self):
+        g = TaskGraph()
+        task(g, 1)
+        with pytest.raises(ValueError):
+            task(g, 1)
+
+    def test_zero_reserved(self):
+        g = TaskGraph()
+        with pytest.raises(ValueError):
+            task(g, 0)
+
+    def test_json_roundtrip(self):
+        g = TaskGraph()
+        task(g, 1, creator_gid=3, e=2)
+        task(g, 2, creator=1, e=0, w=1)
+        loaded = TaskGraph.from_json(g.to_json())
+        assert len(loaded) == 2
+        assert loaded.get(2).creator == 1
+        assert loaded.get(2).wait_seq == 1
+        assert loaded.get(1).wait_seq is None
+
+
+class TestOrdering:
+    def test_creation_orders_creator_prefix_before_task(self):
+        g = TaskGraph()
+        task(g, 1, creator_gid=0, e=3)
+        # Creator points at seq <= 3 are before the task...
+        assert g.ordered(IMPLICIT, 2, 0, 1, 0, 9)
+        assert g.ordered(IMPLICIT, 3, 0, 1, 5, 9)
+        # ... later creator points are not.
+        assert not g.ordered(IMPLICIT, 4, 0, 1, 0, 9)
+        # Task is never before its creator without a wait.
+        assert not g.ordered(1, 0, 9, IMPLICIT, 100, 0)
+
+    def test_wait_orders_task_before_creator_suffix(self):
+        g = TaskGraph()
+        task(g, 1, creator_gid=0, e=0, w=2)
+        assert g.ordered(1, 7, 9, IMPLICIT, 2, 0)
+        assert not g.ordered(1, 7, 9, IMPLICIT, 1, 0)
+
+    def test_other_threads_unordered(self):
+        g = TaskGraph()
+        task(g, 1, creator_gid=0, e=0)
+        assert g.concurrent(1, 0, 9, IMPLICIT, 0, 5)
+        assert g.concurrent(IMPLICIT, 0, 5, 1, 0, 9)
+
+    def test_sibling_tasks_same_epoch_concurrent(self):
+        g = TaskGraph()
+        task(g, 1, e=0)
+        task(g, 2, e=1)
+        assert g.concurrent(1, 0, 9, 2, 0, 8)
+
+    def test_wait_separated_siblings_ordered(self):
+        g = TaskGraph()
+        task(g, 1, e=0, w=1)      # waited at seq 1
+        task(g, 2, e=1)           # created at seq 1 (after the wait)
+        assert g.ordered(1, 5, 9, 2, 0, 8)
+        assert not g.concurrent(1, 5, 9, 2, 0, 8)
+
+    def test_nested_task_chains(self):
+        g = TaskGraph()
+        task(g, 1, creator_gid=0, e=0)        # created by implicit(0)
+        task(g, 2, creator=1, e=3)            # created by task 1 at seq 3
+        # Implicit(0) before creation of 1 -> before 2 as well.
+        assert g.ordered(IMPLICIT, 0, 0, 2, 0, 9)
+        # Task 1's points up to seq 3 precede task 2.
+        assert g.ordered(1, 3, 9, 2, 0, 9)
+        assert not g.ordered(1, 4, 9, 2, 0, 9)
+
+    def test_transitive_wait_then_create(self):
+        g = TaskGraph()
+        task(g, 1, creator_gid=0, e=0, w=1)
+        task(g, 2, creator_gid=0, e=2)
+        # 1 ends at (imp0, 1); 2 starts at (imp0, 2): 1 before 2.
+        assert g.ordered(1, 0, 9, 2, 0, 8)
+
+    def test_same_entity_never_concurrent(self):
+        g = TaskGraph()
+        task(g, 1)
+        assert not g.concurrent(1, 0, 9, 1, 5, 9)
+        assert not g.concurrent(IMPLICIT, 0, 3, IMPLICIT, 9, 3)
+
+    def test_concurrent_is_symmetric(self):
+        g = TaskGraph()
+        task(g, 1, e=1)
+        cases = [
+            ((1, 0, 9), (IMPLICIT, 0, 0)),
+            ((1, 0, 9), (IMPLICIT, 2, 0)),
+            ((IMPLICIT, 0, 7), (1, 3, 2)),
+        ]
+        for (ea, sa, ga), (eb, sb, gb) in cases:
+            assert g.concurrent(ea, sa, ga, eb, sb, gb) == g.concurrent(
+                eb, sb, gb, ea, sa, ga
+            )
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    creations=st.lists(
+        st.tuples(st.integers(0, 4), st.booleans()),  # (create_seq, waited?)
+        min_size=1,
+        max_size=6,
+    ),
+    pa=st.tuples(st.integers(0, 7), st.integers(0, 6)),
+    pb=st.tuples(st.integers(0, 7), st.integers(0, 6)),
+)
+def test_property_ordered_is_antisymmetric_across_entities(creations, pa, pb):
+    """For distinct points, ordered() can hold in at most one direction."""
+    g = TaskGraph()
+    for i, (e, waited) in enumerate(creations, start=1):
+        task(g, i, e=e, w=(e + 1) if waited else None)
+    ids = [0] + list(range(1, len(creations) + 1))
+    ent_a = ids[pa[0] % len(ids)]
+    ent_b = ids[pb[0] % len(ids)]
+    a = (ent_a, pa[1], 0)
+    b = (ent_b, pb[1], 0)
+    if (ent_a, pa[1]) == (ent_b, pb[1]):
+        return
+    fwd = g.ordered(*a, *b)
+    back = g.ordered(*b, *a)
+    assert not (fwd and back), "both directions ordered: cycle in the graph"

@@ -1,0 +1,182 @@
+"""Tasking in the runtime: execution, taskwait, barriers, nesting."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import RuntimeModelError
+from repro.omp import OpenMPRuntime, RecordingTool
+from repro.tasking.graph import decode_point
+
+from conftest import run_program
+
+
+def test_tasks_complete_by_region_end():
+    values = {}
+
+    def program(m):
+        out = m.alloc_array("out", 8)
+
+        def work(ctx, i):
+            ctx.write(out, i, float(i) * 2)
+
+        def body(ctx):
+            if ctx.tid == 0:
+                for i in range(8):
+                    ctx.task(work, i)
+        m.parallel(body, nthreads=4)
+        values["out"] = m.data(out).copy()
+
+    run_program(program)
+    assert list(values["out"]) == [i * 2.0 for i in range(8)]
+
+
+def test_taskwait_completes_children_before_continuing():
+    order = []
+
+    def program(m):
+        x = m.alloc_scalar("x")
+
+        def child(ctx):
+            order.append("child")
+            ctx.write(x, 0, 1.0)
+
+        def body(ctx):
+            if ctx.tid == 0:
+                ctx.task(child)
+                ctx.taskwait()
+                order.append("after-wait")
+                assert ctx.read(x, 0) == 1.0
+        m.parallel(body, nthreads=2)
+
+    run_program(program)
+    assert order == ["child", "after-wait"]
+
+
+def test_tasks_may_run_on_other_members():
+    executors = set()
+
+    def program(m):
+        def work(ctx):
+            executors.add(ctx.gid)
+
+        def body(ctx):
+            if ctx.tid == 0:
+                for _ in range(16):
+                    ctx.task(work)
+            ctx.barrier()
+        m.parallel(body, nthreads=4)
+
+    run_program(program, seed=3)
+    assert executors, "tasks must have executed"
+
+
+def test_nested_task_creation():
+    ran = []
+
+    def program(m):
+        def grandchild(ctx):
+            ran.append("grandchild")
+
+        def child(ctx):
+            ran.append("child")
+            ctx.task(grandchild)
+
+        def body(ctx):
+            if ctx.tid == 0:
+                ctx.task(child)
+        m.parallel(body, nthreads=2)
+
+    run_program(program)
+    assert sorted(ran) == ["child", "grandchild"]
+
+
+def test_task_points_tagged_on_accesses():
+    tool = RecordingTool()
+
+    def program(m):
+        x = m.alloc_array("x", 4)
+
+        def work(ctx):
+            ctx.write(x, 1, 1.0)
+
+        def body(ctx):
+            if ctx.tid == 0:
+                ctx.write(x, 0, 1.0)   # implicit, seq 0
+                ctx.task(work)         # bumps creator seq
+                ctx.write(x, 2, 1.0)   # implicit, seq 1
+        m.parallel(body, nthreads=2)
+
+    run_program(program, tool=tool)
+    points = {
+        int(e.access.addr): decode_point(e.access.task_point)
+        for e in tool.accesses()
+    }
+    addrs = sorted(points)
+    assert points[addrs[0]] == (0, 0)          # before creation
+    assert points[addrs[1]][0] > 0             # inside the task entity
+    assert points[addrs[2]] == (0, 1)          # after creation
+
+
+def test_barrier_inside_task_rejected():
+    def program(m):
+        def bad(ctx):
+            ctx.barrier()
+
+        def body(ctx):
+            if ctx.tid == 0:
+                ctx.task(bad)
+        m.parallel(body, nthreads=2)
+
+    with pytest.raises(RuntimeModelError):
+        run_program(program)
+
+
+def test_nested_parallel_inside_task_rejected():
+    def program(m):
+        def bad(ctx):
+            ctx.parallel(lambda c: None, nthreads=2)
+
+        def body(ctx):
+            if ctx.tid == 0:
+                ctx.task(bad)
+            ctx.barrier()
+        m.parallel(body, nthreads=2)
+
+    with pytest.raises(RuntimeModelError):
+        run_program(program)
+
+
+def test_taskwait_records_wait_seq():
+    tool = RecordingTool()
+
+    def program(m):
+        def child(ctx):
+            pass
+
+        def body(ctx):
+            if ctx.tid == 0:
+                ctx.task(child)
+                ctx.taskwait()
+        m.parallel(body, nthreads=2)
+
+    run_program(program, tool=tool)
+    (info,) = tool.task_graph.tasks()
+    assert info.wait_seq is not None
+    assert info.create_seq < info.wait_seq
+
+
+def test_unwaited_task_has_no_wait_seq():
+    tool = RecordingTool()
+
+    def program(m):
+        def child(ctx):
+            pass
+
+        def body(ctx):
+            if ctx.tid == 0:
+                ctx.task(child)
+        m.parallel(body, nthreads=2)
+
+    run_program(program, tool=tool)
+    (info,) = tool.task_graph.tasks()
+    assert info.wait_seq is None

@@ -1,0 +1,59 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.common.config import RunConfig, SwordConfig
+from repro.omp import OpenMPRuntime
+from repro.sword import SwordTool
+
+
+def test_list_workloads(capsys):
+    assert main(["list-workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "hpccg" in out and "c_md" in out
+
+
+def test_list_workloads_suite_filter(capsys):
+    assert main(["list-workloads", "--suite", "hpc"]) == 0
+    out = capsys.readouterr().out
+    assert "hpccg" in out
+    assert "c_md" not in out
+
+
+def test_check_sword(capsys):
+    assert main(["check", "plusplus-orig-yes", "--threads", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "races: 2" in out
+
+
+def test_check_baseline(capsys):
+    assert main(["check", "c_pi", "--tool", "baseline", "--threads", "2"]) == 0
+    assert "race checking disabled" in capsys.readouterr().out
+
+
+def test_check_oom_exit_code(capsys):
+    assert main(["check", "amg2013_40", "--tool", "archer", "--threads", "2"]) == 2
+    assert "OUT OF MEMORY" in capsys.readouterr().out
+
+
+def test_unknown_experiment(capsys):
+    assert main(["experiment", "E99"]) == 1
+
+
+def test_analyze_trace(tmp_path, capsys):
+    trace = tmp_path / "trace"
+
+    def program(m):
+        a = m.alloc_scalar("a")
+
+        def body(ctx):
+            ctx.write(a, 0, float(ctx.tid))
+        m.parallel(body, nthreads=2)
+
+    tool = SwordTool(SwordConfig(log_dir=str(trace)))
+    OpenMPRuntime(RunConfig(nthreads=2), tool=tool).run(program)
+    assert main(["analyze", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "races: 1" in out
+    assert main(["analyze", str(trace), "--workers", "2"]) == 0

@@ -1,0 +1,259 @@
+"""End-to-end property testing on randomly generated model programs.
+
+For every generated program and schedule:
+
+* the streaming interval-tree offline analysis reports exactly the race
+  site pairs the exhaustive O(n^2) oracle derives from the recorded
+  execution (soundness and completeness w.r.t. the semantics);
+* the happens-before baseline never reports a pair SWORD does not
+  (an HB-unordered conflict is necessarily interval-concurrent and
+  lockset-disjoint... lock edges order common-lock accesses), i.e.
+  ARCHER ⊆ SWORD on the same seed.
+
+Programs draw from: scalar/bulk reads and writes, atomics, two locks,
+optional barriers between phases, and optional nested regions — the whole
+modelled construct surface.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.archer import ArcherTool
+from repro.common.config import ArcherConfig, RunConfig, SchedulerConfig
+from repro.common.sourceloc import pc_of
+from repro.omp import OpenMPRuntime
+
+from conftest import sword_and_oracle
+
+N_ARRAYS = 2
+ARRAY_LEN = 6
+MAX_THREADS = 3
+
+
+@dataclass(frozen=True)
+class Op:
+    kind: str       # "r" | "w" | "a" | "slice_r" | "slice_w"
+    array: int
+    index: int
+    lock: int       # 0 = none, 1..2 = lock id
+    site: int       # pc discriminator
+
+
+op_strategy = st.builds(
+    Op,
+    kind=st.sampled_from(["r", "w", "a", "slice_r", "slice_w"]),
+    array=st.integers(0, N_ARRAYS - 1),
+    index=st.integers(0, ARRAY_LEN - 1),
+    lock=st.integers(0, 2),
+    site=st.integers(0, 9),
+)
+
+
+@st.composite
+def program_descs(draw):
+    nthreads = draw(st.integers(2, MAX_THREADS))
+    n_phases = draw(st.integers(1, 3))
+    phases = []
+    for _ in range(n_phases):
+        per_thread = [
+            draw(st.lists(op_strategy, max_size=4)) for _ in range(nthreads)
+        ]
+        phases.append(per_thread)
+    nested = draw(st.booleans())
+    return nthreads, phases, nested
+
+
+def build_program(desc):
+    nthreads, phases, nested = desc
+
+    def program(m):
+        import numpy as np
+
+        arrays = [
+            m.alloc_array(f"arr{k}", ARRAY_LEN, fill=1) for k in range(N_ARRAYS)
+        ]
+        locks = {1: m.new_lock("l1"), 2: m.new_lock("l2")}
+
+        def run_op(ctx, op: Op):
+            arr = arrays[op.array]
+            pc = pc_of("gen.c", op.site * 10 + {"r": 0, "w": 1, "a": 2,
+                                                "slice_r": 3, "slice_w": 4}[op.kind])
+
+            def do():
+                if op.kind == "r":
+                    ctx.read(arr, op.index, pc=pc)
+                elif op.kind == "w":
+                    ctx.write(arr, op.index, 2.0, pc=pc)
+                elif op.kind == "a":
+                    ctx.atomic_add(arr, op.index, 1.0, pc=pc)
+                elif op.kind == "slice_r":
+                    ctx.read_slice(arr, op.index, ARRAY_LEN, step=2, pc=pc)
+                else:
+                    n = len(range(op.index, ARRAY_LEN, 2))
+                    ctx.write_slice(arr, op.index, ARRAY_LEN,
+                                    np.zeros(n), step=2, pc=pc)
+
+            if op.lock:
+                with ctx.locked(locks[op.lock]):
+                    do()
+            else:
+                do()
+
+        def body(ctx):
+            for phase_idx, per_thread in enumerate(phases):
+                for op in per_thread[ctx.tid]:
+                    run_op(ctx, op)
+                ctx.barrier()
+            if nested and ctx.tid == 0:
+                def inner(ictx):
+                    run_op(ictx, Op("w", 0, 0, 0, 9))
+                ctx.parallel(inner, nthreads=2)
+
+        m.parallel(body, nthreads=nthreads)
+
+    return program
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(desc=program_descs(), seed=st.integers(0, 3))
+def test_sword_matches_oracle_and_archer_is_subset(desc, seed):
+    program = build_program(desc)
+    nthreads = desc[0]
+    tmp = tempfile.mkdtemp(prefix="e2e-")
+    try:
+        races, oracle, _rec, _rt = sword_and_oracle(
+            program, tmp, nthreads=nthreads, seed=seed
+        )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    assert races.pc_pairs() == oracle.pc_pairs()
+
+    archer = ArcherTool(ArcherConfig())
+    rt = OpenMPRuntime(
+        RunConfig(nthreads=nthreads, scheduler=SchedulerConfig(seed=seed)),
+        tool=archer,
+    )
+    rt.run(program)
+    assert archer.races.pc_pairs() <= races.pc_pairs(), (
+        f"archer-only pairs: {archer.races.pc_pairs() - races.pc_pairs()}"
+    )
+
+
+@st.composite
+def task_program_descs(draw):
+    """Programs mixing implicit accesses, locks, tasks, and taskwaits."""
+    nthreads = draw(st.integers(2, MAX_THREADS))
+    per_thread = []
+    for _ in range(nthreads):
+        ops = draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(
+                        ["op", "spawn_w", "spawn_r", "spawn_locked_w", "wait"]
+                    ),
+                    op_strategy,
+                ),
+                max_size=5,
+            )
+        )
+        per_thread.append(ops)
+    return nthreads, per_thread
+
+
+def build_task_program(desc):
+    nthreads, per_thread = desc
+
+    def program(m):
+        arrays = [
+            m.alloc_array(f"arr{k}", ARRAY_LEN, fill=1) for k in range(N_ARRAYS)
+        ]
+        locks = {1: m.new_lock("l1"), 2: m.new_lock("l2")}
+
+        def access(ctx, op: Op, *, write: bool, lock: int):
+            arr = arrays[op.array]
+            pc = pc_of("gen-t.c", op.site * 20 + (1 if write else 0) + lock * 5)
+
+            def do():
+                if write:
+                    ctx.write(arr, op.index, 3.0, pc=pc)
+                else:
+                    ctx.read(arr, op.index, pc=pc)
+
+            if lock:
+                with ctx.locked(locks[lock]):
+                    do()
+            else:
+                do()
+
+        def spawned(ctx, op: Op, write: bool, lock: int):
+            access(ctx, op, write=write, lock=lock)
+
+        def body(ctx):
+            for kind, op in per_thread[ctx.tid]:
+                if kind == "op":
+                    access(ctx, op, write=op.kind in ("w", "slice_w", "a"),
+                           lock=op.lock)
+                elif kind == "spawn_w":
+                    ctx.task(spawned, op, True, 0)
+                elif kind == "spawn_r":
+                    ctx.task(spawned, op, False, 0)
+                elif kind == "spawn_locked_w":
+                    ctx.task(spawned, op, True, op.lock or 1)
+                else:
+                    ctx.taskwait()
+
+        m.parallel(body, nthreads=nthreads)
+
+    return program
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(desc=task_program_descs(), seed=st.integers(0, 3))
+def test_task_programs_sword_matches_oracle(desc, seed):
+    """Tasks + locks + taskwaits across threads: analyzer == oracle."""
+    program = build_task_program(desc)
+    nthreads = desc[0]
+    tmp = tempfile.mkdtemp(prefix="e2e-task-")
+    try:
+        races, oracle, _rec, _rt = sword_and_oracle(
+            program, tmp, nthreads=nthreads, seed=seed
+        )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    assert races.pc_pairs() == oracle.pc_pairs()
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(desc=program_descs())
+def test_sword_detection_is_schedule_independent(desc):
+    """SWORD's verdict never depends on the interleaving (paper §II claim,
+    for programs without data-dependent control flow)."""
+    program_factory = lambda: build_program(desc)
+    nthreads = desc[0]
+    verdicts = set()
+    for seed in (0, 1, 2):
+        tmp = tempfile.mkdtemp(prefix="sched-")
+        try:
+            races, _oracle, _rec, _rt = sword_and_oracle(
+                program_factory(), tmp, nthreads=nthreads, seed=seed
+            )
+            verdicts.add(frozenset(races.pc_pairs()))
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+    assert len(verdicts) == 1, f"schedule-dependent verdicts: {verdicts}"
