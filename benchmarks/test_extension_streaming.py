@@ -1,0 +1,76 @@
+"""Extension benchmark: streaming analysis vs. run-then-analyze.
+
+The streaming analyzer rides the online tool's flush-event bus and
+confirms races while the application is still running.  The headline
+metric is *time to first race*: for a production run the gap between
+"the run finished and the post-mortem analysis finally reported" and
+"the watcher printed the race mid-run" is the whole point of the mode.
+
+For each racy workload measured here the benchmark records:
+
+* ``ttfr``   — seconds from run begin to the first confirmed race;
+* ``total``  — the conventional pipeline's wall time (dynamic run +
+  serial post-mortem analysis);
+* ``watch``  — the watched run's wall time (application + inline
+  analysis, one number since they overlap);
+
+and asserts both result parity and that the first race lands strictly
+before the conventional pipeline would have produced anything.
+"""
+
+import json
+
+from repro.harness.tables import Table
+from repro.harness.tools import driver
+from repro.stream import watch
+from repro.workloads import REGISTRY
+
+WORKLOADS = ["plusplus-orig-yes", "c_md", "figure2-nested", "hpccg", "amg2013_10"]
+
+
+def test_extension_streaming_time_to_first_race(benchmark, save_result):
+    def run_suite():
+        table = Table(
+            "Extension: streaming analysis (time-to-first-race vs post-mortem)",
+            ["workload", "races", "ttfr (s)", "watch (s)", "run+analyze (s)"],
+        )
+        measurements = []
+        for name in WORKLOADS:
+            w = REGISTRY.get(name)
+            watched = watch(w, nthreads=4, seed=0)
+            post = driver("sword").run(w, nthreads=4, seed=0)
+            identical = json.dumps(
+                watched.races.to_json(), sort_keys=True
+            ) == json.dumps(post.races.to_json(), sort_keys=True)
+            measurements.append(
+                (name, watched, post.total_seconds, identical)
+            )
+            table.add(
+                name,
+                watched.race_count,
+                f"{watched.time_to_first_race:.4f}",
+                f"{watched.elapsed_seconds:.4f}",
+                f"{post.total_seconds:.4f}",
+            )
+        table.note("ttfr measured from run begin; post-mortem cannot report")
+        table.note("anything before run+analyze completes")
+        return table, measurements
+
+    table, measurements = benchmark.pedantic(run_suite, rounds=1, iterations=1)
+    save_result("extension_streaming", table.render())
+
+    # Parity: the watched run's final race set is byte-identical to the
+    # post-mortem analyzer's on every measured workload.
+    for name, watched, _total, identical in measurements:
+        assert identical, f"{name}: streaming disagrees with post-mortem"
+        assert watched.time_to_first_race is not None, name
+
+    # The streaming mode wins the race to the first report: strictly
+    # earlier than the conventional run-then-analyze total on at least
+    # one workload (in practice: all of them).
+    wins = [
+        name
+        for name, watched, total, _ in measurements
+        if watched.time_to_first_race < total
+    ]
+    assert wins, "streaming never beat the post-mortem pipeline"

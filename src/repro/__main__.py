@@ -5,15 +5,21 @@ Commands:
 * ``list-workloads [--suite S]``      — show the benchmark registry;
 * ``check <workload> [options]``      — run one workload under a tool and
   print race reports and overheads;
+* ``watch <workload> [options]``      — run one workload with the streaming
+  analyzer attached, printing races as they are confirmed mid-run;
 * ``experiment <id> [--fast]``        — regenerate one paper table/figure
   (E1..E10, see DESIGN.md);
 * ``analyze <trace-dir> [--workers N]`` — offline-analyze an existing
   SWORD trace directory.
+
+``check``, ``watch``, and ``analyze`` accept ``--json`` for a
+machine-readable report (the shared races/stats schema).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .common.config import NodeConfig, OfflineConfig
@@ -43,6 +49,30 @@ def cmd_check(args: argparse.Namespace) -> int:
         seed=args.seed,
         node=NodeConfig(),
     )
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "workload": result.workload,
+                    "tool": result.tool,
+                    "nthreads": result.nthreads,
+                    "oom": result.oom,
+                    "races": (
+                        result.races.to_json()
+                        if result.races is not None
+                        else None
+                    ),
+                    "dynamic_seconds": result.dynamic_seconds,
+                    "offline_seconds": result.offline_seconds,
+                    "app_bytes": result.app_bytes,
+                    "tool_bytes": result.tool_bytes,
+                    "stats": result.stats,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 2 if result.oom else 0
     if result.oom:
         print(f"{args.tool} ran OUT OF MEMORY on the simulated node")
         return 2
@@ -55,6 +85,43 @@ def cmd_check(args: argparse.Namespace) -> int:
     if result.races is None:
         print("(baseline: race checking disabled)")
         return 0
+    print(f"races: {result.race_count}")
+    for race in result.races:
+        print(" ", race.describe())
+    return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    from .stream import watch
+
+    workload = REGISTRY.get(args.workload)
+
+    def live_feed(report) -> None:
+        if not args.json:
+            print(f"  [live] {report.describe()}", flush=True)
+
+    result = watch(
+        workload,
+        nthreads=args.threads,
+        seed=args.seed,
+        on_race=live_feed,
+    )
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+        return 2 if result.oom else 0
+    if result.oom:
+        print("watch ran OUT OF MEMORY on the simulated node")
+        return 2
+    ttfr = (
+        fmt_seconds(result.time_to_first_race)
+        if result.time_to_first_race is not None
+        else "-"
+    )
+    print(
+        f"watched {result.workload} threads={result.nthreads} "
+        f"elapsed={fmt_seconds(result.elapsed_seconds)} "
+        f"first-race={ttfr} pairs={result.pairs_analyzed}"
+    )
     print(f"races: {result.race_count}")
     for race in result.races:
         print(" ", race.describe())
@@ -92,6 +159,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         ).analyze()
     else:
         result = OfflineAnalyzer(trace).analyze()
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+        return 0
     stats = result.stats
     print(
         f"intervals={stats.intervals} concurrent_pairs={stats.concurrent_pairs} "
@@ -119,7 +189,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tool", choices=TOOL_NAMES, default="sword")
     p.add_argument("--threads", type=int, default=8)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=cmd_check)
+
+    p = sub.add_parser(
+        "watch", help="run one workload with live streaming race analysis"
+    )
+    p.add_argument("workload")
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.set_defaults(func=cmd_watch)
 
     p = sub.add_parser("experiment", help="regenerate one paper table/figure")
     p.add_argument("id", help="E1..E10 (see DESIGN.md)")
@@ -128,6 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("analyze", help="offline-analyze a trace directory")
     p.add_argument("trace_dir")
     p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=cmd_analyze)
 
     return parser

@@ -7,12 +7,14 @@ from .analyzer import (
     analyze_trace,
     check_node_pair,
 )
+from .engine import AnalysisEngine
 from .intervals import IntervalData, IntervalInventory, IntervalKey
 from .oracle import oracle_races
 from .parallel import ParallelOfflineAnalyzer, default_workers
 from .report import RaceReport, RaceSet, make_report
 
 __all__ = [
+    "AnalysisEngine",
     "AnalysisResult",
     "AnalysisStats",
     "IntervalData",

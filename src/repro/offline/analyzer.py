@@ -1,4 +1,4 @@
-"""The offline race-detection core (paper §III-B).
+"""The offline race-detection driver (paper §III-B).
 
 Pipeline per trace directory:
 
@@ -12,219 +12,64 @@ Pipeline per trace directory:
    exact Diophantine/ILP check, the mutex-set disjointness test, and the
    write/atomic conditions;
 4. deduplicate into :class:`~repro.offline.report.RaceSet` by pc pair.
+
+Steps 2-3 live in the shared :class:`~repro.offline.engine.AnalysisEngine`;
+this module is the post-mortem driver around it (the distributed and
+streaming drivers are :mod:`repro.offline.parallel` and
+:mod:`repro.stream.analyzer`).
 """
 
 from __future__ import annotations
 
 import time
-from collections import OrderedDict
-from dataclasses import dataclass, field
 
 from ..common.config import OfflineConfig
-from ..ilp.bruteforce import bruteforce_overlap
-from ..ilp.overlap import constraint_of, intervals_share_address
-from ..itree.builder import TreeBuilder
-from ..itree.tree import IntervalTree
-from ..omp.mutexset import MutexSetTable
 from ..sword.reader import TraceDir
+from .engine import (
+    AnalysisEngine,
+    AnalysisResult,
+    AnalysisStats,
+    check_node_pair,
+)
 from .intervals import IntervalData, IntervalInventory
-from .report import RaceSet, make_report
+from .report import RaceSet
 
-
-@dataclass(slots=True)
-class AnalysisStats:
-    """Where the offline time went (Table III's OA column breakdown)."""
-
-    intervals: int = 0
-    concurrent_pairs: int = 0
-    trees_built: int = 0
-    tree_nodes: int = 0
-    events_read: int = 0
-    overlap_candidates: int = 0
-    ilp_solves: int = 0
-    races_found: int = 0
-    plan_seconds: float = 0.0
-    build_seconds: float = 0.0
-    compare_seconds: float = 0.0
-
-    @property
-    def total_seconds(self) -> float:
-        return self.plan_seconds + self.build_seconds + self.compare_seconds
-
-
-@dataclass(slots=True)
-class AnalysisResult:
-    """Races plus phase statistics for one trace."""
-
-    races: RaceSet
-    stats: AnalysisStats
-
-    @property
-    def race_count(self) -> int:
-        return len(self.races)
-
-
-class _TreeCache:
-    """Bounded LRU of built interval trees keyed by interval identity."""
-
-    def __init__(self, capacity: int) -> None:
-        self.capacity = max(1, capacity)
-        self._cache: OrderedDict = OrderedDict()
-
-    def get(self, key):
-        tree = self._cache.get(key)
-        if tree is not None:
-            self._cache.move_to_end(key)
-        return tree
-
-    def put(self, key, tree) -> None:
-        self._cache[key] = tree
-        self._cache.move_to_end(key)
-        while len(self._cache) > self.capacity:
-            self._cache.popitem(last=False)
-
-
-def check_node_pair(
-    a, b, mutexsets: MutexSetTable, *, crosscheck: bool = False
-):
-    """Apply the full race condition to two tree nodes' intervals.
-
-    Returns a witness address or None.  Conditions (paper §III-B): at least
-    one write, not both atomic, disjoint mutex sets, and a shared byte
-    address under the strided-interval constraints.
-    """
-    if not (a.is_write or b.is_write):
-        return None
-    if a.is_atomic and b.is_atomic:
-        return None
-    if not mutexsets.disjoint(a.msid, b.msid):
-        return None
-    result = intervals_share_address(a, b)
-    if crosscheck:
-        brute = bruteforce_overlap(constraint_of(a), constraint_of(b))
-        if (result is None) != (brute is None):
-            raise AssertionError(
-                f"ILP/bruteforce disagreement on {a} vs {b}"
-            )
-    return None if result is None else result.address
+__all__ = [
+    "AnalysisResult",
+    "AnalysisStats",
+    "OfflineAnalyzer",
+    "analyze_trace",
+    "check_node_pair",
+]
 
 
 class OfflineAnalyzer:
-    """Single-node offline analysis driver."""
+    """Single-node post-mortem analysis driver."""
 
     def __init__(
         self, trace: TraceDir, config: OfflineConfig | None = None
     ) -> None:
         self.trace = trace
         self.config = config or OfflineConfig()
-        self.config.validate()
-        self.stats = AnalysisStats()
-        self._tree_cache = _TreeCache(capacity=64)
-        self._readers: dict[int, object] = {}
+        self.engine = AnalysisEngine(trace, self.config)
 
-    # -- tree construction -------------------------------------------------------
+    @property
+    def stats(self) -> AnalysisStats:
+        return self.engine.stats
 
-    def _reader(self, gid: int):
-        reader = self._readers.get(gid)
-        if reader is None:
-            reader = self.trace.reader(gid)
-            self._readers[gid] = reader
-        return reader
+    def __enter__(self) -> "OfflineAnalyzer":
+        return self
 
-    def build_tree(self, interval: IntervalData) -> IntervalTree:
-        """Stream one interval's chunks into a summarised tree (cached)."""
-        key = interval.key
-        cached = self._tree_cache.get(key)
-        if cached is not None:
-            return cached
-        t0 = time.perf_counter()
-        builder = TreeBuilder()
-        reader = self._reader(key.gid)
-        for begin, size in interval.chunks:
-            for records in reader.iter_range(begin, size):
-                # Re-chunk to the configured streaming granularity.
-                step = self.config.chunk_events
-                for lo in range(0, records.shape[0], step):
-                    builder.add_records(records[lo : lo + step])
-        tree = builder.finish()
-        self.stats.trees_built += 1
-        self.stats.tree_nodes += len(tree)
-        self.stats.events_read += builder.events_in
-        self.stats.build_seconds += time.perf_counter() - t0
-        self._tree_cache.put(key, tree)
-        return tree
+    def __exit__(self, *exc) -> None:
+        self._close()
 
-    # -- pair comparison ------------------------------------------------------------
+    # -- engine delegation (kept for workers and tests) -------------------------
 
-    def compare_trees(
-        self,
-        tree_a: IntervalTree,
-        tree_b: IntervalTree,
-        ia: IntervalData,
-        ib: IntervalData,
-        races: RaceSet,
-    ) -> None:
-        """Probe every node of the smaller tree against the larger tree.
+    def build_tree(self, interval: IntervalData):
+        return self.engine.build_tree(interval)
 
-        For intervals carrying explicit tasks (tasking extension), every
-        candidate node pair is additionally gated by the task-ordering
-        judgment — including same-thread pairs, which is why such
-        intervals are also compared against themselves.
-        """
-        from ..tasking.graph import decode_point
-
-        if len(tree_a) > len(tree_b):
-            tree_a, tree_b = tree_b, tree_a
-            ia, ib = ib, ia
-        mutexsets = self.trace.mutexsets
-        graph = self.trace.task_graph
-        use_tasks = (
-            len(graph) > 0
-            and (ia.key.pid, ia.key.bid) == (ib.key.pid, ib.key.bid)
-            and any(
-                t.pid == ia.key.pid and t.bid == ia.key.bid
-                for t in graph.tasks()
-            )
-        )
-        for node in tree_a:
-            si = node.interval
-            for hit in tree_b.iter_overlaps(si.low, si.high):
-                other = hit.interval
-                self.stats.overlap_candidates += 1
-                if use_tasks:
-                    ent_a, seq_a = decode_point(si.point)
-                    ent_b, seq_b = decode_point(other.point)
-                    if not graph.concurrent(
-                        ent_a, seq_a, ia.key.gid, ent_b, seq_b, ib.key.gid
-                    ):
-                        continue
-                if (si.pc, other.pc) in races or (other.pc, si.pc) in races:
-                    continue  # already reported this site pair
-                self.stats.ilp_solves += 1
-                address = check_node_pair(
-                    si,
-                    other,
-                    mutexsets,
-                    crosscheck=self.config.use_ilp_crosscheck,
-                )
-                if address is None:
-                    continue
-                races.add(
-                    make_report(
-                        pc_a=si.pc,
-                        pc_b=other.pc,
-                        address=address,
-                        write_a=si.is_write,
-                        write_b=other.is_write,
-                        gid_a=ia.key.gid,
-                        gid_b=ib.key.gid,
-                        pid_a=ia.key.pid,
-                        pid_b=ib.key.pid,
-                        bid_a=ia.key.bid,
-                        bid_b=ib.key.bid,
-                    )
-                )
-                self.stats.races_found = len(races)
+    def compare_trees(self, tree_a, tree_b, ia, ib, races: RaceSet) -> None:
+        self.engine.compare_trees(tree_a, tree_b, ia, ib, races)
 
     # -- driver ----------------------------------------------------------------------
 
@@ -238,20 +83,16 @@ class OfflineAnalyzer:
         self.stats.plan_seconds = time.perf_counter() - t0
 
         races = RaceSet()
-        for ia, ib in pairs:
-            tree_a = self.build_tree(ia)
-            tree_b = self.build_tree(ib)
-            t1 = time.perf_counter()
-            self.compare_trees(tree_a, tree_b, ia, ib, races)
-            self.stats.compare_seconds += time.perf_counter() - t1
+        try:
+            for ia, ib in pairs:
+                self.engine.analyze_pair(ia, ib, races)
+        finally:
+            self._close()
         self.stats.races_found = len(races)
-        self._close()
         return AnalysisResult(races=races, stats=self.stats)
 
     def _close(self) -> None:
-        for reader in self._readers.values():
-            reader.close()
-        self._readers.clear()
+        self.engine.close()
 
 
 def analyze_trace(

@@ -1,0 +1,319 @@
+"""The shared race-analysis engine (tree build / tree compare / ILP core).
+
+One implementation serves all three analysis modes:
+
+* **post-mortem** — :class:`~repro.offline.analyzer.OfflineAnalyzer` walks a
+  complete pair plan over a closed trace directory;
+* **distributed** — :class:`~repro.offline.parallel.ParallelOfflineAnalyzer`
+  workers each drive an engine over their shard of the plan;
+* **streaming** — :class:`~repro.stream.analyzer.StreamingAnalyzer` feeds the
+  engine interval pairs while the traced program is still running.
+
+The engine is agnostic about where its inputs come from: it only needs a
+*trace source* — any object with ``reader(gid)``, ``mutexsets``, and
+``task_graph`` (both :class:`~repro.sword.reader.TraceDir` and the streaming
+layer's live source qualify).
+
+Witness determinism.  Race *identities* are pc pairs; the report carries one
+witnessing occurrence.  Which interval pair is analyzed first differs
+between the serial, distributed, and streaming drivers, so the engine
+deduplicates per *comparison* only and lets :class:`~repro.offline.report.
+RaceSet` keep the canonical (smallest) witness — making the final
+``RaceSet`` byte-identical across all three modes regardless of pair order.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..common.config import OfflineConfig
+from ..ilp.bruteforce import bruteforce_overlap
+from ..ilp.overlap import constraint_of, intervals_share_address
+from ..itree.builder import TreeBuilder
+from ..itree.tree import IntervalTree
+from ..omp.mutexset import MutexSetTable
+from .intervals import IntervalData
+from .report import RaceSet, make_report
+
+
+@dataclass(slots=True)
+class AnalysisStats:
+    """Where the offline time went (Table III's OA column breakdown)."""
+
+    intervals: int = 0
+    concurrent_pairs: int = 0
+    trees_built: int = 0
+    tree_nodes: int = 0
+    events_read: int = 0
+    overlap_candidates: int = 0
+    ilp_solves: int = 0
+    races_found: int = 0
+    plan_seconds: float = 0.0
+    build_seconds: float = 0.0
+    compare_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.plan_seconds + self.build_seconds + self.compare_seconds
+
+    def to_json(self) -> dict:
+        """Machine-readable stats (the shared report schema)."""
+        return {
+            "intervals": self.intervals,
+            "concurrent_pairs": self.concurrent_pairs,
+            "trees_built": self.trees_built,
+            "tree_nodes": self.tree_nodes,
+            "events_read": self.events_read,
+            "overlap_candidates": self.overlap_candidates,
+            "ilp_solves": self.ilp_solves,
+            "races_found": self.races_found,
+            "plan_seconds": self.plan_seconds,
+            "build_seconds": self.build_seconds,
+            "compare_seconds": self.compare_seconds,
+            "total_seconds": self.total_seconds,
+        }
+
+
+@dataclass(slots=True)
+class AnalysisResult:
+    """Races plus phase statistics for one trace."""
+
+    races: RaceSet
+    stats: AnalysisStats
+
+    @property
+    def race_count(self) -> int:
+        return len(self.races)
+
+    def to_json(self) -> dict:
+        """Machine-readable result (races + stats, the shared schema)."""
+        return {"races": self.races.to_json(), "stats": self.stats.to_json()}
+
+
+class TreeCache:
+    """Bounded LRU of built interval trees keyed by interval identity."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = max(1, capacity)
+        self._cache: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        tree = self._cache.get(key)
+        if tree is not None:
+            self._cache.move_to_end(key)
+        return tree
+
+    def put(self, key, tree) -> None:
+        self._cache[key] = tree
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+
+    def invalidate(self, key) -> None:
+        self._cache.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+
+def check_node_pair(
+    a, b, mutexsets: MutexSetTable, *, crosscheck: bool = False
+):
+    """Apply the full race condition to two tree nodes' intervals.
+
+    Returns a witness address or None.  Conditions (paper §III-B): at least
+    one write, not both atomic, disjoint mutex sets, and a shared byte
+    address under the strided-interval constraints.
+    """
+    if not (a.is_write or b.is_write):
+        return None
+    if a.is_atomic and b.is_atomic:
+        return None
+    if not mutexsets.disjoint(a.msid, b.msid):
+        return None
+    result = intervals_share_address(a, b)
+    if crosscheck:
+        brute = bruteforce_overlap(constraint_of(a), constraint_of(b))
+        if (result is None) != (brute is None):
+            raise AssertionError(
+                f"ILP/bruteforce disagreement on {a} vs {b}"
+            )
+    return None if result is None else result.address
+
+
+class AnalysisEngine:
+    """Tree construction and pair comparison over one trace source.
+
+    ``source`` provides ``reader(gid)`` plus ``mutexsets`` / ``task_graph``
+    attributes; the engine owns the readers it opens and the bounded tree
+    cache, and accumulates :class:`AnalysisStats` across calls.
+    """
+
+    def __init__(
+        self,
+        source,
+        config: OfflineConfig | None = None,
+        *,
+        tree_cache_capacity: int = 64,
+    ) -> None:
+        self.source = source
+        self.config = config or OfflineConfig()
+        self.config.validate()
+        self.stats = AnalysisStats()
+        self._tree_cache = TreeCache(capacity=tree_cache_capacity)
+        self._readers: dict[int, object] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every reader this engine opened."""
+        for reader in self._readers.values():
+            reader.close()
+        self._readers.clear()
+
+    def __enter__(self) -> "AnalysisEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- tree construction -------------------------------------------------------
+
+    def _reader(self, gid: int):
+        reader = self._readers.get(gid)
+        if reader is None:
+            reader = self.source.reader(gid)
+            self._readers[gid] = reader
+        return reader
+
+    def build_tree(self, interval: IntervalData) -> IntervalTree:
+        """Stream one interval's chunks into a summarised tree (cached)."""
+        key = interval.key
+        cached = self._tree_cache.get(key)
+        if cached is not None:
+            return cached
+        t0 = time.perf_counter()
+        builder = TreeBuilder()
+        reader = self._reader(key.gid)
+        for begin, size in interval.chunks:
+            for records in reader.iter_range(begin, size):
+                # Re-chunk to the configured streaming granularity.
+                step = self.config.chunk_events
+                for lo in range(0, records.shape[0], step):
+                    builder.add_records(records[lo : lo + step])
+        tree = builder.finish()
+        self.stats.trees_built += 1
+        self.stats.tree_nodes += len(tree)
+        self.stats.events_read += builder.events_in
+        self.stats.build_seconds += time.perf_counter() - t0
+        self._tree_cache.put(key, tree)
+        return tree
+
+    # -- pair comparison ------------------------------------------------------------
+
+    def compare_trees(
+        self,
+        tree_a: IntervalTree,
+        tree_b: IntervalTree,
+        ia: IntervalData,
+        ib: IntervalData,
+        races: RaceSet,
+        on_race=None,
+    ) -> None:
+        """Probe every node of one tree against the other.
+
+        For intervals carrying explicit tasks (tasking extension), every
+        candidate node pair is additionally gated by the task-ordering
+        judgment — including same-thread pairs, which is why such
+        intervals are also compared against themselves.
+
+        The pair is oriented canonically (by interval identity, not by
+        which argument the caller passed first): within one comparison
+        the first witness found per pc pair wins, so the probe order must
+        be a function of the pair alone for the serial, distributed, and
+        streaming drivers to select identical witnesses.
+
+        ``on_race(report)`` is invoked for every pc pair that is new to
+        ``races`` (the streaming mode's live feed).
+        """
+        from ..tasking.graph import decode_point
+
+        key_a = (ia.key.gid, ia.key.pid, ia.key.bid)
+        key_b = (ib.key.gid, ib.key.pid, ib.key.bid)
+        if key_b < key_a:
+            tree_a, tree_b = tree_b, tree_a
+            ia, ib = ib, ia
+        mutexsets = self.source.mutexsets
+        graph = self.source.task_graph
+        use_tasks = (
+            len(graph) > 0
+            and (ia.key.pid, ia.key.bid) == (ib.key.pid, ib.key.bid)
+            and any(
+                t.pid == ia.key.pid and t.bid == ia.key.bid
+                for t in graph.tasks()
+            )
+        )
+        # Per-comparison dedup only: a site pair repeating across *this*
+        # pair's nodes is solved once, but other interval pairs still get
+        # to contribute their own witness so the canonical-witness merge in
+        # RaceSet stays independent of pair order across analysis modes.
+        seen_here: set[tuple[int, int]] = set()
+        for node in tree_a:
+            si = node.interval
+            for hit in tree_b.iter_overlaps(si.low, si.high):
+                other = hit.interval
+                self.stats.overlap_candidates += 1
+                if use_tasks:
+                    ent_a, seq_a = decode_point(si.point)
+                    ent_b, seq_b = decode_point(other.point)
+                    if not graph.concurrent(
+                        ent_a, seq_a, ia.key.gid, ent_b, seq_b, ib.key.gid
+                    ):
+                        continue
+                pair_key = (
+                    (si.pc, other.pc) if si.pc <= other.pc else (other.pc, si.pc)
+                )
+                if pair_key in seen_here:
+                    continue  # this comparison already solved the site pair
+                self.stats.ilp_solves += 1
+                address = check_node_pair(
+                    si,
+                    other,
+                    mutexsets,
+                    crosscheck=self.config.use_ilp_crosscheck,
+                )
+                if address is None:
+                    continue
+                seen_here.add(pair_key)
+                report = make_report(
+                    pc_a=si.pc,
+                    pc_b=other.pc,
+                    address=address,
+                    write_a=si.is_write,
+                    write_b=other.is_write,
+                    gid_a=ia.key.gid,
+                    gid_b=ib.key.gid,
+                    pid_a=ia.key.pid,
+                    pid_b=ib.key.pid,
+                    bid_a=ia.key.bid,
+                    bid_b=ib.key.bid,
+                )
+                if races.add(report) and on_race is not None:
+                    on_race(races.get(report.key))
+                self.stats.races_found = len(races)
+
+    def analyze_pair(
+        self,
+        ia: IntervalData,
+        ib: IntervalData,
+        races: RaceSet,
+        on_race=None,
+    ) -> None:
+        """Build both trees and compare them (the unit of scheduling)."""
+        tree_a = self.build_tree(ia)
+        tree_b = self.build_tree(ib)
+        t0 = time.perf_counter()
+        self.compare_trees(tree_a, tree_b, ia, ib, races, on_race=on_race)
+        self.stats.compare_seconds += time.perf_counter() - t0

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Iterator
 
-from ..osl.concurrency import IntervalLabel
+from ..osl.concurrency import IntervalLabel, concurrent_intervals
 from ..sword.reader import TraceDir
 
 

@@ -18,7 +18,8 @@ from dataclasses import dataclass
 
 from ..common.config import OfflineConfig
 from ..sword.reader import TraceDir
-from .analyzer import AnalysisResult, AnalysisStats, OfflineAnalyzer
+from .analyzer import OfflineAnalyzer
+from .engine import AnalysisEngine, AnalysisResult, AnalysisStats
 from .intervals import IntervalInventory, IntervalKey
 from .report import RaceReport, RaceSet
 
@@ -33,22 +34,23 @@ class _WorkerTask:
 
 
 def _run_worker(task: _WorkerTask) -> tuple[list[tuple], AnalysisStats]:
-    """Executed in a worker process: compare the assigned interval pairs."""
+    """Executed in a worker process: compare the assigned interval pairs.
+
+    The engine is closed via its context manager even when a comparison
+    raises — long-lived pools (and strict platforms) must not leak the
+    per-thread log-file descriptors the engine opens.
+    """
     trace = TraceDir(task.trace_path)
-    analyzer = OfflineAnalyzer(
-        trace, OfflineConfig(chunk_events=task.chunk_events)
-    )
-    inventory = IntervalInventory(trace)
     races = RaceSet()
-    for key_a, key_b in task.pair_keys:
-        ia = inventory.intervals[key_a]
-        ib = inventory.intervals[key_b]
-        tree_a = analyzer.build_tree(ia)
-        tree_b = analyzer.build_tree(ib)
-        t0 = time.perf_counter()
-        analyzer.compare_trees(tree_a, tree_b, ia, ib, races)
-        analyzer.stats.compare_seconds += time.perf_counter() - t0
-    analyzer._close()
+    with AnalysisEngine(
+        trace, OfflineConfig(chunk_events=task.chunk_events)
+    ) as engine:
+        inventory = IntervalInventory(trace)
+        for key_a, key_b in task.pair_keys:
+            ia = inventory.intervals[key_a]
+            ib = inventory.intervals[key_b]
+            engine.analyze_pair(ia, ib, races)
+        stats = engine.stats
     # RaceReport is a frozen dataclass of ints/bools: ship as tuples.
     rows = [
         (
@@ -57,7 +59,7 @@ def _run_worker(task: _WorkerTask) -> tuple[list[tuple], AnalysisStats]:
         )
         for r in races
     ]
-    return rows, analyzer.stats
+    return rows, stats
 
 
 def default_workers() -> int:

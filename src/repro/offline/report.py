@@ -3,6 +3,12 @@
 Like the real tools, races are *counted* by distinct source-location pairs
 (program-counter pairs), not by dynamic occurrence: one racy line pair in a
 loop is one reported race no matter how many iterations trip it.
+
+The witness kept per pc pair is *canonical*: when several interval pairs
+contribute a witness for the same site pair, the smallest report (by field
+tuple) wins.  This makes the final :class:`RaceSet` independent of the
+order in which interval pairs were analyzed, so the serial, distributed,
+and streaming analyzers produce byte-identical results.
 """
 
 from __future__ import annotations
@@ -36,6 +42,47 @@ class RaceReport:
     @property
     def key(self) -> tuple[int, int]:
         return (self.pc_a, self.pc_b)
+
+    def sort_key(self) -> tuple:
+        """Total order over reports (canonical-witness selection)."""
+        return (
+            self.pc_a, self.pc_b, self.address, self.write_a, self.write_b,
+            self.gid_a, self.gid_b, self.pid_a, self.pid_b,
+            self.bid_a, self.bid_b,
+        )
+
+    def to_json(self) -> dict:
+        """Machine-readable report (the shared schema)."""
+        return {
+            "pc_a": self.pc_a,
+            "pc_b": self.pc_b,
+            "address": self.address,
+            "write_a": self.write_a,
+            "write_b": self.write_b,
+            "gid_a": self.gid_a,
+            "gid_b": self.gid_b,
+            "pid_a": self.pid_a,
+            "pid_b": self.pid_b,
+            "bid_a": self.bid_a,
+            "bid_b": self.bid_b,
+            "description": self.describe(),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "RaceReport":
+        return cls(
+            pc_a=int(payload["pc_a"]),
+            pc_b=int(payload["pc_b"]),
+            address=int(payload["address"]),
+            write_a=bool(payload["write_a"]),
+            write_b=bool(payload["write_b"]),
+            gid_a=int(payload["gid_a"]),
+            gid_b=int(payload["gid_b"]),
+            pid_a=int(payload["pid_a"]),
+            pid_b=int(payload["pid_b"]),
+            bid_a=int(payload["bid_a"]),
+            bid_b=int(payload["bid_b"]),
+        )
 
     def describe(self) -> str:
         """Human-readable one-liner with resolved source locations."""
@@ -83,11 +130,22 @@ class RaceSet:
     _by_key: dict[tuple[int, int], RaceReport] = field(default_factory=dict)
 
     def add(self, report: RaceReport) -> bool:
-        """Insert; returns True when the pc pair is new."""
-        if report.key in self._by_key:
-            return False
-        self._by_key[report.key] = report
-        return True
+        """Insert; returns True when the pc pair is new.
+
+        A repeated pc pair keeps the canonical (smallest) witness, so the
+        set's contents never depend on insertion order.
+        """
+        existing = self._by_key.get(report.key)
+        if existing is None:
+            self._by_key[report.key] = report
+            return True
+        if report.sort_key() < existing.sort_key():
+            self._by_key[report.key] = report
+        return False
+
+    def get(self, key: tuple[int, int]) -> RaceReport:
+        """The current witness for one pc pair."""
+        return self._by_key[key]
 
     def update(self, reports: Iterable[RaceReport]) -> None:
         for r in reports:
@@ -110,3 +168,16 @@ class RaceSet:
 
     def describe_all(self) -> str:
         return "\n".join(r.describe() for r in self)
+
+    def to_json(self) -> list[dict]:
+        """Canonical serialisation: reports sorted by pc pair."""
+        return [
+            self._by_key[key].to_json() for key in sorted(self._by_key)
+        ]
+
+    @classmethod
+    def from_json(cls, payload: Iterable[dict]) -> "RaceSet":
+        races = cls()
+        for item in payload:
+            races.add(RaceReport.from_json(item))
+        return races

@@ -1,0 +1,38 @@
+"""SWORD streaming subsystem: race analysis that races the application.
+
+The post-mortem pipeline waits for the run to finish before any offline
+work starts.  This package closes that gap: the online logger publishes
+flush events as the trace is produced (:mod:`repro.stream.bus`), an
+incremental scheduler turns the growing interval inventory into sound
+comparisons the moment both sides exist (:mod:`repro.stream.scheduler`),
+and a streaming analyzer drives the shared analysis engine over them,
+reporting races while the application is still running
+(:mod:`repro.stream.analyzer`), with resumable checkpoints
+(:mod:`repro.stream.checkpoint`) and a one-call watch mode
+(:mod:`repro.stream.watch`).
+"""
+
+from .analyzer import (
+    LiveTraceSource,
+    StreamingAnalyzer,
+    StreamingInterrupted,
+    replay_analyze,
+)
+from .bus import TraceObserver, replay_trace
+from .checkpoint import Checkpoint, pair_key
+from .scheduler import IncrementalPairScheduler
+from .watch import WatchResult, watch
+
+__all__ = [
+    "Checkpoint",
+    "IncrementalPairScheduler",
+    "LiveTraceSource",
+    "StreamingAnalyzer",
+    "StreamingInterrupted",
+    "TraceObserver",
+    "WatchResult",
+    "pair_key",
+    "replay_analyze",
+    "replay_trace",
+    "watch",
+]

@@ -1,0 +1,232 @@
+"""The streaming race analyzer: analysis racing the application.
+
+A :class:`StreamingAnalyzer` subscribes to the online tool's flush-event
+bus and drives the shared :class:`~repro.offline.engine.AnalysisEngine`
+over pairs emitted by the :class:`~repro.stream.scheduler.
+IncrementalPairScheduler` — while the traced program is still running.
+Races are reported the moment they are confirmed (the live feed), and by
+program end most of the offline work is already done.
+
+The final race set is byte-identical to the post-mortem analyzers': the
+engine deduplicates per comparison only and the
+:class:`~repro.offline.report.RaceSet` keeps the canonical witness, so
+pair order (the only thing streaming changes) cannot show through.
+
+Progress is optionally checkpointed (:mod:`repro.stream.checkpoint`); an
+interrupted analysis resumes by replaying the finished trace through the
+same observer — checkpointed pairs are skipped, the rest are analyzed.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from ..common.config import OfflineConfig
+from ..offline.engine import AnalysisEngine, AnalysisResult, AnalysisStats
+from ..offline.intervals import IntervalData
+from ..offline.report import RaceSet
+from ..sword.reader import ThreadTraceReader, TraceDir
+from .bus import TraceObserver, replay_trace
+from .checkpoint import Checkpoint
+from .scheduler import IncrementalPairScheduler
+
+
+class StreamingInterrupted(RuntimeError):
+    """Raised when the analyzer hits its ``max_pairs`` budget (tests use
+    this to simulate a mid-run crash; the checkpoint is saved first)."""
+
+
+class LiveTraceSource:
+    """Engine trace source over a directory still being written.
+
+    ``mutexsets`` and ``task_graph`` are bound at trace begin — to the
+    runtime's live tables when observing a run, or to the closed trace's
+    loaded tables when replaying.
+    """
+
+    def __init__(self, directory: str | Path, *, live: bool = True) -> None:
+        self.directory = Path(directory)
+        self.live = live
+        self.mutexsets = None
+        self.task_graph = None
+
+    def reader(self, gid: int) -> ThreadTraceReader:
+        return ThreadTraceReader(self.directory, gid, live=self.live)
+
+
+class StreamingAnalyzer(TraceObserver):
+    """Incremental analysis over the flush-event bus.
+
+    Args:
+        directory: the trace directory being produced (or replayed).
+        config: offline-analysis tuning (chunking, ILP crosscheck).
+        checkpoint_path: enable resumable progress at this file.
+        checkpoint_every: save the checkpoint after this many new pairs.
+        on_race: live feed — called with each :class:`RaceReport` the
+            first time its pc pair is confirmed.
+        max_pairs: analyze at most this many new pairs, then save the
+            checkpoint and raise :class:`StreamingInterrupted`.
+        tree_cache_capacity: bound on cached interval trees (LRU).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        config: OfflineConfig | None = None,
+        *,
+        checkpoint_path: str | Path | None = None,
+        checkpoint_every: int = 32,
+        on_race=None,
+        max_pairs: int | None = None,
+        tree_cache_capacity: int = 64,
+    ) -> None:
+        self.directory = Path(directory)
+        self.config = config or OfflineConfig()
+        self.config.validate()
+        self.on_race = on_race
+        self.checkpoint = (
+            Checkpoint(checkpoint_path) if checkpoint_path else None
+        )
+        self.checkpoint_every = max(1, checkpoint_every)
+        self.max_pairs = max_pairs
+        self._tree_cache_capacity = tree_cache_capacity
+        # Resuming: the checkpoint's race set *is* the working set, so
+        # every save persists the merged state.
+        self.races: RaceSet = (
+            self.checkpoint.races if self.checkpoint else RaceSet()
+        )
+        self.scheduler = IncrementalPairScheduler(is_tasky=self._is_tasky)
+        self.source = LiveTraceSource(self.directory)
+        self.engine: AnalysisEngine | None = None
+        self.pairs_analyzed = 0
+        self.pairs_skipped = 0
+        self.first_race_seconds: float | None = None
+        self.finished = False
+        self._since_save = 0
+        self._t0: float | None = None
+
+    # -- wiring -----------------------------------------------------------------
+
+    def _is_tasky(self, pid: int, bid: int) -> bool:
+        graph = self.source.task_graph
+        if graph is None or len(graph) == 0:
+            return False
+        return any(t.pid == pid and t.bid == bid for t in graph.tasks())
+
+    def _race_seen(self, report) -> None:
+        if self.first_race_seconds is None and self._t0 is not None:
+            self.first_race_seconds = time.perf_counter() - self._t0
+        if self.on_race is not None:
+            self.on_race(report)
+
+    # -- TraceObserver hooks ------------------------------------------------------
+
+    def on_trace_begin(self, producer) -> None:
+        self._t0 = time.perf_counter()
+        runtime = getattr(producer, "runtime", None)
+        if runtime is not None:
+            # Live run: bind the runtime's growing tables.  Mutex-set ids
+            # are interned before any event referencing them is logged,
+            # and task-graph verdicts for a (pid, bid) group are final
+            # once the group seals, so reading the live tables is sound.
+            self.source.mutexsets = runtime.mutexsets
+            self.source.task_graph = producer.task_graph
+            self.source.live = True
+        else:
+            # Replay of a closed TraceDir.
+            self.source.mutexsets = producer.mutexsets
+            self.source.task_graph = producer.task_graph
+            self.source.live = False
+        self.engine = AnalysisEngine(
+            self.source,
+            self.config,
+            tree_cache_capacity=self._tree_cache_capacity,
+        )
+
+    def on_region(self, pid: int, info: dict) -> None:
+        self.scheduler.add_region(pid, info)
+
+    def on_chunk(self, gid: int, row) -> None:
+        self.scheduler.add_chunk(gid, row)
+
+    def on_interval_end(
+        self, gid: int, pid: int, bid: int, slot: int, span: int
+    ) -> None:
+        pairs = self.scheduler.complete_interval(gid, pid, bid, slot, span)
+        self._process(pairs)
+
+    def on_trace_end(self, producer) -> None:
+        self.finished = True
+        if self.checkpoint is not None:
+            self.checkpoint.save()
+        if self.engine is not None:
+            self.engine.close()
+
+    # -- pair processing -----------------------------------------------------------
+
+    def _process(self, pairs: list[tuple[IntervalData, IntervalData]]) -> None:
+        assert self.engine is not None, "on_trace_begin not delivered"
+        for ia, ib in pairs:
+            if self.checkpoint is not None and self.checkpoint.contains(
+                ia.key, ib.key
+            ):
+                self.pairs_skipped += 1
+                continue
+            self.engine.analyze_pair(
+                ia, ib, self.races, on_race=self._race_seen
+            )
+            self.pairs_analyzed += 1
+            if self.checkpoint is not None:
+                self.checkpoint.record(ia.key, ib.key)
+                self._since_save += 1
+                if self._since_save >= self.checkpoint_every:
+                    self.checkpoint.save()
+                    self._since_save = 0
+            if (
+                self.max_pairs is not None
+                and self.pairs_analyzed >= self.max_pairs
+            ):
+                if self.checkpoint is not None:
+                    self.checkpoint.save()
+                self.engine.close()
+                raise StreamingInterrupted(
+                    f"pair budget exhausted after {self.pairs_analyzed}"
+                )
+
+    # -- results ------------------------------------------------------------------
+
+    def result(self) -> AnalysisResult:
+        """Races and stats accumulated so far (final after trace end)."""
+        stats = self.engine.stats if self.engine is not None else AnalysisStats()
+        stats.intervals = len(self.scheduler)
+        stats.concurrent_pairs = self.scheduler.pairs_emitted
+        stats.races_found = len(self.races)
+        return AnalysisResult(races=self.races, stats=stats)
+
+
+def replay_analyze(
+    trace: TraceDir | str | Path,
+    config: OfflineConfig | None = None,
+    *,
+    checkpoint_path: str | Path | None = None,
+    max_pairs: int | None = None,
+    on_race=None,
+) -> AnalysisResult:
+    """Run the streaming analyzer over a closed trace (resume path).
+
+    With a checkpoint this picks an interrupted analysis back up: pairs
+    already recorded are skipped, everything else is analyzed, and the
+    returned race set matches an uninterrupted run's exactly.
+    """
+    if not isinstance(trace, TraceDir):
+        trace = TraceDir(trace)
+    analyzer = StreamingAnalyzer(
+        trace.path,
+        config,
+        checkpoint_path=checkpoint_path,
+        max_pairs=max_pairs,
+        on_race=on_race,
+    )
+    replay_trace(trace, analyzer)
+    return analyzer.result()

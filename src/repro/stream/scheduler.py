@@ -1,0 +1,159 @@
+"""Incremental concurrent-pair scheduling over a growing interval inventory.
+
+The batch planner (:class:`~repro.offline.intervals.IntervalInventory`)
+sees the whole trace at once; the streaming analyzer instead learns about
+intervals one completion at a time and must emit each comparable pair *as
+soon as it is sound to compare it*:
+
+* **different (pid, bid) groups** — the pair is ready the moment both
+  intervals have completed: the verdict is a pure label judgment
+  (:func:`~repro.osl.concurrency.concurrent_intervals`), and it can only
+  be *concurrent* when nested parallelism exists (same region / different
+  bid is barrier-separated; sibling top-level regions are fork-serialised),
+  so the cross-group scan is skipped entirely until a nested region is
+  registered — the same structural shortcut the batch planner uses;
+* **same (pid, bid) group** — teammate pairs are held until the group is
+  *sealed*: all ``span`` slots completed the interval.  Only then is the
+  region's task graph final for that interval (explicit tasks drain at the
+  barrier), which the tasking-extension comparison consults; sealing also
+  fixes whether the group gets self-pairs (an interval that carries
+  deferred tasks can race with itself).
+
+Every interval emits at least one meta row (each barrier interval logs a
+structural begin/barrier/end event), so sealing by counting distinct
+completed slots is exact.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, Iterator
+
+from ..offline.intervals import IntervalData, IntervalKey
+from ..osl.concurrency import concurrent_intervals
+from ..sword.reader import build_interval_label
+from ..sword.traceformat import MetaRow
+
+#: A scheduled comparison: two completed intervals (may be the same one).
+Pair = tuple[IntervalData, IntervalData]
+
+
+class IncrementalPairScheduler:
+    """Feeds the analysis engine pairs as the interval inventory grows.
+
+    ``is_tasky(pid, bid)`` is consulted at seal time and must answer
+    whether the interval carries explicit tasks; the streaming analyzer
+    binds it to the live task graph (final for the group once sealed).
+    """
+
+    def __init__(
+        self, *, is_tasky: Callable[[int, int], bool] | None = None
+    ) -> None:
+        self._is_tasky = is_tasky or (lambda pid, bid: False)
+        self.regions: dict[int, dict] = {}
+        self.intervals: dict[IntervalKey, IntervalData] = {}
+        #: Completed intervals per (pid, bid), insertion-ordered.
+        self._groups: dict[tuple[int, int], list[IntervalData]] = {}
+        self._group_slots: dict[tuple[int, int], set[int]] = {}
+        self._sealed: set[tuple[int, int]] = set()
+        #: All completed intervals in completion order (cross-group scan).
+        self._completed: list[IntervalData] = []
+        self._completed_keys: set[IntervalKey] = set()
+        self._nested = False
+        self.pairs_emitted = 0
+
+    # -- inventory growth -------------------------------------------------------
+
+    def add_region(self, pid: int, info: dict) -> None:
+        """Register a forked region's fork-position record."""
+        self.regions[pid] = info
+        if info["ppid"] > 0:
+            self._nested = True
+
+    def add_chunk(self, gid: int, row: MetaRow) -> None:
+        """Register one Table-I row, growing its interval's chunk list."""
+        key = IntervalKey(gid=gid, pid=row.pid, bid=row.bid)
+        data = self.intervals.get(key)
+        if data is None:
+            data = IntervalData(
+                key=key,
+                slot=row.offset,
+                span=row.span,
+                label=build_interval_label(
+                    self.regions, row.pid, row.offset, row.bid
+                ),
+            )
+            self.intervals[key] = data
+        data.chunks.append((row.data_begin, row.size))
+
+    # -- completion and pair emission -------------------------------------------
+
+    def complete_interval(
+        self, gid: int, pid: int, bid: int, slot: int, span: int
+    ) -> list[Pair]:
+        """Mark one interval complete; return the newly comparable pairs."""
+        key = IntervalKey(gid=gid, pid=pid, bid=bid)
+        if key in self._completed_keys:
+            return []  # idempotent: a duplicate completion emits nothing
+        self._completed_keys.add(key)
+        data = self.intervals.get(key)
+        if data is None:
+            # Defensive: an interval that logged nothing (cannot race).
+            data = IntervalData(
+                key=key,
+                slot=slot,
+                span=span,
+                label=build_interval_label(self.regions, pid, slot, bid),
+            )
+            self.intervals[key] = data
+        pairs: list[Pair] = []
+
+        # Cross-group pairs: ready now.  Only nested parallelism can make
+        # intervals of different (pid, bid) groups concurrent.
+        if self._nested:
+            for other in self._completed:
+                other_key = other.key
+                if (other_key.pid, other_key.bid) == (pid, bid):
+                    continue
+                if other_key.gid == gid:
+                    continue
+                if concurrent_intervals(data.label, other.label):
+                    pairs.append((data, other))
+
+        group_key = (pid, bid)
+        self._completed.append(data)
+        group = self._groups.setdefault(group_key, [])
+        group.append(data)
+        slots = self._group_slots.setdefault(group_key, set())
+        slots.add(slot)
+        if len(slots) == span and group_key not in self._sealed:
+            self._sealed.add(group_key)
+            pairs.extend(self._seal_group(group_key, group))
+
+        self.pairs_emitted += len(pairs)
+        return pairs
+
+    def _seal_group(
+        self, group_key: tuple[int, int], group: list[IntervalData]
+    ) -> Iterator[Pair]:
+        """All teammates finished the interval: emit the in-group pairs.
+
+        Mirrors the batch planner's enumeration: self-pairs first when the
+        interval carries explicit tasks, then all cross-thread pairs.
+        """
+        ordered = sorted(group, key=lambda d: d.key.gid)
+        if self._is_tasky(*group_key):
+            for a in ordered:
+                yield a, a
+        for a, b in combinations(ordered, 2):
+            if a.key.gid != b.key.gid:
+                yield a, b
+
+    # -- diagnostics ------------------------------------------------------------
+
+    def unsealed_groups(self) -> list[tuple[int, int]]:
+        """Groups still waiting for teammates (empty after a full trace)."""
+        return [k for k in self._groups if k not in self._sealed]
+
+    def __len__(self) -> int:
+        return len(self.intervals)

@@ -1,0 +1,129 @@
+"""Run a workload with the streaming analyzer attached ("watch" mode).
+
+This is the production deployment story of the streaming subsystem: the
+application runs under the SWORD online tool, the analyzer rides the
+flush-event bus, and confirmed races stream out while the program is
+still going — no separate post-mortem pass.  The wall-clock comparison
+(time to first race vs. run-then-analyze total) is what the streaming
+benchmark measures.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional
+
+from ..common.config import (
+    NodeConfig,
+    OfflineConfig,
+    RunConfig,
+    SchedulerConfig,
+    SwordConfig,
+)
+from ..common.errors import SimulatedOOMError
+from ..memory.accounting import NodeMemory
+from ..offline.report import RaceSet
+from ..omp.runtime import OpenMPRuntime
+from ..sword.logger import SwordTool
+from ..workloads.base import Workload
+from .analyzer import StreamingAnalyzer
+
+
+@dataclass
+class WatchResult:
+    """Outcome of one watched run."""
+
+    workload: str
+    nthreads: int
+    oom: bool = False
+    races: Optional[RaceSet] = None
+    #: Wall time of the whole watched run (application + inline analysis).
+    elapsed_seconds: float = 0.0
+    #: Seconds from run begin to the first confirmed race (None: no race).
+    time_to_first_race: Optional[float] = None
+    pairs_analyzed: int = 0
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def race_count(self) -> int:
+        return len(self.races) if self.races is not None else 0
+
+    def to_json(self) -> dict:
+        return {
+            "workload": self.workload,
+            "nthreads": self.nthreads,
+            "oom": self.oom,
+            "races": self.races.to_json() if self.races is not None else None,
+            "elapsed_seconds": self.elapsed_seconds,
+            "time_to_first_race": self.time_to_first_race,
+            "pairs_analyzed": self.pairs_analyzed,
+            "stats": self.stats,
+        }
+
+
+def watch(
+    workload: Workload,
+    *,
+    nthreads: int = 8,
+    seed: int = 0,
+    node: Optional[NodeConfig] = None,
+    yield_every: int = 0,
+    sword_config: Optional[SwordConfig] = None,
+    offline_config: Optional[OfflineConfig] = None,
+    trace_dir: Optional[str] = None,
+    keep_trace: bool = False,
+    checkpoint_path: Optional[str] = None,
+    on_race=None,
+    **params: Any,
+) -> WatchResult:
+    """Run ``workload`` with a live streaming analyzer subscribed.
+
+    ``on_race(report)`` fires as each race is confirmed, while the
+    application is still executing.
+    """
+    node = node or NodeConfig()
+    owns_dir = trace_dir is None
+    trace_path = Path(trace_dir or tempfile.mkdtemp(prefix="sword-watch-"))
+    result = WatchResult(workload=workload.name, nthreads=nthreads)
+    try:
+        config = sword_config or SwordConfig()
+        config.log_dir = str(trace_path)
+        accountant = NodeMemory(node.memory_limit)
+        tool = SwordTool(config, accountant)
+        analyzer = StreamingAnalyzer(
+            trace_path,
+            offline_config,
+            checkpoint_path=checkpoint_path,
+            on_race=on_race,
+        )
+        tool.subscribe(analyzer)
+        rt = OpenMPRuntime(
+            RunConfig(
+                nthreads=nthreads,
+                scheduler=SchedulerConfig(seed=seed, yield_every=yield_every),
+                node=node,
+            ),
+            tool=tool,
+            accountant=accountant,
+        )
+        t0 = time.perf_counter()
+        try:
+            rt.run(lambda master: workload.run_program(master, **params))
+        except SimulatedOOMError:
+            result.oom = True
+        result.elapsed_seconds = time.perf_counter() - t0
+        result.time_to_first_race = analyzer.first_race_seconds
+        result.pairs_analyzed = analyzer.pairs_analyzed
+        result.stats = dict(tool.stats)
+        if not result.oom:
+            analysis = analyzer.result()
+            result.races = analysis.races
+            result.stats["streaming"] = analysis.stats.to_json()
+        return result
+    finally:
+        if owns_dir and not keep_trace:
+            shutil.rmtree(trace_path, ignore_errors=True)

@@ -17,6 +17,14 @@ Nested parallelism: when a thread enters a nested region, its outer
 interval's chunk is closed and a fresh tracker is pushed; the outer interval
 resumes (as another chunk row with the same pid/bid) after the nested region
 ends.
+
+Flush-event bus: observers registered with :meth:`SwordTool.subscribe`
+receive live notifications as the trace is produced — region registration,
+every Table-I chunk row the moment it is written (with the underlying data
+already flushed and durable, so a live reader can consume it), and
+barrier-interval completion.  This is the seam the streaming analysis
+subsystem (:mod:`repro.stream`) attaches to; with no observers subscribed
+the logger's behaviour and block layout are unchanged.
 """
 
 from __future__ import annotations
@@ -103,6 +111,7 @@ class SwordTool(OmptTool):
         self._regions: dict[int, dict] = {}
         self._task_graph = TaskGraph()
         self._runtime = None
+        self._observers: list = []
         # Statistics surfaced in the manifest and by the harness.
         self.stats = {
             "events": 0,
@@ -112,6 +121,27 @@ class SwordTool(OmptTool):
             "io_seconds": 0.0,
             "threads": 0,
         }
+
+    # -- flush-event bus --------------------------------------------------------
+
+    def subscribe(self, observer) -> None:
+        """Register a trace observer (see :class:`repro.stream.bus.TraceObserver`).
+
+        Observers make chunk flushes *eager*: whenever a meta row is
+        emitted, the thread's buffer is flushed and the log file synced
+        first, so the notified chunk is immediately readable on disk.
+        """
+        self._observers.append(observer)
+
+    @property
+    def task_graph(self) -> "TaskGraph":
+        """The live (growing) task graph of the current run."""
+        return self._task_graph
+
+    @property
+    def runtime(self):
+        """The runtime this tool is attached to (set at run begin)."""
+        return self._runtime
 
     # -- per-thread state -------------------------------------------------------
 
@@ -157,33 +187,51 @@ class SwordTool(OmptTool):
         tr = log.stack[-1]
         pos = log.logical_pos()
         if pos > tr.chunk_start:
-            log.rows.append(
-                MetaRow(
-                    pid=tr.pid,
-                    ppid=tr.ppid,
-                    bid=tr.bid,
-                    offset=tr.slot,
-                    span=tr.span,
-                    level=tr.level,
-                    data_begin=tr.chunk_start,
-                    size=pos - tr.chunk_start,
-                )
+            row = MetaRow(
+                pid=tr.pid,
+                ppid=tr.ppid,
+                bid=tr.bid,
+                offset=tr.slot,
+                span=tr.span,
+                level=tr.level,
+                data_begin=tr.chunk_start,
+                size=pos - tr.chunk_start,
             )
+            log.rows.append(row)
+            if self._observers:
+                # Make the chunk durable before announcing it: flush the
+                # buffered events into a framed block and sync the file so
+                # a live reader sees complete blocks covering the row.
+                log.buffer.flush()
+                log.file.flush()
+                for obs in self._observers:
+                    obs.on_chunk(log.gid, row)
         tr.chunk_start = pos
+
+    def _notify_interval_end(
+        self, gid: int, pid: int, bid: int, slot: int, span: int
+    ) -> None:
+        for obs in self._observers:
+            obs.on_interval_end(gid, pid, bid, slot, span)
 
     # -- OMPT callbacks -------------------------------------------------------------
 
     def on_run_begin(self, runtime) -> None:  # noqa: D102
         self._runtime = runtime
+        for obs in self._observers:
+            obs.on_trace_begin(self)
 
     def on_parallel_begin(self, region) -> None:  # noqa: D102
-        self._regions[region.pid] = {
+        info = {
             "ppid": region.ppid,
             "parent_slot": region.parent_slot,
             "parent_bid": region.parent_bid,
             "span": region.span,
             "level": region.level,
         }
+        self._regions[region.pid] = info
+        for obs in self._observers:
+            obs.on_region(region.pid, info)
 
     def on_implicit_task_begin(self, thread, region, slot) -> None:  # noqa: D102
         log = self._log_for(thread.gid)
@@ -208,7 +256,12 @@ class SwordTool(OmptTool):
         log.buffer.append_event(KIND_PARALLEL_END, addr=region.pid)
         self.stats["events"] += 1
         self._close_chunk(log)
-        log.stack.pop()
+        tr = log.stack.pop()
+        # The thread's final interval of this region (the post-barrier one
+        # holding the region-end marker) is complete.
+        self._notify_interval_end(
+            thread.gid, region.pid, tr.bid, tr.slot, tr.span
+        )
         if log.stack:
             # Resume the outer interval as a fresh chunk.
             log.stack[-1].chunk_start = log.logical_pos()
@@ -218,6 +271,8 @@ class SwordTool(OmptTool):
         log.buffer.append_event(KIND_BARRIER, addr=region.pid, aux=bid)
         self.stats["events"] += 1
         self._close_chunk(log)
+        tr = log.stack[-1]
+        self._notify_interval_end(thread.gid, region.pid, bid, tr.slot, tr.span)
 
     def on_barrier_depart(self, thread, region, new_bid) -> None:  # noqa: D102
         log = self._logs[thread.gid]
@@ -290,6 +345,8 @@ class SwordTool(OmptTool):
         (self.dir / MANIFEST_NAME).write_text(
             json.dumps(manifest, indent=2, sort_keys=True)
         )
+        for obs in self._observers:
+            obs.on_trace_end(self)
 
     @property
     def per_thread_bytes(self) -> int:

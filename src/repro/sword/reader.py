@@ -54,15 +54,26 @@ class _BlockRef:
 
 
 class ThreadTraceReader:
-    """Random/streaming access to one thread's log + meta files."""
+    """Random/streaming access to one thread's log + meta files.
 
-    def __init__(self, directory: Path, gid: int) -> None:
+    In ``live`` mode the log is still being appended to by the online
+    logger: the meta file may not exist yet (chunk rows arrive over the
+    flush-event bus instead), an incomplete trailing block is tolerated,
+    and :meth:`refresh` re-scans the tail to index newly flushed blocks.
+    """
+
+    def __init__(self, directory: Path, gid: int, *, live: bool = False) -> None:
         self.gid = gid
+        self.live = live
         self.log_path = directory / log_name(gid)
         self.meta_path = directory / meta_name(gid)
-        self.rows: list[MetaRow] = parse_meta_file(self.meta_path.read_text())
+        if live and not self.meta_path.exists():
+            self.rows: list[MetaRow] = []
+        else:
+            self.rows = parse_meta_file(self.meta_path.read_text())
         self._blocks: list[_BlockRef] = []
         self._offsets: list[int] = []
+        self._scan_pos = 0
         self._index()
         self._file = open(self.log_path, "rb")
         # One-block decompression cache (ranges are read in ascending order).
@@ -79,12 +90,16 @@ class ThreadTraceReader:
         self.close()
 
     def _index(self) -> None:
-        pos = 0
+        """Scan block frames from the last indexed position to the file end."""
+        pos = self._scan_pos
         size = self.log_path.stat().st_size
         with open(self.log_path, "rb") as fh:
-            while pos < size:
+            while pos + BLOCK_HEADER_BYTES <= size:
                 fh.seek(pos)
                 header = unpack_block_header(fh.read(BLOCK_HEADER_BYTES))
+                end = pos + BLOCK_HEADER_BYTES + header.compressed_size
+                if end > size:
+                    break  # payload not fully written yet
                 ref = _BlockRef(
                     uncompressed_offset=header.uncompressed_offset,
                     file_offset=pos + BLOCK_HEADER_BYTES,
@@ -94,9 +109,14 @@ class ThreadTraceReader:
                 )
                 self._blocks.append(ref)
                 self._offsets.append(ref.uncompressed_offset)
-                pos = ref.file_offset + ref.compressed_size
-        if pos != size:
+                pos = end
+        self._scan_pos = pos
+        if pos != size and not self.live:
             raise TraceFormatError(f"{self.log_path}: trailing garbage")
+
+    def refresh(self) -> None:
+        """Index blocks appended since construction (live mode)."""
+        self._index()
 
     @property
     def uncompressed_bytes(self) -> int:
@@ -132,6 +152,8 @@ class ThreadTraceReader:
         if begin % EVENT_BYTES or size % EVENT_BYTES:
             raise TraceFormatError("chunk not record-aligned")
         end = begin + size
+        if self.live and end > self.uncompressed_bytes:
+            self.refresh()  # the logger may have flushed more blocks
         if end > self.uncompressed_bytes:
             raise TraceFormatError(
                 f"chunk [{begin}, {end}) beyond log end {self.uncompressed_bytes}"
@@ -151,6 +173,36 @@ class ThreadTraceReader:
     def read_chunk(self, row: MetaRow) -> np.ndarray:
         """Materialise the chunk a meta row points at."""
         return self.read_range(row.data_begin, row.size)
+
+
+def build_interval_label(
+    regions: dict, pid: int, slot: int, bid: int
+) -> IntervalLabel:
+    """Reconstruct a barrier-interval label from a regions table.
+
+    ``regions`` maps region pid to its fork-position record (``ppid``,
+    ``parent_slot``, ``parent_bid``, ``span``) — either the parsed
+    ``regions.json`` of a closed trace or the online logger's live table.
+    """
+
+    def span_of(p: int) -> int:
+        return int(regions[p]["span"])
+
+    pairs = [IntervalPair(region=pid, slot=slot, bid=bid, span=span_of(pid))]
+    info = regions[pid]
+    # Region ids start at 1; ppid <= 0 marks a top-level region.
+    while info["ppid"] > 0:
+        ppid = int(info["ppid"])
+        pairs.append(
+            IntervalPair(
+                region=ppid,
+                slot=int(info["parent_slot"]),
+                bid=int(info["parent_bid"]),
+                span=span_of(ppid),
+            )
+        )
+        info = regions[ppid]
+    return tuple(reversed(pairs))
 
 
 class TraceDir:
@@ -188,20 +240,4 @@ class TraceDir:
         of fork positions (ppid / parent slot / parent bid) up to a top-level
         region, terminated by the interval's own leaf pair.
         """
-        pairs = [
-            IntervalPair(region=pid, slot=slot, bid=bid, span=self.region_span(pid))
-        ]
-        info = self.regions[pid]
-        # Region ids start at 1; ppid <= 0 marks a top-level region.
-        while info["ppid"] > 0:
-            ppid = int(info["ppid"])
-            pairs.append(
-                IntervalPair(
-                    region=ppid,
-                    slot=int(info["parent_slot"]),
-                    bid=int(info["parent_bid"]),
-                    span=self.region_span(ppid),
-                )
-            )
-            info = self.regions[ppid]
-        return tuple(reversed(pairs))
+        return build_interval_label(self.regions, pid, slot, bid)

@@ -75,6 +75,51 @@ def test_invalid_capacity():
         EventBuffer(capacity=0)
 
 
+def test_fill_to_exact_capacity_defers_flush():
+    """Exactly-full is a boundary: the flush happens on the *next* append."""
+    flushed = []
+    b = EventBuffer(capacity=4, on_flush=lambda r: flushed.append(r.copy()))
+    for i in range(4):
+        b.append_access(acc(i))
+    assert len(b) == 4
+    assert b.flushes == 0 and flushed == []
+    b.append_access(acc(4))  # the overflowing append triggers the flush
+    assert b.flushes == 1
+    assert flushed[0].shape[0] == 4
+    assert len(b) == 1
+    b.flush()
+    assert [int(r["addr"]) for r in flushed[1]] == [32]
+
+
+def test_explicit_flush_at_exact_capacity():
+    flushed = []
+    b = EventBuffer(capacity=4, on_flush=lambda r: flushed.append(r.copy()))
+    for i in range(4):
+        b.append_access(acc(i))
+    b.flush()
+    assert b.flushes == 1 and flushed[0].shape[0] == 4
+    assert len(b) == 0
+    b.flush()  # now empty: a no-op, not a zero-length callback
+    assert b.flushes == 1 and len(flushed) == 1
+
+
+def test_on_flush_view_is_not_valid_after_reset():
+    """The callback receives a view; retaining it observes slot reuse."""
+    retained = []
+    b = EventBuffer(capacity=2, on_flush=lambda r: retained.append(r))
+    b.append_access(acc(1))
+    b.append_access(acc(2))
+    b.flush()
+    view = retained[0]
+    assert np.shares_memory(view, b._records)
+    assert [int(r["addr"]) for r in view] == [8, 16]
+    # New appends reuse the flushed slots: the stale view now shows them,
+    # which is exactly why consumers must copy (or fully consume) inside
+    # the callback.
+    b.append_access(acc(9))
+    assert int(view[0]["addr"]) == 72
+
+
 def test_slot_reuse_after_flush_does_not_leak_old_fields():
     b = EventBuffer(capacity=2)
     b.append_access(Access(addr=1, size=8, count=9, stride=8, is_write=True,

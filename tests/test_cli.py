@@ -1,5 +1,7 @@
 """The ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -37,6 +39,30 @@ def test_check_oom_exit_code(capsys):
     assert "OUT OF MEMORY" in capsys.readouterr().out
 
 
+def test_check_json(capsys):
+    assert main(["check", "plusplus-orig-yes", "--threads", "2", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["tool"] == "sword"
+    assert len(payload["races"]) == 2
+    assert {"pc_a", "pc_b", "address", "description"} <= set(payload["races"][0])
+
+
+def test_watch_prints_live_races(capsys):
+    assert main(["watch", "plusplus-orig-yes", "--threads", "2"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("[live]") == 2
+    assert "races: 2" in out
+    assert "first-race=" in out
+
+
+def test_watch_json(capsys):
+    assert main(["watch", "plusplus-orig-yes", "--threads", "2", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["races"]) == 2
+    assert payload["time_to_first_race"] is not None
+    assert payload["pairs_analyzed"] > 0
+
+
 def test_unknown_experiment(capsys):
     assert main(["experiment", "E99"]) == 1
 
@@ -57,3 +83,8 @@ def test_analyze_trace(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "races: 1" in out
     assert main(["analyze", str(trace), "--workers", "2"]) == 0
+    capsys.readouterr()
+    assert main(["analyze", str(trace), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload["races"]) == 1
+    assert payload["stats"]["intervals"] > 0
