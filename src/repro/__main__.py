@@ -12,8 +12,13 @@ Commands:
 * ``analyze <trace-dir> [--workers N]`` — offline-analyze an existing
   SWORD trace directory.
 
-``check``, ``watch``, and ``analyze`` accept ``--json`` for a
-machine-readable report (the shared races/stats schema).
+Every subcommand accepts ``--json`` for a machine-readable report (the
+shared races/stats schema; runs include the metrics snapshot under the
+``"metrics"`` key).  ``check``, ``watch``, and ``analyze`` additionally
+take ``--metrics <path>`` (write the metrics snapshot as JSON, or
+Prometheus text with a ``.prom`` suffix) and ``--trace-events <path>``
+(write a Chrome trace-event file of the run's nested phases — open it at
+``chrome://tracing`` or https://ui.perfetto.dev).
 """
 
 from __future__ import annotations
@@ -22,16 +27,78 @@ import argparse
 import json
 import sys
 
+from . import obs as obslib
 from .common.config import NodeConfig, OfflineConfig
 from .harness.tables import fmt_bytes, fmt_seconds
 from .harness.tools import TOOL_NAMES, driver
+from .obs import prometheus_text, write_json
 from .offline import OfflineAnalyzer, ParallelOfflineAnalyzer
 from .sword import TraceDir
 from .workloads import REGISTRY
 
 
+def _make_obs(args: argparse.Namespace) -> "obslib.Instrumentation":
+    """A live bundle when any machine-readable output was requested;
+    the ambient (null by default) bundle otherwise."""
+    if (
+        args.json
+        or args.metrics
+        or args.trace_events
+        or getattr(args, "stats_every", None) is not None
+    ):
+        return obslib.live()
+    return obslib.get_obs()
+
+
+def _export_obs(args: argparse.Namespace, obs: "obslib.Instrumentation") -> None:
+    """Honour ``--metrics`` / ``--trace-events`` after a run."""
+    if args.metrics:
+        if args.metrics.endswith(".prom"):
+            from pathlib import Path
+
+            Path(args.metrics).write_text(
+                prometheus_text(obs.registry.snapshot())
+            )
+        else:
+            write_json(obs.registry.snapshot(), args.metrics)
+    if args.trace_events:
+        obs.tracer.write_chrome(args.trace_events)
+
+
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write the metrics snapshot (JSON; .prom for Prometheus text)",
+    )
+    p.add_argument(
+        "--trace-events",
+        metavar="PATH",
+        help="write Chrome trace-event JSON of the run's phases",
+    )
+
+
 def cmd_list_workloads(args: argparse.Namespace) -> int:
     workloads = REGISTRY.suite(args.suite) if args.suite else list(REGISTRY)
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "name": w.name,
+                        "suite": w.suite,
+                        "racy": w.racy,
+                        "seeded_races": w.seeded_races,
+                        "archer_misses": w.archer_misses,
+                    }
+                    for w in workloads
+                ],
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
     print(f"{'name':30s} {'suite':14s} {'racy':5s} {'seeded':>6s} {'archer misses':>13s}")
     for w in workloads:
         print(
@@ -43,12 +110,15 @@ def cmd_list_workloads(args: argparse.Namespace) -> int:
 
 def cmd_check(args: argparse.Namespace) -> int:
     workload = REGISTRY.get(args.workload)
+    obs = _make_obs(args)
     result = driver(args.tool).run(
         workload,
         nthreads=args.threads,
         seed=args.seed,
         node=NodeConfig(),
+        obs=obs,
     )
+    _export_obs(args, obs)
     if args.json:
         print(
             json.dumps(
@@ -67,6 +137,7 @@ def cmd_check(args: argparse.Namespace) -> int:
                     "app_bytes": result.app_bytes,
                     "tool_bytes": result.tool_bytes,
                     "stats": result.stats,
+                    "metrics": result.metrics,
                 },
                 indent=2,
                 sort_keys=True,
@@ -95,6 +166,7 @@ def cmd_watch(args: argparse.Namespace) -> int:
     from .stream import watch
 
     workload = REGISTRY.get(args.workload)
+    obs = _make_obs(args)
 
     def live_feed(report) -> None:
         if not args.json:
@@ -105,7 +177,11 @@ def cmd_watch(args: argparse.Namespace) -> int:
         nthreads=args.threads,
         seed=args.seed,
         on_race=live_feed,
+        obs=obs,
+        stats_every=args.stats_every,
+        on_stats=(lambda line: None) if args.json else print,
     )
+    _export_obs(args, obs)
     if args.json:
         print(json.dumps(result.to_json(), indent=2, sort_keys=True))
         return 2 if result.oom else 0
@@ -153,14 +229,19 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     trace = TraceDir(args.trace_dir)
-    if args.workers > 1:
-        result = ParallelOfflineAnalyzer(
-            trace, OfflineConfig(workers=args.workers)
-        ).analyze()
-    else:
-        result = OfflineAnalyzer(trace).analyze()
+    obs = _make_obs(args)
+    with obs.tracer.span("analyze", category="run"):
+        if args.workers > 1:
+            result = ParallelOfflineAnalyzer(
+                trace, OfflineConfig(workers=args.workers), obs=obs
+            ).analyze()
+        else:
+            result = OfflineAnalyzer(trace, obs=obs).analyze()
+    _export_obs(args, obs)
     if args.json:
-        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+        payload = result.to_json()
+        payload["metrics"] = obs.registry.snapshot()
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     stats = result.stats
     print(
@@ -182,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("list-workloads", help="show the benchmark registry")
     p.add_argument("--suite", choices=["dataracebench", "ompscr", "hpc"])
+    p.add_argument("--json", action="store_true", help="machine-readable output")
     p.set_defaults(func=cmd_list_workloads)
 
     p = sub.add_parser("check", help="run one workload under one tool")
@@ -189,7 +271,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tool", choices=TOOL_NAMES, default="sword")
     p.add_argument("--threads", type=int, default=8)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_check)
 
     p = sub.add_parser(
@@ -198,7 +280,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("workload")
     p.add_argument("--threads", type=int, default=8)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--stats-every",
+        type=float,
+        metavar="SECONDS",
+        help="print a live stats line at most this often (needs metrics on)",
+    )
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_watch)
 
     p = sub.add_parser("experiment", help="regenerate one paper table/figure")
@@ -208,7 +296,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("analyze", help="offline-analyze a trace directory")
     p.add_argument("trace_dir")
     p.add_argument("--workers", type=int, default=1)
-    p.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_obs_flags(p)
     p.set_defaults(func=cmd_analyze)
 
     return parser

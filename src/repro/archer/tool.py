@@ -28,6 +28,7 @@ from typing import Optional
 
 from ..common.config import ArcherConfig
 from ..memory.accounting import NodeMemory
+from ..obs import Instrumentation, get_obs
 from ..offline.report import RaceSet, make_report
 from ..omp.ompt import OmptTool
 from .shadow import ShadowHit, ShadowMemory
@@ -41,10 +42,12 @@ class ArcherTool(OmptTool):
         self,
         config: ArcherConfig | None = None,
         accountant: Optional[NodeMemory] = None,
+        obs: Instrumentation | None = None,
     ) -> None:
         self.config = config or ArcherConfig()
         self.config.validate()
         self.accountant = accountant
+        self.obs = obs or get_obs()
         self.shadow = ShadowMemory(self.config, accountant)
         self.races = RaceSet()
         self._vcs: dict[int, VectorClock] = {}        # sync-tid -> clock
@@ -224,7 +227,31 @@ class ArcherTool(OmptTool):
             on_race=_report,
         )
 
+    def on_run_end(self, runtime) -> None:  # noqa: D102
+        self.publish_metrics()
+
     # -- results ---------------------------------------------------------------------------------
+
+    def publish_metrics(self) -> None:
+        """Mirror the run's totals onto the metrics registry.
+
+        The access/sync hot paths keep their plain dict counters; the
+        registry gets the totals once at run end (batch grain, so the
+        happens-before baseline pays nothing per event either).
+        """
+        registry = self.obs.registry
+        registry.counter("archer.accesses", "accesses checked").inc(
+            self.stats["accesses"]
+        )
+        registry.counter("archer.sync_ops", "synchronisation edges").inc(
+            self.stats["sync_ops"]
+        )
+        registry.counter("archer.evictions", "shadow cells evicted").inc(
+            self.evictions
+        )
+        registry.gauge("archer.races", "distinct racy pc pairs").set(
+            len(self.races)
+        )
 
     @property
     def race_count(self) -> int:

@@ -33,6 +33,7 @@ from ..common.config import (
 )
 from ..common.errors import SimulatedOOMError
 from ..memory.accounting import NodeMemory
+from ..obs import Instrumentation, get_obs, run_stats
 from ..offline.analyzer import OfflineAnalyzer
 from ..offline.parallel import ParallelOfflineAnalyzer
 from ..offline.report import RaceSet
@@ -61,6 +62,8 @@ class RunResult:
     total_bytes: int = 0               # peak node usage
     trace_bytes: int = 0               # compressed log volume (sword)
     stats: dict = field(default_factory=dict)
+    #: Metrics-registry snapshot (empty under the null backend).
+    metrics: dict = field(default_factory=dict)
 
     @property
     def race_count(self) -> int:
@@ -134,17 +137,23 @@ class BaselineDriver:
         seed: int = 0,
         node: Optional[NodeConfig] = None,
         yield_every: int = 0,
+        obs: Optional[Instrumentation] = None,
         **params: Any,
     ) -> RunResult:
         node = node or NodeConfig()
+        obs = obs or get_obs()
         result = RunResult(workload=workload.name, tool=self.name, nthreads=nthreads)
-        _rt, accountant, secs, oom = _execute(
-            workload, None, nthreads=nthreads, seed=seed, node=node,
-            yield_every=yield_every, params=params,
-        )
+        with obs.tracer.span(
+            "run", category="run", workload=workload.name, tool=self.name
+        ):
+            _rt, accountant, secs, oom = _execute(
+                workload, None, nthreads=nthreads, seed=seed, node=node,
+                yield_every=yield_every, params=params,
+            )
         result.dynamic_seconds = secs
         result.oom = oom
         _fill_memory(result, accountant)
+        result.metrics = obs.registry.snapshot()
         return result
 
 
@@ -164,14 +173,16 @@ class ArcherDriver:
         node: Optional[NodeConfig] = None,
         yield_every: int = 0,
         archer_config: Optional[ArcherConfig] = None,
+        obs: Optional[Instrumentation] = None,
         **params: Any,
     ) -> RunResult:
         node = node or NodeConfig()
+        obs = obs or get_obs()
         config = archer_config or ArcherConfig()
         config.flush_shadow = self.flush_shadow
         result = RunResult(workload=workload.name, tool=self.name, nthreads=nthreads)
         accountant = NodeMemory(node.memory_limit)
-        tool = ArcherTool(config, accountant)
+        tool = ArcherTool(config, accountant, obs=obs)
         rt = OpenMPRuntime(
             RunConfig(
                 nthreads=nthreads,
@@ -182,16 +193,19 @@ class ArcherDriver:
             accountant=accountant,
         )
         t0 = time.perf_counter()
-        try:
-            rt.run(lambda master: workload.run_program(master, **params))
-        except SimulatedOOMError:
-            result.oom = True
+        with obs.tracer.span(
+            "online", category="run", workload=workload.name, tool=self.name
+        ):
+            try:
+                rt.run(lambda master: workload.run_program(master, **params))
+            except SimulatedOOMError:
+                result.oom = True
         result.dynamic_seconds = time.perf_counter() - t0
         if not result.oom:
             result.races = tool.races
-        result.stats = dict(tool.stats)
-        result.stats["evictions"] = tool.evictions
+        result.stats = run_stats(tool, extra={"evictions": tool.evictions})
         _fill_memory(result, accountant)
+        result.metrics = obs.registry.snapshot()
         return result
 
 
@@ -214,17 +228,21 @@ class SwordDriver:
         keep_trace: bool = False,
         run_offline: bool = True,
         mt_workers: int = 0,
+        obs: Optional[Instrumentation] = None,
         **params: Any,
     ) -> RunResult:
         node = node or NodeConfig()
+        obs = obs or get_obs()
         owns_dir = trace_dir is None
         trace_path = Path(trace_dir or tempfile.mkdtemp(prefix="sword-trace-"))
         result = RunResult(workload=workload.name, tool=self.name, nthreads=nthreads)
+        analyses: dict = {}
+        tool = None
         try:
             config = sword_config or SwordConfig()
             config.log_dir = str(trace_path)
             accountant = NodeMemory(node.memory_limit)
-            tool = SwordTool(config, accountant)
+            tool = SwordTool(config, accountant, obs=obs)
             rt = OpenMPRuntime(
                 RunConfig(
                     nthreads=nthreads,
@@ -235,12 +253,17 @@ class SwordDriver:
                 accountant=accountant,
             )
             t0 = time.perf_counter()
-            try:
-                rt.run(lambda master: workload.run_program(master, **params))
-            except SimulatedOOMError:
-                result.oom = True
+            with obs.tracer.span(
+                "online", category="run", workload=workload.name,
+                tool=self.name,
+            ):
+                try:
+                    rt.run(
+                        lambda master: workload.run_program(master, **params)
+                    )
+                except SimulatedOOMError:
+                    result.oom = True
             result.dynamic_seconds = time.perf_counter() - t0
-            result.stats = dict(tool.stats)
             result.trace_bytes = tool.stats["bytes_compressed"]
             _fill_memory(result, accountant)
             if result.oom or not run_offline:
@@ -248,31 +271,31 @@ class SwordDriver:
 
             trace = TraceDir(trace_path)
             t1 = time.perf_counter()
-            analysis = OfflineAnalyzer(trace, offline_config).analyze()
+            analysis = OfflineAnalyzer(trace, offline_config, obs=obs).analyze()
             result.offline_seconds = time.perf_counter() - t1
             result.races = analysis.races
-            result.stats["offline"] = {
-                "intervals": analysis.stats.intervals,
-                "concurrent_pairs": analysis.stats.concurrent_pairs,
-                "trees_built": analysis.stats.trees_built,
-                "tree_nodes": analysis.stats.tree_nodes,
-                "events_read": analysis.stats.events_read,
-                "ilp_solves": analysis.stats.ilp_solves,
-            }
+            analyses["offline"] = analysis.stats
             if mt_workers > 1:
                 t2 = time.perf_counter()
                 mt_cfg = OfflineConfig(
                     chunk_events=(offline_config or OfflineConfig()).chunk_events,
                     workers=mt_workers,
                 )
-                mt = ParallelOfflineAnalyzer(TraceDir(trace_path), mt_cfg).analyze()
+                mt = ParallelOfflineAnalyzer(
+                    TraceDir(trace_path), mt_cfg, obs=obs
+                ).analyze()
                 result.offline_mt_seconds = time.perf_counter() - t2
+                analyses["offline_mt"] = mt.stats
                 if mt.races.pc_pairs() != analysis.races.pc_pairs():
                     raise AssertionError(
                         "distributed analysis disagrees with serial analysis"
                     )
             return result
         finally:
+            # One shared snapshot on every exit path: the tool's online
+            # counters plus every analysis phase that actually ran.
+            result.stats = run_stats(tool, analyses=analyses)
+            result.metrics = obs.registry.snapshot()
             if owns_dir and not keep_trace:
                 shutil.rmtree(trace_path, ignore_errors=True)
 

@@ -65,6 +65,23 @@ class NodeMemory:
         self._lock = threading.Lock()
         self._categories: dict[str, MemoryCategory] = {}
         self._total = MemoryCategory()
+        self._observers: list = []
+
+    def subscribe(self, observer) -> None:
+        """Register a live charge/release observer.
+
+        ``observer(category, delta, current)`` fires after every applied
+        movement with the category's post-movement footprint (releases
+        carry a negative ``delta``).  Failed charges — simulated OOM —
+        are not reported.  This is the seam the observability layer's
+        memory-bound gauge rides (:mod:`repro.obs.membound`).
+        """
+        self._observers.append(observer)
+
+    def _notify(self, category: str, delta: int, current: int) -> None:
+        # Called outside the lock: observers may read the accountant.
+        for observer in self._observers:
+            observer(category, delta, current)
 
     def charge(self, category: str, nbytes: int) -> None:
         """Charge ``nbytes`` to ``category``; raise on exceeding the limit.
@@ -78,8 +95,12 @@ class NodeMemory:
         with self._lock:
             if self._total.current + nbytes > self.limit:
                 raise SimulatedOOMError(nbytes, self._total.current, self.limit)
-            self._categories.setdefault(category, MemoryCategory()).charge(nbytes)
+            cat = self._categories.setdefault(category, MemoryCategory())
+            cat.charge(nbytes)
             self._total.charge(nbytes)
+            current = cat.current
+        if self._observers:
+            self._notify(category, nbytes, current)
 
     def release(self, category: str, nbytes: int) -> None:
         """Return ``nbytes`` previously charged to ``category``."""
@@ -91,6 +112,9 @@ class NodeMemory:
                 raise ValueError(f"unknown category {category!r}")
             cat.release(nbytes)
             self._total.release(nbytes)
+            current = cat.current
+        if self._observers:
+            self._notify(category, -nbytes, current)
 
     def current(self, category: str | None = None) -> int:
         with self._lock:

@@ -1,0 +1,113 @@
+"""Unified instrumentation layer (the observability subsystem).
+
+The paper's claims are quantitative — bounded ``N x (B + C)`` tool
+memory, low online slowdown, offline cost per stage — so the pipeline
+reports everything it does through one typed, process-wide layer:
+
+* :mod:`repro.obs.registry` — counters, gauges, bucketed histograms,
+  interned by name into one shared schema;
+* :mod:`repro.obs.tracer` — nested phase spans exporting Chrome
+  trace-event JSON (flamegraphs of online vs. offline time);
+* :mod:`repro.obs.membound` — the live ``N x (B + C)`` invariant checker
+  riding the node-memory accountant's charge feed;
+* :mod:`repro.obs.export` — JSON snapshot, Prometheus text exposition,
+  and the ``watch`` ticker line;
+* :mod:`repro.obs.snapshot` — the shared ``result.stats`` assembly used
+  by every driver.
+
+An :class:`Instrumentation` bundle (registry + tracer) threads through
+tools, engines, and drivers.  The process-wide ambient default is
+:data:`NULL_OBS` — the null backend — so library users pay ~nothing
+unless they install a live bundle with :func:`set_obs` or pass one
+explicitly (the CLI does the latter for ``--json`` / ``--metrics`` /
+``--trace-events``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .export import prometheus_text, stats_line, write_json
+from .membound import MemoryBoundGauge, MemoryBoundViolation
+from .registry import (
+    COUNT_BUCKETS,
+    RATIO_BUCKETS,
+    SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from .snapshot import run_stats
+from .tracer import NullTracer, PhaseTracer, Span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "PhaseTracer",
+    "NullTracer",
+    "Span",
+    "MemoryBoundGauge",
+    "MemoryBoundViolation",
+    "Instrumentation",
+    "NULL_OBS",
+    "live",
+    "get_obs",
+    "set_obs",
+    "run_stats",
+    "prometheus_text",
+    "stats_line",
+    "write_json",
+    "SECONDS_BUCKETS",
+    "RATIO_BUCKETS",
+    "COUNT_BUCKETS",
+]
+
+
+@dataclass
+class Instrumentation:
+    """One registry + one tracer, passed together through the pipeline."""
+
+    registry: MetricsRegistry = field(default_factory=NullRegistry)
+    tracer: PhaseTracer | NullTracer = field(default_factory=NullTracer)
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled
+
+    def snapshot(self) -> dict:
+        """The registry's machine-readable snapshot (empty when null)."""
+        return self.registry.snapshot()
+
+
+#: The shared disabled bundle — the ambient default.
+NULL_OBS = Instrumentation()
+
+_ambient: Instrumentation = NULL_OBS
+
+
+def live(namespace: str = "repro") -> Instrumentation:
+    """A fresh enabled bundle (live registry + live tracer)."""
+    return Instrumentation(
+        registry=MetricsRegistry(namespace), tracer=PhaseTracer()
+    )
+
+
+def get_obs() -> Instrumentation:
+    """The ambient process-wide bundle (null unless installed)."""
+    return _ambient
+
+
+def set_obs(obs: Instrumentation | None) -> Instrumentation:
+    """Install ``obs`` as the ambient bundle; returns the previous one.
+
+    ``None`` restores the null default.
+    """
+    global _ambient
+    previous = _ambient
+    _ambient = obs if obs is not None else NULL_OBS
+    return previous

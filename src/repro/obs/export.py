@@ -1,0 +1,88 @@
+"""Exporters for the metrics snapshot.
+
+Three output shapes, one source of truth (:meth:`MetricsRegistry.snapshot`):
+
+* :func:`write_json` — the snapshot verbatim (``--metrics <path>`` and the
+  ``"metrics"`` key of every ``--json`` report);
+* :func:`prometheus_text` — Prometheus text exposition (cumulative ``le``
+  buckets, ``_total``/``_sum``/``_count`` suffixes) for scrape-style
+  integration;
+* :func:`stats_line` — the compact one-line form ``repro watch`` prints
+  periodically while a run is in flight.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["write_json", "prometheus_text", "stats_line"]
+
+
+def write_json(snapshot: dict, path: str | Path) -> None:
+    """Persist one metrics snapshot as indented, key-sorted JSON."""
+    Path(path).write_text(json.dumps(snapshot, indent=2, sort_keys=True))
+
+
+def _prom_name(name: str, namespace: str) -> str:
+    base = name.replace(".", "_").replace("-", "_")
+    return f"{namespace}_{base}" if namespace else base
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def prometheus_text(snapshot: dict, namespace: str = "repro") -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        prom = _prom_name(name, namespace) + "_total"
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {_fmt(value)}")
+    for name, data in sorted(snapshot.get("gauges", {}).items()):
+        prom = _prom_name(name, namespace)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_fmt(data['value'])}")
+        lines.append(f"{prom}_max {_fmt(data['max'])}")
+    for name, data in sorted(snapshot.get("histograms", {}).items()):
+        prom = _prom_name(name, namespace)
+        lines.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for le, count in data["buckets"]:
+            cumulative += count
+            label = "+Inf" if le == "+inf" else _fmt(le)
+            lines.append(f'{prom}_bucket{{le="{label}"}} {cumulative}')
+        lines.append(f"{prom}_sum {_fmt(data['sum'])}")
+        lines.append(f"{prom}_count {data['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: (label, snapshot section, metric name, value key) for the stats line.
+_LINE_FIELDS = (
+    ("events", "counters", "sword.events", None),
+    ("flushes", "counters", "sword.flushes", None),
+    ("kb", "counters", "sword.bytes_compressed", None),
+    ("pairs", "counters", "stream.pairs_analyzed", None),
+    ("races", "gauges", "stream.races", "value"),
+    ("mem", "gauges", "membound.utilisation", "value"),
+)
+
+
+def stats_line(snapshot: dict) -> str:
+    """One compact line of live run state (the ``watch`` ticker)."""
+    parts: list[str] = []
+    for label, section, name, key in _LINE_FIELDS:
+        data = snapshot.get(section, {}).get(name)
+        if data is None:
+            continue
+        value = data if key is None else data.get(key, 0)
+        if label == "kb":
+            parts.append(f"kb={value / 1024:.1f}")
+        elif label == "mem":
+            parts.append(f"mem={value:.0%}")
+        else:
+            parts.append(f"{label}={value}")
+    return "[stats] " + " ".join(parts) if parts else "[stats] (no metrics)"

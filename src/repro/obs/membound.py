@@ -1,0 +1,123 @@
+"""Live verification of the paper's ``N x (B + C)`` memory bound.
+
+SWORD's headline property is that tool memory never grows with the
+application: every participating thread costs exactly ``B + C`` bytes
+(buffer + auxiliary TLS, ~3.3 MB) and nothing else accrues.  The
+:class:`MemoryBoundGauge` turns that claim into a *continuously checked
+invariant*: it subscribes to the node-memory accountant's charge/release
+feed and, on every tool-category movement, compares the category's
+current footprint against ``threads x per_thread_bytes``.
+
+Violations are counted (and surfaced in the metrics snapshot) by
+default; ``strict=True`` raises :class:`MemoryBoundViolation` at the
+offending charge, which is what the test suite uses to prove an
+oversized buffer cannot slip through unnoticed.
+"""
+
+from __future__ import annotations
+
+__all__ = ["MemoryBoundGauge", "MemoryBoundViolation"]
+
+
+class MemoryBoundViolation(RuntimeError):
+    """Tool memory exceeded the declared ``N x (B + C)`` budget."""
+
+    def __init__(self, current: int, budget: int, threads: int) -> None:
+        super().__init__(
+            f"tool memory {current} B exceeds the bounded-overhead budget "
+            f"{budget} B ({threads} threads)"
+        )
+        self.current = current
+        self.budget = budget
+        self.threads = threads
+
+
+class MemoryBoundGauge:
+    """Tracks per-thread ``B + C`` occupancy against the declared budget.
+
+    Works with any registry backend — internal counters keep the verdict
+    exact even under the null backend, while a live registry additionally
+    exposes ``membound.*`` gauges/counters in the snapshot.
+
+    Args:
+        registry: metrics registry (live or null) receiving the gauges.
+        per_thread_bytes: the paper's ``B + C`` for one thread.
+        category: accountant category holding the tool's footprint.
+        slack_bytes: tolerated excess (0 — the bound is exact by design).
+        strict: raise :class:`MemoryBoundViolation` instead of counting.
+    """
+
+    def __init__(
+        self,
+        registry,
+        per_thread_bytes: int,
+        *,
+        category: str = "tool",
+        slack_bytes: int = 0,
+        strict: bool = False,
+    ) -> None:
+        if per_thread_bytes <= 0:
+            raise ValueError("per_thread_bytes must be positive")
+        self.per_thread_bytes = per_thread_bytes
+        self.category = category
+        self.slack_bytes = slack_bytes
+        self.strict = strict
+        self.threads = 0
+        self.current_bytes = 0
+        self.violation_count = 0
+        self._g_current = registry.gauge(
+            "membound.tool_bytes", "current tool-category footprint"
+        )
+        self._g_budget = registry.gauge(
+            "membound.budget_bytes", "N x (B + C) budget for current N"
+        )
+        self._g_utilisation = registry.gauge(
+            "membound.utilisation", "tool bytes over budget bytes"
+        )
+        self._c_checks = registry.counter(
+            "membound.checks", "bound evaluations performed"
+        )
+        self._c_violations = registry.counter(
+            "membound.violations", "charges observed above the budget"
+        )
+
+    # -- wiring ---------------------------------------------------------------
+
+    def attach(self, accountant) -> "MemoryBoundGauge":
+        """Subscribe to a :class:`~repro.memory.accounting.NodeMemory`."""
+        accountant.subscribe(self.on_memory_event)
+        return self
+
+    def add_thread(self, n: int = 1) -> None:
+        """Another thread joined the run; the budget grows by ``B + C``."""
+        self.threads += n
+        self._g_budget.set(self.budget_bytes)
+
+    # -- the invariant --------------------------------------------------------
+
+    @property
+    def budget_bytes(self) -> int:
+        return self.threads * self.per_thread_bytes + self.slack_bytes
+
+    @property
+    def ok(self) -> bool:
+        return self.violation_count == 0
+
+    def on_memory_event(self, category: str, delta: int, current: int) -> None:
+        """Accountant feed: one charge/release landed in ``category``."""
+        if category != self.category:
+            return
+        self.observe(current)
+
+    def observe(self, current: int) -> None:
+        """Evaluate the bound against ``current`` tool-category bytes."""
+        self.current_bytes = current
+        budget = self.budget_bytes
+        self._g_current.set(current)
+        self._g_utilisation.set(current / budget if budget else 0.0)
+        self._c_checks.inc()
+        if current > budget:
+            self.violation_count += 1
+            self._c_violations.inc()
+            if self.strict:
+                raise MemoryBoundViolation(current, budget, self.threads)

@@ -1,0 +1,347 @@
+"""The typed metrics registry (counters, gauges, bucketed histograms).
+
+Every pipeline stage reports through one of three instrument types:
+
+* :class:`Counter` — monotonically increasing totals (events logged,
+  buffers flushed, ILP solves);
+* :class:`Gauge` — instantaneous values with a tracked maximum (tool
+  memory in flight, live race count);
+* :class:`Histogram` — bucketed distributions (flush latency,
+  compression ratio, tree-node counts).
+
+Instruments are interned by name, so the logger, the analysis engine, and
+the drivers all update the *same* instrument when they name the same
+metric — that interning is what makes the registry a process-wide schema
+rather than another ad-hoc stats dict.
+
+The **null backend** (:class:`NullRegistry`) hands out a shared no-op
+instrument: hot paths cache the instrument once and then pay a single
+no-op method call per update, so production runs with instrumentation
+disabled measure within noise of uninstrumented code (see
+``benchmarks/test_extension_obs.py``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "SECONDS_BUCKETS",
+    "RATIO_BUCKETS",
+    "COUNT_BUCKETS",
+]
+
+#: Default latency buckets (seconds): 10 µs .. 10 s, decade-ish spaced.
+SECONDS_BUCKETS = (
+    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0
+)
+#: Ratio buckets (compressed/uncompressed, overheads): 0..2x.
+RATIO_BUCKETS = (0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0, 1.25, 1.5, 2.0)
+#: Size-ish buckets (tree nodes per build, events per chunk).
+COUNT_BUCKETS = (1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "help", "_value")
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0
+
+    def inc(self, n: int | float = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self._value += n
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0
+
+    def to_json(self):
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self._value}>"
+
+
+class Gauge:
+    """An instantaneous value; the high-water mark is kept alongside."""
+
+    __slots__ = ("name", "help", "_value", "_max")
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0
+        self._max = 0
+
+    def set(self, value: int | float) -> None:
+        self._value = value
+        if value > self._max:
+            self._max = value
+
+    def inc(self, n: int | float = 1) -> None:
+        self.set(self._value + n)
+
+    def dec(self, n: int | float = 1) -> None:
+        self._value -= n
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+    @property
+    def max(self) -> int | float:
+        return self._max
+
+    def reset(self) -> None:
+        self._value = 0
+        self._max = 0
+
+    def to_json(self) -> dict:
+        return {"value": self._value, "max": self._max}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}={self._value} max={self._max}>"
+
+
+class Histogram:
+    """A bucketed distribution with exact sum/count/min/max.
+
+    ``buckets`` are inclusive upper bounds; an implicit ``+inf`` bucket
+    catches everything beyond the last bound (Prometheus semantics, so
+    the text exposition can emit cumulative ``le`` buckets directly).
+    """
+
+    __slots__ = ("name", "help", "buckets", "counts", "_sum", "_count",
+                 "_min", "_max")
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = SECONDS_BUCKETS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be sorted and non-empty")
+        self.name = name
+        self.help = help
+        self.buckets = tuple(buckets)
+        self.counts = [0] * (len(buckets) + 1)  # + the +inf bucket
+        self._sum = 0.0
+        self._count = 0
+        self._min = None
+        self._max = None
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self._sum += value
+        self._count += 1
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    @property
+    def min(self):
+        return self._min
+
+    @property
+    def max(self):
+        return self._max
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        holding the q-th observation; the exact max for the tail)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank and c:
+                if i < len(self.buckets):
+                    return self.buckets[i]
+                return self._max if self._max is not None else 0.0
+        return self._max if self._max is not None else 0.0
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.buckets) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._min = None
+        self._max = None
+
+    def to_json(self) -> dict:
+        return {
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+            "mean": self.mean,
+            "buckets": [
+                [le, c] for le, c in zip(self.buckets, self.counts)
+            ] + [["+inf", self.counts[-1]]],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} n={self._count} mean={self.mean:.3g}>"
+
+
+class MetricsRegistry:
+    """Process-wide interning store for typed instruments.
+
+    Asking for an instrument registers it on first use and returns the
+    existing one afterwards; asking for the same name with a different
+    type is an error (the schema is the point).
+    """
+
+    enabled = True
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = namespace
+        self._instruments: dict[str, object] = {}
+
+    def _intern(self, cls, name: str, help: str, **kwargs):
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(name, help, **kwargs)
+            self._instruments[name] = inst
+            return inst
+        if not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} is a {inst.kind}, not a {cls.kind}"
+            )
+        return inst
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._intern(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._intern(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] = SECONDS_BUCKETS,
+    ) -> Histogram:
+        return self._intern(Histogram, name, help, buckets=buckets)
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def get(self, name: str):
+        return self._instruments.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def reset(self) -> None:
+        """Zero every instrument, keeping the registrations."""
+        for inst in self._instruments.values():
+            inst.reset()
+
+    def snapshot(self) -> dict:
+        """The shared machine-readable schema (``"metrics"`` in ``--json``)."""
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            out[inst.kind + "s"][name] = inst.to_json()
+        return out
+
+
+class _NullInstrument:
+    """One shared do-nothing instrument for every name and type."""
+
+    __slots__ = ()
+    name = "null"
+    help = ""
+    kind = "null"
+    value = 0
+    max = 0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+    min = None
+
+    def inc(self, n=1) -> None:
+        pass
+
+    def dec(self, n=1) -> None:
+        pass
+
+    def set(self, value) -> None:
+        pass
+
+    def observe(self, value) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def quantile(self, q):
+        return 0.0
+
+    def to_json(self):
+        return None
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """The zero-overhead backend: every instrument is the shared no-op.
+
+    ``snapshot()`` is empty and falsy so callers can test
+    ``if result.metrics:`` to tell an instrumented run from a production
+    one.
+    """
+
+    enabled = False
+
+    def __init__(self, namespace: str = "repro") -> None:
+        super().__init__(namespace)
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def histogram(self, name, help="", buckets=SECONDS_BUCKETS) -> Histogram:
+        return _NULL_INSTRUMENT  # type: ignore[return-value]
+
+    def snapshot(self) -> dict:
+        return {}

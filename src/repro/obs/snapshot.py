@@ -1,0 +1,39 @@
+"""The shared run-stats snapshot (one schema for every driver).
+
+Before this module the serial, distributed, and streaming drivers each
+hand-copied ``tool.stats`` and ``analysis.stats`` fields into
+``result.stats``, so the three modes' schemas could (and did) drift.
+:func:`run_stats` is now the only way a driver builds that dict:
+
+* the tool's own counters are the top level (``events``, ``flushes``,
+  ``accesses``, ...), exactly as the online tools expose them;
+* each analysis phase lands under its mode key (``"offline"``,
+  ``"offline_mt"``, ``"streaming"``) as the *full*
+  :meth:`~repro.offline.engine.AnalysisStats.to_json` schema;
+* driver-specific extras (``evictions``) merge at the top level.
+"""
+
+from __future__ import annotations
+
+__all__ = ["run_stats"]
+
+
+def run_stats(tool=None, *, extra: dict | None = None,
+              analyses: dict | None = None) -> dict:
+    """Assemble one driver's ``result.stats`` dict.
+
+    Args:
+        tool: an online tool exposing a ``stats`` mapping (or None for
+            baseline runs).
+        extra: driver-specific top-level fields.
+        analyses: mode key -> ``AnalysisStats`` (anything with
+            ``to_json()``); each becomes a nested dict under its key.
+    """
+    stats: dict = {}
+    if tool is not None:
+        stats.update(getattr(tool, "stats", {}) or {})
+    if extra:
+        stats.update(extra)
+    for key, phase in (analyses or {}).items():
+        stats[key] = phase.to_json()
+    return stats

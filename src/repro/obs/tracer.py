@@ -1,0 +1,192 @@
+"""The span-based phase tracer.
+
+A *span* is one timed phase of the pipeline — the whole run, the online
+collection, one buffer flush, the offline plan, one tree build.  Spans
+nest per OS thread (each simulated worker runs on its own interpreter
+thread), and the completed set exports as Chrome trace-event JSON: load
+the file at ``chrome://tracing`` / https://ui.perfetto.dev to see the
+online log→compress→flush activity and the offline
+scan→build→compare→ILP phases on one flamegraph timeline.
+
+Like the registry, the tracer has a null twin whose ``span()`` returns a
+shared reusable no-op context manager, so instrumented call sites cost
+~nothing when tracing is off.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["Span", "PhaseTracer", "NullTracer"]
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed phase.  ``start``/``end`` are seconds from tracer epoch."""
+
+    name: str
+    category: str
+    start: float
+    end: float | None = None
+    tid: int = 0
+    depth: int = 0
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+
+class _SpanContext:
+    """Context manager closing one span on exit."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "PhaseTracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, *exc) -> None:
+        self._tracer.end(self.span)
+
+
+class PhaseTracer:
+    """Collects nested spans; exports Chrome trace-event JSON.
+
+    Spans nest per interpreter thread (a stack keyed by thread ident);
+    completed spans land in :attr:`spans` in *end* order, which is the
+    order Chrome's trace viewer expects for complete ("X") events.
+    """
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self._epoch = clock()
+        self._stacks: dict[int, list[Span]] = {}
+        self.spans: list[Span] = []
+
+    # -- recording -------------------------------------------------------------
+
+    def begin(self, name: str, category: str = "phase", **args) -> Span:
+        tid = threading.get_ident()
+        stack = self._stacks.setdefault(tid, [])
+        span = Span(
+            name=name,
+            category=category,
+            start=self._clock() - self._epoch,
+            tid=tid,
+            depth=len(stack),
+            args=dict(args),
+        )
+        stack.append(span)
+        return span
+
+    def end(self, span: Span) -> Span:
+        span.end = self._clock() - self._epoch
+        stack = self._stacks.get(span.tid)
+        if stack and any(s is span for s in stack):
+            # Pop through to this span; abandoned children are closed at
+            # the same timestamp so the trace stays well-formed.
+            while stack:
+                top = stack.pop()
+                if top is span:
+                    break
+                if top.end is None:
+                    top.end = span.end
+                    self.spans.append(top)
+        self.spans.append(span)
+        return span
+
+    def span(self, name: str, category: str = "phase", **args) -> _SpanContext:
+        return _SpanContext(self, self.begin(name, category, **args))
+
+    def reset(self) -> None:
+        self._epoch = self._clock()
+        self._stacks.clear()
+        self.spans.clear()
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def find(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    # -- export ----------------------------------------------------------------
+
+    def to_chrome(self, process_name: str = "repro") -> dict:
+        """The Chrome trace-event JSON object format.
+
+        Emits one complete ("X") event per span with microsecond
+        timestamps, plus metadata naming the process; dense sequential
+        tids keep the viewer's track list readable.
+        """
+        tid_map: dict[int, int] = {}
+        events: list[dict] = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": process_name},
+            }
+        ]
+        for span in self.spans:
+            tid = tid_map.setdefault(span.tid, len(tid_map))
+            event = {
+                "name": span.name,
+                "cat": span.category,
+                "ph": "X",
+                "pid": 0,
+                "tid": tid,
+                "ts": round(span.start * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+            }
+            if span.args:
+                event["args"] = span.args
+            events.append(event)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path: str | Path, process_name: str = "repro") -> None:
+        Path(path).write_text(json.dumps(self.to_chrome(process_name)))
+
+
+class NullTracer:
+    """The disabled tracer: every span is the same reusable no-op."""
+
+    spans: list = []
+
+    def __init__(self) -> None:
+        self._null = nullcontext()
+
+    def begin(self, name: str, category: str = "phase", **args) -> None:
+        return None
+
+    def end(self, span) -> None:
+        return None
+
+    def span(self, name: str, category: str = "phase", **args):
+        return self._null
+
+    def reset(self) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def find(self, name: str) -> list:
+        return []
+
+    def to_chrome(self, process_name: str = "repro") -> dict:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def write_chrome(self, path, process_name: str = "repro") -> None:
+        Path(path).write_text(json.dumps(self.to_chrome(process_name)))

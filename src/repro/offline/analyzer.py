@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 
 from ..common.config import OfflineConfig
+from ..obs import Instrumentation, get_obs
 from ..sword.reader import TraceDir
 from .engine import (
     AnalysisEngine,
@@ -47,11 +48,15 @@ class OfflineAnalyzer:
     """Single-node post-mortem analysis driver."""
 
     def __init__(
-        self, trace: TraceDir, config: OfflineConfig | None = None
+        self,
+        trace: TraceDir,
+        config: OfflineConfig | None = None,
+        obs: Instrumentation | None = None,
     ) -> None:
         self.trace = trace
         self.config = config or OfflineConfig()
-        self.engine = AnalysisEngine(trace, self.config)
+        self.obs = obs or get_obs()
+        self.engine = AnalysisEngine(trace, self.config, obs=self.obs)
 
     @property
     def stats(self) -> AnalysisStats:
@@ -75,19 +80,24 @@ class OfflineAnalyzer:
 
     def analyze(self) -> AnalysisResult:
         """Run the complete offline analysis for this trace."""
-        t0 = time.perf_counter()
-        inventory = IntervalInventory(self.trace)
-        pairs = list(inventory.concurrent_pairs())
-        self.stats.intervals = len(inventory)
-        self.stats.concurrent_pairs = len(pairs)
-        self.stats.plan_seconds = time.perf_counter() - t0
+        registry = self.obs.registry
+        with self.obs.tracer.span("offline", category="offline"):
+            t0 = time.perf_counter()
+            with self.obs.tracer.span("metadata-scan", category="offline"):
+                inventory = IntervalInventory(self.trace)
+                pairs = list(inventory.concurrent_pairs())
+            self.stats.intervals = len(inventory)
+            self.stats.concurrent_pairs = len(pairs)
+            self.stats.plan_seconds = time.perf_counter() - t0
+            registry.gauge("offline.intervals").set(len(inventory))
+            registry.gauge("offline.concurrent_pairs").set(len(pairs))
 
-        races = RaceSet()
-        try:
-            for ia, ib in pairs:
-                self.engine.analyze_pair(ia, ib, races)
-        finally:
-            self._close()
+            races = RaceSet()
+            try:
+                for ia, ib in pairs:
+                    self.engine.analyze_pair(ia, ib, races)
+            finally:
+                self._close()
         self.stats.races_found = len(races)
         return AnalysisResult(races=races, stats=self.stats)
 

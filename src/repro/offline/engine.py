@@ -33,6 +33,12 @@ from ..ilp.bruteforce import bruteforce_overlap
 from ..ilp.overlap import constraint_of, intervals_share_address
 from ..itree.builder import TreeBuilder
 from ..itree.tree import IntervalTree
+from ..obs import (
+    COUNT_BUCKETS,
+    SECONDS_BUCKETS,
+    Instrumentation,
+    get_obs,
+)
 from ..omp.mutexset import MutexSetTable
 from .intervals import IntervalData
 from .report import RaceSet, make_report
@@ -157,13 +163,34 @@ class AnalysisEngine:
         config: OfflineConfig | None = None,
         *,
         tree_cache_capacity: int = 64,
+        obs: Instrumentation | None = None,
     ) -> None:
         self.source = source
         self.config = config or OfflineConfig()
         self.config.validate()
+        self.obs = obs or get_obs()
         self.stats = AnalysisStats()
         self._tree_cache = TreeCache(capacity=tree_cache_capacity)
         self._readers: dict[int, object] = {}
+        registry = self.obs.registry
+        self._m_trees = registry.counter("offline.trees_built")
+        self._m_cache_hits = registry.counter("offline.tree_cache_hits")
+        self._m_events_read = registry.counter("offline.events_read")
+        self._m_candidates = registry.counter("offline.overlap_candidates")
+        self._m_ilp = registry.counter("offline.ilp_solves")
+        self._m_races = registry.gauge("offline.races")
+        self._m_build_seconds = registry.histogram(
+            "offline.tree_build_seconds", "per-interval tree construction",
+            buckets=SECONDS_BUCKETS,
+        )
+        self._m_compare_seconds = registry.histogram(
+            "offline.pair_compare_seconds", "per-pair tree comparison",
+            buckets=SECONDS_BUCKETS,
+        )
+        self._m_tree_nodes = registry.histogram(
+            "offline.tree_nodes", "summarised nodes per built tree",
+            buckets=COUNT_BUCKETS,
+        )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -193,21 +220,31 @@ class AnalysisEngine:
         key = interval.key
         cached = self._tree_cache.get(key)
         if cached is not None:
+            self._m_cache_hits.inc()
             return cached
         t0 = time.perf_counter()
-        builder = TreeBuilder()
-        reader = self._reader(key.gid)
-        for begin, size in interval.chunks:
-            for records in reader.iter_range(begin, size):
-                # Re-chunk to the configured streaming granularity.
-                step = self.config.chunk_events
-                for lo in range(0, records.shape[0], step):
-                    builder.add_records(records[lo : lo + step])
-        tree = builder.finish()
+        with self.obs.tracer.span(
+            "tree-build", category="offline", gid=key.gid,
+            pid=key.pid, bid=key.bid,
+        ):
+            builder = TreeBuilder()
+            reader = self._reader(key.gid)
+            for begin, size in interval.chunks:
+                for records in reader.iter_range(begin, size):
+                    # Re-chunk to the configured streaming granularity.
+                    step = self.config.chunk_events
+                    for lo in range(0, records.shape[0], step):
+                        builder.add_records(records[lo : lo + step])
+            tree = builder.finish()
+        elapsed = time.perf_counter() - t0
         self.stats.trees_built += 1
         self.stats.tree_nodes += len(tree)
         self.stats.events_read += builder.events_in
-        self.stats.build_seconds += time.perf_counter() - t0
+        self.stats.build_seconds += elapsed
+        self._m_trees.inc()
+        self._m_tree_nodes.observe(len(tree))
+        self._m_events_read.inc(builder.events_in)
+        self._m_build_seconds.observe(elapsed)
         self._tree_cache.put(key, tree)
         return tree
 
@@ -314,6 +351,16 @@ class AnalysisEngine:
         """Build both trees and compare them (the unit of scheduling)."""
         tree_a = self.build_tree(ia)
         tree_b = self.build_tree(ib)
+        candidates0 = self.stats.overlap_candidates
+        solves0 = self.stats.ilp_solves
         t0 = time.perf_counter()
-        self.compare_trees(tree_a, tree_b, ia, ib, races, on_race=on_race)
-        self.stats.compare_seconds += time.perf_counter() - t0
+        with self.obs.tracer.span("pair-compare", category="offline"):
+            self.compare_trees(tree_a, tree_b, ia, ib, races, on_race=on_race)
+        elapsed = time.perf_counter() - t0
+        self.stats.compare_seconds += elapsed
+        # Candidate/solve counters mirror at pair grain so the comparison
+        # inner loop stays untouched.
+        self._m_candidates.inc(self.stats.overlap_candidates - candidates0)
+        self._m_ilp.inc(self.stats.ilp_solves - solves0)
+        self._m_compare_seconds.observe(elapsed)
+        self._m_races.set(len(races))

@@ -17,6 +17,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from ..common.config import OfflineConfig
+from ..obs import Instrumentation, get_obs
 from ..sword.reader import TraceDir
 from .analyzer import OfflineAnalyzer
 from .engine import AnalysisEngine, AnalysisResult, AnalysisStats
@@ -70,19 +71,26 @@ def default_workers() -> int:
 class ParallelOfflineAnalyzer:
     """Coordinator for the distributed offline analysis."""
 
-    def __init__(self, trace: TraceDir, config: OfflineConfig) -> None:
+    def __init__(
+        self,
+        trace: TraceDir,
+        config: OfflineConfig,
+        obs: Instrumentation | None = None,
+    ) -> None:
         self.trace = trace
         self.config = config
         self.config.validate()
+        self.obs = obs or get_obs()
 
     def analyze(self) -> AnalysisResult:
         """Plan centrally, compare in parallel, merge race sets."""
         stats = AnalysisStats()
         t0 = time.perf_counter()
-        inventory = IntervalInventory(self.trace)
-        pairs = [
-            (a.key, b.key) for a, b in inventory.concurrent_pairs()
-        ]
+        with self.obs.tracer.span("metadata-scan", category="offline-mt"):
+            inventory = IntervalInventory(self.trace)
+            pairs = [
+                (a.key, b.key) for a, b in inventory.concurrent_pairs()
+            ]
         stats.intervals = len(inventory)
         stats.concurrent_pairs = len(pairs)
         stats.plan_seconds = time.perf_counter() - t0
@@ -91,7 +99,9 @@ class ParallelOfflineAnalyzer:
         nworkers = min(self.config.workers, max(1, len(pairs)))
         if nworkers <= 1 or len(pairs) == 0:
             # Degenerate case: fall back to the serial analyzer.
-            serial = OfflineAnalyzer(self.trace, self.config).analyze()
+            serial = OfflineAnalyzer(
+                self.trace, self.config, obs=self.obs
+            ).analyze()
             return serial
 
         # Round-robin partition keeps per-worker tree reuse high when
@@ -110,20 +120,35 @@ class ParallelOfflineAnalyzer:
             for shard in shards
             if shard
         ]
-        with ProcessPoolExecutor(max_workers=nworkers) as pool:
-            for rows, wstats in pool.map(_run_worker, tasks):
-                for row in rows:
-                    races.add(RaceReport(*row))
-                stats.trees_built += wstats.trees_built
-                stats.tree_nodes += wstats.tree_nodes
-                stats.events_read += wstats.events_read
-                stats.overlap_candidates += wstats.overlap_candidates
-                stats.ilp_solves += wstats.ilp_solves
-                stats.build_seconds = max(
-                    stats.build_seconds, wstats.build_seconds
-                )
-                stats.compare_seconds = max(
-                    stats.compare_seconds, wstats.compare_seconds
-                )
+        with self.obs.tracer.span(
+            "compare-scatter", category="offline-mt", workers=nworkers
+        ):
+            with ProcessPoolExecutor(max_workers=nworkers) as pool:
+                for rows, wstats in pool.map(_run_worker, tasks):
+                    for row in rows:
+                        races.add(RaceReport(*row))
+                    stats.trees_built += wstats.trees_built
+                    stats.tree_nodes += wstats.tree_nodes
+                    stats.events_read += wstats.events_read
+                    stats.overlap_candidates += wstats.overlap_candidates
+                    stats.ilp_solves += wstats.ilp_solves
+                    stats.build_seconds = max(
+                        stats.build_seconds, wstats.build_seconds
+                    )
+                    stats.compare_seconds = max(
+                        stats.compare_seconds, wstats.compare_seconds
+                    )
         stats.races_found = len(races)
+        # Workers run in their own processes; the coordinator mirrors the
+        # merged totals so one registry still tells the whole story.
+        registry = self.obs.registry
+        registry.gauge("offline_mt.workers").set(nworkers)
+        registry.gauge("offline_mt.intervals").set(stats.intervals)
+        registry.gauge("offline_mt.concurrent_pairs").set(
+            stats.concurrent_pairs
+        )
+        registry.counter("offline_mt.trees_built").inc(stats.trees_built)
+        registry.counter("offline_mt.events_read").inc(stats.events_read)
+        registry.counter("offline_mt.ilp_solves").inc(stats.ilp_solves)
+        registry.gauge("offline_mt.races").set(len(races))
         return AnalysisResult(races=races, stats=stats)

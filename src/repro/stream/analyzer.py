@@ -23,6 +23,7 @@ import time
 from pathlib import Path
 
 from ..common.config import OfflineConfig
+from ..obs import Instrumentation, get_obs
 from ..offline.engine import AnalysisEngine, AnalysisResult, AnalysisStats
 from ..offline.intervals import IntervalData
 from ..offline.report import RaceSet
@@ -80,11 +81,26 @@ class StreamingAnalyzer(TraceObserver):
         on_race=None,
         max_pairs: int | None = None,
         tree_cache_capacity: int = 64,
+        obs: Instrumentation | None = None,
     ) -> None:
         self.directory = Path(directory)
         self.config = config or OfflineConfig()
         self.config.validate()
+        self.obs = obs or get_obs()
         self.on_race = on_race
+        registry = self.obs.registry
+        self._m_pairs = registry.counter(
+            "stream.pairs_analyzed", "interval pairs analyzed live"
+        )
+        self._m_skipped = registry.counter(
+            "stream.pairs_skipped", "pairs skipped via checkpoint"
+        )
+        self._m_races = registry.gauge(
+            "stream.races", "confirmed races so far"
+        )
+        self._m_first_race = registry.gauge(
+            "stream.first_race_seconds", "time to first confirmed race"
+        )
         self.checkpoint = (
             Checkpoint(checkpoint_path) if checkpoint_path else None
         )
@@ -117,6 +133,8 @@ class StreamingAnalyzer(TraceObserver):
     def _race_seen(self, report) -> None:
         if self.first_race_seconds is None and self._t0 is not None:
             self.first_race_seconds = time.perf_counter() - self._t0
+            self._m_first_race.set(self.first_race_seconds)
+        self._m_races.set(len(self.races))
         if self.on_race is not None:
             self.on_race(report)
 
@@ -142,6 +160,7 @@ class StreamingAnalyzer(TraceObserver):
             self.source,
             self.config,
             tree_cache_capacity=self._tree_cache_capacity,
+            obs=self.obs,
         )
 
     def on_region(self, pid: int, info: dict) -> None:
@@ -172,11 +191,13 @@ class StreamingAnalyzer(TraceObserver):
                 ia.key, ib.key
             ):
                 self.pairs_skipped += 1
+                self._m_skipped.inc()
                 continue
             self.engine.analyze_pair(
                 ia, ib, self.races, on_race=self._race_seen
             )
             self.pairs_analyzed += 1
+            self._m_pairs.inc()
             if self.checkpoint is not None:
                 self.checkpoint.record(ia.key, ib.key)
                 self._since_save += 1
@@ -212,6 +233,7 @@ def replay_analyze(
     checkpoint_path: str | Path | None = None,
     max_pairs: int | None = None,
     on_race=None,
+    obs: Instrumentation | None = None,
 ) -> AnalysisResult:
     """Run the streaming analyzer over a closed trace (resume path).
 
@@ -227,6 +249,7 @@ def replay_analyze(
         checkpoint_path=checkpoint_path,
         max_pairs=max_pairs,
         on_race=on_race,
+        obs=obs,
     )
     replay_trace(trace, analyzer)
     return analyzer.result()

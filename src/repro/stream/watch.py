@@ -6,6 +6,11 @@ flush-event bus, and confirmed races stream out while the program is
 still going — no separate post-mortem pass.  The wall-clock comparison
 (time to first race vs. run-then-analyze total) is what the streaming
 benchmark measures.
+
+With a live instrumentation bundle the watcher can also emit a periodic
+one-line stats ticker (events, flushes, pairs, races, memory-bound
+utilisation) while the run is in flight — the ``--stats-every`` flag of
+``repro watch``.
 """
 
 from __future__ import annotations
@@ -26,11 +31,13 @@ from ..common.config import (
 )
 from ..common.errors import SimulatedOOMError
 from ..memory.accounting import NodeMemory
+from ..obs import Instrumentation, get_obs, run_stats, stats_line
 from ..offline.report import RaceSet
 from ..omp.runtime import OpenMPRuntime
 from ..sword.logger import SwordTool
 from ..workloads.base import Workload
 from .analyzer import StreamingAnalyzer
+from .bus import TraceObserver
 
 
 @dataclass
@@ -47,6 +54,8 @@ class WatchResult:
     time_to_first_race: Optional[float] = None
     pairs_analyzed: int = 0
     stats: dict = field(default_factory=dict)
+    #: Metrics-registry snapshot (empty under the null backend).
+    metrics: dict = field(default_factory=dict)
 
     @property
     def race_count(self) -> int:
@@ -62,7 +71,32 @@ class WatchResult:
             "time_to_first_race": self.time_to_first_race,
             "pairs_analyzed": self.pairs_analyzed,
             "stats": self.stats,
+            "metrics": self.metrics,
         }
+
+
+class StatsTicker(TraceObserver):
+    """Prints a compact registry stats line at most every ``interval`` s.
+
+    Rides the same flush-event bus as the analyzer, so ticks land at
+    chunk boundaries — the moments the registry was just updated.
+    """
+
+    def __init__(
+        self, obs: Instrumentation, interval: float, emit=print
+    ) -> None:
+        self.obs = obs
+        self.interval = max(0.0, interval)
+        self.emit = emit
+        self.lines = 0
+        self._last = time.perf_counter()
+
+    def on_chunk(self, gid: int, row) -> None:
+        now = time.perf_counter()
+        if now - self._last >= self.interval:
+            self._last = now
+            self.emit(stats_line(self.obs.registry.snapshot()))
+            self.lines += 1
 
 
 def watch(
@@ -78,14 +112,19 @@ def watch(
     keep_trace: bool = False,
     checkpoint_path: Optional[str] = None,
     on_race=None,
+    obs: Optional[Instrumentation] = None,
+    stats_every: Optional[float] = None,
+    on_stats=print,
     **params: Any,
 ) -> WatchResult:
     """Run ``workload`` with a live streaming analyzer subscribed.
 
     ``on_race(report)`` fires as each race is confirmed, while the
-    application is still executing.
+    application is still executing.  ``stats_every`` (seconds) turns on
+    the periodic stats ticker, delivered through ``on_stats(line)``.
     """
     node = node or NodeConfig()
+    obs = obs or get_obs()
     owns_dir = trace_dir is None
     trace_path = Path(trace_dir or tempfile.mkdtemp(prefix="sword-watch-"))
     result = WatchResult(workload=workload.name, nthreads=nthreads)
@@ -93,14 +132,17 @@ def watch(
         config = sword_config or SwordConfig()
         config.log_dir = str(trace_path)
         accountant = NodeMemory(node.memory_limit)
-        tool = SwordTool(config, accountant)
+        tool = SwordTool(config, accountant, obs=obs)
         analyzer = StreamingAnalyzer(
             trace_path,
             offline_config,
             checkpoint_path=checkpoint_path,
             on_race=on_race,
+            obs=obs,
         )
         tool.subscribe(analyzer)
+        if stats_every is not None:
+            tool.subscribe(StatsTicker(obs, stats_every, emit=on_stats))
         rt = OpenMPRuntime(
             RunConfig(
                 nthreads=nthreads,
@@ -111,18 +153,23 @@ def watch(
             accountant=accountant,
         )
         t0 = time.perf_counter()
-        try:
-            rt.run(lambda master: workload.run_program(master, **params))
-        except SimulatedOOMError:
-            result.oom = True
+        with obs.tracer.span(
+            "watch", category="run", workload=workload.name
+        ):
+            try:
+                rt.run(lambda master: workload.run_program(master, **params))
+            except SimulatedOOMError:
+                result.oom = True
         result.elapsed_seconds = time.perf_counter() - t0
         result.time_to_first_race = analyzer.first_race_seconds
         result.pairs_analyzed = analyzer.pairs_analyzed
-        result.stats = dict(tool.stats)
+        analyses = {}
         if not result.oom:
             analysis = analyzer.result()
             result.races = analysis.races
-            result.stats["streaming"] = analysis.stats.to_json()
+            analyses["streaming"] = analysis.stats
+        result.stats = run_stats(tool, analyses=analyses)
+        result.metrics = obs.registry.snapshot()
         return result
     finally:
         if owns_dir and not keep_trace:

@@ -46,6 +46,13 @@ from ..common.events import (
     KIND_PARALLEL_END,
 )
 from ..memory.accounting import NodeMemory
+from ..obs import (
+    RATIO_BUCKETS,
+    SECONDS_BUCKETS,
+    Instrumentation,
+    MemoryBoundGauge,
+    get_obs,
+)
 from ..omp.ompt import OmptTool
 from .buffer import EventBuffer
 from .compression import by_name
@@ -98,10 +105,12 @@ class SwordTool(OmptTool):
         self,
         config: SwordConfig,
         accountant: NodeMemory | None = None,
+        obs: Instrumentation | None = None,
     ) -> None:
         config.validate()
         self.config = config
         self.accountant = accountant
+        self.obs = obs or get_obs()
         self.codec = by_name(config.codec)
         self.dir = Path(config.log_dir)
         self.dir.mkdir(parents=True, exist_ok=True)
@@ -121,6 +130,38 @@ class SwordTool(OmptTool):
             "io_seconds": 0.0,
             "threads": 0,
         }
+        # Registry instruments (cached: one attribute lookup + call per
+        # update, a shared no-op under the null backend).  The hot
+        # per-event counter is mirrored at flush grain, not per event.
+        registry = self.obs.registry
+        self._m_events = registry.counter(
+            "sword.events", "events logged (mirrored per flush)"
+        )
+        self._m_flushes = registry.counter("sword.flushes", "buffers flushed")
+        self._m_bytes_raw = registry.counter(
+            "sword.bytes_uncompressed", "raw event bytes flushed"
+        )
+        self._m_bytes_comp = registry.counter(
+            "sword.bytes_compressed", "compressed bytes written"
+        )
+        self._m_threads = registry.gauge(
+            "sword.threads", "threads with an open trace log"
+        )
+        self._m_flush_seconds = registry.histogram(
+            "sword.flush_seconds", "compress+write latency per flush",
+            buckets=SECONDS_BUCKETS,
+        )
+        self._m_ratio = registry.histogram(
+            "sword.compression_ratio", "compressed/raw bytes per flush",
+            buckets=RATIO_BUCKETS,
+        )
+        # Live N x (B + C) verification: the gauge rides the accountant's
+        # charge feed and re-checks the bound on every tool-memory move.
+        self.membound: MemoryBoundGauge | None = None
+        if accountant is not None:
+            self.membound = MemoryBoundGauge(
+                registry, config.per_thread_bytes, category=NodeMemory.TOOL
+            ).attach(accountant)
 
     # -- flush-event bus --------------------------------------------------------
 
@@ -148,6 +189,10 @@ class SwordTool(OmptTool):
     def _log_for(self, gid: int) -> _ThreadLog:
         log = self._logs.get(gid)
         if log is None:
+            if self.membound is not None:
+                # Grow the budget before the charge lands so the gauge
+                # never sees a spuriously over-budget intermediate state.
+                self.membound.add_thread()
             if self.accountant is not None:
                 self.accountant.charge(
                     NodeMemory.TOOL, self.config.per_thread_bytes
@@ -163,24 +208,34 @@ class SwordTool(OmptTool):
             )
             self._logs[gid] = log
             self.stats["threads"] += 1
+            self._m_threads.set(self.stats["threads"])
         return log
 
     def _flush(self, log: _ThreadLog, records: np.ndarray) -> None:
         """Compress one filled buffer and append it as a framed block."""
         raw = np.ascontiguousarray(records).tobytes()
         t0 = time.perf_counter()
-        payload = self.codec.compress(raw)
-        log.file.write(
-            pack_block_header(
-                log.flushed, len(payload), len(raw), self.codec.codec_id
+        with self.obs.tracer.span("flush", category="online", gid=log.gid):
+            payload = self.codec.compress(raw)
+            log.file.write(
+                pack_block_header(
+                    log.flushed, len(payload), len(raw), self.codec.codec_id
+                )
             )
-        )
-        log.file.write(payload)
-        self.stats["io_seconds"] += time.perf_counter() - t0
+            log.file.write(payload)
+        elapsed = time.perf_counter() - t0
+        self.stats["io_seconds"] += elapsed
         self.stats["flushes"] += 1
         self.stats["bytes_uncompressed"] += len(raw)
         self.stats["bytes_compressed"] += len(payload)
         log.flushed += len(raw)
+        self._m_events.inc(int(records.shape[0]))
+        self._m_flushes.inc()
+        self._m_bytes_raw.inc(len(raw))
+        self._m_bytes_comp.inc(len(payload))
+        self._m_flush_seconds.observe(elapsed)
+        if raw:
+            self._m_ratio.observe(len(payload) / len(raw))
 
     def _close_chunk(self, log: _ThreadLog) -> None:
         """Emit a Table-I row for the current tracker's open chunk."""
@@ -324,6 +379,10 @@ class SwordTool(OmptTool):
 
     def finalize(self) -> None:
         """Flush buffers, write meta files and run-wide tables."""
+        with self.obs.tracer.span("finalize", category="online"):
+            self._finalize()
+
+    def _finalize(self) -> None:
         for log in self._logs.values():
             log.buffer.flush()
             log.file.close()

@@ -65,3 +65,31 @@ def test_snapshot():
 def test_zero_limit_rejected():
     with pytest.raises(ValueError):
         NodeMemory(limit=0)
+
+
+def test_observer_feed():
+    mem = NodeMemory(limit=1000)
+    seen = []
+    mem.subscribe(lambda cat, delta, current: seen.append((cat, delta, current)))
+    mem.charge("tool", 100)
+    mem.charge("app", 50)
+    mem.release("tool", 40)
+    assert seen == [("tool", 100, 100), ("app", 50, 50), ("tool", -40, 60)]
+
+
+def test_observer_not_called_on_failed_charge():
+    mem = NodeMemory(limit=100)
+    seen = []
+    mem.subscribe(lambda *event: seen.append(event))
+    with pytest.raises(SimulatedOOMError):
+        mem.charge("app", 200)
+    assert seen == []
+
+
+def test_observer_may_read_accountant():
+    mem = NodeMemory(limit=1000)
+    totals = []
+    mem.subscribe(lambda cat, delta, current: totals.append(mem.current()))
+    mem.charge("app", 10)
+    mem.charge("app", 20)
+    assert totals == [10, 30]

@@ -1,0 +1,82 @@
+"""Exporters: JSON snapshot, Prometheus text exposition, the stats line."""
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    get_obs,
+    live,
+    prometheus_text,
+    set_obs,
+    stats_line,
+    write_json,
+)
+from repro.obs.registry import NullRegistry
+
+
+def _sample_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("sword.events").inc(42)
+    reg.gauge("sword.threads").set(4)
+    h = reg.histogram("sword.flush_seconds", buckets=(0.001, 0.01))
+    h.observe(0.0005)
+    h.observe(0.5)
+    return reg
+
+
+def test_write_json_roundtrip(tmp_path):
+    reg = _sample_registry()
+    path = tmp_path / "metrics.json"
+    write_json(reg.snapshot(), path)
+    loaded = json.loads(path.read_text())
+    assert loaded == reg.snapshot()
+
+
+def test_prometheus_counters_and_gauges():
+    text = prometheus_text(_sample_registry().snapshot())
+    assert "# TYPE repro_sword_events_total counter" in text
+    assert "repro_sword_events_total 42" in text
+    assert "repro_sword_threads 4" in text
+    assert "repro_sword_threads_max 4" in text
+
+
+def test_prometheus_histogram_cumulative():
+    text = prometheus_text(_sample_registry().snapshot())
+    lines = [l for l in text.splitlines() if "flush_seconds_bucket" in l]
+    assert lines == [
+        'repro_sword_flush_seconds_bucket{le="0.001"} 1',
+        'repro_sword_flush_seconds_bucket{le="0.01"} 1',
+        'repro_sword_flush_seconds_bucket{le="+Inf"} 2',
+    ]
+    assert "repro_sword_flush_seconds_count 2" in text
+
+
+def test_prometheus_empty_snapshot():
+    assert prometheus_text(NullRegistry().snapshot()) == ""
+
+
+def test_stats_line_picks_known_fields():
+    reg = MetricsRegistry()
+    reg.counter("sword.events").inc(10)
+    reg.counter("sword.flushes").inc(2)
+    reg.gauge("stream.races").set(3)
+    line = stats_line(reg.snapshot())
+    assert line.startswith("[stats] ")
+    assert "events=10" in line
+    assert "flushes=2" in line
+    assert "races=3" in line
+
+
+def test_stats_line_empty():
+    assert "no metrics" in stats_line({})
+
+
+def test_ambient_obs_default_and_install():
+    assert not get_obs().enabled  # null by default
+    bundle = live()
+    previous = set_obs(bundle)
+    try:
+        assert get_obs() is bundle
+    finally:
+        set_obs(previous)
+    assert not get_obs().enabled

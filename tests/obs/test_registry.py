@@ -1,0 +1,142 @@
+"""Registry semantics: typed instruments, interning, reset, null no-op."""
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_reset(self):
+        c = Counter("x")
+        c.inc(3)
+        c.reset()
+        assert c.value == 0
+
+
+class TestGauge:
+    def test_set_tracks_max(self):
+        g = Gauge("x")
+        g.set(10)
+        g.set(4)
+        assert g.value == 4
+        assert g.max == 10
+
+    def test_inc_dec(self):
+        g = Gauge("x")
+        g.inc(3)
+        g.inc(2)
+        g.dec(4)
+        assert g.value == 1
+        assert g.max == 5
+
+
+class TestHistogram:
+    def test_bucketing(self):
+        h = Histogram("x", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.counts == [1, 2, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(560.5)
+        assert h.min == 0.5
+        assert h.max == 500.0
+
+    def test_mean_and_quantile(self):
+        h = Histogram("x", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 5.0, 50.0):
+            h.observe(v)
+        assert h.mean == pytest.approx(60.5 / 4)
+        assert h.quantile(0.5) == 10.0     # bucket upper bound
+        assert h.quantile(1.0) == 100.0
+
+    def test_overflow_quantile_uses_observed_max(self):
+        h = Histogram("x", buckets=(1.0,))
+        h.observe(7.0)
+        assert h.quantile(1.0) == 7.0
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("x", buckets=(2.0, 1.0))
+
+    def test_empty(self):
+        h = Histogram("x")
+        assert h.mean == 0.0
+        assert h.quantile(0.9) == 0.0
+
+    def test_to_json_has_inf_bucket(self):
+        h = Histogram("x", buckets=(1.0,))
+        h.observe(5.0)
+        data = h.to_json()
+        assert data["buckets"][-1] == ["+inf", 1]
+
+
+class TestRegistry:
+    def test_interning_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_type_clash_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_reset_keeps_registrations(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(3)
+        reg.gauge("g").set(2)
+        reg.reset()
+        assert "a" in reg and "g" in reg
+        assert reg.counter("a").value == 0
+        assert reg.gauge("g").value == 0
+
+    def test_snapshot_schema(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(7)
+        reg.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["gauges"] == {"g": {"value": 7, "max": 7}}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert reg.enabled
+
+
+class TestNullRegistry:
+    def test_all_instruments_are_noop(self):
+        reg = NullRegistry()
+        c = reg.counter("a")
+        c.inc(100)
+        g = reg.gauge("g")
+        g.set(5)
+        h = reg.histogram("h")
+        h.observe(1.0)
+        assert c.value == 0
+        assert g.value == 0
+        assert h.count == 0
+
+    def test_shared_instrument(self):
+        reg = NullRegistry()
+        assert reg.counter("a") is reg.counter("b") is reg.gauge("c")
+
+    def test_snapshot_empty_and_disabled(self):
+        reg = NullRegistry()
+        reg.counter("a").inc()
+        assert reg.snapshot() == {}
+        assert not reg.enabled

@@ -1,0 +1,64 @@
+"""The shared run-stats schema used by every driver."""
+
+import json
+
+from repro.harness.tools import driver
+from repro.obs import live, run_stats
+from repro.offline.engine import AnalysisStats
+from repro.stream.watch import watch
+from repro.workloads import REGISTRY
+
+
+def test_run_stats_merges_layers():
+    class FakeTool:
+        stats = {"events": 5, "flushes": 1}
+
+    analysis = AnalysisStats(intervals=3, trees_built=2)
+    stats = run_stats(
+        FakeTool(), extra={"evictions": 7}, analyses={"offline": analysis}
+    )
+    assert stats["events"] == 5
+    assert stats["evictions"] == 7
+    assert stats["offline"]["intervals"] == 3
+    assert stats["offline"]["trees_built"] == 2
+
+
+def test_run_stats_baseline():
+    assert run_stats(None) == {}
+
+
+def test_driver_modes_share_schema():
+    """Serial, distributed, and streaming stats all carry the full
+    AnalysisStats schema under their mode key — the drift the shared
+    helper exists to prevent."""
+    w = REGISTRY.get("plusplus-orig-yes")
+    serial = driver("sword").run(w, nthreads=2)
+    mt = driver("sword").run(w, nthreads=2, mt_workers=2)
+    watched = watch(w, nthreads=2)
+
+    expected = set(AnalysisStats().to_json())
+    assert set(serial.stats["offline"]) == expected
+    assert set(mt.stats["offline_mt"]) == expected
+    assert set(watched.stats["streaming"]) == expected
+    # The online half is identical across sword modes.
+    for key in ("events", "flushes", "bytes_compressed", "threads"):
+        assert key in serial.stats and key in watched.stats
+
+
+def test_archer_stats_keep_evictions():
+    w = REGISTRY.get("plusplus-orig-yes")
+    result = driver("archer").run(w, nthreads=2)
+    assert "evictions" in result.stats
+    assert result.stats["accesses"] > 0
+
+
+def test_metrics_snapshot_on_result():
+    w = REGISTRY.get("plusplus-orig-yes")
+    obs = live()
+    result = driver("sword").run(w, nthreads=2, obs=obs)
+    assert result.metrics  # live backend -> non-empty snapshot
+    assert result.metrics["counters"]["sword.events"] == result.stats["events"]
+    json.dumps(result.metrics)  # JSON-serialisable end to end
+
+    plain = driver("sword").run(w, nthreads=2)
+    assert plain.metrics == {}  # ambient null backend

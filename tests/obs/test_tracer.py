@@ -1,0 +1,122 @@
+"""Phase-tracer semantics: nesting, ordering, Chrome trace export."""
+
+import json
+
+from repro.obs.tracer import NullTracer, PhaseTracer
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``step``."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def test_span_context_times_phase():
+    tracer = PhaseTracer(clock=FakeClock())
+    with tracer.span("work") as span:
+        pass
+    assert span.end is not None
+    assert span.duration > 0
+    assert tracer.find("work") == [span]
+
+
+def test_nesting_depth_and_end_order():
+    tracer = PhaseTracer(clock=FakeClock())
+    with tracer.span("outer"):
+        with tracer.span("inner-1"):
+            pass
+        with tracer.span("inner-2"):
+            pass
+    names = [s.name for s in tracer.spans]
+    # Completed spans land in end order: children before the parent.
+    assert names == ["inner-1", "inner-2", "outer"]
+    depths = {s.name: s.depth for s in tracer.spans}
+    assert depths == {"outer": 0, "inner-1": 1, "inner-2": 1}
+
+
+def test_nested_spans_contained_in_parent():
+    tracer = PhaseTracer(clock=FakeClock())
+    with tracer.span("outer"):
+        with tracer.span("inner"):
+            pass
+    inner = tracer.find("inner")[0]
+    outer = tracer.find("outer")[0]
+    assert outer.start <= inner.start
+    assert inner.end <= outer.end
+
+
+def test_abandoned_children_closed_with_parent():
+    tracer = PhaseTracer(clock=FakeClock())
+    outer = tracer.begin("outer")
+    tracer.begin("leaked")
+    tracer.end(outer)
+    leaked = tracer.find("leaked")[0]
+    assert leaked.end == outer.end
+
+
+def test_span_args_recorded():
+    tracer = PhaseTracer(clock=FakeClock())
+    with tracer.span("flush", category="online", gid=3):
+        pass
+    span = tracer.find("flush")[0]
+    assert span.category == "online"
+    assert span.args == {"gid": 3}
+
+
+def test_chrome_export_shape(tmp_path):
+    tracer = PhaseTracer(clock=FakeClock())
+    with tracer.span("outer", category="run"):
+        with tracer.span("inner", category="offline", n=1):
+            pass
+    path = tmp_path / "trace.json"
+    tracer.write_chrome(path)
+    doc = json.loads(path.read_text())
+    events = doc["traceEvents"]
+    assert events[0]["ph"] == "M"  # process-name metadata
+    xs = [e for e in events if e["ph"] == "X"]
+    assert {e["name"] for e in xs} == {"outer", "inner"}
+    for e in xs:
+        assert set(e) >= {"name", "cat", "ph", "pid", "tid", "ts", "dur"}
+        assert e["dur"] >= 0
+    inner = next(e for e in xs if e["name"] == "inner")
+    outer = next(e for e in xs if e["name"] == "outer")
+    # Microsecond timestamps, containment preserved.
+    assert outer["ts"] <= inner["ts"]
+    assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"]
+    assert inner["args"] == {"n": 1}
+
+
+def test_reset():
+    tracer = PhaseTracer(clock=FakeClock())
+    with tracer.span("a"):
+        pass
+    tracer.reset()
+    assert len(tracer) == 0
+
+
+def test_null_tracer_is_inert(tmp_path):
+    tracer = NullTracer()
+    with tracer.span("anything", category="x", k=1):
+        pass
+    assert len(tracer) == 0
+    assert tracer.find("anything") == []
+    path = tmp_path / "null.json"
+    tracer.write_chrome(path)
+    assert json.loads(path.read_text())["traceEvents"] == []
+
+
+def test_null_span_reusable():
+    tracer = NullTracer()
+    cm = tracer.span("a")
+    with cm:
+        with tracer.span("b"):
+            pass
+    with cm:
+        pass

@@ -1,0 +1,81 @@
+"""Cross-cutting wiring: tools, engine, and drivers on one live bundle."""
+
+from repro.harness.tools import driver
+from repro.obs import live
+from repro.stream.watch import watch
+from repro.workloads import REGISTRY
+
+
+def _span_names(obs):
+    return [s.name for s in obs.tracer.spans]
+
+
+def test_sword_run_produces_nested_online_offline_spans():
+    obs = live()
+    driver("sword").run(REGISTRY.get("plusplus-orig-yes"), nthreads=2, obs=obs)
+    names = _span_names(obs)
+    assert "online" in names and "offline" in names
+    online = obs.tracer.find("online")[0]
+    offline = obs.tracer.find("offline")[0]
+    # Dynamic phase precedes the post-mortem analysis.
+    assert online.end <= offline.start
+    # The logger's flush spans nest inside the online phase...
+    for flush in obs.tracer.find("flush"):
+        assert online.start <= flush.start and flush.end <= online.end
+    # ...and tree builds inside the offline phase.
+    builds = obs.tracer.find("tree-build")
+    assert builds
+    for build in builds:
+        assert offline.start <= build.start and build.end <= offline.end
+
+
+def test_registry_mirrors_engine_stats():
+    obs = live()
+    result = driver("sword").run(
+        REGISTRY.get("plusplus-orig-yes"), nthreads=2, obs=obs
+    )
+    counters = obs.registry.snapshot()["counters"]
+    offline = result.stats["offline"]
+    assert counters["offline.trees_built"] == offline["trees_built"]
+    assert counters["offline.events_read"] == offline["events_read"]
+    assert counters["offline.ilp_solves"] == offline["ilp_solves"]
+    assert counters["sword.events"] == result.stats["events"]
+    assert counters["sword.flushes"] == result.stats["flushes"]
+    hist = obs.registry.snapshot()["histograms"]
+    assert hist["offline.tree_build_seconds"]["count"] == offline["trees_built"]
+
+
+def test_archer_run_publishes_batch_metrics():
+    obs = live()
+    result = driver("archer").run(
+        REGISTRY.get("plusplus-orig-yes"), nthreads=2, obs=obs
+    )
+    counters = obs.registry.snapshot()["counters"]
+    assert counters["archer.accesses"] == result.stats["accesses"]
+    assert counters["archer.sync_ops"] == result.stats["sync_ops"]
+    assert counters["archer.evictions"] == result.stats["evictions"]
+
+
+def test_watch_streams_metrics_and_ticker():
+    obs = live()
+    lines = []
+    result = watch(
+        REGISTRY.get("c_md"),
+        nthreads=2,
+        obs=obs,
+        stats_every=0.0,
+        on_stats=lines.append,
+    )
+    assert result.metrics["counters"]["stream.pairs_analyzed"] > 0
+    assert (
+        result.metrics["gauges"]["stream.races"]["value"] == result.race_count
+    )
+    assert lines and all(line.startswith("[stats]") for line in lines)
+    # Ticker lines carry live values from the shared registry.
+    assert any("races=" in line for line in lines)
+
+
+def test_watch_without_obs_pays_nothing():
+    result = watch(REGISTRY.get("plusplus-orig-yes"), nthreads=2)
+    assert result.metrics == {}
+    assert result.race_count == 2

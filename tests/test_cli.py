@@ -39,12 +39,64 @@ def test_check_oom_exit_code(capsys):
     assert "OUT OF MEMORY" in capsys.readouterr().out
 
 
+def test_list_workloads_json(capsys):
+    assert main(["list-workloads", "--suite", "hpc", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert any(w["name"] == "hpccg" for w in payload)
+    assert {"name", "suite", "racy", "seeded_races", "archer_misses"} <= set(
+        payload[0]
+    )
+
+
 def test_check_json(capsys):
     assert main(["check", "plusplus-orig-yes", "--threads", "2", "--json"]) == 0
     payload = json.loads(capsys.readouterr().out)
     assert payload["tool"] == "sword"
     assert len(payload["races"]) == 2
     assert {"pc_a", "pc_b", "address", "description"} <= set(payload["races"][0])
+    # The shared metrics schema rides along under a stable key.
+    metrics = payload["metrics"]
+    assert set(metrics) == {"counters", "gauges", "histograms"}
+    assert metrics["counters"]["sword.events"] == payload["stats"]["events"]
+    assert metrics["counters"]["membound.violations"] == 0
+    assert payload["stats"]["offline"]["intervals"] > 0
+
+
+def test_check_metrics_and_trace_events(tmp_path, capsys):
+    metrics_path = tmp_path / "metrics.json"
+    trace_path = tmp_path / "trace.json"
+    assert (
+        main(
+            [
+                "check", "plusplus-orig-yes", "--threads", "2",
+                "--metrics", str(metrics_path),
+                "--trace-events", str(trace_path),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["counters"]["sword.events"] > 0
+    trace = json.loads(trace_path.read_text())
+    names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+    # Nested online and offline phases are both on the timeline.
+    assert {"online", "offline", "flush", "tree-build"} <= names
+
+
+def test_check_metrics_prometheus(tmp_path, capsys):
+    prom_path = tmp_path / "metrics.prom"
+    assert (
+        main(
+            ["check", "plusplus-orig-yes", "--threads", "2",
+             "--metrics", str(prom_path)]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    text = prom_path.read_text()
+    assert "repro_sword_events_total" in text
+    assert 'le="+Inf"' in text
 
 
 def test_watch_prints_live_races(capsys):
@@ -61,6 +113,17 @@ def test_watch_json(capsys):
     assert len(payload["races"]) == 2
     assert payload["time_to_first_race"] is not None
     assert payload["pairs_analyzed"] > 0
+    assert payload["metrics"]["counters"]["stream.pairs_analyzed"] > 0
+    assert set(payload["stats"]["streaming"]) >= {"intervals", "races_found"}
+
+
+def test_watch_stats_ticker(capsys):
+    assert (
+        main(["watch", "c_md", "--threads", "2", "--stats-every", "0"]) == 0
+    )
+    out = capsys.readouterr().out
+    assert "[stats]" in out
+    assert "events=" in out
 
 
 def test_unknown_experiment(capsys):
@@ -88,3 +151,12 @@ def test_analyze_trace(tmp_path, capsys):
     payload = json.loads(capsys.readouterr().out)
     assert len(payload["races"]) == 1
     assert payload["stats"]["intervals"] > 0
+    assert payload["metrics"]["counters"]["offline.trees_built"] > 0
+    capsys.readouterr()
+    events_path = tmp_path / "trace-events.json"
+    assert (
+        main(["analyze", str(trace), "--trace-events", str(events_path)]) == 0
+    )
+    doc = json.loads(events_path.read_text())
+    names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert {"analyze", "offline", "tree-build"} <= names
