@@ -13,10 +13,10 @@ Run:  python examples/offline_cluster_analysis.py
 import tempfile
 import time
 
-from repro.common.config import OfflineConfig, RunConfig, SchedulerConfig, SwordConfig
-from repro.offline import OfflineAnalyzer, ParallelOfflineAnalyzer
+import repro.api as sword
+from repro.common.config import RunConfig, SchedulerConfig, SwordConfig
 from repro.omp import OpenMPRuntime
-from repro.sword import SwordTool, TraceDir
+from repro.sword import SwordTool
 from repro.workloads import REGISTRY
 
 
@@ -32,15 +32,15 @@ def main():
     runtime.run(lambda m: workload.run_program(m))
 
     t0 = time.perf_counter()
-    serial = OfflineAnalyzer(TraceDir(trace_dir)).analyze()
+    serial = sword.analyze(trace_dir, mode="serial")
     serial_secs = time.perf_counter() - t0
     print(f"serial OA: {serial.race_count} races in {serial_secs:.2f}s "
           f"({serial.stats.concurrent_pairs} concurrent interval pairs)")
 
     t1 = time.perf_counter()
-    parallel = ParallelOfflineAnalyzer(
-        TraceDir(trace_dir), OfflineConfig(workers=4)
-    ).analyze()
+    parallel = sword.analyze(
+        trace_dir, mode="parallel", options=sword.AnalysisOptions(workers=4)
+    )
     mt_secs = time.perf_counter() - t1
     print(f"MT (4 workers): {parallel.race_count} races in {mt_secs:.2f}s")
 

@@ -14,9 +14,9 @@ Run:  python examples/quickstart.py
 
 import tempfile
 
+import repro.api as sword
 from repro.common.config import RunConfig, SchedulerConfig, SwordConfig
 from repro.common.sourceloc import pc_of
-from repro.offline import analyze_trace
 from repro.omp import OpenMPRuntime
 from repro.sword import SwordTool
 
@@ -54,7 +54,7 @@ def main():
 
     # Offline phase: reconstruct concurrency, build interval trees, solve
     # overlaps, report races.
-    result = analyze_trace(trace_dir)
+    result = sword.analyze(trace_dir)
     print(f"analysis: {result.stats.intervals} intervals, "
           f"{result.stats.concurrent_pairs} concurrent pairs, "
           f"{result.stats.tree_nodes} tree nodes")

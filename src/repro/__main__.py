@@ -9,16 +9,18 @@ Commands:
   analyzer attached, printing races as they are confirmed mid-run;
 * ``experiment <id> [--fast]``        — regenerate one paper table/figure
   (E1..E10, see DESIGN.md);
-* ``analyze <trace-dir> [--workers N]`` — offline-analyze an existing
+* ``analyze <trace-dir> [--mode M]``  — offline-analyze an existing
   SWORD trace directory.
 
-Every subcommand accepts ``--json`` for a machine-readable report (the
-shared races/stats schema; runs include the metrics snapshot under the
-``"metrics"`` key).  ``check``, ``watch``, and ``analyze`` additionally
-take ``--metrics <path>`` (write the metrics snapshot as JSON, or
-Prometheus text with a ``.prom`` suffix) and ``--trace-events <path>``
-(write a Chrome trace-event file of the run's nested phases — open it at
-``chrome://tracing`` or https://ui.perfetto.dev).
+Every subcommand routes through :mod:`repro.api` and accepts ``--json``
+for a machine-readable report (the shared races/stats schema, versioned
+by a top-level ``"schema_version"`` key — see DESIGN.md; runs include
+the metrics snapshot under the ``"metrics"`` key).  ``check``,
+``watch``, and ``analyze`` additionally take ``--metrics <path>`` (write
+the metrics snapshot as JSON, or Prometheus text with a ``.prom``
+suffix) and ``--trace-events <path>`` (write a Chrome trace-event file
+of the run's nested phases — open it at ``chrome://tracing`` or
+https://ui.perfetto.dev).
 """
 
 from __future__ import annotations
@@ -27,13 +29,12 @@ import argparse
 import json
 import sys
 
+from . import api
 from . import obs as obslib
-from .common.config import NodeConfig, OfflineConfig
 from .harness.tables import fmt_bytes, fmt_seconds
-from .harness.tools import TOOL_NAMES, driver
+from .harness.tools import TOOL_NAMES
 from .obs import prometheus_text, write_json
-from .offline import OfflineAnalyzer, ParallelOfflineAnalyzer
-from .sword import TraceDir
+from .offline.options import AnalysisOptions, FastPathOptions
 from .workloads import REGISTRY
 
 
@@ -79,6 +80,11 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _print_json(payload: dict) -> None:
+    payload["schema_version"] = api.JSON_SCHEMA_VERSION
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
 def cmd_list_workloads(args: argparse.Namespace) -> int:
     workloads = REGISTRY.suite(args.suite) if args.suite else list(REGISTRY)
     if args.json:
@@ -109,39 +115,34 @@ def cmd_list_workloads(args: argparse.Namespace) -> int:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
-    workload = REGISTRY.get(args.workload)
     obs = _make_obs(args)
-    result = driver(args.tool).run(
-        workload,
+    result = api.detect(
+        args.workload,
+        tool=args.tool,
         nthreads=args.threads,
         seed=args.seed,
-        node=NodeConfig(),
         obs=obs,
     )
     _export_obs(args, obs)
     if args.json:
-        print(
-            json.dumps(
-                {
-                    "workload": result.workload,
-                    "tool": result.tool,
-                    "nthreads": result.nthreads,
-                    "oom": result.oom,
-                    "races": (
-                        result.races.to_json()
-                        if result.races is not None
-                        else None
-                    ),
-                    "dynamic_seconds": result.dynamic_seconds,
-                    "offline_seconds": result.offline_seconds,
-                    "app_bytes": result.app_bytes,
-                    "tool_bytes": result.tool_bytes,
-                    "stats": result.stats,
-                    "metrics": result.metrics,
-                },
-                indent=2,
-                sort_keys=True,
-            )
+        _print_json(
+            {
+                "workload": result.workload,
+                "tool": result.tool,
+                "nthreads": result.nthreads,
+                "oom": result.oom,
+                "races": (
+                    result.races.to_json()
+                    if result.races is not None
+                    else None
+                ),
+                "dynamic_seconds": result.dynamic_seconds,
+                "offline_seconds": result.offline_seconds,
+                "app_bytes": result.app_bytes,
+                "tool_bytes": result.tool_bytes,
+                "stats": result.stats,
+                "metrics": result.metrics,
+            }
         )
         return 2 if result.oom else 0
     if result.oom:
@@ -163,17 +164,14 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def cmd_watch(args: argparse.Namespace) -> int:
-    from .stream import watch
-
-    workload = REGISTRY.get(args.workload)
     obs = _make_obs(args)
 
     def live_feed(report) -> None:
         if not args.json:
             print(f"  [live] {report.describe()}", flush=True)
 
-    result = watch(
-        workload,
+    result = api.watch(
+        args.workload,
         nthreads=args.threads,
         seed=args.seed,
         on_race=live_feed,
@@ -183,7 +181,7 @@ def cmd_watch(args: argparse.Namespace) -> int:
     )
     _export_obs(args, obs)
     if args.json:
-        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+        _print_json(result.to_json())
         return 2 if result.oom else 0
     if result.oom:
         print("watch ran OUT OF MEMORY on the simulated node")
@@ -228,20 +226,24 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
-    trace = TraceDir(args.trace_dir)
     obs = _make_obs(args)
+    options = AnalysisOptions(
+        workers=args.workers,
+        fastpath=FastPathOptions(
+            enabled=not args.no_fastpath,
+            result_cache=bool(args.cache or args.cache_dir),
+            cache_dir=args.cache_dir,
+        ),
+    )
     with obs.tracer.span("analyze", category="run"):
-        if args.workers > 1:
-            result = ParallelOfflineAnalyzer(
-                trace, OfflineConfig(workers=args.workers), obs=obs
-            ).analyze()
-        else:
-            result = OfflineAnalyzer(trace, obs=obs).analyze()
+        result = api.analyze(
+            args.trace_dir, mode=args.mode, options=options, obs=obs
+        )
     _export_obs(args, obs)
     if args.json:
         payload = result.to_json()
         payload["metrics"] = obs.registry.snapshot()
-        print(json.dumps(payload, indent=2, sort_keys=True))
+        _print_json(payload)
         return 0
     stats = result.stats
     print(
@@ -295,7 +297,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("analyze", help="offline-analyze a trace directory")
     p.add_argument("trace_dir")
+    p.add_argument(
+        "--mode",
+        choices=list(api.ANALYSIS_MODES),
+        default="auto",
+        help="analysis strategy (auto: parallel when --workers > 1)",
+    )
     p.add_argument("--workers", type=int, default=1)
+    p.add_argument(
+        "--no-fastpath",
+        action="store_true",
+        help="disable digest pruning and solver memoization",
+    )
+    p.add_argument(
+        "--cache",
+        action="store_true",
+        help="persist per-interval trees and pair verdicts next to the trace",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="result-cache location (implies --cache)",
+    )
     _add_obs_flags(p)
     p.set_defaults(func=cmd_analyze)
 

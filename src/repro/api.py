@@ -1,0 +1,256 @@
+"""The supported public API: detect, analyze, watch, and Session.
+
+One facade over the whole pipeline.  Every flow the CLI exposes routes
+through here, and the per-mode analyzer classes are implementation
+detail (their legacy names — ``OfflineAnalyzer``,
+``ParallelOfflineAnalyzer``, ``StreamingAnalyzer`` — still work but emit
+:class:`DeprecationWarning`).
+
+Quick tour::
+
+    import repro.api as sword
+
+    # Run a registered workload under a tool and get races + overheads.
+    result = sword.detect("c_md", tool="sword", nthreads=8)
+
+    # Post-mortem analysis of an existing trace directory.
+    analysis = sword.analyze("/tmp/trace", mode="parallel",
+                             options=sword.AnalysisOptions(workers=4))
+
+    # Watch mode: races stream out while the program runs.
+    watched = sword.watch(my_workload, nthreads=8,
+                          on_race=lambda r: print(r.describe()))
+
+    # Incremental session over a trace you produce yourself.
+    with sword.Session(trace_dir) as session:
+        tool = SwordTool(SwordConfig(log_dir=str(trace_dir)))
+        session.attach(tool)
+        ...  # run the program under `tool`
+        print(session.result().races.describe_all())
+
+All three analysis modes produce byte-identical race sets, with the
+pair-analysis fast path on (the default) or off — see
+:class:`~repro.offline.options.FastPathOptions`.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+from .common.config import NodeConfig
+from .harness.tools import RunResult, driver
+from .obs import Instrumentation
+from .offline.analyzer import SerialOfflineAnalyzer
+from .offline.engine import AnalysisResult
+from .offline.options import AnalysisOptions, FastPathOptions
+from .offline.parallel import DistributedOfflineAnalyzer, default_workers
+from .offline.report import RaceSet
+from .stream.analyzer import StreamAnalyzer
+from .stream.bus import replay_trace
+from .stream.watch import WatchResult
+from .stream.watch import watch as _watch
+from .sword.reader import TraceDir
+from .workloads import REGISTRY
+from .workloads.base import Workload
+
+__all__ = [
+    "JSON_SCHEMA_VERSION",
+    "AnalysisOptions",
+    "AnalysisResult",
+    "FastPathOptions",
+    "RunResult",
+    "Session",
+    "WatchResult",
+    "analyze",
+    "detect",
+    "watch",
+]
+
+#: Version of every ``--json`` payload the CLI emits (check/analyze/
+#: watch).  Bumped on any breaking change to the payload layout; the
+#: schema itself is documented in DESIGN.md.
+JSON_SCHEMA_VERSION = 2
+
+ANALYSIS_MODES = ("auto", "serial", "parallel", "streaming")
+
+
+def _resolve_workload(workload: Union[str, Workload]) -> Workload:
+    if isinstance(workload, str):
+        return REGISTRY.get(workload)
+    return workload
+
+
+def detect(
+    workload: Union[str, Workload],
+    *,
+    tool: str = "sword",
+    nthreads: int = 8,
+    seed: int = 0,
+    node: Optional[NodeConfig] = None,
+    options: Optional[AnalysisOptions] = None,
+    obs: Optional[Instrumentation] = None,
+    **params,
+) -> RunResult:
+    """Run one workload under one tool and return races + overheads.
+
+    ``workload`` is a registry name (see ``repro.workloads.REGISTRY``) or
+    a :class:`Workload` instance.  ``options`` tunes SWORD's offline
+    phase (ignored by the other tools, which have no offline phase).
+    Extra keyword arguments are forwarded to the workload's program.
+    """
+    w = _resolve_workload(workload)
+    kwargs = dict(
+        nthreads=nthreads,
+        seed=seed,
+        node=node or NodeConfig(),
+        obs=obs,
+        **params,
+    )
+    if tool == "sword":
+        kwargs["analysis_options"] = options
+        if options is not None and options.workers > 1:
+            kwargs["mt_workers"] = options.workers
+    return driver(tool).run(w, **kwargs)
+
+
+def analyze(
+    trace: Union[str, os.PathLike, TraceDir],
+    *,
+    mode: str = "auto",
+    options: Optional[AnalysisOptions] = None,
+    obs: Optional[Instrumentation] = None,
+) -> AnalysisResult:
+    """Offline-analyze an existing SWORD trace directory.
+
+    Modes: ``serial`` (one process), ``parallel`` (process pool,
+    ``options.workers`` wide), ``streaming`` (replay the trace through
+    the incremental analyzer — the checkpoint/resume path), or ``auto``
+    (parallel when ``options.workers > 1``, serial otherwise).  All
+    modes return byte-identical race sets.
+    """
+    if mode not in ANALYSIS_MODES:
+        raise ValueError(
+            f"unknown analysis mode {mode!r}; expected one of {ANALYSIS_MODES}"
+        )
+    options = options or AnalysisOptions()
+    if not isinstance(trace, TraceDir):
+        trace = TraceDir(trace)
+    if mode == "auto":
+        mode = "parallel" if options.workers > 1 else "serial"
+    if mode == "serial":
+        return SerialOfflineAnalyzer(trace, obs=obs, options=options).analyze()
+    if mode == "parallel":
+        if options.workers <= 1:
+            options = options.copy(workers=default_workers())
+        return DistributedOfflineAnalyzer(
+            trace, obs=obs, options=options
+        ).analyze()
+    analyzer = StreamAnalyzer(trace.path, options=options, obs=obs)
+    replay_trace(trace, analyzer)
+    return analyzer.result()
+
+
+def watch(
+    workload: Union[str, Workload],
+    *,
+    nthreads: int = 8,
+    seed: int = 0,
+    options: Optional[AnalysisOptions] = None,
+    on_race=None,
+    obs: Optional[Instrumentation] = None,
+    stats_every: Optional[float] = None,
+    on_stats=print,
+    **params,
+) -> WatchResult:
+    """Run a workload with the streaming analyzer attached (watch mode).
+
+    ``on_race(report)`` fires the moment each race is confirmed, while
+    the program is still executing.  See :func:`repro.stream.watch.watch`
+    for the full keyword surface; this facade forwards ``**params``.
+    """
+    return _watch(
+        _resolve_workload(workload),
+        nthreads=nthreads,
+        seed=seed,
+        options=options,
+        on_race=on_race,
+        obs=obs,
+        stats_every=stats_every,
+        on_stats=on_stats,
+        **params,
+    )
+
+
+class Session:
+    """Watch-style incremental analysis over one trace directory.
+
+    Two ways to use it:
+
+    * **live** — create the session, :meth:`attach` it to a
+      :class:`~repro.sword.logger.SwordTool` before running the program,
+      and read :meth:`result` when done; races stream through
+      ``on_race`` as they are confirmed;
+    * **replay** — point it at a closed trace directory and call
+      :meth:`analyze`; with ``options.checkpoint_path`` set, repeated
+      calls resume instead of starting over, and with
+      ``options.fastpath.result_cache`` on, unchanged intervals and
+      pairs are served from the persistent cache.
+    """
+
+    def __init__(
+        self,
+        trace_dir: Union[str, os.PathLike],
+        *,
+        options: Optional[AnalysisOptions] = None,
+        on_race=None,
+        obs: Optional[Instrumentation] = None,
+    ) -> None:
+        self.trace_dir = Path(trace_dir)
+        self.options = options or AnalysisOptions()
+        self._analyzer = StreamAnalyzer(
+            self.trace_dir,
+            options=self.options,
+            on_race=on_race,
+            obs=obs,
+        )
+
+    # -- live use -----------------------------------------------------------------
+
+    def attach(self, tool) -> "Session":
+        """Subscribe this session's analyzer to an online tool's bus."""
+        tool.subscribe(self._analyzer)
+        return self
+
+    @property
+    def races(self) -> RaceSet:
+        """Races confirmed so far (live view)."""
+        return self._analyzer.races
+
+    @property
+    def pairs_analyzed(self) -> int:
+        return self._analyzer.pairs_analyzed
+
+    def result(self) -> AnalysisResult:
+        """Races plus stats accumulated so far (final after the run)."""
+        return self._analyzer.result()
+
+    # -- replay use ---------------------------------------------------------------
+
+    def analyze(self) -> AnalysisResult:
+        """Replay the (closed) trace through this session's analyzer."""
+        replay_trace(TraceDir(self.trace_dir), self._analyzer)
+        return self._analyzer.result()
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._analyzer.engine is not None:
+            self._analyzer.engine.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

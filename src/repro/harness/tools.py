@@ -34,8 +34,9 @@ from ..common.config import (
 from ..common.errors import SimulatedOOMError
 from ..memory.accounting import NodeMemory
 from ..obs import Instrumentation, get_obs, run_stats
-from ..offline.analyzer import OfflineAnalyzer
-from ..offline.parallel import ParallelOfflineAnalyzer
+from ..offline.analyzer import SerialOfflineAnalyzer
+from ..offline.options import AnalysisOptions
+from ..offline.parallel import DistributedOfflineAnalyzer
 from ..offline.report import RaceSet
 from ..omp.runtime import OpenMPRuntime
 from ..sword.logger import SwordTool
@@ -224,6 +225,7 @@ class SwordDriver:
         yield_every: int = 0,
         sword_config: Optional[SwordConfig] = None,
         offline_config: Optional[OfflineConfig] = None,
+        analysis_options: Optional[AnalysisOptions] = None,
         trace_dir: Optional[str] = None,
         keep_trace: bool = False,
         run_offline: bool = True,
@@ -271,18 +273,25 @@ class SwordDriver:
 
             trace = TraceDir(trace_path)
             t1 = time.perf_counter()
-            analysis = OfflineAnalyzer(trace, offline_config, obs=obs).analyze()
+            analysis = SerialOfflineAnalyzer(
+                trace, offline_config, obs=obs, options=analysis_options
+            ).analyze()
             result.offline_seconds = time.perf_counter() - t1
             result.races = analysis.races
             analyses["offline"] = analysis.stats
             if mt_workers > 1:
                 t2 = time.perf_counter()
-                mt_cfg = OfflineConfig(
-                    chunk_events=(offline_config or OfflineConfig()).chunk_events,
-                    workers=mt_workers,
-                )
-                mt = ParallelOfflineAnalyzer(
-                    TraceDir(trace_path), mt_cfg, obs=obs
+                if analysis_options is not None:
+                    mt_opts = analysis_options.copy(workers=mt_workers)
+                else:
+                    mt_opts = AnalysisOptions(
+                        chunk_events=(
+                            offline_config or OfflineConfig()
+                        ).chunk_events,
+                        workers=mt_workers,
+                    )
+                mt = DistributedOfflineAnalyzer(
+                    TraceDir(trace_path), obs=obs, options=mt_opts
                 ).analyze()
                 result.offline_mt_seconds = time.perf_counter() - t2
                 analyses["offline_mt"] = mt.stats

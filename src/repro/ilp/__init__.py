@@ -7,6 +7,7 @@ from .diophantine import (
     progressions_intersect,
     solve_bounded,
 )
+from .memo import SolverMemo
 from .model import IntervalConstraint, OverlapSystem, OverlapWitness
 from .overlap import OverlapResult, constraint_of, intervals_share_address
 
@@ -16,6 +17,7 @@ __all__ = [
     "OverlapResult",
     "OverlapSystem",
     "OverlapWitness",
+    "SolverMemo",
     "bruteforce_addresses",
     "bruteforce_overlap",
     "constraint_of",

@@ -1,0 +1,79 @@
+"""Memoized strided-interval overlap solving.
+
+Strided loops re-emit the same constraint *shapes* thousands of times:
+two threads sweeping disjoint residue classes of one array produce, pair
+after pair, systems that differ only by a translation.  The Diophantine
+system is translation-invariant — :class:`~repro.ilp.model.OverlapSystem`
+depends only on the base *delta* and the (stride, count, size) triples,
+and its witness address is ``c0.base`` plus a relative offset — so one
+solve serves every translated copy.
+
+The memo key is the *ordered* canonical tuple
+``(b.low - a.low, stride_a, count_a, size_a, stride_b, count_b, size_b)``
+with the same singleton-stride normalisation as
+:func:`~repro.ilp.overlap.constraint_of`.  The key is deliberately NOT
+orientation-canonicalised (no argument swapping): the solver's witness
+depends on argument order, and the engine's canonical-witness guarantee
+requires the memoized path to return exactly the address the direct path
+would.  The cheap fast paths (disjoint extents, both dense) are answered
+inline without touching the table — they are already O(1).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from ..itree.interval import StridedInterval
+from .model import OverlapSystem
+from .overlap import OverlapResult, constraint_of
+
+_MISS = object()
+
+
+class SolverMemo:
+    """Bounded-LRU memo over :func:`~repro.ilp.overlap.intervals_share_address`.
+
+    ``share_address(a, b)`` is a drop-in replacement returning the exact
+    same :class:`OverlapResult` (or None); ``hits``/``misses`` count only
+    the non-trivial solves that reach the Diophantine system.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.capacity = max(1, capacity)
+        self._cache: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def share_address(
+        self, a: StridedInterval, b: StridedInterval
+    ) -> Optional[OverlapResult]:
+        """Exact overlap check, memoized on the translated constraint shape."""
+        if not a.extent_overlaps(b):
+            return None
+        if a.dense and b.dense:
+            return OverlapResult(address=max(a.low, b.low))
+        stride_a = a.stride if a.count > 1 else a.size
+        stride_b = b.stride if b.count > 1 else b.size
+        key = (
+            b.low - a.low,
+            stride_a, a.count, a.size,
+            stride_b, b.count, b.size,
+        )
+        offset = self._cache.get(key, _MISS)
+        if offset is not _MISS:
+            self.hits += 1
+            self._cache.move_to_end(key)
+        else:
+            self.misses += 1
+            witness = OverlapSystem(constraint_of(a), constraint_of(b)).solve()
+            offset = None if witness is None else witness.address - a.low
+            self._cache[key] = offset
+            while len(self._cache) > self.capacity:
+                self._cache.popitem(last=False)
+        if offset is None:
+            return None
+        return OverlapResult(address=a.low + offset)

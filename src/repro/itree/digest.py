@@ -1,0 +1,141 @@
+"""Per-interval access digests: cheap algebraic pair pruning.
+
+A digest summarises one interval tree in O(nodes): the bounding byte box,
+read/write/atomic composition, and a residue-class description of every
+address the tree touches.  Two digests decide — without walking either
+tree — whether *any* node pair could satisfy the race condition; most
+pairs of disjoint array partitions are dismissed here before the
+O(M log M) tree comparison (cf. Shim et al., "Data Race Satisfiability on
+Array Elements": most array-access pairs fall to algebraic filters before
+any solver call).
+
+Residue argument.  Let ``g`` divide every node stride and every offset of
+a node's low endpoint from the tree's base address.  Then every byte the
+tree touches is congruent to ``base + k (mod g)`` for some
+``k in [0, width)`` where ``width`` is the maximum node size — a single
+residue window per tree.  For two trees, reduce both windows modulo
+``G = gcd(g_a, g_b)``; if the windows do not intersect mod ``G``, no byte
+is shared and the pair cannot race.  The gcd construction makes this
+sound by definition: any address not congruent to the window is not in
+the tree.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .tree import IntervalTree
+
+
+@dataclass(frozen=True, slots=True)
+class TreeDigest:
+    """O(1) summary of one interval tree's access footprint."""
+
+    #: Number of summarised nodes (0 for an empty tree).
+    nodes: int
+    #: Byte bounding box, ``hi`` inclusive (undefined when ``nodes == 0``).
+    lo: int
+    hi: int
+    #: Node counts by operation.
+    writes: int
+    reads: int
+    #: True when every access in the tree is atomic.
+    all_atomic: bool
+    #: Residue class: every touched byte is ``lo + k (mod gcd)`` for some
+    #: ``k in [0, width)``.  ``gcd == 0`` means the residue view collapsed
+    #: (single dense footprint) and only the bounding box applies.
+    gcd: int
+    width: int
+
+    @classmethod
+    def of_tree(cls, tree: IntervalTree) -> "TreeDigest":
+        """Digest a built tree in one in-order pass."""
+        nodes = writes = reads = 0
+        lo = hi = 0
+        all_atomic = True
+        g = 0
+        width = 0
+        for node in tree:
+            si = node.interval
+            if nodes == 0:
+                lo, hi = si.low, si.high
+            else:
+                lo = min(lo, si.low)
+                hi = max(hi, si.high)
+            nodes += 1
+            if si.is_write:
+                writes += 1
+            else:
+                reads += 1
+            all_atomic = all_atomic and si.is_atomic
+            if si.count > 1:
+                g = math.gcd(g, si.stride)
+            width = max(width, si.size)
+        # Fold every low-endpoint offset into the gcd so the single window
+        # [lo, lo + width) mod gcd covers all nodes (soundness by
+        # construction; a second pass keeps the first pass's min-lo exact).
+        for node in tree:
+            g = math.gcd(g, node.interval.low - lo)
+        return cls(
+            nodes=nodes,
+            lo=lo,
+            hi=hi,
+            writes=writes,
+            reads=reads,
+            all_atomic=all_atomic,
+            gcd=g,
+            width=width,
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "nodes": self.nodes,
+            "lo": self.lo,
+            "hi": self.hi,
+            "writes": self.writes,
+            "reads": self.reads,
+            "all_atomic": self.all_atomic,
+            "gcd": self.gcd,
+            "width": self.width,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "TreeDigest":
+        return cls(
+            nodes=int(payload["nodes"]),
+            lo=int(payload["lo"]),
+            hi=int(payload["hi"]),
+            writes=int(payload["writes"]),
+            reads=int(payload["reads"]),
+            all_atomic=bool(payload["all_atomic"]),
+            gcd=int(payload["gcd"]),
+            width=int(payload["width"]),
+        )
+
+
+def digests_may_race(a: TreeDigest, b: TreeDigest) -> bool:
+    """Conservative pair filter: False only when no node pair can race.
+
+    Applies the race condition's tree-level necessary conditions: at
+    least one write somewhere, not everything atomic on both sides,
+    intersecting byte boxes, and a shared residue class (when the residue
+    windows are narrow enough mod ``G`` to be conclusive).
+    """
+    if a.nodes == 0 or b.nodes == 0:
+        return False
+    if a.writes == 0 and b.writes == 0:
+        return False  # every node pair lacks a write
+    if a.all_atomic and b.all_atomic:
+        return False  # every node pair is atomic-vs-atomic
+    if a.hi < b.lo or b.hi < a.lo:
+        return False  # disjoint bounding boxes
+    big = math.gcd(a.gcd, b.gcd)
+    if big > 0 and a.width + b.width <= big:
+        # A's residues mod G are [0, wa) from a.lo; B's are [0, wb) from
+        # b.lo.  They intersect iff (b.lo - a.lo) mod G falls in
+        # (-wb, wa) mod G; outside that, no shared byte exists.
+        d = (b.lo - a.lo) % big
+        if a.width <= d <= big - b.width:
+            return False
+    return True

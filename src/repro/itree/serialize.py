@@ -1,0 +1,96 @@
+"""Exact-shape (de)serialisation of summarised interval trees.
+
+The persistent result cache stores per-interval trees across analysis
+runs.  A cached tree must behave *identically* to the one built from the
+log: the engine's comparison walks ``iter_overlaps`` in a tree-SHAPE-
+dependent order and keeps the first witness per site pair within a
+comparison, so a structurally different (merely equivalent) tree could
+select different — still correct, but not byte-identical — witnesses.
+
+Re-inserting intervals would rebalance and change the shape.  Instead the
+tree is stored as a preorder walk with explicit nil markers and node
+colors, and reconstructed node-by-node with ``max_high`` recomputed
+bottom-up — no rebalancing, same shape, same colors, same probe order.
+"""
+
+from __future__ import annotations
+
+from .interval import StridedInterval
+from .tree import BLACK, RED, IntervalTree, Node
+
+#: Bump when the row layout changes (invalidates cached trees).
+TREE_FORMAT = 1
+
+
+def tree_to_rows(tree: IntervalTree) -> list:
+    """Preorder serialisation: one row per node, ``None`` per nil child."""
+    rows: list = []
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        if node is tree.nil:
+            rows.append(None)
+            continue
+        si = node.interval
+        rows.append(
+            [
+                1 if node.color == RED else 0,
+                si.low,
+                si.stride,
+                si.size,
+                si.count,
+                1 if si.is_write else 0,
+                1 if si.is_atomic else 0,
+                si.pc,
+                si.msid,
+                si.point,
+            ]
+        )
+        # Preorder: visit left before right, so push right first.
+        stack.append(node.right)
+        stack.append(node.left)
+    return rows
+
+
+def tree_from_rows(rows: list) -> IntervalTree:
+    """Rebuild the exact tree a :func:`tree_to_rows` walk described."""
+    tree = IntervalTree()
+    it = iter(rows)
+
+    def build(parent: Node) -> Node:
+        row = next(it)
+        if row is None:
+            return tree.nil
+        color, low, stride, size, count, write, atomic, pc, msid, point = row
+        node = Node(
+            StridedInterval(
+                low=int(low),
+                stride=int(stride),
+                size=int(size),
+                count=int(count),
+                is_write=bool(write),
+                is_atomic=bool(atomic),
+                pc=int(pc),
+                msid=int(msid),
+                point=int(point),
+            )
+        )
+        node.color = RED if color else BLACK
+        node.parent = parent
+        node.left = build(node)
+        node.right = build(node)
+        high = node.interval.high
+        if node.left is not tree.nil:
+            high = max(high, node.left.max_high)
+        if node.right is not tree.nil:
+            high = max(high, node.right.max_high)
+        node.max_high = high
+        tree._size += 1
+        return node
+
+    tree.root = build(tree.nil)
+    try:
+        next(it)
+    except StopIteration:
+        return tree
+    raise ValueError("trailing rows after tree reconstruction")

@@ -4,19 +4,29 @@ from .analyzer import (
     AnalysisResult,
     AnalysisStats,
     OfflineAnalyzer,
+    SerialOfflineAnalyzer,
     analyze_trace,
     check_node_pair,
 )
+from .cache import ResultCache
 from .engine import AnalysisEngine
 from .intervals import IntervalData, IntervalInventory, IntervalKey
+from .options import AnalysisOptions, FastPathOptions
 from .oracle import oracle_races
-from .parallel import ParallelOfflineAnalyzer, default_workers
+from .parallel import (
+    DistributedOfflineAnalyzer,
+    ParallelOfflineAnalyzer,
+    default_workers,
+)
 from .report import RaceReport, RaceSet, make_report
 
 __all__ = [
     "AnalysisEngine",
+    "AnalysisOptions",
     "AnalysisResult",
     "AnalysisStats",
+    "DistributedOfflineAnalyzer",
+    "FastPathOptions",
     "IntervalData",
     "IntervalInventory",
     "IntervalKey",
@@ -24,6 +34,8 @@ __all__ = [
     "ParallelOfflineAnalyzer",
     "RaceReport",
     "RaceSet",
+    "ResultCache",
+    "SerialOfflineAnalyzer",
     "analyze_trace",
     "check_node_pair",
     "default_workers",

@@ -17,11 +17,17 @@ Steps 2-3 live in the shared :class:`~repro.offline.engine.AnalysisEngine`;
 this module is the post-mortem driver around it (the distributed and
 streaming drivers are :mod:`repro.offline.parallel` and
 :mod:`repro.stream.analyzer`).
+
+The supported entry point is :func:`repro.api.analyze`;
+:class:`OfflineAnalyzer` remains as a deprecated alias of
+:class:`SerialOfflineAnalyzer`.
 """
 
 from __future__ import annotations
 
+import os
 import time
+import warnings
 
 from ..common.config import OfflineConfig
 from ..obs import Instrumentation, get_obs
@@ -33,36 +39,43 @@ from .engine import (
     check_node_pair,
 )
 from .intervals import IntervalData, IntervalInventory
+from .options import AnalysisOptions
 from .report import RaceSet
 
 __all__ = [
     "AnalysisResult",
     "AnalysisStats",
     "OfflineAnalyzer",
+    "SerialOfflineAnalyzer",
     "analyze_trace",
     "check_node_pair",
 ]
 
 
-class OfflineAnalyzer:
+class SerialOfflineAnalyzer:
     """Single-node post-mortem analysis driver."""
 
     def __init__(
         self,
-        trace: TraceDir,
+        trace: TraceDir | str | os.PathLike,
         config: OfflineConfig | None = None,
         obs: Instrumentation | None = None,
+        *,
+        options: AnalysisOptions | None = None,
     ) -> None:
+        if not isinstance(trace, TraceDir):
+            trace = TraceDir(trace)
         self.trace = trace
-        self.config = config or OfflineConfig()
-        self.obs = obs or get_obs()
-        self.engine = AnalysisEngine(trace, self.config, obs=self.obs)
+        self.options = options or AnalysisOptions.from_config(config)
+        self.config = self.options.offline_config()
+        self.obs = obs or self.options.obs or get_obs()
+        self.engine = AnalysisEngine(trace, options=self.options, obs=self.obs)
 
     @property
     def stats(self) -> AnalysisStats:
         return self.engine.stats
 
-    def __enter__(self) -> "OfflineAnalyzer":
+    def __enter__(self) -> "SerialOfflineAnalyzer":
         return self
 
     def __exit__(self, *exc) -> None:
@@ -105,8 +118,27 @@ class OfflineAnalyzer:
         self.engine.close()
 
 
+class OfflineAnalyzer(SerialOfflineAnalyzer):
+    """Deprecated alias; use :func:`repro.api.analyze` instead."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "OfflineAnalyzer is deprecated; use repro.api.analyze(trace) "
+            "(or repro.offline.SerialOfflineAnalyzer)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)
+
+
 def analyze_trace(
-    path, config: OfflineConfig | None = None
+    path: str | os.PathLike | TraceDir,
+    config: OfflineConfig | None = None,
+    *,
+    options: AnalysisOptions | None = None,
+    obs: Instrumentation | None = None,
 ) -> AnalysisResult:
     """Convenience: open a trace directory and analyze it."""
-    return OfflineAnalyzer(TraceDir(path), config).analyze()
+    return SerialOfflineAnalyzer(
+        path, config, obs=obs, options=options
+    ).analyze()

@@ -1,0 +1,240 @@
+"""Persistent content-hashed result cache for the offline analysis.
+
+Watch-mode re-analysis and repeated ``analyze`` invocations redo work the
+trace already paid for: the per-interval trees and the per-pair verdicts
+are pure functions of the trace bytes.  This cache keys both by content
+hashes so unchanged work is skipped and *any* change to the underlying
+files invalidates exactly the entries it affects:
+
+* **interval token** — sha256 over the owning thread's log + meta file
+  digests plus the interval identity and its chunk list;
+* **context token** — sha256 over the trace-wide tables that feed pair
+  verdicts (mutex sets, task graph, regions) and the cache format
+  version;
+* **pair token** — context token plus both interval tokens, oriented
+  canonically (by interval identity, exactly like the engine's
+  comparison) so either argument order finds the same entry.
+
+Trees are stored with their digests via the exact-shape serialisation
+(:mod:`repro.itree.serialize`) — a reloaded tree probes in the same
+order as the built one, preserving canonical-witness determinism.  Pair
+verdicts store the full report list the comparison generated (often
+empty); replaying them through :meth:`RaceSet.add` is order-independent.
+
+Writes are atomic (tmp + rename) and failures are swallowed: a
+read-only or corrupted cache degrades to a miss, never to a wrong
+answer.  The cache is only sound for *closed* traces — the engine never
+attaches one to a live streaming source.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from ..itree.digest import TreeDigest
+from ..itree.serialize import TREE_FORMAT, tree_from_rows, tree_to_rows
+from ..itree.tree import IntervalTree
+from ..sword.traceformat import (
+    MUTEXSETS_NAME,
+    REGIONS_NAME,
+    TASKS_NAME,
+    log_name,
+    meta_name,
+)
+from .intervals import IntervalData
+from .report import RaceReport
+
+#: Bump to invalidate every existing cache (verdict semantics changed).
+CACHE_FORMAT = 1
+
+_HASH_CHUNK = 1 << 20
+
+
+def _file_sha(path: Path) -> str:
+    """Content digest of one file; missing files hash to a sentinel."""
+    h = hashlib.sha256()
+    try:
+        with open(path, "rb") as fh:
+            while True:
+                block = fh.read(_HASH_CHUNK)
+                if not block:
+                    break
+                h.update(block)
+    except OSError:
+        return "absent"
+    return h.hexdigest()
+
+
+class ResultCache:
+    """Content-addressed store of interval trees and pair verdicts."""
+
+    def __init__(
+        self, trace_path: str | os.PathLike, cache_dir: str | os.PathLike | None = None
+    ) -> None:
+        self.trace_path = Path(trace_path)
+        self.root = (
+            Path(cache_dir) if cache_dir is not None
+            else self.trace_path / ".sword-cache"
+        )
+        self._gid_tokens: dict[int, str] = {}
+        self._context_token: Optional[str] = None
+        self.tree_hits = 0
+        self.pair_hits = 0
+        self.misses = 0
+
+    # -- tokens ------------------------------------------------------------------
+
+    def _gid_token(self, gid: int) -> str:
+        token = self._gid_tokens.get(gid)
+        if token is None:
+            token = hashlib.sha256(
+                (
+                    _file_sha(self.trace_path / log_name(gid))
+                    + "|"
+                    + _file_sha(self.trace_path / meta_name(gid))
+                ).encode()
+            ).hexdigest()
+            self._gid_tokens[gid] = token
+        return token
+
+    def context_token(self) -> str:
+        """Digest of everything trace-wide a pair verdict depends on."""
+        if self._context_token is None:
+            parts = [
+                f"cache-format={CACHE_FORMAT}",
+                f"tree-format={TREE_FORMAT}",
+                _file_sha(self.trace_path / MUTEXSETS_NAME),
+                _file_sha(self.trace_path / TASKS_NAME),
+                _file_sha(self.trace_path / REGIONS_NAME),
+            ]
+            self._context_token = hashlib.sha256(
+                "|".join(parts).encode()
+            ).hexdigest()
+        return self._context_token
+
+    def interval_token(self, interval: IntervalData) -> str:
+        key = interval.key
+        payload = (
+            f"{self._gid_token(key.gid)}|{key.gid}|{key.pid}|{key.bid}"
+            f"|{sorted(interval.chunks)!r}"
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def pair_token(self, ia: IntervalData, ib: IntervalData) -> str:
+        # Same canonical orientation as the engine's comparison, so both
+        # argument orders address one entry.
+        ka = (ia.key.gid, ia.key.pid, ia.key.bid)
+        kb = (ib.key.gid, ib.key.pid, ib.key.bid)
+        if kb < ka:
+            ia, ib = ib, ia
+        payload = (
+            f"{self.context_token()}|{self.interval_token(ia)}"
+            f"|{self.interval_token(ib)}"
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    # -- storage -----------------------------------------------------------------
+
+    def _read(self, path: Path) -> Optional[dict]:
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _write(self, path: Path, payload: dict) -> None:
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=path.parent, prefix=path.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(payload, fh)
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            pass  # read-only/filled disk: stay a cache, not a failure
+
+    # -- trees -------------------------------------------------------------------
+
+    def _tree_path(self, token: str) -> Path:
+        return self.root / "trees" / f"{token}.json"
+
+    def load_tree(
+        self, interval: IntervalData
+    ) -> Optional[tuple[IntervalTree, TreeDigest, int]]:
+        """Reload one interval's tree, digest, and event count — or None."""
+        payload = self._read(self._tree_path(self.interval_token(interval)))
+        if payload is None or payload.get("format") != TREE_FORMAT:
+            self.misses += 1
+            return None
+        try:
+            tree = tree_from_rows(payload["nodes"])
+            digest = TreeDigest.from_json(payload["digest"])
+            events = int(payload["events_in"])
+        except (KeyError, ValueError, TypeError, StopIteration):
+            self.misses += 1
+            return None
+        self.tree_hits += 1
+        return tree, digest, events
+
+    def store_tree(
+        self,
+        interval: IntervalData,
+        tree: IntervalTree,
+        digest: TreeDigest,
+        events_in: int,
+    ) -> None:
+        self._write(
+            self._tree_path(self.interval_token(interval)),
+            {
+                "format": TREE_FORMAT,
+                "digest": digest.to_json(),
+                "events_in": events_in,
+                "nodes": tree_to_rows(tree),
+            },
+        )
+
+    # -- pair verdicts -----------------------------------------------------------
+
+    def _pair_path(self, token: str) -> Path:
+        return self.root / "pairs" / f"{token}.json"
+
+    def load_pair(
+        self, ia: IntervalData, ib: IntervalData
+    ) -> Optional[list[RaceReport]]:
+        """The reports one comparison generated, or None on a miss.
+
+        An empty list is a *hit*: the pair was compared (or pruned) and
+        produced nothing.
+        """
+        payload = self._read(self._pair_path(self.pair_token(ia, ib)))
+        if payload is None or payload.get("format") != CACHE_FORMAT:
+            self.misses += 1
+            return None
+        try:
+            reports = [RaceReport.from_json(r) for r in payload["reports"]]
+        except (KeyError, ValueError, TypeError):
+            self.misses += 1
+            return None
+        self.pair_hits += 1
+        return reports
+
+    def store_pair(
+        self, ia: IntervalData, ib: IntervalData, reports: list[RaceReport]
+    ) -> None:
+        self._write(
+            self._pair_path(self.pair_token(ia, ib)),
+            {
+                "format": CACHE_FORMAT,
+                "reports": [r.to_json() for r in reports],
+            },
+        )

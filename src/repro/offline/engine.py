@@ -30,8 +30,10 @@ from dataclasses import dataclass
 
 from ..common.config import OfflineConfig
 from ..ilp.bruteforce import bruteforce_overlap
+from ..ilp.memo import SolverMemo
 from ..ilp.overlap import constraint_of, intervals_share_address
 from ..itree.builder import TreeBuilder
+from ..itree.digest import TreeDigest, digests_may_race
 from ..itree.tree import IntervalTree
 from ..obs import (
     COUNT_BUCKETS,
@@ -40,7 +42,9 @@ from ..obs import (
     get_obs,
 )
 from ..omp.mutexset import MutexSetTable
+from .cache import ResultCache
 from .intervals import IntervalData
+from .options import AnalysisOptions
 from .report import RaceSet, make_report
 
 
@@ -56,6 +60,11 @@ class AnalysisStats:
     overlap_candidates: int = 0
     ilp_solves: int = 0
     races_found: int = 0
+    pairs_pruned: int = 0
+    solver_memo_hits: int = 0
+    solver_memo_misses: int = 0
+    pair_cache_hits: int = 0
+    tree_cache_disk_hits: int = 0
     plan_seconds: float = 0.0
     build_seconds: float = 0.0
     compare_seconds: float = 0.0
@@ -75,6 +84,11 @@ class AnalysisStats:
             "overlap_candidates": self.overlap_candidates,
             "ilp_solves": self.ilp_solves,
             "races_found": self.races_found,
+            "pairs_pruned": self.pairs_pruned,
+            "solver_memo_hits": self.solver_memo_hits,
+            "solver_memo_misses": self.solver_memo_misses,
+            "pair_cache_hits": self.pair_cache_hits,
+            "tree_cache_disk_hits": self.tree_cache_disk_hits,
             "plan_seconds": self.plan_seconds,
             "build_seconds": self.build_seconds,
             "compare_seconds": self.compare_seconds,
@@ -125,13 +139,20 @@ class TreeCache:
 
 
 def check_node_pair(
-    a, b, mutexsets: MutexSetTable, *, crosscheck: bool = False
+    a,
+    b,
+    mutexsets: MutexSetTable,
+    *,
+    crosscheck: bool = False,
+    memo: SolverMemo | None = None,
 ):
     """Apply the full race condition to two tree nodes' intervals.
 
     Returns a witness address or None.  Conditions (paper §III-B): at least
     one write, not both atomic, disjoint mutex sets, and a shared byte
-    address under the strided-interval constraints.
+    address under the strided-interval constraints.  With ``memo`` the
+    overlap check is served through the solver memo (identical results,
+    repeated constraint shapes solved once).
     """
     if not (a.is_write or b.is_write):
         return None
@@ -139,7 +160,10 @@ def check_node_pair(
         return None
     if not mutexsets.disjoint(a.msid, b.msid):
         return None
-    result = intervals_share_address(a, b)
+    if memo is not None:
+        result = memo.share_address(a, b)
+    else:
+        result = intervals_share_address(a, b)
     if crosscheck:
         brute = bruteforce_overlap(constraint_of(a), constraint_of(b))
         if (result is None) != (brute is None):
@@ -162,16 +186,30 @@ class AnalysisEngine:
         source,
         config: OfflineConfig | None = None,
         *,
+        options: AnalysisOptions | None = None,
         tree_cache_capacity: int = 64,
         obs: Instrumentation | None = None,
     ) -> None:
         self.source = source
-        self.config = config or OfflineConfig()
-        self.config.validate()
-        self.obs = obs or get_obs()
+        if options is None:
+            options = AnalysisOptions.from_config(
+                config, tree_cache_capacity=tree_cache_capacity
+            )
+        options.validate()
+        self.options = options
+        self.config = options.offline_config()
+        self.obs = obs or options.obs or get_obs()
         self.stats = AnalysisStats()
-        self._tree_cache = TreeCache(capacity=tree_cache_capacity)
+        self._tree_cache = TreeCache(capacity=options.tree_cache_capacity)
         self._readers: dict[int, object] = {}
+        fast = options.fastpath
+        self._memo = (
+            SolverMemo(fast.solver_memo_capacity) if fast.memo_active else None
+        )
+        self._prune = fast.pruning_active
+        # Digests survive LRU eviction of their trees (they are tiny).
+        self._digests: dict[object, TreeDigest] = {}
+        self._result_cache = self._attach_result_cache(fast)
         registry = self.obs.registry
         self._m_trees = registry.counter("offline.trees_built")
         self._m_cache_hits = registry.counter("offline.tree_cache_hits")
@@ -191,6 +229,43 @@ class AnalysisEngine:
             "offline.tree_nodes", "summarised nodes per built tree",
             buckets=COUNT_BUCKETS,
         )
+        self._m_pruned = registry.counter(
+            "offline.pairs_pruned", "pairs dismissed by access digests"
+        )
+        self._m_memo_hits = registry.counter(
+            "offline.solver_memo_hits", "Diophantine solves served memoized"
+        )
+        self._m_memo_misses = registry.counter(
+            "offline.solver_memo_misses", "Diophantine solves computed"
+        )
+        self._m_pair_cache_hits = registry.counter(
+            "offline.pair_cache_hits", "pair verdicts replayed from cache"
+        )
+        self._m_tree_disk_hits = registry.counter(
+            "offline.tree_cache_disk_hits", "trees reloaded from cache"
+        )
+        self._m_pair_cache_rate = registry.gauge(
+            "offline.pair_cache_hit_rate", "persistent pair-cache hit rate"
+        )
+        self._pair_cache_lookups = 0
+
+    def _attach_result_cache(self, fast) -> ResultCache | None:
+        """Persistent caching for closed traces only.
+
+        A live streaming source's files are still growing — content
+        hashes would be meaningless — so the cache stays off there; the
+        replay path (closed trace) re-enables it.
+        """
+        if not fast.cache_active:
+            return None
+        if bool(getattr(self.source, "live", False)):
+            return None
+        path = getattr(self.source, "path", None)
+        if path is None:
+            path = getattr(self.source, "directory", None)
+        if path is None:
+            return None
+        return ResultCache(path, fast.cache_dir)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -215,6 +290,17 @@ class AnalysisEngine:
             self._readers[gid] = reader
         return reader
 
+    def digest_of(self, interval: IntervalData) -> TreeDigest:
+        """The interval's access digest (building its tree if needed)."""
+        digest = self._digests.get(interval.key)
+        if digest is None:
+            tree = self.build_tree(interval)
+            digest = self._digests.get(interval.key)
+            if digest is None:
+                digest = TreeDigest.of_tree(tree)
+                self._digests[interval.key] = digest
+        return digest
+
     def build_tree(self, interval: IntervalData) -> IntervalTree:
         """Stream one interval's chunks into a summarised tree (cached)."""
         key = interval.key
@@ -222,6 +308,15 @@ class AnalysisEngine:
         if cached is not None:
             self._m_cache_hits.inc()
             return cached
+        if self._result_cache is not None:
+            loaded = self._result_cache.load_tree(interval)
+            if loaded is not None:
+                tree, digest, _events = loaded
+                self.stats.tree_cache_disk_hits += 1
+                self._m_tree_disk_hits.inc()
+                self._digests[key] = digest
+                self._tree_cache.put(key, tree)
+                return tree
         t0 = time.perf_counter()
         with self.obs.tracer.span(
             "tree-build", category="offline", gid=key.gid,
@@ -245,6 +340,13 @@ class AnalysisEngine:
         self._m_tree_nodes.observe(len(tree))
         self._m_events_read.inc(builder.events_in)
         self._m_build_seconds.observe(elapsed)
+        if self._prune or self._result_cache is not None:
+            digest = TreeDigest.of_tree(tree)
+            self._digests[key] = digest
+            if self._result_cache is not None:
+                self._result_cache.store_tree(
+                    interval, tree, digest, builder.events_in
+                )
         self._tree_cache.put(key, tree)
         return tree
 
@@ -258,6 +360,7 @@ class AnalysisEngine:
         ib: IntervalData,
         races: RaceSet,
         on_race=None,
+        sink: list | None = None,
     ) -> None:
         """Probe every node of one tree against the other.
 
@@ -273,7 +376,10 @@ class AnalysisEngine:
         streaming drivers to select identical witnesses.
 
         ``on_race(report)`` is invoked for every pc pair that is new to
-        ``races`` (the streaming mode's live feed).
+        ``races`` (the streaming mode's live feed).  ``sink``, when given,
+        collects every report this comparison generated — the result
+        cache stores that list so a later run can replay the comparison
+        without the trees.
         """
         from ..tasking.graph import decode_point
 
@@ -320,6 +426,7 @@ class AnalysisEngine:
                     other,
                     mutexsets,
                     crosscheck=self.config.use_ilp_crosscheck,
+                    memo=self._memo,
                 )
                 if address is None:
                     continue
@@ -337,9 +444,20 @@ class AnalysisEngine:
                     bid_a=ia.key.bid,
                     bid_b=ib.key.bid,
                 )
+                if sink is not None:
+                    sink.append(report)
                 if races.add(report) and on_race is not None:
                     on_race(races.get(report.key))
                 self.stats.races_found = len(races)
+
+    def _replay_reports(self, reports, races: RaceSet, on_race) -> None:
+        """Feed cached reports through the same add/notify path a live
+        comparison uses — order-independent by RaceSet's canonical merge."""
+        for report in reports:
+            if races.add(report) and on_race is not None:
+                on_race(races.get(report.key))
+        self.stats.races_found = len(races)
+        self._m_races.set(len(races))
 
     def analyze_pair(
         self,
@@ -348,19 +466,63 @@ class AnalysisEngine:
         races: RaceSet,
         on_race=None,
     ) -> None:
-        """Build both trees and compare them (the unit of scheduling)."""
+        """Compare one interval pair (the unit of scheduling).
+
+        Fast path, in cost order: (1) a persistent pair-verdict hit
+        replays the cached reports without touching any tree; (2) the
+        access digests prove the pair cannot race and it is pruned before
+        the tree walk; (3) the trees are compared with the memoized
+        solver.  Every path produces the identical contribution to
+        ``races`` (the naive path's reports, exactly).
+        """
+        if self._result_cache is not None:
+            self._pair_cache_lookups += 1
+            cached = self._result_cache.load_pair(ia, ib)
+            if cached is not None:
+                self.stats.pair_cache_hits += 1
+                self._m_pair_cache_hits.inc()
+                self._m_pair_cache_rate.set(
+                    self._result_cache.pair_hits / self._pair_cache_lookups
+                )
+                self._replay_reports(cached, races, on_race)
+                return
+            self._m_pair_cache_rate.set(
+                self._result_cache.pair_hits / self._pair_cache_lookups
+            )
+        if self._prune and not digests_may_race(
+            self.digest_of(ia), self.digest_of(ib)
+        ):
+            self.stats.pairs_pruned += 1
+            self._m_pruned.inc()
+            if self._result_cache is not None:
+                self._result_cache.store_pair(ia, ib, [])
+            return
         tree_a = self.build_tree(ia)
         tree_b = self.build_tree(ib)
         candidates0 = self.stats.overlap_candidates
         solves0 = self.stats.ilp_solves
+        memo_h0 = self._memo.hits if self._memo is not None else 0
+        memo_m0 = self._memo.misses if self._memo is not None else 0
+        sink: list | None = [] if self._result_cache is not None else None
         t0 = time.perf_counter()
         with self.obs.tracer.span("pair-compare", category="offline"):
-            self.compare_trees(tree_a, tree_b, ia, ib, races, on_race=on_race)
+            self.compare_trees(
+                tree_a, tree_b, ia, ib, races, on_race=on_race, sink=sink
+            )
         elapsed = time.perf_counter() - t0
         self.stats.compare_seconds += elapsed
         # Candidate/solve counters mirror at pair grain so the comparison
         # inner loop stays untouched.
         self._m_candidates.inc(self.stats.overlap_candidates - candidates0)
         self._m_ilp.inc(self.stats.ilp_solves - solves0)
+        if self._memo is not None:
+            dh = self._memo.hits - memo_h0
+            dm = self._memo.misses - memo_m0
+            self.stats.solver_memo_hits += dh
+            self.stats.solver_memo_misses += dm
+            self._m_memo_hits.inc(dh)
+            self._m_memo_misses.inc(dm)
         self._m_compare_seconds.observe(elapsed)
         self._m_races.set(len(races))
+        if self._result_cache is not None:
+            self._result_cache.store_pair(ia, ib, sink)

@@ -1,0 +1,126 @@
+"""One options object for every analysis mode.
+
+The serial, distributed, and streaming drivers historically grew their
+own keyword sets (workers here, checkpointing there, tree-cache bounds in
+a third place).  :class:`AnalysisOptions` unifies them: every driver and
+the shared :class:`~repro.offline.engine.AnalysisEngine` consume this one
+dataclass, and :mod:`repro.api` passes it through unchanged.
+
+:class:`FastPathOptions` gates the pair-analysis fast path (digest
+pruning, solver memoization, persistent result cache).  Everything is
+on by default except the persistent cache, which writes to disk and is
+therefore opt-in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..common.config import OfflineConfig
+from ..obs import Instrumentation
+
+
+@dataclass(slots=True)
+class FastPathOptions:
+    """Toggles for the pair-analysis fast path.
+
+    All three accelerations preserve canonical-witness determinism: the
+    analysis result is byte-identical with the fast path on or off.
+    """
+
+    #: Master switch; False restores the naive path exactly.
+    enabled: bool = True
+    #: Prune pairs whose access digests prove no shared racy byte.
+    digest_pruning: bool = True
+    #: Memoize Diophantine solves on the translated constraint shape.
+    solver_memo: bool = True
+    solver_memo_capacity: int = 4096
+    #: Persist per-interval trees and pair verdicts keyed by trace
+    #: content hashes (opt-in: writes under the trace directory, or
+    #: ``cache_dir`` when set).  Only engaged for closed traces.
+    result_cache: bool = False
+    cache_dir: Optional[str] = None
+
+    def validate(self) -> None:
+        if self.solver_memo_capacity < 1:
+            raise ValueError("solver_memo_capacity must be >= 1")
+
+    @property
+    def pruning_active(self) -> bool:
+        return self.enabled and self.digest_pruning
+
+    @property
+    def memo_active(self) -> bool:
+        return self.enabled and self.solver_memo
+
+    @property
+    def cache_active(self) -> bool:
+        return self.enabled and self.result_cache
+
+
+@dataclass(slots=True)
+class AnalysisOptions:
+    """Every knob of the offline analysis, for all three modes.
+
+    Mode-specific fields are simply ignored where they do not apply
+    (``workers`` by the serial driver, checkpointing by the post-mortem
+    drivers) so one object can travel through :mod:`repro.api`
+    unchanged.
+    """
+
+    # Engine / all modes.
+    chunk_events: int = 65536
+    use_ilp_crosscheck: bool = False
+    tree_cache_capacity: int = 64
+    fastpath: FastPathOptions = field(default_factory=FastPathOptions)
+    #: Instrumentation bundle; None means the ambient bundle.
+    obs: Optional[Instrumentation] = None
+
+    # Distributed mode.
+    workers: int = 1
+
+    # Streaming mode.
+    checkpoint_path: Optional[str] = None
+    checkpoint_every: int = 32
+    max_pairs: Optional[int] = None
+
+    def validate(self) -> None:
+        self.offline_config()  # OfflineConfig.validate covers the shared knobs
+        if self.tree_cache_capacity < 1:
+            raise ValueError("tree_cache_capacity must be >= 1")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.fastpath.validate()
+
+    def offline_config(self) -> OfflineConfig:
+        """The legacy config equivalent (validated)."""
+        config = OfflineConfig(
+            chunk_events=self.chunk_events,
+            workers=self.workers,
+            use_ilp_crosscheck=self.use_ilp_crosscheck,
+        )
+        config.validate()
+        return config
+
+    def copy(self, **overrides) -> "AnalysisOptions":
+        return replace(self, **overrides)
+
+    @classmethod
+    def from_config(
+        cls,
+        config: OfflineConfig | None,
+        *,
+        obs: Optional[Instrumentation] = None,
+        **overrides,
+    ) -> "AnalysisOptions":
+        """Lift a legacy :class:`OfflineConfig` (or None) into options."""
+        if config is None:
+            return cls(obs=obs, **overrides)
+        return cls(
+            chunk_events=config.chunk_events,
+            workers=config.workers,
+            use_ilp_crosscheck=config.use_ilp_crosscheck,
+            obs=obs,
+            **overrides,
+        )

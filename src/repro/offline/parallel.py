@@ -7,21 +7,27 @@ column, §IV-C).  We reproduce the structure with a process pool: the pair
 plan is partitioned, every worker opens the trace directory itself (no tree
 pickling — workers rebuild the trees they need, exactly like remote nodes
 reading a shared filesystem), and race sets are merged at the coordinator.
+
+The supported entry point is :func:`repro.api.analyze` with
+``mode="parallel"``; :class:`ParallelOfflineAnalyzer` remains as a
+deprecated alias of :class:`DistributedOfflineAnalyzer`.
 """
 
 from __future__ import annotations
 
 import os
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 from ..common.config import OfflineConfig
 from ..obs import Instrumentation, get_obs
 from ..sword.reader import TraceDir
-from .analyzer import OfflineAnalyzer
+from .analyzer import SerialOfflineAnalyzer
 from .engine import AnalysisEngine, AnalysisResult, AnalysisStats
 from .intervals import IntervalInventory, IntervalKey
+from .options import AnalysisOptions, FastPathOptions
 from .report import RaceReport, RaceSet
 
 
@@ -32,6 +38,8 @@ class _WorkerTask:
     trace_path: str
     pair_keys: tuple[tuple[IntervalKey, IntervalKey], ...]
     chunk_events: int
+    use_ilp_crosscheck: bool = False
+    fastpath: FastPathOptions | None = None
 
 
 def _run_worker(task: _WorkerTask) -> tuple[list[tuple], AnalysisStats]:
@@ -43,9 +51,12 @@ def _run_worker(task: _WorkerTask) -> tuple[list[tuple], AnalysisStats]:
     """
     trace = TraceDir(task.trace_path)
     races = RaceSet()
-    with AnalysisEngine(
-        trace, OfflineConfig(chunk_events=task.chunk_events)
-    ) as engine:
+    options = AnalysisOptions(
+        chunk_events=task.chunk_events,
+        use_ilp_crosscheck=task.use_ilp_crosscheck,
+        fastpath=task.fastpath or FastPathOptions(),
+    )
+    with AnalysisEngine(trace, options=options) as engine:
         inventory = IntervalInventory(trace)
         for key_a, key_b in task.pair_keys:
             ia = inventory.intervals[key_a]
@@ -68,19 +79,24 @@ def default_workers() -> int:
     return max(2, min(8, os.cpu_count() or 2))
 
 
-class ParallelOfflineAnalyzer:
+class DistributedOfflineAnalyzer:
     """Coordinator for the distributed offline analysis."""
 
     def __init__(
         self,
-        trace: TraceDir,
-        config: OfflineConfig,
+        trace: TraceDir | str | os.PathLike,
+        config: OfflineConfig | None = None,
         obs: Instrumentation | None = None,
+        *,
+        options: AnalysisOptions | None = None,
     ) -> None:
+        if not isinstance(trace, TraceDir):
+            trace = TraceDir(trace)
         self.trace = trace
-        self.config = config
-        self.config.validate()
-        self.obs = obs or get_obs()
+        self.options = options or AnalysisOptions.from_config(config)
+        self.options.validate()
+        self.config = self.options.offline_config()
+        self.obs = obs or self.options.obs or get_obs()
 
     def analyze(self) -> AnalysisResult:
         """Plan centrally, compare in parallel, merge race sets."""
@@ -96,11 +112,11 @@ class ParallelOfflineAnalyzer:
         stats.plan_seconds = time.perf_counter() - t0
 
         races = RaceSet()
-        nworkers = min(self.config.workers, max(1, len(pairs)))
+        nworkers = min(self.options.workers, max(1, len(pairs)))
         if nworkers <= 1 or len(pairs) == 0:
             # Degenerate case: fall back to the serial analyzer.
-            serial = OfflineAnalyzer(
-                self.trace, self.config, obs=self.obs
+            serial = SerialOfflineAnalyzer(
+                self.trace, obs=self.obs, options=self.options
             ).analyze()
             return serial
 
@@ -115,7 +131,9 @@ class ParallelOfflineAnalyzer:
             _WorkerTask(
                 trace_path=str(self.trace.path),
                 pair_keys=tuple(shard),
-                chunk_events=self.config.chunk_events,
+                chunk_events=self.options.chunk_events,
+                use_ilp_crosscheck=self.options.use_ilp_crosscheck,
+                fastpath=self.options.fastpath,
             )
             for shard in shards
             if shard
@@ -132,6 +150,11 @@ class ParallelOfflineAnalyzer:
                     stats.events_read += wstats.events_read
                     stats.overlap_candidates += wstats.overlap_candidates
                     stats.ilp_solves += wstats.ilp_solves
+                    stats.pairs_pruned += wstats.pairs_pruned
+                    stats.solver_memo_hits += wstats.solver_memo_hits
+                    stats.solver_memo_misses += wstats.solver_memo_misses
+                    stats.pair_cache_hits += wstats.pair_cache_hits
+                    stats.tree_cache_disk_hits += wstats.tree_cache_disk_hits
                     stats.build_seconds = max(
                         stats.build_seconds, wstats.build_seconds
                     )
@@ -150,5 +173,20 @@ class ParallelOfflineAnalyzer:
         registry.counter("offline_mt.trees_built").inc(stats.trees_built)
         registry.counter("offline_mt.events_read").inc(stats.events_read)
         registry.counter("offline_mt.ilp_solves").inc(stats.ilp_solves)
+        registry.counter("offline_mt.pairs_pruned").inc(stats.pairs_pruned)
         registry.gauge("offline_mt.races").set(len(races))
         return AnalysisResult(races=races, stats=stats)
+
+
+class ParallelOfflineAnalyzer(DistributedOfflineAnalyzer):
+    """Deprecated alias; use ``repro.api.analyze(trace, mode="parallel")``."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "ParallelOfflineAnalyzer is deprecated; use "
+            "repro.api.analyze(trace, mode='parallel') "
+            "(or repro.offline.DistributedOfflineAnalyzer)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)

@@ -14,6 +14,7 @@ reporting races while the application is still running
 
 from .analyzer import (
     LiveTraceSource,
+    StreamAnalyzer,
     StreamingAnalyzer,
     StreamingInterrupted,
     replay_analyze,
@@ -27,6 +28,7 @@ __all__ = [
     "Checkpoint",
     "IncrementalPairScheduler",
     "LiveTraceSource",
+    "StreamAnalyzer",
     "StreamingAnalyzer",
     "StreamingInterrupted",
     "TraceObserver",

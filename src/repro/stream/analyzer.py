@@ -1,6 +1,6 @@
 """The streaming race analyzer: analysis racing the application.
 
-A :class:`StreamingAnalyzer` subscribes to the online tool's flush-event
+A :class:`StreamAnalyzer` subscribes to the online tool's flush-event
 bus and drives the shared :class:`~repro.offline.engine.AnalysisEngine`
 over pairs emitted by the :class:`~repro.stream.scheduler.
 IncrementalPairScheduler` — while the traced program is still running.
@@ -20,12 +20,14 @@ same observer — checkpointed pairs are skipped, the rest are analyzed.
 from __future__ import annotations
 
 import time
+import warnings
 from pathlib import Path
 
 from ..common.config import OfflineConfig
 from ..obs import Instrumentation, get_obs
 from ..offline.engine import AnalysisEngine, AnalysisResult, AnalysisStats
 from ..offline.intervals import IntervalData
+from ..offline.options import AnalysisOptions
 from ..offline.report import RaceSet
 from ..sword.reader import ThreadTraceReader, TraceDir
 from .bus import TraceObserver, replay_trace
@@ -56,12 +58,14 @@ class LiveTraceSource:
         return ThreadTraceReader(self.directory, gid, live=self.live)
 
 
-class StreamingAnalyzer(TraceObserver):
+class StreamAnalyzer(TraceObserver):
     """Incremental analysis over the flush-event bus.
 
     Args:
         directory: the trace directory being produced (or replayed).
         config: offline-analysis tuning (chunking, ILP crosscheck).
+        options: unified :class:`AnalysisOptions`; the explicit keyword
+            arguments below override the matching fields when given.
         checkpoint_path: enable resumable progress at this file.
         checkpoint_every: save the checkpoint after this many new pairs.
         on_race: live feed — called with each :class:`RaceReport` the
@@ -76,17 +80,31 @@ class StreamingAnalyzer(TraceObserver):
         directory: str | Path,
         config: OfflineConfig | None = None,
         *,
+        options: AnalysisOptions | None = None,
         checkpoint_path: str | Path | None = None,
-        checkpoint_every: int = 32,
+        checkpoint_every: int | None = None,
         on_race=None,
         max_pairs: int | None = None,
-        tree_cache_capacity: int = 64,
+        tree_cache_capacity: int | None = None,
         obs: Instrumentation | None = None,
     ) -> None:
         self.directory = Path(directory)
-        self.config = config or OfflineConfig()
-        self.config.validate()
-        self.obs = obs or get_obs()
+        options = (
+            options.copy() if options is not None
+            else AnalysisOptions.from_config(config)
+        )
+        if checkpoint_path is not None:
+            options.checkpoint_path = str(checkpoint_path)
+        if checkpoint_every is not None:
+            options.checkpoint_every = checkpoint_every
+        if max_pairs is not None:
+            options.max_pairs = max_pairs
+        if tree_cache_capacity is not None:
+            options.tree_cache_capacity = tree_cache_capacity
+        options.validate()
+        self.options = options
+        self.config = options.offline_config()
+        self.obs = obs or options.obs or get_obs()
         self.on_race = on_race
         registry = self.obs.registry
         self._m_pairs = registry.counter(
@@ -102,11 +120,12 @@ class StreamingAnalyzer(TraceObserver):
             "stream.first_race_seconds", "time to first confirmed race"
         )
         self.checkpoint = (
-            Checkpoint(checkpoint_path) if checkpoint_path else None
+            Checkpoint(options.checkpoint_path)
+            if options.checkpoint_path
+            else None
         )
-        self.checkpoint_every = max(1, checkpoint_every)
-        self.max_pairs = max_pairs
-        self._tree_cache_capacity = tree_cache_capacity
+        self.checkpoint_every = max(1, options.checkpoint_every)
+        self.max_pairs = options.max_pairs
         # Resuming: the checkpoint's race set *is* the working set, so
         # every save persists the merged state.
         self.races: RaceSet = (
@@ -158,8 +177,7 @@ class StreamingAnalyzer(TraceObserver):
             self.source.live = False
         self.engine = AnalysisEngine(
             self.source,
-            self.config,
-            tree_cache_capacity=self._tree_cache_capacity,
+            options=self.options,
             obs=self.obs,
         )
 
@@ -226,10 +244,26 @@ class StreamingAnalyzer(TraceObserver):
         return AnalysisResult(races=self.races, stats=stats)
 
 
+class StreamingAnalyzer(StreamAnalyzer):
+    """Deprecated alias; use ``repro.api.Session`` or
+    ``repro.api.analyze(trace, mode="streaming")`` instead."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        warnings.warn(
+            "StreamingAnalyzer is deprecated; use repro.api.Session / "
+            "repro.api.analyze(trace, mode='streaming') "
+            "(or repro.stream.StreamAnalyzer)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        super().__init__(*args, **kwargs)
+
+
 def replay_analyze(
     trace: TraceDir | str | Path,
     config: OfflineConfig | None = None,
     *,
+    options: AnalysisOptions | None = None,
     checkpoint_path: str | Path | None = None,
     max_pairs: int | None = None,
     on_race=None,
@@ -243,9 +277,10 @@ def replay_analyze(
     """
     if not isinstance(trace, TraceDir):
         trace = TraceDir(trace)
-    analyzer = StreamingAnalyzer(
+    analyzer = StreamAnalyzer(
         trace.path,
         config,
+        options=options,
         checkpoint_path=checkpoint_path,
         max_pairs=max_pairs,
         on_race=on_race,

@@ -32,11 +32,12 @@ from ..common.config import (
 from ..common.errors import SimulatedOOMError
 from ..memory.accounting import NodeMemory
 from ..obs import Instrumentation, get_obs, run_stats, stats_line
+from ..offline.options import AnalysisOptions
 from ..offline.report import RaceSet
 from ..omp.runtime import OpenMPRuntime
 from ..sword.logger import SwordTool
 from ..workloads.base import Workload
-from .analyzer import StreamingAnalyzer
+from .analyzer import StreamAnalyzer
 from .bus import TraceObserver
 
 
@@ -108,6 +109,7 @@ def watch(
     yield_every: int = 0,
     sword_config: Optional[SwordConfig] = None,
     offline_config: Optional[OfflineConfig] = None,
+    options: Optional[AnalysisOptions] = None,
     trace_dir: Optional[str] = None,
     keep_trace: bool = False,
     checkpoint_path: Optional[str] = None,
@@ -133,9 +135,10 @@ def watch(
         config.log_dir = str(trace_path)
         accountant = NodeMemory(node.memory_limit)
         tool = SwordTool(config, accountant, obs=obs)
-        analyzer = StreamingAnalyzer(
+        analyzer = StreamAnalyzer(
             trace_path,
             offline_config,
+            options=options,
             checkpoint_path=checkpoint_path,
             on_race=on_race,
             obs=obs,

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import bisect
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
@@ -62,7 +63,14 @@ class ThreadTraceReader:
     and :meth:`refresh` re-scans the tail to index newly flushed blocks.
     """
 
-    def __init__(self, directory: Path, gid: int, *, live: bool = False) -> None:
+    def __init__(
+        self,
+        directory: str | os.PathLike,
+        gid: int,
+        *,
+        live: bool = False,
+    ) -> None:
+        directory = Path(directory)
         self.gid = gid
         self.live = live
         self.log_path = directory / log_name(gid)
@@ -208,7 +216,7 @@ def build_interval_label(
 class TraceDir:
     """A complete SWORD trace directory (one program run)."""
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | os.PathLike) -> None:
         self.path = Path(path)
         manifest_path = self.path / MANIFEST_NAME
         if not manifest_path.exists():

@@ -1,0 +1,103 @@
+"""SolverMemo is a transparent, translation-keyed drop-in for the solver."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilp import SolverMemo, intervals_share_address
+from repro.itree import StridedInterval
+
+
+def interval(low, stride=1, size=1, count=1):
+    return StridedInterval(
+        low=low, stride=stride, size=size, count=count,
+        is_write=True, is_atomic=False, pc=0, msid=0,
+    )
+
+
+intervals_st = st.builds(
+    interval,
+    low=st.integers(min_value=0, max_value=300),
+    stride=st.integers(min_value=1, max_value=16),
+    size=st.integers(min_value=1, max_value=8),
+    count=st.integers(min_value=1, max_value=8),
+)
+
+
+@settings(max_examples=500, deadline=None)
+@given(intervals_st, intervals_st)
+def test_memo_matches_direct_solver(a, b):
+    memo = SolverMemo()
+    direct = intervals_share_address(a, b)
+    cached = memo.share_address(a, b)
+    if direct is None:
+        assert cached is None
+    else:
+        assert cached is not None
+        assert cached.address == direct.address
+    # Second call must return the exact same answer from the table.
+    again = memo.share_address(a, b)
+    assert (again is None) == (cached is None)
+    if again is not None:
+        assert again.address == cached.address
+
+
+def test_memo_hits_on_translated_pairs():
+    """One solve serves every translated copy of the constraint shape."""
+    memo = SolverMemo()
+    base_a = interval(0, stride=8, size=4, count=10)
+    base_b = interval(4, stride=8, size=4, count=10)
+    first = memo.share_address(base_a, base_b)
+    assert memo.misses == 1 and memo.hits == 0
+    for shift in (64, 128, 1 << 20):
+        a = interval(base_a.low + shift, stride=8, size=4, count=10)
+        b = interval(base_b.low + shift, stride=8, size=4, count=10)
+        shifted = memo.share_address(a, b)
+        # Translation invariance: same verdict, witness shifts along.
+        direct = intervals_share_address(a, b)
+        assert (shifted is None) == (direct is None)
+        if shifted is not None:
+            assert shifted.address == direct.address
+    assert memo.misses == 1
+    assert memo.hits == 3
+    assert first is None  # disjoint residue classes never meet
+
+
+def test_trivial_fast_paths_skip_the_table():
+    memo = SolverMemo()
+    # Disjoint extents.
+    assert memo.share_address(interval(0, size=4), interval(100, size=4)) is None
+    # Both dense.
+    r = memo.share_address(
+        interval(0, size=8, stride=1, count=8),
+        interval(4, size=8, stride=1, count=8),
+    )
+    assert r is not None and r.address == 4
+    assert memo.hits == 0 and memo.misses == 0
+    assert len(memo) == 0
+
+
+def test_capacity_is_bounded():
+    memo = SolverMemo(capacity=4)
+    for i in range(20):
+        a = interval(0, stride=8 + i, size=4, count=5)
+        b = interval(2, stride=8 + i, size=4, count=5)
+        memo.share_address(a, b)
+    assert len(memo) <= 4
+    assert memo.misses == 20
+
+
+def test_ordered_key_is_not_orientation_canonicalized():
+    """Witness addresses depend on argument order; so must the memo."""
+    memo = SolverMemo()
+    a = interval(0, stride=6, size=2, count=10)
+    b = interval(4, stride=6, size=2, count=10)
+    ab = memo.share_address(a, b)
+    ba = memo.share_address(b, a)
+    direct_ab = intervals_share_address(a, b)
+    direct_ba = intervals_share_address(b, a)
+    assert (ab is None) == (direct_ab is None)
+    assert (ba is None) == (direct_ba is None)
+    if ab is not None:
+        assert ab.address == direct_ab.address
+    if ba is not None:
+        assert ba.address == direct_ba.address

@@ -1,0 +1,150 @@
+"""Access digests: the pair-level prune must never drop a real race."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ilp import intervals_share_address
+from repro.itree import (
+    IntervalTree,
+    StridedInterval,
+    TreeDigest,
+    digests_may_race,
+    tree_from_rows,
+    tree_to_rows,
+)
+
+
+def interval(low, stride=1, size=1, count=1, write=True, atomic=False, pc=0):
+    return StridedInterval(
+        low=low, stride=stride, size=size, count=count,
+        is_write=write, is_atomic=atomic, pc=pc, msid=0,
+    )
+
+
+def make_tree(intervals):
+    tree = IntervalTree()
+    for si in intervals:
+        tree.insert(si)
+    return tree
+
+
+def pair_races(a: StridedInterval, b: StridedInterval) -> bool:
+    """The node-level race condition the digest filter approximates."""
+    if not (a.is_write or b.is_write):
+        return False
+    if a.is_atomic and b.is_atomic:
+        return False
+    return intervals_share_address(a, b) is not None
+
+
+intervals_st = st.builds(
+    interval,
+    low=st.integers(min_value=0, max_value=200),
+    stride=st.integers(min_value=1, max_value=12),
+    size=st.integers(min_value=1, max_value=8),
+    count=st.integers(min_value=1, max_value=6),
+    write=st.booleans(),
+    atomic=st.booleans(),
+)
+tree_st = st.lists(intervals_st, min_size=0, max_size=5)
+
+
+@settings(max_examples=300, deadline=None)
+@given(tree_st, tree_st)
+def test_prune_is_sound(ia, ib):
+    """digests_may_race == False implies no node pair races."""
+    da = TreeDigest.of_tree(make_tree(ia))
+    db = TreeDigest.of_tree(make_tree(ib))
+    if not digests_may_race(da, db):
+        for a in ia:
+            for b in ib:
+                assert not pair_races(a, b)
+
+
+def test_digest_of_empty_tree():
+    d = TreeDigest.of_tree(make_tree([]))
+    assert d.nodes == 0
+    assert not digests_may_race(d, d)
+
+
+def test_disjoint_boxes_pruned():
+    da = TreeDigest.of_tree(make_tree([interval(0, size=8)]))
+    db = TreeDigest.of_tree(make_tree([interval(100, size=8)]))
+    assert not digests_may_race(da, db)
+
+
+def test_read_read_pruned():
+    da = TreeDigest.of_tree(make_tree([interval(0, write=False)]))
+    db = TreeDigest.of_tree(make_tree([interval(0, write=False)]))
+    assert not digests_may_race(da, db)
+
+
+def test_atomic_atomic_pruned():
+    da = TreeDigest.of_tree(make_tree([interval(0, atomic=True)]))
+    db = TreeDigest.of_tree(make_tree([interval(0, atomic=True)]))
+    assert not digests_may_race(da, db)
+
+
+def test_disjoint_residue_classes_pruned():
+    """Two interleaved strided sweeps that never touch the same byte."""
+    # Thread A sweeps bytes {0, 8, 16, ...}; thread B sweeps {4, 12, 20, ...}.
+    da = TreeDigest.of_tree(make_tree([interval(0, stride=8, size=4, count=50)]))
+    db = TreeDigest.of_tree(make_tree([interval(4, stride=8, size=4, count=50)]))
+    assert da.gcd == 8 and db.gcd == 8
+    assert not digests_may_race(da, db)
+
+
+def test_shared_residue_class_not_pruned():
+    da = TreeDigest.of_tree(make_tree([interval(0, stride=8, size=4, count=50)]))
+    db = TreeDigest.of_tree(make_tree([interval(8, stride=8, size=4, count=50)]))
+    assert digests_may_race(da, db)
+
+
+def test_digest_json_roundtrip():
+    d = TreeDigest.of_tree(
+        make_tree([interval(0, stride=8, size=4, count=5), interval(64)])
+    )
+    assert TreeDigest.from_json(d.to_json()) == d
+
+
+@settings(max_examples=100, deadline=None)
+@given(tree_st)
+def test_serialize_roundtrip_exact_shape(intervals):
+    """tree_from_rows rebuilds the identical structure — node for node —
+    so the shape-dependent iter_overlaps enumeration order is preserved."""
+    tree = make_tree(intervals)
+    rebuilt = tree_from_rows(tree_to_rows(tree))
+    assert len(rebuilt) == len(tree)
+    assert tree_to_rows(rebuilt) == tree_to_rows(tree)
+
+    def shape(t, node):
+        if node is t.nil:
+            return None
+        return (
+            node.color,
+            node.interval.low,
+            node.max_high,
+            shape(t, node.left),
+            shape(t, node.right),
+        )
+
+    assert shape(rebuilt, rebuilt.root) == shape(tree, tree.root)
+
+
+def test_residue_window_math_matches_brute_force():
+    """Cross-check the modular window test against explicit address sets."""
+    cases = [
+        (interval(0, stride=6, size=2, count=10), interval(3, stride=6, size=2, count=10)),
+        (interval(0, stride=6, size=2, count=10), interval(2, stride=6, size=2, count=10)),
+        (interval(1, stride=9, size=3, count=7), interval(5, stride=9, size=3, count=7)),
+    ]
+    for a, b in cases:
+        da = TreeDigest.of_tree(make_tree([a]))
+        db = TreeDigest.of_tree(make_tree([b]))
+        shared = bool(set(a.addresses()) & set(b.addresses())) if hasattr(a, "addresses") else (
+            intervals_share_address(a, b) is not None
+        )
+        if not digests_may_race(da, db):
+            assert not shared

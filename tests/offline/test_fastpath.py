@@ -1,0 +1,180 @@
+"""Fast-path parity: pruning, memoization, and the persistent cache must
+be invisible in the output — byte-identical races, fast path on or off.
+"""
+
+import json
+import shutil
+import tempfile
+
+import pytest
+
+from repro.common.config import RunConfig, SchedulerConfig, SwordConfig
+from repro.offline import (
+    AnalysisOptions,
+    FastPathOptions,
+    SerialOfflineAnalyzer,
+)
+from repro.omp import OpenMPRuntime
+from repro.sword import SwordTool, TraceDir
+from repro.workloads import REGISTRY
+
+NTHREADS = 4
+SEED = 0
+
+NAIVE = AnalysisOptions(fastpath=FastPathOptions(enabled=False))
+FAST = AnalysisOptions(fastpath=FastPathOptions(enabled=True))
+
+#: Racy workloads from the DataRaceBench and paper-example suites — the
+#: suites with hand-seeded ground truth (tests/workloads) — plus the
+#: racy tasking programs for the execution-point dimension.
+PARITY = [
+    w
+    for w in REGISTRY
+    if w.racy and w.suite in ("dataracebench", "paper", "tasking")
+]
+
+
+def blob(races):
+    return json.dumps(races.to_json(), sort_keys=True).encode()
+
+
+def collect(workload, trace_path, **params):
+    tool = SwordTool(SwordConfig(log_dir=trace_path, buffer_events=256))
+    rt = OpenMPRuntime(
+        RunConfig(nthreads=NTHREADS, scheduler=SchedulerConfig(seed=SEED)),
+        tool=tool,
+    )
+    rt.run(lambda m: workload.run_program(m, **params))
+
+
+@pytest.mark.parametrize("workload", PARITY, ids=lambda w: w.name)
+def test_fastpath_byte_identical(workload):
+    trace_path = tempfile.mkdtemp(prefix=f"fastpath-{workload.name}-")
+    try:
+        collect(workload, trace_path)
+        trace = TraceDir(trace_path)
+        naive = SerialOfflineAnalyzer(trace, options=NAIVE).analyze()
+        fast = SerialOfflineAnalyzer(trace, options=FAST).analyze()
+        assert blob(fast.races) == blob(naive.races)
+        assert len(naive.races) == workload.seeded_races
+        # The naive leg must not silently use any fast-path machinery.
+        assert naive.stats.pairs_pruned == 0
+        assert naive.stats.solver_memo_hits == 0
+        assert naive.stats.solver_memo_misses == 0
+    finally:
+        shutil.rmtree(trace_path, ignore_errors=True)
+
+
+def _residue_program(m):
+    """Disjoint residue-class sweeps plus one genuine race on a scalar."""
+    arr = m.alloc_array("grid", 64 * NTHREADS)
+    hot = m.alloc_scalar("hot")
+
+    def body(ctx):
+        for i in range(ctx.tid, 64 * NTHREADS, NTHREADS):
+            ctx.write(arr, i, float(i))
+        if ctx.tid < 2:
+            ctx.write(hot, 0, float(ctx.tid))
+
+    m.parallel(body, nthreads=NTHREADS)
+
+
+def test_pruning_fires_and_keeps_the_race(tmp_path):
+    trace_path = str(tmp_path / "trace")
+    tool = SwordTool(SwordConfig(log_dir=trace_path, buffer_events=256))
+    OpenMPRuntime(
+        RunConfig(nthreads=NTHREADS, scheduler=SchedulerConfig(seed=SEED)),
+        tool=tool,
+    ).run(_residue_program)
+    trace = TraceDir(trace_path)
+    naive = SerialOfflineAnalyzer(trace, options=NAIVE).analyze()
+    fast = SerialOfflineAnalyzer(trace, options=FAST).analyze()
+    assert blob(fast.races) == blob(naive.races)
+    assert len(fast.races) >= 1
+    assert fast.stats.pairs_pruned > 0
+    # Pruned pairs skip tree building and solving entirely.
+    assert fast.stats.ilp_solves <= naive.stats.ilp_solves
+
+
+def test_persistent_cache_warm_run_identical(tmp_path):
+    workload = REGISTRY.get("plusplus-orig-yes")
+    trace_path = str(tmp_path / "trace")
+    collect(workload, trace_path)
+    cached = AnalysisOptions(
+        fastpath=FastPathOptions(enabled=True, result_cache=True)
+    )
+    trace = TraceDir(trace_path)
+    cold = SerialOfflineAnalyzer(trace, options=cached).analyze()
+    assert cold.stats.pair_cache_hits == 0
+    warm = SerialOfflineAnalyzer(TraceDir(trace_path), options=cached).analyze()
+    assert warm.stats.pair_cache_hits > 0
+    assert blob(warm.races) == blob(cold.races)
+    gold = SerialOfflineAnalyzer(TraceDir(trace_path), options=NAIVE).analyze()
+    assert blob(warm.races) == blob(gold.races)
+    assert (tmp_path / "trace" / ".sword-cache").is_dir()
+
+
+def test_cache_invalidation_on_trace_regeneration(tmp_path):
+    """Rewriting the trace in place must invalidate every stale entry."""
+    trace_path = str(tmp_path / "trace")
+    racy = REGISTRY.get("plusplus-orig-yes")
+    quiet = REGISTRY.get("antidep1-var-no")
+    cached = AnalysisOptions(
+        fastpath=FastPathOptions(enabled=True, result_cache=True)
+    )
+
+    collect(racy, trace_path)
+    first = SerialOfflineAnalyzer(TraceDir(trace_path), options=cached).analyze()
+    assert len(first.races) == racy.seeded_races > 0
+
+    # Regenerate the trace in the same directory with the race-free
+    # variant; the cache dir survives but its tokens must all miss.
+    cache_dir = tmp_path / "trace" / ".sword-cache"
+    saved = tmp_path / "saved-cache"
+    shutil.copytree(cache_dir, saved)
+    shutil.rmtree(trace_path)
+    collect(quiet, trace_path)
+    shutil.copytree(saved, cache_dir)
+
+    second = SerialOfflineAnalyzer(TraceDir(trace_path), options=cached).analyze()
+    assert second.stats.pair_cache_hits == 0
+    assert len(second.races) == 0
+    gold = SerialOfflineAnalyzer(TraceDir(trace_path), options=NAIVE).analyze()
+    assert blob(second.races) == blob(gold.races)
+
+
+def test_explicit_cache_dir(tmp_path):
+    workload = REGISTRY.get("plusplus-orig-yes")
+    trace_path = str(tmp_path / "trace")
+    collect(workload, trace_path)
+    cache_dir = tmp_path / "elsewhere"
+    opts = AnalysisOptions(
+        fastpath=FastPathOptions(
+            enabled=True, result_cache=True, cache_dir=str(cache_dir)
+        )
+    )
+    cold = SerialOfflineAnalyzer(TraceDir(trace_path), options=opts).analyze()
+    warm = SerialOfflineAnalyzer(TraceDir(trace_path), options=opts).analyze()
+    assert warm.stats.pair_cache_hits > 0
+    assert blob(warm.races) == blob(cold.races)
+    assert cache_dir.is_dir()
+    assert not (tmp_path / "trace" / ".sword-cache").exists()
+
+
+def test_memo_counts_surface_in_stats(tmp_path):
+    trace_path = str(tmp_path / "trace")
+    tool = SwordTool(SwordConfig(log_dir=trace_path, buffer_events=256))
+    OpenMPRuntime(
+        RunConfig(nthreads=NTHREADS, scheduler=SchedulerConfig(seed=SEED)),
+        tool=tool,
+    ).run(_residue_program)
+    fast = SerialOfflineAnalyzer(TraceDir(trace_path), options=FAST).analyze()
+    payload = fast.stats.to_json()
+    for key in (
+        "pairs_pruned",
+        "solver_memo_hits",
+        "solver_memo_misses",
+        "pair_cache_hits",
+        "tree_cache_disk_hits",
+    ):
+        assert key in payload

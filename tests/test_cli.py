@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.__main__ import main
+from repro.api import JSON_SCHEMA_VERSION
 from repro.common.config import RunConfig, SwordConfig
 from repro.omp import OpenMPRuntime
 from repro.sword import SwordTool
@@ -51,6 +52,7 @@ def test_list_workloads_json(capsys):
 def test_check_json(capsys):
     assert main(["check", "plusplus-orig-yes", "--threads", "2", "--json"]) == 0
     payload = json.loads(capsys.readouterr().out)
+    assert payload["schema_version"] == JSON_SCHEMA_VERSION
     assert payload["tool"] == "sword"
     assert len(payload["races"]) == 2
     assert {"pc_a", "pc_b", "address", "description"} <= set(payload["races"][0])
@@ -110,6 +112,7 @@ def test_watch_prints_live_races(capsys):
 def test_watch_json(capsys):
     assert main(["watch", "plusplus-orig-yes", "--threads", "2", "--json"]) == 0
     payload = json.loads(capsys.readouterr().out)
+    assert payload["schema_version"] == JSON_SCHEMA_VERSION
     assert len(payload["races"]) == 2
     assert payload["time_to_first_race"] is not None
     assert payload["pairs_analyzed"] > 0
@@ -149,6 +152,7 @@ def test_analyze_trace(tmp_path, capsys):
     capsys.readouterr()
     assert main(["analyze", str(trace), "--json"]) == 0
     payload = json.loads(capsys.readouterr().out)
+    assert payload["schema_version"] == JSON_SCHEMA_VERSION
     assert len(payload["races"]) == 1
     assert payload["stats"]["intervals"] > 0
     assert payload["metrics"]["counters"]["offline.trees_built"] > 0
@@ -160,3 +164,40 @@ def test_analyze_trace(tmp_path, capsys):
     doc = json.loads(events_path.read_text())
     names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
     assert {"analyze", "offline", "tree-build"} <= names
+
+
+def test_analyze_modes_and_fastpath_flags(tmp_path, capsys):
+    trace = tmp_path / "trace"
+
+    def program(m):
+        a = m.alloc_scalar("a")
+
+        def body(ctx):
+            ctx.write(a, 0, float(ctx.tid))
+        m.parallel(body, nthreads=2)
+
+    tool = SwordTool(SwordConfig(log_dir=str(trace)))
+    OpenMPRuntime(RunConfig(nthreads=2), tool=tool).run(program)
+
+    payloads = {}
+    for mode in ("serial", "parallel", "streaming"):
+        assert main(["analyze", str(trace), "--mode", mode, "--json"]) == 0
+        payloads[mode] = json.loads(capsys.readouterr().out)
+    assert (
+        payloads["serial"]["races"]
+        == payloads["parallel"]["races"]
+        == payloads["streaming"]["races"]
+    )
+
+    assert main(["analyze", str(trace), "--no-fastpath", "--json"]) == 0
+    naive = json.loads(capsys.readouterr().out)
+    assert naive["races"] == payloads["serial"]["races"]
+
+    # --cache: second run serves pair verdicts from disk, same races.
+    assert main(["analyze", str(trace), "--cache", "--json"]) == 0
+    cold = json.loads(capsys.readouterr().out)
+    assert main(["analyze", str(trace), "--cache", "--json"]) == 0
+    warm = json.loads(capsys.readouterr().out)
+    assert warm["races"] == cold["races"] == payloads["serial"]["races"]
+    assert warm["metrics"]["counters"]["offline.pair_cache_hits"] > 0
+    assert (trace / ".sword-cache").is_dir()
