@@ -10,7 +10,11 @@ Commands:
 * ``experiment <id> [--fast]``        — regenerate one paper table/figure
   (E1..E10, see DESIGN.md);
 * ``analyze <trace-dir> [--mode M]``  — offline-analyze an existing
-  SWORD trace directory.
+  SWORD trace directory (``--salvage`` recovers what it can from a
+  corrupt or truncated trace and reports the loss);
+* ``faults inject|sweep``             — deterministic fault injection:
+  mutate a trace from a seeded plan, or run the kill-point sweep that
+  proves salvage analysis completes at every truncation point.
 
 Every subcommand routes through :mod:`repro.api` and accepts ``--json``
 for a machine-readable report (the shared races/stats schema, versioned
@@ -116,34 +120,39 @@ def cmd_list_workloads(args: argparse.Namespace) -> int:
 
 def cmd_check(args: argparse.Namespace) -> int:
     obs = _make_obs(args)
+    options = None
+    if getattr(args, "salvage", False):
+        options = AnalysisOptions(integrity="salvage")
     result = api.detect(
         args.workload,
         tool=args.tool,
         nthreads=args.threads,
         seed=args.seed,
         obs=obs,
+        options=options,
     )
     _export_obs(args, obs)
     if args.json:
-        _print_json(
-            {
-                "workload": result.workload,
-                "tool": result.tool,
-                "nthreads": result.nthreads,
-                "oom": result.oom,
-                "races": (
-                    result.races.to_json()
-                    if result.races is not None
-                    else None
-                ),
-                "dynamic_seconds": result.dynamic_seconds,
-                "offline_seconds": result.offline_seconds,
-                "app_bytes": result.app_bytes,
-                "tool_bytes": result.tool_bytes,
-                "stats": result.stats,
-                "metrics": result.metrics,
-            }
-        )
+        payload = {
+            "workload": result.workload,
+            "tool": result.tool,
+            "nthreads": result.nthreads,
+            "oom": result.oom,
+            "races": (
+                result.races.to_json()
+                if result.races is not None
+                else None
+            ),
+            "dynamic_seconds": result.dynamic_seconds,
+            "offline_seconds": result.offline_seconds,
+            "app_bytes": result.app_bytes,
+            "tool_bytes": result.tool_bytes,
+            "stats": result.stats,
+            "metrics": result.metrics,
+        }
+        if result.integrity is not None:
+            payload["integrity"] = result.integrity.to_json()
+        _print_json(payload)
         return 2 if result.oom else 0
     if result.oom:
         print(f"{args.tool} ran OUT OF MEMORY on the simulated node")
@@ -157,6 +166,8 @@ def cmd_check(args: argparse.Namespace) -> int:
     if result.races is None:
         print("(baseline: race checking disabled)")
         return 0
+    if result.integrity is not None:
+        print(result.integrity.summary())
     print(f"races: {result.race_count}")
     for race in result.races:
         print(" ", race.describe())
@@ -229,6 +240,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     obs = _make_obs(args)
     options = AnalysisOptions(
         workers=args.workers,
+        integrity="salvage" if args.salvage else "strict",
         fastpath=FastPathOptions(
             enabled=not args.no_fastpath,
             result_cache=bool(args.cache or args.cache_dir),
@@ -251,10 +263,18 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         f"trees={stats.trees_built} nodes={stats.tree_nodes} "
         f"time={fmt_seconds(stats.total_seconds)}"
     )
+    if result.integrity is not None:
+        print(result.integrity.summary())
     print(f"races: {result.race_count}")
     for race in result.races:
         print(" ", race.describe())
     return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    from .faults.cli import run_faults_command
+
+    return run_faults_command(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -273,6 +293,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tool", choices=TOOL_NAMES, default="sword")
     p.add_argument("--threads", type=int, default=8)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--salvage",
+        action="store_true",
+        help="tolerate trace damage during the offline phase and report "
+        "what was lost (sword only)",
+    )
     _add_obs_flags(p)
     p.set_defaults(func=cmd_check)
 
@@ -319,8 +345,24 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="result-cache location (implies --cache)",
     )
+    p.add_argument(
+        "--salvage",
+        action="store_true",
+        help="tolerate trace damage: truncate at torn frames, analyze "
+        "what survives, and attach an integrity report",
+    )
     _add_obs_flags(p)
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "faults",
+        help="fault-injection harness (inject faults into a trace, or "
+        "sweep kill points over a workload)",
+    )
+    from .faults.cli import add_faults_subcommands
+
+    add_faults_subcommands(p)
+    p.set_defaults(func=cmd_faults)
 
     return parser
 

@@ -119,6 +119,7 @@ def analyze(
     trace: Union[str, os.PathLike, TraceDir],
     *,
     mode: str = "auto",
+    integrity: str = "strict",
     options: Optional[AnalysisOptions] = None,
     obs: Optional[Instrumentation] = None,
 ) -> AnalysisResult:
@@ -129,14 +130,27 @@ def analyze(
     the incremental analyzer — the checkpoint/resume path), or ``auto``
     (parallel when ``options.workers > 1``, serial otherwise).  All
     modes return byte-identical race sets.
+
+    ``integrity="salvage"`` analyses a damaged trace (crashed run,
+    corrupted files): every defect truncates or skips instead of
+    raising, the result carries an
+    :class:`~repro.sword.integrity.IntegrityReport`, and the returned
+    race set is a subset of what the undamaged trace would yield.
+    Salvage always runs the serial driver.
     """
     if mode not in ANALYSIS_MODES:
         raise ValueError(
             f"unknown analysis mode {mode!r}; expected one of {ANALYSIS_MODES}"
         )
     options = options or AnalysisOptions()
+    if integrity != "strict":
+        options = options.copy(integrity=integrity)
+    if options.integrity == "salvage":
+        # Salvage needs the single code path that threads the integrity
+        # ledger through planning and pair analysis.
+        mode = "serial"
     if not isinstance(trace, TraceDir):
-        trace = TraceDir(trace)
+        trace = TraceDir(trace, integrity=options.integrity)
     if mode == "auto":
         mode = "parallel" if options.workers > 1 else "serial"
     if mode == "serial":

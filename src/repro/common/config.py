@@ -67,6 +67,22 @@ class SwordConfig:
             :mod:`repro.sword.compression.registry`); the paper compared LZO,
             Snappy and LZ4 and found them equivalent, settling on LZO.
         log_dir: directory receiving ``thread_<tid>.log`` / ``.meta`` files.
+        durable: production-hardening mode — meta rows are appended (with
+            per-row CRCs) the moment they are emitted and the run-wide
+            tables (regions journal, mutex sets, an in-progress manifest)
+            are kept on disk throughout the run, so a kill at any point
+            leaves a salvageable trace instead of only log bytes.
+        fsync_on_flush: fsync the log file after every flushed chunk (and
+            the meta file after every durable row).  Off by default: the
+            paper's overhead numbers assume buffered writes.
+        flush_retries: additional write attempts after a failed flush
+            before the degradation policy applies.
+        flush_backoff_seconds: base of the exponential backoff between
+            flush retries (attempt ``n`` waits ``base * 2**n`` seconds).
+        flush_degraded: what to do when retries are exhausted —
+            ``"raise"`` propagates :class:`~repro.common.errors.FlushError`;
+            ``"drop-oldest"`` discards the failing chunk, records exactly
+            what was lost in the manifest, and keeps the run alive.
     """
 
     buffer_events: int = SWORD_BUFFER_EVENTS
@@ -74,6 +90,11 @@ class SwordConfig:
     aux_bytes: int = SWORD_AUX_BYTES
     codec: str = "lzrle"
     log_dir: str = ""
+    durable: bool = False
+    fsync_on_flush: bool = False
+    flush_retries: int = 3
+    flush_backoff_seconds: float = 0.01
+    flush_degraded: str = "raise"
 
     def validate(self) -> None:
         if self.buffer_events <= 0:
@@ -82,6 +103,15 @@ class SwordConfig:
             raise ConfigError("buffer_bytes/aux_bytes must be positive")
         if not self.log_dir:
             raise ConfigError("SwordConfig.log_dir must be set")
+        if self.flush_retries < 0:
+            raise ConfigError("flush_retries must be >= 0")
+        if self.flush_backoff_seconds < 0:
+            raise ConfigError("flush_backoff_seconds must be >= 0")
+        if self.flush_degraded not in ("raise", "drop-oldest"):
+            raise ConfigError(
+                f"flush_degraded must be 'raise' or 'drop-oldest', "
+                f"got {self.flush_degraded!r}"
+            )
 
     @property
     def per_thread_bytes(self) -> int:

@@ -51,6 +51,23 @@ class TraceFormatError(ReproError):
     """A SWORD log or meta-data file is malformed or truncated."""
 
 
+class FlushError(ReproError):
+    """The online logger could not persist a trace chunk.
+
+    Raised after the bounded retry/backoff policy is exhausted (disk
+    full, sink gone) when the degradation mode is ``"raise"``; with
+    ``"drop-oldest"`` the chunk is discarded and recorded instead.
+    """
+
+    def __init__(self, gid: int, attempts: int, cause: BaseException) -> None:
+        super().__init__(
+            f"thread {gid}: flush failed after {attempts} attempt(s): {cause}"
+        )
+        self.gid = gid
+        self.attempts = attempts
+        self.cause = cause
+
+
 class CodecError(ReproError):
     """Compression or decompression of a trace block failed."""
 

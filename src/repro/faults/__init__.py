@@ -1,0 +1,40 @@
+"""Deterministic fault injection for the trace pipeline.
+
+The durability claims of the logger/reader pair (CRC-framed chunks,
+salvage-mode analysis) are only as good as the faults they were tested
+against.  This package makes those faults reproducible first-class
+objects:
+
+* :class:`~repro.faults.plan.FaultPlan` — a seedable, serialisable list
+  of mutations to a closed trace directory (truncate a log, flip payload
+  or header bytes, delete or duplicate meta rows);
+* :class:`~repro.faults.sink.FaultySinkFactory` — a drop-in
+  ``sink_factory`` for :class:`~repro.sword.logger.SwordTool` whose
+  sinks raise transient or permanent ``OSError`` on the Nth write,
+  exercising the retry/backoff/degradation policy online;
+* :mod:`~repro.faults.harness` — the kill-point sweep: truncate a clean
+  trace at every frame boundary (and mid-frame) and assert that salvage
+  analysis always completes with a race set that is a subset of the
+  clean run's;
+* :mod:`~repro.faults.fixtures` — the same machinery as pytest fixtures.
+
+CLI: ``python -m repro faults inject <trace-dir> --seed N`` and
+``python -m repro faults sweep <workload> --out report.json``.
+"""
+
+from .plan import FaultAction, FaultPlan
+from .sink import FaultySink, FaultySinkFactory, SinkFaultSpec
+from .harness import KillPoint, SweepPointResult, SweepResult, frame_kill_points, kill_sweep
+
+__all__ = [
+    "FaultAction",
+    "FaultPlan",
+    "FaultySink",
+    "FaultySinkFactory",
+    "KillPoint",
+    "SinkFaultSpec",
+    "SweepPointResult",
+    "SweepResult",
+    "frame_kill_points",
+    "kill_sweep",
+]

@@ -1,0 +1,120 @@
+"""``python -m repro faults`` — the fault-injection CLI.
+
+Two subcommands:
+
+* ``inject <trace-dir>`` — apply a seeded
+  :class:`~repro.faults.plan.FaultPlan` to an existing trace directory
+  (in place; run it on a copy).  Prints the mutations; ``--plan-out``
+  saves the plan JSON for replay.
+* ``sweep <workload>`` — the kill-anywhere property check: collect a
+  clean durable trace, truncate at every frame kill point, and verify
+  that salvage analysis completes with a subset race set.  ``--out``
+  writes the full report (per-point integrity reports included) as a
+  JSON artifact; exit status 1 when any point violates the property.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from .harness import kill_sweep
+from .plan import FaultPlan
+
+
+def add_faults_subcommands(parser: argparse.ArgumentParser) -> None:
+    sub = parser.add_subparsers(dest="faults_command", required=True)
+
+    p = sub.add_parser(
+        "inject", help="apply a seeded fault plan to a trace directory"
+    )
+    p.add_argument("trace_dir")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--actions", type=int, default=3, help="mutations to generate"
+    )
+    p.add_argument(
+        "--plan-out", metavar="PATH", help="save the applied plan as JSON"
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p = sub.add_parser(
+        "sweep",
+        help="kill-point sweep: verify salvage analysis at every truncation",
+    )
+    p.add_argument("workload", nargs="?", default="antidep1-orig-yes")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--threads", type=int, default=2)
+    p.add_argument(
+        "--buffer-events",
+        type=int,
+        default=64,
+        help="small buffers -> many frames -> many kill points",
+    )
+    p.add_argument(
+        "--max-points",
+        type=int,
+        default=None,
+        help="subsample the kill points evenly (smoke runs)",
+    )
+    p.add_argument(
+        "--out", metavar="PATH", help="write the sweep report JSON artifact"
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+
+
+def _cmd_inject(args: argparse.Namespace) -> int:
+    trace_dir = Path(args.trace_dir)
+    if not trace_dir.is_dir():
+        print(f"not a trace directory: {trace_dir}")
+        return 1
+    plan = FaultPlan.random(trace_dir, seed=args.seed, actions=args.actions)
+    applied = plan.apply(trace_dir)
+    if args.plan_out:
+        Path(args.plan_out).write_text(json.dumps(plan.to_json(), indent=2))
+    if args.json:
+        print(json.dumps(plan.to_json(), indent=2, sort_keys=True))
+        return 0
+    if not applied:
+        print("no applicable faults (empty trace?)")
+        return 0
+    for line in applied:
+        print(f"injected: {line}")
+    print(
+        f"{len(applied)} fault(s) applied (seed {args.seed}); analyze with "
+        f"--salvage to see the integrity report"
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    result = kill_sweep(
+        args.workload,
+        nthreads=args.threads,
+        seed=args.seed,
+        buffer_events=args.buffer_events,
+        max_points=args.max_points,
+    )
+    if args.out:
+        Path(args.out).write_text(
+            json.dumps(result.to_json(), indent=2, sort_keys=True)
+        )
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+    else:
+        print(result.summary())
+        for point in result.failures:
+            print(
+                f"  FAILED {point.point.describe()}: "
+                f"{point.error or 'race set not a subset'}"
+            )
+    return 0 if result.ok else 1
+
+
+def run_faults_command(args: argparse.Namespace) -> int:
+    if args.faults_command == "inject":
+        return _cmd_inject(args)
+    if args.faults_command == "sweep":
+        return _cmd_sweep(args)
+    raise ValueError(f"unknown faults command {args.faults_command!r}")

@@ -1,0 +1,85 @@
+"""Pytest fixtures over the fault-injection machinery.
+
+Import-star these from a ``conftest.py`` to use them::
+
+    from repro.faults.fixtures import *  # noqa: F401,F403
+
+Fixtures:
+
+* ``fault_plan`` — factory: generate-and-apply a seeded
+  :class:`~repro.faults.plan.FaultPlan` against a trace directory;
+* ``faulty_sink_factory`` — factory: a
+  :class:`~repro.faults.sink.FaultySinkFactory` for ``SwordTool``'s
+  ``sink_factory`` seam;
+* ``collected_trace`` — factory: run a (small, racy by default)
+  workload and leave a durable trace in a temp directory.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from .harness import collect_trace
+from .plan import FaultPlan
+from .sink import FaultySinkFactory, SinkFaultSpec
+
+__all__ = ["collected_trace", "fault_plan", "faulty_sink_factory"]
+
+
+@pytest.fixture
+def fault_plan():
+    """Factory: build a seeded plan and apply it to a trace directory."""
+
+    def make(trace_dir, *, seed: int = 0, actions: int = 3) -> FaultPlan:
+        plan = FaultPlan.random(trace_dir, seed=seed, actions=actions)
+        plan.apply(trace_dir)
+        return plan
+
+    return make
+
+
+@pytest.fixture
+def faulty_sink_factory():
+    """Factory: a sink factory whose Nth write raises ``OSError``."""
+
+    def make(
+        fail_at: int = 1,
+        *,
+        fail_count: int = 1,
+        permanent: bool = False,
+    ) -> FaultySinkFactory:
+        return FaultySinkFactory(
+            SinkFaultSpec(
+                fail_at=fail_at, fail_count=fail_count, permanent=permanent
+            )
+        )
+
+    return make
+
+
+@pytest.fixture
+def collected_trace(tmp_path):
+    """Factory: a durable trace of one workload under SWORD."""
+
+    def make(
+        workload: str = "antidep1-orig-yes",
+        *,
+        nthreads: int = 2,
+        seed: int = 0,
+        buffer_events: int = 64,
+        **params,
+    ) -> Path:
+        trace_dir = tmp_path / f"trace-{workload}-{seed}"
+        collect_trace(
+            workload,
+            trace_dir,
+            nthreads=nthreads,
+            seed=seed,
+            buffer_events=buffer_events,
+            **params,
+        )
+        return trace_dir
+
+    return make

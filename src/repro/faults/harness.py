@@ -1,0 +1,311 @@
+"""The kill-point sweep: SWORD's crash-tolerance property test.
+
+The headline durability guarantee is *kill-anywhere*: truncate a trace at
+any byte — a frame boundary, mid-header, mid-payload, before the commit
+marker — and salvage analysis still completes, reporting a race set that
+is a **subset** of what the undamaged trace yields (never a crash, never
+an invented race), with the loss itemised in an
+:class:`~repro.sword.integrity.IntegrityReport`.
+
+This module enumerates those kill points from a clean trace's actual
+frame layout, replays each one against a pristine copy, and checks the
+property.  It backs both the ``tests/faults`` property test and the CI
+``faults-smoke`` step (``python -m repro faults sweep``).
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Union
+
+from ..common.config import RunConfig, SchedulerConfig, SwordConfig
+from ..common.errors import TraceFormatError
+from ..omp.runtime import OpenMPRuntime
+from ..sword.logger import SwordTool
+from ..sword.reader import TraceDir
+from ..sword.traceformat import (
+    BLOCK_HEADER_BYTES,
+    BLOCK_MAGIC,
+    COMMIT_TRAILER_BYTES,
+    FRAME_HEADER_BYTES,
+    FRAME_MAGIC,
+    log_name,
+    unpack_block_header,
+    unpack_frame_header,
+)
+from ..workloads import REGISTRY
+from ..workloads.base import Workload
+
+
+@dataclass(frozen=True, slots=True)
+class KillPoint:
+    """One simulated kill: truncate ``target`` at ``offset`` bytes."""
+
+    target: str  # log file name relative to the trace directory
+    offset: int
+    kind: str  # "clean-end" | "boundary" | "mid-header" | "mid-payload" | "pre-commit"
+
+    def describe(self) -> str:
+        return f"{self.target}@{self.offset} ({self.kind})"
+
+
+def _resolve(workload: Union[str, Workload]) -> Workload:
+    if isinstance(workload, str):
+        return REGISTRY.get(workload)
+    return workload
+
+
+def collect_trace(
+    workload: Union[str, Workload],
+    trace_dir: str | Path,
+    *,
+    nthreads: int = 2,
+    seed: int = 0,
+    buffer_events: int = 64,
+    durable: bool = True,
+    **params,
+) -> None:
+    """Run one workload under SWORD, leaving the trace in ``trace_dir``.
+
+    A small ``buffer_events`` forces many flushes so the logs contain
+    enough frames to make the kill-point sweep meaningful.  Durable mode
+    is the default: the sweep models kills, and only durable traces keep
+    their meta rows on disk at kill time.
+    """
+    w = _resolve(workload)
+    config = SwordConfig(
+        log_dir=str(trace_dir), buffer_events=buffer_events, durable=durable
+    )
+    tool = SwordTool(config)
+    rt = OpenMPRuntime(
+        RunConfig(nthreads=nthreads, scheduler=SchedulerConfig(seed=seed)),
+        tool=tool,
+    )
+    rt.run(lambda master: w.run_program(master, **params))
+
+
+def frame_kill_points(trace_dir: str | Path) -> list[KillPoint]:
+    """Enumerate kill points from the actual frame layout of each log.
+
+    Per frame: the boundary after it, a mid-header cut, a mid-payload
+    cut, and a cut just before the commit marker; plus the file end
+    itself (``clean-end`` — the no-fault control point, which salvage
+    must analyze byte-identically to strict).
+    """
+    trace_dir = Path(trace_dir)
+    points: list[KillPoint] = []
+    for log_path in sorted(trace_dir.glob("thread_*.log")):
+        data = log_path.read_bytes()
+        name = log_path.name
+        pos = 0
+        while pos < len(data):
+            magic = data[pos : pos + 4]
+            if magic == FRAME_MAGIC:
+                header = unpack_frame_header(
+                    data[pos : pos + FRAME_HEADER_BYTES]
+                )
+                end = (
+                    pos
+                    + FRAME_HEADER_BYTES
+                    + header.compressed_size
+                    + COMMIT_TRAILER_BYTES
+                )
+                points.append(KillPoint(name, pos + 16, "mid-header"))
+                points.append(
+                    KillPoint(
+                        name,
+                        pos + FRAME_HEADER_BYTES + header.compressed_size // 2,
+                        "mid-payload",
+                    )
+                )
+                points.append(KillPoint(name, end - 4, "pre-commit"))
+                points.append(
+                    KillPoint(
+                        name,
+                        end,
+                        "clean-end" if end == len(data) else "boundary",
+                    )
+                )
+                pos = end
+            elif magic == BLOCK_MAGIC:  # legacy v1 block
+                header = unpack_block_header(
+                    data[pos : pos + BLOCK_HEADER_BYTES]
+                )
+                end = pos + BLOCK_HEADER_BYTES + header.compressed_size
+                points.append(KillPoint(name, pos + 12, "mid-header"))
+                points.append(
+                    KillPoint(
+                        name,
+                        end,
+                        "clean-end" if end == len(data) else "boundary",
+                    )
+                )
+                pos = end
+            else:
+                raise TraceFormatError(
+                    f"{log_path}: unrecognised frame at byte {pos} "
+                    f"(sweep requires a clean trace)"
+                )
+    return points
+
+
+@dataclass(slots=True)
+class SweepPointResult:
+    """Outcome of salvage analysis after one kill."""
+
+    point: KillPoint
+    completed: bool
+    subset_ok: bool
+    identical: bool  # race set byte-identical to the clean run's
+    races: int = 0
+    error: str = ""
+    integrity: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        if self.point.kind == "clean-end":
+            return self.completed and self.identical
+        return self.completed and self.subset_ok
+
+    def to_json(self) -> dict:
+        return {
+            "target": self.point.target,
+            "offset": self.point.offset,
+            "kind": self.point.kind,
+            "completed": self.completed,
+            "subset_ok": self.subset_ok,
+            "identical": self.identical,
+            "races": self.races,
+            "ok": self.ok,
+            "error": self.error,
+            "integrity": self.integrity,
+        }
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """All kill points of one workload, checked against the clean run."""
+
+    workload: str
+    seed: int
+    nthreads: int
+    clean_races: int
+    points: list[SweepPointResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(p.ok for p in self.points)
+
+    @property
+    def failures(self) -> list[SweepPointResult]:
+        return [p for p in self.points if not p.ok]
+
+    def to_json(self) -> dict:
+        return {
+            "workload": self.workload,
+            "seed": self.seed,
+            "nthreads": self.nthreads,
+            "clean_races": self.clean_races,
+            "kill_points": len(self.points),
+            "ok": self.ok,
+            "points": [p.to_json() for p in self.points],
+        }
+
+    def summary(self) -> str:
+        status = "PASS" if self.ok else f"FAIL ({len(self.failures)} point(s))"
+        return (
+            f"kill-sweep {self.workload}: {len(self.points)} kill point(s), "
+            f"clean races={self.clean_races} -> {status}"
+        )
+
+
+def _truncate_copy(clean: Path, work: Path, point: KillPoint) -> None:
+    if work.exists():
+        shutil.rmtree(work)
+    shutil.copytree(clean, work)
+    target = work / point.target
+    target.write_bytes(target.read_bytes()[: point.offset])
+
+
+def kill_sweep(
+    workload: Union[str, Workload],
+    *,
+    nthreads: int = 2,
+    seed: int = 0,
+    buffer_events: int = 64,
+    max_points: int | None = None,
+    keep_root: str | Path | None = None,
+    **params,
+) -> SweepResult:
+    """Run the full kill-anywhere property check for one workload.
+
+    Collects one clean durable trace, analyses it strictly (the
+    reference race set), then for every enumerated kill point truncates
+    a pristine copy and salvage-analyses it.  ``max_points`` subsamples
+    evenly for smoke runs; ``keep_root`` keeps the working directory
+    (for debugging) instead of a self-cleaning temp dir.
+    """
+    from .. import api  # deferred: api imports the harness driver stack
+
+    w = _resolve(workload)
+    root = Path(keep_root) if keep_root else Path(
+        tempfile.mkdtemp(prefix="sword-faults-")
+    )
+    root.mkdir(parents=True, exist_ok=True)
+    clean = root / "clean"
+    try:
+        collect_trace(
+            w, clean, nthreads=nthreads, seed=seed,
+            buffer_events=buffer_events, **params,
+        )
+        reference = api.analyze(TraceDir(clean))
+        ref_pairs = reference.races.pc_pairs()
+        ref_json = reference.races.to_json()
+        points = frame_kill_points(clean)
+        if max_points is not None and len(points) > max_points:
+            step = len(points) / max_points
+            points = [points[int(i * step)] for i in range(max_points)]
+        result = SweepResult(
+            workload=w.name,
+            seed=seed,
+            nthreads=nthreads,
+            clean_races=len(ref_pairs),
+        )
+        work = root / "work"
+        for point in points:
+            _truncate_copy(clean, work, point)
+            try:
+                analysis = api.analyze(work, integrity="salvage")
+            except Exception as exc:  # the property forbids ANY crash
+                result.points.append(
+                    SweepPointResult(
+                        point=point,
+                        completed=False,
+                        subset_ok=False,
+                        identical=False,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                )
+                continue
+            pairs = analysis.races.pc_pairs()
+            result.points.append(
+                SweepPointResult(
+                    point=point,
+                    completed=True,
+                    subset_ok=pairs <= ref_pairs,
+                    identical=analysis.races.to_json() == ref_json,
+                    races=len(pairs),
+                    integrity=(
+                        analysis.integrity.to_json()
+                        if analysis.integrity is not None
+                        else {}
+                    ),
+                )
+            )
+        return result
+    finally:
+        if keep_root is None:
+            shutil.rmtree(root, ignore_errors=True)

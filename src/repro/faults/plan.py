@@ -1,0 +1,191 @@
+"""Seedable, serialisable mutation plans for closed trace directories.
+
+A :class:`FaultPlan` is the unit of reproducibility: the same seed
+against the same trace directory always generates (and applies) the
+same mutations, and a plan can round-trip through JSON so a CI artifact
+is enough to replay a failure locally.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from pathlib import Path
+
+ACTION_KINDS = (
+    "truncate",        # cut the target file at `offset`
+    "flip",            # XOR `length` bytes at `offset` with 0xFF
+    "delete_line",     # remove 0-based line `index` (meta/journal files)
+    "duplicate_line",  # duplicate 0-based line `index`
+    "delete_file",     # remove the target file entirely
+)
+
+
+@dataclass(frozen=True, slots=True)
+class FaultAction:
+    """One mutation of one file inside a trace directory."""
+
+    kind: str
+    target: str  # file name relative to the trace directory
+    offset: int = 0
+    length: int = 0
+    index: int = 0
+
+    def describe(self) -> str:
+        if self.kind == "truncate":
+            return f"truncate {self.target} at byte {self.offset}"
+        if self.kind == "flip":
+            return f"flip {self.length} byte(s) of {self.target} at {self.offset}"
+        if self.kind == "delete_line":
+            return f"delete line {self.index} of {self.target}"
+        if self.kind == "duplicate_line":
+            return f"duplicate line {self.index} of {self.target}"
+        if self.kind == "delete_file":
+            return f"delete {self.target}"
+        return f"{self.kind} {self.target}"
+
+    def apply(self, trace_dir: Path) -> bool:
+        """Mutate the file in place; False when the target is unusable."""
+        path = trace_dir / self.target
+        if not path.exists():
+            return False
+        if self.kind == "delete_file":
+            path.unlink()
+            return True
+        if self.kind == "truncate":
+            data = path.read_bytes()
+            if self.offset >= len(data):
+                return False
+            path.write_bytes(data[: self.offset])
+            return True
+        if self.kind == "flip":
+            data = bytearray(path.read_bytes())
+            if self.offset >= len(data) or self.length <= 0:
+                return False
+            for i in range(self.offset, min(self.offset + self.length, len(data))):
+                data[i] ^= 0xFF
+            path.write_bytes(bytes(data))
+            return True
+        if self.kind in ("delete_line", "duplicate_line"):
+            lines = path.read_text().splitlines(keepends=True)
+            if not 0 <= self.index < len(lines):
+                return False
+            if self.kind == "delete_line":
+                del lines[self.index]
+            else:
+                lines.insert(self.index, lines[self.index])
+            path.write_text("".join(lines))
+            return True
+        raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    def to_json(self) -> dict:
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "offset": self.offset,
+            "length": self.length,
+            "index": self.index,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "FaultAction":
+        return cls(
+            kind=str(payload["kind"]),
+            target=str(payload["target"]),
+            offset=int(payload.get("offset", 0)),
+            length=int(payload.get("length", 0)),
+            index=int(payload.get("index", 0)),
+        )
+
+
+@dataclass(slots=True)
+class FaultPlan:
+    """A reproducible list of :class:`FaultAction` for one trace."""
+
+    seed: int = 0
+    actions: list[FaultAction] = field(default_factory=list)
+    #: Filled by :meth:`apply`: one description per action that took effect.
+    applied: list[str] = field(default_factory=list)
+
+    @classmethod
+    def random(
+        cls,
+        trace_dir: str | Path,
+        *,
+        seed: int = 0,
+        actions: int = 3,
+    ) -> "FaultPlan":
+        """Generate a deterministic plan from the directory's current state.
+
+        File lists are sorted and every random draw comes from one
+        ``random.Random(seed)`` stream, so (directory contents, seed)
+        fully determine the plan.
+        """
+        trace_dir = Path(trace_dir)
+        rng = random.Random(seed)
+        logs = sorted(p.name for p in trace_dir.glob("thread_*.log"))
+        metas = sorted(p.name for p in trace_dir.glob("thread_*.meta"))
+        texts = metas + sorted(
+            p.name
+            for p in trace_dir.iterdir()
+            if p.suffix in (".json", ".jsonl") and p.is_file()
+        )
+        plan = cls(seed=seed)
+        for _ in range(actions):
+            kind = rng.choice(ACTION_KINDS)
+            if kind in ("truncate", "flip") and logs:
+                target = rng.choice(logs)
+                size = (trace_dir / target).stat().st_size
+                if size == 0:
+                    continue
+                offset = rng.randrange(size)
+                plan.actions.append(
+                    FaultAction(
+                        kind=kind,
+                        target=target,
+                        offset=offset,
+                        length=rng.randint(1, 8) if kind == "flip" else 0,
+                    )
+                )
+            elif kind in ("delete_line", "duplicate_line") and texts:
+                target = rng.choice(texts)
+                n_lines = len((trace_dir / target).read_text().splitlines())
+                if n_lines == 0:
+                    continue
+                plan.actions.append(
+                    FaultAction(
+                        kind=kind, target=target, index=rng.randrange(n_lines)
+                    )
+                )
+            elif kind == "delete_file" and metas:
+                plan.actions.append(
+                    FaultAction(kind=kind, target=rng.choice(metas))
+                )
+        return plan
+
+    def apply(self, trace_dir: str | Path) -> list[str]:
+        """Mutate the trace in place; returns descriptions of what stuck."""
+        trace_dir = Path(trace_dir)
+        self.applied = [
+            action.describe()
+            for action in self.actions
+            if action.apply(trace_dir)
+        ]
+        return self.applied
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "actions": [a.to_json() for a in self.actions],
+            "applied": list(self.applied),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "FaultPlan":
+        return cls(
+            seed=int(payload.get("seed", 0)),
+            actions=[
+                FaultAction.from_json(a) for a in payload.get("actions", [])
+            ],
+            applied=list(payload.get("applied", [])),
+        )

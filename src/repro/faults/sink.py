@@ -1,0 +1,99 @@
+"""IO-error injection for the online logger's write path.
+
+:class:`FaultySinkFactory` is a drop-in ``sink_factory`` for
+:class:`~repro.sword.logger.SwordTool`: it opens real files but wraps
+them so the *Nth write across the whole run* raises ``OSError`` —
+transiently (the logger's retry succeeds) or permanently (retries
+exhaust and the degradation policy decides).  Write counting is global
+to the factory, matching how a disk fills up: whichever thread writes
+next hits the error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(slots=True)
+class SinkFaultSpec:
+    """When and how sink writes fail.
+
+    ``fail_at`` is 1-based over all writes through one factory.  A
+    transient fault fails ``fail_count`` consecutive writes and then
+    recovers (a logger retry is itself a write, so ``fail_count=1``
+    means the first retry succeeds); ``permanent=True`` fails every
+    write from ``fail_at`` on (disk full / volume gone).
+    """
+
+    fail_at: int = 1
+    fail_count: int = 1
+    permanent: bool = False
+    message: str = "injected I/O error"
+
+    def should_fail(self, nth_write: int) -> bool:
+        if nth_write < self.fail_at:
+            return False
+        if self.permanent:
+            return True
+        return nth_write < self.fail_at + self.fail_count
+
+
+class FaultySink:
+    """A binary file wrapper that fails writes on the factory's schedule."""
+
+    def __init__(self, file, factory: "FaultySinkFactory") -> None:
+        self._file = file
+        self._factory = factory
+
+    def write(self, data: bytes) -> int:
+        self._factory.writes += 1
+        if self._factory.spec.should_fail(self._factory.writes):
+            self._factory.failures += 1
+            raise OSError(self._factory.spec.message)
+        return self._file.write(data)
+
+    # The logger uses tell/seek/truncate for partial-write rollback and
+    # flush/fileno for durability; delegate them all.
+    def flush(self) -> None:
+        self._file.flush()
+
+    def tell(self) -> int:
+        return self._file.tell()
+
+    def seek(self, pos: int, whence: int = 0) -> int:
+        return self._file.seek(pos, whence)
+
+    def truncate(self, size: int | None = None) -> int:
+        return self._file.truncate(size)
+
+    def fileno(self) -> int:
+        return self._file.fileno()
+
+    def close(self) -> None:
+        self._file.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._file.closed
+
+
+class FaultySinkFactory:
+    """``sink_factory`` injecting :class:`SinkFaultSpec` faults.
+
+    Usage::
+
+        factory = FaultySinkFactory(SinkFaultSpec(fail_at=3))
+        tool = SwordTool(config, sink_factory=factory)
+    """
+
+    def __init__(self, spec: SinkFaultSpec | None = None) -> None:
+        self.spec = spec or SinkFaultSpec()
+        self.writes = 0
+        self.failures = 0
+        self.opened: list[Path] = []
+
+    def __call__(self, path) -> FaultySink:
+        path = Path(path)
+        self.opened.append(path)
+        return FaultySink(open(path, "wb"), self)

@@ -65,6 +65,9 @@ class RunResult:
     stats: dict = field(default_factory=dict)
     #: Metrics-registry snapshot (empty under the null backend).
     metrics: dict = field(default_factory=dict)
+    #: Salvage-mode ledger (None for strict runs) — see
+    #: :class:`repro.sword.integrity.IntegrityReport`.
+    integrity: Optional[object] = None
 
     @property
     def race_count(self) -> int:
@@ -271,15 +274,22 @@ class SwordDriver:
             if result.oom or not run_offline:
                 return result
 
-            trace = TraceDir(trace_path)
+            integrity_mode = (
+                analysis_options.integrity
+                if analysis_options is not None
+                else "strict"
+            )
+            trace = TraceDir(trace_path, integrity=integrity_mode)
             t1 = time.perf_counter()
             analysis = SerialOfflineAnalyzer(
                 trace, offline_config, obs=obs, options=analysis_options
             ).analyze()
             result.offline_seconds = time.perf_counter() - t1
             result.races = analysis.races
+            result.integrity = analysis.integrity
             analyses["offline"] = analysis.stats
-            if mt_workers > 1:
+            # Salvage has a single (serial) code path; skip the MT pass.
+            if mt_workers > 1 and integrity_mode == "strict":
                 t2 = time.perf_counter()
                 if analysis_options is not None:
                     mt_opts = analysis_options.copy(workers=mt_workers)

@@ -63,10 +63,15 @@ class SerialOfflineAnalyzer:
         *,
         options: AnalysisOptions | None = None,
     ) -> None:
-        if not isinstance(trace, TraceDir):
-            trace = TraceDir(trace)
-        self.trace = trace
         self.options = options or AnalysisOptions.from_config(config)
+        if not isinstance(trace, TraceDir):
+            trace = TraceDir(trace, integrity=self.options.integrity)
+        elif trace.integrity_mode != self.options.integrity:
+            # An already-open TraceDir wins: align the options so the
+            # engine and the trace agree on the mode.
+            self.options = self.options.copy(integrity=trace.integrity_mode)
+        self.trace = trace
+        self.salvage = self.options.integrity == "salvage"
         self.config = self.options.offline_config()
         self.obs = obs or self.options.obs or get_obs()
         self.engine = AnalysisEngine(trace, options=self.options, obs=self.obs)
@@ -106,13 +111,32 @@ class SerialOfflineAnalyzer:
             registry.gauge("offline.concurrent_pairs").set(len(pairs))
 
             races = RaceSet()
+            report = self.trace.integrity if self.salvage else None
             try:
                 for ia, ib in pairs:
-                    self.engine.analyze_pair(ia, ib, races)
+                    if not self.salvage:
+                        self.engine.analyze_pair(ia, ib, races)
+                        continue
+                    try:
+                        self.engine.analyze_pair(ia, ib, races)
+                    except Exception as exc:  # salvage must always complete
+                        report.pairs_skipped += 1
+                        report.note(
+                            f"pair ({ia.key.gid},{ia.key.pid},{ia.key.bid}) x "
+                            f"({ib.key.gid},{ib.key.pid},{ib.key.bid}) "
+                            f"abandoned: {exc}"
+                        )
+                        registry.counter("offline.pairs_skipped").inc()
             finally:
                 self._close()
+            if self.salvage:
+                salvaged = self.stats.concurrent_pairs - report.pairs_skipped
+                registry.counter("offline.intervals_salvaged").inc(
+                    len(inventory)
+                )
+                registry.gauge("offline.pairs_salvaged").set(salvaged)
         self.stats.races_found = len(races)
-        return AnalysisResult(races=races, stats=self.stats)
+        return AnalysisResult(races=races, stats=self.stats, integrity=report)
 
     def _close(self) -> None:
         self.engine.close()

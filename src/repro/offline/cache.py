@@ -23,8 +23,12 @@ empty); replaying them through :meth:`RaceSet.add` is order-independent.
 
 Writes are atomic (tmp + rename) and failures are swallowed: a
 read-only or corrupted cache degrades to a miss, never to a wrong
-answer.  The cache is only sound for *closed* traces — the engine never
-attaches one to a live streaming source.
+answer.  Corrupt or truncated entries (torn write, bit rot) are
+additionally *evicted* on discovery — counted on
+``offline.pair_cache_corrupt_evictions`` — so one bad entry costs one
+recompute, not one failed read per run forever.  The cache is only
+sound for *closed* traces — the engine never attaches one to a live
+streaming source.
 """
 
 from __future__ import annotations
@@ -46,6 +50,7 @@ from ..sword.traceformat import (
     log_name,
     meta_name,
 )
+from ..obs import get_obs
 from .intervals import IntervalData
 from .report import RaceReport
 
@@ -86,6 +91,11 @@ class ResultCache:
         self.tree_hits = 0
         self.pair_hits = 0
         self.misses = 0
+        self.corrupt_evictions = 0
+        self._m_corrupt = get_obs().registry.counter(
+            "offline.pair_cache_corrupt_evictions",
+            "corrupt/truncated cache entries deleted on discovery",
+        )
 
     # -- tokens ------------------------------------------------------------------
 
@@ -142,10 +152,27 @@ class ResultCache:
 
     def _read(self, path: Path) -> Optional[dict]:
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
+            return None  # plain miss (absent or unreadable)
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            self._evict(path)
             return None
-        return payload if isinstance(payload, dict) else None
+        if not isinstance(payload, dict):
+            self._evict(path)
+            return None
+        return payload
+
+    def _evict(self, path: Path) -> None:
+        """Delete a corrupt/truncated entry so it costs one miss, not many."""
+        self.corrupt_evictions += 1
+        self._m_corrupt.inc()
+        try:
+            path.unlink()
+        except OSError:
+            pass  # never propagate: an unevictable entry stays a miss
 
     def _write(self, path: Path, payload: dict) -> None:
         try:
@@ -172,7 +199,8 @@ class ResultCache:
         self, interval: IntervalData
     ) -> Optional[tuple[IntervalTree, TreeDigest, int]]:
         """Reload one interval's tree, digest, and event count — or None."""
-        payload = self._read(self._tree_path(self.interval_token(interval)))
+        path = self._tree_path(self.interval_token(interval))
+        payload = self._read(path)
         if payload is None or payload.get("format") != TREE_FORMAT:
             self.misses += 1
             return None
@@ -181,6 +209,7 @@ class ResultCache:
             digest = TreeDigest.from_json(payload["digest"])
             events = int(payload["events_in"])
         except (KeyError, ValueError, TypeError, StopIteration):
+            self._evict(path)
             self.misses += 1
             return None
         self.tree_hits += 1
@@ -216,13 +245,15 @@ class ResultCache:
         An empty list is a *hit*: the pair was compared (or pruned) and
         produced nothing.
         """
-        payload = self._read(self._pair_path(self.pair_token(ia, ib)))
+        path = self._pair_path(self.pair_token(ia, ib))
+        payload = self._read(path)
         if payload is None or payload.get("format") != CACHE_FORMAT:
             self.misses += 1
             return None
         try:
             reports = [RaceReport.from_json(r) for r in payload["reports"]]
         except (KeyError, ValueError, TypeError):
+            self._evict(path)
             self.misses += 1
             return None
         self.pair_hits += 1

@@ -42,6 +42,7 @@ from ..obs import (
     get_obs,
 )
 from ..omp.mutexset import MutexSetTable
+from ..sword.integrity import IntegrityReport
 from .cache import ResultCache
 from .intervals import IntervalData
 from .options import AnalysisOptions
@@ -98,18 +99,30 @@ class AnalysisStats:
 
 @dataclass(slots=True)
 class AnalysisResult:
-    """Races plus phase statistics for one trace."""
+    """Races plus phase statistics for one trace.
+
+    ``integrity`` is populated by salvage-mode analysis (the ledger of
+    what a damaged trace lost); strict runs leave it None.
+    """
 
     races: RaceSet
     stats: AnalysisStats
+    integrity: IntegrityReport | None = None
 
     @property
     def race_count(self) -> int:
         return len(self.races)
 
     def to_json(self) -> dict:
-        """Machine-readable result (races + stats, the shared schema)."""
-        return {"races": self.races.to_json(), "stats": self.stats.to_json()}
+        """Machine-readable result (races + stats, the shared schema).
+
+        The ``integrity`` key is additive: absent for strict runs, so
+        existing consumers of the schema are unaffected.
+        """
+        payload = {"races": self.races.to_json(), "stats": self.stats.to_json()}
+        if self.integrity is not None:
+            payload["integrity"] = self.integrity.to_json()
+        return payload
 
 
 class TreeCache:

@@ -62,6 +62,8 @@ class IntervalInventory:
         self._load()
 
     def _load(self) -> None:
+        salvage = getattr(self.trace, "integrity_mode", "strict") == "salvage"
+        skipped: set[tuple[int, int, int]] = set()
         for gid in self.trace.thread_gids:
             reader = self.trace.reader(gid)
             try:
@@ -69,13 +71,26 @@ class IntervalInventory:
                     key = IntervalKey(gid=gid, pid=row.pid, bid=row.bid)
                     data = self.intervals.get(key)
                     if data is None:
+                        try:
+                            label = self.trace.interval_label(
+                                row.pid, row.offset, row.bid
+                            )
+                        except KeyError:
+                            # Salvage: the region's fork record did not
+                            # survive, so the interval cannot be placed in
+                            # the concurrency structure — skip it (an
+                            # under-report, never a wrong report).
+                            if not salvage:
+                                raise
+                            if (gid, row.pid, row.bid) not in skipped:
+                                skipped.add((gid, row.pid, row.bid))
+                                self.trace.integrity.intervals_skipped += 1
+                            continue
                         data = IntervalData(
                             key=key,
                             slot=row.offset,
                             span=row.span,
-                            label=self.trace.interval_label(
-                                row.pid, row.offset, row.bid
-                            ),
+                            label=label,
                         )
                         self.intervals[key] = data
                         self._by_region.setdefault(row.pid, []).append(data)

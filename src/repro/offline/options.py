@@ -73,6 +73,10 @@ class AnalysisOptions:
     chunk_events: int = 65536
     use_ilp_crosscheck: bool = False
     tree_cache_capacity: int = 64
+    #: ``"strict"`` fails fast on any trace defect; ``"salvage"``
+    #: analyses whatever a crashed run left behind and attaches an
+    #: :class:`~repro.sword.integrity.IntegrityReport` to the result.
+    integrity: str = "strict"
     fastpath: FastPathOptions = field(default_factory=FastPathOptions)
     #: Instrumentation bundle; None means the ambient bundle.
     obs: Optional[Instrumentation] = None
@@ -91,6 +95,11 @@ class AnalysisOptions:
             raise ValueError("tree_cache_capacity must be >= 1")
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if self.integrity not in ("strict", "salvage"):
+            raise ValueError(
+                f"integrity must be 'strict' or 'salvage', "
+                f"got {self.integrity!r}"
+            )
         self.fastpath.validate()
 
     def offline_config(self) -> OfflineConfig:

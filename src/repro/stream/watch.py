@@ -76,6 +76,87 @@ class WatchResult:
         }
 
 
+class ResilientObserver(TraceObserver):
+    """Shield the watched application from analyzer I/O failures.
+
+    In production the trace directory can vanish mid-watch (log rotation,
+    scratch-space cleanup, an NFS blip): an open reader then fails inside
+    a bus notification, and without protection that exception unwinds
+    *into the application's flush path* and kills the run — the exact
+    outcome watch mode exists to avoid.
+
+    This wrapper delivers each notification with bounded retry and
+    exponential backoff, closing the inner analyzer's readers between
+    attempts so stale handles on vanished files are reopened.  Every
+    retry round counts on the ``watch.reconnects`` metric; if retries
+    exhaust, the notification is dropped (the analysis under-reports,
+    the application lives).
+    """
+
+    def __init__(
+        self,
+        inner: TraceObserver,
+        obs: Optional[Instrumentation] = None,
+        *,
+        retries: int = 3,
+        backoff_seconds: float = 0.01,
+    ) -> None:
+        self.inner = inner
+        self.retries = retries
+        self.backoff_seconds = backoff_seconds
+        self.reconnects = 0
+        self.dropped_notifications = 0
+        self._sleep = time.sleep  # test seam
+        obs = obs or get_obs()
+        self._m_reconnects = obs.registry.counter(
+            "watch.reconnects",
+            "watch-mode analyzer retries after trace I/O failures",
+        )
+
+    def _reset_readers(self) -> None:
+        engine = getattr(self.inner, "engine", None)
+        if engine is not None:
+            try:
+                engine.close()
+            except Exception:
+                pass
+
+    def _deliver(self, method: str, *args) -> None:
+        from ..common.errors import TraceFormatError
+
+        for attempt in range(self.retries + 1):
+            if attempt:
+                self.reconnects += 1
+                self._m_reconnects.inc()
+                backoff = self.backoff_seconds * (2 ** (attempt - 1))
+                if backoff > 0:
+                    self._sleep(backoff)
+                self._reset_readers()
+            try:
+                getattr(self.inner, method)(*args)
+                return
+            except (OSError, TraceFormatError):
+                continue
+        self.dropped_notifications += 1
+
+    def on_trace_begin(self, producer) -> None:
+        self._deliver("on_trace_begin", producer)
+
+    def on_region(self, pid: int, info: dict) -> None:
+        self._deliver("on_region", pid, info)
+
+    def on_chunk(self, gid: int, row) -> None:
+        self._deliver("on_chunk", gid, row)
+
+    def on_interval_end(
+        self, gid: int, pid: int, bid: int, slot: int, span: int
+    ) -> None:
+        self._deliver("on_interval_end", gid, pid, bid, slot, span)
+
+    def on_trace_end(self, producer) -> None:
+        self._deliver("on_trace_end", producer)
+
+
 class StatsTicker(TraceObserver):
     """Prints a compact registry stats line at most every ``interval`` s.
 
@@ -143,7 +224,7 @@ def watch(
             on_race=on_race,
             obs=obs,
         )
-        tool.subscribe(analyzer)
+        tool.subscribe(ResilientObserver(analyzer, obs=obs))
         if stats_every is not None:
             tool.subscribe(StatsTicker(obs, stats_every, emit=on_stats))
         rt = OpenMPRuntime(

@@ -45,6 +45,7 @@ class EventBuffer:
         self._used = 0
         self.flushes = 0
         self.events_total = 0
+        self.events_dropped = 0
 
     def __len__(self) -> int:
         return self._used
@@ -91,10 +92,26 @@ class EventBuffer:
         rec["aux"] = aux
 
     def flush(self) -> None:
-        """Hand the filled prefix to ``on_flush`` and reset."""
+        """Hand the filled prefix to ``on_flush`` and reset.
+
+        If ``on_flush`` raises, the buffered events are *retained* (the
+        reset only happens after the callback returns) so the writer's
+        retry policy can flush them again.
+        """
         if self._used == 0:
             return
         view = self._records[: self._used]
         self.flushes += 1
         self.on_flush(view)
         self._used = 0
+
+    def drop(self) -> int:
+        """Discard the buffered events without flushing (degraded mode).
+
+        Returns how many events were thrown away; the caller is expected
+        to record the loss (see the logger's drop-oldest policy).
+        """
+        dropped = self._used
+        self._used = 0
+        self.events_dropped += dropped
+        return dropped

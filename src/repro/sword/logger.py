@@ -18,6 +18,13 @@ interval's chunk is closed and a fresh tracker is pushed; the outer interval
 resumes (as another chunk row with the same pid/bid) after the nested region
 ends.
 
+Durability (production hardening): every chunk is written as a CRC-framed
+v2 block with a trailing commit marker, writes go through a bounded
+retry/backoff policy with an optional drop-oldest degradation path, and
+``SwordConfig.durable`` keeps meta rows and the run-wide tables on disk
+throughout the run — so a kill at any byte boundary leaves a prefix-valid
+trace the salvage reader (:mod:`repro.sword.reader`) can still analyze.
+
 Flush-event bus: observers registered with :meth:`SwordTool.subscribe`
 receive live notifications as the trace is produced — region registration,
 every Table-I chunk row the moment it is written (with the underlying data
@@ -30,6 +37,8 @@ the logger's behaviour and block layout are unchanged.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -37,6 +46,7 @@ from pathlib import Path
 import numpy as np
 
 from ..common.config import SwordConfig
+from ..common.errors import FlushError
 from ..common.events import (
     EVENT_BYTES,
     KIND_BARRIER,
@@ -59,13 +69,17 @@ from .compression import by_name
 from .traceformat import (
     MANIFEST_NAME,
     MUTEXSETS_NAME,
+    REGIONS_JOURNAL_NAME,
     REGIONS_NAME,
     TASKS_NAME,
+    TRACE_FORMAT_VERSION,
+    META_COLUMNS,
     MetaRow,
     format_meta_file,
+    journal_line,
     log_name,
     meta_name,
-    pack_block_header,
+    pack_frame,
 )
 
 
@@ -92,10 +106,17 @@ class _ThreadLog:
     flushed: int = 0  # uncompressed bytes already written out
     rows: list[MetaRow] = field(default_factory=list)
     stack: list[_IntervalTracker] = field(default_factory=list)
+    #: Durable mode only: open append handle on the meta file.
+    meta_file: object | None = None
+    #: Logical byte ranges lost to the drop-oldest degradation path.
+    dropped_ranges: list[tuple[int, int]] = field(default_factory=list)
 
     def logical_pos(self) -> int:
         """Current position in uncompressed stream coordinates."""
         return self.flushed + len(self.buffer) * EVENT_BYTES
+
+    def overlaps_dropped(self, begin: int, end: int) -> bool:
+        return any(begin < hi and lo < end for lo, hi in self.dropped_ranges)
 
 
 class SwordTool(OmptTool):
@@ -106,6 +127,8 @@ class SwordTool(OmptTool):
         config: SwordConfig,
         accountant: NodeMemory | None = None,
         obs: Instrumentation | None = None,
+        *,
+        sink_factory=None,
     ) -> None:
         config.validate()
         self.config = config
@@ -121,6 +144,16 @@ class SwordTool(OmptTool):
         self._task_graph = TaskGraph()
         self._runtime = None
         self._observers: list = []
+        #: Open one log sink; the fault-injection harness swaps this to
+        #: wrap files with transient/permanent IO errors.
+        self._sink_factory = sink_factory or (lambda path: open(path, "wb"))
+        #: Backoff sleep; tests replace it to avoid real waiting.
+        self._sleep = time.sleep
+        #: Chunks lost to the drop-oldest degradation path (manifest's
+        #: ``dropped_chunks`` — the record of exactly what was lost).
+        self.dropped_chunks: list[dict] = []
+        #: Meta rows suppressed because their bytes fell in a dropped range.
+        self.lost_rows: list[dict] = []
         # Statistics surfaced in the manifest and by the harness.
         self.stats = {
             "events": 0,
@@ -129,6 +162,9 @@ class SwordTool(OmptTool):
             "bytes_compressed": 0,
             "io_seconds": 0.0,
             "threads": 0,
+            "flush_retries": 0,
+            "chunks_dropped": 0,
+            "events_dropped": 0,
         }
         # Registry instruments (cached: one attribute lookup + call per
         # update, a shared no-op under the null backend).  The hot
@@ -154,6 +190,15 @@ class SwordTool(OmptTool):
         self._m_ratio = registry.histogram(
             "sword.compression_ratio", "compressed/raw bytes per flush",
             buckets=RATIO_BUCKETS,
+        )
+        self._m_retries = registry.counter(
+            "sword.flush_retries", "flush write attempts that were retried"
+        )
+        self._m_dropped = registry.counter(
+            "sword.chunks_dropped", "chunks lost to the drop-oldest policy"
+        )
+        self._m_events_dropped = registry.counter(
+            "sword.events_dropped", "events lost to the drop-oldest policy"
         )
         # Live N x (B + C) verification: the gauge rides the accountant's
         # charge feed and re-checks the bound on every tool-memory move.
@@ -197,12 +242,17 @@ class SwordTool(OmptTool):
                 self.accountant.charge(
                     NodeMemory.TOOL, self.config.per_thread_bytes
                 )
-            fh = open(self.dir / log_name(gid), "wb")
+            fh = self._sink_factory(self.dir / log_name(gid))
             log = _ThreadLog(
                 gid=gid,
                 buffer=EventBuffer(self.config.buffer_events),
                 file=fh,
             )
+            if self.config.durable:
+                meta_fh = open(self.dir / meta_name(gid), "a")
+                meta_fh.write("# " + " ".join(META_COLUMNS) + "\n")
+                meta_fh.flush()
+                log.meta_file = meta_fh
             log.buffer.on_flush = lambda records, _log=log: self._flush(
                 _log, records
             )
@@ -212,19 +262,47 @@ class SwordTool(OmptTool):
         return log
 
     def _flush(self, log: _ThreadLog, records: np.ndarray) -> None:
-        """Compress one filled buffer and append it as a framed block."""
+        """Compress one filled buffer and append it as a CRC-framed chunk.
+
+        The frame (header + payload + commit marker) is written with a
+        bounded retry/backoff policy; a partial write is rolled back
+        (seek + truncate) before each retry so a successful retry never
+        leaves a torn frame mid-file.  When retries are exhausted, the
+        ``flush_degraded`` policy either raises :class:`FlushError` or
+        drops the chunk — advancing the logical stream position so later
+        chunks keep their coordinates, and recording exactly which bytes
+        and events were lost.
+        """
         raw = np.ascontiguousarray(records).tobytes()
         t0 = time.perf_counter()
         with self.obs.tracer.span("flush", category="online", gid=log.gid):
             payload = self.codec.compress(raw)
-            log.file.write(
-                pack_block_header(
-                    log.flushed, len(payload), len(raw), self.codec.codec_id
-                )
+            frame = pack_frame(
+                log.flushed, payload, len(raw), self.codec.codec_id
             )
-            log.file.write(payload)
+            written = self._write_frame(log, frame)
         elapsed = time.perf_counter() - t0
         self.stats["io_seconds"] += elapsed
+        if not written:
+            # Drop-oldest degradation: the logical range is recorded as a
+            # hole; meta rows touching it are suppressed at emission.
+            begin, end = log.flushed, log.flushed + len(raw)
+            log.dropped_ranges.append((begin, end))
+            log.flushed = end
+            events = int(records.shape[0])
+            self.dropped_chunks.append(
+                {
+                    "gid": log.gid,
+                    "data_begin": begin,
+                    "size": len(raw),
+                    "events": events,
+                }
+            )
+            self.stats["chunks_dropped"] += 1
+            self.stats["events_dropped"] += events
+            self._m_dropped.inc()
+            self._m_events_dropped.inc(events)
+            return
         self.stats["flushes"] += 1
         self.stats["bytes_uncompressed"] += len(raw)
         self.stats["bytes_compressed"] += len(payload)
@@ -236,6 +314,42 @@ class SwordTool(OmptTool):
         self._m_flush_seconds.observe(elapsed)
         if raw:
             self._m_ratio.observe(len(payload) / len(raw))
+
+    def _write_frame(self, log: _ThreadLog, frame: bytes) -> bool:
+        """Write one frame with bounded retry + exponential backoff.
+
+        Returns True on success; False when retries are exhausted and the
+        degradation policy is drop-oldest.  Raises :class:`FlushError`
+        when the policy is ``"raise"``.
+        """
+        attempts = self.config.flush_retries + 1
+        last: BaseException | None = None
+        for attempt in range(attempts):
+            if attempt:
+                self.stats["flush_retries"] += 1
+                self._m_retries.inc()
+                backoff = self.config.flush_backoff_seconds * (2 ** (attempt - 1))
+                if backoff > 0:
+                    self._sleep(backoff)
+            start = None
+            try:
+                start = log.file.tell()
+                log.file.write(frame)
+                log.file.flush()
+                if self.config.fsync_on_flush:
+                    os.fsync(log.file.fileno())
+                return True
+            except OSError as exc:
+                last = exc
+                if start is not None:
+                    try:  # roll back a partial write before retrying
+                        log.file.seek(start)
+                        log.file.truncate()
+                    except OSError:
+                        pass
+        if self.config.flush_degraded == "drop-oldest":
+            return False
+        raise FlushError(log.gid, attempts, last)
 
     def _close_chunk(self, log: _ThreadLog) -> None:
         """Emit a Table-I row for the current tracker's open chunk."""
@@ -252,7 +366,31 @@ class SwordTool(OmptTool):
                 data_begin=tr.chunk_start,
                 size=pos - tr.chunk_start,
             )
+            if log.overlaps_dropped(tr.chunk_start, pos):
+                # Part of this chunk's bytes were lost to the drop-oldest
+                # policy; a row pointing at a hole would make the reader
+                # serve wrong data, so the whole row is suppressed and
+                # the loss recorded for the integrity report.
+                self.lost_rows.append(
+                    {
+                        "gid": log.gid,
+                        "pid": tr.pid,
+                        "bid": tr.bid,
+                        "data_begin": tr.chunk_start,
+                        "size": pos - tr.chunk_start,
+                    }
+                )
+                tr.chunk_start = pos
+                return
             log.rows.append(row)
+            if log.meta_file is not None:
+                # Durable mode: the row is on disk (with its own CRC) the
+                # moment it exists, so a kill right after this point
+                # still leaves a salvageable prefix.
+                log.meta_file.write(row.format_durable() + "\n")
+                log.meta_file.flush()
+                if self.config.fsync_on_flush:
+                    os.fsync(log.meta_file.fileno())
             if self._observers:
                 # Make the chunk durable before announcing it: flush the
                 # buffered events into a framed block and sync the file so
@@ -285,8 +423,59 @@ class SwordTool(OmptTool):
             "level": region.level,
         }
         self._regions[region.pid] = info
+        if self.config.durable:
+            self._journal_region(region.pid, info)
+            self._snapshot_tables()
         for obs in self._observers:
             obs.on_region(region.pid, info)
+
+    # -- durable-mode journalling ---------------------------------------------
+
+    def _journal_region(self, pid: int, info: dict) -> None:
+        """Append one checksummed region record to ``regions.jsonl``."""
+        with open(self.dir / REGIONS_JOURNAL_NAME, "a") as fh:
+            fh.write(journal_line({"pid": pid, **info}))
+            fh.flush()
+            if self.config.fsync_on_flush:
+                os.fsync(fh.fileno())
+
+    def _write_atomic(self, name: str, text: str) -> None:
+        fd, tmp = tempfile.mkstemp(dir=self.dir, prefix=name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(text)
+            os.replace(tmp, self.dir / name)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _snapshot_tables(self) -> None:
+        """Keep the small run-wide tables recoverable mid-run.
+
+        Written atomically at every region fork (rare relative to event
+        traffic): the mutex-set table and an in-progress manifest, so a
+        kill between forks still leaves a trace the salvage reader can
+        open without the finalised files.
+        """
+        if self._runtime is not None:
+            self._runtime.mutexsets.save(self.dir / MUTEXSETS_NAME)
+        self._write_atomic(
+            MANIFEST_NAME,
+            json.dumps(
+                {
+                    "in_progress": True,
+                    "format_version": TRACE_FORMAT_VERSION,
+                    "codec": self.config.codec,
+                    "buffer_events": self.config.buffer_events,
+                    "thread_gids": sorted(self._logs),
+                },
+                indent=2,
+                sort_keys=True,
+            ),
+        )
 
     def on_implicit_task_begin(self, thread, region, slot) -> None:  # noqa: D102
         log = self._log_for(thread.gid)
@@ -386,9 +575,14 @@ class SwordTool(OmptTool):
         for log in self._logs.values():
             log.buffer.flush()
             log.file.close()
-            (self.dir / meta_name(log.gid)).write_text(
-                format_meta_file(log.rows)
-            )
+            if log.meta_file is not None:
+                # Durable mode appended every row as it was emitted; the
+                # meta file is already complete on disk.
+                log.meta_file.close()
+            else:
+                (self.dir / meta_name(log.gid)).write_text(
+                    format_meta_file(log.rows, durable=self.config.durable)
+                )
         (self.dir / REGIONS_NAME).write_text(
             json.dumps(self._regions, indent=0, sort_keys=True)
         )
@@ -398,9 +592,13 @@ class SwordTool(OmptTool):
         if self._runtime is not None:
             self._runtime.mutexsets.save(self.dir / MUTEXSETS_NAME)
         manifest = dict(self.stats)
+        manifest["format_version"] = TRACE_FORMAT_VERSION
         manifest["codec"] = self.config.codec
         manifest["buffer_events"] = self.config.buffer_events
         manifest["thread_gids"] = sorted(self._logs)
+        if self.dropped_chunks:
+            manifest["dropped_chunks"] = self.dropped_chunks
+            manifest["lost_rows"] = self.lost_rows
         (self.dir / MANIFEST_NAME).write_text(
             json.dumps(manifest, indent=2, sort_keys=True)
         )

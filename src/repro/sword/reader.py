@@ -5,11 +5,28 @@ The offline phase must handle log files much larger than memory (the paper:
 streaming algorithm that reads access information from log files in small
 chunks").  The reader therefore:
 
-* builds a block index by scanning the 24-byte frames (seeking over
+* builds a block index by scanning the frame headers (seeking over
   payloads — no decompression);
 * serves byte ranges in *uncompressed stream coordinates* (what Table-I
   ``data_begin``/``size`` reference) by decompressing only the overlapping
   blocks, one at a time, yielding record batches.
+
+Integrity modes (the production-hardening story):
+
+* ``strict`` (default) — any torn frame, checksum mismatch, or malformed
+  meta row fails fast with a :class:`TraceFormatError` naming the thread,
+  block, and byte offset;
+* ``salvage`` — each thread log is verified frame-by-frame (header CRC,
+  payload CRC, commit marker) and truncated at the first torn frame; meta
+  rows are validated independently and reconciled against the recovered
+  bytes.  Everything dropped is accounted in a
+  :class:`~repro.sword.integrity.ThreadIntegrity` ledger, and the
+  surviving prefix is served normally — analysis completes on whatever
+  data a crashed run left behind.
+
+Format v1 logs (unchecksummed 24-byte headers) are auto-detected per block
+and read transparently; the first v1 block seen in a process emits a
+one-time :class:`UserWarning`.
 """
 
 from __future__ import annotations
@@ -17,30 +34,68 @@ from __future__ import annotations
 import bisect
 import json
 import os
+import re
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator
 
 import numpy as np
 
-from ..common.errors import TraceFormatError
+from ..common.errors import CodecError, TraceFormatError
 from ..common.events import EVENT_BYTES, EVENT_DTYPE
+from ..obs import get_obs
 from ..omp.mutexset import MutexSetTable
 from ..osl.concurrency import IntervalLabel, IntervalPair
 from .compression import by_id
 from ..tasking.graph import TaskGraph
+from .integrity import IntegrityReport, ThreadIntegrity
 from .traceformat import (
     BLOCK_HEADER_BYTES,
+    BLOCK_MAGIC,
+    COMMIT_TRAILER_BYTES,
+    FRAME_HEADER_BYTES,
+    FRAME_MAGIC,
     MANIFEST_NAME,
     MUTEXSETS_NAME,
+    REGIONS_JOURNAL_NAME,
     REGIONS_NAME,
     TASKS_NAME,
     MetaRow,
+    check_commit_trailer,
+    crc32,
     log_name,
     meta_name,
+    parse_journal,
     parse_meta_file,
+    parse_meta_file_salvage,
     unpack_block_header,
+    unpack_frame_header,
 )
+
+INTEGRITY_MODES = ("strict", "salvage")
+
+_v1_warned = False
+
+
+def _warn_v1_once(path: Path) -> None:
+    global _v1_warned
+    if not _v1_warned:
+        _v1_warned = True
+        warnings.warn(
+            f"{path}: unframed v1 trace blocks (no checksums); reading in "
+            f"compatibility mode — corruption in v1 payloads is undetectable",
+            UserWarning,
+            stacklevel=3,
+        )
+
+
+def _check_integrity_mode(integrity: str) -> None:
+    if integrity not in INTEGRITY_MODES:
+        raise ValueError(
+            f"unknown integrity mode {integrity!r}; expected one of "
+            f"{INTEGRITY_MODES}"
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -52,6 +107,7 @@ class _BlockRef:
     compressed_size: int
     uncompressed_size: int
     codec_id: int
+    payload_crc: int | None  # None for v1 blocks
 
 
 class ThreadTraceReader:
@@ -61,6 +117,9 @@ class ThreadTraceReader:
     logger: the meta file may not exist yet (chunk rows arrive over the
     flush-event bus instead), an incomplete trailing block is tolerated,
     and :meth:`refresh` re-scans the tail to index newly flushed blocks.
+
+    In ``salvage`` mode defects truncate instead of raising, and the
+    reader's :attr:`integrity` ledger records everything dropped.
     """
 
     def __init__(
@@ -69,24 +128,36 @@ class ThreadTraceReader:
         gid: int,
         *,
         live: bool = False,
+        integrity: str = "strict",
+        report: ThreadIntegrity | None = None,
     ) -> None:
+        _check_integrity_mode(integrity)
         directory = Path(directory)
         self.gid = gid
         self.live = live
+        self.integrity_mode = integrity
+        self.integrity = report if report is not None else ThreadIntegrity(gid=gid)
+        if integrity == "salvage":
+            # Rescanning unchanged files reaches identical verdicts, so a
+            # second reader refills the shared ledger instead of
+            # double-counting.
+            self.integrity.reset()
         self.log_path = directory / log_name(gid)
         self.meta_path = directory / meta_name(gid)
-        if live and not self.meta_path.exists():
-            self.rows: list[MetaRow] = []
-        else:
-            self.rows = parse_meta_file(self.meta_path.read_text())
         self._blocks: list[_BlockRef] = []
         self._offsets: list[int] = []
         self._scan_pos = 0
+        self._truncated = False
         self._index()
+        self.rows: list[MetaRow] = self._load_rows()
         self._file = open(self.log_path, "rb")
         # One-block decompression cache (ranges are read in ascending order).
         self._cached_block: int = -1
         self._cached_data: bytes = b""
+
+    @property
+    def salvage(self) -> bool:
+        return self.integrity_mode == "salvage"
 
     def close(self) -> None:
         self._file.close()
@@ -97,34 +168,190 @@ class ThreadTraceReader:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # -- block index ----------------------------------------------------------
+
+    def _defect(self, pos: int, message: str) -> bool:
+        """Handle one torn/corrupt frame at file offset ``pos``.
+
+        Salvage truncates (returns True = stop scanning); strict raises a
+        precise error naming thread, block, and offset.
+        """
+        detail = (
+            f"{self.log_path}: thread {self.gid}, "
+            f"block {len(self._blocks)} at byte {pos}: {message}"
+        )
+        if self.salvage:
+            self._truncated = True
+            self.integrity.chunks_dropped += 1
+            self.integrity.errors.append(detail)
+            get_obs().registry.counter(
+                "sword.chunks_corrupt",
+                "frames rejected by the salvage reader",
+            ).inc()
+            return True
+        raise TraceFormatError(detail)
+
     def _index(self) -> None:
-        """Scan block frames from the last indexed position to the file end."""
+        """Scan frames from the last indexed position to the file end."""
         pos = self._scan_pos
         size = self.log_path.stat().st_size
         with open(self.log_path, "rb") as fh:
-            while pos + BLOCK_HEADER_BYTES <= size:
+            while pos < size and not self._truncated:
                 fh.seek(pos)
-                header = unpack_block_header(fh.read(BLOCK_HEADER_BYTES))
-                end = pos + BLOCK_HEADER_BYTES + header.compressed_size
-                if end > size:
-                    break  # payload not fully written yet
-                ref = _BlockRef(
-                    uncompressed_offset=header.uncompressed_offset,
-                    file_offset=pos + BLOCK_HEADER_BYTES,
-                    compressed_size=header.compressed_size,
-                    uncompressed_size=header.uncompressed_size,
-                    codec_id=header.codec_id,
-                )
-                self._blocks.append(ref)
-                self._offsets.append(ref.uncompressed_offset)
-                pos = end
+                magic = fh.read(4)
+                if magic == FRAME_MAGIC:
+                    advance = self._index_frame(fh, pos, size)
+                elif magic == BLOCK_MAGIC:
+                    _warn_v1_once(self.log_path)
+                    advance = self._index_v1_block(fh, pos, size)
+                elif len(magic) < 4 or pos + BLOCK_HEADER_BYTES > size:
+                    if self.live:
+                        break  # header still being written
+                    if self._defect(pos, "truncated frame header"):
+                        break
+                    break
+                else:
+                    if self._defect(pos, f"bad frame magic {magic!r}"):
+                        break
+                    break
+                if advance is None:
+                    break  # live tail, or salvage truncation recorded
+                pos = advance
         self._scan_pos = pos
-        if pos != size and not self.live:
-            raise TraceFormatError(f"{self.log_path}: trailing garbage")
+        if self.salvage:
+            self.integrity.chunks_recovered = len(self._blocks)
+            self.integrity.bytes_recovered = self.uncompressed_bytes
+            self.integrity.bytes_dropped = max(0, size - pos)
+
+    def _index_frame(self, fh, pos: int, size: int) -> int | None:
+        """Index one v2 CRC-framed chunk; returns the next scan position."""
+        if pos + FRAME_HEADER_BYTES > size:
+            if self.live:
+                return None
+            self._defect(pos, "truncated frame header")
+            return None
+        fh.seek(pos)
+        try:
+            header = unpack_frame_header(fh.read(FRAME_HEADER_BYTES))
+        except TraceFormatError as exc:
+            if self.live:
+                return None  # header bytes still in flight
+            self._defect(pos, str(exc))
+            return None
+        end = (
+            pos + FRAME_HEADER_BYTES + header.compressed_size
+            + COMMIT_TRAILER_BYTES
+        )
+        if end > size:
+            if self.live:
+                return None  # payload/commit not fully written yet
+            self._defect(pos, "torn frame (payload or commit marker missing)")
+            return None
+        fh.seek(pos + FRAME_HEADER_BYTES + header.compressed_size)
+        trailer = fh.read(COMMIT_TRAILER_BYTES)
+        if not check_commit_trailer(trailer, header.payload_crc):
+            if self.live:
+                return None
+            self._defect(pos, "uncommitted frame (bad commit marker)")
+            return None
+        if self.salvage:
+            # Salvage pays one full read per block up front: a payload
+            # whose CRC fails truncates the log here, before any meta
+            # row referencing it is admitted.
+            fh.seek(pos + FRAME_HEADER_BYTES)
+            payload = fh.read(header.compressed_size)
+            if crc32(payload) != header.payload_crc:
+                self._defect(pos, "payload CRC mismatch")
+                return None
+        self._admit(header, pos + FRAME_HEADER_BYTES)
+        return end
+
+    def _index_v1_block(self, fh, pos: int, size: int) -> int | None:
+        """Index one legacy unchecksummed v1 block."""
+        fh.seek(pos)
+        header = unpack_block_header(fh.read(BLOCK_HEADER_BYTES))
+        end = pos + BLOCK_HEADER_BYTES + header.compressed_size
+        if end > size:
+            if self.live:
+                return None
+            self._defect(pos, "torn v1 block (payload missing)")
+            return None
+        self._admit(header, pos + BLOCK_HEADER_BYTES)
+        return end
+
+    def _admit(self, header, payload_offset: int) -> None:
+        ref = _BlockRef(
+            uncompressed_offset=header.uncompressed_offset,
+            file_offset=payload_offset,
+            compressed_size=header.compressed_size,
+            uncompressed_size=header.uncompressed_size,
+            codec_id=header.codec_id,
+            payload_crc=header.payload_crc,
+        )
+        self._blocks.append(ref)
+        self._offsets.append(ref.uncompressed_offset)
 
     def refresh(self) -> None:
         """Index blocks appended since construction (live mode)."""
         self._index()
+
+    # -- meta rows ------------------------------------------------------------
+
+    def _load_rows(self) -> list[MetaRow]:
+        if not self.meta_path.exists():
+            if self.live:
+                return []
+            if self.salvage:
+                self.integrity.errors.append(f"{self.meta_path}: missing")
+                return []
+            raise TraceFormatError(f"{self.meta_path}: missing meta file")
+        text = self.meta_path.read_text()
+        if not self.salvage:
+            return parse_meta_file(text)
+        rows, dropped = parse_meta_file_salvage(text)
+        reconciled = self._reconcile(rows)
+        self.integrity.rows_dropped += dropped
+        if dropped:
+            self.integrity.errors.append(
+                f"{self.meta_path}: {dropped} malformed/torn row(s) dropped"
+            )
+        self.integrity.rows_recovered = len(reconciled)
+        return reconciled
+
+    def _reconcile(self, rows: list[MetaRow]) -> list[MetaRow]:
+        """Keep only meta rows fully covered by the recovered bytes.
+
+        Rows pointing past the truncation point, misaligned rows, and
+        exact duplicates (the duplicate-record fault) are dropped and
+        accounted; what remains is guaranteed readable.
+        """
+        extent = self.uncompressed_bytes
+        kept: list[MetaRow] = []
+        seen: set[MetaRow] = set()
+        for row in rows:
+            if row in seen:
+                self.integrity.rows_dropped += 1
+                self.integrity.errors.append(
+                    f"{self.meta_path}: duplicate row dropped: {row.format()}"
+                )
+                continue
+            if (
+                row.data_begin % EVENT_BYTES
+                or row.size % EVENT_BYTES
+                or row.size < 0
+                or row.data_begin + row.size > extent
+            ):
+                self.integrity.rows_dropped += 1
+                self.integrity.errors.append(
+                    f"{self.meta_path}: row beyond recovered data "
+                    f"(or misaligned) dropped: {row.format()}"
+                )
+                continue
+            seen.add(row)
+            kept.append(row)
+        return kept
+
+    # -- byte ranges ----------------------------------------------------------
 
     @property
     def uncompressed_bytes(self) -> int:
@@ -139,6 +366,11 @@ class ThreadTraceReader:
         ref = self._blocks[i]
         self._file.seek(ref.file_offset)
         payload = self._file.read(ref.compressed_size)
+        if ref.payload_crc is not None and crc32(payload) != ref.payload_crc:
+            raise TraceFormatError(
+                f"{self.log_path}: thread {self.gid}, block {i} at byte "
+                f"{ref.file_offset}: payload CRC mismatch"
+            )
         data = by_id(ref.codec_id).decompress(payload, ref.uncompressed_size)
         self._cached_block = i
         self._cached_data = data
@@ -213,30 +445,194 @@ def build_interval_label(
     return tuple(reversed(pairs))
 
 
-class TraceDir:
-    """A complete SWORD trace directory (one program run)."""
+class _TolerantMutexSetTable(MutexSetTable):
+    """Mutex-set table that treats unknown ids conservatively.
 
-    def __init__(self, path: str | os.PathLike) -> None:
+    A kill between the last table snapshot and the end of the run can
+    leave logged events referencing msids the recovered table does not
+    know.  Answering "not disjoint" for those suppresses the race (an
+    under-report), which preserves the salvage subset guarantee; the
+    alternative — guessing "disjoint" — could invent races a clean run
+    never finds.
+    """
+
+    def disjoint(self, msid_a: int, msid_b: int) -> bool:
+        try:
+            return super().disjoint(msid_a, msid_b)
+        except KeyError:
+            return False
+
+    @classmethod
+    def wrap(cls, table: MutexSetTable) -> "_TolerantMutexSetTable":
+        tolerant = cls()
+        with table._lock:
+            tolerant._by_id = dict(table._by_id)
+            tolerant._by_set = dict(table._by_set)
+            tolerant._next = table._next
+        return tolerant
+
+
+_LOG_RE = re.compile(r"^thread_(\d+)\.log$")
+
+
+class TraceDir:
+    """A complete SWORD trace directory (one program run).
+
+    ``integrity="salvage"`` opens traces a crashed run left behind:
+    missing or corrupt run-wide files are reconstructed where possible
+    (thread list from the log files on disk, regions from the durable
+    journal) and every repair is recorded in :attr:`integrity`.
+    """
+
+    def __init__(
+        self, path: str | os.PathLike, *, integrity: str = "strict"
+    ) -> None:
+        _check_integrity_mode(integrity)
         self.path = Path(path)
-        manifest_path = self.path / MANIFEST_NAME
-        if not manifest_path.exists():
-            raise TraceFormatError(f"{self.path}: missing {MANIFEST_NAME}")
-        self.manifest = json.loads(manifest_path.read_text())
-        self.regions: dict[int, dict] = {
-            int(k): v
-            for k, v in json.loads((self.path / REGIONS_NAME).read_text()).items()
-        }
-        self.mutexsets = MutexSetTable.load(self.path / MUTEXSETS_NAME)
+        self.integrity_mode = integrity
+        self.integrity = IntegrityReport(mode=integrity)
+        salvage = integrity == "salvage"
+        self.manifest = self._load_manifest(salvage)
+        self.regions: dict[int, dict] = self._load_regions(salvage)
+        self.mutexsets = self._load_mutexsets(salvage)
         tasks_path = self.path / TASKS_NAME
         if tasks_path.exists():
-            self.task_graph = TaskGraph.from_json(json.loads(tasks_path.read_text()))
+            try:
+                self.task_graph = TaskGraph.from_json(
+                    json.loads(tasks_path.read_text())
+                )
+            except (ValueError, KeyError, TypeError):
+                if not salvage:
+                    raise
+                self.integrity.missing_files.append(TASKS_NAME)
+                self.integrity.note(f"{TASKS_NAME}: corrupt, task graph ignored")
+                self.task_graph = TaskGraph()
         else:  # traces from before the tasking extension
             self.task_graph = TaskGraph()
-        self.thread_gids: list[int] = list(self.manifest["thread_gids"])
+        self.thread_gids: list[int] = self._load_thread_gids(salvage)
+
+    # -- salvage-aware loading -------------------------------------------------
+
+    def _glob_thread_gids(self) -> list[int]:
+        gids = []
+        for entry in self.path.iterdir():
+            match = _LOG_RE.match(entry.name)
+            if match:
+                gids.append(int(match.group(1)))
+        return sorted(gids)
+
+    def _load_manifest(self, salvage: bool) -> dict:
+        manifest_path = self.path / MANIFEST_NAME
+        try:
+            manifest = json.loads(manifest_path.read_text())
+            if not isinstance(manifest, dict):
+                raise ValueError("manifest is not an object")
+        except (OSError, ValueError) as exc:
+            if not salvage:
+                if not manifest_path.exists():
+                    raise TraceFormatError(
+                        f"{self.path}: missing {MANIFEST_NAME}"
+                    )
+                raise TraceFormatError(
+                    f"{manifest_path}: corrupt manifest: {exc}"
+                ) from exc
+            self.integrity.missing_files.append(MANIFEST_NAME)
+            self.integrity.note(
+                f"{MANIFEST_NAME}: missing/corrupt, reconstructed from disk"
+            )
+            return {"reconstructed": True}
+        if manifest.get("in_progress"):
+            self.integrity.note(
+                f"{MANIFEST_NAME}: in-progress (run was killed before "
+                f"finalisation)"
+            )
+        return manifest
+
+    def _load_regions(self, salvage: bool) -> dict[int, dict]:
+        regions_path = self.path / REGIONS_NAME
+        try:
+            payload = json.loads(regions_path.read_text())
+            return {int(k): v for k, v in payload.items()}
+        except (OSError, ValueError) as exc:
+            if not salvage:
+                raise TraceFormatError(
+                    f"{regions_path}: missing or corrupt regions table: {exc}"
+                ) from exc
+        # Fall back to the durable journal (regions.jsonl), dropping any
+        # torn line; a region journalled at fork time is always complete
+        # before any chunk referencing it could have been flushed.
+        self.integrity.missing_files.append(REGIONS_NAME)
+        journal_path = self.path / REGIONS_JOURNAL_NAME
+        regions: dict[int, dict] = {}
+        if journal_path.exists():
+            for record in parse_journal(journal_path.read_text(), salvage=True):
+                try:
+                    pid = int(record.pop("pid"))
+                except (KeyError, ValueError, TypeError):
+                    continue
+                regions[pid] = record
+            self.integrity.note(
+                f"{REGIONS_NAME}: recovered {len(regions)} region(s) from "
+                f"{REGIONS_JOURNAL_NAME}"
+            )
+        else:
+            self.integrity.note(
+                f"{REGIONS_NAME}: missing and no journal; intervals of "
+                f"unknown regions will be skipped"
+            )
+        return regions
+
+    def _load_mutexsets(self, salvage: bool) -> MutexSetTable:
+        mutex_path = self.path / MUTEXSETS_NAME
+        try:
+            table = MutexSetTable.load(mutex_path)
+        except (OSError, ValueError) as exc:
+            if not salvage:
+                raise TraceFormatError(
+                    f"{mutex_path}: missing or corrupt mutex-set table: {exc}"
+                ) from exc
+            self.integrity.missing_files.append(MUTEXSETS_NAME)
+            self.integrity.note(
+                f"{MUTEXSETS_NAME}: missing/corrupt; unknown mutex sets are "
+                f"treated as overlapping (may under-report races)"
+            )
+            return _TolerantMutexSetTable()
+        if salvage:
+            # The snapshot may predate the kill; tolerate stale ids.
+            return _TolerantMutexSetTable.wrap(table)
+        return table
+
+    def _load_thread_gids(self, salvage: bool) -> list[int]:
+        listed = self.manifest.get("thread_gids")
+        if listed is not None and not salvage:
+            return list(listed)
+        on_disk = self._glob_thread_gids()
+        if listed is None:
+            return on_disk
+        # Salvage: trust only gids whose log actually exists, and pick up
+        # logs the (possibly stale in-progress) manifest missed.
+        merged = sorted(set(int(g) for g in listed) | set(on_disk))
+        present = [gid for gid in merged if (self.path / log_name(gid)).exists()]
+        missing = sorted(set(merged) - set(present))
+        for gid in missing:
+            self.integrity.thread(gid).errors.append(
+                f"{log_name(gid)}: listed in manifest but missing on disk"
+            )
+            self.integrity.missing_files.append(log_name(gid))
+        return present
+
+    # -- readers ---------------------------------------------------------------
 
     def reader(self, gid: int) -> ThreadTraceReader:
-        """Open one thread's log/meta pair."""
-        return ThreadTraceReader(self.path, gid)
+        """Open one thread's log/meta pair (inherits the integrity mode)."""
+        report = (
+            self.integrity.thread(gid)
+            if self.integrity_mode == "salvage"
+            else None
+        )
+        return ThreadTraceReader(
+            self.path, gid, integrity=self.integrity_mode, report=report
+        )
 
     def region_span(self, pid: int) -> int:
         return int(self.regions[pid]["span"])

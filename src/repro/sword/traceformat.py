@@ -3,29 +3,64 @@
 Per-thread files in a trace directory:
 
 * ``thread_<gid>.log``  — concatenated compressed blocks of EVENT_DTYPE
-  records.  Each block is framed by a fixed 24-byte header carrying the
-  codec id and both sizes, so a reader can skip blocks without
-  decompressing and can resynchronise offsets in *uncompressed stream
-  coordinates* (what the metadata refers to).
+  records.  Format v2 frames each block with a 32-byte checksummed
+  header and an 8-byte trailing commit marker (layout below), so a
+  reader can skip blocks without decompressing, resynchronise offsets in
+  *uncompressed stream coordinates* (what the metadata refers to), and
+  — the durability property — prove that any byte-level truncation or
+  corruption leaves a detectable, prefix-valid trace.  v1 traces used an
+  unchecksummed 24-byte header; the reader auto-detects them per block.
 * ``thread_<gid>.meta`` — text rows, one per barrier-interval data chunk,
   with exactly the paper's Table-I columns: ``pid ppid bid offset span
   level data_begin size`` (``data_begin``/``size`` in uncompressed bytes).
   An interval interrupted by a nested region contributes multiple chunks.
+  Durable mode appends a per-row CRC32 suffix (``*xxxxxxxx``) so a torn
+  trailing row is detectable; rows without the suffix still parse (v1).
 
 Run-wide files:
 
 * ``regions.json``   — per region: ppid, parent slot/bid, span, level (the
   fork positions the offline phase chains into offset-span labels);
+* ``regions.jsonl``  — durable-mode journal: one checksummed JSON line per
+  region, appended at fork time so a crash before finalisation still
+  leaves the concurrency structure recoverable;
 * ``mutexsets.json`` — the interned mutex-set table;
-* ``manifest.json``  — codec, thread list, counters.
+* ``manifest.json``  — codec, thread list, counters, format version.
+
+Frame layout (format v2, little-endian)::
+
+    offset  size  field
+    0       4     magic "SWB2"
+    4       8     uncompressed stream offset
+    12      4     compressed payload size
+    16      4     uncompressed size
+    20      1     codec id
+    21      3     padding (zero)
+    24      4     CRC32 of the compressed payload
+    28      4     CRC32 of header bytes [0, 28)
+    32      *     compressed payload
+    32+*    4     commit magic "SWCM"
+    36+*    4     CRC32 of the compressed payload (echo)
+
+A frame *commits* only once its trailer is on disk; a kill at any byte
+boundary therefore leaves either complete committed frames or one
+detectable torn frame at the tail.
 """
 
 from __future__ import annotations
 
+import json
 import struct
+import zlib
 from dataclasses import dataclass
 
 from ..common.errors import TraceFormatError
+
+#: On-disk format version recorded in the manifest.  v1: unchecksummed
+#: 24-byte block headers; v2: CRC-framed chunks + commit markers.
+TRACE_FORMAT_VERSION = 2
+
+# -- v1 block framing (legacy; still readable) --------------------------------
 
 BLOCK_MAGIC = b"SWBL"
 #: ``magic, uncompressed stream offset, compressed size, uncompressed size,
@@ -34,17 +69,38 @@ BLOCK_HEADER = struct.Struct("<4sQIIB3x")
 BLOCK_HEADER_BYTES = BLOCK_HEADER.size
 assert BLOCK_HEADER_BYTES == 24
 
+# -- v2 CRC framing -----------------------------------------------------------
+
+FRAME_MAGIC = b"SWB2"
+#: v1 header fields plus payload CRC32 and a CRC32 over the header itself.
+FRAME_HEADER = struct.Struct("<4sQIIB3xII")
+FRAME_HEADER_BYTES = FRAME_HEADER.size
+assert FRAME_HEADER_BYTES == 32
+
+COMMIT_MAGIC = b"SWCM"
+#: ``commit magic, payload CRC32 echo`` — written after the payload; its
+#: presence marks the frame as fully committed.
+COMMIT_TRAILER = struct.Struct("<4sI")
+COMMIT_TRAILER_BYTES = COMMIT_TRAILER.size
+assert COMMIT_TRAILER_BYTES == 8
+
 META_COLUMNS = ("pid", "ppid", "bid", "offset", "span", "level", "data_begin", "size")
 MANIFEST_NAME = "manifest.json"
 REGIONS_NAME = "regions.json"
+REGIONS_JOURNAL_NAME = "regions.jsonl"
 MUTEXSETS_NAME = "mutexsets.json"
 TASKS_NAME = "tasks.json"
+
+
+def crc32(data: bytes) -> int:
+    """The trace format's checksum (zlib CRC32, unsigned)."""
+    return zlib.crc32(data) & 0xFFFFFFFF
 
 
 def pack_block_header(
     uncompressed_offset: int, compressed_size: int, uncompressed_size: int, codec_id: int
 ) -> bytes:
-    """Frame one compressed block."""
+    """Frame one compressed block (legacy v1 header, kept for tests/tools)."""
     return BLOCK_HEADER.pack(
         BLOCK_MAGIC, uncompressed_offset, compressed_size, uncompressed_size, codec_id
     )
@@ -52,16 +108,30 @@ def pack_block_header(
 
 @dataclass(frozen=True, slots=True)
 class BlockHeader:
-    """Parsed block frame."""
+    """Parsed block frame (either format version)."""
 
     uncompressed_offset: int
     compressed_size: int
     uncompressed_size: int
     codec_id: int
+    #: CRC32 of the compressed payload; None for v1 blocks (unchecksummed).
+    payload_crc: int | None = None
+
+    @property
+    def version(self) -> int:
+        return 1 if self.payload_crc is None else 2
+
+    @property
+    def header_bytes(self) -> int:
+        return BLOCK_HEADER_BYTES if self.payload_crc is None else FRAME_HEADER_BYTES
+
+    @property
+    def trailer_bytes(self) -> int:
+        return 0 if self.payload_crc is None else COMMIT_TRAILER_BYTES
 
 
 def unpack_block_header(data: bytes) -> BlockHeader:
-    """Parse and validate one block frame."""
+    """Parse and validate one v1 block frame."""
     if len(data) < BLOCK_HEADER_BYTES:
         raise TraceFormatError("truncated block header")
     magic, off, csize, usize, codec_id = BLOCK_HEADER.unpack(
@@ -75,6 +145,56 @@ def unpack_block_header(data: bytes) -> BlockHeader:
         uncompressed_size=usize,
         codec_id=codec_id,
     )
+
+
+def pack_frame(
+    uncompressed_offset: int,
+    payload: bytes,
+    uncompressed_size: int,
+    codec_id: int,
+) -> bytes:
+    """Frame one compressed block as a v2 chunk: header + payload + commit."""
+    payload_crc = crc32(payload)
+    head = FRAME_HEADER.pack(
+        FRAME_MAGIC,
+        uncompressed_offset,
+        len(payload),
+        uncompressed_size,
+        codec_id,
+        payload_crc,
+        0,  # placeholder; the header CRC covers everything before itself
+    )
+    head = head[:-4] + struct.pack("<I", crc32(head[:-4]))
+    return head + payload + COMMIT_TRAILER.pack(COMMIT_MAGIC, payload_crc)
+
+
+def unpack_frame_header(data: bytes) -> BlockHeader:
+    """Parse and validate one v2 frame header (magic + header CRC)."""
+    if len(data) < FRAME_HEADER_BYTES:
+        raise TraceFormatError("truncated frame header")
+    raw = data[:FRAME_HEADER_BYTES]
+    magic, off, csize, usize, codec_id, payload_crc, header_crc = (
+        FRAME_HEADER.unpack(raw)
+    )
+    if magic != FRAME_MAGIC:
+        raise TraceFormatError(f"bad frame magic {magic!r}")
+    if crc32(raw[:-4]) != header_crc:
+        raise TraceFormatError("frame header CRC mismatch")
+    return BlockHeader(
+        uncompressed_offset=off,
+        compressed_size=csize,
+        uncompressed_size=usize,
+        codec_id=codec_id,
+        payload_crc=payload_crc,
+    )
+
+
+def check_commit_trailer(data: bytes, payload_crc: int) -> bool:
+    """True when ``data`` is this frame's valid commit trailer."""
+    if len(data) < COMMIT_TRAILER_BYTES:
+        return False
+    magic, echo = COMMIT_TRAILER.unpack(data[:COMMIT_TRAILER_BYTES])
+    return magic == COMMIT_MAGIC and echo == payload_crc
 
 
 @dataclass(frozen=True, slots=True)
@@ -97,9 +217,23 @@ class MetaRow:
             f"{self.level} {self.data_begin} {self.size}"
         )
 
+    def format_durable(self) -> str:
+        """Row text plus a ``*crc32`` suffix so a torn line is detectable."""
+        body = self.format()
+        return f"{body} *{crc32(body.encode()):08x}"
+
     @classmethod
     def parse(cls, line: str) -> "MetaRow":
         parts = line.split()
+        if parts and parts[-1].startswith("*"):
+            body = line[: line.rindex("*")].rstrip()
+            try:
+                expected = int(parts[-1][1:], 16)
+            except ValueError as exc:
+                raise TraceFormatError(f"malformed meta row: {line!r}") from exc
+            if crc32(body.encode()) != expected:
+                raise TraceFormatError(f"meta row CRC mismatch: {line!r}")
+            parts = parts[:-1]
         if len(parts) != len(META_COLUMNS):
             raise TraceFormatError(f"malformed meta row: {line!r}")
         try:
@@ -118,15 +252,18 @@ class MetaRow:
             raise TraceFormatError(f"malformed meta row: {line!r}") from exc
 
 
-def format_meta_file(rows: list[MetaRow]) -> str:
+def format_meta_file(rows: list[MetaRow], *, durable: bool = False) -> str:
     """Render a meta file (header comment + rows)."""
     lines = ["# " + " ".join(META_COLUMNS)]
-    lines.extend(r.format() for r in rows)
+    if durable:
+        lines.extend(r.format_durable() for r in rows)
+    else:
+        lines.extend(r.format() for r in rows)
     return "\n".join(lines) + "\n"
 
 
 def parse_meta_file(text: str) -> list[MetaRow]:
-    """Parse a meta file, skipping comments and blank lines."""
+    """Parse a meta file, skipping comments and blank lines (fail-fast)."""
     rows = []
     for line in text.splitlines():
         line = line.strip()
@@ -134,6 +271,58 @@ def parse_meta_file(text: str) -> list[MetaRow]:
             continue
         rows.append(MetaRow.parse(line))
     return rows
+
+
+def parse_meta_file_salvage(text: str) -> tuple[list[MetaRow], int]:
+    """Lenient meta parse: drop invalid rows instead of raising.
+
+    Each row is validated independently (the durable format checksums
+    per line), so a deleted or torn record in the middle only loses that
+    record, not everything after it.  Returns ``(rows, dropped)``.
+    """
+    rows: list[MetaRow] = []
+    dropped = 0
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            rows.append(MetaRow.parse(line))
+        except TraceFormatError:
+            dropped += 1
+    return rows, dropped
+
+
+# -- checksummed JSON journal lines (regions.jsonl) ---------------------------
+
+
+def journal_line(payload: dict) -> str:
+    """One append-atomic journal record: JSON body + ``*crc32`` suffix."""
+    body = json.dumps(payload, sort_keys=True)
+    return f"{body} *{crc32(body.encode()):08x}\n"
+
+
+def parse_journal(text: str, *, salvage: bool = False) -> list[dict]:
+    """Parse a journal file; torn/invalid lines raise (strict) or drop."""
+    records: list[dict] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            star = line.rindex("*")
+            body = line[:star].rstrip()
+            if crc32(body.encode()) != int(line[star + 1 :], 16):
+                raise ValueError("journal line CRC mismatch")
+            payload = json.loads(body)
+            if not isinstance(payload, dict):
+                raise ValueError("journal line is not an object")
+        except ValueError as exc:
+            if salvage:
+                continue
+            raise TraceFormatError(f"malformed journal line: {line!r}") from exc
+        records.append(payload)
+    return records
 
 
 def log_name(gid: int) -> str:

@@ -15,6 +15,7 @@ import tempfile
 import pytest
 
 from repro.common.config import RunConfig, SchedulerConfig, SwordConfig
+from repro.faults.fixtures import *  # noqa: F401,F403 (fault-injection fixtures)
 from repro.offline import OfflineAnalyzer, oracle_races
 from repro.omp import OpenMPRuntime, RecordingTool, ToolMux
 from repro.sword import SwordTool, TraceDir

@@ -1,0 +1,74 @@
+"""FaultPlan: determinism, serialisation, and in-place application."""
+
+import json
+
+from repro.faults import FaultAction, FaultPlan
+
+
+def test_same_seed_same_plan(collected_trace):
+    trace = collected_trace(seed=3)
+    a = FaultPlan.random(trace, seed=42, actions=5)
+    b = FaultPlan.random(trace, seed=42, actions=5)
+    assert a.actions == b.actions
+    assert a.actions  # a real trace yields applicable actions
+
+
+def test_different_seeds_differ(collected_trace):
+    trace = collected_trace(seed=3)
+    plans = {
+        tuple(FaultPlan.random(trace, seed=s, actions=5).actions)
+        for s in range(8)
+    }
+    assert len(plans) > 1
+
+
+def test_json_round_trip(collected_trace):
+    trace = collected_trace()
+    plan = FaultPlan.random(trace, seed=1, actions=4)
+    plan.apply(trace)
+    clone = FaultPlan.from_json(json.loads(json.dumps(plan.to_json())))
+    assert clone.seed == plan.seed
+    assert clone.actions == plan.actions
+    assert clone.applied == plan.applied
+
+
+def test_truncate_action_shortens_file(collected_trace):
+    trace = collected_trace()
+    log = sorted(trace.glob("thread_*.log"))[0]
+    before = log.stat().st_size
+    assert FaultAction(kind="truncate", target=log.name, offset=10).apply(trace)
+    assert log.stat().st_size == 10 < before
+
+
+def test_flip_action_changes_bytes(collected_trace):
+    trace = collected_trace()
+    log = sorted(trace.glob("thread_*.log"))[0]
+    before = log.read_bytes()
+    assert FaultAction(
+        kind="flip", target=log.name, offset=5, length=3
+    ).apply(trace)
+    after = log.read_bytes()
+    assert len(after) == len(before)
+    assert after[5:8] != before[5:8]
+    assert after[:5] == before[:5] and after[8:] == before[8:]
+
+
+def test_line_actions(collected_trace):
+    trace = collected_trace()
+    meta = sorted(trace.glob("thread_*.meta"))[0]
+    lines = meta.read_text().splitlines()
+    assert FaultAction(
+        kind="duplicate_line", target=meta.name, index=0
+    ).apply(trace)
+    assert len(meta.read_text().splitlines()) == len(lines) + 1
+    assert FaultAction(
+        kind="delete_line", target=meta.name, index=0
+    ).apply(trace)
+    assert len(meta.read_text().splitlines()) == len(lines)
+
+
+def test_action_on_missing_target_is_noop(collected_trace):
+    trace = collected_trace()
+    assert not FaultAction(
+        kind="truncate", target="no_such_file.log", offset=1
+    ).apply(trace)

@@ -1,0 +1,106 @@
+"""Watch mode must survive trace-directory trouble mid-run."""
+
+from repro.common.errors import TraceFormatError
+from repro.obs import live
+from repro.stream.analyzer import StreamAnalyzer
+from repro.stream.bus import TraceObserver
+from repro.stream.watch import ResilientObserver, watch
+from repro.workloads import REGISTRY
+
+
+class FlakyObserver(TraceObserver):
+    """Raises OSError for the first ``fail`` deliveries of each hook."""
+
+    def __init__(self, fail=2):
+        self.fail = fail
+        self.calls = {}
+        self.delivered = []
+        self.engine = None  # reader-reset seam the wrapper pokes
+
+    def _maybe_fail(self, name):
+        n = self.calls.get(name, 0)
+        self.calls[name] = n + 1
+        if n < self.fail:
+            raise OSError("trace directory vanished")
+        self.delivered.append(name)
+
+    def on_chunk(self, gid, row):
+        self._maybe_fail("on_chunk")
+
+    def on_region(self, pid, info):
+        self._maybe_fail("on_region")
+
+
+def test_resilient_observer_retries_with_backoff():
+    obs = live()
+    inner = FlakyObserver(fail=2)
+    wrapper = ResilientObserver(inner, obs=obs, retries=3, backoff_seconds=0.01)
+    sleeps = []
+    wrapper._sleep = sleeps.append
+    wrapper.on_chunk(0, None)
+    assert inner.delivered == ["on_chunk"]
+    assert wrapper.reconnects == 2
+    assert sleeps == [0.01, 0.02]  # exponential backoff
+    assert wrapper.dropped_notifications == 0
+    assert obs.registry.snapshot()["counters"]["watch.reconnects"] == 2
+
+
+def test_resilient_observer_drops_after_exhaustion():
+    inner = FlakyObserver(fail=10)
+    wrapper = ResilientObserver(inner, retries=2, backoff_seconds=0.0)
+    wrapper.on_region(1, {})  # must not raise
+    assert wrapper.reconnects == 2
+    assert wrapper.dropped_notifications == 1
+    assert inner.delivered == []
+
+
+def test_resilient_observer_tolerates_trace_format_errors():
+    class TornObserver(TraceObserver):
+        engine = None
+
+        def on_chunk(self, gid, row):
+            raise TraceFormatError("half-rotated trace")
+
+    wrapper = ResilientObserver(TornObserver(), retries=1, backoff_seconds=0.0)
+    wrapper.on_chunk(0, None)
+    assert wrapper.dropped_notifications == 1
+
+
+def test_resilient_observer_resets_inner_readers_between_attempts():
+    resets = []
+
+    class Engine:
+        def close(self):
+            resets.append(True)
+
+    inner = FlakyObserver(fail=1)
+    inner.engine = Engine()
+    wrapper = ResilientObserver(inner, retries=2, backoff_seconds=0.0)
+    wrapper.on_chunk(0, None)
+    assert resets  # stale handles were closed before the retry
+
+
+def test_watch_survives_analyzer_io_failures(monkeypatch):
+    """End to end through ``watch()``: the analyzer's first chunk
+    deliveries blow up with OSError (vanished trace files); the watched
+    application must still run to completion with the analysis merely
+    degraded, and the reconnects must land on the metrics snapshot."""
+    state = {"remaining": 2}
+    original = StreamAnalyzer.on_chunk
+
+    def flaky_on_chunk(self, gid, row):
+        if state["remaining"] > 0:
+            state["remaining"] -= 1
+            raise OSError("trace file vanished")
+        return original(self, gid, row)
+
+    monkeypatch.setattr(StreamAnalyzer, "on_chunk", flaky_on_chunk)
+    result = watch(
+        REGISTRY.get("antidep1-orig-yes"),
+        nthreads=2,
+        seed=0,
+        obs=live(),
+    )
+    assert not result.oom
+    assert result.races is not None  # run and analysis both completed
+    assert result.metrics["counters"]["watch.reconnects"] >= 2

@@ -1,6 +1,7 @@
 """Failure injection: corrupted traces fail loudly, never silently."""
 
 import json
+import struct
 
 import pytest
 
@@ -8,7 +9,7 @@ from repro.common.config import RunConfig, SwordConfig
 from repro.common.errors import CodecError, TraceFormatError
 from repro.omp import OpenMPRuntime
 from repro.sword import SwordTool, TraceDir
-from repro.sword.traceformat import MANIFEST_NAME, log_name, meta_name
+from repro.sword.traceformat import MANIFEST_NAME, crc32, log_name, meta_name
 
 
 @pytest.fixture
@@ -63,8 +64,9 @@ def test_corrupted_payload_detected_on_read(collected):
     trace = TraceDir(collected)
     path, gid = _first_log(trace)
     data = bytearray(path.read_bytes())
-    # Flip bytes in the middle of the first payload (past the 24 B header).
-    for i in range(30, 40):
+    # Flip bytes in the middle of the first payload (past the 32 B v2
+    # frame header) — the payload CRC catches this at read time.
+    for i in range(40, 50):
         data[i] ^= 0xFF
     path.write_bytes(bytes(data))
     reader = trace.reader(gid)
@@ -72,6 +74,16 @@ def test_corrupted_payload_detected_on_read(collected):
         for row in reader.rows:
             reader.read_chunk(row)
     reader.close()
+
+
+def test_corrupted_frame_header_detected(collected):
+    trace = TraceDir(collected)
+    path, gid = _first_log(trace)
+    data = bytearray(path.read_bytes())
+    data[8] ^= 0xFF  # uncompressed-offset field: header CRC must catch it
+    path.write_bytes(bytes(data))
+    with pytest.raises(TraceFormatError, match="header CRC"):
+        trace.reader(gid)
 
 
 def test_garbage_meta_row_detected(collected):
@@ -102,7 +114,10 @@ def test_unknown_codec_id_detected(collected):
     trace = TraceDir(collected)
     path, gid = _first_log(trace)
     data = bytearray(path.read_bytes())
-    data[20] = 200  # codec-id byte of the first header
+    data[20] = 200  # codec-id byte of the first frame header
+    # Re-seal the header CRC so the bogus codec id survives validation
+    # and is caught by the codec registry, not the checksum.
+    data[28:32] = struct.pack("<I", crc32(bytes(data[:28])))
     path.write_bytes(bytes(data))
     reader = trace.reader(gid)
     with pytest.raises(CodecError):

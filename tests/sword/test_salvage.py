@@ -1,0 +1,305 @@
+"""Salvage-mode analysis: the kill-anywhere guarantee.
+
+Property under test (the durability headline): for ANY fault point in a
+trace, salvage analysis completes — no crash — and its race set is a
+subset of the clean run's.  Plus the unit-level behaviours: CRC-mismatch
+truncation, torn/duplicated/deleted meta records, missing run-wide
+files, and v1 backward compatibility.
+"""
+
+import json
+import shutil
+import warnings
+
+import pytest
+
+import repro.sword.reader as reader_mod
+from repro import api
+from repro.common.errors import TraceFormatError
+from repro.faults.harness import collect_trace, frame_kill_points, kill_sweep
+from repro.sword import IntegrityReport, TraceDir
+from repro.sword.traceformat import (
+    BLOCK_HEADER_BYTES,
+    COMMIT_TRAILER_BYTES,
+    FRAME_HEADER_BYTES,
+    FRAME_MAGIC,
+    MANIFEST_NAME,
+    MUTEXSETS_NAME,
+    REGIONS_JOURNAL_NAME,
+    REGIONS_NAME,
+    log_name,
+    meta_name,
+    pack_block_header,
+    unpack_frame_header,
+)
+
+WORKLOAD = "antidep1-orig-yes"
+
+
+@pytest.fixture
+def clean_trace(tmp_path):
+    trace = tmp_path / "clean"
+    collect_trace(WORKLOAD, trace, nthreads=2, seed=0, buffer_events=64)
+    return trace
+
+
+def _salvage(trace_dir):
+    return api.analyze(trace_dir, integrity="salvage")
+
+
+# -- the property test ---------------------------------------------------------
+
+
+def test_kill_point_sweep_subset_property():
+    """Truncate at every enumerated kill point; salvage must always
+    complete with a subset of the clean race set (and be byte-identical
+    at the clean end-of-file point)."""
+    result = kill_sweep(WORKLOAD, nthreads=2, seed=0, buffer_events=64)
+    assert result.points, "sweep enumerated no kill points"
+    assert result.clean_races >= 1, "workload must be racy for a real check"
+    failures = [p.to_json() for p in result.failures]
+    assert result.ok, f"kill-anywhere violated: {failures}"
+    kinds = {p.point.kind for p in result.points}
+    assert {"mid-header", "mid-payload", "pre-commit", "boundary",
+            "clean-end"} <= kinds
+
+
+def test_sweep_reports_loss_where_expected():
+    result = kill_sweep(WORKLOAD, nthreads=2, seed=0, buffer_events=64)
+    for p in result.points:
+        if p.point.kind == "clean-end":
+            assert p.identical
+        else:
+            assert p.integrity, "lossy point must carry an integrity report"
+            assert not p.integrity["clean"]
+            assert p.integrity["races_possibly_missed"]
+
+
+# -- unit-level salvage behaviours ---------------------------------------------
+
+
+def test_salvage_on_clean_trace_is_byte_identical(clean_trace):
+    strict = api.analyze(clean_trace)
+    salvaged = _salvage(clean_trace)
+    assert salvaged.races.to_json() == strict.races.to_json()
+    assert salvaged.integrity is not None
+    assert salvaged.integrity.clean
+    assert not salvaged.integrity.races_possibly_missed
+    assert strict.integrity is None
+
+
+def test_payload_crc_mismatch_truncates_in_salvage(clean_trace):
+    trace = TraceDir(clean_trace)
+    gid = trace.thread_gids[0]
+    log_path = clean_trace / log_name(gid)
+    data = bytearray(log_path.read_bytes())
+    header = unpack_frame_header(bytes(data[:FRAME_HEADER_BYTES]))
+    data[FRAME_HEADER_BYTES + 2] ^= 0xFF  # corrupt the first payload
+    log_path.write_bytes(bytes(data))
+    # Strict verifies payload CRCs lazily, at read time.
+    reader = TraceDir(clean_trace).reader(gid)
+    try:
+        with pytest.raises(TraceFormatError, match="payload CRC"):
+            for row in reader.rows:
+                reader.read_chunk(row)
+    finally:
+        reader.close()
+    result = _salvage(clean_trace)
+    thread = result.integrity.threads[gid]
+    assert thread.chunks_dropped >= 1
+    assert thread.chunks_recovered == 0  # first frame bad -> nothing before it
+    assert any("payload CRC mismatch" in e for e in thread.errors)
+    assert header.compressed_size > 0
+
+
+def test_strict_error_names_thread_block_offset(clean_trace):
+    trace = TraceDir(clean_trace)
+    gid = trace.thread_gids[-1]
+    log_path = clean_trace / log_name(gid)
+    log_path.write_bytes(log_path.read_bytes()[:-3])  # torn commit marker
+    with pytest.raises(TraceFormatError, match=rf"thread {gid}, block \d+ at byte \d+"):
+        trace.reader(gid)
+
+
+def test_torn_meta_record_dropped_individually(clean_trace):
+    gid = TraceDir(clean_trace).thread_gids[0]
+    meta_path = clean_trace / meta_name(gid)
+    text = meta_path.read_text()
+    n_rows = len(
+        [l for l in text.splitlines() if l.strip() and not l.startswith("#")]
+    )
+    meta_path.write_text(text + "1 - 0 0 2 1 999\n")  # torn tail row
+    result = _salvage(clean_trace)
+    thread = result.integrity.threads[gid]
+    assert thread.rows_dropped == 1
+    assert thread.rows_recovered == n_rows
+
+
+def test_duplicate_meta_row_deduplicated(clean_trace):
+    gid = TraceDir(clean_trace).thread_gids[0]
+    meta_path = clean_trace / meta_name(gid)
+    lines = meta_path.read_text().splitlines(keepends=True)
+    row_lines = [l for l in lines if l.strip() and not l.startswith("#")]
+    lines.append(row_lines[0])  # duplicate the first data row
+    meta_path.write_text("".join(lines))
+    result = _salvage(clean_trace)
+    thread = result.integrity.threads[gid]
+    assert thread.rows_dropped == 1
+    assert any("duplicate row" in e for e in thread.errors)
+
+
+def test_deleted_middle_meta_record_loses_only_that_record(clean_trace):
+    strict_races = api.analyze(clean_trace).races.pc_pairs()
+    gid = TraceDir(clean_trace).thread_gids[0]
+    meta_path = clean_trace / meta_name(gid)
+    lines = meta_path.read_text().splitlines(keepends=True)
+    data_idx = [
+        i for i, l in enumerate(lines) if l.strip() and not l.startswith("#")
+    ]
+    assert len(data_idx) >= 2, "need multiple rows to delete a middle one"
+    del lines[data_idx[len(data_idx) // 2]]
+    meta_path.write_text("".join(lines))
+    result = _salvage(clean_trace)
+    thread = result.integrity.threads[gid]
+    # Durable rows validate independently: the remaining rows all parse.
+    assert thread.rows_dropped == 0
+    assert result.races.pc_pairs() <= strict_races
+
+
+def test_rows_past_truncation_reconciled_away(clean_trace):
+    gid = TraceDir(clean_trace).thread_gids[0]
+    log_path = clean_trace / log_name(gid)
+    # Keep only the first frame's bytes.
+    data = log_path.read_bytes()
+    header = unpack_frame_header(data[:FRAME_HEADER_BYTES])
+    first_end = (
+        FRAME_HEADER_BYTES + header.compressed_size + COMMIT_TRAILER_BYTES
+    )
+    log_path.write_bytes(data[:first_end])
+    result = _salvage(clean_trace)
+    thread = result.integrity.threads[gid]
+    assert thread.chunks_recovered == 1
+    assert thread.bytes_recovered == header.uncompressed_size
+    # Every surviving row fits inside the recovered extent.
+    reader = TraceDir(clean_trace, integrity="salvage").reader(gid)
+    try:
+        for row in reader.rows:
+            assert row.data_begin + row.size <= header.uncompressed_size
+    finally:
+        reader.close()
+
+
+def test_missing_manifest_salvaged_from_disk(clean_trace):
+    (clean_trace / MANIFEST_NAME).unlink()
+    with pytest.raises(TraceFormatError):
+        TraceDir(clean_trace)  # strict still fails fast
+    result = _salvage(clean_trace)
+    assert MANIFEST_NAME in result.integrity.missing_files
+    trace = TraceDir(clean_trace, integrity="salvage")
+    assert trace.thread_gids  # reconstructed by globbing thread logs
+
+
+def test_missing_regions_recovered_from_journal(clean_trace):
+    assert (clean_trace / REGIONS_JOURNAL_NAME).exists()  # durable trace
+    strict_races = api.analyze(clean_trace).races.pc_pairs()
+    (clean_trace / REGIONS_NAME).unlink()
+    result = _salvage(clean_trace)
+    assert REGIONS_NAME in result.integrity.missing_files
+    assert any(REGIONS_JOURNAL_NAME in n for n in result.integrity.notes)
+    # The journal holds the full fork structure: nothing is lost.
+    assert result.races.pc_pairs() == strict_races
+
+
+def test_missing_regions_and_journal_skips_intervals(clean_trace):
+    (clean_trace / REGIONS_NAME).unlink()
+    (clean_trace / REGIONS_JOURNAL_NAME).unlink()
+    result = _salvage(clean_trace)
+    assert result.integrity.intervals_skipped > 0
+    assert result.races.pc_pairs() == set()  # under-report, never invent
+
+
+def test_missing_mutexsets_under_reports(clean_trace):
+    strict_races = api.analyze(clean_trace).races.pc_pairs()
+    (clean_trace / MUTEXSETS_NAME).unlink()
+    result = _salvage(clean_trace)
+    assert MUTEXSETS_NAME in result.integrity.missing_files
+    assert result.races.pc_pairs() <= strict_races
+
+
+def test_integrity_report_json_round_trip(clean_trace):
+    log_path = clean_trace / log_name(TraceDir(clean_trace).thread_gids[0])
+    log_path.write_bytes(log_path.read_bytes()[:-5])
+    report = _salvage(clean_trace).integrity
+    clone = IntegrityReport.from_json(json.loads(json.dumps(report.to_json())))
+    assert clone.to_json() == report.to_json()
+    assert not clone.clean
+    assert "salvaged with loss" in clone.summary()
+
+
+def test_analysis_result_json_carries_integrity_key(clean_trace):
+    strict_payload = api.analyze(clean_trace).to_json()
+    assert "integrity" not in strict_payload
+    salvage_payload = _salvage(clean_trace).to_json()
+    assert salvage_payload["integrity"]["mode"] == "salvage"
+    assert salvage_payload["integrity"]["clean"] is True
+
+
+# -- v1 backward compatibility -------------------------------------------------
+
+
+def _downgrade_to_v1(trace_dir):
+    """Rewrite every v2 frame as an unchecksummed v1 block."""
+    for log_path in trace_dir.glob("thread_*.log"):
+        data = log_path.read_bytes()
+        out = bytearray()
+        pos = 0
+        while pos < len(data):
+            assert data[pos : pos + 4] == FRAME_MAGIC
+            header = unpack_frame_header(data[pos : pos + FRAME_HEADER_BYTES])
+            payload = data[
+                pos + FRAME_HEADER_BYTES :
+                pos + FRAME_HEADER_BYTES + header.compressed_size
+            ]
+            out += pack_block_header(
+                header.uncompressed_offset,
+                header.compressed_size,
+                header.uncompressed_size,
+                header.codec_id,
+            )
+            out += payload
+            pos += (
+                FRAME_HEADER_BYTES
+                + header.compressed_size
+                + COMMIT_TRAILER_BYTES
+            )
+        log_path.write_bytes(bytes(out))
+    manifest_path = trace_dir / MANIFEST_NAME
+    manifest = json.loads(manifest_path.read_text())
+    manifest["format_version"] = 1
+    manifest_path.write_text(json.dumps(manifest))
+
+
+def test_v1_trace_reads_with_one_warning(clean_trace, tmp_path):
+    strict_races = api.analyze(clean_trace).races.to_json()
+    v1 = tmp_path / "v1"
+    shutil.copytree(clean_trace, v1)
+    _downgrade_to_v1(v1)
+    reader_mod._v1_warned = False
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = api.analyze(v1)
+            again = api.analyze(v1)
+        v1_warnings = [
+            w for w in caught if "v1" in str(w.message)
+        ]
+        assert len(v1_warnings) == 1  # warn once per process, not per read
+    finally:
+        reader_mod._v1_warned = False
+    # Same analysis result through the compatibility path.
+    assert result.races.to_json() == strict_races
+    assert again.races.to_json() == strict_races
+
+
+def test_v1_block_header_is_24_bytes():
+    assert BLOCK_HEADER_BYTES == 24  # layout frozen for compatibility

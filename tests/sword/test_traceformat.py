@@ -1,15 +1,26 @@
-"""Block framing and Table-I metadata rows."""
+"""Block framing (v1 + v2 CRC frames) and Table-I metadata rows."""
 
 import pytest
 
 from repro.common.errors import TraceFormatError
 from repro.sword.traceformat import (
     BLOCK_HEADER_BYTES,
+    COMMIT_TRAILER_BYTES,
+    FRAME_HEADER_BYTES,
+    FRAME_MAGIC,
+    TRACE_FORMAT_VERSION,
     MetaRow,
+    check_commit_trailer,
+    crc32,
     format_meta_file,
+    journal_line,
     pack_block_header,
+    pack_frame,
+    parse_journal,
     parse_meta_file,
+    parse_meta_file_salvage,
     unpack_block_header,
+    unpack_frame_header,
 )
 
 
@@ -78,3 +89,112 @@ class TestMetaRows:
         ]
         text = format_meta_file(rows) + "\n# trailing comment\n\n"
         assert parse_meta_file(text) == rows
+
+
+class TestFrameV2:
+    PAYLOAD = b"compressed-bytes-go-here"
+
+    def test_format_version_bumped(self):
+        assert TRACE_FORMAT_VERSION == 2
+
+    def test_roundtrip(self):
+        frame = pack_frame(777, self.PAYLOAD, 4096, 2)
+        assert len(frame) == (
+            FRAME_HEADER_BYTES + len(self.PAYLOAD) + COMMIT_TRAILER_BYTES
+        )
+        header = unpack_frame_header(frame)
+        assert header.uncompressed_offset == 777
+        assert header.compressed_size == len(self.PAYLOAD)
+        assert header.uncompressed_size == 4096
+        assert header.codec_id == 2
+        assert header.payload_crc == crc32(self.PAYLOAD)
+        assert header.version == 2
+        assert header.header_bytes == FRAME_HEADER_BYTES == 32
+        assert header.trailer_bytes == COMMIT_TRAILER_BYTES == 8
+
+    def test_commit_trailer_seals_the_frame(self):
+        frame = pack_frame(0, self.PAYLOAD, 100, 1)
+        trailer = frame[FRAME_HEADER_BYTES + len(self.PAYLOAD):]
+        assert check_commit_trailer(trailer, crc32(self.PAYLOAD))
+        assert not check_commit_trailer(trailer, crc32(b"other payload"))
+        assert not check_commit_trailer(trailer[:-1], crc32(self.PAYLOAD))
+
+    def test_header_crc_detects_any_header_flip(self):
+        frame = bytearray(pack_frame(777, self.PAYLOAD, 4096, 2))
+        for byte in range(4, 28):  # every non-magic, CRC-covered byte
+            poked = bytearray(frame)
+            poked[byte] ^= 0x01
+            with pytest.raises(TraceFormatError, match="header CRC"):
+                unpack_frame_header(bytes(poked))
+
+    def test_bad_magic_and_truncation(self):
+        frame = bytearray(pack_frame(1, self.PAYLOAD, 10, 1))
+        frame[0] = ord("X")
+        with pytest.raises(TraceFormatError, match="magic"):
+            unpack_frame_header(bytes(frame))
+        with pytest.raises(TraceFormatError, match="truncated"):
+            unpack_frame_header(FRAME_MAGIC + b"\x00" * 8)
+
+    def test_v1_headers_have_no_checksum(self):
+        header = unpack_block_header(pack_block_header(5, 6, 7, 1))
+        assert header.version == 1
+        assert header.payload_crc is None
+        assert header.trailer_bytes == 0
+
+
+class TestDurableMetaRows:
+    ROW = MetaRow(pid=1, ppid=-1, bid=3, offset=0, span=8, level=1,
+                  data_begin=1024, size=2048)
+
+    def test_durable_row_roundtrip(self):
+        line = self.ROW.format_durable()
+        assert line.endswith(f"*{crc32(self.ROW.format().encode()):08x}")
+        assert MetaRow.parse(line) == self.ROW
+
+    def test_durable_row_crc_mismatch_rejected(self):
+        line = self.ROW.format_durable()
+        torn = line.replace("2048", "2049", 1)  # flip a digit, keep the CRC
+        with pytest.raises(TraceFormatError, match="CRC mismatch"):
+            MetaRow.parse(torn)
+
+    def test_salvage_parse_drops_only_bad_rows(self):
+        good = [self.ROW.format_durable(),
+                MetaRow(pid=2, ppid=-1, bid=0, offset=1, span=8, level=1,
+                        data_begin=0, size=64).format_durable()]
+        text = "\n".join([good[0], "1 - 0 0 8 1 torn", good[1]])
+        rows, dropped = parse_meta_file_salvage(text)
+        assert dropped == 1
+        assert [r.pid for r in rows] == [1, 2]
+
+    def test_durable_file_format(self):
+        text = format_meta_file([self.ROW], durable=True)
+        assert "*" in text.splitlines()[1]
+        assert parse_meta_file(text) == [self.ROW]
+
+
+class TestJournal:
+    def test_journal_line_roundtrip(self):
+        line = journal_line({"pid": 4, "span": 8})
+        assert line.endswith("\n")
+        assert parse_journal(line) == [{"pid": 4, "span": 8}]
+
+    def test_torn_line_strict_vs_salvage(self):
+        good = journal_line({"pid": 1})
+        torn = good[: len(good) // 2] + "\n"
+        text = good + torn + journal_line({"pid": 2})
+        with pytest.raises(TraceFormatError, match="journal"):
+            parse_journal(text)
+        assert parse_journal(text, salvage=True) == [{"pid": 1}, {"pid": 2}]
+
+    def test_crc_covers_the_body(self):
+        line = journal_line({"pid": 1})
+        tampered = line.replace('"pid": 1', '"pid": 9')
+        with pytest.raises(TraceFormatError):
+            parse_journal(tampered)
+
+    def test_non_object_payload_rejected(self):
+        body = "[1, 2, 3]"
+        line = f"{body} *{crc32(body.encode()):08x}\n"
+        with pytest.raises(TraceFormatError):
+            parse_journal(line)
+        assert parse_journal(line, salvage=True) == []

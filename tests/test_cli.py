@@ -201,3 +201,75 @@ def test_analyze_modes_and_fastpath_flags(tmp_path, capsys):
     assert warm["races"] == cold["races"] == payloads["serial"]["races"]
     assert warm["metrics"]["counters"]["offline.pair_cache_hits"] > 0
     assert (trace / ".sword-cache").is_dir()
+
+
+def _durable_trace(trace):
+    """A small durable trace (journal + per-row CRCs) for salvage tests."""
+    from repro.faults.harness import collect_trace
+
+    collect_trace(
+        "antidep1-orig-yes", trace, nthreads=2, seed=0, buffer_events=64
+    )
+
+
+def test_analyze_salvage_flag(tmp_path, capsys):
+    trace = tmp_path / "trace"
+    _durable_trace(trace)
+    # Tear the tail of one thread log: strict now refuses the trace.
+    log = next(trace.glob("thread_*.log"))
+    log.write_bytes(log.read_bytes()[:-5])
+    with pytest.raises(Exception):
+        main(["analyze", str(trace)])
+    assert main(["analyze", str(trace), "--salvage"]) == 0
+    out = capsys.readouterr().out
+    assert "integrity:" in out
+    capsys.readouterr()
+    assert main(["analyze", str(trace), "--salvage", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["integrity"]["mode"] == "salvage"
+    assert payload["integrity"]["races_possibly_missed"] is True
+    assert payload["integrity"]["threads"]  # per-thread ledgers present
+
+
+def test_check_salvage_flag(capsys):
+    assert main(
+        ["check", "plusplus-orig-yes", "--threads", "2", "--salvage", "--json"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema_version"] == JSON_SCHEMA_VERSION
+    assert payload["integrity"]["mode"] == "salvage"
+    assert payload["integrity"]["clean"] is True  # nothing was injected
+    assert len(payload["races"]) == 2  # same verdicts as strict
+
+
+def test_faults_inject_cli(tmp_path, capsys):
+    trace = tmp_path / "trace"
+    _durable_trace(trace)
+    plan_path = tmp_path / "plan.json"
+    assert main([
+        "faults", "inject", str(trace),
+        "--seed", "7", "--actions", "3", "--plan-out", str(plan_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "applied" in out
+    plan = json.loads(plan_path.read_text())
+    assert plan["seed"] == 7
+    assert len(plan["actions"]) == 3
+    # The injected trace still analyses in salvage mode (never crashes).
+    assert main(["analyze", str(trace), "--salvage"]) == 0
+
+
+def test_faults_sweep_cli(tmp_path, capsys):
+    out_path = tmp_path / "sweep.json"
+    assert main([
+        "faults", "sweep", "antidep1-orig-yes",
+        "--threads", "2", "--buffer-events", "64",
+        "--max-points", "6", "--out", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "kill-point sweep" in out or "PASS" in out
+    artifact = json.loads(out_path.read_text())
+    assert artifact["ok"] is True
+    assert artifact["points"]
+    lossy = [p for p in artifact["points"] if p["kind"] != "clean-end"]
+    assert all(p["integrity"] for p in lossy)
