@@ -66,6 +66,11 @@ class SwordConfig:
         codec: trace compression codec name (see
             :mod:`repro.sword.compression.registry`); the paper compared LZO,
             Snappy and LZ4 and found them equivalent, settling on LZO.
+        delta_filter: precondition flushed blocks with the per-column delta
+            filter (:mod:`repro.sword.compression.filters`) before the
+            codec.  The filter id travels in each v2 frame header, so
+            readers mix filtered and unfiltered blocks freely; v1 traces
+            are unaffected.
         log_dir: directory receiving ``thread_<tid>.log`` / ``.meta`` files.
         durable: production-hardening mode — meta rows are appended (with
             per-row CRCs) the moment they are emitted and the run-wide
@@ -89,6 +94,7 @@ class SwordConfig:
     buffer_bytes: int = SWORD_BUFFER_BYTES
     aux_bytes: int = SWORD_AUX_BYTES
     codec: str = "lzrle"
+    delta_filter: bool = False
     log_dir: str = ""
     durable: bool = False
     fsync_on_flush: bool = False

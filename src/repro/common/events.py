@@ -134,6 +134,95 @@ class Access:
         )
 
 
+@dataclass(frozen=True, slots=True)
+class AccessBatch:
+    """A columnar batch of access events (the online fast path).
+
+    ``addr`` is always an array; every other column is either a parallel
+    array of the same length or a scalar that broadcasts over the batch
+    (NumPy assignment semantics).  Dense loop nests emit one batch per
+    nest instead of thousands of :class:`Access` objects; the scalar
+    :class:`Access` path remains for irregular accesses.
+    """
+
+    addr: np.ndarray
+    pc: "np.ndarray | int"
+    size: "np.ndarray | int"
+    flags: "np.ndarray | int"
+    msid: "np.ndarray | int" = 0
+    count: "np.ndarray | int" = 1
+    stride: "np.ndarray | int" = 0
+    task_point: "np.ndarray | int" = 0
+
+    def __len__(self) -> int:
+        return len(self.addr)
+
+    @classmethod
+    def make(
+        cls,
+        addr: np.ndarray,
+        *,
+        size: "np.ndarray | int",
+        is_write: bool,
+        pc: "np.ndarray | int",
+        is_atomic: bool = False,
+        msid: "np.ndarray | int" = 0,
+        count: "np.ndarray | int" = 1,
+        stride: "np.ndarray | int" = 0,
+        task_point: "np.ndarray | int" = 0,
+    ) -> "AccessBatch":
+        """Build a batch from semantic fields (flags packed here once)."""
+        flags = (FLAG_WRITE if is_write else 0) | (FLAG_ATOMIC if is_atomic else 0)
+        return cls(
+            addr=np.asarray(addr, dtype=np.uint64),
+            pc=pc,
+            size=size,
+            flags=flags,
+            msid=msid,
+            count=count,
+            stride=stride,
+            task_point=task_point,
+        )
+
+    def _col(self, value, i: int) -> int:
+        return int(value[i]) if isinstance(value, np.ndarray) else int(value)
+
+    def to_accesses(self) -> "list[Access]":
+        """Expand into scalar :class:`Access` objects (slow path / tests)."""
+        out = []
+        for i in range(len(self.addr)):
+            flags = self._col(self.flags, i)
+            count = self._col(self.count, i)
+            out.append(
+                Access(
+                    addr=int(self.addr[i]),
+                    size=self._col(self.size, i),
+                    count=count,
+                    stride=self._col(self.stride, i) if count > 1 else 0,
+                    is_write=bool(flags & FLAG_WRITE),
+                    is_atomic=bool(flags & FLAG_ATOMIC),
+                    pc=self._col(self.pc, i),
+                    msid=self._col(self.msid, i),
+                    task_point=self._col(self.task_point, i),
+                )
+            )
+        return out
+
+    def to_records(self) -> np.ndarray:
+        """Pack the whole batch into an :data:`EVENT_DTYPE` array."""
+        rec = np.zeros(len(self.addr), dtype=EVENT_DTYPE)
+        rec["kind"] = KIND_ACCESS
+        rec["flags"] = self.flags
+        rec["size"] = self.size
+        rec["msid"] = self.msid
+        rec["addr"] = self.addr
+        rec["count"] = self.count
+        rec["stride"] = self.stride
+        rec["pc"] = self.pc
+        rec["aux"] = self.task_point
+        return rec
+
+
 def access_to_record(a: Access) -> np.void:
     """Pack one :class:`Access` into an :data:`EVENT_DTYPE` scalar."""
     rec = np.zeros((), dtype=EVENT_DTYPE)

@@ -59,6 +59,11 @@ def add_faults_subcommands(parser: argparse.ArgumentParser) -> None:
         help="subsample the kill points evenly (smoke runs)",
     )
     p.add_argument(
+        "--delta-filter",
+        action="store_true",
+        help="collect the clean trace with delta-filtered frames",
+    )
+    p.add_argument(
         "--out", metavar="PATH", help="write the sweep report JSON artifact"
     )
     p.add_argument("--json", action="store_true", help="machine-readable output")
@@ -95,6 +100,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         buffer_events=args.buffer_events,
         max_points=args.max_points,
+        delta_filter=args.delta_filter,
     )
     if args.out:
         Path(args.out).write_text(

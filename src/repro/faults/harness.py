@@ -66,6 +66,7 @@ def collect_trace(
     seed: int = 0,
     buffer_events: int = 64,
     durable: bool = True,
+    delta_filter: bool = False,
     **params,
 ) -> None:
     """Run one workload under SWORD, leaving the trace in ``trace_dir``.
@@ -73,11 +74,16 @@ def collect_trace(
     A small ``buffer_events`` forces many flushes so the logs contain
     enough frames to make the kill-point sweep meaningful.  Durable mode
     is the default: the sweep models kills, and only durable traces keep
-    their meta rows on disk at kill time.
+    their meta rows on disk at kill time.  ``delta_filter`` collects the
+    trace with delta-preconditioned frames, so the sweep exercises the
+    filtered decode path too.
     """
     w = _resolve(workload)
     config = SwordConfig(
-        log_dir=str(trace_dir), buffer_events=buffer_events, durable=durable
+        log_dir=str(trace_dir),
+        buffer_events=buffer_events,
+        durable=durable,
+        delta_filter=delta_filter,
     )
     tool = SwordTool(config)
     rt = OpenMPRuntime(
@@ -238,6 +244,7 @@ def kill_sweep(
     buffer_events: int = 64,
     max_points: int | None = None,
     keep_root: str | Path | None = None,
+    delta_filter: bool = False,
     **params,
 ) -> SweepResult:
     """Run the full kill-anywhere property check for one workload.
@@ -259,7 +266,7 @@ def kill_sweep(
     try:
         collect_trace(
             w, clean, nthreads=nthreads, seed=seed,
-            buffer_events=buffer_events, **params,
+            buffer_events=buffer_events, delta_filter=delta_filter, **params,
         )
         reference = api.analyze(TraceDir(clean))
         ref_pairs = reference.races.pc_pairs()

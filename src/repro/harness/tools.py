@@ -313,7 +313,14 @@ class SwordDriver:
         finally:
             # One shared snapshot on every exit path: the tool's online
             # counters plus every analysis phase that actually ran.
-            result.stats = run_stats(tool, analyses=analyses)
+            extra = None
+            if tool is not None and result.dynamic_seconds > 0:
+                extra = {
+                    "events_per_second": (
+                        tool.stats["events"] / result.dynamic_seconds
+                    )
+                }
+            result.stats = run_stats(tool, extra=extra, analyses=analyses)
             result.metrics = obs.registry.snapshot()
             if owns_dir and not keep_trace:
                 shutil.rmtree(trace_path, ignore_errors=True)

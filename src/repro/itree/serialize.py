@@ -1,16 +1,14 @@
 """Exact-shape (de)serialisation of summarised interval trees.
 
 The persistent result cache stores per-interval trees across analysis
-runs.  A cached tree must behave *identically* to the one built from the
-log: the engine's comparison walks ``iter_overlaps`` in a tree-SHAPE-
-dependent order and keeps the first witness per site pair within a
-comparison, so a structurally different (merely equivalent) tree could
-select different — still correct, but not byte-identical — witnesses.
-
-Re-inserting intervals would rebalance and change the shape.  Instead the
-tree is stored as a preorder walk with explicit nil markers and node
-colors, and reconstructed node-by-node with ``max_high`` recomputed
-bottom-up — no rebalancing, same shape, same colors, same probe order.
+runs.  ``iter_overlaps`` enumerates in in-order (shape-independent), so
+witness selection only depends on the stored interval *sequence*; the
+preorder-with-colors encoding is kept because it is also a faithful
+round-trip of the red-black structure (``validate()`` passes on the
+reconstruction) and costs nothing extra.  The tree is stored as a
+preorder walk with explicit nil markers and node colors, and
+reconstructed node-by-node with ``max_high`` recomputed bottom-up — no
+rebalancing, same shape, same colors.
 """
 
 from __future__ import annotations
@@ -19,7 +17,9 @@ from .interval import StridedInterval
 from .tree import BLACK, RED, IntervalTree, Node
 
 #: Bump when the row layout changes (invalidates cached trees).
-TREE_FORMAT = 1
+#: 2: trees are bulk-built (build_from_sorted) — shapes differ from the
+#: incremental-insert shapes version 1 cached.
+TREE_FORMAT = 2
 
 
 def tree_to_rows(tree: IntervalTree) -> list:

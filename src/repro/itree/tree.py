@@ -171,6 +171,51 @@ class IntervalTree:
                     self._left_rotate(z.parent.parent)
         self.root.color = BLACK
 
+    @classmethod
+    def build_from_sorted(cls, intervals: list[StridedInterval]) -> "IntervalTree":
+        """Bulk-build a valid red-black tree from an already-sorted list.
+
+        ``intervals`` must be sorted ascending by ``low`` (stable among
+        ties) — the same in-order sequence incremental :meth:`insert`
+        calls would produce, since equal keys always descend right.  The
+        median-split construction is O(n) with no rotations: every node
+        is black except the deepest level, which is red, giving a uniform
+        black-height (all leaves land on the last two levels).  ``max_high``
+        is computed bottom-up during the same pass.
+        """
+        tree = cls()
+        n = len(intervals)
+        if n == 0:
+            return tree
+        nil = tree.nil
+        maxd = n.bit_length() - 1  # depth of the deepest (red) level
+
+        def build(lo: int, hi: int, depth: int) -> Node:
+            mid = (lo + hi) // 2
+            node = Node(intervals[mid])
+            node.color = RED if depth == maxd else BLACK
+            node.parent = nil
+            if lo < mid:
+                node.left = build(lo, mid - 1, depth + 1)
+                node.left.parent = node
+                if node.left.max_high > node.max_high:
+                    node.max_high = node.left.max_high
+            else:
+                node.left = nil
+            if mid < hi:
+                node.right = build(mid + 1, hi, depth + 1)
+                node.right.parent = node
+                if node.right.max_high > node.max_high:
+                    node.max_high = node.right.max_high
+            else:
+                node.right = nil
+            return node
+
+        tree.root = build(0, n - 1, 0)
+        tree.root.color = BLACK
+        tree._size = n
+        return tree
+
     # -- deletion --------------------------------------------------------------------
 
     def _transplant(self, u: Node, v: Node) -> None:
@@ -283,19 +328,31 @@ class IntervalTree:
         return None
 
     def iter_overlaps(self, low: int, high: int) -> Iterator[Node]:
-        """Yield *every* node whose byte extent intersects ``[low, high]``."""
-        stack = [self.root]
-        while stack:
+        """Yield *every* node whose byte extent intersects ``[low, high]``.
+
+        Nodes come out in **in-order** (ascending ``low``, insertion order
+        among ties) regardless of the tree's internal shape, so two trees
+        holding the same interval sequence — e.g. one built incrementally
+        and one by :meth:`build_from_sorted` — enumerate identically.  The
+        ``max_high`` augmentation still prunes whole subtrees, and because
+        in-order keys ascend the walk stops at the first node past
+        ``high``.
+        """
+        nil = self.nil
+        stack: list[Node] = []
+        x = self.root
+        while True:
+            while x is not nil and x.max_high >= low:
+                stack.append(x)
+                x = x.left
+            if not stack:
+                return
             x = stack.pop()
-            if x is self.nil or x.max_high < low:
-                continue
-            if x.left is not self.nil:
-                stack.append(x.left)
-            if x.interval.low <= high:
-                if low <= x.interval.high:
-                    yield x
-                if x.right is not self.nil:
-                    stack.append(x.right)
+            if x.interval.low > high:
+                return
+            if low <= x.interval.high:
+                yield x
+            x = x.right
 
     def __iter__(self) -> Iterator[Node]:
         """In-order traversal (ascending by low endpoint)."""

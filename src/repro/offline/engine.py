@@ -56,6 +56,7 @@ class AnalysisStats:
     intervals: int = 0
     concurrent_pairs: int = 0
     trees_built: int = 0
+    bulk_tree_builds: int = 0
     tree_nodes: int = 0
     events_read: int = 0
     overlap_candidates: int = 0
@@ -74,12 +75,19 @@ class AnalysisStats:
     def total_seconds(self) -> float:
         return self.plan_seconds + self.build_seconds + self.compare_seconds
 
+    @property
+    def events_per_second(self) -> float:
+        """Offline throughput: trace events consumed per analysis second."""
+        total = self.total_seconds
+        return self.events_read / total if total > 0 else 0.0
+
     def to_json(self) -> dict:
         """Machine-readable stats (the shared report schema)."""
         return {
             "intervals": self.intervals,
             "concurrent_pairs": self.concurrent_pairs,
             "trees_built": self.trees_built,
+            "bulk_tree_builds": self.bulk_tree_builds,
             "tree_nodes": self.tree_nodes,
             "events_read": self.events_read,
             "overlap_candidates": self.overlap_candidates,
@@ -94,6 +102,7 @@ class AnalysisStats:
             "build_seconds": self.build_seconds,
             "compare_seconds": self.compare_seconds,
             "total_seconds": self.total_seconds,
+            "events_per_second": self.events_per_second,
         }
 
 
@@ -225,6 +234,9 @@ class AnalysisEngine:
         self._result_cache = self._attach_result_cache(fast)
         registry = self.obs.registry
         self._m_trees = registry.counter("offline.trees_built")
+        self._m_bulk_builds = registry.counter(
+            "offline.bulk_tree_builds", "trees constructed via build_from_sorted"
+        )
         self._m_cache_hits = registry.counter("offline.tree_cache_hits")
         self._m_events_read = registry.counter("offline.events_read")
         self._m_candidates = registry.counter("offline.overlap_candidates")
@@ -350,6 +362,9 @@ class AnalysisEngine:
         self.stats.events_read += builder.events_in
         self.stats.build_seconds += elapsed
         self._m_trees.inc()
+        if builder.bulk_built:
+            self.stats.bulk_tree_builds += 1
+            self._m_bulk_builds.inc()
         self._m_tree_nodes.observe(len(tree))
         self._m_events_read.inc(builder.events_in)
         self._m_build_seconds.observe(elapsed)

@@ -23,7 +23,7 @@ from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 import numpy as np
 
 from ..common.errors import RuntimeModelError
-from ..common.events import Access
+from ..common.events import Access, AccessBatch
 from ..common.sourceloc import pc_of
 from ..memory.address_space import SharedArray
 from .runtime import OpenMPRuntime, SimLock, SimThread, WorkShare
@@ -169,6 +169,78 @@ class ThreadContext:
         )
         self.runtime.emit_access(self.thread, access)
 
+    def record_batch(
+        self,
+        addrs: np.ndarray,
+        *,
+        size: int,
+        is_write: bool,
+        is_atomic: bool = False,
+        pc: "np.ndarray | int | None" = None,
+        count: "np.ndarray | int" = 1,
+        stride: "np.ndarray | int" = 0,
+    ) -> None:
+        """Emit one columnar batch of access events (the fast path).
+
+        ``addrs`` are simulated byte addresses; mutex set and task point
+        are taken from the current thread state (one batch therefore must
+        not straddle a lock acquire/release or task boundary — emit per
+        loop nest, where those are constant).  Semantically equivalent to
+        one scalar event per element.
+        """
+        addrs = np.ascontiguousarray(addrs, dtype=np.uint64)
+        if addrs.shape[0] == 0:
+            return
+        batch = AccessBatch.make(
+            addrs,
+            size=size,
+            is_write=is_write,
+            is_atomic=is_atomic,
+            pc=pc if pc is not None else _auto_pc(2),
+            msid=self.thread.current_msid(),
+            count=count,
+            stride=stride,
+            task_point=self.thread.current_point(),
+        )
+        self.runtime.emit_access_batch(self.thread, batch)
+
+    def touch_range(
+        self,
+        arr: SharedArray,
+        lo: int,
+        hi: int,
+        *,
+        is_write: bool,
+        step: int = 1,
+        pc: Optional[int] = None,
+    ) -> None:
+        """Record per-element accesses to ``arr[lo:hi:step]`` as one batch.
+
+        Unlike :meth:`read_slice`/:meth:`write_slice` (a single range
+        event), this emits the event stream a per-iteration scalar loop
+        would — ``(hi-lo+step-1)//step`` scalar records — but hands them to
+        the tool as one columnar batch.  Use it to vectorise dense loop
+        nests without changing the recorded trace.  Data movement is the
+        caller's business (do it with NumPy on ``m.data(arr)``).
+        """
+        if step <= 0:
+            raise RuntimeModelError("touch_range step must be positive")
+        n = arr.data.size
+        if not (0 <= lo <= hi <= n):
+            raise IndexError(
+                f"range [{lo}, {hi}) out of bounds for {arr.name!r} of size {n}"
+            )
+        if lo == hi:
+            return
+        item = arr.itemsize
+        addrs = arr.addr(lo) + np.arange(0, hi - lo, step, dtype=np.uint64) * np.uint64(item)
+        self.record_batch(
+            addrs,
+            size=item,
+            is_write=is_write,
+            pc=pc if pc is not None else _auto_pc(2),
+        )
+
     def read(self, arr: SharedArray, index: int, pc: Optional[int] = None):
         """Instrumented scalar load of ``arr[index]``."""
         value = arr.data.reshape(-1)[index]
@@ -230,10 +302,13 @@ class ThreadContext:
         DataRaceBench ``indirectaccess`` benchmarks.
         """
         flat = arr.data.reshape(-1)
-        out = flat[np.asarray(indices, dtype=np.intp)]
+        idx = np.asarray(indices, dtype=np.intp)
+        out = flat[idx]
         resolved = pc if pc is not None else _auto_pc(2)
-        for i in indices:
-            self._emit(arr.addr(int(i)), arr.itemsize, 1, 0, False, False, resolved)
+        self.record_batch(
+            self._elem_addrs(arr, idx), size=arr.itemsize,
+            is_write=False, pc=resolved,
+        )
         return out
 
     def write_elems(
@@ -248,8 +323,19 @@ class ThreadContext:
         idx = np.asarray(indices, dtype=np.intp)
         flat[idx] = values
         resolved = pc if pc is not None else _auto_pc(2)
-        for i in indices:
-            self._emit(arr.addr(int(i)), arr.itemsize, 1, 0, True, False, resolved)
+        self.record_batch(
+            self._elem_addrs(arr, idx), size=arr.itemsize,
+            is_write=True, pc=resolved,
+        )
+
+    @staticmethod
+    def _elem_addrs(arr: SharedArray, idx: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`SharedArray.addr` over an index array."""
+        n = arr.data.size
+        if idx.size and (idx.min() < -n or idx.max() >= n):
+            raise IndexError(f"index out of range for {arr.name!r} of size {n}")
+        idx = np.where(idx < 0, idx + n, idx).astype(np.int64)
+        return (arr.addr(0) + idx * arr.itemsize).astype(np.uint64)
 
     # -- atomics -----------------------------------------------------------------------
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable
 
-from ..common.events import Access
+from ..common.events import Access, AccessBatch
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .runtime import OpenMPRuntime, ParallelRegion, SimThread
@@ -80,6 +80,17 @@ class OmptTool:
 
     def on_access(self, thread: "SimThread", access: Access) -> None:
         """Instrumented (parallel-context) memory access."""
+
+    def on_access_batch(self, thread: "SimThread", batch: AccessBatch) -> None:
+        """A columnar batch of accesses (the dense-loop fast path).
+
+        Semantically equivalent to one :meth:`on_access` per element, and
+        the default implementation delivers exactly that, so tools that
+        never override this still observe every access.  Columnar tools
+        (the SWORD logger) override it to copy the batch wholesale.
+        """
+        for access in batch.to_accesses():
+            self.on_access(thread, access)
 
     # -- tasking extension callbacks ----------------------------------------
 
@@ -154,6 +165,10 @@ class ToolMux(OmptTool):
     def on_access(self, thread, access):  # noqa: D102
         for t in self.tools:
             t.on_access(thread, access)
+
+    def on_access_batch(self, thread, batch):  # noqa: D102
+        for t in self.tools:
+            t.on_access_batch(thread, batch)
 
     def on_task_create(self, thread, task):  # noqa: D102
         for t in self.tools:

@@ -650,6 +650,22 @@ class OpenMPRuntime:
                 th._ops = 0
                 self.scheduler.switch(th.handle)
 
+    def emit_access_batch(self, th: SimThread, batch) -> None:
+        """Forward a columnar access batch to the tool.
+
+        Yield accounting charges the full batch size so schedules with
+        ``yield_every`` still switch at the same access-count cadence; the
+        switch lands at the batch boundary (batches are emitted at loop-
+        nest granularity, where a scheduling point is natural).
+        """
+        self.tool.on_access_batch(th, batch)
+        every = self.config.scheduler.yield_every
+        if every > 0:
+            th._ops += len(batch)
+            if th._ops >= every:
+                th._ops = 0
+                self.scheduler.switch(th.handle)
+
     def yield_point(self, th: SimThread) -> None:
         """Explicit scheduling point (used between dynamic-schedule chunks)."""
         self.scheduler.switch(th.handle)

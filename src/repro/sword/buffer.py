@@ -21,6 +21,7 @@ from ..common.events import (
     FLAG_WRITE,
     KIND_ACCESS,
     Access,
+    AccessBatch,
 )
 
 
@@ -78,6 +79,39 @@ class EventBuffer:
         rec["pc"] = access.pc
         rec["aux"] = access.task_point
 
+    @staticmethod
+    def _column(value, lo: int, hi: int):
+        """Slice a batch column, passing scalars through (they broadcast)."""
+        return value[lo:hi] if isinstance(value, np.ndarray) else value
+
+    def append_access_batch(self, batch: AccessBatch) -> None:
+        """Append a columnar batch with slice assignment (the fast path).
+
+        Splits across flush boundaries exactly like repeated
+        :meth:`append_access` calls would: a full buffer is flushed lazily
+        *before* the next record lands, never right after the last one.
+        """
+        n = len(batch)
+        offset = 0
+        while offset < n:
+            if self._used == self.capacity:
+                self.flush()
+            take = min(self.capacity - self._used, n - offset)
+            dst = self._records[self._used : self._used + take]
+            lo, hi = offset, offset + take
+            dst["kind"] = KIND_ACCESS
+            dst["flags"] = self._column(batch.flags, lo, hi)
+            dst["size"] = self._column(batch.size, lo, hi)
+            dst["msid"] = self._column(batch.msid, lo, hi)
+            dst["addr"] = batch.addr[lo:hi]
+            dst["count"] = self._column(batch.count, lo, hi)
+            dst["stride"] = self._column(batch.stride, lo, hi)
+            dst["pc"] = self._column(batch.pc, lo, hi)
+            dst["aux"] = self._column(batch.task_point, lo, hi)
+            self._used += take
+            self.events_total += take
+            offset += take
+
     def append_event(self, kind: int, *, addr: int = 0, aux: int = 0) -> None:
         """Append a structural runtime event (barrier, mutex, region)."""
         rec = self._slot()
@@ -96,13 +130,15 @@ class EventBuffer:
 
         If ``on_flush`` raises, the buffered events are *retained* (the
         reset only happens after the callback returns) so the writer's
-        retry policy can flush them again.
+        retry policy can flush them again.  The ``flushes`` counter is
+        likewise only bumped once the callback succeeds — a raising
+        callback plus a retry is one flush, not two.
         """
         if self._used == 0:
             return
         view = self._records[: self._used]
-        self.flushes += 1
         self.on_flush(view)
+        self.flushes += 1
         self._used = 0
 
     def drop(self) -> int:

@@ -1,6 +1,7 @@
 """Trace-block compression codecs (paper's LZO/Snappy/LZ4 comparison)."""
 
 from .base import Codec
+from .filters import FILTER_DELTA, FILTER_NAMES, FILTER_NONE
 from .lz4like import Lz4LikeCodec
 from .lzrle import LzRleCodec
 from .registry import available, by_id, by_name, register
@@ -9,6 +10,9 @@ from .zlibwrap import ZlibCodec
 
 __all__ = [
     "Codec",
+    "FILTER_DELTA",
+    "FILTER_NAMES",
+    "FILTER_NONE",
     "Lz4LikeCodec",
     "LzRleCodec",
     "SnappyLikeCodec",

@@ -1,0 +1,74 @@
+"""Preconditioning filters applied to raw event bytes before the codec.
+
+Trace blocks are arrays of fixed-width :data:`~repro.common.events.EVENT_DTYPE`
+records whose ``addr`` and ``pc`` columns are *nearly sorted* within a chunk
+(dense loops walk arrays monotonically and revisit a handful of access
+sites).  Delta-encoding those two columns turns long arithmetic progressions
+into runs of identical small values — exactly what the byte-oriented codecs
+(RLE/LZ windows) exploit — without changing the record layout: a filtered
+block is still ``n * EVENT_BYTES`` bytes.
+
+The filter id travels in the v2 frame header (one previously-zero padding
+byte), so v1 blocks and unfiltered v2 frames read back unchanged:
+``FILTER_NONE == 0`` is what every pre-filter trace already contains.
+
+Filters are lossless and self-contained per block: ``decode(encode(x)) == x``
+and no state crosses block boundaries, which keeps the salvage reader's
+block-at-a-time recovery story intact (payload CRCs cover the *compressed*
+bytes and are unaffected).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...common.errors import CodecError
+from ...common.events import EVENT_BYTES, EVENT_DTYPE
+
+#: No preconditioning (the default; also what v1 / pre-filter frames carry).
+FILTER_NONE = 0
+#: Per-column delta of ``addr`` and ``pc`` (uint64 wrap-around arithmetic).
+FILTER_DELTA = 1
+
+FILTER_NAMES = {FILTER_NONE: "none", FILTER_DELTA: "delta"}
+
+#: Columns the delta filter preconditions (unsigned, wrap-around safe).
+_DELTA_COLUMNS = ("addr", "pc")
+
+
+def _check(filter_id: int, data: bytes) -> None:
+    if filter_id not in FILTER_NAMES:
+        raise CodecError(f"unknown filter id {filter_id}")
+    if filter_id != FILTER_NONE and len(data) % EVENT_BYTES != 0:
+        raise CodecError(
+            f"filtered block length {len(data)} is not a multiple of "
+            f"{EVENT_BYTES}"
+        )
+
+
+def encode(filter_id: int, raw: bytes) -> bytes:
+    """Apply a preconditioning filter to raw (uncompressed) event bytes."""
+    _check(filter_id, raw)
+    if filter_id == FILTER_NONE or not raw:
+        return raw
+    rec = np.frombuffer(raw, dtype=EVENT_DTYPE).copy()
+    for name in _DELTA_COLUMNS:
+        col = rec[name]
+        out = col.copy()
+        # uint64 subtraction wraps modulo 2**64, so decreasing sequences
+        # round-trip exactly through the cumsum inverse.
+        np.subtract(col[1:], col[:-1], out=out[1:])
+        rec[name] = out
+    return rec.tobytes()
+
+
+def decode(filter_id: int, data: bytes) -> bytes:
+    """Invert :func:`encode` on decompressed block bytes."""
+    _check(filter_id, data)
+    if filter_id == FILTER_NONE or not data:
+        return data
+    rec = np.frombuffer(data, dtype=EVENT_DTYPE).copy()
+    for name in _DELTA_COLUMNS:
+        # cumsum over uint64 is modular, undoing the wrap-around deltas.
+        rec[name] = np.cumsum(rec[name], dtype=np.uint64)
+    return rec.tobytes()

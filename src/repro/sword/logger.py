@@ -65,7 +65,7 @@ from ..obs import (
 )
 from ..omp.ompt import OmptTool
 from .buffer import EventBuffer
-from .compression import by_name
+from .compression import by_name, filters
 from .traceformat import (
     MANIFEST_NAME,
     MUTEXSETS_NAME,
@@ -135,6 +135,9 @@ class SwordTool(OmptTool):
         self.accountant = accountant
         self.obs = obs or get_obs()
         self.codec = by_name(config.codec)
+        self._filter_id = (
+            filters.FILTER_DELTA if config.delta_filter else filters.FILTER_NONE
+        )
         self.dir = Path(config.log_dir)
         self.dir.mkdir(parents=True, exist_ok=True)
         from ..tasking.graph import TaskGraph
@@ -157,9 +160,11 @@ class SwordTool(OmptTool):
         # Statistics surfaced in the manifest and by the harness.
         self.stats = {
             "events": 0,
+            "batched_events": 0,
             "flushes": 0,
             "bytes_uncompressed": 0,
             "bytes_compressed": 0,
+            "filter_bytes_saved": 0,
             "io_seconds": 0.0,
             "threads": 0,
             "flush_retries": 0,
@@ -173,12 +178,19 @@ class SwordTool(OmptTool):
         self._m_events = registry.counter(
             "sword.events", "events logged (mirrored per flush)"
         )
+        self._m_batched = registry.counter(
+            "sword.batched_events", "events delivered via the columnar batch path"
+        )
         self._m_flushes = registry.counter("sword.flushes", "buffers flushed")
         self._m_bytes_raw = registry.counter(
             "sword.bytes_uncompressed", "raw event bytes flushed"
         )
         self._m_bytes_comp = registry.counter(
             "sword.bytes_compressed", "compressed bytes written"
+        )
+        self._m_filter_saved = registry.counter(
+            "sword.filter_bytes_saved",
+            "compressed bytes avoided by delta preconditioning",
         )
         self._m_threads = registry.gauge(
             "sword.threads", "threads with an open trace log"
@@ -274,11 +286,15 @@ class SwordTool(OmptTool):
         and events were lost.
         """
         raw = np.ascontiguousarray(records).tobytes()
+        filter_id = self._filter_id
+        if len(raw) % EVENT_BYTES != 0:  # defensive: blocks are record arrays
+            filter_id = filters.FILTER_NONE
         t0 = time.perf_counter()
         with self.obs.tracer.span("flush", category="online", gid=log.gid):
-            payload = self.codec.compress(raw)
+            data = filters.encode(filter_id, raw) if filter_id else raw
+            payload = self.codec.compress(data)
             frame = pack_frame(
-                log.flushed, payload, len(raw), self.codec.codec_id
+                log.flushed, payload, len(raw), self.codec.codec_id, filter_id
             )
             written = self._write_frame(log, frame)
         elapsed = time.perf_counter() - t0
@@ -314,6 +330,15 @@ class SwordTool(OmptTool):
         self._m_flush_seconds.observe(elapsed)
         if raw:
             self._m_ratio.observe(len(payload) / len(raw))
+        if filter_id:
+            # One reference compression of the unfiltered bytes makes the
+            # savings number exact rather than estimated.  It runs outside
+            # the timed span so flush-latency metrics stay honest, and the
+            # filter is opt-in, so so is this cost.
+            saved = len(self.codec.compress(raw)) - len(payload)
+            self.stats["filter_bytes_saved"] += saved
+            if saved > 0:  # the counter is monotone; the stat keeps the net
+                self._m_filter_saved.inc(saved)
 
     def _write_frame(self, log: _ThreadLog, frame: bytes) -> bool:
         """Write one frame with bounded retry + exponential backoff.
@@ -469,6 +494,7 @@ class SwordTool(OmptTool):
                     "in_progress": True,
                     "format_version": TRACE_FORMAT_VERSION,
                     "codec": self.config.codec,
+                    "delta_filter": self.config.delta_filter,
                     "buffer_events": self.config.buffer_events,
                     "thread_gids": sorted(self._logs),
                 },
@@ -541,6 +567,14 @@ class SwordTool(OmptTool):
         log.buffer.append_access(access)
         self.stats["events"] += 1
 
+    def on_access_batch(self, thread, batch) -> None:  # noqa: D102
+        log = self._log_for(thread.gid)
+        log.buffer.append_access_batch(batch)
+        n = len(batch)
+        self.stats["events"] += n
+        self.stats["batched_events"] += n
+        self._m_batched.inc(n)
+
     # -- tasking extension -----------------------------------------------------
 
     def on_task_create(self, thread, task) -> None:  # noqa: D102
@@ -594,6 +628,7 @@ class SwordTool(OmptTool):
         manifest = dict(self.stats)
         manifest["format_version"] = TRACE_FORMAT_VERSION
         manifest["codec"] = self.config.codec
+        manifest["delta_filter"] = self.config.delta_filter
         manifest["buffer_events"] = self.config.buffer_events
         manifest["thread_gids"] = sorted(self._logs)
         if self.dropped_chunks:

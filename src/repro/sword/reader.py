@@ -47,7 +47,7 @@ from ..common.events import EVENT_BYTES, EVENT_DTYPE
 from ..obs import get_obs
 from ..omp.mutexset import MutexSetTable
 from ..osl.concurrency import IntervalLabel, IntervalPair
-from .compression import by_id
+from .compression import by_id, filters
 from ..tasking.graph import TaskGraph
 from .integrity import IntegrityReport, ThreadIntegrity
 from .traceformat import (
@@ -108,6 +108,7 @@ class _BlockRef:
     uncompressed_size: int
     codec_id: int
     payload_crc: int | None  # None for v1 blocks
+    filter_id: int  # preconditioning filter (0 = none)
 
 
 class ThreadTraceReader:
@@ -287,6 +288,7 @@ class ThreadTraceReader:
             uncompressed_size=header.uncompressed_size,
             codec_id=header.codec_id,
             payload_crc=header.payload_crc,
+            filter_id=header.filter_id,
         )
         self._blocks.append(ref)
         self._offsets.append(ref.uncompressed_offset)
@@ -372,6 +374,8 @@ class ThreadTraceReader:
                 f"{ref.file_offset}: payload CRC mismatch"
             )
         data = by_id(ref.codec_id).decompress(payload, ref.uncompressed_size)
+        if ref.filter_id:
+            data = filters.decode(ref.filter_id, data)
         self._cached_block = i
         self._cached_data = data
         return data

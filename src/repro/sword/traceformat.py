@@ -35,7 +35,9 @@ Frame layout (format v2, little-endian)::
     12      4     compressed payload size
     16      4     uncompressed size
     20      1     codec id
-    21      3     padding (zero)
+    21      1     preconditioning filter id (0 = none; see
+                  :mod:`repro.sword.compression.filters`)
+    22      2     padding (zero)
     24      4     CRC32 of the compressed payload
     28      4     CRC32 of header bytes [0, 28)
     32      *     compressed payload
@@ -72,8 +74,10 @@ assert BLOCK_HEADER_BYTES == 24
 # -- v2 CRC framing -----------------------------------------------------------
 
 FRAME_MAGIC = b"SWB2"
-#: v1 header fields plus payload CRC32 and a CRC32 over the header itself.
-FRAME_HEADER = struct.Struct("<4sQIIB3xII")
+#: v1 header fields plus a filter id (carved from a padding byte, so
+#: pre-filter v2 frames parse as filter 0 = none), payload CRC32, and a
+#: CRC32 over the header itself.
+FRAME_HEADER = struct.Struct("<4sQIIBB2xII")
 FRAME_HEADER_BYTES = FRAME_HEADER.size
 assert FRAME_HEADER_BYTES == 32
 
@@ -116,6 +120,9 @@ class BlockHeader:
     codec_id: int
     #: CRC32 of the compressed payload; None for v1 blocks (unchecksummed).
     payload_crc: int | None = None
+    #: Preconditioning filter applied before compression (0 = none; v1
+    #: blocks and pre-filter v2 frames always carry 0).
+    filter_id: int = 0
 
     @property
     def version(self) -> int:
@@ -152,6 +159,7 @@ def pack_frame(
     payload: bytes,
     uncompressed_size: int,
     codec_id: int,
+    filter_id: int = 0,
 ) -> bytes:
     """Frame one compressed block as a v2 chunk: header + payload + commit."""
     payload_crc = crc32(payload)
@@ -161,6 +169,7 @@ def pack_frame(
         len(payload),
         uncompressed_size,
         codec_id,
+        filter_id,
         payload_crc,
         0,  # placeholder; the header CRC covers everything before itself
     )
@@ -173,7 +182,7 @@ def unpack_frame_header(data: bytes) -> BlockHeader:
     if len(data) < FRAME_HEADER_BYTES:
         raise TraceFormatError("truncated frame header")
     raw = data[:FRAME_HEADER_BYTES]
-    magic, off, csize, usize, codec_id, payload_crc, header_crc = (
+    magic, off, csize, usize, codec_id, filter_id, payload_crc, header_crc = (
         FRAME_HEADER.unpack(raw)
     )
     if magic != FRAME_MAGIC:
@@ -186,6 +195,7 @@ def unpack_frame_header(data: bytes) -> BlockHeader:
         uncompressed_size=usize,
         codec_id=codec_id,
         payload_crc=payload_crc,
+        filter_id=filter_id,
     )
 
 

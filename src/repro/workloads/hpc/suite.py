@@ -278,6 +278,14 @@ def _amg_program(m, p):
     pc_hidden_r = [
         _pc("amg2013", 420 + k, "solve") for k in range(AMG_HIDDEN_RACES)
     ]
+    # Columnar fast path: the per-sweep flag stores and stat polls are
+    # irregular (scattered scalars, one pc each), so they batch through
+    # record_batch with parallel addr/pc columns rather than touch_range.
+    known_addrs = np.array([c.addr(0) for c in known], dtype=np.uint64)
+    hidden_addrs = np.array([c.addr(0) for c in hidden], dtype=np.uint64)
+    known_pcs = np.array(pc_known_w, dtype=np.uint64)
+    hidden_r_pcs = np.array(pc_hidden_r, dtype=np.uint64)
+    hidden_w_pcs = np.array(pc_hidden_w, dtype=np.uint64)
 
     def body(ctx):
         # --- one large parallel region (~the paper's 400-LOC region) ---
@@ -287,8 +295,15 @@ def _amg_program(m, p):
         # every sweep — evicting its own write records from ARCHER's cells.
         with ctx.single(nowait=True) as mine:
             if mine:
-                for k, cell in enumerate(hidden):
-                    ctx.write(cell, 0, float(k), pc=pc_hidden_w[k])
+                if p.batched:
+                    for k, cell in enumerate(hidden):
+                        cell.data.reshape(-1)[0] = float(k)
+                    ctx.record_batch(
+                        hidden_addrs, size=8, is_write=True, pc=hidden_w_pcs
+                    )
+                else:
+                    for k, cell in enumerate(hidden):
+                        ctx.write(cell, 0, float(k), pc=pc_hidden_w[k])
         for sweep in range(p.sweeps):
             # Relaxation: disjoint chunks, race-free.
             uv = ctx.read_slice(u, lo, hi, pc=_pc("amg2013", 210, "relax"))
@@ -299,12 +314,22 @@ def _amg_program(m, p):
             ctx.write_slice(work, lo, hi, uv * 0.5, pc=_pc("amg2013", 214, "relax"))
             # Known races: unsynchronised convergence flags (every thread
             # stores into them each sweep -> one write-write pair per flag).
-            for k, cell in enumerate(known):
-                ctx.write(cell, 0, float(sweep), pc=pc_known_w[k])
             # Hidden races: everyone polls the stat cells each sweep; the
             # master's polls evicted its own writes long before workers run.
-            for k, cell in enumerate(hidden):
-                ctx.read(cell, 0, pc=pc_hidden_r[k])
+            if p.batched:
+                for cell in known:
+                    cell.data.reshape(-1)[0] = float(sweep)
+                ctx.record_batch(
+                    known_addrs, size=8, is_write=True, pc=known_pcs
+                )
+                ctx.record_batch(
+                    hidden_addrs, size=8, is_write=False, pc=hidden_r_pcs
+                )
+            else:
+                for k, cell in enumerate(known):
+                    ctx.write(cell, 0, float(sweep), pc=pc_known_w[k])
+                for k, cell in enumerate(hidden):
+                    ctx.read(cell, 0, pc=pc_hidden_r[k])
         ctx.barrier()
         # Coarse-grid correction (race-free: disjoint coarse chunks).
         clo, chi = ctx.static_chunk(len(coarse))
@@ -336,4 +361,5 @@ for _size in (10, 20, 30, 40):
         ),
         size=_size,
         sweeps=6,
+        batched=1,
     )(_amg_program)

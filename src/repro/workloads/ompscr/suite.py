@@ -41,6 +41,7 @@ def _pc(bench: str, line: int, func: str = "main") -> int:
     seeded_races=1,
     description="Wavefront loop parallelised ignoring the true dependence.",
     n=128,
+    batched=1,
 )
 def loopa_bad(m, p):
     a = m.alloc_array("a", p.n, fill=1)
@@ -48,9 +49,21 @@ def loopa_bad(m, p):
     pc_w = _pc("c_loopA.badSolution", 40, "store")
 
     def body(ctx):
-        for i in ctx.for_range(p.n - 1):
-            v = ctx.read(a, i, pc=pc_r)
-            ctx.write(a, i + 1, v + 1.0, pc=pc_w)
+        if p.batched:
+            # Columnar fast path: one batch of reads and one of writes per
+            # loop nest.  The chunk's sequential semantics cascade a[lo]
+            # forward, so the data movement vectorises exactly.
+            lo, hi = ctx.static_chunk(p.n - 1)
+            if hi > lo:
+                flat = m.data(a)
+                flat[lo + 1 : hi + 1] = flat[lo] + np.arange(1, hi - lo + 1)
+                ctx.touch_range(a, lo, hi, is_write=False, pc=pc_r)
+                ctx.touch_range(a, lo + 1, hi + 1, is_write=True, pc=pc_w)
+            ctx.barrier()
+        else:
+            for i in ctx.for_range(p.n - 1):
+                v = ctx.read(a, i, pc=pc_r)
+                ctx.write(a, i + 1, v + 1.0, pc=pc_w)
 
     m.parallel(body)
 
@@ -63,6 +76,7 @@ def loopa_bad(m, p):
     seeded_races=1,
     description="Doubly nested wavefront with the inner dependence ignored.",
     n=96,
+    batched=1,
 )
 def loopb_bad(m, p):
     a = m.alloc_array("a", p.n, fill=2)
@@ -71,9 +85,20 @@ def loopb_bad(m, p):
 
     def body(ctx):
         for _sweep in range(2):
-            for i in ctx.for_range(p.n - 2):
-                v = ctx.read(a, i + 2, pc=pc_r)
-                ctx.write(a, i, 0.5 * v, pc=pc_w)
+            if p.batched:
+                # a[i] = 0.5*a[i+2] has no intra-chunk dependence (every
+                # read index is ahead of every prior write index).
+                lo, hi = ctx.static_chunk(p.n - 2)
+                if hi > lo:
+                    flat = m.data(a)
+                    flat[lo:hi] = 0.5 * flat[lo + 2 : hi + 2]
+                    ctx.touch_range(a, lo + 2, hi + 2, is_write=False, pc=pc_r)
+                    ctx.touch_range(a, lo, hi, is_write=True, pc=pc_w)
+                ctx.barrier()
+            else:
+                for i in ctx.for_range(p.n - 2):
+                    v = ctx.read(a, i + 2, pc=pc_r)
+                    ctx.write(a, i, 0.5 * v, pc=pc_w)
 
     m.parallel(body)
 
@@ -493,6 +518,47 @@ def c_lu(m, p):
                 ctx.write_slice(a, r * n + k, r * n + n,
                                 row - factor * pivot_row, pc=_pc("c_lu", 63))
                 flat.reshape(-1)[r * n + k] = factor  # store multiplier (L)
+
+    m.parallel(body)
+
+
+@workload(
+    "c_arraysweep",
+    _SUITE,
+    racy=False,
+    description="Dense per-element sweep: the columnar fast-path benchmark.",
+    notes=(
+        "Each thread touches every element of its chunk individually — "
+        "one read of a[i] and one write of b[i] — so the per-event "
+        "instrumentation cost dominates.  ``batched=0`` emits scalar "
+        "events through ctx.read/ctx.write; ``batched=1`` emits the "
+        "identical event stream as two columnar batches per sweep.  Both "
+        "variants order events reads-then-writes, so their traces (and "
+        "race reports) are byte-identical."
+    ),
+    n=4096,
+    sweeps=2,
+    batched=1,
+)
+def c_arraysweep(m, p):
+    a = m.alloc_array("a", p.n, fill=1)
+    b = m.alloc_array("b", p.n)
+    pc_r = _pc("c_arraysweep", 31)
+    pc_w = _pc("c_arraysweep", 32)
+
+    def body(ctx):
+        lo, hi = ctx.static_chunk(p.n)
+        for _ in range(p.sweeps):
+            m.data(b)[lo:hi] = 2.0 * m.data(a)[lo:hi]
+            if p.batched:
+                ctx.touch_range(a, lo, hi, is_write=False, pc=pc_r)
+                ctx.touch_range(b, lo, hi, is_write=True, pc=pc_w)
+            else:
+                for i in range(lo, hi):
+                    ctx.read(a, i, pc=pc_r)
+                for i in range(lo, hi):
+                    ctx.write(b, i, m.data(b)[i], pc=pc_w)
+            ctx.barrier()
 
     m.parallel(body)
 

@@ -131,6 +131,7 @@ def figure1_masking(m, p):
         "misses it."
     ),
     n=64,
+    batched=1,
 )
 def section2_eviction(m, p):
     a = m.alloc_array("a", p.n, fill=1)
@@ -139,10 +140,37 @@ def section2_eviction(m, p):
     pc_w = _pc("section2", 4, "loop")
 
     def body(ctx):
-        for i in ctx.for_range(p.n):
-            v0 = ctx.read(a, 0, pc=pc_r0)
-            vi = ctx.read(a, i, pc=pc_ri)
-            ctx.write(a, i, vi + v0, pc=pc_w)
+        if p.batched:
+            # Columnar fast path: the loop's three access sites become
+            # three batches (the repeated a[0] reads, the a[i] reads, the
+            # a[i] writes); within each site the element order is the
+            # same as the scalar loop's.
+            lo, hi = ctx.static_chunk(p.n)
+            if hi > lo:
+                flat = m.data(a)
+                start = lo
+                if lo == 0:
+                    # Keep i == 0 scalar: the master's write of a[0] must
+                    # precede its later a[0] polls, or the shadow-cell
+                    # eviction this workload exists to exhibit vanishes.
+                    v0 = ctx.read(a, 0, pc=pc_r0)
+                    vi = ctx.read(a, 0, pc=pc_ri)
+                    ctx.write(a, 0, vi + v0, pc=pc_w)
+                    start = 1
+                if hi > start:
+                    flat[start:hi] += flat[0]
+                    ctx.record_batch(
+                        np.full(hi - start, a.addr(0), dtype=np.uint64),
+                        size=a.itemsize, is_write=False, pc=pc_r0,
+                    )
+                    ctx.touch_range(a, start, hi, is_write=False, pc=pc_ri)
+                    ctx.touch_range(a, start, hi, is_write=True, pc=pc_w)
+            ctx.barrier()
+        else:
+            for i in ctx.for_range(p.n):
+                v0 = ctx.read(a, 0, pc=pc_r0)
+                vi = ctx.read(a, i, pc=pc_ri)
+                ctx.write(a, i, vi + v0, pc=pc_w)
 
     m.parallel(body)
 
@@ -155,6 +183,7 @@ def section2_eviction(m, p):
     seeded_races=1,
     description="Figure 5: a[i] = a[i-1], two threads, one boundary race.",
     n=1000,
+    batched=1,
 )
 def figure5_truedep(m, p):
     a = m.alloc_array("a", p.n, fill=0)
@@ -162,8 +191,18 @@ def figure5_truedep(m, p):
     pc_w = _pc("figure5", 4, "loop_store")
 
     def body(ctx):
-        for i in ctx.for_range(p.n - 1):
-            v = ctx.read(a, i, pc=pc_r)
-            ctx.write(a, i + 1, v, pc=pc_w)
+        if p.batched:
+            # a[i+1] = a[i] cascades a[lo] through the whole chunk.
+            lo, hi = ctx.static_chunk(p.n - 1)
+            if hi > lo:
+                flat = m.data(a)
+                flat[lo + 1 : hi + 1] = flat[lo]
+                ctx.touch_range(a, lo, hi, is_write=False, pc=pc_r)
+                ctx.touch_range(a, lo + 1, hi + 1, is_write=True, pc=pc_w)
+            ctx.barrier()
+        else:
+            for i in ctx.for_range(p.n - 1):
+                v = ctx.read(a, i, pc=pc_r)
+                ctx.write(a, i + 1, v, pc=pc_w)
 
     m.parallel(body, nthreads=2)

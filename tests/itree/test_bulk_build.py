@@ -1,0 +1,122 @@
+"""O(n) bulk construction: invariants and query parity vs incremental."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.itree.interval import StridedInterval
+from repro.itree.tree import BLACK, IntervalTree
+
+
+def si(low, high, **kw):
+    length = high - low + 1
+    defaults = dict(is_write=False, is_atomic=False, pc=0, msid=0)
+    defaults.update(kw)
+    return StridedInterval(low=low, stride=1, size=1, count=length, **defaults)
+
+
+def _sorted_intervals(spans):
+    ivs = [si(lo, lo + length) for lo, length in spans]
+    ivs.sort(key=lambda iv: iv.low)  # stable: ties keep build order
+    return ivs
+
+
+def _incremental(ivs):
+    tree = IntervalTree()
+    for iv in ivs:
+        tree.insert(iv)
+    return tree
+
+
+class TestBulkBuild:
+    def test_empty(self):
+        tree = IntervalTree.build_from_sorted([])
+        assert len(tree) == 0
+        tree.validate()
+
+    def test_single(self):
+        tree = IntervalTree.build_from_sorted([si(3, 9)])
+        assert len(tree) == 1
+        assert tree.root.color == BLACK
+        tree.validate()
+
+    def test_inorder_preserved(self):
+        ivs = _sorted_intervals([(i * 2, 3) for i in range(100)])
+        tree = IntervalTree.build_from_sorted(ivs)
+        assert [n.interval.low for n in tree] == [iv.low for iv in ivs]
+        tree.validate()
+
+    def test_duplicates_kept_in_order(self):
+        ivs = [si(5, 9, pc=i) for i in range(6)]
+        tree = IntervalTree.build_from_sorted(ivs)
+        assert [n.interval.pc for n in tree] == list(range(6))
+        tree.validate()
+
+    def test_height_is_optimal(self):
+        n = 1 << 12
+        tree = IntervalTree.build_from_sorted(
+            _sorted_intervals([(i, 0) for i in range(n)])
+        )
+        # Median split: all leaves on the last two levels.
+        assert tree.height() <= n.bit_length()
+        tree.validate()
+
+    def test_tree_still_mutable_after_bulk_build(self):
+        ivs = _sorted_intervals([(i * 3, 1) for i in range(50)])
+        tree = IntervalTree.build_from_sorted(ivs)
+        node = tree.insert(si(1000, 1001))
+        tree.validate()
+        tree.delete(node)
+        tree.validate()
+        assert len(tree) == 50
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    spans=st.lists(
+        st.tuples(st.integers(0, 400), st.integers(0, 50)),
+        min_size=0,
+        max_size=150,
+    ),
+    queries=st.lists(
+        st.tuples(st.integers(0, 460), st.integers(0, 50)),
+        min_size=1,
+        max_size=8,
+    ),
+)
+def test_property_bulk_build_query_parity(spans, queries):
+    """Bulk and incremental trees answer every overlap query identically."""
+    ivs = _sorted_intervals(spans)
+    bulk = IntervalTree.build_from_sorted(ivs)
+    incr = _incremental(ivs)
+    bulk.validate()
+    assert len(bulk) == len(incr)
+    assert [n.interval for n in bulk] == [n.interval for n in incr]
+    for qlo, qlen in queries:
+        qhi = qlo + qlen
+        got = sorted(
+            (n.interval.low, n.interval.high) for n in bulk.iter_overlaps(qlo, qhi)
+        )
+        want = sorted(
+            (n.interval.low, n.interval.high) for n in incr.iter_overlaps(qlo, qhi)
+        )
+        assert got == want
+        assert (bulk.search_overlap(qlo, qhi) is None) == (
+            incr.search_overlap(qlo, qhi) is None
+        )
+
+
+def test_large_randomized_parity():
+    rng = random.Random(11)
+    spans = [(rng.randrange(1_000_000), rng.randrange(200)) for _ in range(5000)]
+    ivs = _sorted_intervals(spans)
+    bulk = IntervalTree.build_from_sorted(ivs)
+    bulk.validate()
+    incr = _incremental(ivs)
+    for _ in range(200):
+        qlo = rng.randrange(1_000_200)
+        qhi = qlo + rng.randrange(500)
+        got = {id(n.interval) for n in bulk.iter_overlaps(qlo, qhi)}
+        want = {id(n.interval) for n in incr.iter_overlaps(qlo, qhi)}
+        assert got == want

@@ -1,0 +1,134 @@
+"""Columnar batch appends: equivalence with the scalar path, flush splits."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.events import AccessBatch
+from repro.sword.buffer import EventBuffer
+
+
+def _recording_buffer(capacity):
+    flushed = []
+    buf = EventBuffer(capacity=capacity, on_flush=lambda r: flushed.append(r.copy()))
+    return buf, flushed
+
+
+def _stream(flushed, buf):
+    """The full record stream a reader would see: flushes + residue."""
+    buf.flush()
+    if not flushed:
+        return np.empty(0, dtype=buf._records.dtype)
+    return np.concatenate(flushed)
+
+
+def _batch(n, seed=0, **scalar_overrides):
+    rng = np.random.default_rng(seed)
+    count = rng.integers(1, 5, size=n, dtype=np.uint32)
+    # Scalar accesses carry stride 0; bulk ones need a non-zero stride.
+    stride = np.where(count > 1, rng.integers(8, 64, size=n), 0).astype(np.int32)
+    cols = dict(
+        addr=rng.integers(0, 2**48, size=n, dtype=np.uint64),
+        pc=rng.integers(0, 2**32, size=n, dtype=np.uint64),
+        size=np.full(n, 8, dtype=np.uint16),
+        msid=rng.integers(0, 4, size=n, dtype=np.uint32),
+        count=count,
+        stride=stride,
+        task_point=rng.integers(0, 9, size=n, dtype=np.uint64),
+    )
+    cols.update(scalar_overrides)
+    return AccessBatch.make(
+        cols.pop("addr"),
+        size=cols.pop("size"),
+        is_write=bool(seed % 2),
+        pc=cols.pop("pc"),
+        **cols,
+    )
+
+
+class TestBatchEqualsScalars:
+    def test_single_batch_matches_per_access_appends(self):
+        batch = _batch(37, seed=1)
+        b1, f1 = _recording_buffer(capacity=16)
+        b1.append_access_batch(batch)
+        b2, f2 = _recording_buffer(capacity=16)
+        for access in batch.to_accesses():
+            b2.append_access(access)
+        assert b1.flushes == b2.flushes
+        assert _stream(f1, b1).tobytes() == _stream(f2, b2).tobytes()
+
+    def test_scalar_columns_broadcast(self):
+        addrs = np.arange(0x1000, 0x1000 + 8 * 20, 8, dtype=np.uint64)
+        batch = AccessBatch.make(addrs, size=8, is_write=True, pc=0xBEEF)
+        buf, flushed = _recording_buffer(capacity=64)
+        buf.append_access_batch(batch)
+        stream = _stream(flushed, buf)
+        assert list(stream["addr"]) == list(addrs)
+        assert set(stream["pc"]) == {0xBEEF}
+        assert set(stream["size"]) == {8}
+
+    def test_batch_larger_than_capacity_splits_at_flush_boundary(self):
+        batch = _batch(50, seed=2)
+        buf, flushed = _recording_buffer(capacity=8)
+        buf.append_access_batch(batch)
+        # 50 records through an 8-slot buffer: six full flushes, 2 left.
+        assert buf.flushes == 6
+        assert [r.shape[0] for r in flushed] == [8] * 6
+        assert len(buf) == 2
+
+    def test_batch_into_prefilled_buffer(self):
+        prefill = _batch(5, seed=3)
+        tail = _batch(9, seed=4)
+        b1, f1 = _recording_buffer(capacity=6)
+        b2, f2 = _recording_buffer(capacity=6)
+        for access in prefill.to_accesses():
+            b1.append_access(access)
+            b2.append_access(access)
+        b1.append_access_batch(tail)
+        for access in tail.to_accesses():
+            b2.append_access(access)
+        assert b1.flushes == b2.flushes
+        assert _stream(f1, b1).tobytes() == _stream(f2, b2).tobytes()
+
+    def test_exactly_full_defers_flush_like_scalar_path(self):
+        """A batch that lands exactly on capacity must not flush eagerly."""
+        buf, flushed = _recording_buffer(capacity=10)
+        buf.append_access_batch(_batch(10, seed=5))
+        assert buf.flushes == 0 and flushed == []
+        assert len(buf) == 10
+
+    def test_empty_batch_is_a_noop(self):
+        buf, flushed = _recording_buffer(capacity=4)
+        buf.append_access_batch(_batch(0))
+        assert len(buf) == 0 and buf.events_total == 0 and flushed == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    capacity=st.integers(1, 32),
+    sizes=st.lists(st.integers(0, 40), min_size=1, max_size=6),
+    prefill=st.integers(0, 10),
+)
+def test_property_batches_equal_scalar_appends(capacity, sizes, prefill):
+    """Any mix of batches after any prefill: byte-identical streams."""
+    batches = [_batch(n, seed=i) for i, n in enumerate(sizes)]
+    head = _batch(prefill, seed=99)
+    b1, f1 = _recording_buffer(capacity)
+    b2, f2 = _recording_buffer(capacity)
+    for access in head.to_accesses():
+        b1.append_access(access)
+        b2.append_access(access)
+    for batch in batches:
+        b1.append_access_batch(batch)
+        for access in batch.to_accesses():
+            b2.append_access(access)
+    assert b1.flushes == b2.flushes
+    assert b1.events_total == b2.events_total
+    assert _stream(f1, b1).tobytes() == _stream(f2, b2).tobytes()
+
+
+def test_to_records_matches_buffer_contents():
+    batch = _batch(21, seed=6)
+    buf, flushed = _recording_buffer(capacity=64)
+    buf.append_access_batch(batch)
+    assert _stream(flushed, buf).tobytes() == batch.to_records().tobytes()

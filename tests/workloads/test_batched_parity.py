@@ -1,0 +1,58 @@
+"""Scalar vs columnar workload variants: race reports byte-identical.
+
+Every converted workload keeps its scalar loop behind ``batched=0``; the
+columnar fast path must produce the *same* offline race report, byte for
+byte, because the coalescer groups records by site and each site's
+subsequence is order-preserved by the conversion.
+"""
+
+import json
+
+import pytest
+
+import repro.workloads.hpc.suite  # noqa: F401  (registers workloads)
+import repro.workloads.ompscr.suite  # noqa: F401
+import repro.workloads.paper.suite  # noqa: F401
+from repro.harness.tools import SwordDriver
+from repro.workloads import REGISTRY
+
+CONVERTED = [
+    "c_loopA.badSolution",
+    "c_loopB.badSolution1",
+    "c_arraysweep",
+    "section2-eviction",
+    "figure5-truedep",
+    "amg2013_10",
+]
+
+
+def _blob(races):
+    return json.dumps(races.to_json(), sort_keys=True).encode()
+
+
+@pytest.mark.parametrize("name", CONVERTED)
+@pytest.mark.parametrize("seed", [0, 3])
+def test_batched_races_byte_identical_to_scalar(name, seed):
+    workload = REGISTRY.get(name)
+    scalar = SwordDriver().run(workload, nthreads=4, seed=seed, batched=0)
+    batched = SwordDriver().run(workload, nthreads=4, seed=seed, batched=1)
+    assert _blob(batched.races) == _blob(scalar.races)
+    if workload.racy:
+        assert len(batched.races) >= 1
+
+
+@pytest.mark.parametrize("name", CONVERTED)
+def test_batched_path_actually_engaged(name):
+    workload = REGISTRY.get(name)
+    batched = SwordDriver().run(workload, nthreads=4, seed=0, batched=1)
+    scalar = SwordDriver().run(workload, nthreads=4, seed=0, batched=0)
+    assert batched.stats["batched_events"] > 0
+    assert scalar.stats["batched_events"] == 0
+    # The fast path replaces scalar events rather than adding to them.
+    assert batched.stats["batched_events"] <= batched.stats["events"]
+
+
+def test_batched_is_the_default():
+    """Converted workloads take the fast path unless asked not to."""
+    result = SwordDriver().run(REGISTRY.get("figure5-truedep"), nthreads=2, seed=0)
+    assert result.stats["batched_events"] > 0
