@@ -14,7 +14,15 @@ Commands:
   corrupt or truncated trace and reports the loss);
 * ``faults inject|sweep``             — deterministic fault injection:
   mutate a trace from a seeded plan, or run the kill-point sweep that
-  proves salvage analysis completes at every truncation point.
+  proves salvage analysis completes at every truncation point;
+* ``serve [options]``                 — boot the fleet analysis service
+  and drive a load-generator burst through it (jobs/sec, p99
+  time-to-first-race, cross-job cache hits, parity check).
+
+Exit codes are uniform (:mod:`repro.common.exitcodes`): ``0`` clean,
+``1`` races found, ``2`` error (OOM, torn trace in strict mode, sweep
+property violation).  ``--json`` payloads repeat the code under
+``"exit_code"``/``"exit_meaning"``.
 
 Every subcommand routes through :mod:`repro.api` and accepts ``--json``
 for a machine-readable report (the shared races/stats schema, versioned
@@ -35,6 +43,13 @@ import sys
 
 from . import api
 from . import obs as obslib
+from .common.errors import ReproError
+from .common.exitcodes import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    exit_meaning,
+    race_exit_code,
+)
 from .harness.tables import fmt_bytes, fmt_seconds
 from .harness.tools import TOOL_NAMES
 from .obs import prometheus_text, write_json
@@ -84,8 +99,11 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
     )
 
 
-def _print_json(payload: dict) -> None:
+def _print_json(payload: dict, exit_code: int | None = None) -> None:
     payload["schema_version"] = api.JSON_SCHEMA_VERSION
+    if exit_code is not None:
+        payload["exit_code"] = exit_code
+        payload["exit_meaning"] = exit_meaning(exit_code)
     print(json.dumps(payload, indent=2, sort_keys=True))
 
 
@@ -152,11 +170,14 @@ def cmd_check(args: argparse.Namespace) -> int:
         }
         if result.integrity is not None:
             payload["integrity"] = result.integrity.to_json()
-        _print_json(payload)
-        return 2 if result.oom else 0
+        code = (
+            EXIT_ERROR if result.oom else race_exit_code(result.race_count)
+        )
+        _print_json(payload, exit_code=code)
+        return code
     if result.oom:
         print(f"{args.tool} ran OUT OF MEMORY on the simulated node")
-        return 2
+        return EXIT_ERROR
     print(
         f"tool={args.tool} threads={args.threads} "
         f"dynamic={fmt_seconds(result.dynamic_seconds)} "
@@ -165,13 +186,13 @@ def cmd_check(args: argparse.Namespace) -> int:
     )
     if result.races is None:
         print("(baseline: race checking disabled)")
-        return 0
+        return EXIT_CLEAN
     if result.integrity is not None:
         print(result.integrity.summary())
     print(f"races: {result.race_count}")
     for race in result.races:
         print(" ", race.describe())
-    return 0
+    return race_exit_code(result.race_count)
 
 
 def cmd_watch(args: argparse.Namespace) -> int:
@@ -192,11 +213,14 @@ def cmd_watch(args: argparse.Namespace) -> int:
     )
     _export_obs(args, obs)
     if args.json:
-        _print_json(result.to_json())
-        return 2 if result.oom else 0
+        code = (
+            EXIT_ERROR if result.oom else race_exit_code(result.race_count)
+        )
+        _print_json(result.to_json(), exit_code=code)
+        return code
     if result.oom:
         print("watch ran OUT OF MEMORY on the simulated node")
-        return 2
+        return EXIT_ERROR
     ttfr = (
         fmt_seconds(result.time_to_first_race)
         if result.time_to_first_race is not None
@@ -210,7 +234,7 @@ def cmd_watch(args: argparse.Namespace) -> int:
     print(f"races: {result.race_count}")
     for race in result.races:
         print(" ", race.describe())
-    return 0
+    return race_exit_code(result.race_count)
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
@@ -255,8 +279,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     if args.json:
         payload = result.to_json()
         payload["metrics"] = obs.registry.snapshot()
-        _print_json(payload)
-        return 0
+        code = race_exit_code(result.race_count)
+        _print_json(payload, exit_code=code)
+        return code
     stats = result.stats
     print(
         f"intervals={stats.intervals} concurrent_pairs={stats.concurrent_pairs} "
@@ -268,7 +293,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     print(f"races: {result.race_count}")
     for race in result.races:
         print(" ", race.describe())
-    return 0
+    return race_exit_code(result.race_count)
 
 
 def cmd_faults(args: argparse.Namespace) -> int:
@@ -355,6 +380,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser(
+        "serve",
+        help="boot the fleet analysis service and drive a load burst",
+    )
+    from .serve.cli import add_serve_arguments, run_serve_command
+
+    add_serve_arguments(p)
+    p.set_defaults(func=lambda a: run_serve_command(a))
+
+    p = sub.add_parser(
         "faults",
         help="fault-injection harness (inject faults into a trace, or "
         "sweep kill points over a workload)",
@@ -369,7 +403,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # Uniform error surface: a torn trace in strict mode, a missing
+        # directory, a bad config -- report, don't traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -47,6 +47,7 @@ from .offline.engine import AnalysisResult
 from .offline.options import AnalysisOptions, FastPathOptions
 from .offline.parallel import DistributedOfflineAnalyzer, default_workers
 from .offline.report import RaceSet
+from .serve import Service, ServeConfig, TenantQuota
 from .stream.analyzer import StreamAnalyzer
 from .stream.bus import replay_trace
 from .stream.watch import WatchResult
@@ -61,7 +62,10 @@ __all__ = [
     "AnalysisResult",
     "FastPathOptions",
     "RunResult",
+    "ServeConfig",
+    "Service",
     "Session",
+    "TenantQuota",
     "WatchResult",
     "analyze",
     "detect",

@@ -1,0 +1,30 @@
+"""Warn-once deprecation plumbing.
+
+The legacy analyzer names are instantiated in loops by old harnesses
+(one per workload, per seed); warning on every construction buries the
+signal.  Each deprecated name warns once per process; :func:`reset`
+re-arms everything (tests use it to assert the warning fires at all).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+_WARNED: set[str] = set()
+
+
+def warn_once(key: str, message: str, *, stacklevel: int = 3) -> bool:
+    """Emit ``DeprecationWarning`` the first time ``key`` is seen.
+
+    Returns True when the warning was actually emitted.
+    """
+    if key in _WARNED:
+        return False
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+    return True
+
+
+def reset() -> None:
+    """Re-arm every deprecation warning (test hook)."""
+    _WARNED.clear()

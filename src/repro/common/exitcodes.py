@@ -1,0 +1,36 @@
+"""Normalized CLI exit codes.
+
+Every ``repro`` subcommand that inspects a program or trace reports
+through the same three codes, so shell pipelines and CI gates can branch
+without parsing output:
+
+* ``0`` — ran to completion, no races found (clean);
+* ``1`` — ran to completion, data races found;
+* ``2`` — the run itself failed: out of memory, unreadable or torn
+  trace in strict mode, bad arguments, or a violated sweep property.
+
+``--json`` payloads carry the code (and its meaning) under
+``"exit_code"`` / ``"exit_meaning"`` so a consumer never has to keep the
+mapping in its head.
+"""
+
+from __future__ import annotations
+
+EXIT_CLEAN = 0
+EXIT_RACES = 1
+EXIT_ERROR = 2
+
+_MEANINGS = {
+    EXIT_CLEAN: "clean",
+    EXIT_RACES: "races found",
+    EXIT_ERROR: "error",
+}
+
+
+def exit_meaning(code: int) -> str:
+    return _MEANINGS.get(code, "unknown")
+
+
+def race_exit_code(race_count: int) -> int:
+    """The code for a successful analysis that found ``race_count`` races."""
+    return EXIT_RACES if race_count else EXIT_CLEAN

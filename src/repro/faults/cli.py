@@ -10,7 +10,9 @@ Two subcommands:
   clean durable trace, truncate at every frame kill point, and verify
   that salvage analysis completes with a subset race set.  ``--out``
   writes the full report (per-point integrity reports included) as a
-  JSON artifact; exit status 1 when any point violates the property.
+  JSON artifact; exit status 2 when any point violates the property
+  (sweep failure is an *error*, not a race verdict — see
+  :mod:`repro.common.exitcodes`).
 """
 
 from __future__ import annotations
@@ -19,6 +21,7 @@ import argparse
 import json
 from pathlib import Path
 
+from ..common.exitcodes import EXIT_CLEAN, EXIT_ERROR, exit_meaning
 from .harness import kill_sweep
 from .plan import FaultPlan
 
@@ -73,14 +76,17 @@ def _cmd_inject(args: argparse.Namespace) -> int:
     trace_dir = Path(args.trace_dir)
     if not trace_dir.is_dir():
         print(f"not a trace directory: {trace_dir}")
-        return 1
+        return EXIT_ERROR
     plan = FaultPlan.random(trace_dir, seed=args.seed, actions=args.actions)
     applied = plan.apply(trace_dir)
     if args.plan_out:
         Path(args.plan_out).write_text(json.dumps(plan.to_json(), indent=2))
     if args.json:
-        print(json.dumps(plan.to_json(), indent=2, sort_keys=True))
-        return 0
+        payload = plan.to_json()
+        payload["exit_code"] = EXIT_CLEAN
+        payload["exit_meaning"] = exit_meaning(EXIT_CLEAN)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return EXIT_CLEAN
     if not applied:
         print("no applicable faults (empty trace?)")
         return 0
@@ -102,12 +108,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         max_points=args.max_points,
         delta_filter=args.delta_filter,
     )
+    code = EXIT_CLEAN if result.ok else EXIT_ERROR
+    payload = result.to_json()
+    payload["exit_code"] = code
+    payload["exit_meaning"] = exit_meaning(code)
     if args.out:
         Path(args.out).write_text(
-            json.dumps(result.to_json(), indent=2, sort_keys=True)
+            json.dumps(payload, indent=2, sort_keys=True)
         )
     if args.json:
-        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+        print(json.dumps(payload, indent=2, sort_keys=True))
     else:
         print(result.summary())
         for point in result.failures:
@@ -115,7 +125,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 f"  FAILED {point.point.describe()}: "
                 f"{point.error or 'race set not a subset'}"
             )
-    return 0 if result.ok else 1
+    return code
 
 
 def run_faults_command(args: argparse.Namespace) -> int:

@@ -27,9 +27,9 @@ from __future__ import annotations
 
 import os
 import time
-import warnings
 
 from ..common.config import OfflineConfig
+from ..common.deprecation import warn_once
 from ..obs import Instrumentation, get_obs
 from ..sword.reader import TraceDir
 from .engine import (
@@ -146,11 +146,10 @@ class OfflineAnalyzer(SerialOfflineAnalyzer):
     """Deprecated alias; use :func:`repro.api.analyze` instead."""
 
     def __init__(self, *args, **kwargs) -> None:
-        warnings.warn(
+        warn_once(
+            "OfflineAnalyzer",
             "OfflineAnalyzer is deprecated; use repro.api.analyze(trace) "
             "(or repro.offline.SerialOfflineAnalyzer)",
-            DeprecationWarning,
-            stacklevel=2,
         )
         super().__init__(*args, **kwargs)
 

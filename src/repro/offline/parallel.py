@@ -3,10 +3,15 @@
 The paper distributes the offline phase across nodes: per-thread interval
 trees are built independently and the tree-vs-tree comparisons are spread
 out, bringing multi-hour analyses down to seconds/minutes (Table III's MT
-column, §IV-C).  We reproduce the structure with a process pool: the pair
-plan is partitioned, every worker opens the trace directory itself (no tree
-pickling — workers rebuild the trees they need, exactly like remote nodes
-reading a shared filesystem), and race sets are merged at the coordinator.
+column, §IV-C).  We reproduce the structure with a process pool over the
+*same shard machinery the analysis service runs on*: the pair plan is cut
+by :func:`repro.serve.shards.plan_shards`, every shard is executed by
+:func:`repro.serve.workers.run_shard` (workers open the trace directory
+themselves — no tree pickling, exactly like remote nodes reading a shared
+filesystem), and race sets are merged at the coordinator.  One worker
+code path means the byte-identical-races guarantee is proven once, and a
+``repro serve`` fleet and a one-shot ``mode="parallel"`` call cannot
+drift apart.
 
 The supported entry point is :func:`repro.api.analyze` with
 ``mode="parallel"``; :class:`ParallelOfflineAnalyzer` remains as a
@@ -17,61 +22,20 @@ from __future__ import annotations
 
 import os
 import time
-import warnings
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
 
 from ..common.config import OfflineConfig
+from ..common.deprecation import warn_once
 from ..obs import Instrumentation, get_obs
 from ..sword.reader import TraceDir
 from .analyzer import SerialOfflineAnalyzer
-from .engine import AnalysisEngine, AnalysisResult, AnalysisStats
-from .intervals import IntervalInventory, IntervalKey
-from .options import AnalysisOptions, FastPathOptions
-from .report import RaceReport, RaceSet
+from .engine import AnalysisResult, AnalysisStats
+from .options import AnalysisOptions
+from .report import RaceSet
 
-
-@dataclass(frozen=True, slots=True)
-class _WorkerTask:
-    """One worker's share of the comparison plan (picklable)."""
-
-    trace_path: str
-    pair_keys: tuple[tuple[IntervalKey, IntervalKey], ...]
-    chunk_events: int
-    use_ilp_crosscheck: bool = False
-    fastpath: FastPathOptions | None = None
-
-
-def _run_worker(task: _WorkerTask) -> tuple[list[tuple], AnalysisStats]:
-    """Executed in a worker process: compare the assigned interval pairs.
-
-    The engine is closed via its context manager even when a comparison
-    raises — long-lived pools (and strict platforms) must not leak the
-    per-thread log-file descriptors the engine opens.
-    """
-    trace = TraceDir(task.trace_path)
-    races = RaceSet()
-    options = AnalysisOptions(
-        chunk_events=task.chunk_events,
-        use_ilp_crosscheck=task.use_ilp_crosscheck,
-        fastpath=task.fastpath or FastPathOptions(),
-    )
-    with AnalysisEngine(trace, options=options) as engine:
-        inventory = IntervalInventory(trace)
-        for key_a, key_b in task.pair_keys:
-            ia = inventory.intervals[key_a]
-            ib = inventory.intervals[key_b]
-            engine.analyze_pair(ia, ib, races)
-        stats = engine.stats
-    # RaceReport is a frozen dataclass of ints/bools: ship as tuples.
-    rows = [
-        (
-            r.pc_a, r.pc_b, r.address, r.write_a, r.write_b,
-            r.gid_a, r.gid_b, r.pid_a, r.pid_b, r.bid_a, r.bid_b,
-        )
-        for r in races
-    ]
-    return rows, stats
+#: Pair-shard grain for one-shot parallel analysis; small enough that the
+#: process pool load-balances, large enough to amortise tree builds.
+SHARD_PAIRS = 32
 
 
 def default_workers() -> int:
@@ -100,67 +64,41 @@ class DistributedOfflineAnalyzer:
 
     def analyze(self) -> AnalysisResult:
         """Plan centrally, compare in parallel, merge race sets."""
+        # Deferred: repro.offline.__init__ imports this module, and
+        # repro.serve imports repro.offline — a module-level import here
+        # would close the cycle mid-initialisation.
+        from ..serve.shards import plan_shards
+        from ..serve.workers import merge_stats, run_shard
+
         stats = AnalysisStats()
         t0 = time.perf_counter()
         with self.obs.tracer.span("metadata-scan", category="offline-mt"):
-            inventory = IntervalInventory(self.trace)
-            pairs = [
-                (a.key, b.key) for a, b in inventory.concurrent_pairs()
-            ]
-        stats.intervals = len(inventory)
-        stats.concurrent_pairs = len(pairs)
+            plan = plan_shards(
+                self.trace,
+                options=self.options,
+                shard_pairs=SHARD_PAIRS,
+                min_shards=self.options.workers,
+            )
+        stats.intervals = plan.intervals
+        stats.concurrent_pairs = plan.concurrent_pairs
         stats.plan_seconds = time.perf_counter() - t0
 
         races = RaceSet()
-        nworkers = min(self.options.workers, max(1, len(pairs)))
-        if nworkers <= 1 or len(pairs) == 0:
+        nworkers = min(self.options.workers, max(1, len(plan.shards)))
+        if nworkers <= 1 or plan.concurrent_pairs == 0:
             # Degenerate case: fall back to the serial analyzer.
-            serial = SerialOfflineAnalyzer(
+            return SerialOfflineAnalyzer(
                 self.trace, obs=self.obs, options=self.options
             ).analyze()
-            return serial
 
-        # Round-robin partition keeps per-worker tree reuse high when
-        # consecutive pairs share intervals.
-        shards: list[list[tuple[IntervalKey, IntervalKey]]] = [
-            [] for _ in range(nworkers)
-        ]
-        for i, pair in enumerate(pairs):
-            shards[i % nworkers].append(pair)
-        tasks = [
-            _WorkerTask(
-                trace_path=str(self.trace.path),
-                pair_keys=tuple(shard),
-                chunk_events=self.options.chunk_events,
-                use_ilp_crosscheck=self.options.use_ilp_crosscheck,
-                fastpath=self.options.fastpath,
-            )
-            for shard in shards
-            if shard
-        ]
         with self.obs.tracer.span(
             "compare-scatter", category="offline-mt", workers=nworkers
         ):
             with ProcessPoolExecutor(max_workers=nworkers) as pool:
-                for rows, wstats in pool.map(_run_worker, tasks):
-                    for row in rows:
-                        races.add(RaceReport(*row))
-                    stats.trees_built += wstats.trees_built
-                    stats.tree_nodes += wstats.tree_nodes
-                    stats.events_read += wstats.events_read
-                    stats.overlap_candidates += wstats.overlap_candidates
-                    stats.ilp_solves += wstats.ilp_solves
-                    stats.pairs_pruned += wstats.pairs_pruned
-                    stats.solver_memo_hits += wstats.solver_memo_hits
-                    stats.solver_memo_misses += wstats.solver_memo_misses
-                    stats.pair_cache_hits += wstats.pair_cache_hits
-                    stats.tree_cache_disk_hits += wstats.tree_cache_disk_hits
-                    stats.build_seconds = max(
-                        stats.build_seconds, wstats.build_seconds
-                    )
-                    stats.compare_seconds = max(
-                        stats.compare_seconds, wstats.compare_seconds
-                    )
+                for outcome in pool.map(run_shard, plan.shards):
+                    for report in outcome.reports():
+                        races.add(report)
+                    merge_stats(stats, outcome.stats)
         stats.races_found = len(races)
         # Workers run in their own processes; the coordinator mirrors the
         # merged totals so one registry still tells the whole story.
@@ -182,11 +120,10 @@ class ParallelOfflineAnalyzer(DistributedOfflineAnalyzer):
     """Deprecated alias; use ``repro.api.analyze(trace, mode="parallel")``."""
 
     def __init__(self, *args, **kwargs) -> None:
-        warnings.warn(
+        warn_once(
+            "ParallelOfflineAnalyzer",
             "ParallelOfflineAnalyzer is deprecated; use "
             "repro.api.analyze(trace, mode='parallel') "
             "(or repro.offline.DistributedOfflineAnalyzer)",
-            DeprecationWarning,
-            stacklevel=2,
         )
         super().__init__(*args, **kwargs)

@@ -1,0 +1,77 @@
+"""repro.serve: the fleet-scale analysis service.
+
+A long-lived tier that accepts many concurrent trace-directory
+submissions (per-tenant quotas, bounded-queue backpressure), decomposes
+each job into (thread, barrier-interval) pair shards, balances them
+across a work-stealing worker pool, and merges shard outcomes into race
+sets byte-identical to single-shot :func:`repro.api.analyze`.  A shared
+content-hashed result cache makes identical shards — across jobs and
+tenants — compute once fleet-wide.
+
+Entry points: :class:`Service` (also exported as ``repro.api.Service``)
+and the ``repro serve`` CLI.
+"""
+
+from .config import ServeConfig, TenantQuota
+from .errors import (
+    BackpressureError,
+    JobFailedError,
+    JobNotFoundError,
+    QuotaExceededError,
+    ServeError,
+    ServiceClosedError,
+)
+from .job import (
+    ACTIVE_STATES,
+    CANCELLED,
+    DONE,
+    FAILED,
+    PLANNING,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    JobRecord,
+    TriageInfo,
+    triage_trace,
+)
+from .pool import ShardTask, WorkStealingPool
+from .queue import IngestionQueue
+from .retry import RetryPolicy
+from .scheduler import JobScheduler
+from .service import Service
+from .shards import ShardPlan, ShardSpec, plan_shards
+from .workers import ShardOutcome, merge_stats, run_shard
+
+__all__ = [
+    "ACTIVE_STATES",
+    "BackpressureError",
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "IngestionQueue",
+    "JobFailedError",
+    "JobNotFoundError",
+    "JobRecord",
+    "JobScheduler",
+    "PLANNING",
+    "QUEUED",
+    "QuotaExceededError",
+    "RUNNING",
+    "RetryPolicy",
+    "Service",
+    "ServeConfig",
+    "ServeError",
+    "ServiceClosedError",
+    "ShardOutcome",
+    "ShardPlan",
+    "ShardSpec",
+    "ShardTask",
+    "TERMINAL_STATES",
+    "TenantQuota",
+    "TriageInfo",
+    "WorkStealingPool",
+    "merge_stats",
+    "plan_shards",
+    "run_shard",
+    "triage_trace",
+]

@@ -1,0 +1,171 @@
+"""``python -m repro serve`` — boot the analysis service under load.
+
+The subcommand is a self-driving harness: it builds a mixed trace corpus
+(clean, delta-filtered, and one damaged trace submitted in salvage
+mode), boots a :class:`~repro.serve.service.Service`, drives a sustained
+multi-tenant submission burst through it, and reports the fleet
+numbers — jobs/sec, p50/p99 time-to-first-race, cross-job cache hits,
+and a parity check against single-shot ``repro analyze``.
+
+Exit status follows :mod:`repro.common.exitcodes` with the service
+twist: the burst *expects* races (the corpus contains racy workloads),
+so ``1`` means races were found and everything held, ``0`` means the
+corpus was race-free, and ``2`` means the service itself misbehaved —
+parity broke, or every job failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+from ..common.exitcodes import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_RACES,
+    exit_meaning,
+)
+from .config import ServeConfig, TenantQuota
+from .loadgen import LoadReport, generate_and_run
+
+
+def add_serve_arguments(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=int, default=2, help="shard pool width")
+    p.add_argument(
+        "--in-process",
+        action="store_true",
+        help="thread workers instead of a process pool (fast boot)",
+    )
+    p.add_argument("--queue-capacity", type=int, default=16)
+    p.add_argument(
+        "--shard-pairs",
+        type=int,
+        default=32,
+        help="max concurrent pairs per shard (the scheduling grain)",
+    )
+    p.add_argument(
+        "--max-pending",
+        type=int,
+        default=8,
+        help="per-tenant in-flight job quota",
+    )
+    p.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="shared cross-job result cache root (default: a temp dir)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the shared result cache",
+    )
+    p.add_argument(
+        "--submissions", type=int, default=24, help="jobs in the load burst"
+    )
+    p.add_argument(
+        "--tenants", type=int, default=3, help="tenant ids to spread load over"
+    )
+    p.add_argument(
+        "--threads", type=int, default=4, help="threads per collected trace"
+    )
+    p.add_argument(
+        "--corpus",
+        metavar="DIR",
+        help="collect the trace corpus here (default: a temp dir)",
+    )
+    p.add_argument(
+        "--keep-corpus",
+        action="store_true",
+        help="leave the collected corpus on disk",
+    )
+    p.add_argument(
+        "--no-parity",
+        action="store_true",
+        help="skip the byte-identical check against single-shot analyze",
+    )
+    p.add_argument(
+        "--report",
+        metavar="PATH",
+        help="write the load report JSON artifact",
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+
+
+def serve_exit_code(report: LoadReport) -> int:
+    if not report.parity_ok:
+        return EXIT_ERROR
+    if report.jobs_finished == 0 and report.jobs_submitted > 0:
+        return EXIT_ERROR
+    races = sum(f.get("races", 0) for f in report.flavors.values())
+    return EXIT_RACES if races else EXIT_CLEAN
+
+
+def _fmt_seconds(value) -> str:
+    return f"{value * 1000:.1f}ms" if value is not None else "-"
+
+
+def run_serve_command(args: argparse.Namespace) -> int:
+    config = ServeConfig(
+        workers=args.workers,
+        use_processes=not args.in_process,
+        queue_capacity=args.queue_capacity,
+        quota=TenantQuota(max_pending=args.max_pending),
+        shard_pairs=args.shard_pairs,
+        result_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+    report = generate_and_run(
+        config=config,
+        submissions=args.submissions,
+        tenants=args.tenants,
+        nthreads=args.threads,
+        corpus_dir=args.corpus,
+        keep_corpus=args.keep_corpus,
+        check_parity=not args.no_parity,
+    )
+    code = serve_exit_code(report)
+    payload = report.to_json()
+    payload["exit_code"] = code
+    payload["exit_meaning"] = exit_meaning(code)
+    if args.report:
+        Path(args.report).write_text(
+            json.dumps(payload, indent=2, sort_keys=True)
+        )
+    if args.json:
+        from .. import api
+
+        payload["schema_version"] = api.JSON_SCHEMA_VERSION
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return code
+    print(
+        f"serve: {report.jobs_finished}/{report.jobs_submitted} jobs in "
+        f"{report.elapsed_seconds:.2f}s = {report.jobs_per_second:.1f} jobs/s "
+        f"(workers={config.workers}, "
+        f"{'processes' if config.use_processes else 'threads'})"
+    )
+    print(
+        f"ttfr: p50={_fmt_seconds(report.ttfr_p50)} "
+        f"p99={_fmt_seconds(report.ttfr_p99)} over "
+        f"{len(report.ttfr_seconds)} racy job(s)"
+    )
+    print(
+        f"cache: {report.cache_hits} cross-job hit(s); "
+        f"steals: {report.shard_steals}; "
+        f"rejected: {report.rejected_quota} quota, "
+        f"{report.rejected_backpressure} backpressure"
+    )
+    for flavor, counts in sorted(report.flavors.items()):
+        print(
+            f"  {flavor}: {counts['finished']} job(s), "
+            f"{counts['races']} race report(s)"
+        )
+    if not args.no_parity:
+        verdict = "byte-identical" if report.parity_ok else "MISMATCH"
+        print(
+            f"parity vs single-shot analyze: {verdict} "
+            f"({report.parity_checked} job(s) checked)"
+        )
+    if report.jobs_failed:
+        print(f"failed jobs: {report.jobs_failed}")
+    return code

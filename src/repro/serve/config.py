@@ -1,0 +1,75 @@
+"""Configuration of the fleet-scale analysis service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..offline.options import AnalysisOptions
+
+
+@dataclass(slots=True)
+class TenantQuota:
+    """Admission limits applied per tenant id.
+
+    ``max_pending`` bounds jobs admitted but not yet finished (queued or
+    running); ``max_pending_bytes`` bounds the summed trace-log bytes of
+    those jobs (None: unbounded).  Both are checked at submission time —
+    a rejected submission costs the tenant nothing.
+    """
+
+    max_pending: int = 4
+    max_pending_bytes: Optional[int] = None
+
+    def validate(self) -> None:
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if self.max_pending_bytes is not None and self.max_pending_bytes < 1:
+            raise ValueError("max_pending_bytes must be >= 1 or None")
+
+
+@dataclass(slots=True)
+class ServeConfig:
+    """Every knob of the service tier.
+
+    ``workers`` sizes the shard pool; ``use_processes`` selects process
+    workers (real parallelism, the production setting) or in-process
+    thread workers (cheap, deterministic — what the unit tests use).
+    ``shard_pairs`` is the scheduling grain: each job's concurrent-pair
+    plan is cut into shards of at most this many pairs, and more shards
+    than workers is what gives the work stealing room to balance load.
+    ``cache_dir`` roots the *shared cross-job* result cache; None lets
+    the service own a temporary one for its lifetime.
+    """
+
+    workers: int = 2
+    use_processes: bool = True
+    queue_capacity: int = 16
+    quota: TenantQuota = field(default_factory=TenantQuota)
+    shard_pairs: int = 32
+    #: Shared content-hashed tree/verdict cache across all jobs and
+    #: tenants (identical shards are computed once fleet-wide).
+    result_cache: bool = True
+    cache_dir: Optional[str] = None
+    #: Transient shard I/O failures get this many extra attempts.
+    shard_retries: int = 2
+    shard_backoff_seconds: float = 0.01
+    #: Baseline analysis options applied to every job (fastpath knobs,
+    #: chunking); per-job integrity mode is set at submission.
+    options: AnalysisOptions = field(default_factory=AnalysisOptions)
+
+    def shared_cache_dir(self) -> Optional[str]:
+        """The cross-job cache root, or None when result caching is off."""
+        return self.cache_dir if self.result_cache else None
+
+    def validate(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.shard_pairs < 1:
+            raise ValueError("shard_pairs must be >= 1")
+        if self.shard_retries < 0:
+            raise ValueError("shard_retries must be >= 0")
+        self.quota.validate()
+        self.options.validate()

@@ -1,0 +1,58 @@
+"""Errors of the analysis service tier.
+
+All derive from :class:`~repro.common.errors.ReproError` so callers can
+catch service failures without masking programming errors.  Admission
+failures (:class:`QuotaExceededError`, :class:`BackpressureError`) are
+*expected* under load — the load generator counts them instead of dying.
+"""
+
+from __future__ import annotations
+
+from ..common.errors import ReproError
+
+
+class ServeError(ReproError):
+    """Base class for analysis-service failures."""
+
+
+class QuotaExceededError(ServeError):
+    """A tenant hit its admission quota (pending jobs or bytes in flight)."""
+
+    def __init__(self, tenant: str, reason: str) -> None:
+        super().__init__(f"tenant {tenant!r}: {reason}")
+        self.tenant = tenant
+        self.reason = reason
+
+
+class BackpressureError(ServeError):
+    """The ingestion queue is full and the submission did not block."""
+
+    def __init__(self, depth: int, capacity: int) -> None:
+        super().__init__(
+            f"ingestion queue full ({depth}/{capacity} jobs); "
+            f"retry later or submit with block=True"
+        )
+        self.depth = depth
+        self.capacity = capacity
+
+
+class JobNotFoundError(ServeError):
+    """An unknown job id was passed to status/result/cancel."""
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"unknown job {job_id!r}")
+        self.job_id = job_id
+
+
+class JobFailedError(ServeError):
+    """``result()`` was called on a job that failed or was cancelled."""
+
+    def __init__(self, job_id: str, state: str, error: str) -> None:
+        super().__init__(f"job {job_id} {state}: {error or 'no detail'}")
+        self.job_id = job_id
+        self.state = state
+        self.error = error
+
+
+class ServiceClosedError(ServeError):
+    """The service is shut down and no longer accepts submissions."""

@@ -1,0 +1,146 @@
+"""Job records: one submitted trace directory through its lifecycle.
+
+States move strictly forward::
+
+    QUEUED -> PLANNING -> RUNNING -> DONE | FAILED | CANCELLED
+
+Admission attaches a :class:`TriageInfo` — a cheap, metadata-only
+costing of the trace (bytes, threads, meta rows) read without inflating
+a single frame, in the spirit of running admission control on compressed
+traces: the queue can reject or prioritise without paying decompression.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from ..offline.engine import AnalysisResult, AnalysisStats
+from ..offline.report import RaceSet
+
+QUEUED = "queued"
+PLANNING = "planning"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a job can still leave.
+ACTIVE_STATES = (QUEUED, PLANNING, RUNNING)
+#: States a job never leaves.
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+
+@dataclass(frozen=True, slots=True)
+class TriageInfo:
+    """Admission-time costing from trace metadata only (no frame decode)."""
+
+    log_bytes: int
+    threads: int
+    meta_rows: int
+
+    def to_json(self) -> dict:
+        return {
+            "log_bytes": self.log_bytes,
+            "threads": self.threads,
+            "meta_rows": self.meta_rows,
+        }
+
+
+def triage_trace(trace_dir: str | Path) -> TriageInfo:
+    """Cost a trace directory from file sizes and meta-row counts.
+
+    Never opens a log frame: sizes come from ``stat`` and the row count
+    from the (tiny, line-oriented) meta files.  Tolerant of damage — a
+    salvage submission must still be admittable — so unreadable pieces
+    simply count as zero.
+    """
+    trace_dir = Path(trace_dir)
+    log_bytes = 0
+    threads = 0
+    meta_rows = 0
+    for log in sorted(trace_dir.glob("thread_*.log")):
+        threads += 1
+        try:
+            log_bytes += log.stat().st_size
+        except OSError:
+            pass
+        meta = log.with_suffix(".meta")
+        try:
+            with open(meta, "r", errors="replace") as fh:
+                meta_rows += sum(1 for line in fh if line.strip())
+        except OSError:
+            pass
+    return TriageInfo(log_bytes=log_bytes, threads=threads, meta_rows=meta_rows)
+
+
+@dataclass(slots=True)
+class JobRecord:
+    """One submission's full state, shared between queue/scheduler/pool.
+
+    Mutable fields are guarded by ``lock`` (the scheduler's shard-merge
+    callbacks run on pool worker threads).  ``done`` fires exactly once,
+    on entry to a terminal state.
+    """
+
+    job_id: str
+    tenant: str
+    trace_path: Path
+    integrity: str
+    triage: TriageInfo
+    submitted_at: float = field(default_factory=time.perf_counter)
+    state: str = QUEUED
+    error: str = ""
+    cancelled: bool = False
+    races: RaceSet = field(default_factory=RaceSet)
+    stats: AnalysisStats = field(default_factory=AnalysisStats)
+    integrity_report: Optional[dict] = None
+    shards_total: int = 0
+    shards_done: int = 0
+    #: Seconds from submission to the first race merged at the
+    #: coordinator (the service-level TTFR; None when the job is clean).
+    ttfr_seconds: Optional[float] = None
+    finished_at: Optional[float] = None
+    cache_hits: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    done: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        end = self.finished_at if self.finished_at is not None else time.perf_counter()
+        return end - self.submitted_at
+
+    def result(self) -> AnalysisResult:
+        """The merged analysis result (meaningful once ``state == DONE``)."""
+        from ..sword.integrity import IntegrityReport
+
+        integrity = (
+            IntegrityReport.from_json(self.integrity_report)
+            if self.integrity_report is not None
+            else None
+        )
+        return AnalysisResult(
+            races=self.races, stats=self.stats, integrity=integrity
+        )
+
+    def status(self) -> dict:
+        """Machine-readable snapshot (the ``Service.status`` payload)."""
+        with self.lock:
+            return {
+                "job_id": self.job_id,
+                "tenant": self.tenant,
+                "trace": str(self.trace_path),
+                "integrity": self.integrity,
+                "state": self.state,
+                "error": self.error,
+                "races": len(self.races),
+                "shards_total": self.shards_total,
+                "shards_done": self.shards_done,
+                "ttfr_seconds": self.ttfr_seconds,
+                "elapsed_seconds": self.elapsed_seconds,
+                "cache_hits": self.cache_hits,
+                "triage": self.triage.to_json(),
+            }

@@ -1,0 +1,191 @@
+"""The shard worker pool with work stealing.
+
+``workers`` logical workers each own a deque of shard tasks.  New work is
+dealt round-robin; a worker drains its own deque from the front and, when
+empty, *steals from the back* of the longest other deque — the classic
+stealing discipline: owners take their oldest (locality-warm) work,
+thieves take the newest (least likely to share tree locality with what
+the owner is about to run), and load imbalance self-corrects without a
+central rebalancer.
+
+Execution is either in-process (thread workers — deterministic, cheap,
+what the unit tests use) or shipped to a ``ProcessPoolExecutor`` slot
+(real parallelism for production shards; each logical worker keeps at
+most one process task in flight, so stealing decisions always act on
+the true remaining backlog).
+
+Transient I/O failures during shard execution retry under the service's
+one :class:`~repro.serve.retry.RetryPolicy`; anything that still fails
+is reported to the task's callback, never raised on a pool thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..obs import Instrumentation, SECONDS_BUCKETS, get_obs
+from .retry import RetryPolicy
+from .shards import ShardSpec
+from .workers import ShardOutcome, run_shard
+
+
+@dataclass(slots=True)
+class ShardTask:
+    """One queued shard plus its completion plumbing.
+
+    ``on_done(outcome, error)`` is called exactly once — with an
+    outcome, or with the error that exhausted the retry policy, or with
+    ``(None, None)`` when the task was skipped because ``cancelled()``
+    turned true before execution.
+    """
+
+    spec: ShardSpec
+    on_done: Callable[[Optional[ShardOutcome], Optional[BaseException]], None]
+    cancelled: Callable[[], bool] = field(default=lambda: False)
+
+
+class WorkStealingPool:
+    """Fixed set of logical workers over deques with back-steals."""
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        use_processes: bool = True,
+        retry: RetryPolicy | None = None,
+        obs: Optional[Instrumentation] = None,
+    ) -> None:
+        self.workers = max(1, workers)
+        self.use_processes = use_processes
+        self.retry = retry or RetryPolicy(retries=0)
+        self.obs = obs or get_obs()
+        self._deques: list[deque[ShardTask]] = [
+            deque() for _ in range(self.workers)
+        ]
+        self._cv = threading.Condition()
+        self._threads: list[threading.Thread] = []
+        self._executor: ProcessPoolExecutor | None = None
+        self._closed = False
+        self._rr = 0
+        self.executed = 0
+        self.skipped = 0
+        self.steals = 0
+        self.retries = 0
+        registry = self.obs.registry
+        self._m_executed = registry.counter(
+            "serve.shards_executed", "shards run to completion"
+        )
+        self._m_steals = registry.counter(
+            "serve.shard_steals", "shards taken from another worker's deque"
+        )
+        self._m_retries = registry.counter(
+            "serve.shard_retries", "shard attempts retried after transient I/O"
+        )
+        self._m_seconds = registry.histogram(
+            "serve.shard_seconds", "per-shard wall time",
+            buckets=SECONDS_BUCKETS,
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "WorkStealingPool":
+        if self._threads:
+            return self
+        if self.use_processes:
+            self._executor = ProcessPoolExecutor(max_workers=self.workers)
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(wid,),
+                name=f"serve-worker-{wid}",
+                daemon=True,
+            )
+            for wid in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+        return self
+
+    def close(self, wait: bool = True) -> None:
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join()
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+            self._executor = None
+
+    @property
+    def backlog(self) -> int:
+        with self._cv:
+            return sum(len(d) for d in self._deques)
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(self, task: ShardTask) -> None:
+        """Deal one shard to the next worker (round-robin)."""
+        with self._cv:
+            self._deques[self._rr % self.workers].append(task)
+            self._rr += 1
+            self._cv.notify_all()
+
+    # -- the worker loop ---------------------------------------------------------
+
+    def _take(self, wid: int) -> Optional[ShardTask]:
+        """Own work from the front, else steal from the longest back."""
+        own = self._deques[wid]
+        if own:
+            return own.popleft()
+        victim = max(
+            (d for i, d in enumerate(self._deques) if i != wid),
+            key=len,
+            default=None,
+        )
+        if victim:
+            self.steals += 1
+            self._m_steals.inc()
+            return victim.pop()
+        return None
+
+    def _execute(self, spec: ShardSpec) -> ShardOutcome:
+        if self._executor is not None:
+            return self._executor.submit(run_shard, spec).result()
+        return run_shard(spec)
+
+    def _count_retry(self) -> None:
+        self.retries += 1
+        self._m_retries.inc()
+
+    def _worker_loop(self, wid: int) -> None:
+        while True:
+            with self._cv:
+                task = self._take(wid)
+                if task is None:
+                    if self._closed:
+                        return
+                    self._cv.wait(timeout=0.05)
+                    continue
+            if task.cancelled():
+                self.skipped += 1
+                task.on_done(None, None)
+                continue
+            t0 = time.perf_counter()
+            try:
+                outcome = self.retry.run(
+                    lambda: self._execute(task.spec),
+                    on_retry=self._count_retry,
+                )
+            except BaseException as exc:  # report, never unwind the pool
+                task.on_done(None, exc)
+                continue
+            self.executed += 1
+            self._m_executed.inc()
+            self._m_seconds.observe(time.perf_counter() - t0)
+            task.on_done(outcome, None)

@@ -1,0 +1,73 @@
+"""Bounded retry with exponential backoff — the service's one retry policy.
+
+Grown out of :class:`~repro.stream.watch.ResilientObserver`, which carried
+its own inlined retry loop; the watch wrapper and the shard scheduler now
+share this policy, so "how the system behaves when I/O flakes" is defined
+in exactly one place: deliver the call, and on a retryable exception back
+off exponentially, run the caller's reset hook (close stale readers,
+recycle a worker), and try again, up to ``retries`` extra attempts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..common.errors import TraceFormatError
+
+#: What transient trace I/O looks like: vanished files, NFS blips, and
+#: half-rotated logs that parse as torn frames until the writer settles.
+TRANSIENT_ERRORS: tuple[type[BaseException], ...] = (OSError, TraceFormatError)
+
+_UNSET = object()
+
+
+@dataclass(slots=True)
+class RetryPolicy:
+    """``retries`` extra attempts with doubling backoff.
+
+    ``backoff_seconds`` is the first delay; attempt *k* (1-based) sleeps
+    ``backoff_seconds * 2**(k-1)``.  ``retry_on`` is the exception tuple
+    that counts as transient; anything else propagates immediately.
+    ``sleep`` is a test seam.
+    """
+
+    retries: int = 3
+    backoff_seconds: float = 0.01
+    retry_on: tuple[type[BaseException], ...] = TRANSIENT_ERRORS
+    sleep: object = field(default=time.sleep, repr=False)
+
+    def run(
+        self,
+        fn,
+        *,
+        on_retry=None,
+        reset=None,
+        fallback=_UNSET,
+    ):
+        """Call ``fn()`` under this policy and return its value.
+
+        Before each retry: ``on_retry()`` is invoked (attempt counting),
+        the backoff sleep happens, then ``reset()`` (stale-handle
+        cleanup).  When every attempt fails: return ``fallback`` if one
+        was given, else re-raise the last transient error.
+        """
+        last: BaseException | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                if on_retry is not None:
+                    on_retry()
+                backoff = self.backoff_seconds * (2 ** (attempt - 1))
+                if backoff > 0:
+                    self.sleep(backoff)
+                if reset is not None:
+                    reset()
+            try:
+                return fn()
+            except self.retry_on as exc:
+                last = exc
+                continue
+        if fallback is not _UNSET:
+            return fallback
+        assert last is not None
+        raise last

@@ -1,0 +1,203 @@
+"""The job scheduler: queue drain, shard fan-out, result merge.
+
+One planner thread pops admitted jobs, decomposes each into shards
+(:func:`~repro.serve.shards.plan_shards`) and deals them to the
+work-stealing pool.  Shard outcomes come back on pool threads and are
+merged under the job's lock; because the race set keeps the canonical
+witness per pc pair regardless of insertion order, the merged result is
+byte-identical to the single-shot serial analysis no matter how shards
+interleave, steal, or retry.
+
+Time-to-first-race is a *service* measurement: the clock starts at
+submission (queue wait included) and stops when the first race lands in
+the merged set — the moment a ``status`` poll would first show it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Optional
+
+from ..obs import Instrumentation, SECONDS_BUCKETS, get_obs
+from ..offline.options import AnalysisOptions
+from .config import ServeConfig
+from .job import CANCELLED, DONE, FAILED, PLANNING, RUNNING, JobRecord
+from .pool import ShardTask, WorkStealingPool
+from .queue import IngestionQueue
+from .shards import SALVAGE, plan_shards
+from .workers import ShardOutcome, merge_stats
+
+
+class JobScheduler:
+    """Drains the ingestion queue into the shard pool and merges results."""
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        queue: IngestionQueue,
+        pool: WorkStealingPool,
+        *,
+        obs: Optional[Instrumentation] = None,
+        on_finish: Optional[Callable[[JobRecord], None]] = None,
+    ) -> None:
+        self.config = config
+        self.queue = queue
+        self.pool = pool
+        self.obs = obs or get_obs()
+        #: Service hook, called once per job on entry to a terminal state.
+        self.on_finish = on_finish
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        registry = self.obs.registry
+        self._m_done = registry.counter(
+            "serve.jobs_done", "jobs reaching a terminal state"
+        )
+        self._m_failed = registry.counter(
+            "serve.jobs_failed", "jobs finishing in the failed state"
+        )
+        self._m_job_seconds = registry.histogram(
+            "serve.job_seconds", "submission-to-terminal wall time",
+            buckets=SECONDS_BUCKETS,
+        )
+        self._m_ttfr = registry.histogram(
+            "serve.ttfr_seconds",
+            "submission to first race merged (racy jobs only)",
+            buckets=SECONDS_BUCKETS,
+        )
+        self._m_cache = registry.counter(
+            "serve.cross_job_cache_hits",
+            "persistent-cache hits served to shards (cross-job reuse)",
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "JobScheduler":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="serve-scheduler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def close(self, wait: bool = True) -> None:
+        self._stop.set()
+        if wait and self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    # -- planning ----------------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            job = self.queue.get(timeout=0.05)
+            if job is None:
+                continue
+            try:
+                self._schedule(job)
+            except Exception as exc:
+                with job.lock:
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    job.state = FAILED
+                self._finalize(job)
+
+    def _job_options(self, job: JobRecord) -> AnalysisOptions:
+        options = self.config.options.copy()
+        options.integrity = job.integrity
+        return options
+
+    def _schedule(self, job: JobRecord) -> None:
+        with job.lock:
+            if job.cancelled:
+                job.state = CANCELLED
+                self._finalize(job)
+                return
+            job.state = PLANNING
+        t0 = time.perf_counter()
+        plan = plan_shards(
+            job.trace_path,
+            job_id=job.job_id,
+            options=self._job_options(job),
+            shard_pairs=self.config.shard_pairs,
+            min_shards=self.pool.workers,
+            cache_dir=self.config.shared_cache_dir(),
+        )
+        plan_seconds = time.perf_counter() - t0
+        with job.lock:
+            job.stats.intervals = plan.intervals
+            job.stats.concurrent_pairs = plan.concurrent_pairs
+            job.stats.plan_seconds = plan_seconds
+            job.shards_total = len(plan.shards)
+            job.state = RUNNING
+            if not plan.shards:  # empty trace: trivially clean
+                job.state = DONE
+                self._finalize(job)
+                return
+        for spec in plan.shards:
+            self.pool.submit(
+                ShardTask(
+                    spec=spec,
+                    on_done=lambda outcome, error, _job=job: self._on_shard(
+                        _job, outcome, error
+                    ),
+                    cancelled=lambda _job=job: _job.cancelled,
+                )
+            )
+
+    # -- merging (runs on pool worker threads) -----------------------------------
+
+    def _merge(self, job: JobRecord, outcome: ShardOutcome) -> None:
+        """Fold one shard into the job; caller holds ``job.lock``."""
+        first = len(job.races) == 0
+        for report in outcome.reports():
+            job.races.add(report)
+        if first and len(job.races) and job.ttfr_seconds is None:
+            job.ttfr_seconds = time.perf_counter() - job.submitted_at
+        if outcome.integrity is not None:  # the (sole) salvage shard
+            job.integrity_report = outcome.integrity
+            job.stats = outcome.stats
+        else:
+            merge_stats(job.stats, outcome.stats)
+        if outcome.cache_hits:
+            job.cache_hits += outcome.cache_hits
+            self._m_cache.inc(outcome.cache_hits)
+
+    def _on_shard(
+        self,
+        job: JobRecord,
+        outcome: Optional[ShardOutcome],
+        error: Optional[BaseException],
+    ) -> None:
+        finished = False
+        with job.lock:
+            job.shards_done += 1
+            if error is not None and not job.error:
+                job.error = f"{type(error).__name__}: {error}"
+            if outcome is not None:
+                self._merge(job, outcome)
+            if job.shards_done >= job.shards_total:
+                job.stats.races_found = len(job.races)
+                if job.error:
+                    job.state = FAILED
+                elif job.cancelled:
+                    job.state = CANCELLED
+                else:
+                    job.state = DONE
+                finished = True
+        if finished:
+            self._finalize(job)
+
+    # -- completion --------------------------------------------------------------
+
+    def _finalize(self, job: JobRecord) -> None:
+        job.finished_at = time.perf_counter()
+        self.queue.release(job)
+        self._m_done.inc()
+        if job.state == FAILED:
+            self._m_failed.inc()
+        self._m_job_seconds.observe(job.elapsed_seconds)
+        if job.ttfr_seconds is not None:
+            self._m_ttfr.observe(job.ttfr_seconds)
+        if self.on_finish is not None:
+            self.on_finish(job)
+        job.done.set()

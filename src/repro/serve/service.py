@@ -1,0 +1,257 @@
+"""The service facade: submit / status / result / cancel.
+
+:class:`Service` wires the ingestion queue, the job scheduler, and the
+work-stealing shard pool into one long-lived object — the in-process
+form of the fleet analysis tier.  Many producers submit trace
+directories concurrently; each gets a job id back immediately (or an
+admission error), polls ``status``, and collects the merged
+:class:`~repro.offline.engine.AnalysisResult` with ``result``.
+
+The cross-job result cache is shared by construction: every shard of
+every job runs against one content-hashed cache root, so identical
+traces submitted by different tenants are analyzed once.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+from ..obs import Instrumentation, get_obs
+from ..offline.engine import AnalysisResult
+from .config import ServeConfig
+from .errors import JobFailedError, JobNotFoundError, ServiceClosedError
+from .job import (
+    ACTIVE_STATES,
+    CANCELLED,
+    DONE,
+    FAILED,
+    JobRecord,
+    triage_trace,
+)
+from .pool import WorkStealingPool
+from .queue import IngestionQueue
+from .retry import RetryPolicy
+from .scheduler import JobScheduler
+
+INTEGRITY_MODES = ("strict", "salvage")
+
+
+def percentile(values: list[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile; None on empty input."""
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(1, int(len(ordered) * q + 0.9999999))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class Service:
+    """The fleet analysis service (see module docstring)."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        *,
+        obs: Optional[Instrumentation] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.config.validate()
+        self.obs = obs or get_obs()
+        self._own_cache_dir: Optional[str] = None
+        if self.config.result_cache and self.config.cache_dir is None:
+            self._own_cache_dir = tempfile.mkdtemp(prefix="repro-serve-cache-")
+            self.config.cache_dir = self._own_cache_dir
+        self.queue = IngestionQueue(self.config, obs=self.obs)
+        self.pool = WorkStealingPool(
+            self.config.workers,
+            use_processes=self.config.use_processes,
+            retry=RetryPolicy(
+                retries=self.config.shard_retries,
+                backoff_seconds=self.config.shard_backoff_seconds,
+            ),
+            obs=self.obs,
+        )
+        self.scheduler = JobScheduler(
+            self.config,
+            self.queue,
+            self.pool,
+            obs=self.obs,
+            on_finish=self._on_finish,
+        )
+        self._jobs: dict[str, JobRecord] = {}
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._started_at = time.perf_counter()
+        self._finished = 0
+        self._failed = 0
+        self._ttfrs: list[float] = []
+        self._closed = False
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "Service":
+        if not self._started:
+            self._started = True
+            self._started_at = time.perf_counter()
+            self.pool.start()
+            self.scheduler.start()
+        return self
+
+    def close(self, drain: bool = True) -> None:
+        """Shut down: stop admissions, optionally drain in-flight jobs."""
+        if self._closed:
+            return
+        self._closed = True
+        self.queue.close()
+        if drain:
+            with self._lock:
+                active = [
+                    job
+                    for job in self._jobs.values()
+                    if job.state in ACTIVE_STATES
+                ]
+            for job in active:
+                job.done.wait(timeout=60.0)
+        self.scheduler.close()
+        self.pool.close()
+        if self._own_cache_dir is not None:
+            shutil.rmtree(self._own_cache_dir, ignore_errors=True)
+            self._own_cache_dir = None
+
+    def __enter__(self) -> "Service":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- submission --------------------------------------------------------------
+
+    def submit(
+        self,
+        trace: Union[str, os.PathLike],
+        *,
+        tenant: str = "default",
+        integrity: str = "strict",
+        block: bool = False,
+        timeout: Optional[float] = None,
+    ) -> str:
+        """Submit one trace directory; returns the job id.
+
+        Raises :class:`~repro.serve.errors.QuotaExceededError` or
+        :class:`~repro.serve.errors.BackpressureError` when admission
+        fails (with ``block=True``, backpressure waits up to ``timeout``
+        instead).  ``integrity="salvage"`` requests damage-tolerant
+        analysis of a torn trace.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is shut down")
+        if integrity not in INTEGRITY_MODES:
+            raise ValueError(
+                f"unknown integrity mode {integrity!r}; "
+                f"expected one of {INTEGRITY_MODES}"
+            )
+        trace_path = Path(trace)
+        triage = triage_trace(trace_path)
+        with self._lock:
+            self._seq += 1
+            job_id = f"job-{self._seq:06d}"
+        job = JobRecord(
+            job_id=job_id,
+            tenant=tenant,
+            trace_path=trace_path,
+            integrity=integrity,
+            triage=triage,
+        )
+        self.queue.submit(job, block=block, timeout=timeout)
+        with self._lock:
+            self._jobs[job_id] = job
+        return job_id
+
+    # -- inspection --------------------------------------------------------------
+
+    def _job(self, job_id: str) -> JobRecord:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(job_id)
+        return job
+
+    def status(self, job_id: str) -> dict:
+        return self._job(job_id).status()
+
+    def result(
+        self, job_id: str, *, timeout: Optional[float] = None
+    ) -> AnalysisResult:
+        """Block until the job is terminal and return the merged result.
+
+        Raises :class:`~repro.serve.errors.JobFailedError` for failed or
+        cancelled jobs and :class:`TimeoutError` when ``timeout``
+        elapses first.
+        """
+        job = self._job(job_id)
+        if not job.done.wait(timeout=timeout):
+            raise TimeoutError(
+                f"job {job_id} still {job.state!r} after {timeout}s"
+            )
+        if job.state != DONE:
+            raise JobFailedError(job_id, job.state, job.error)
+        return job.result()
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation; True when the job was still active.
+
+        Queued jobs are dropped at scheduling time; running jobs stop
+        dispatching new shards (shards already executing finish, their
+        results are discarded with the job).
+        """
+        job = self._job(job_id)
+        with job.lock:
+            if job.state not in ACTIVE_STATES:
+                return False
+            job.cancelled = True
+        return True
+
+    def jobs(self) -> list[dict]:
+        """Status snapshots of every job this service has seen."""
+        with self._lock:
+            records = list(self._jobs.values())
+        return [job.status() for job in records]
+
+    def stats(self) -> dict:
+        """Service-level throughput counters (the ``serve stats`` view)."""
+        with self._lock:
+            finished = self._finished
+            failed = self._failed
+            ttfrs = list(self._ttfrs)
+        elapsed = time.perf_counter() - self._started_at
+        return {
+            "jobs_submitted": self._seq,
+            "jobs_finished": finished,
+            "jobs_failed": failed,
+            "jobs_per_second": (finished / elapsed) if elapsed > 0 else 0.0,
+            "queue_depth": self.queue.depth,
+            "pool_backlog": self.pool.backlog,
+            "shards_executed": self.pool.executed,
+            "shard_steals": self.pool.steals,
+            "shard_retries": self.pool.retries,
+            "ttfr_p50_seconds": percentile(ttfrs, 0.50),
+            "ttfr_p99_seconds": percentile(ttfrs, 0.99),
+            "elapsed_seconds": elapsed,
+        }
+
+    # -- scheduler hook ----------------------------------------------------------
+
+    def _on_finish(self, job: JobRecord) -> None:
+        with self._lock:
+            self._finished += 1
+            if job.state in (FAILED, CANCELLED):
+                self._failed += job.state == FAILED
+            if job.ttfr_seconds is not None:
+                self._ttfrs.append(job.ttfr_seconds)

@@ -1,0 +1,136 @@
+"""Job decomposition: one trace into picklable pair shards.
+
+A *shard* is the scheduling unit of the service: a contiguous run of the
+job's concurrent (thread, barrier-interval) pair plan, small enough that
+many shards exist per job (work stealing needs slack) and large enough
+that one shard amortises its worker's tree builds — consecutive pairs in
+the plan share intervals, so contiguous slicing keeps each worker's tree
+cache hot.
+
+Salvage jobs are planned as a single ``salvage`` shard: recovering a
+damaged trace threads an integrity ledger through planning and pair
+analysis, which is exactly the serial driver's job — the scheduler just
+runs it on a worker like any other shard.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..offline.intervals import IntervalInventory, IntervalKey
+from ..offline.options import AnalysisOptions, FastPathOptions
+from ..sword.reader import TraceDir
+
+#: Shard kinds.
+PAIRS = "pairs"
+SALVAGE = "salvage"
+
+
+@dataclass(frozen=True, slots=True)
+class ShardSpec:
+    """One worker task (picklable: travels to process workers)."""
+
+    job_id: str
+    index: int
+    trace_path: str
+    kind: str = PAIRS
+    pair_keys: tuple[tuple[IntervalKey, IntervalKey], ...] = ()
+    chunk_events: int = 65536
+    use_ilp_crosscheck: bool = False
+    fastpath: Optional[FastPathOptions] = None
+
+    @property
+    def npairs(self) -> int:
+        return len(self.pair_keys)
+
+
+@dataclass(slots=True)
+class ShardPlan:
+    """A job's decomposition plus the planner-side statistics."""
+
+    shards: list[ShardSpec] = field(default_factory=list)
+    intervals: int = 0
+    concurrent_pairs: int = 0
+
+
+def shard_fastpath(
+    base: FastPathOptions, cache_dir: Optional[str]
+) -> FastPathOptions:
+    """The fast-path options shards run with.
+
+    With a shared ``cache_dir`` the persistent result cache is forced on:
+    tokens are content hashes of the trace bytes, so identical shards —
+    across jobs, tenants, and resubmissions — are computed once
+    fleet-wide and replayed everywhere else.
+    """
+    if cache_dir is None:
+        return base
+    return FastPathOptions(
+        enabled=base.enabled,
+        digest_pruning=base.digest_pruning,
+        solver_memo=base.solver_memo,
+        solver_memo_capacity=base.solver_memo_capacity,
+        result_cache=base.enabled,
+        cache_dir=cache_dir,
+    )
+
+
+def plan_shards(
+    trace: TraceDir | str | os.PathLike,
+    *,
+    job_id: str = "",
+    options: AnalysisOptions | None = None,
+    shard_pairs: int = 32,
+    min_shards: int = 1,
+    cache_dir: Optional[str] = None,
+) -> ShardPlan:
+    """Plan one job: enumerate concurrent pairs, slice into shards.
+
+    ``shard_pairs`` caps the shard grain; ``min_shards`` shrinks the
+    grain further when the plan would otherwise produce fewer shards
+    than the caller has workers to feed (small jobs still fan out).
+
+    ``integrity="salvage"`` (on ``options``) short-circuits to a single
+    salvage shard — the worker runs the full serial salvage analysis.
+    """
+    options = options or AnalysisOptions()
+    if not isinstance(trace, TraceDir):
+        trace = TraceDir(trace, integrity=options.integrity)
+    fastpath = shard_fastpath(options.fastpath, cache_dir)
+    plan = ShardPlan()
+    if options.integrity == "salvage":
+        plan.shards.append(
+            ShardSpec(
+                job_id=job_id,
+                index=0,
+                trace_path=str(trace.path),
+                kind=SALVAGE,
+                chunk_events=options.chunk_events,
+                use_ilp_crosscheck=options.use_ilp_crosscheck,
+                fastpath=fastpath,
+            )
+        )
+        return plan
+    inventory = IntervalInventory(trace)
+    pairs = [(a.key, b.key) for a, b in inventory.concurrent_pairs()]
+    plan.intervals = len(inventory)
+    plan.concurrent_pairs = len(pairs)
+    if pairs and min_shards > 1:
+        shard_pairs = min(shard_pairs, -(-len(pairs) // min_shards))
+    shard_pairs = max(1, shard_pairs)
+    for index, lo in enumerate(range(0, len(pairs), shard_pairs)):
+        plan.shards.append(
+            ShardSpec(
+                job_id=job_id,
+                index=index,
+                trace_path=str(trace.path),
+                kind=PAIRS,
+                pair_keys=tuple(pairs[lo : lo + shard_pairs]),
+                chunk_events=options.chunk_events,
+                use_ilp_crosscheck=options.use_ilp_crosscheck,
+                fastpath=fastpath,
+            )
+        )
+    return plan

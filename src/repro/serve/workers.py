@@ -1,0 +1,129 @@
+"""Shard execution: the one worker entry point for every parallel path.
+
+:func:`run_shard` is what both the service pool and the distributed
+post-mortem analyzer (:class:`~repro.offline.parallel.
+DistributedOfflineAnalyzer`) execute — there is exactly one way a pair
+shard is analyzed, so the byte-identical-races guarantee is proven once.
+
+Workers are stateless: each opens the trace directory itself (like a
+remote node reading a shared filesystem), drives the shared
+:class:`~repro.offline.engine.AnalysisEngine` over its pair keys, and
+ships races back as plain tuples — no tree or engine pickling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..offline.engine import AnalysisEngine, AnalysisStats
+from ..offline.intervals import IntervalInventory
+from ..offline.options import AnalysisOptions, FastPathOptions
+from ..offline.report import RaceReport, RaceSet
+from ..sword.reader import TraceDir
+from .shards import SALVAGE, ShardSpec
+
+
+@dataclass(slots=True)
+class ShardOutcome:
+    """What one shard sends back to the coordinator (picklable)."""
+
+    job_id: str
+    index: int
+    #: RaceReport field tuples (frozen dataclass of ints/bools).
+    rows: list[tuple] = field(default_factory=list)
+    stats: AnalysisStats = field(default_factory=AnalysisStats)
+    #: Salvage shards attach the IntegrityReport JSON; pair shards None.
+    integrity: Optional[dict] = None
+    #: Persistent-cache hits this shard served (tree + pair verdicts) —
+    #: the coordinator's cross-job reuse signal.
+    cache_hits: int = 0
+
+    def reports(self) -> Iterable[RaceReport]:
+        return (RaceReport(*row) for row in self.rows)
+
+
+def race_rows(races: RaceSet) -> list[tuple]:
+    """Flatten a race set to picklable field tuples."""
+    return [
+        (
+            r.pc_a, r.pc_b, r.address, r.write_a, r.write_b,
+            r.gid_a, r.gid_b, r.pid_a, r.pid_b, r.bid_a, r.bid_b,
+        )
+        for r in races
+    ]
+
+
+def shard_options(spec: ShardSpec) -> AnalysisOptions:
+    return AnalysisOptions(
+        chunk_events=spec.chunk_events,
+        use_ilp_crosscheck=spec.use_ilp_crosscheck,
+        fastpath=spec.fastpath or FastPathOptions(),
+        integrity="salvage" if spec.kind == SALVAGE else "strict",
+    )
+
+
+def run_shard(spec: ShardSpec) -> ShardOutcome:
+    """Execute one shard in the current process.
+
+    Pair shards compare their assigned interval pairs through an engine
+    whose readers are closed via the context manager even on error
+    (long-lived pools must not leak per-thread log descriptors).
+    Salvage shards run the full serial salvage analysis and carry the
+    integrity ledger home.
+    """
+    options = shard_options(spec)
+    outcome = ShardOutcome(job_id=spec.job_id, index=spec.index)
+    if spec.kind == SALVAGE:
+        from ..offline.analyzer import SerialOfflineAnalyzer
+
+        analysis = SerialOfflineAnalyzer(
+            TraceDir(spec.trace_path, integrity="salvage"), options=options
+        ).analyze()
+        outcome.rows = race_rows(analysis.races)
+        outcome.stats = analysis.stats
+        outcome.integrity = (
+            analysis.integrity.to_json()
+            if analysis.integrity is not None
+            else None
+        )
+        outcome.cache_hits = (
+            analysis.stats.pair_cache_hits + analysis.stats.tree_cache_disk_hits
+        )
+        return outcome
+    trace = TraceDir(spec.trace_path)
+    races = RaceSet()
+    with AnalysisEngine(trace, options=options) as engine:
+        inventory = IntervalInventory(trace)
+        for key_a, key_b in spec.pair_keys:
+            engine.analyze_pair(
+                inventory.intervals[key_a], inventory.intervals[key_b], races
+            )
+        outcome.stats = engine.stats
+    outcome.rows = race_rows(races)
+    outcome.cache_hits = (
+        outcome.stats.pair_cache_hits + outcome.stats.tree_cache_disk_hits
+    )
+    return outcome
+
+
+def merge_stats(total: AnalysisStats, part: AnalysisStats) -> None:
+    """Fold one shard's stats into the job total.
+
+    Counters sum; phase seconds take the max (shards run concurrently,
+    so the max models the critical path, exactly as the distributed
+    analyzer always reported them).
+    """
+    total.trees_built += part.trees_built
+    total.bulk_tree_builds += part.bulk_tree_builds
+    total.tree_nodes += part.tree_nodes
+    total.events_read += part.events_read
+    total.overlap_candidates += part.overlap_candidates
+    total.ilp_solves += part.ilp_solves
+    total.pairs_pruned += part.pairs_pruned
+    total.solver_memo_hits += part.solver_memo_hits
+    total.solver_memo_misses += part.solver_memo_misses
+    total.pair_cache_hits += part.pair_cache_hits
+    total.tree_cache_disk_hits += part.tree_cache_disk_hits
+    total.build_seconds = max(total.build_seconds, part.build_seconds)
+    total.compare_seconds = max(total.compare_seconds, part.compare_seconds)

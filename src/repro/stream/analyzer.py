@@ -20,10 +20,10 @@ same observer — checkpointed pairs are skipped, the rest are analyzed.
 from __future__ import annotations
 
 import time
-import warnings
 from pathlib import Path
 
 from ..common.config import OfflineConfig
+from ..common.deprecation import warn_once
 from ..obs import Instrumentation, get_obs
 from ..offline.engine import AnalysisEngine, AnalysisResult, AnalysisStats
 from ..offline.intervals import IntervalData
@@ -249,12 +249,11 @@ class StreamingAnalyzer(StreamAnalyzer):
     ``repro.api.analyze(trace, mode="streaming")`` instead."""
 
     def __init__(self, *args, **kwargs) -> None:
-        warnings.warn(
+        warn_once(
+            "StreamingAnalyzer",
             "StreamingAnalyzer is deprecated; use repro.api.Session / "
             "repro.api.analyze(trace, mode='streaming') "
             "(or repro.stream.StreamAnalyzer)",
-            DeprecationWarning,
-            stacklevel=2,
         )
         super().__init__(*args, **kwargs)
 

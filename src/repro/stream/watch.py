@@ -85,12 +85,13 @@ class ResilientObserver(TraceObserver):
     *into the application's flush path* and kills the run — the exact
     outcome watch mode exists to avoid.
 
-    This wrapper delivers each notification with bounded retry and
-    exponential backoff, closing the inner analyzer's readers between
-    attempts so stale handles on vanished files are reopened.  Every
-    retry round counts on the ``watch.reconnects`` metric; if retries
-    exhaust, the notification is dropped (the analysis under-reports,
-    the application lives).
+    This wrapper delivers each notification under the service-wide
+    :class:`~repro.serve.retry.RetryPolicy` (bounded retry, exponential
+    backoff), closing the inner analyzer's readers between attempts so
+    stale handles on vanished files are reopened.  Every retry round
+    counts on the ``watch.reconnects`` metric; if retries exhaust, the
+    notification is dropped (the analysis under-reports, the
+    application lives).
     """
 
     def __init__(
@@ -121,23 +122,29 @@ class ResilientObserver(TraceObserver):
             except Exception:
                 pass
 
-    def _deliver(self, method: str, *args) -> None:
-        from ..common.errors import TraceFormatError
+    def _count_reconnect(self) -> None:
+        self.reconnects += 1
+        self._m_reconnects.inc()
 
-        for attempt in range(self.retries + 1):
-            if attempt:
-                self.reconnects += 1
-                self._m_reconnects.inc()
-                backoff = self.backoff_seconds * (2 ** (attempt - 1))
-                if backoff > 0:
-                    self._sleep(backoff)
-                self._reset_readers()
-            try:
-                getattr(self.inner, method)(*args)
-                return
-            except (OSError, TraceFormatError):
-                continue
-        self.dropped_notifications += 1
+    def _deliver(self, method: str, *args) -> None:
+        from ..serve.retry import TRANSIENT_ERRORS, RetryPolicy
+
+        # Built per delivery so the knobs (and the `_sleep` test seam)
+        # are read at call time, like the inlined loop this replaced.
+        policy = RetryPolicy(
+            retries=self.retries,
+            backoff_seconds=self.backoff_seconds,
+            sleep=self._sleep,
+        )
+        call = getattr(self.inner, method)
+        try:
+            policy.run(
+                lambda: call(*args),
+                on_retry=self._count_reconnect,
+                reset=self._reset_readers,
+            )
+        except TRANSIENT_ERRORS:
+            self.dropped_notifications += 1
 
     def on_trace_begin(self, producer) -> None:
         self._deliver("on_trace_begin", producer)

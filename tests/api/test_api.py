@@ -6,6 +6,7 @@ from pathlib import Path
 import pytest
 
 import repro.api as api
+from repro.common import deprecation
 from repro.common.config import RunConfig, SchedulerConfig, SwordConfig
 from repro.offline import OfflineAnalyzer, ParallelOfflineAnalyzer, analyze_trace
 from repro.omp import OpenMPRuntime
@@ -171,12 +172,14 @@ def test_tracedir_reader_accepts_pathlike(trace_dir):
 
 
 def test_offline_analyzer_deprecated(trace_dir):
+    deprecation.reset()
     with pytest.warns(DeprecationWarning, match="OfflineAnalyzer is deprecated"):
         analyzer = OfflineAnalyzer(TraceDir(trace_dir))
     assert analyzer.analyze().race_count == 2
 
 
 def test_parallel_analyzer_deprecated(trace_dir):
+    deprecation.reset()
     with pytest.warns(
         DeprecationWarning, match="ParallelOfflineAnalyzer is deprecated"
     ):
@@ -185,6 +188,24 @@ def test_parallel_analyzer_deprecated(trace_dir):
 
 
 def test_streaming_analyzer_deprecated(trace_dir):
+    deprecation.reset()
+    with pytest.warns(
+        DeprecationWarning, match="StreamingAnalyzer is deprecated"
+    ):
+        StreamingAnalyzer(trace_dir)
+
+
+def test_deprecation_warns_once_per_class(trace_dir, recwarn):
+    deprecation.reset()
+    with pytest.warns(DeprecationWarning, match="OfflineAnalyzer is deprecated"):
+        OfflineAnalyzer(TraceDir(trace_dir))
+    recwarn.clear()
+    # Second (and every later) instantiation is silent: old harnesses
+    # construct these in per-workload loops.
+    OfflineAnalyzer(TraceDir(trace_dir))
+    OfflineAnalyzer(TraceDir(trace_dir))
+    assert not [w for w in recwarn if issubclass(w.category, DeprecationWarning)]
+    # Other shims still get their own first warning.
     with pytest.warns(
         DeprecationWarning, match="StreamingAnalyzer is deprecated"
     ):

@@ -2,8 +2,6 @@
 
 import json
 
-import pytest
-
 from repro.__main__ import main
 from repro.api import JSON_SCHEMA_VERSION
 from repro.common.config import RunConfig, SwordConfig
@@ -25,9 +23,15 @@ def test_list_workloads_suite_filter(capsys):
 
 
 def test_check_sword(capsys):
-    assert main(["check", "plusplus-orig-yes", "--threads", "2"]) == 0
+    # Exit 1: races found (0 is reserved for a clean run).
+    assert main(["check", "plusplus-orig-yes", "--threads", "2"]) == 1
     out = capsys.readouterr().out
     assert "races: 2" in out
+
+
+def test_check_clean_exit_code(capsys):
+    assert main(["check", "atomic-orig-no", "--threads", "2"]) == 0
+    assert "races: 0" in capsys.readouterr().out
 
 
 def test_check_baseline(capsys):
@@ -50,9 +54,11 @@ def test_list_workloads_json(capsys):
 
 
 def test_check_json(capsys):
-    assert main(["check", "plusplus-orig-yes", "--threads", "2", "--json"]) == 0
+    assert main(["check", "plusplus-orig-yes", "--threads", "2", "--json"]) == 1
     payload = json.loads(capsys.readouterr().out)
     assert payload["schema_version"] == JSON_SCHEMA_VERSION
+    assert payload["exit_code"] == 1
+    assert payload["exit_meaning"] == "races found"
     assert payload["tool"] == "sword"
     assert len(payload["races"]) == 2
     assert {"pc_a", "pc_b", "address", "description"} <= set(payload["races"][0])
@@ -75,7 +81,7 @@ def test_check_metrics_and_trace_events(tmp_path, capsys):
                 "--trace-events", str(trace_path),
             ]
         )
-        == 0
+        == 1
     )
     capsys.readouterr()
     metrics = json.loads(metrics_path.read_text())
@@ -93,7 +99,7 @@ def test_check_metrics_prometheus(tmp_path, capsys):
             ["check", "plusplus-orig-yes", "--threads", "2",
              "--metrics", str(prom_path)]
         )
-        == 0
+        == 1
     )
     capsys.readouterr()
     text = prom_path.read_text()
@@ -102,7 +108,7 @@ def test_check_metrics_prometheus(tmp_path, capsys):
 
 
 def test_watch_prints_live_races(capsys):
-    assert main(["watch", "plusplus-orig-yes", "--threads", "2"]) == 0
+    assert main(["watch", "plusplus-orig-yes", "--threads", "2"]) == 1
     out = capsys.readouterr().out
     assert out.count("[live]") == 2
     assert "races: 2" in out
@@ -110,9 +116,10 @@ def test_watch_prints_live_races(capsys):
 
 
 def test_watch_json(capsys):
-    assert main(["watch", "plusplus-orig-yes", "--threads", "2", "--json"]) == 0
+    assert main(["watch", "plusplus-orig-yes", "--threads", "2", "--json"]) == 1
     payload = json.loads(capsys.readouterr().out)
     assert payload["schema_version"] == JSON_SCHEMA_VERSION
+    assert payload["exit_code"] == 1
     assert len(payload["races"]) == 2
     assert payload["time_to_first_race"] is not None
     assert payload["pairs_analyzed"] > 0
@@ -122,7 +129,7 @@ def test_watch_json(capsys):
 
 def test_watch_stats_ticker(capsys):
     assert (
-        main(["watch", "c_md", "--threads", "2", "--stats-every", "0"]) == 0
+        main(["watch", "c_md", "--threads", "2", "--stats-every", "0"]) in (0, 1)
     )
     out = capsys.readouterr().out
     assert "[stats]" in out
@@ -145,21 +152,22 @@ def test_analyze_trace(tmp_path, capsys):
 
     tool = SwordTool(SwordConfig(log_dir=str(trace)))
     OpenMPRuntime(RunConfig(nthreads=2), tool=tool).run(program)
-    assert main(["analyze", str(trace)]) == 0
+    assert main(["analyze", str(trace)]) == 1
     out = capsys.readouterr().out
     assert "races: 1" in out
-    assert main(["analyze", str(trace), "--workers", "2"]) == 0
+    assert main(["analyze", str(trace), "--workers", "2"]) == 1
     capsys.readouterr()
-    assert main(["analyze", str(trace), "--json"]) == 0
+    assert main(["analyze", str(trace), "--json"]) == 1
     payload = json.loads(capsys.readouterr().out)
     assert payload["schema_version"] == JSON_SCHEMA_VERSION
+    assert payload["exit_code"] == 1
     assert len(payload["races"]) == 1
     assert payload["stats"]["intervals"] > 0
     assert payload["metrics"]["counters"]["offline.trees_built"] > 0
     capsys.readouterr()
     events_path = tmp_path / "trace-events.json"
     assert (
-        main(["analyze", str(trace), "--trace-events", str(events_path)]) == 0
+        main(["analyze", str(trace), "--trace-events", str(events_path)]) == 1
     )
     doc = json.loads(events_path.read_text())
     names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
@@ -181,7 +189,7 @@ def test_analyze_modes_and_fastpath_flags(tmp_path, capsys):
 
     payloads = {}
     for mode in ("serial", "parallel", "streaming"):
-        assert main(["analyze", str(trace), "--mode", mode, "--json"]) == 0
+        assert main(["analyze", str(trace), "--mode", mode, "--json"]) == 1
         payloads[mode] = json.loads(capsys.readouterr().out)
     assert (
         payloads["serial"]["races"]
@@ -189,14 +197,14 @@ def test_analyze_modes_and_fastpath_flags(tmp_path, capsys):
         == payloads["streaming"]["races"]
     )
 
-    assert main(["analyze", str(trace), "--no-fastpath", "--json"]) == 0
+    assert main(["analyze", str(trace), "--no-fastpath", "--json"]) == 1
     naive = json.loads(capsys.readouterr().out)
     assert naive["races"] == payloads["serial"]["races"]
 
     # --cache: second run serves pair verdicts from disk, same races.
-    assert main(["analyze", str(trace), "--cache", "--json"]) == 0
+    assert main(["analyze", str(trace), "--cache", "--json"]) == 1
     cold = json.loads(capsys.readouterr().out)
-    assert main(["analyze", str(trace), "--cache", "--json"]) == 0
+    assert main(["analyze", str(trace), "--cache", "--json"]) == 1
     warm = json.loads(capsys.readouterr().out)
     assert warm["races"] == cold["races"] == payloads["serial"]["races"]
     assert warm["metrics"]["counters"]["offline.pair_cache_hits"] > 0
@@ -218,13 +226,14 @@ def test_analyze_salvage_flag(tmp_path, capsys):
     # Tear the tail of one thread log: strict now refuses the trace.
     log = next(trace.glob("thread_*.log"))
     log.write_bytes(log.read_bytes()[:-5])
-    with pytest.raises(Exception):
-        main(["analyze", str(trace)])
-    assert main(["analyze", str(trace), "--salvage"]) == 0
+    # Strict mode refuses the torn trace: uniform error exit, no traceback.
+    assert main(["analyze", str(trace)]) == 2
+    capsys.readouterr()
+    assert main(["analyze", str(trace), "--salvage"]) in (0, 1)
     out = capsys.readouterr().out
     assert "integrity:" in out
     capsys.readouterr()
-    assert main(["analyze", str(trace), "--salvage", "--json"]) == 0
+    assert main(["analyze", str(trace), "--salvage", "--json"]) in (0, 1)
     payload = json.loads(capsys.readouterr().out)
     assert payload["integrity"]["mode"] == "salvage"
     assert payload["integrity"]["races_possibly_missed"] is True
@@ -234,7 +243,7 @@ def test_analyze_salvage_flag(tmp_path, capsys):
 def test_check_salvage_flag(capsys):
     assert main(
         ["check", "plusplus-orig-yes", "--threads", "2", "--salvage", "--json"]
-    ) == 0
+    ) == 1
     payload = json.loads(capsys.readouterr().out)
     assert payload["schema_version"] == JSON_SCHEMA_VERSION
     assert payload["integrity"]["mode"] == "salvage"
@@ -256,7 +265,11 @@ def test_faults_inject_cli(tmp_path, capsys):
     assert plan["seed"] == 7
     assert len(plan["actions"]) == 3
     # The injected trace still analyses in salvage mode (never crashes).
-    assert main(["analyze", str(trace), "--salvage"]) == 0
+    assert main(["analyze", str(trace), "--salvage"]) in (0, 1)
+
+
+def test_faults_inject_bad_dir_exit_code(tmp_path, capsys):
+    assert main(["faults", "inject", str(tmp_path / "nope")]) == 2
 
 
 def test_faults_sweep_cli(tmp_path, capsys):
@@ -270,6 +283,7 @@ def test_faults_sweep_cli(tmp_path, capsys):
     assert "kill-point sweep" in out or "PASS" in out
     artifact = json.loads(out_path.read_text())
     assert artifact["ok"] is True
+    assert artifact["exit_code"] == 0
     assert artifact["points"]
     lossy = [p for p in artifact["points"] if p["kind"] != "clean-end"]
     assert all(p["integrity"] for p in lossy)
