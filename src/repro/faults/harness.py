@@ -23,6 +23,7 @@ from typing import Union
 
 from ..common.config import RunConfig, SchedulerConfig, SwordConfig
 from ..common.errors import TraceFormatError
+from ..obs import get_obs
 from ..omp.runtime import OpenMPRuntime
 from ..sword.logger import SwordTool
 from ..sword.reader import TraceDir
@@ -282,6 +283,7 @@ def kill_sweep(
             clean_races=len(ref_pairs),
         )
         work = root / "work"
+        journal = get_obs().journal
         for point in points:
             _truncate_copy(clean, work, point)
             try:
@@ -296,21 +298,38 @@ def kill_sweep(
                         error=f"{type(exc).__name__}: {exc}",
                     )
                 )
+                journal.record(
+                    "kill-point",
+                    workload=w.name,
+                    target=point.target,
+                    offset=point.offset,
+                    kill_kind=point.kind,
+                    ok=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
                 continue
             pairs = analysis.races.pc_pairs()
-            result.points.append(
-                SweepPointResult(
-                    point=point,
-                    completed=True,
-                    subset_ok=pairs <= ref_pairs,
-                    identical=analysis.races.to_json() == ref_json,
-                    races=len(pairs),
-                    integrity=(
-                        analysis.integrity.to_json()
-                        if analysis.integrity is not None
-                        else {}
-                    ),
-                )
+            outcome = SweepPointResult(
+                point=point,
+                completed=True,
+                subset_ok=pairs <= ref_pairs,
+                identical=analysis.races.to_json() == ref_json,
+                races=len(pairs),
+                integrity=(
+                    analysis.integrity.to_json()
+                    if analysis.integrity is not None
+                    else {}
+                ),
+            )
+            result.points.append(outcome)
+            journal.record(
+                "kill-point",
+                workload=w.name,
+                target=point.target,
+                offset=point.offset,
+                kill_kind=point.kind,
+                ok=outcome.ok,
+                races=len(pairs),
             )
         return result
     finally:

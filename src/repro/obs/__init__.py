@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .export import prometheus_text, stats_line, write_json
+from .journal import NULL_JOURNAL, FlightRecorder, NullJournal
 from .membound import MemoryBoundGauge, MemoryBoundViolation
 from .registry import (
     COUNT_BUCKETS,
@@ -39,7 +40,7 @@ from .registry import (
     MetricsRegistry,
     NullRegistry,
 )
-from .snapshot import run_stats
+from .snapshot import merge_snapshots, run_stats
 from .tracer import NullTracer, PhaseTracer, Span
 
 __all__ = [
@@ -51,6 +52,9 @@ __all__ = [
     "PhaseTracer",
     "NullTracer",
     "Span",
+    "FlightRecorder",
+    "NullJournal",
+    "NULL_JOURNAL",
     "MemoryBoundGauge",
     "MemoryBoundViolation",
     "Instrumentation",
@@ -59,6 +63,7 @@ __all__ = [
     "get_obs",
     "set_obs",
     "run_stats",
+    "merge_snapshots",
     "prometheus_text",
     "stats_line",
     "write_json",
@@ -70,10 +75,16 @@ __all__ = [
 
 @dataclass
 class Instrumentation:
-    """One registry + one tracer, passed together through the pipeline."""
+    """One registry + one tracer + one journal, threaded together.
+
+    The journal (flight recorder) defaults to the shared null twin even
+    in live bundles built directly — :func:`live` opts in, so existing
+    registry-only call sites never pay for event recording.
+    """
 
     registry: MetricsRegistry = field(default_factory=NullRegistry)
     tracer: PhaseTracer | NullTracer = field(default_factory=NullTracer)
+    journal: FlightRecorder | NullJournal = NULL_JOURNAL
 
     @property
     def enabled(self) -> bool:
@@ -90,10 +101,23 @@ NULL_OBS = Instrumentation()
 _ambient: Instrumentation = NULL_OBS
 
 
-def live(namespace: str = "repro") -> Instrumentation:
-    """A fresh enabled bundle (live registry + live tracer)."""
+def live(
+    namespace: str = "repro", *, journal_capacity: int = 4096
+) -> Instrumentation:
+    """A fresh enabled bundle (live registry + tracer + flight recorder).
+
+    ``journal_capacity=0`` keeps the null journal (metrics and spans
+    only) — what per-shard worker bundles use, since their events are
+    journaled by the coordinator.
+    """
     return Instrumentation(
-        registry=MetricsRegistry(namespace), tracer=PhaseTracer()
+        registry=MetricsRegistry(namespace),
+        tracer=PhaseTracer(),
+        journal=(
+            FlightRecorder(journal_capacity)
+            if journal_capacity > 0
+            else NULL_JOURNAL
+        ),
     )
 
 

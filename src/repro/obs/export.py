@@ -5,16 +5,24 @@ Three output shapes, one source of truth (:meth:`MetricsRegistry.snapshot`):
 * :func:`write_json` — the snapshot verbatim (``--metrics <path>`` and the
   ``"metrics"`` key of every ``--json`` report);
 * :func:`prometheus_text` — Prometheus text exposition (cumulative ``le``
-  buckets, ``_total``/``_sum``/``_count`` suffixes) for scrape-style
-  integration;
+  buckets, ``_total``/``_sum``/``_count`` suffixes, label sets carried
+  through, ``_p50``/``_p95``/``_p99`` bucket-resolution percentile lines,
+  and OpenMetrics-style ``# {trace_id="..."}`` exemplars on buckets that
+  have one) for scrape-style integration;
 * :func:`stats_line` — the compact one-line form ``repro watch`` prints
   periodically while a run is in flight.
+
+Snapshot keys may carry a label suffix (``serve.ttfr_seconds{tenant="a"}``,
+see :func:`repro.obs.registry.format_labels`); exporters split it back off
+so labeled series render with proper Prometheus label syntax.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+
+from .registry import SUMMARY_QUANTILES, split_labels
 
 __all__ = ["write_json", "prometheus_text", "stats_line"]
 
@@ -35,28 +43,70 @@ def _fmt(value) -> str:
     return str(value)
 
 
+def _series(prom: str, labels: str, extra: str = "") -> str:
+    """One sample name: base + optional label set + optional extra label.
+
+    ``labels`` is the raw ``{k="v"}`` suffix from the snapshot key (or
+    ""); ``extra`` is an additional ``k="v"`` pair to merge (``le`` for
+    histogram buckets).
+    """
+    if labels and extra:
+        return f"{prom}{{{labels[1:-1]},{extra}}}"
+    if labels:
+        return f"{prom}{labels}"
+    if extra:
+        return f"{prom}{{{extra}}}"
+    return prom
+
+
+def _type_line(lines: list[str], seen: set[str], prom: str, kind: str) -> None:
+    """Emit ``# TYPE`` once per metric family (labeled series share it)."""
+    if prom not in seen:
+        seen.add(prom)
+        lines.append(f"# TYPE {prom} {kind}")
+
+
 def prometheus_text(snapshot: dict, namespace: str = "repro") -> str:
     """Render a snapshot in the Prometheus text exposition format."""
     lines: list[str] = []
-    for name, value in sorted(snapshot.get("counters", {}).items()):
+    seen: set[str] = set()
+    for key, value in sorted(snapshot.get("counters", {}).items()):
+        name, labels = split_labels(key)
         prom = _prom_name(name, namespace) + "_total"
-        lines.append(f"# TYPE {prom} counter")
-        lines.append(f"{prom} {_fmt(value)}")
-    for name, data in sorted(snapshot.get("gauges", {}).items()):
+        _type_line(lines, seen, prom, "counter")
+        lines.append(f"{_series(prom, labels)} {_fmt(value)}")
+    for key, data in sorted(snapshot.get("gauges", {}).items()):
+        name, labels = split_labels(key)
         prom = _prom_name(name, namespace)
-        lines.append(f"# TYPE {prom} gauge")
-        lines.append(f"{prom} {_fmt(data['value'])}")
-        lines.append(f"{prom}_max {_fmt(data['max'])}")
-    for name, data in sorted(snapshot.get("histograms", {}).items()):
+        _type_line(lines, seen, prom, "gauge")
+        lines.append(f"{_series(prom, labels)} {_fmt(data['value'])}")
+        lines.append(f"{_series(prom + '_max', labels)} {_fmt(data['max'])}")
+    for key, data in sorted(snapshot.get("histograms", {}).items()):
+        name, labels = split_labels(key)
         prom = _prom_name(name, namespace)
-        lines.append(f"# TYPE {prom} histogram")
+        _type_line(lines, seen, prom, "histogram")
+        exemplars = data.get("exemplars", {})
         cumulative = 0
         for le, count in data["buckets"]:
             cumulative += count
             label = "+Inf" if le == "+inf" else _fmt(le)
-            lines.append(f'{prom}_bucket{{le="{label}"}} {cumulative}')
-        lines.append(f"{prom}_sum {_fmt(data['sum'])}")
-        lines.append(f"{prom}_count {data['count']}")
+            le_pair = f'le="{label}"'
+            line = f"{_series(prom + '_bucket', labels, le_pair)} {cumulative}"
+            exemplar = exemplars.get(str(le))
+            if exemplar is not None:
+                line += (
+                    f' # {{trace_id="{exemplar["trace_id"]}"}}'
+                    f' {_fmt(exemplar["value"])}'
+                )
+            lines.append(line)
+        lines.append(f"{_series(prom + '_sum', labels)} {_fmt(data['sum'])}")
+        lines.append(f"{_series(prom + '_count', labels)} {data['count']}")
+        for _q, qlabel in SUMMARY_QUANTILES:
+            if qlabel in data:
+                lines.append(
+                    f"{_series(prom + '_' + qlabel, labels)} "
+                    f"{_fmt(data[qlabel])}"
+                )
     return "\n".join(lines) + ("\n" if lines else "")
 
 

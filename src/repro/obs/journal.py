@@ -1,0 +1,164 @@
+"""The structured flight recorder (a bounded ring of wide events).
+
+Metrics aggregate and spans time — neither answers "what exactly
+happened to job 42?" after the fact.  The journal does: every
+significant service transition (submit, dequeue, shard-start, retry,
+steal, cancel, complete, ...) is recorded as one *wide event* — a flat
+dict carrying the full correlation context (``trace_id``, ``tenant``,
+``job``, ``shard``) plus whatever the site knows (bytes, cache hits,
+error strings) — into a bounded in-memory ring.  The ring survives at a
+fixed memory cost no matter how long the service runs (the SWORD
+discipline: bounded overhead in production); old events fall off the
+back and are counted, never silently lost.
+
+Query it live through :meth:`FlightRecorder.events` (filter by kind /
+trace / tenant / job), summarise it in ``Service.stats()``, or dump the
+slice for one trace as JSONL when a job fails.  Like the registry and
+the tracer, the recorder has a null twin (:class:`NullJournal`) so
+call sites cost ~nothing when observability is off.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import Counter as _TallyCounter
+from collections import deque
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["FlightRecorder", "NullJournal", "NULL_JOURNAL"]
+
+
+class FlightRecorder:
+    """Thread-safe bounded ring of wide JSON-able events."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = 4096, clock=time.time) -> None:
+        if capacity < 1:
+            raise ValueError("journal capacity must be >= 1")
+        self.capacity = capacity
+        self._clock = clock
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._kinds: _TallyCounter = _TallyCounter()
+        self.recorded = 0
+        self.dropped = 0
+
+    # -- recording -------------------------------------------------------------
+
+    def record(self, kind: str, **fields) -> dict:
+        """Append one wide event; returns the stored dict.
+
+        ``None``-valued fields are elided so events stay narrow where a
+        site has nothing to say.
+        """
+        event = {"ts": self._clock(), "kind": kind}
+        event.update((k, v) for k, v in fields.items() if v is not None)
+        with self._lock:
+            if len(self._events) == self.capacity:
+                self.dropped += 1
+            self._events.append(event)
+            self._kinds[kind] += 1
+            self.recorded += 1
+        return event
+
+    # -- querying --------------------------------------------------------------
+
+    def events(
+        self,
+        *,
+        kind: Optional[str] = None,
+        trace_id: Optional[str] = None,
+        tenant: Optional[str] = None,
+        job: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> list[dict]:
+        """The retained events (oldest first) matching every given filter."""
+        with self._lock:
+            out = [
+                e
+                for e in self._events
+                if (kind is None or e.get("kind") == kind)
+                and (trace_id is None or e.get("trace_id") == trace_id)
+                and (tenant is None or e.get("tenant") == tenant)
+                and (job is None or e.get("job") == job)
+            ]
+        if limit is not None:
+            out = out[-limit:]
+        return out
+
+    def summary(self) -> dict:
+        """The ``Service.stats()`` view: totals and per-kind tallies."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "retained": len(self._events),
+                "recorded": self.recorded,
+                "dropped": self.dropped,
+                "kinds": dict(sorted(self._kinds.items())),
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    # -- export ----------------------------------------------------------------
+
+    def to_jsonl(self, **filters) -> str:
+        """The matching events as one JSON object per line."""
+        return "".join(
+            json.dumps(e, sort_keys=True) + "\n" for e in self.events(**filters)
+        )
+
+    def dump(self, path: str | Path, **filters) -> int:
+        """Write matching events as JSONL; returns the event count."""
+        events = self.events(**filters)
+        Path(path).write_text(
+            "".join(json.dumps(e, sort_keys=True) + "\n" for e in events)
+        )
+        return len(events)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self._kinds.clear()
+            self.recorded = 0
+            self.dropped = 0
+
+
+class NullJournal:
+    """The disabled recorder: ``record`` is a no-op returning ``{}``."""
+
+    enabled = False
+    capacity = 0
+    recorded = 0
+    dropped = 0
+
+    def record(self, kind: str, **fields) -> dict:
+        return {}
+
+    def events(self, **filters) -> list:
+        return []
+
+    def summary(self) -> dict:
+        return {}
+
+    def __len__(self) -> int:
+        return 0
+
+    def to_jsonl(self, **filters) -> str:
+        return ""
+
+    def dump(self, path, **filters) -> int:
+        Path(path).write_text("")
+        return 0
+
+    def reset(self) -> None:
+        pass
+
+
+#: The shared disabled journal (the ambient default's journal).
+NULL_JOURNAL = NullJournal()

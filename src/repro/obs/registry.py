@@ -34,7 +34,33 @@ __all__ = [
     "SECONDS_BUCKETS",
     "RATIO_BUCKETS",
     "COUNT_BUCKETS",
+    "format_labels",
+    "split_labels",
 ]
+
+#: The percentile summaries exporters surface for every histogram.
+SUMMARY_QUANTILES = ((0.50, "p50"), (0.95, "p95"), (0.99, "p99"))
+
+
+def format_labels(labels: dict | None) -> str:
+    """Canonical ``{k="v",...}`` suffix (sorted keys); "" for no labels.
+
+    The suffix doubles as the interning-key discriminator: the same
+    metric name with different label values is a different instrument,
+    exactly as a Prometheus label set denotes a distinct series.
+    """
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return "{" + inner + "}"
+
+
+def split_labels(key: str) -> tuple[str, str]:
+    """Split an interned key into (base name, label suffix or "")."""
+    brace = key.find("{")
+    if brace < 0:
+        return key, ""
+    return key[:brace], key[brace:]
 
 #: Default latency buckets (seconds): 10 µs .. 10 s, decade-ish spaced.
 SECONDS_BUCKETS = (
@@ -49,12 +75,15 @@ COUNT_BUCKETS = (1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144)
 class Counter:
     """A monotonically increasing total."""
 
-    __slots__ = ("name", "help", "_value")
+    __slots__ = ("name", "help", "labels", "_value")
     kind = "counter"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(
+        self, name: str, help: str = "", labels: dict | None = None
+    ) -> None:
         self.name = name
         self.help = help
+        self.labels = dict(labels or {})
         self._value = 0
 
     def inc(self, n: int | float = 1) -> None:
@@ -79,12 +108,15 @@ class Counter:
 class Gauge:
     """An instantaneous value; the high-water mark is kept alongside."""
 
-    __slots__ = ("name", "help", "_value", "_max")
+    __slots__ = ("name", "help", "labels", "_value", "_max")
     kind = "gauge"
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(
+        self, name: str, help: str = "", labels: dict | None = None
+    ) -> None:
         self.name = name
         self.help = help
+        self.labels = dict(labels or {})
         self._value = 0
         self._max = 0
 
@@ -124,10 +156,16 @@ class Histogram:
     ``buckets`` are inclusive upper bounds; an implicit ``+inf`` bucket
     catches everything beyond the last bound (Prometheus semantics, so
     the text exposition can emit cumulative ``le`` buckets directly).
+
+    An observation may carry an *exemplar* — a trace id pinpointing one
+    concrete occurrence.  The histogram keeps the most recent exemplar
+    per bucket (OpenMetrics semantics), so a p99 spike in the export
+    comes with the trace id of an actual slow job to pull up in the
+    trace viewer.
     """
 
-    __slots__ = ("name", "help", "buckets", "counts", "_sum", "_count",
-                 "_min", "_max")
+    __slots__ = ("name", "help", "labels", "buckets", "counts", "exemplars",
+                 "_sum", "_count", "_min", "_max")
     kind = "histogram"
 
     def __init__(
@@ -135,20 +173,26 @@ class Histogram:
         name: str,
         help: str = "",
         buckets: tuple[float, ...] = SECONDS_BUCKETS,
+        labels: dict | None = None,
     ) -> None:
         if not buckets or list(buckets) != sorted(buckets):
             raise ValueError("histogram buckets must be sorted and non-empty")
         self.name = name
         self.help = help
+        self.labels = dict(labels or {})
         self.buckets = tuple(buckets)
         self.counts = [0] * (len(buckets) + 1)  # + the +inf bucket
+        self.exemplars: list = [None] * (len(buckets) + 1)
         self._sum = 0.0
         self._count = 0
         self._min = None
         self._max = None
 
-    def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.buckets, value)] += 1
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        index = bisect_left(self.buckets, value)
+        self.counts[index] += 1
+        if exemplar is not None:
+            self.exemplars[index] = {"trace_id": exemplar, "value": value}
         self._sum += value
         self._count += 1
         if self._min is None or value < self._min:
@@ -195,13 +239,14 @@ class Histogram:
 
     def reset(self) -> None:
         self.counts = [0] * (len(self.buckets) + 1)
+        self.exemplars = [None] * (len(self.buckets) + 1)
         self._sum = 0.0
         self._count = 0
         self._min = None
         self._max = None
 
     def to_json(self) -> dict:
-        return {
+        payload = {
             "count": self._count,
             "sum": self._sum,
             "min": self._min,
@@ -211,6 +256,16 @@ class Histogram:
                 [le, c] for le, c in zip(self.buckets, self.counts)
             ] + [["+inf", self.counts[-1]]],
         }
+        for q, label in SUMMARY_QUANTILES:
+            payload[label] = self.quantile(q)
+        if any(e is not None for e in self.exemplars):
+            bounds = list(self.buckets) + ["+inf"]
+            payload["exemplars"] = {
+                str(le): ex
+                for le, ex in zip(bounds, self.exemplars)
+                if ex is not None
+            }
+        return payload
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Histogram {self.name} n={self._count} mean={self.mean:.3g}>"
@@ -230,31 +285,39 @@ class MetricsRegistry:
         self.namespace = namespace
         self._instruments: dict[str, object] = {}
 
-    def _intern(self, cls, name: str, help: str, **kwargs):
-        inst = self._instruments.get(name)
+    def _intern(self, cls, name: str, help: str, labels=None, **kwargs):
+        key = name + format_labels(labels)
+        inst = self._instruments.get(key)
         if inst is None:
-            inst = cls(name, help, **kwargs)
-            self._instruments[name] = inst
+            inst = cls(name, help, labels=labels, **kwargs)
+            self._instruments[key] = inst
             return inst
         if not isinstance(inst, cls):
             raise TypeError(
-                f"metric {name!r} is a {inst.kind}, not a {cls.kind}"
+                f"metric {key!r} is a {inst.kind}, not a {cls.kind}"
             )
         return inst
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._intern(Counter, name, help)
+    def counter(
+        self, name: str, help: str = "", *, labels: dict | None = None
+    ) -> Counter:
+        return self._intern(Counter, name, help, labels=labels)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._intern(Gauge, name, help)
+    def gauge(
+        self, name: str, help: str = "", *, labels: dict | None = None
+    ) -> Gauge:
+        return self._intern(Gauge, name, help, labels=labels)
 
     def histogram(
         self,
         name: str,
         help: str = "",
         buckets: tuple[float, ...] = SECONDS_BUCKETS,
+        *,
+        labels: dict | None = None,
     ) -> Histogram:
-        return self._intern(Histogram, name, help, buckets=buckets)
+        return self._intern(Histogram, name, help, labels=labels,
+                            buckets=buckets)
 
     def names(self) -> list[str]:
         return sorted(self._instruments)
@@ -289,6 +352,7 @@ class _NullInstrument:
     name = "null"
     help = ""
     kind = "null"
+    labels: dict = {}
     value = 0
     max = 0
     count = 0
@@ -305,7 +369,7 @@ class _NullInstrument:
     def set(self, value) -> None:
         pass
 
-    def observe(self, value) -> None:
+    def observe(self, value, exemplar=None) -> None:
         pass
 
     def reset(self) -> None:
@@ -334,13 +398,15 @@ class NullRegistry(MetricsRegistry):
     def __init__(self, namespace: str = "repro") -> None:
         super().__init__(namespace)
 
-    def counter(self, name: str, help: str = "") -> Counter:
+    def counter(self, name, help="", *, labels=None) -> Counter:
         return _NULL_INSTRUMENT  # type: ignore[return-value]
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
+    def gauge(self, name, help="", *, labels=None) -> Gauge:
         return _NULL_INSTRUMENT  # type: ignore[return-value]
 
-    def histogram(self, name, help="", buckets=SECONDS_BUCKETS) -> Histogram:
+    def histogram(
+        self, name, help="", buckets=SECONDS_BUCKETS, *, labels=None
+    ) -> Histogram:
         return _NULL_INSTRUMENT  # type: ignore[return-value]
 
     def snapshot(self) -> dict:

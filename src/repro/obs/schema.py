@@ -1,0 +1,248 @@
+"""Schema validation for observability artifacts (no third-party deps).
+
+CI's ``obs-smoke`` job checks that what the service *actually emits* —
+stitched per-job Chrome trace JSON and the Prometheus text exposition —
+matches what the docs and dashboards assume.  PyPI validators are off
+the table for a stdlib-only repo, so this module implements the small
+JSON-Schema subset the checked-in schemas need, plus a line-grammar
+check for the Prometheus text format:
+
+* :func:`validate` — structural validation against a JSON-Schema-style
+  dict supporting ``type``, ``enum``, ``const``, ``required``,
+  ``properties``, ``additionalProperties``, ``items``, ``minItems`` /
+  ``maxItems``, ``minimum`` / ``maximum``, ``minLength``, ``pattern``,
+  ``anyOf`` and ``allOf``.  Unknown keywords raise — a schema using a
+  keyword this subset silently ignored would "validate" everything.
+* :func:`validate_prometheus_text` — every non-comment line must parse
+  as ``name{labels} value`` (with an optional OpenMetrics exemplar
+  suffix), and every sample must belong to a family announced by a
+  ``# TYPE`` line.
+
+``python -m repro.obs.schema --schema S.json FILE...`` and
+``--prometheus FILE`` expose both checks to CI shell steps.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+
+__all__ = ["SchemaError", "validate", "check", "validate_prometheus_text"]
+
+#: The keywords :func:`validate` implements; anything else is an error.
+_SUPPORTED = frozenset(
+    {
+        "type", "enum", "const", "required", "properties",
+        "additionalProperties", "items", "minItems", "maxItems",
+        "minimum", "maximum", "minLength", "pattern", "anyOf", "allOf",
+        # Annotations carried for humans, never enforced:
+        "$schema", "title", "description",
+    }
+)
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+class SchemaError(ValueError):
+    """Raised by :func:`check`; carries every violation found."""
+
+    def __init__(self, errors: list[str]) -> None:
+        self.errors = errors
+        super().__init__("; ".join(errors))
+
+
+def _type_ok(value, expected: str) -> bool:
+    if expected == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    return isinstance(value, _TYPES[expected])
+
+
+def validate(instance, schema: dict, path: str = "$") -> list[str]:
+    """Every violation of ``schema`` in ``instance`` (empty list: valid)."""
+    unknown = set(schema) - _SUPPORTED
+    if unknown:
+        raise ValueError(
+            f"{path}: schema uses unsupported keyword(s) {sorted(unknown)}"
+        )
+    errors: list[str] = []
+    if "type" in schema:
+        expected = schema["type"]
+        allowed = [expected] if isinstance(expected, str) else expected
+        if not any(_type_ok(instance, t) for t in allowed):
+            return [
+                f"{path}: expected type {'/'.join(allowed)}, "
+                f"got {type(instance).__name__}"
+            ]
+    if "const" in schema and instance != schema["const"]:
+        errors.append(f"{path}: expected {schema['const']!r}, got {instance!r}")
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not one of {schema['enum']}")
+    if "minimum" in schema and isinstance(instance, (int, float)):
+        if instance < schema["minimum"]:
+            errors.append(f"{path}: {instance} < minimum {schema['minimum']}")
+    if "maximum" in schema and isinstance(instance, (int, float)):
+        if instance > schema["maximum"]:
+            errors.append(f"{path}: {instance} > maximum {schema['maximum']}")
+    if "minLength" in schema and isinstance(instance, str):
+        if len(instance) < schema["minLength"]:
+            errors.append(
+                f"{path}: length {len(instance)} < "
+                f"minLength {schema['minLength']}"
+            )
+    if "pattern" in schema and isinstance(instance, str):
+        if re.search(schema["pattern"], instance) is None:
+            errors.append(
+                f"{path}: {instance!r} does not match /{schema['pattern']}/"
+            )
+    if isinstance(instance, dict):
+        for name in schema.get("required", ()):
+            if name not in instance:
+                errors.append(f"{path}: missing required property {name!r}")
+        properties = schema.get("properties", {})
+        for name, sub in properties.items():
+            if name in instance:
+                errors.extend(validate(instance[name], sub, f"{path}.{name}"))
+        additional = schema.get("additionalProperties")
+        if additional is False:
+            for name in set(instance) - set(properties):
+                errors.append(f"{path}: unexpected property {name!r}")
+        elif isinstance(additional, dict):
+            for name in set(instance) - set(properties):
+                errors.extend(
+                    validate(instance[name], additional, f"{path}.{name}")
+                )
+    if isinstance(instance, list):
+        if "minItems" in schema and len(instance) < schema["minItems"]:
+            errors.append(
+                f"{path}: {len(instance)} item(s) < "
+                f"minItems {schema['minItems']}"
+            )
+        if "maxItems" in schema and len(instance) > schema["maxItems"]:
+            errors.append(
+                f"{path}: {len(instance)} item(s) > "
+                f"maxItems {schema['maxItems']}"
+            )
+        if "items" in schema:
+            for i, item in enumerate(instance):
+                errors.extend(validate(item, schema["items"], f"{path}[{i}]"))
+    if "allOf" in schema:
+        for sub in schema["allOf"]:
+            errors.extend(validate(instance, sub, path))
+    if "anyOf" in schema:
+        branches = [validate(instance, sub, path) for sub in schema["anyOf"]]
+        if all(branches):
+            detail = min(branches, key=len)
+            errors.append(
+                f"{path}: no anyOf branch matched "
+                f"(closest: {'; '.join(detail)})"
+            )
+    return errors
+
+
+def check(instance, schema: dict) -> None:
+    """Raise :class:`SchemaError` unless ``instance`` validates."""
+    errors = validate(instance, schema)
+    if errors:
+        raise SchemaError(errors)
+
+
+# -- Prometheus text exposition ----------------------------------------------------
+
+_METRIC_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABELS = r"\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\}"
+_VALUE = r"[+-]?(\d+(\.\d+)?([eE][+-]?\d+)?|inf|nan)"
+_EXEMPLAR = r"( # \{trace_id=\"[0-9a-f]+\"\} " + _VALUE + r")?"
+_SAMPLE_RE = re.compile(
+    f"^({_METRIC_NAME})({_LABELS})? {_VALUE}{_EXEMPLAR}$"
+)
+_TYPE_RE = re.compile(
+    f"^# TYPE ({_METRIC_NAME}) (counter|gauge|histogram|summary|untyped)$"
+)
+
+#: Suffixes a sample may add to its family's announced name.
+_FAMILY_SUFFIXES = (
+    "", "_total", "_bucket", "_sum", "_count", "_max", "_p50", "_p95", "_p99"
+)
+
+
+def validate_prometheus_text(text: str) -> list[str]:
+    """Line-grammar violations in one text exposition (empty: valid)."""
+    errors: list[str] = []
+    families: set[str] = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if line.startswith("# HELP "):
+                continue
+            if _TYPE_RE.match(line):
+                families.add(_TYPE_RE.match(line).group(1))
+            else:
+                errors.append(f"line {lineno}: malformed comment: {line!r}")
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            errors.append(f"line {lineno}: malformed sample: {line!r}")
+            continue
+        name = match.group(1)
+        if not any(
+            name.endswith(suffix) and name[: len(name) - len(suffix)] in families
+            for suffix in _FAMILY_SUFFIXES
+        ):
+            errors.append(
+                f"line {lineno}: sample {name!r} has no preceding # TYPE line"
+            )
+    return errors
+
+
+# -- CLI ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.schema",
+        description="validate observability artifacts (CI obs-smoke)",
+    )
+    parser.add_argument(
+        "--schema", metavar="PATH", help="JSON schema to validate files against"
+    )
+    parser.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="treat the files as Prometheus text expositions",
+    )
+    parser.add_argument("files", nargs="+", metavar="FILE")
+    args = parser.parse_args(argv)
+    if bool(args.schema) == bool(args.prometheus):
+        parser.error("exactly one of --schema / --prometheus is required")
+    schema = json.loads(Path(args.schema).read_text()) if args.schema else None
+    failed = 0
+    for name in args.files:
+        path = Path(name)
+        if args.prometheus:
+            errors = validate_prometheus_text(path.read_text())
+        else:
+            errors = validate(json.loads(path.read_text()), schema)
+        if errors:
+            failed += 1
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,7 +15,9 @@ hand-copied ``tool.stats`` and ``analysis.stats`` fields into
 
 from __future__ import annotations
 
-__all__ = ["run_stats"]
+from .registry import SUMMARY_QUANTILES
+
+__all__ = ["run_stats", "merge_snapshots"]
 
 
 def run_stats(tool=None, *, extra: dict | None = None,
@@ -37,3 +39,81 @@ def run_stats(tool=None, *, extra: dict | None = None,
     for key, phase in (analyses or {}).items():
         stats[key] = phase.to_json()
     return stats
+
+
+def _merge_histogram(total: dict, part: dict) -> dict:
+    """Fold one histogram's JSON payload into another (same schema).
+
+    Bucket counts add when the bound lists match (they do for any two
+    snapshots of the same interned metric); otherwise the sum/count/
+    min/max roll-up still merges and the buckets keep the total's shape.
+    Percentile summaries are recomputed from the merged buckets.
+    """
+    merged = dict(total)
+    merged["count"] = total.get("count", 0) + part.get("count", 0)
+    merged["sum"] = total.get("sum", 0.0) + part.get("sum", 0.0)
+    mins = [v for v in (total.get("min"), part.get("min")) if v is not None]
+    maxs = [v for v in (total.get("max"), part.get("max")) if v is not None]
+    merged["min"] = min(mins) if mins else None
+    merged["max"] = max(maxs) if maxs else None
+    merged["mean"] = merged["sum"] / merged["count"] if merged["count"] else 0.0
+    tb, pb = total.get("buckets", []), part.get("buckets", [])
+    if [b[0] for b in tb] == [b[0] for b in pb]:
+        merged["buckets"] = [
+            [le, ct + cp] for (le, ct), (_le, cp) in zip(tb, pb)
+        ]
+    exemplars = dict(total.get("exemplars", {}))
+    exemplars.update(part.get("exemplars", {}))
+    if exemplars:
+        merged["exemplars"] = exemplars
+    for q, label in SUMMARY_QUANTILES:
+        merged[label] = _bucket_quantile(merged, q)
+    return merged
+
+
+def _bucket_quantile(payload: dict, q: float) -> float:
+    """Bucket-resolution quantile from a merged histogram payload
+    (mirrors :meth:`repro.obs.registry.Histogram.quantile`)."""
+    count = payload.get("count", 0)
+    if not count:
+        return 0.0
+    rank = q * count
+    seen = 0
+    for le, c in payload.get("buckets", []):
+        seen += c
+        if seen >= rank and c:
+            if le == "+inf":
+                return payload.get("max") or 0.0
+            return le
+    return payload.get("max") or 0.0
+
+
+def merge_snapshots(total: dict, part: dict) -> dict:
+    """Merge one registry snapshot into another (returns ``total``).
+
+    The service uses this to fold per-shard worker registry deltas into
+    one job-level snapshot: counters sum, gauges keep the max (shards
+    run concurrently, so the peak is the honest roll-up), histograms
+    merge bucket-wise.  Both arguments are plain ``snapshot()`` dicts;
+    ``total`` may start ``{}``.
+    """
+    if not part:
+        return total
+    counters = total.setdefault("counters", {})
+    for name, value in part.get("counters", {}).items():
+        counters[name] = counters.get(name, 0) + value
+    gauges = total.setdefault("gauges", {})
+    for name, data in part.get("gauges", {}).items():
+        seen = gauges.get(name)
+        if seen is None:
+            gauges[name] = dict(data)
+        else:
+            seen["value"] = max(seen["value"], data["value"])
+            seen["max"] = max(seen["max"], data["max"])
+    histograms = total.setdefault("histograms", {})
+    for name, data in part.get("histograms", {}).items():
+        seen = histograms.get(name)
+        histograms[name] = (
+            dict(data) if seen is None else _merge_histogram(seen, data)
+        )
+    return total

@@ -41,6 +41,23 @@ class Span:
     def duration(self) -> float:
         return (self.end - self.start) if self.end is not None else 0.0
 
+    def to_json(self, wall_epoch: float = 0.0) -> dict:
+        """A picklable/JSON-able form of the span.
+
+        ``wall_epoch`` (the tracer's wall-clock epoch, ``time.time()``
+        based) converts the relative timestamps into absolute wall
+        times, which is how spans recorded in different processes are
+        aligned onto one stitched timeline.
+        """
+        return {
+            "name": self.name,
+            "cat": self.category,
+            "start": wall_epoch + self.start,
+            "dur": self.duration,
+            "depth": self.depth,
+            "args": dict(self.args),
+        }
+
 
 class _SpanContext:
     """Context manager closing one span on exit."""
@@ -69,6 +86,9 @@ class PhaseTracer:
     def __init__(self, clock=time.perf_counter) -> None:
         self._clock = clock
         self._epoch = clock()
+        #: Wall-clock time of the epoch: lets relative span times be
+        #: re-based to absolute wall times for cross-process stitching.
+        self.wall_epoch = time.time()
         self._stacks: dict[int, list[Span]] = {}
         self.spans: list[Span] = []
 
@@ -109,8 +129,30 @@ class PhaseTracer:
 
     def reset(self) -> None:
         self._epoch = self._clock()
+        self.wall_epoch = time.time()
         self._stacks.clear()
         self.spans.clear()
+
+    def ingest(self, payloads: list, tid: int = 0) -> None:
+        """Adopt spans serialized by another process's tracer.
+
+        ``payloads`` are :meth:`Span.to_json` dicts with absolute
+        wall-clock starts; they are re-based onto this tracer's epoch so
+        coordinator and worker spans share one timeline.
+        """
+        for payload in payloads:
+            start = payload["start"] - self.wall_epoch
+            self.spans.append(
+                Span(
+                    name=payload["name"],
+                    category=payload.get("cat", "phase"),
+                    start=start,
+                    end=start + payload.get("dur", 0.0),
+                    tid=tid,
+                    depth=payload.get("depth", 0),
+                    args=dict(payload.get("args", {})),
+                )
+            )
 
     # -- introspection ---------------------------------------------------------
 
@@ -177,6 +219,9 @@ class NullTracer:
         return self._null
 
     def reset(self) -> None:
+        pass
+
+    def ingest(self, payloads: list, tid: int = 0) -> None:
         pass
 
     def __len__(self) -> int:

@@ -68,6 +68,7 @@ class DistributedOfflineAnalyzer:
         # repro.serve imports repro.offline — a module-level import here
         # would close the cycle mid-initialisation.
         from ..serve.shards import plan_shards
+        from ..serve.tracing import ObsConfig
         from ..serve.workers import merge_stats, run_shard
 
         stats = AnalysisStats()
@@ -78,6 +79,9 @@ class DistributedOfflineAnalyzer:
                 options=self.options,
                 shard_pairs=SHARD_PAIRS,
                 min_shards=self.options.workers,
+                # With a live bundle, shards instrument themselves and
+                # ship their spans home for one coordinator flamegraph.
+                obs_config=ObsConfig.from_obs(self.obs),
             )
         stats.intervals = plan.intervals
         stats.concurrent_pairs = plan.concurrent_pairs
@@ -99,6 +103,11 @@ class DistributedOfflineAnalyzer:
                     for report in outcome.reports():
                         races.add(report)
                     merge_stats(stats, outcome.stats)
+                    if outcome.spans:
+                        # One trace-viewer row per worker process.
+                        self.obs.tracer.ingest(
+                            outcome.spans, tid=outcome.worker_pid
+                        )
         stats.races_found = len(races)
         # Workers run in their own processes; the coordinator mirrors the
         # merged totals so one registry still tells the whole story.

@@ -40,6 +40,7 @@ from .retry import RetryPolicy
 from .scheduler import JobScheduler
 from .service import Service
 from .shards import ShardPlan, ShardSpec, plan_shards
+from .tracing import ObsConfig, TraceContext, stitch_job_trace, write_job_trace
 from .workers import ShardOutcome, merge_stats, run_shard
 
 __all__ = [
@@ -53,6 +54,7 @@ __all__ = [
     "JobNotFoundError",
     "JobRecord",
     "JobScheduler",
+    "ObsConfig",
     "PLANNING",
     "QUEUED",
     "QuotaExceededError",
@@ -68,10 +70,13 @@ __all__ = [
     "ShardTask",
     "TERMINAL_STATES",
     "TenantQuota",
+    "TraceContext",
     "TriageInfo",
     "WorkStealingPool",
     "merge_stats",
     "plan_shards",
     "run_shard",
+    "stitch_job_trace",
     "triage_trace",
+    "write_job_trace",
 ]

@@ -20,12 +20,14 @@ import argparse
 import json
 from pathlib import Path
 
+from .. import obs as obslib
 from ..common.exitcodes import (
     EXIT_CLEAN,
     EXIT_ERROR,
     EXIT_RACES,
     exit_meaning,
 )
+from ..obs import prometheus_text, write_json
 from .config import ServeConfig, TenantQuota
 from .loadgen import LoadReport, generate_and_run
 
@@ -90,6 +92,29 @@ def add_serve_arguments(p: argparse.ArgumentParser) -> None:
         help="write the load report JSON artifact",
     )
     p.add_argument("--json", action="store_true", help="machine-readable output")
+    p.add_argument(
+        "--watch",
+        type=float,
+        metavar="SECONDS",
+        help="print a live service stats line at this interval",
+    )
+    p.add_argument(
+        "--trace-dir",
+        metavar="DIR",
+        help="write one stitched Chrome trace JSON per job here "
+        "(plus the journal slice for failed jobs)",
+    )
+    p.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="write the service metrics snapshot (JSON; .prom for "
+        "Prometheus text exposition)",
+    )
+    p.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="dump the service flight-recorder ring as JSONL after the burst",
+    )
 
 
 def serve_exit_code(report: LoadReport) -> int:
@@ -105,7 +130,21 @@ def _fmt_seconds(value) -> str:
     return f"{value * 1000:.1f}ms" if value is not None else "-"
 
 
+def _serve_obs(args: argparse.Namespace) -> "obslib.Instrumentation":
+    """A live bundle when any observability output was requested."""
+    if (
+        args.json
+        or args.metrics
+        or args.trace_dir
+        or args.journal
+        or args.watch is not None
+    ):
+        return obslib.live()
+    return obslib.get_obs()
+
+
 def run_serve_command(args: argparse.Namespace) -> int:
+    obs = _serve_obs(args)
     config = ServeConfig(
         workers=args.workers,
         use_processes=not args.in_process,
@@ -114,6 +153,7 @@ def run_serve_command(args: argparse.Namespace) -> int:
         shard_pairs=args.shard_pairs,
         result_cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        trace_dir=args.trace_dir,
     )
     report = generate_and_run(
         config=config,
@@ -123,7 +163,18 @@ def run_serve_command(args: argparse.Namespace) -> int:
         corpus_dir=args.corpus,
         keep_corpus=args.keep_corpus,
         check_parity=not args.no_parity,
+        obs=obs,
+        watch_every=None if args.json else args.watch,
     )
+    if args.metrics:
+        if args.metrics.endswith(".prom"):
+            Path(args.metrics).write_text(
+                prometheus_text(obs.registry.snapshot())
+            )
+        else:
+            write_json(obs.registry.snapshot(), args.metrics)
+    if args.journal:
+        Path(args.journal).write_text(obs.journal.to_jsonl())
     code = serve_exit_code(report)
     payload = report.to_json()
     payload["exit_code"] = code
@@ -159,6 +210,19 @@ def run_serve_command(args: argparse.Namespace) -> int:
         print(
             f"  {flavor}: {counts['finished']} job(s), "
             f"{counts['races']} race report(s)"
+        )
+    for tenant, slo in sorted(report.service_stats.get("tenants", {}).items()):
+        print(
+            f"  {tenant}: {slo['finished']}/{slo['submitted']} job(s), "
+            f"ttfr p50={_fmt_seconds(slo['ttfr_p50_seconds'])} "
+            f"p99={_fmt_seconds(slo['ttfr_p99_seconds'])}, "
+            f"queue p50={_fmt_seconds(slo['queue_wait_p50_seconds'])}"
+        )
+    journal = report.service_stats.get("journal") or {}
+    if journal:
+        print(
+            f"journal: {journal['recorded']} event(s) recorded, "
+            f"{journal['retained']} retained, {journal['dropped']} dropped"
         )
     if not args.no_parity:
         verdict = "byte-identical" if report.parity_ok else "MISMATCH"

@@ -54,6 +54,11 @@ class ServeConfig:
     #: Transient shard I/O failures get this many extra attempts.
     shard_retries: int = 2
     shard_backoff_seconds: float = 0.01
+    #: Where per-job stitched Chrome traces (and, for failed jobs, the
+    #: journal slice) are written; None disables the artifacts.  Only
+    #: effective when the service runs with a live bundle — tracing a
+    #: null-obs service records nothing to stitch.
+    trace_dir: Optional[str] = None
     #: Baseline analysis options applied to every job (fastpath knobs,
     #: chunking); per-job integrity mode is set at submission.
     options: AnalysisOptions = field(default_factory=AnalysisOptions)

@@ -20,6 +20,7 @@ from typing import Optional
 
 from ..offline.engine import AnalysisResult, AnalysisStats
 from ..offline.report import RaceSet
+from .tracing import TraceContext
 
 QUEUED = "queued"
 PLANNING = "planning"
@@ -105,6 +106,21 @@ class JobRecord:
     ttfr_seconds: Optional[float] = None
     finished_at: Optional[float] = None
     cache_hits: int = 0
+    #: Distributed-trace identity, minted at submission (None when the
+    #: job was created outside the service facade).
+    trace: Optional[TraceContext] = None
+    #: Wall-clock anchors: ``perf_counter`` fields above measure
+    #: durations, these align coordinator and worker spans on one
+    #: absolute timeline.
+    submitted_wall: float = field(default_factory=time.time)
+    dequeued_wall: Optional[float] = None
+    #: Coordinator-side span dicts (queue-wait, triage, plan, merges,
+    #: retries) — see :func:`repro.serve.tracing.coord_span`.
+    trace_spans: list = field(default_factory=list)
+    #: Per-worker shard spans: ``(worker_pid, [span dicts])`` tuples.
+    worker_spans: list = field(default_factory=list)
+    #: Merged per-shard registry deltas (a registry-snapshot dict).
+    worker_metrics: dict = field(default_factory=dict)
     lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
     done: threading.Event = field(default_factory=threading.Event, repr=False)
 
@@ -132,6 +148,7 @@ class JobRecord:
             return {
                 "job_id": self.job_id,
                 "tenant": self.tenant,
+                "trace_id": self.trace.trace_id if self.trace else "",
                 "trace": str(self.trace_path),
                 "integrity": self.integrity,
                 "state": self.state,

@@ -22,11 +22,13 @@ from __future__ import annotations
 
 import shutil
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional
+from typing import Callable, Optional
 
+from ..obs import Instrumentation
 from .config import ServeConfig
 from .errors import BackpressureError, QuotaExceededError
 from .service import Service, percentile
@@ -63,6 +65,9 @@ class LoadReport:
     cache_hits: int = 0
     shard_steals: int = 0
     flavors: dict = field(default_factory=dict)
+    #: The service's own ``stats()`` at burst end (per-tenant SLOs,
+    #: journal summary) — the operator's view of the same run.
+    service_stats: dict = field(default_factory=dict)
 
     @property
     def ttfr_p50(self) -> Optional[float]:
@@ -88,6 +93,7 @@ class LoadReport:
             "cache_hits": self.cache_hits,
             "shard_steals": self.shard_steals,
             "flavors": dict(self.flavors),
+            "service": dict(self.service_stats),
         }
 
 
@@ -143,6 +149,37 @@ def build_corpus(
     return corpus
 
 
+class _WatchTicker:
+    """Background thread printing the service's live stats line."""
+
+    def __init__(
+        self,
+        service: Service,
+        every: float,
+        emit: Callable[[str], None] = print,
+    ) -> None:
+        self.service = service
+        self.every = max(0.05, every)
+        self.emit = emit
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="serve-watch", daemon=True
+        )
+
+    def _run(self) -> None:
+        while not self._stop.wait(timeout=self.every):
+            self.emit(self.service.stats_line())
+
+    def __enter__(self) -> "_WatchTicker":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self.emit(self.service.stats_line())  # the final state
+
+
 def run_load(
     service: Service,
     corpus: list[CorpusEntry],
@@ -152,14 +189,28 @@ def run_load(
     check_parity: bool = True,
     block: bool = True,
     timeout: float = 120.0,
+    watch_every: Optional[float] = None,
+    watch_emit: Callable[[str], None] = print,
 ) -> LoadReport:
     """Drive ``submissions`` jobs from the corpus through the service.
 
     Submissions round-robin over corpus entries and tenant ids, pacing
     on backpressure when ``block`` is set (the well-behaved-producer
     mode); with ``block=False`` rejections are counted instead — the
-    quota/backpressure stress mode.
+    quota/backpressure stress mode.  ``watch_every`` prints the live
+    ticker line at that interval while the burst runs.
     """
+    if watch_every is not None:
+        with _WatchTicker(service, watch_every, watch_emit):
+            return run_load(
+                service,
+                corpus,
+                submissions=submissions,
+                tenants=tenants,
+                check_parity=check_parity,
+                block=block,
+                timeout=timeout,
+            )
     report = LoadReport()
     t0 = time.perf_counter()
     job_entries: list[tuple[str, CorpusEntry]] = []
@@ -204,6 +255,7 @@ def run_load(
             report.jobs_finished / report.elapsed_seconds
         )
     report.shard_steals = service.pool.steals
+    report.service_stats = service.stats()
     if check_parity:
         _check_parity(service, report, job_entries)
     return report
@@ -241,19 +293,22 @@ def generate_and_run(
     corpus_dir: Optional[str] = None,
     keep_corpus: bool = False,
     check_parity: bool = True,
+    obs: Optional[Instrumentation] = None,
+    watch_every: Optional[float] = None,
 ) -> LoadReport:
     """One-call harness: build corpus, boot a service, run the load."""
     owns = corpus_dir is None
     root = Path(corpus_dir or tempfile.mkdtemp(prefix="repro-serve-corpus-"))
     try:
         corpus = build_corpus(root, nthreads=nthreads)
-        with Service(config or ServeConfig()) as service:
+        with Service(config or ServeConfig(), obs=obs) as service:
             return run_load(
                 service,
                 corpus,
                 submissions=submissions,
                 tenants=tenants,
                 check_parity=check_parity,
+                watch_every=watch_every,
             )
     finally:
         if owns and not keep_corpus:

@@ -47,6 +47,10 @@ class ShardTask:
     spec: ShardSpec
     on_done: Callable[[Optional[ShardOutcome], Optional[BaseException]], None]
     cancelled: Callable[[], bool] = field(default=lambda: False)
+    #: Wall-clock attempt records appended by the pool (one per
+    #: execution attempt, with ``error`` on failures) — the scheduler
+    #: turns these into retry/backoff spans on the stitched trace.
+    events: list = field(default_factory=list)
 
 
 class WorkStealingPool:
@@ -151,17 +155,49 @@ class WorkStealingPool:
         if victim:
             self.steals += 1
             self._m_steals.inc()
-            return victim.pop()
+            task = victim.pop()
+            self._journal("shard-steal", task, thief=wid)
+            return task
         return None
+
+    def _journal(self, kind: str, task: ShardTask, **fields) -> None:
+        """Record one pool lifecycle event with the shard's context.
+
+        Unit tests drive the pool with bare stand-in specs, so the
+        correlation fields are read defensively.
+        """
+        spec = task.spec
+        self.obs.journal.record(
+            kind,
+            job=getattr(spec, "job_id", None),
+            shard=getattr(spec, "index", None),
+            tenant=getattr(spec, "tenant", None) or None,
+            trace_id=getattr(spec, "trace_id", None) or None,
+            **fields,
+        )
 
     def _execute(self, spec: ShardSpec) -> ShardOutcome:
         if self._executor is not None:
             return self._executor.submit(run_shard, spec).result()
         return run_shard(spec)
 
-    def _count_retry(self) -> None:
+    def _attempt(self, task: ShardTask) -> ShardOutcome:
+        """One execution attempt, recorded on the task's event list."""
+        record = {"kind": "attempt", "start": time.time()}
+        task.events.append(record)
+        try:
+            outcome = self._execute(task.spec)
+        except BaseException as exc:
+            record["end"] = time.time()
+            record["error"] = f"{type(exc).__name__}: {exc}"
+            raise
+        record["end"] = time.time()
+        return outcome
+
+    def _count_retry(self, task: ShardTask) -> None:
         self.retries += 1
         self._m_retries.inc()
+        self._journal("shard-retry", task, attempts=len(task.events))
 
     def _worker_loop(self, wid: int) -> None:
         while True:
@@ -174,18 +210,31 @@ class WorkStealingPool:
                     continue
             if task.cancelled():
                 self.skipped += 1
+                self._journal("shard-skip", task)
                 task.on_done(None, None)
                 continue
+            self._journal("shard-start", task, worker=wid)
             t0 = time.perf_counter()
             try:
                 outcome = self.retry.run(
-                    lambda: self._execute(task.spec),
-                    on_retry=self._count_retry,
+                    lambda: self._attempt(task),
+                    on_retry=lambda: self._count_retry(task),
                 )
             except BaseException as exc:  # report, never unwind the pool
+                self._journal("shard-error", task, error=str(exc))
                 task.on_done(None, exc)
                 continue
             self.executed += 1
             self._m_executed.inc()
-            self._m_seconds.observe(time.perf_counter() - t0)
+            elapsed = time.perf_counter() - t0
+            self._m_seconds.observe(elapsed)
+            tenant = getattr(task.spec, "tenant", "")
+            if tenant:
+                self.obs.registry.histogram(
+                    "serve.shard_seconds", "per-shard wall time",
+                    buckets=SECONDS_BUCKETS, labels={"tenant": tenant},
+                ).observe(
+                    elapsed,
+                    exemplar=getattr(task.spec, "trace_id", "") or None,
+                )
             task.on_done(outcome, None)

@@ -60,22 +60,39 @@ class IngestionQueue:
 
     # -- admission ---------------------------------------------------------------
 
+    def _journal(self, kind: str, job: JobRecord, **fields) -> None:
+        self.obs.journal.record(
+            kind,
+            job=job.job_id,
+            tenant=job.tenant,
+            trace_id=job.trace.trace_id if job.trace else None,
+            **fields,
+        )
+
+    def _reject_quota(self, job: JobRecord, reason: str) -> None:
+        self._m_quota.inc()
+        self.obs.registry.counter(
+            "serve.quota_rejections",
+            "submissions rejected by tenant quota",
+            labels={"tenant": job.tenant},
+        ).inc()
+        self._journal("quota-reject", job, reason=reason)
+        raise QuotaExceededError(job.tenant, reason)
+
     def _check_quota(self, job: JobRecord) -> None:
         quota = self.config.quota
         pending = self._pending_jobs.get(job.tenant, 0)
         if pending >= quota.max_pending:
-            self._m_quota.inc()
-            raise QuotaExceededError(
-                job.tenant,
+            self._reject_quota(
+                job,
                 f"{pending} job(s) already in flight "
                 f"(max_pending={quota.max_pending})",
             )
         if quota.max_pending_bytes is not None:
             in_flight = self._pending_bytes.get(job.tenant, 0)
             if in_flight + job.triage.log_bytes > quota.max_pending_bytes:
-                self._m_quota.inc()
-                raise QuotaExceededError(
-                    job.tenant,
+                self._reject_quota(
+                    job,
                     f"{in_flight + job.triage.log_bytes} trace bytes would be "
                     f"in flight (max_pending_bytes={quota.max_pending_bytes})",
                 )
@@ -97,17 +114,22 @@ class IngestionQueue:
             if self._closed:
                 raise ServiceClosedError("service is shut down")
             self._check_quota(job)
+            blocked = False
             while len(self._items) >= self.config.queue_capacity:
                 if not block:
-                    self._m_backpressure.inc()
-                    raise BackpressureError(
-                        len(self._items), self.config.queue_capacity
+                    self._reject_backpressure(job)
+                if not blocked:
+                    blocked = True
+                    self.obs.registry.counter(
+                        "serve.backpressure_blocks",
+                        "blocking submissions paced by a full queue",
+                        labels={"tenant": job.tenant},
+                    ).inc()
+                    self._journal(
+                        "backpressure-block", job, depth=len(self._items)
                     )
                 if not self._not_full.wait(timeout=timeout):
-                    self._m_backpressure.inc()
-                    raise BackpressureError(
-                        len(self._items), self.config.queue_capacity
-                    )
+                    self._reject_backpressure(job)
                 if self._closed:
                     raise ServiceClosedError("service is shut down")
                 # Capacity freed while waiting — re-check quota too: other
@@ -122,7 +144,25 @@ class IngestionQueue:
             self._items.append(job)
             self._m_admitted.inc()
             self._m_depth.set(len(self._items))
+            self._journal(
+                "job-submit",
+                job,
+                bytes=job.triage.log_bytes,
+                threads=job.triage.threads,
+                integrity=job.integrity,
+                depth=len(self._items),
+            )
             self._not_empty.notify()
+
+    def _reject_backpressure(self, job: JobRecord) -> None:
+        self._m_backpressure.inc()
+        self.obs.registry.counter(
+            "serve.backpressure_rejections",
+            "submissions rejected by a full queue",
+            labels={"tenant": job.tenant},
+        ).inc()
+        self._journal("backpressure-reject", job, depth=len(self._items))
+        raise BackpressureError(len(self._items), self.config.queue_capacity)
 
     # -- draining ----------------------------------------------------------------
 

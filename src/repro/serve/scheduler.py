@@ -17,15 +17,17 @@ from __future__ import annotations
 
 import threading
 import time
+from pathlib import Path
 from typing import Callable, Optional
 
-from ..obs import Instrumentation, SECONDS_BUCKETS, get_obs
+from ..obs import Instrumentation, SECONDS_BUCKETS, get_obs, merge_snapshots
 from ..offline.options import AnalysisOptions
 from .config import ServeConfig
 from .job import CANCELLED, DONE, FAILED, PLANNING, RUNNING, JobRecord
 from .pool import ShardTask, WorkStealingPool
 from .queue import IngestionQueue
 from .shards import SALVAGE, plan_shards
+from .tracing import ObsConfig, coord_span, write_job_trace
 from .workers import ShardOutcome, merge_stats
 
 
@@ -69,6 +71,14 @@ class JobScheduler:
             "serve.cross_job_cache_hits",
             "persistent-cache hits served to shards (cross-job reuse)",
         )
+        self._m_queue_wait = registry.histogram(
+            "serve.queue_wait_seconds",
+            "submission to scheduler dequeue",
+            buckets=SECONDS_BUCKETS,
+        )
+        #: Worker-bundle recipe handed to every shard (None when the
+        #: service runs dark — shards then skip instrumentation too).
+        self.obs_config = ObsConfig.from_obs(self.obs)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -93,6 +103,7 @@ class JobScheduler:
             job = self.queue.get(timeout=0.05)
             if job is None:
                 continue
+            self._record_dequeue(job)
             try:
                 self._schedule(job)
             except Exception as exc:
@@ -100,6 +111,33 @@ class JobScheduler:
                     job.error = f"{type(exc).__name__}: {exc}"
                     job.state = FAILED
                 self._finalize(job)
+
+    def _trace_id(self, job: JobRecord) -> Optional[str]:
+        return job.trace.trace_id if job.trace is not None else None
+
+    def _record_dequeue(self, job: JobRecord) -> None:
+        job.dequeued_wall = time.time()
+        wait = max(0.0, job.dequeued_wall - job.submitted_wall)
+        job.trace_spans.append(
+            coord_span(
+                "queue-wait", job.submitted_wall, job.dequeued_wall,
+                tenant=job.tenant,
+            )
+        )
+        self._m_queue_wait.observe(wait)
+        self.obs.registry.histogram(
+            "serve.queue_wait_seconds",
+            "submission to scheduler dequeue",
+            buckets=SECONDS_BUCKETS,
+            labels={"tenant": job.tenant},
+        ).observe(wait, exemplar=self._trace_id(job))
+        self.obs.journal.record(
+            "job-dequeue",
+            job=job.job_id,
+            tenant=job.tenant,
+            trace_id=self._trace_id(job),
+            queue_wait_seconds=round(wait, 6),
+        )
 
     def _job_options(self, job: JobRecord) -> AnalysisOptions:
         options = self.config.options.copy()
@@ -114,6 +152,7 @@ class JobScheduler:
                 return
             job.state = PLANNING
         t0 = time.perf_counter()
+        plan_wall = time.time()
         plan = plan_shards(
             job.trace_path,
             job_id=job.job_id,
@@ -121,6 +160,9 @@ class JobScheduler:
             shard_pairs=self.config.shard_pairs,
             min_shards=self.pool.workers,
             cache_dir=self.config.shared_cache_dir(),
+            tenant=job.tenant,
+            trace_id=self._trace_id(job) or "",
+            obs_config=self.obs_config,
         )
         plan_seconds = time.perf_counter() - t0
         with job.lock:
@@ -128,26 +170,35 @@ class JobScheduler:
             job.stats.concurrent_pairs = plan.concurrent_pairs
             job.stats.plan_seconds = plan_seconds
             job.shards_total = len(plan.shards)
+            job.trace_spans.append(
+                coord_span(
+                    "plan", plan_wall, plan_wall + plan_seconds,
+                    shards=len(plan.shards), pairs=plan.concurrent_pairs,
+                )
+            )
             job.state = RUNNING
             if not plan.shards:  # empty trace: trivially clean
                 job.state = DONE
                 self._finalize(job)
                 return
         for spec in plan.shards:
-            self.pool.submit(
-                ShardTask(
-                    spec=spec,
-                    on_done=lambda outcome, error, _job=job: self._on_shard(
-                        _job, outcome, error
-                    ),
-                    cancelled=lambda _job=job: _job.cancelled,
+            task = ShardTask(
+                spec=spec,
+                on_done=lambda outcome, error: None,
+                cancelled=lambda _job=job: _job.cancelled,
+            )
+            task.on_done = (
+                lambda outcome, error, _job=job, _task=task: self._on_shard(
+                    _job, outcome, error, _task
                 )
             )
+            self.pool.submit(task)
 
     # -- merging (runs on pool worker threads) -----------------------------------
 
     def _merge(self, job: JobRecord, outcome: ShardOutcome) -> None:
         """Fold one shard into the job; caller holds ``job.lock``."""
+        merge_wall = time.time()
         first = len(job.races) == 0
         for report in outcome.reports():
             job.races.add(report)
@@ -161,12 +212,45 @@ class JobScheduler:
         if outcome.cache_hits:
             job.cache_hits += outcome.cache_hits
             self._m_cache.inc(outcome.cache_hits)
+        if outcome.spans:
+            job.worker_spans.append((outcome.worker_pid, outcome.spans))
+        if outcome.metrics:
+            merge_snapshots(job.worker_metrics, outcome.metrics)
+        job.trace_spans.append(
+            coord_span(
+                "merge", merge_wall, time.time(),
+                shard=outcome.index, races=len(outcome.rows),
+            )
+        )
+
+    def _record_attempts(self, job: JobRecord, task: ShardTask) -> None:
+        """Failed attempts become retry/backoff spans on the coordinator
+        row (successful attempts show up as the worker's shard span).
+        Caller holds ``job.lock``."""
+        attempts = [e for e in task.events if e.get("kind") == "attempt"]
+        for i, event in enumerate(attempts):
+            if "error" not in event or "end" not in event:
+                continue
+            job.trace_spans.append(
+                coord_span(
+                    "shard-retry", event["start"], event["end"],
+                    shard=task.spec.index, error=event["error"],
+                )
+            )
+            if i + 1 < len(attempts):
+                job.trace_spans.append(
+                    coord_span(
+                        "shard-backoff", event["end"],
+                        attempts[i + 1]["start"], shard=task.spec.index,
+                    )
+                )
 
     def _on_shard(
         self,
         job: JobRecord,
         outcome: Optional[ShardOutcome],
         error: Optional[BaseException],
+        task: Optional[ShardTask] = None,
     ) -> None:
         finished = False
         with job.lock:
@@ -175,6 +259,8 @@ class JobScheduler:
                 job.error = f"{type(error).__name__}: {error}"
             if outcome is not None:
                 self._merge(job, outcome)
+            if task is not None:
+                self._record_attempts(job, task)
             if job.shards_done >= job.shards_total:
                 job.stats.races_found = len(job.races)
                 if job.error:
@@ -198,6 +284,54 @@ class JobScheduler:
         self._m_job_seconds.observe(job.elapsed_seconds)
         if job.ttfr_seconds is not None:
             self._m_ttfr.observe(job.ttfr_seconds)
+            self.obs.registry.histogram(
+                "serve.ttfr_seconds",
+                "submission to first race merged (racy jobs only)",
+                buckets=SECONDS_BUCKETS,
+                labels={"tenant": job.tenant},
+            ).observe(job.ttfr_seconds, exemplar=self._trace_id(job))
+        with job.lock:
+            # The enclosing "job" bar: Chrome nests same-row spans by
+            # time containment, so this parents everything above.
+            job.trace_spans.insert(
+                0,
+                coord_span(
+                    "job", job.submitted_wall, time.time(),
+                    cat="serve-job", state=job.state, tenant=job.tenant,
+                    races=len(job.races),
+                ),
+            )
+        self.obs.journal.record(
+            "job-complete",
+            job=job.job_id,
+            tenant=job.tenant,
+            trace_id=self._trace_id(job),
+            state=job.state,
+            races=len(job.races),
+            shards=job.shards_total,
+            cache_hits=job.cache_hits,
+            elapsed_seconds=round(job.elapsed_seconds, 6),
+            error=job.error or None,
+        )
+        self._write_artifacts(job)
         if self.on_finish is not None:
             self.on_finish(job)
         job.done.set()
+
+    def _write_artifacts(self, job: JobRecord) -> None:
+        """Per-job trace (always) and journal slice (failures only)."""
+        if self.config.trace_dir is None:
+            return
+        root = Path(self.config.trace_dir)
+        try:
+            if job.trace_spans or job.worker_spans:
+                write_job_trace(job, root / f"{job.job_id}.trace.json")
+            if job.state == FAILED and self.obs.journal.enabled:
+                root.mkdir(parents=True, exist_ok=True)
+                self.obs.journal.dump(
+                    root / f"{job.job_id}.journal.jsonl", job=job.job_id
+                )
+        except OSError:
+            # Trace artifacts are best-effort: a full disk must not turn
+            # a finished job into a failed one.
+            pass

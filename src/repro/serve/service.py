@@ -38,6 +38,7 @@ from .pool import WorkStealingPool
 from .queue import IngestionQueue
 from .retry import RetryPolicy
 from .scheduler import JobScheduler
+from .tracing import TraceContext, coord_span, stitch_job_trace
 
 INTEGRITY_MODES = ("strict", "salvage")
 
@@ -91,6 +92,9 @@ class Service:
         self._finished = 0
         self._failed = 0
         self._ttfrs: list[float] = []
+        #: Per-tenant SLO inputs, tracked service-side so ``stats()``
+        #: answers even when the obs bundle is null.
+        self._tenant_stats: dict[str, dict] = {}
         self._closed = False
         self._started = False
 
@@ -158,7 +162,9 @@ class Service:
                 f"expected one of {INTEGRITY_MODES}"
             )
         trace_path = Path(trace)
+        triage_start = time.time()
         triage = triage_trace(trace_path)
+        triage_end = time.time()
         with self._lock:
             self._seq += 1
             job_id = f"job-{self._seq:06d}"
@@ -168,10 +174,18 @@ class Service:
             trace_path=trace_path,
             integrity=integrity,
             triage=triage,
+            trace=TraceContext.mint(),
+        )
+        job.trace_spans.append(
+            coord_span(
+                "triage", triage_start, triage_end,
+                bytes=triage.log_bytes, threads=triage.threads,
+            )
         )
         self.queue.submit(job, block=block, timeout=timeout)
         with self._lock:
             self._jobs[job_id] = job
+            self._tenant(tenant)["submitted"] += 1
         return job_id
 
     # -- inspection --------------------------------------------------------------
@@ -230,6 +244,10 @@ class Service:
             finished = self._finished
             failed = self._failed
             ttfrs = list(self._ttfrs)
+            tenants = {
+                name: self._tenant_summary(data)
+                for name, data in sorted(self._tenant_stats.items())
+            }
         elapsed = time.perf_counter() - self._started_at
         return {
             "jobs_submitted": self._seq,
@@ -244,9 +262,58 @@ class Service:
             "ttfr_p50_seconds": percentile(ttfrs, 0.50),
             "ttfr_p99_seconds": percentile(ttfrs, 0.99),
             "elapsed_seconds": elapsed,
+            "tenants": tenants,
+            "journal": self.obs.journal.summary(),
         }
 
+    def stats_line(self) -> str:
+        """One compact live line (the ``repro serve --watch`` ticker)."""
+        s = self.stats()
+        p50 = s["ttfr_p50_seconds"]
+        ttfr = f"{p50 * 1000:.0f}ms" if p50 is not None else "-"
+        return (
+            f"[serve] jobs={s['jobs_finished']}/{s['jobs_submitted']}"
+            f" failed={s['jobs_failed']}"
+            f" queue={s['queue_depth']} backlog={s['pool_backlog']}"
+            f" shards={s['shards_executed']}"
+            f" steals={s['shard_steals']} retries={s['shard_retries']}"
+            f" ttfr_p50={ttfr}"
+        )
+
+    def trace(self, job_id: str) -> dict:
+        """The job's stitched Chrome trace-event JSON (see
+        :func:`repro.serve.tracing.stitch_job_trace`)."""
+        job = self._job(job_id)
+        with job.lock:
+            return stitch_job_trace(job)
+
     # -- scheduler hook ----------------------------------------------------------
+
+    def _tenant(self, tenant: str) -> dict:
+        """The per-tenant accumulator; caller holds ``self._lock``."""
+        data = self._tenant_stats.get(tenant)
+        if data is None:
+            data = self._tenant_stats[tenant] = {
+                "submitted": 0,
+                "finished": 0,
+                "failed": 0,
+                "ttfrs": [],
+                "queue_waits": [],
+            }
+        return data
+
+    @staticmethod
+    def _tenant_summary(data: dict) -> dict:
+        return {
+            "submitted": data["submitted"],
+            "finished": data["finished"],
+            "failed": data["failed"],
+            "ttfr_p50_seconds": percentile(data["ttfrs"], 0.50),
+            "ttfr_p95_seconds": percentile(data["ttfrs"], 0.95),
+            "ttfr_p99_seconds": percentile(data["ttfrs"], 0.99),
+            "queue_wait_p50_seconds": percentile(data["queue_waits"], 0.50),
+            "queue_wait_p99_seconds": percentile(data["queue_waits"], 0.99),
+        }
 
     def _on_finish(self, job: JobRecord) -> None:
         with self._lock:
@@ -255,3 +322,12 @@ class Service:
                 self._failed += job.state == FAILED
             if job.ttfr_seconds is not None:
                 self._ttfrs.append(job.ttfr_seconds)
+            tenant = self._tenant(job.tenant)
+            tenant["finished"] += 1
+            tenant["failed"] += job.state == FAILED
+            if job.ttfr_seconds is not None:
+                tenant["ttfrs"].append(job.ttfr_seconds)
+            if job.dequeued_wall is not None:
+                tenant["queue_waits"].append(
+                    max(0.0, job.dequeued_wall - job.submitted_wall)
+                )

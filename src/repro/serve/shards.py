@@ -22,6 +22,7 @@ from typing import Optional
 from ..offline.intervals import IntervalInventory, IntervalKey
 from ..offline.options import AnalysisOptions, FastPathOptions
 from ..sword.reader import TraceDir
+from .tracing import ObsConfig
 
 #: Shard kinds.
 PAIRS = "pairs"
@@ -40,6 +41,13 @@ class ShardSpec:
     chunk_events: int = 65536
     use_ilp_crosscheck: bool = False
     fastpath: Optional[FastPathOptions] = None
+    #: Correlation context: which tenant's job and which distributed
+    #: trace this shard belongs to (empty outside the service).
+    tenant: str = ""
+    trace_id: str = ""
+    #: Recipe for the worker-side instrumentation bundle; None runs the
+    #: shard with the worker process's ambient (usually null) bundle.
+    obs_config: Optional[ObsConfig] = None
 
     @property
     def npairs(self) -> int:
@@ -85,6 +93,9 @@ def plan_shards(
     shard_pairs: int = 32,
     min_shards: int = 1,
     cache_dir: Optional[str] = None,
+    tenant: str = "",
+    trace_id: str = "",
+    obs_config: Optional[ObsConfig] = None,
 ) -> ShardPlan:
     """Plan one job: enumerate concurrent pairs, slice into shards.
 
@@ -110,6 +121,9 @@ def plan_shards(
                 chunk_events=options.chunk_events,
                 use_ilp_crosscheck=options.use_ilp_crosscheck,
                 fastpath=fastpath,
+                tenant=tenant,
+                trace_id=trace_id,
+                obs_config=obs_config,
             )
         )
         return plan
@@ -131,6 +145,9 @@ def plan_shards(
                 chunk_events=options.chunk_events,
                 use_ilp_crosscheck=options.use_ilp_crosscheck,
                 fastpath=fastpath,
+                tenant=tenant,
+                trace_id=trace_id,
+                obs_config=obs_config,
             )
         )
     return plan

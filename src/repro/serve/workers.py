@@ -13,9 +13,12 @@ ships races back as plain tuples — no tree or engine pickling.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from ..obs import NULL_OBS, Instrumentation, set_obs
 from ..offline.engine import AnalysisEngine, AnalysisStats
 from ..offline.intervals import IntervalInventory
 from ..offline.options import AnalysisOptions, FastPathOptions
@@ -38,6 +41,13 @@ class ShardOutcome:
     #: Persistent-cache hits this shard served (tree + pair verdicts) —
     #: the coordinator's cross-job reuse signal.
     cache_hits: int = 0
+    #: Spans this shard recorded, as wall-clock dicts
+    #: (:meth:`repro.obs.tracer.Span.to_json`) — empty with tracing off.
+    spans: list[dict] = field(default_factory=list)
+    #: The shard's metric delta: its private registry's snapshot.
+    metrics: dict = field(default_factory=dict)
+    #: Which OS process executed the shard (its trace-viewer row).
+    worker_pid: int = 0
 
     def reports(self) -> Iterable[RaceReport]:
         return (RaceReport(*row) for row in self.rows)
@@ -66,6 +76,39 @@ def shard_options(spec: ShardSpec) -> AnalysisOptions:
 def run_shard(spec: ShardSpec) -> ShardOutcome:
     """Execute one shard in the current process.
 
+    When the spec carries an :class:`~repro.serve.tracing.ObsConfig`,
+    the shard runs under a *fresh* bundle built right here — process
+    workers inherit a null ambient bundle from fork/spawn, so without
+    this the engine's spans and counters would vanish into ``NULL_OBS``.
+    Because the bundle is private to the shard, its snapshot is the
+    shard's metric delta, and its spans ship home on the outcome with
+    wall-clock timestamps for stitching.
+    """
+    if spec.obs_config is None:
+        return _execute_shard(spec, NULL_OBS)
+    bundle = spec.obs_config.build()
+    if multiprocessing.parent_process() is not None:
+        # Own process: installing the bundle as ambient is safe (one
+        # shard at a time here) and catches deep get_obs() call sites.
+        previous = set_obs(bundle)
+        try:
+            outcome = _execute_shard(spec, bundle)
+        finally:
+            set_obs(previous)
+    else:
+        # In-process thread worker: the ambient bundle is shared process
+        # state, and concurrent install/restore from sibling shards
+        # races — the explicit obs threading covers the engine instead.
+        outcome = _execute_shard(spec, bundle)
+    wall_epoch = getattr(bundle.tracer, "wall_epoch", 0.0)
+    outcome.spans = [s.to_json(wall_epoch) for s in bundle.tracer.spans]
+    outcome.metrics = bundle.registry.snapshot()
+    return outcome
+
+
+def _execute_shard(spec: ShardSpec, obs: Instrumentation) -> ShardOutcome:
+    """The shard body proper, under an explicit bundle.
+
     Pair shards compare their assigned interval pairs through an engine
     whose readers are closed via the context manager even on error
     (long-lived pools must not leak per-thread log descriptors).
@@ -73,33 +116,46 @@ def run_shard(spec: ShardSpec) -> ShardOutcome:
     integrity ledger home.
     """
     options = shard_options(spec)
-    outcome = ShardOutcome(job_id=spec.job_id, index=spec.index)
-    if spec.kind == SALVAGE:
-        from ..offline.analyzer import SerialOfflineAnalyzer
+    options.obs = obs
+    outcome = ShardOutcome(
+        job_id=spec.job_id, index=spec.index, worker_pid=os.getpid()
+    )
+    with obs.tracer.span(
+        "shard", "serve",
+        job=spec.job_id, shard=spec.index, kind=spec.kind, pairs=spec.npairs,
+    ):
+        if spec.kind == SALVAGE:
+            from ..offline.analyzer import SerialOfflineAnalyzer
 
-        analysis = SerialOfflineAnalyzer(
-            TraceDir(spec.trace_path, integrity="salvage"), options=options
-        ).analyze()
-        outcome.rows = race_rows(analysis.races)
-        outcome.stats = analysis.stats
-        outcome.integrity = (
-            analysis.integrity.to_json()
-            if analysis.integrity is not None
-            else None
-        )
-        outcome.cache_hits = (
-            analysis.stats.pair_cache_hits + analysis.stats.tree_cache_disk_hits
-        )
-        return outcome
-    trace = TraceDir(spec.trace_path)
-    races = RaceSet()
-    with AnalysisEngine(trace, options=options) as engine:
-        inventory = IntervalInventory(trace)
-        for key_a, key_b in spec.pair_keys:
-            engine.analyze_pair(
-                inventory.intervals[key_a], inventory.intervals[key_b], races
+            analysis = SerialOfflineAnalyzer(
+                TraceDir(spec.trace_path, integrity="salvage"),
+                obs=obs,
+                options=options,
+            ).analyze()
+            outcome.rows = race_rows(analysis.races)
+            outcome.stats = analysis.stats
+            outcome.integrity = (
+                analysis.integrity.to_json()
+                if analysis.integrity is not None
+                else None
             )
-        outcome.stats = engine.stats
+            outcome.cache_hits = (
+                analysis.stats.pair_cache_hits
+                + analysis.stats.tree_cache_disk_hits
+            )
+            return outcome
+        trace = TraceDir(spec.trace_path)
+        races = RaceSet()
+        with AnalysisEngine(trace, obs=obs, options=options) as engine:
+            with obs.tracer.span("scan", "serve", shard=spec.index):
+                inventory = IntervalInventory(trace)
+            for key_a, key_b in spec.pair_keys:
+                engine.analyze_pair(
+                    inventory.intervals[key_a],
+                    inventory.intervals[key_b],
+                    races,
+                )
+            outcome.stats = engine.stats
     outcome.rows = race_rows(races)
     outcome.cache_hits = (
         outcome.stats.pair_cache_hits + outcome.stats.tree_cache_disk_hits

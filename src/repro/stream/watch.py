@@ -113,6 +113,7 @@ class ResilientObserver(TraceObserver):
             "watch.reconnects",
             "watch-mode analyzer retries after trace I/O failures",
         )
+        self._journal = obs.journal
 
     def _reset_readers(self) -> None:
         engine = getattr(self.inner, "engine", None)
@@ -125,6 +126,7 @@ class ResilientObserver(TraceObserver):
     def _count_reconnect(self) -> None:
         self.reconnects += 1
         self._m_reconnects.inc()
+        self._journal.record("watch-reconnect", total=self.reconnects)
 
     def _deliver(self, method: str, *args) -> None:
         from ..serve.retry import TRANSIENT_ERRORS, RetryPolicy
@@ -145,6 +147,9 @@ class ResilientObserver(TraceObserver):
             )
         except TRANSIENT_ERRORS:
             self.dropped_notifications += 1
+            self._journal.record(
+                "watch-drop", method=method, total=self.dropped_notifications
+            )
 
     def on_trace_begin(self, producer) -> None:
         self._deliver("on_trace_begin", producer)

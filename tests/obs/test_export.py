@@ -71,6 +71,55 @@ def test_stats_line_empty():
     assert "no metrics" in stats_line({})
 
 
+def test_prometheus_labeled_series_share_one_type_line():
+    reg = MetricsRegistry()
+    reg.counter("serve.quota_rejections", labels={"tenant": "acme"}).inc(3)
+    reg.counter("serve.quota_rejections", labels={"tenant": "globex"}).inc(1)
+    text = prometheus_text(reg.snapshot())
+    assert (
+        text.count("# TYPE repro_serve_quota_rejections_total counter") == 1
+    )
+    assert 'repro_serve_quota_rejections_total{tenant="acme"} 3' in text
+    assert 'repro_serve_quota_rejections_total{tenant="globex"} 1' in text
+
+
+def test_prometheus_labeled_histogram_merges_le_label():
+    reg = MetricsRegistry()
+    h = reg.histogram(
+        "serve.ttfr_seconds", buckets=(0.1, 1.0), labels={"tenant": "acme"}
+    )
+    h.observe(0.05)
+    text = prometheus_text(reg.snapshot())
+    assert 'repro_serve_ttfr_seconds_bucket{tenant="acme",le="0.1"} 1' in text
+    assert 'repro_serve_ttfr_seconds_bucket{tenant="acme",le="+Inf"} 1' in text
+    assert 'repro_serve_ttfr_seconds_count{tenant="acme"} 1' in text
+
+
+def test_prometheus_exemplar_rides_its_bucket():
+    reg = MetricsRegistry()
+    h = reg.histogram("serve.ttfr_seconds", buckets=(0.1, 1.0))
+    h.observe(0.05, exemplar="deadbeef")
+    h.observe(0.5)  # no exemplar on this bucket
+    lines = prometheus_text(reg.snapshot()).splitlines()
+    low = next(l for l in lines if 'le="0.1"' in l)
+    assert low.endswith('# {trace_id="deadbeef"} 0.05')
+    mid = next(l for l in lines if 'le="1.0"' in l)
+    assert "trace_id" not in mid
+
+
+def test_prometheus_percentile_lines():
+    reg = MetricsRegistry()
+    h = reg.histogram("serve.shard_seconds", buckets=(0.01, 0.1, 1.0))
+    for _ in range(99):
+        h.observe(0.005)
+    h.observe(0.5)
+    h.observe(0.5)
+    text = prometheus_text(reg.snapshot())
+    assert "repro_serve_shard_seconds_p50 0.01" in text
+    assert "repro_serve_shard_seconds_p95 0.01" in text
+    assert "repro_serve_shard_seconds_p99 1.0" in text
+
+
 def test_ambient_obs_default_and_install():
     assert not get_obs().enabled  # null by default
     bundle = live()

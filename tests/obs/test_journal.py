@@ -1,0 +1,84 @@
+"""The flight recorder: bounded ring, filters, dumps, null twin."""
+
+import json
+
+from repro.obs import NULL_JOURNAL, FlightRecorder, NullJournal
+
+
+def test_record_elides_none_fields():
+    journal = FlightRecorder(capacity=8, clock=lambda: 1.5)
+    event = journal.record("job-submit", job="j1", tenant=None, bytes=42)
+    assert event == {"ts": 1.5, "kind": "job-submit", "job": "j1", "bytes": 42}
+
+
+def test_ring_is_bounded_and_counts_drops():
+    journal = FlightRecorder(capacity=3)
+    for i in range(5):
+        journal.record("tick", n=i)
+    assert len(journal) == 3
+    assert journal.recorded == 5
+    assert journal.dropped == 2
+    assert [e["n"] for e in journal.events()] == [2, 3, 4]  # oldest first
+
+
+def test_filters_compose():
+    journal = FlightRecorder(capacity=16)
+    journal.record("job-submit", job="a", tenant="t1", trace_id="x")
+    journal.record("job-submit", job="b", tenant="t2", trace_id="y")
+    journal.record("job-complete", job="a", tenant="t1", trace_id="x")
+    assert len(journal.events(kind="job-submit")) == 2
+    assert len(journal.events(tenant="t1")) == 2
+    assert [e["kind"] for e in journal.events(trace_id="x")] == [
+        "job-submit",
+        "job-complete",
+    ]
+    assert journal.events(job="a", kind="job-complete")[0]["tenant"] == "t1"
+
+
+def test_limit_keeps_newest():
+    journal = FlightRecorder(capacity=16)
+    for i in range(6):
+        journal.record("tick", n=i)
+    assert [e["n"] for e in journal.events(limit=2)] == [4, 5]
+
+
+def test_summary_tallies_kinds():
+    journal = FlightRecorder(capacity=4)
+    journal.record("a")
+    journal.record("b")
+    journal.record("b")
+    summary = journal.summary()
+    assert summary["capacity"] == 4
+    assert summary["retained"] == 3
+    assert summary["kinds"] == {"a": 1, "b": 2}
+
+
+def test_dump_writes_jsonl(tmp_path):
+    journal = FlightRecorder(capacity=8, clock=lambda: 2.0)
+    journal.record("a", job="j1")
+    journal.record("b", job="j2")
+    path = tmp_path / "events.jsonl"
+    assert journal.dump(path, job="j1") == 1
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert lines == [{"job": "j1", "kind": "a", "ts": 2.0}]
+
+
+def test_reset_clears_everything():
+    journal = FlightRecorder(capacity=2)
+    journal.record("a")
+    journal.record("a")
+    journal.record("a")
+    journal.reset()
+    assert len(journal) == 0
+    assert journal.recorded == 0
+    assert journal.dropped == 0
+    assert journal.summary()["kinds"] == {}
+
+
+def test_null_journal_is_inert(tmp_path):
+    assert NULL_JOURNAL.enabled is False
+    assert NULL_JOURNAL.record("anything", job="x") == {}
+    assert NULL_JOURNAL.events() == []
+    assert NULL_JOURNAL.summary() == {}
+    assert len(NULL_JOURNAL) == 0
+    assert isinstance(NULL_JOURNAL, NullJournal)

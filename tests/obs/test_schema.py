@@ -1,0 +1,143 @@
+"""The subset schema validator that guards CI's obs-smoke artifacts."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import live, prometheus_text
+from repro.obs.schema import (
+    SchemaError,
+    check,
+    main,
+    validate,
+    validate_prometheus_text,
+)
+
+SCHEMAS = Path(__file__).resolve().parents[2] / "schemas"
+
+
+def test_type_enum_const_bounds():
+    schema = {"type": "integer", "minimum": 0, "maximum": 10}
+    assert validate(5, schema) == []
+    assert validate(-1, schema)
+    assert validate(True, schema)  # bools are not integers
+    assert validate("done", {"enum": ["done", "failed"]}) == []
+    assert validate("queued", {"enum": ["done", "failed"]})
+    assert validate("X", {"const": "X"}) == []
+    assert validate("M", {"const": "X"})
+
+
+def test_object_required_and_additional():
+    schema = {
+        "type": "object",
+        "required": ["name"],
+        "properties": {"name": {"type": "string"}},
+        "additionalProperties": False,
+    }
+    assert validate({"name": "scan"}, schema) == []
+    assert any("missing required" in e for e in validate({}, schema))
+    assert any("unexpected" in e for e in validate({"name": "x", "z": 1}, schema))
+
+
+def test_array_items_and_bounds():
+    schema = {"type": "array", "minItems": 1, "items": {"type": "number"}}
+    assert validate([1.5, 2], schema) == []
+    assert any("minItems" in e for e in validate([], schema))
+    errors = validate([1, "two"], schema)
+    assert errors and "[1]" in errors[0]
+
+
+def test_pattern_and_anyof():
+    assert validate("job-000001", {"pattern": "^job-[0-9]{6}$"}) == []
+    assert validate("job-1", {"pattern": "^job-[0-9]{6}$"})
+    branch = {"anyOf": [{"const": "X"}, {"const": "M"}]}
+    assert validate("M", branch) == []
+    assert any("anyOf" in e for e in validate("B", branch))
+
+
+def test_unknown_keyword_is_an_error_not_a_pass():
+    with pytest.raises(ValueError, match="unsupported keyword"):
+        validate({}, {"patternProperties": {}})
+
+
+def test_check_raises_with_every_violation():
+    with pytest.raises(SchemaError) as exc:
+        check({"a": 1}, {"required": ["b", "c"]})
+    assert len(exc.value.errors) == 2
+
+
+def test_job_trace_schema_accepts_a_minimal_stitched_trace():
+    schema = json.loads((SCHEMAS / "job-trace.schema.json").read_text())
+    trace = {
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "job_id": "job-000001",
+            "tenant": "acme",
+            "trace_id": "ab" * 16,
+            "state": "done",
+        },
+        "traceEvents": [
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": 0,
+                "args": {"name": "coordinator"},
+            },
+            {
+                "name": "job",
+                "cat": "serve-job",
+                "ph": "X",
+                "pid": 0,
+                "tid": 0,
+                "ts": 0.0,
+                "dur": 1200.5,
+                "args": {"trace_id": "ab" * 16},
+            },
+        ],
+    }
+    assert validate(trace, schema) == []
+    trace["traceEvents"][1]["ts"] = -4.0
+    assert validate(trace, schema)
+
+
+def test_prometheus_text_from_live_registry_validates():
+    obs = live()
+    obs.registry.counter("serve.jobs_done").inc(3)
+    obs.registry.gauge("membound.utilisation").set(0.5)
+    h = obs.registry.histogram(
+        "serve.ttfr_seconds", buckets=(0.1, 1.0), labels={"tenant": "acme"}
+    )
+    h.observe(0.05, exemplar="deadbeef")
+    assert validate_prometheus_text(prometheus_text(obs.snapshot())) == []
+
+
+def test_prometheus_grammar_rejects_bad_lines():
+    assert any(
+        "malformed sample" in e
+        for e in validate_prometheus_text("not a metric line\n")
+    )
+    assert any(
+        "no preceding # TYPE" in e
+        for e in validate_prometheus_text("orphan_total 3\n")
+    )
+    assert any(
+        "malformed comment" in e
+        for e in validate_prometheus_text("# TIPE x counter\n")
+    )
+
+
+def test_cli_validates_files(tmp_path, capsys):
+    schema = tmp_path / "s.json"
+    schema.write_text(json.dumps({"type": "object", "required": ["ok"]}))
+    good = tmp_path / "good.json"
+    good.write_text('{"ok": true}')
+    bad = tmp_path / "bad.json"
+    bad.write_text("{}")
+    assert main(["--schema", str(schema), str(good)]) == 0
+    assert main(["--schema", str(schema), str(bad)]) == 1
+    prom = tmp_path / "m.prom"
+    prom.write_text("# TYPE x counter\nx_total 1\n")
+    assert main(["--prometheus", str(prom)]) == 0
+    capsys.readouterr()  # swallow the ok/error chatter
