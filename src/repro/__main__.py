@@ -53,7 +53,7 @@ from .common.exitcodes import (
 from .harness.tables import fmt_bytes, fmt_seconds
 from .harness.tools import TOOL_NAMES
 from .obs import prometheus_text, write_json
-from .offline.options import AnalysisOptions, FastPathOptions
+from .offline.options import AnalysisOptions, FastPathOptions, PruningOptions
 from .workloads import REGISTRY
 
 
@@ -97,6 +97,20 @@ def _add_obs_flags(p: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="write Chrome trace-event JSON of the run's phases",
     )
+
+
+def _stats_bytes_inflated(stats: dict | None) -> int:
+    """Sum ``bytes_inflated`` over a run's nested per-mode stats dicts."""
+    if not isinstance(stats, dict):
+        return 0
+    total = 0
+    for value in stats.values():
+        if isinstance(value, dict):
+            if "bytes_inflated" in value:
+                total += int(value.get("bytes_inflated") or 0)
+            else:
+                total += _stats_bytes_inflated(value)
+    return total
 
 
 def _print_json(payload: dict, exit_code: int | None = None) -> None:
@@ -166,6 +180,7 @@ def cmd_check(args: argparse.Namespace) -> int:
             "app_bytes": result.app_bytes,
             "tool_bytes": result.tool_bytes,
             "stats": result.stats,
+            "bytes_inflated": _stats_bytes_inflated(result.stats),
             "metrics": result.metrics,
         }
         if result.integrity is not None:
@@ -216,7 +231,9 @@ def cmd_watch(args: argparse.Namespace) -> int:
         code = (
             EXIT_ERROR if result.oom else race_exit_code(result.race_count)
         )
-        _print_json(result.to_json(), exit_code=code)
+        payload = result.to_json()
+        payload["bytes_inflated"] = _stats_bytes_inflated(payload.get("stats"))
+        _print_json(payload, exit_code=code)
         return code
     if result.oom:
         print("watch ran OUT OF MEMORY on the simulated node")
@@ -270,6 +287,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             result_cache=bool(args.cache or args.cache_dir),
             cache_dir=args.cache_dir,
         ),
+        pruning=PruningOptions(lazy_inflate=not args.no_lazy),
     )
     with obs.tracer.span("analyze", category="run"):
         result = api.analyze(
@@ -278,6 +296,7 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     _export_obs(args, obs)
     if args.json:
         payload = result.to_json()
+        payload["bytes_inflated"] = result.stats.bytes_inflated
         payload["metrics"] = obs.registry.snapshot()
         code = race_exit_code(result.race_count)
         _print_json(payload, exit_code=code)
@@ -359,6 +378,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-fastpath",
         action="store_true",
         help="disable digest pruning and solver memoization",
+    )
+    p.add_argument(
+        "--no-lazy",
+        action="store_true",
+        help="disable the meta-digest pre-filter (always inflate frames)",
     )
     p.add_argument(
         "--cache",

@@ -44,7 +44,7 @@ from .harness.tools import RunResult, driver
 from .obs import Instrumentation
 from .offline.analyzer import SerialOfflineAnalyzer
 from .offline.engine import AnalysisResult
-from .offline.options import AnalysisOptions, FastPathOptions
+from .offline.options import AnalysisOptions, FastPathOptions, PruningOptions
 from .offline.parallel import DistributedOfflineAnalyzer, default_workers
 from .offline.report import RaceSet
 from .serve import Service, ServeConfig, TenantQuota
@@ -61,6 +61,7 @@ __all__ = [
     "AnalysisOptions",
     "AnalysisResult",
     "FastPathOptions",
+    "PruningOptions",
     "RunResult",
     "ServeConfig",
     "Service",

@@ -15,6 +15,7 @@ property.  It backs both the ``tests/faults`` property test and the CI
 
 from __future__ import annotations
 
+import re
 import shutil
 import tempfile
 from dataclasses import dataclass, field
@@ -26,17 +27,7 @@ from ..common.errors import TraceFormatError
 from ..obs import get_obs
 from ..omp.runtime import OpenMPRuntime
 from ..sword.logger import SwordTool
-from ..sword.reader import TraceDir
-from ..sword.traceformat import (
-    BLOCK_HEADER_BYTES,
-    BLOCK_MAGIC,
-    COMMIT_TRAILER_BYTES,
-    FRAME_HEADER_BYTES,
-    FRAME_MAGIC,
-    log_name,
-    unpack_block_header,
-    unpack_frame_header,
-)
+from ..sword.reader import ThreadTraceReader, TraceDir
 from ..workloads import REGISTRY
 from ..workloads.base import Workload
 
@@ -94,68 +85,59 @@ def collect_trace(
     rt.run(lambda master: w.run_program(master, **params))
 
 
+_LOG_NAME_RE = re.compile(r"^thread_(\d+)\.log$")
+
+
 def frame_kill_points(trace_dir: str | Path) -> list[KillPoint]:
     """Enumerate kill points from the actual frame layout of each log.
 
     Per frame: the boundary after it, a mid-header cut, a mid-payload
     cut, and a cut just before the commit marker; plus the file end
     itself (``clean-end`` — the no-fault control point, which salvage
-    must analyze byte-identically to strict).
+    must analyze byte-identically to strict).  The layout comes from the
+    reader's own :meth:`~repro.sword.reader.ThreadTraceReader.
+    frame_spans` index — the sweep cuts exactly where the reader says
+    frames live, with no second frame parser to drift out of sync.
     """
     trace_dir = Path(trace_dir)
     points: list[KillPoint] = []
     for log_path in sorted(trace_dir.glob("thread_*.log")):
-        data = log_path.read_bytes()
         name = log_path.name
-        pos = 0
-        while pos < len(data):
-            magic = data[pos : pos + 4]
-            if magic == FRAME_MAGIC:
-                header = unpack_frame_header(
-                    data[pos : pos + FRAME_HEADER_BYTES]
-                )
-                end = (
-                    pos
-                    + FRAME_HEADER_BYTES
-                    + header.compressed_size
-                    + COMMIT_TRAILER_BYTES
-                )
-                points.append(KillPoint(name, pos + 16, "mid-header"))
+        gid = int(_LOG_NAME_RE.match(name).group(1))
+        size = log_path.stat().st_size
+        try:
+            with ThreadTraceReader(trace_dir, gid) as reader:
+                spans = reader.frame_spans()
+        except TraceFormatError as exc:
+            raise TraceFormatError(
+                f"{exc} (sweep requires a clean trace)"
+            ) from exc
+        covered = spans[-1].end if spans else 0
+        if covered != size:
+            raise TraceFormatError(
+                f"{log_path}: trailing bytes past frame {len(spans) - 1} at "
+                f"byte {covered} (sweep requires a clean trace)"
+            )
+        for span in spans:
+            points.append(
+                KillPoint(name, span.start + span.header_bytes // 2, "mid-header")
+            )
+            if span.version >= 2:
                 points.append(
                     KillPoint(
                         name,
-                        pos + FRAME_HEADER_BYTES + header.compressed_size // 2,
+                        span.start + span.header_bytes + span.payload_bytes // 2,
                         "mid-payload",
                     )
                 )
-                points.append(KillPoint(name, end - 4, "pre-commit"))
-                points.append(
-                    KillPoint(
-                        name,
-                        end,
-                        "clean-end" if end == len(data) else "boundary",
-                    )
+                points.append(KillPoint(name, span.end - 4, "pre-commit"))
+            points.append(
+                KillPoint(
+                    name,
+                    span.end,
+                    "clean-end" if span.end == size else "boundary",
                 )
-                pos = end
-            elif magic == BLOCK_MAGIC:  # legacy v1 block
-                header = unpack_block_header(
-                    data[pos : pos + BLOCK_HEADER_BYTES]
-                )
-                end = pos + BLOCK_HEADER_BYTES + header.compressed_size
-                points.append(KillPoint(name, pos + 12, "mid-header"))
-                points.append(
-                    KillPoint(
-                        name,
-                        end,
-                        "clean-end" if end == len(data) else "boundary",
-                    )
-                )
-                pos = end
-            else:
-                raise TraceFormatError(
-                    f"{log_path}: unrecognised frame at byte {pos} "
-                    f"(sweep requires a clean trace)"
-                )
+            )
     return points
 
 

@@ -25,7 +25,14 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from ..common.errors import DigestVersionError
 from .tree import IntervalTree
+
+#: Serialization version of :meth:`TreeDigest.to_json` payloads.  Older
+#: payloads without a ``version`` key are version 1; payloads from a
+#: *newer* version raise :class:`DigestVersionError` instead of being
+#: silently misread.
+TREE_DIGEST_VERSION = 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -90,6 +97,7 @@ class TreeDigest:
 
     def to_json(self) -> dict:
         return {
+            "version": TREE_DIGEST_VERSION,
             "nodes": self.nodes,
             "lo": self.lo,
             "hi": self.hi,
@@ -102,6 +110,12 @@ class TreeDigest:
 
     @classmethod
     def from_json(cls, payload: dict) -> "TreeDigest":
+        version = int(payload.get("version", 1))
+        if version > TREE_DIGEST_VERSION:
+            raise DigestVersionError(
+                f"tree digest version {version} is newer than supported "
+                f"version {TREE_DIGEST_VERSION}"
+            )
         return cls(
             nodes=int(payload["nodes"]),
             lo=int(payload["lo"]),

@@ -40,6 +40,7 @@ import tempfile
 from pathlib import Path
 from typing import Optional
 
+from ..common.errors import DigestVersionError
 from ..itree.digest import TreeDigest
 from ..itree.serialize import TREE_FORMAT, tree_from_rows, tree_to_rows
 from ..itree.tree import IntervalTree
@@ -208,7 +209,15 @@ class ResultCache:
             tree = tree_from_rows(payload["nodes"])
             digest = TreeDigest.from_json(payload["digest"])
             events = int(payload["events_in"])
-        except (KeyError, ValueError, TypeError, StopIteration):
+        except (
+            DigestVersionError,
+            KeyError,
+            ValueError,
+            TypeError,
+            StopIteration,
+        ):
+            # A digest from a newer format version is unusable here; it
+            # joins torn/corrupt entries as a counted, evicted miss.
             self._evict(path)
             self.misses += 1
             return None

@@ -42,6 +42,7 @@ from ..obs import (
     get_obs,
 )
 from ..omp.mutexset import MutexSetTable
+from ..sword.digest import FrameDigest, fold_digests
 from ..sword.integrity import IntegrityReport
 from .cache import ResultCache
 from .intervals import IntervalData
@@ -67,6 +68,13 @@ class AnalysisStats:
     solver_memo_misses: int = 0
     pair_cache_hits: int = 0
     tree_cache_disk_hits: int = 0
+    #: Uncompressed bytes actually decompressed (the lazy-inflation
+    #: claim: scales with races found, not with trace size).
+    bytes_inflated: int = 0
+    #: Chunks decided from their meta-row digests alone (never inflated).
+    frames_pruned: int = 0
+    #: Chunks whose payload was inflated for a tree build.
+    frames_inflated: int = 0
     plan_seconds: float = 0.0
     build_seconds: float = 0.0
     compare_seconds: float = 0.0
@@ -98,6 +106,9 @@ class AnalysisStats:
             "solver_memo_misses": self.solver_memo_misses,
             "pair_cache_hits": self.pair_cache_hits,
             "tree_cache_disk_hits": self.tree_cache_disk_hits,
+            "bytes_inflated": self.bytes_inflated,
+            "frames_pruned": self.frames_pruned,
+            "frames_inflated": self.frames_inflated,
             "plan_seconds": self.plan_seconds,
             "build_seconds": self.build_seconds,
             "compare_seconds": self.compare_seconds,
@@ -229,8 +240,19 @@ class AnalysisEngine:
             SolverMemo(fast.solver_memo_capacity) if fast.memo_active else None
         )
         self._prune = fast.pruning_active
+        pruning = options.pruning
+        #: Meta-digest pre-filter: decide pairs from the frame-resident
+        #: digests *before* scheduling any inflation.
+        self._lazy = (
+            self._prune and pruning.use_digests and pruning.lazy_inflate
+        )
+        #: When meta digests are absent, keep pruning on tree digests
+        #: (which costs one inflation per interval) as before.
+        self._fallback = pruning.fallback_inflate
         # Digests survive LRU eviction of their trees (they are tiny).
         self._digests: dict[object, TreeDigest] = {}
+        self._meta_digests: dict[object, FrameDigest | None] = {}
+        self._inflated_seen: dict[int, int] = {}
         self._result_cache = self._attach_result_cache(fast)
         registry = self.obs.registry
         self._m_trees = registry.counter("offline.trees_built")
@@ -256,6 +278,15 @@ class AnalysisEngine:
         )
         self._m_pruned = registry.counter(
             "offline.pairs_pruned", "pairs dismissed by access digests"
+        )
+        self._m_bytes_inflated = registry.counter(
+            "offline.bytes_inflated", "uncompressed bytes decompressed"
+        )
+        self._m_frames_pruned = registry.counter(
+            "offline.frames_pruned", "chunks decided without inflation"
+        )
+        self._m_frames_inflated = registry.counter(
+            "offline.frames_inflated", "chunks inflated for tree builds"
         )
         self._m_memo_hits = registry.counter(
             "offline.solver_memo_hits", "Diophantine solves served memoized"
@@ -296,9 +327,22 @@ class AnalysisEngine:
 
     def close(self) -> None:
         """Release every reader this engine opened."""
+        self._sync_inflated()
         for reader in self._readers.values():
             reader.close()
         self._readers.clear()
+        # A reopened reader restarts its counter at zero.
+        self._inflated_seen.clear()
+
+    def _sync_inflated(self) -> None:
+        """Fold reader decompression counters into the stats (idempotent)."""
+        for gid, reader in self._readers.items():
+            total = int(getattr(reader, "bytes_inflated", 0))
+            prev = self._inflated_seen.get(gid, 0)
+            if total > prev:
+                self._inflated_seen[gid] = total
+                self.stats.bytes_inflated += total - prev
+                self._m_bytes_inflated.inc(total - prev)
 
     def __enter__(self) -> "AnalysisEngine":
         return self
@@ -326,6 +370,23 @@ class AnalysisEngine:
                 self._digests[interval.key] = digest
         return digest
 
+    def _interval_digest(self, interval: IntervalData) -> FrameDigest | None:
+        """Fold the interval's frame-resident digests (no inflation).
+
+        None when any chunk lacks a meta-row digest (v1 traces, rows from
+        a newer digest version, sources that do not carry digests) — the
+        caller falls back to inflation.
+        """
+        key = interval.key
+        if key in self._meta_digests:
+            return self._meta_digests[key]
+        digests = getattr(interval, "digests", None)
+        folded = None
+        if digests is not None and len(digests) == len(interval.chunks):
+            folded = fold_digests(digests)
+        self._meta_digests[key] = folded
+        return folded
+
     def build_tree(self, interval: IntervalData) -> IntervalTree:
         """Stream one interval's chunks into a summarised tree (cached)."""
         key = interval.key
@@ -350,13 +411,17 @@ class AnalysisEngine:
             builder = TreeBuilder()
             reader = self._reader(key.gid)
             for begin, size in interval.chunks:
-                for records in reader.iter_range(begin, size):
+                view = reader.frame_at(begin, size)
+                for records in view.iter_events():
                     # Re-chunk to the configured streaming granularity.
                     step = self.config.chunk_events
                     for lo in range(0, records.shape[0], step):
                         builder.add_records(records[lo : lo + step])
             tree = builder.finish()
         elapsed = time.perf_counter() - t0
+        self.stats.frames_inflated += len(interval.chunks)
+        self._m_frames_inflated.inc(len(interval.chunks))
+        self._sync_inflated()
         self.stats.trees_built += 1
         self.stats.tree_nodes += len(tree)
         self.stats.events_read += builder.events_in
@@ -498,10 +563,13 @@ class AnalysisEngine:
 
         Fast path, in cost order: (1) a persistent pair-verdict hit
         replays the cached reports without touching any tree; (2) the
-        access digests prove the pair cannot race and it is pruned before
-        the tree walk; (3) the trees are compared with the memoized
-        solver.  Every path produces the identical contribution to
-        ``races`` (the naive path's reports, exactly).
+        frame-resident meta-row digests prove the pair cannot race and it
+        is pruned *before any payload byte is decompressed*; (3) when
+        meta digests are absent, the tree digests (one inflation per
+        interval) prune the comparison as before; (4) the trees are
+        compared with the memoized solver.  Every path produces the
+        identical contribution to ``races`` (the naive path's reports,
+        exactly).
         """
         if self._result_cache is not None:
             self._pair_cache_lookups += 1
@@ -517,8 +585,22 @@ class AnalysisEngine:
             self._m_pair_cache_rate.set(
                 self._result_cache.pair_hits / self._pair_cache_lookups
             )
-        if self._prune and not digests_may_race(
-            self.digest_of(ia), self.digest_of(ib)
+        if self._lazy:
+            da = self._interval_digest(ia)
+            db = self._interval_digest(ib)
+            if da is not None and db is not None and not digests_may_race(da, db):
+                frames = len(ia.chunks) + len(ib.chunks)
+                self.stats.pairs_pruned += 1
+                self.stats.frames_pruned += frames
+                self._m_pruned.inc()
+                self._m_frames_pruned.inc(frames)
+                if self._result_cache is not None:
+                    self._result_cache.store_pair(ia, ib, [])
+                return
+        if (
+            self._prune
+            and self._fallback
+            and not digests_may_race(self.digest_of(ia), self.digest_of(ib))
         ):
             self.stats.pairs_pruned += 1
             self._m_pruned.inc()
@@ -552,5 +634,6 @@ class AnalysisEngine:
             self._m_memo_misses.inc(dm)
         self._m_compare_seconds.observe(elapsed)
         self._m_races.set(len(races))
+        self._sync_inflated()
         if self._result_cache is not None:
             self._result_cache.store_pair(ia, ib, sink)

@@ -46,6 +46,9 @@ class IntervalData:
     span: int
     label: IntervalLabel
     chunks: list[tuple[int, int]] = field(default_factory=list)  # (begin, size)
+    #: Per-chunk frame-resident digests, parallel to ``chunks``; entries
+    #: are None where the meta row carried no digest.
+    digests: list = field(default_factory=list)
 
     @property
     def nbytes(self) -> int:
@@ -95,6 +98,7 @@ class IntervalInventory:
                         self.intervals[key] = data
                         self._by_region.setdefault(row.pid, []).append(data)
                     data.chunks.append((row.data_begin, row.size))
+                    data.digests.append(row.digest)
             finally:
                 reader.close()
 

@@ -22,6 +22,29 @@ from ..obs import Instrumentation
 
 
 @dataclass(slots=True)
+class PruningOptions:
+    """How the engine uses frame-resident digests on compressed traces.
+
+    The compressed-trace redesign: collection-time digests ride each
+    chunk's meta row, so most interval pairs can be decided without
+    inflating any payload bytes.  All combinations preserve
+    canonical-witness determinism — only ``bytes_inflated`` changes.
+    """
+
+    #: Consume meta-row digests at all (off = always inflate).
+    use_digests: bool = True
+    #: Run the digest pre-filter *before* scheduling any inflation, so
+    #: pruned pairs cost zero decompressed bytes.
+    lazy_inflate: bool = True
+    #: When meta digests are absent (v1 traces, digest-less rows), fall
+    #: back to inflating and pruning on tree digests as before.
+    fallback_inflate: bool = True
+
+    def validate(self) -> None:  # symmetry with the sibling options
+        return None
+
+
+@dataclass(slots=True)
 class FastPathOptions:
     """Toggles for the pair-analysis fast path.
 
@@ -78,6 +101,9 @@ class AnalysisOptions:
     #: :class:`~repro.sword.integrity.IntegrityReport` to the result.
     integrity: str = "strict"
     fastpath: FastPathOptions = field(default_factory=FastPathOptions)
+    #: Compressed-trace pruning behaviour (meta-digest pre-filter,
+    #: lazy inflation, tree-digest fallback).
+    pruning: PruningOptions = field(default_factory=PruningOptions)
     #: Instrumentation bundle; None means the ambient bundle.
     obs: Optional[Instrumentation] = None
 
@@ -101,6 +127,7 @@ class AnalysisOptions:
                 f"got {self.integrity!r}"
             )
         self.fastpath.validate()
+        self.pruning.validate()
 
     def offline_config(self) -> OfflineConfig:
         """The legacy config equivalent (validated)."""

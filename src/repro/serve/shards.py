@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..offline.intervals import IntervalInventory, IntervalKey
-from ..offline.options import AnalysisOptions, FastPathOptions
+from ..offline.options import AnalysisOptions, FastPathOptions, PruningOptions
 from ..sword.reader import TraceDir
 from .tracing import ObsConfig
 
@@ -41,6 +41,7 @@ class ShardSpec:
     chunk_events: int = 65536
     use_ilp_crosscheck: bool = False
     fastpath: Optional[FastPathOptions] = None
+    pruning: Optional[PruningOptions] = None
     #: Correlation context: which tenant's job and which distributed
     #: trace this shard belongs to (empty outside the service).
     tenant: str = ""
@@ -121,6 +122,7 @@ def plan_shards(
                 chunk_events=options.chunk_events,
                 use_ilp_crosscheck=options.use_ilp_crosscheck,
                 fastpath=fastpath,
+                pruning=options.pruning,
                 tenant=tenant,
                 trace_id=trace_id,
                 obs_config=obs_config,
@@ -145,6 +147,7 @@ def plan_shards(
                 chunk_events=options.chunk_events,
                 use_ilp_crosscheck=options.use_ilp_crosscheck,
                 fastpath=fastpath,
+                pruning=options.pruning,
                 tenant=tenant,
                 trace_id=trace_id,
                 obs_config=obs_config,

@@ -21,7 +21,7 @@ from typing import Iterable, Optional
 from ..obs import NULL_OBS, Instrumentation, set_obs
 from ..offline.engine import AnalysisEngine, AnalysisStats
 from ..offline.intervals import IntervalInventory
-from ..offline.options import AnalysisOptions, FastPathOptions
+from ..offline.options import AnalysisOptions, FastPathOptions, PruningOptions
 from ..offline.report import RaceReport, RaceSet
 from ..sword.reader import TraceDir
 from .shards import SALVAGE, ShardSpec
@@ -69,6 +69,7 @@ def shard_options(spec: ShardSpec) -> AnalysisOptions:
         chunk_events=spec.chunk_events,
         use_ilp_crosscheck=spec.use_ilp_crosscheck,
         fastpath=spec.fastpath or FastPathOptions(),
+        pruning=spec.pruning or PruningOptions(),
         integrity="salvage" if spec.kind == SALVAGE else "strict",
     )
 
@@ -181,5 +182,8 @@ def merge_stats(total: AnalysisStats, part: AnalysisStats) -> None:
     total.solver_memo_misses += part.solver_memo_misses
     total.pair_cache_hits += part.pair_cache_hits
     total.tree_cache_disk_hits += part.tree_cache_disk_hits
+    total.bytes_inflated += part.bytes_inflated
+    total.frames_pruned += part.frames_pruned
+    total.frames_inflated += part.frames_inflated
     total.build_seconds = max(total.build_seconds, part.build_seconds)
     total.compare_seconds = max(total.compare_seconds, part.compare_seconds)

@@ -85,6 +85,7 @@ class IncrementalPairScheduler:
             )
             self.intervals[key] = data
         data.chunks.append((row.data_begin, row.size))
+        data.digests.append(row.digest)
 
     # -- completion and pair emission -------------------------------------------
 

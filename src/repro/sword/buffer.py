@@ -51,6 +51,14 @@ class EventBuffer:
     def __len__(self) -> int:
         return self._used
 
+    def view(self) -> np.ndarray:
+        """A read-only-by-convention view of the filled prefix.
+
+        Valid only until the next append/flush/drop; the digest
+        accumulator folds it at chunk boundaries without copying.
+        """
+        return self._records[: self._used]
+
     @property
     def nbytes(self) -> int:
         """Fixed allocation size (the bounded overhead)."""

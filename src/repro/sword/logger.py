@@ -66,6 +66,7 @@ from ..obs import (
 from ..omp.ompt import OmptTool
 from .buffer import EventBuffer
 from .compression import by_name, filters
+from .digest import FrameDigest
 from .traceformat import (
     MANIFEST_NAME,
     MUTEXSETS_NAME,
@@ -110,6 +111,11 @@ class _ThreadLog:
     meta_file: object | None = None
     #: Logical byte ranges lost to the drop-oldest degradation path.
     dropped_ranges: list[tuple[int, int]] = field(default_factory=list)
+    #: Running access digest of the open chunk; reset at every chunk
+    #: boundary.  ``fold_pos`` is the stream position covered so far —
+    #: records are folded vectorised at flush/close, never per event.
+    digest_acc: FrameDigest | None = None
+    fold_pos: int = 0
 
     def logical_pos(self) -> int:
         """Current position in uncompressed stream coordinates."""
@@ -285,6 +291,7 @@ class SwordTool(OmptTool):
         chunks keep their coordinates, and recording exactly which bytes
         and events were lost.
         """
+        self._fold_digest(log, records, log.flushed)
         raw = np.ascontiguousarray(records).tobytes()
         filter_id = self._filter_id
         if len(raw) % EVENT_BYTES != 0:  # defensive: blocks are record arrays
@@ -376,11 +383,40 @@ class SwordTool(OmptTool):
             return False
         raise FlushError(log.gid, attempts, last)
 
+    def _fold_digest(
+        self, log: _ThreadLog, records: np.ndarray, base: int
+    ) -> None:
+        """Fold the unfolded suffix of ``records`` into the chunk digest.
+
+        ``base`` is the stream position of ``records[0]``.  Everything
+        before ``log.fold_pos`` was already folded (at an earlier chunk
+        close or flush), so each record is digested exactly once, in one
+        vectorised pass — never on the per-event hot path.
+        """
+        start = max(0, (log.fold_pos - base) // EVENT_BYTES)
+        tail = records[start:]
+        log.fold_pos = base + records.shape[0] * EVENT_BYTES
+        if tail.shape[0] == 0:
+            return
+        part = FrameDigest.from_records(tail)
+        log.digest_acc = (
+            part if log.digest_acc is None else log.digest_acc.fold(part)
+        )
+
+    def _reset_digest(self, log: _ThreadLog, pos: int) -> None:
+        """Start a fresh digest accumulator at a chunk boundary."""
+        log.digest_acc = None
+        log.fold_pos = pos
+
     def _close_chunk(self, log: _ThreadLog) -> None:
         """Emit a Table-I row for the current tracker's open chunk."""
         tr = log.stack[-1]
         pos = log.logical_pos()
         if pos > tr.chunk_start:
+            # Digest the buffered tail of the chunk (flushed frames were
+            # folded as they left the buffer) so the row carries a summary
+            # of exactly its [data_begin, data_begin + size) bytes.
+            self._fold_digest(log, log.buffer.view(), log.flushed)
             row = MetaRow(
                 pid=tr.pid,
                 ppid=tr.ppid,
@@ -390,6 +426,7 @@ class SwordTool(OmptTool):
                 level=tr.level,
                 data_begin=tr.chunk_start,
                 size=pos - tr.chunk_start,
+                digest=log.digest_acc or FrameDigest.empty(),
             )
             if log.overlaps_dropped(tr.chunk_start, pos):
                 # Part of this chunk's bytes were lost to the drop-oldest
@@ -406,6 +443,7 @@ class SwordTool(OmptTool):
                     }
                 )
                 tr.chunk_start = pos
+                self._reset_digest(log, pos)
                 return
             log.rows.append(row)
             if log.meta_file is not None:
@@ -425,6 +463,7 @@ class SwordTool(OmptTool):
                 for obs in self._observers:
                     obs.on_chunk(log.gid, row)
         tr.chunk_start = pos
+        self._reset_digest(log, pos)
 
     def _notify_interval_end(
         self, gid: int, pid: int, bid: int, slot: int, span: int
@@ -535,6 +574,7 @@ class SwordTool(OmptTool):
         if log.stack:
             # Resume the outer interval as a fresh chunk.
             log.stack[-1].chunk_start = log.logical_pos()
+            self._reset_digest(log, log.stack[-1].chunk_start)
 
     def on_barrier_arrive(self, thread, region, bid) -> None:  # noqa: D102
         log = self._logs[thread.gid]
@@ -549,6 +589,7 @@ class SwordTool(OmptTool):
         tr = log.stack[-1]
         tr.bid = new_bid
         tr.chunk_start = log.logical_pos()
+        self._reset_digest(log, tr.chunk_start)
 
     def on_mutex_acquired(self, thread, mutex_id) -> None:  # noqa: D102
         log = self._log_for(thread.gid)

@@ -42,12 +42,14 @@ from typing import Iterator
 
 import numpy as np
 
+from ..common.deprecation import warn_once
 from ..common.errors import CodecError, TraceFormatError
 from ..common.events import EVENT_BYTES, EVENT_DTYPE
 from ..obs import get_obs
 from ..omp.mutexset import MutexSetTable
 from ..osl.concurrency import IntervalLabel, IntervalPair
 from .compression import by_id, filters
+from .digest import FrameDigest
 from ..tasking.graph import TaskGraph
 from .integrity import IntegrityReport, ThreadIntegrity
 from .traceformat import (
@@ -111,6 +113,95 @@ class _BlockRef:
     filter_id: int  # preconditioning filter (0 = none)
 
 
+@dataclass(frozen=True, slots=True)
+class FrameSpan:
+    """Physical layout of one committed frame inside a log file.
+
+    The fault-injection harness derives its kill points from these spans
+    instead of re-parsing raw frame bytes itself.
+    """
+
+    start: int  # file offset of the frame header
+    header_bytes: int
+    payload_bytes: int  # compressed payload size
+    trailer_bytes: int  # commit trailer (0 for v1 blocks)
+    version: int  # trace format version of this frame (1 or 2)
+
+    @property
+    def end(self) -> int:
+        """File offset just past the frame (its boundary kill point)."""
+        return self.start + self.header_bytes + self.payload_bytes + self.trailer_bytes
+
+
+class FrameView:
+    """Lazy handle on one data chunk of a thread's log.
+
+    The redesigned reader surface: a view exposes the chunk's
+    collection-time :attr:`digest` without touching the compressed
+    payload, and inflates the events only when :meth:`events` /
+    :meth:`iter_events` is called.  ``events()`` memoizes the inflated
+    array for repeated access; ``iter_events()`` streams block-by-block
+    with bounded memory (and reuses the memoized array when present).
+
+    Integrity semantics are the owning reader's: a strict reader raises
+    on CRC mismatch at inflation time, a salvage reader only ever serves
+    chunks its reconciliation pass admitted.
+    """
+
+    __slots__ = ("reader", "begin", "size", "row", "_events")
+
+    def __init__(
+        self,
+        reader: "ThreadTraceReader",
+        begin: int,
+        size: int,
+        row: MetaRow | None = None,
+    ) -> None:
+        self.reader = reader
+        self.begin = begin
+        self.size = size
+        self.row = row
+        self._events: np.ndarray | None = None
+
+    @property
+    def gid(self) -> int:
+        return self.reader.gid
+
+    @property
+    def nbytes(self) -> int:
+        """Uncompressed extent of the chunk (what inflating would cost)."""
+        return self.size
+
+    @property
+    def digest(self) -> FrameDigest | None:
+        """The frame-resident access summary; None forces inflation."""
+        return self.row.digest if self.row is not None else None
+
+    @property
+    def inflated(self) -> bool:
+        return self._events is not None
+
+    def events(self) -> np.ndarray:
+        """Inflate (once) and return the chunk's records."""
+        if self._events is None:
+            self._events = self.reader._read_range(self.begin, self.size)
+        return self._events
+
+    def iter_events(self):
+        """Stream the chunk's records block-by-block (bounded memory)."""
+        if self._events is not None:
+            if self._events.shape[0]:
+                yield self._events
+            return
+        yield from self.reader._iter_range(self.begin, self.size)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FrameView(gid={self.reader.gid}, begin={self.begin}, "
+            f"size={self.size}, digest={'yes' if self.digest else 'no'})"
+        )
+
+
 class ThreadTraceReader:
     """Random/streaming access to one thread's log + meta files.
 
@@ -155,6 +246,10 @@ class ThreadTraceReader:
         # One-block decompression cache (ranges are read in ascending order).
         self._cached_block: int = -1
         self._cached_data: bytes = b""
+        #: Uncompressed bytes this reader actually decompressed — the
+        #: lazy-inflation accounting the engine folds into its stats.
+        self.bytes_inflated = 0
+        self._row_index: dict[tuple[int, int], MetaRow] | None = None
 
     @property
     def salvage(self) -> bool:
@@ -376,20 +471,21 @@ class ThreadTraceReader:
         data = by_id(ref.codec_id).decompress(payload, ref.uncompressed_size)
         if ref.filter_id:
             data = filters.decode(ref.filter_id, data)
+        self.bytes_inflated += ref.uncompressed_size
         self._cached_block = i
         self._cached_data = data
         return data
 
-    def read_range(self, begin: int, size: int) -> np.ndarray:
+    def _read_range(self, begin: int, size: int) -> np.ndarray:
         """Materialise one chunk ``[begin, begin+size)`` as a record array."""
-        parts = list(self.iter_range(begin, size))
+        parts = list(self._iter_range(begin, size))
         if not parts:
             return np.empty(0, dtype=EVENT_DTYPE)
         if len(parts) == 1:
             return parts[0]
         return np.concatenate(parts)
 
-    def iter_range(self, begin: int, size: int) -> Iterator[np.ndarray]:
+    def _iter_range(self, begin: int, size: int) -> Iterator[np.ndarray]:
         """Stream one chunk block-by-block (bounded memory)."""
         if size == 0:
             return
@@ -414,9 +510,82 @@ class ThreadTraceReader:
             pos = ref.uncompressed_offset + hi
             i += 1
 
+    # -- frame views ----------------------------------------------------------
+
+    def frame_at(self, begin: int, size: int) -> FrameView:
+        """The lazy view of chunk ``[begin, begin+size)``.
+
+        When a meta row for that exact extent exists its collection-time
+        digest rides along; extents with no matching row (e.g. ad-hoc
+        sub-ranges) get a digest-less view that always inflates.
+        """
+        if self._row_index is None:
+            self._row_index = {
+                (row.data_begin, row.size): row for row in self.rows
+            }
+        row = self._row_index.get((begin, size))
+        return FrameView(self, begin, size, row)
+
+    def frames(self) -> list[FrameView]:
+        """Lazy views of every chunk the meta file describes, in order."""
+        return [FrameView(self, row.data_begin, row.size, row) for row in self.rows]
+
+    def frame_spans(self) -> list[FrameSpan]:
+        """Physical frame layout of the log file (headers, payloads,
+        trailers) for tooling that reasons about on-disk byte offsets."""
+        spans: list[FrameSpan] = []
+        for ref in self._blocks:
+            if ref.payload_crc is not None:
+                spans.append(
+                    FrameSpan(
+                        start=ref.file_offset - FRAME_HEADER_BYTES,
+                        header_bytes=FRAME_HEADER_BYTES,
+                        payload_bytes=ref.compressed_size,
+                        trailer_bytes=COMMIT_TRAILER_BYTES,
+                        version=2,
+                    )
+                )
+            else:
+                spans.append(
+                    FrameSpan(
+                        start=ref.file_offset - BLOCK_HEADER_BYTES,
+                        header_bytes=BLOCK_HEADER_BYTES,
+                        payload_bytes=ref.compressed_size,
+                        trailer_bytes=0,
+                        version=1,
+                    )
+                )
+        return spans
+
+    # -- deprecated eager surface ----------------------------------------------
+
+    def read_range(self, begin: int, size: int) -> np.ndarray:
+        """Deprecated eager read; use :meth:`frame_at` + ``events()``."""
+        warn_once(
+            "ThreadTraceReader.read_range",
+            "ThreadTraceReader.read_range() is deprecated; use "
+            "frame_at(begin, size).events() for lazy, digest-aware access",
+        )
+        return self._read_range(begin, size)
+
+    def iter_range(self, begin: int, size: int) -> Iterator[np.ndarray]:
+        """Deprecated eager iteration; use ``frame_at(...).iter_events()``."""
+        warn_once(
+            "ThreadTraceReader.iter_range",
+            "ThreadTraceReader.iter_range() is deprecated; use "
+            "frame_at(begin, size).iter_events() for lazy, digest-aware "
+            "access",
+        )
+        return self._iter_range(begin, size)
+
     def read_chunk(self, row: MetaRow) -> np.ndarray:
-        """Materialise the chunk a meta row points at."""
-        return self.read_range(row.data_begin, row.size)
+        """Deprecated eager read of a meta row's chunk."""
+        warn_once(
+            "ThreadTraceReader.read_chunk",
+            "ThreadTraceReader.read_chunk() is deprecated; use "
+            "frame_at(row.data_begin, row.size).events()",
+        )
+        return self._read_range(row.data_begin, row.size)
 
 
 def build_interval_label(
@@ -637,6 +806,26 @@ class TraceDir:
         return ThreadTraceReader(
             self.path, gid, integrity=self.integrity_mode, report=report
         )
+
+    def frames_in(
+        self, interval, *, reader: ThreadTraceReader | None = None
+    ) -> Iterator[FrameView]:
+        """Lazy views of an interval's chunks.
+
+        ``interval`` is anything with ``key.gid`` and ``chunks``
+        (``[(data_begin, size), ...]``) — the offline engine's
+        ``IntervalData`` shape.  Pass an open ``reader`` to reuse its
+        block cache; otherwise one is opened (and closed) here.
+        """
+        own = reader is None
+        if reader is None:
+            reader = self.reader(interval.key.gid)
+        try:
+            for begin, size in interval.chunks:
+                yield reader.frame_at(begin, size)
+        finally:
+            if own:
+                reader.close()
 
     def region_span(self, pid: int) -> int:
         return int(self.regions[pid]["span"])

@@ -57,6 +57,7 @@ import zlib
 from dataclasses import dataclass
 
 from ..common.errors import TraceFormatError
+from .digest import FrameDigest, decode_digest
 
 #: On-disk format version recorded in the manifest.  v1: unchecksummed
 #: 24-byte block headers; v2: CRC-framed chunks + commit markers.
@@ -219,13 +220,20 @@ class MetaRow:
     level: int
     data_begin: int      # uncompressed byte offset into the thread's log
     size: int            # chunk length in uncompressed bytes
+    #: Collection-time access summary of the chunk, serialised as a
+    #: versioned ``d1=...`` suffix token (durable rows CRC-cover it).
+    #: None for v1 rows, pre-digest v2 rows, and newer-version tokens.
+    digest: FrameDigest | None = None
 
     def format(self) -> str:
         ppid = "-" if self.ppid < 0 else str(self.ppid)
-        return (
+        body = (
             f"{self.pid} {ppid} {self.bid} {self.offset} {self.span} "
             f"{self.level} {self.data_begin} {self.size}"
         )
+        if self.digest is not None:
+            body = f"{body} {self.digest.encode()}"
+        return body
 
     def format_durable(self) -> str:
         """Row text plus a ``*crc32`` suffix so a torn line is detectable."""
@@ -244,6 +252,16 @@ class MetaRow:
             if crc32(body.encode()) != expected:
                 raise TraceFormatError(f"meta row CRC mismatch: {line!r}")
             parts = parts[:-1]
+        digest: FrameDigest | None = None
+        if len(parts) == len(META_COLUMNS) + 1:
+            # Optional digest suffix token (``d<version>=...``); a token
+            # from a *newer* digest version decodes to None and the chunk
+            # falls back to inflation.
+            try:
+                digest = decode_digest(parts[-1])
+            except ValueError as exc:
+                raise TraceFormatError(f"malformed meta row: {line!r}") from exc
+            parts = parts[:-1]
         if len(parts) != len(META_COLUMNS):
             raise TraceFormatError(f"malformed meta row: {line!r}")
         try:
@@ -257,6 +275,7 @@ class MetaRow:
                 level=int(parts[5]),
                 data_begin=int(parts[6]),
                 size=int(parts[7]),
+                digest=digest,
             )
         except ValueError as exc:
             raise TraceFormatError(f"malformed meta row: {line!r}") from exc

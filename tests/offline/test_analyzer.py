@@ -247,6 +247,22 @@ def test_stats_populated(trace_dir):
     sword_and_oracle(program, trace_dir)
     result = OfflineAnalyzer(TraceDir(trace_dir)).analyze()
     assert result.stats.intervals > 0
-    assert result.stats.trees_built > 0
-    assert result.stats.events_read > 0
+    # The disjoint per-thread writes are fully decided from the frame
+    # digests: every pair is pruned with zero payload bytes inflated.
+    assert result.stats.pairs_pruned > 0
+    assert result.stats.frames_pruned > 0
+    assert result.stats.trees_built == 0
+    assert result.stats.bytes_inflated == 0
     assert result.stats.total_seconds >= 0
+
+    # With the meta-digest pre-filter off, the same trace builds trees
+    # and reads events the eager way.
+    from repro.offline.options import AnalysisOptions, PruningOptions
+
+    eager = OfflineAnalyzer(
+        TraceDir(trace_dir),
+        options=AnalysisOptions(pruning=PruningOptions(use_digests=False)),
+    ).analyze()
+    assert eager.stats.trees_built > 0
+    assert eager.stats.events_read > 0
+    assert eager.stats.bytes_inflated > 0

@@ -1,0 +1,174 @@
+"""Digest-pruned lazy analysis is byte-identical to full inflation.
+
+The compressed-trace property: with the meta-digest pre-filter on, the
+race set must equal the eager (always-inflate) analysis byte-for-byte
+across the corpus — clean traces, delta-filtered traces, and salvage
+recovery of torn traces — while race-free regular workloads decompress
+zero payload bytes.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from conftest import run_program
+from repro import api
+from repro.common.config import SwordConfig
+from repro.common.errors import DigestVersionError
+from repro.itree.digest import TreeDigest
+from repro.offline.analyzer import SerialOfflineAnalyzer
+from repro.offline.cache import ResultCache
+from repro.offline.intervals import IntervalInventory
+from repro.offline.options import (
+    AnalysisOptions,
+    FastPathOptions,
+    PruningOptions,
+)
+from repro.sword import SwordTool, TraceDir
+
+
+def disjoint_program(m):
+    """Race-free: each thread owns a residue class of the array."""
+    a = m.alloc_array("a", 64)
+
+    def body(ctx):
+        for i in range(ctx.tid, 64, ctx.nthreads):
+            ctx.write(a, i, float(i))
+        ctx.barrier()
+        for i in range(ctx.tid, 64, ctx.nthreads):
+            ctx.read(a, i)
+
+    m.parallel(body)
+
+
+def racy_program(m):
+    """One unsynchronised scalar write per thread (a seeded race)."""
+    a = m.alloc_array("a", 64)
+    s = m.alloc_array("s", 1)
+
+    def body(ctx):
+        for i in range(ctx.tid, 64, ctx.nthreads):
+            ctx.write(a, i, float(i))
+        ctx.write(s, 0, float(ctx.tid))
+
+    m.parallel(body)
+
+
+def collect(program, trace_dir, **config):
+    tool = SwordTool(
+        SwordConfig(log_dir=str(trace_dir), buffer_events=32, **config)
+    )
+    run_program(program, nthreads=4, tool=tool)
+
+
+def analyze(trace_dir, *, lazy=True, integrity="strict"):
+    options = AnalysisOptions(
+        integrity=integrity,
+        pruning=PruningOptions(use_digests=lazy, lazy_inflate=lazy),
+    )
+    return api.analyze(str(trace_dir), options=options)
+
+
+def race_bytes(result) -> bytes:
+    return json.dumps(result.races.to_json(), sort_keys=True).encode()
+
+
+def tear(trace_dir) -> None:
+    """Truncate one thread log mid-frame (a killed run)."""
+    log = sorted(trace_dir.glob("thread_*.log"))[0]
+    data = log.read_bytes()
+    assert len(data) > 3
+    log.write_bytes(data[: 2 * len(data) // 3])
+
+
+@pytest.mark.parametrize("program", [disjoint_program, racy_program])
+@pytest.mark.parametrize("config", [{}, {"delta_filter": True}])
+def test_lazy_eager_parity(tmp_path, program, config):
+    collect(program, tmp_path, **config)
+    lazy = analyze(tmp_path, lazy=True)
+    eager = analyze(tmp_path, lazy=False)
+    assert race_bytes(lazy) == race_bytes(eager)
+    assert eager.stats.bytes_inflated >= lazy.stats.bytes_inflated
+
+
+@pytest.mark.parametrize("config", [{}, {"delta_filter": True}])
+def test_lazy_eager_parity_on_salvaged_torn_trace(tmp_path, config):
+    collect(racy_program, tmp_path, durable=True, **config)
+    tear(tmp_path)
+    lazy = analyze(tmp_path, lazy=True, integrity="salvage")
+    eager = analyze(tmp_path, lazy=False, integrity="salvage")
+    assert race_bytes(lazy) == race_bytes(eager)
+    assert lazy.integrity is not None
+
+
+def test_pruned_pairs_inflate_zero_bytes(tmp_path):
+    collect(disjoint_program, tmp_path)
+    result = analyze(tmp_path, lazy=True)
+    stats = result.stats
+    assert len(result.races) == 0
+    assert stats.concurrent_pairs > 0
+    assert stats.pairs_pruned == stats.concurrent_pairs
+    assert stats.frames_pruned > 0
+    # The lazy-inflation claim itself: no payload byte was decompressed.
+    assert stats.bytes_inflated == 0
+    assert stats.frames_inflated == 0
+    assert stats.trees_built == 0
+    # The eager path pays for every frame on the same trace.
+    eager = analyze(tmp_path, lazy=False)
+    assert eager.stats.bytes_inflated > 0
+    assert eager.stats.frames_inflated > 0
+
+
+def test_racy_trace_inflates_only_what_it_compares(tmp_path):
+    collect(racy_program, tmp_path)
+    lazy = analyze(tmp_path, lazy=True)
+    eager = analyze(tmp_path, lazy=False)
+    assert len(lazy.races) > 0
+    assert lazy.stats.bytes_inflated > 0  # racing frames must inflate
+    assert race_bytes(lazy) == race_bytes(eager)
+
+
+def test_interval_digests_ride_the_inventory(tmp_path):
+    collect(disjoint_program, tmp_path)
+    inventory = IntervalInventory(TraceDir(tmp_path))
+    assert len(inventory) > 0
+    for data in inventory.intervals.values():
+        assert len(data.digests) == len(data.chunks)
+        assert all(d is not None for d in data.digests)
+
+
+class TestTreeDigestVersioning:
+    def test_newer_payload_raises_typed_error(self):
+        digest = TreeDigest(
+            nodes=1, lo=0, hi=7, writes=1, reads=0,
+            all_atomic=False, gcd=0, width=8,
+        )
+        payload = digest.to_json()
+        assert TreeDigest.from_json(payload) == digest  # round trip
+        assert TreeDigest.from_json({k: v for k, v in payload.items()
+                                     if k != "version"}) == digest  # legacy
+        payload["version"] = 99
+        with pytest.raises(DigestVersionError):
+            TreeDigest.from_json(payload)
+
+    def test_cache_evicts_newer_version_entries_as_counted_misses(self, tmp_path):
+        trace_path = tmp_path / "trace"
+        collect(racy_program, trace_path)
+        trace = TraceDir(trace_path)
+        inventory = IntervalInventory(trace)
+        interval = next(iter(inventory.intervals.values()))
+        options = AnalysisOptions(
+            fastpath=FastPathOptions(result_cache=True),
+        )
+        with SerialOfflineAnalyzer(trace, options=options) as analyzer:
+            analyzer.build_tree(interval)
+        cache = ResultCache(trace_path)
+        path = cache._tree_path(cache.interval_token(interval))
+        payload = json.loads(path.read_text())
+        payload["digest"]["version"] = 99
+        path.write_text(json.dumps(payload))
+        assert cache.load_tree(interval) is None
+        assert cache.misses == 1
+        assert cache.corrupt_evictions == 1
+        assert not path.exists()

@@ -1,0 +1,198 @@
+"""Frame-resident digests: construction, folding, meta-row round trips.
+
+The collection-time digest must (a) exactly equal what re-digesting the
+inflated frame yields — the fold over flush-granularity parts loses
+nothing — and (b) survive the meta-row token round trip under the
+durable CRC, with forward compatibility for newer digest versions.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import run_program
+from repro.common import deprecation
+from repro.common.errors import TraceFormatError
+from repro.common.events import EVENT_DTYPE, FLAG_WRITE, KIND_ACCESS
+from repro.common.config import SwordConfig
+from repro.itree.digest import digests_may_race
+from repro.sword import SwordTool, TraceDir
+from repro.sword.digest import FrameDigest, decode_digest, fold_digests
+from repro.sword.traceformat import MetaRow, parse_meta_file, format_meta_file
+
+
+def _access(addr, *, write=True, size=8, count=1, stride=0, pc=100):
+    rec = np.zeros(1, dtype=EVENT_DTYPE)[0]
+    rec["kind"] = KIND_ACCESS
+    rec["flags"] = FLAG_WRITE if write else 0
+    rec["size"] = size
+    rec["addr"] = addr
+    rec["count"] = count
+    rec["stride"] = stride
+    rec["pc"] = pc
+    return rec
+
+
+def _records(*recs):
+    out = np.zeros(len(recs), dtype=EVENT_DTYPE)
+    for i, rec in enumerate(recs):
+        out[i] = rec
+    return out
+
+
+class TestFromRecords:
+    def test_counts_and_box(self):
+        records = _records(
+            _access(1000, write=True, size=8),
+            _access(2000, write=False, size=4),
+        )
+        d = FrameDigest.from_records(records)
+        assert (d.events, d.nodes, d.writes, d.reads) == (2, 2, 1, 1)
+        assert (d.lo, d.hi) == (1000, 2003)
+        assert not d.all_atomic
+
+    def test_bulk_stride_extends_box(self):
+        # 10 elements of 8 bytes every 16 bytes from 0: last byte 151.
+        d = FrameDigest.from_records(
+            _records(_access(0, size=8, count=10, stride=16))
+        )
+        assert (d.lo, d.hi) == (0, 151)
+        assert d.gcd == 16
+        assert d.width == 8
+
+    def test_structural_events_counted_but_not_summarised(self):
+        rec = np.zeros(1, dtype=EVENT_DTYPE)
+        rec["kind"] = 7  # non-access
+        d = FrameDigest.from_records(rec)
+        assert d.events == 1 and d.nodes == 0
+        assert not digests_may_race(d, d)
+
+    def test_fold_matches_whole_array_digest(self):
+        records = _records(
+            _access(0, size=8, count=4, stride=32),
+            _access(16, size=8),
+            _access(160, size=8, count=2, stride=32),
+        )
+        whole = FrameDigest.from_records(records)
+        parts = fold_digests(
+            FrameDigest.from_records(records[i : i + 1]) for i in range(3)
+        )
+        assert parts == whole
+
+    def test_fold_empty_passthrough(self):
+        d = FrameDigest.from_records(_records(_access(64)))
+        assert d.fold(FrameDigest.empty(3)).nodes == d.nodes
+        assert FrameDigest.empty(3).fold(d).events == d.events + 3
+
+    def test_disjoint_residue_classes_cannot_race(self):
+        # Thread 0 touches bytes ≡ 0 (mod 64), thread 1 bytes ≡ 32.
+        a = FrameDigest.from_records(
+            _records(_access(0, size=8, count=8, stride=64))
+        )
+        b = FrameDigest.from_records(
+            _records(_access(32, size=8, count=8, stride=64))
+        )
+        assert not digests_may_race(a, b)
+        # Same class → a shared byte is possible.
+        assert digests_may_race(a, a)
+
+
+class TestTokenRoundTrip:
+    def test_encode_decode(self):
+        d = FrameDigest.from_records(
+            _records(_access(8, count=3, stride=24), _access(56, write=False))
+        )
+        assert decode_digest(d.encode()) == d
+
+    def test_newer_version_decodes_to_none(self):
+        assert decode_digest("d2=whatever,future,fields") is None
+        assert decode_digest("d99=1,2,3") is None
+
+    def test_malformed_tokens_raise(self):
+        with pytest.raises(ValueError):
+            decode_digest("d1=1,2,3")  # wrong field count
+        with pytest.raises(ValueError):
+            decode_digest("d1=a,b,c,d,e,f,g,h,i,j,k")  # non-integer
+        with pytest.raises(ValueError):
+            decode_digest("x1=1")  # not a digest token
+
+    def test_meta_row_carries_digest_through_durable_crc(self):
+        digest = FrameDigest.from_records(_records(_access(512, size=4)))
+        row = MetaRow(
+            pid=1, ppid=0, bid=2, offset=0, span=4,
+            level=0, data_begin=0, size=40, digest=digest,
+        )
+        text = format_meta_file([row], durable=True)
+        (parsed,) = parse_meta_file(text)
+        assert parsed.digest == digest
+
+    def test_digestless_row_still_parses(self):
+        row = MetaRow(
+            pid=1, ppid=0, bid=2, offset=0, span=4,
+            level=0, data_begin=0, size=40,
+        )
+        (parsed,) = parse_meta_file(format_meta_file([row]))
+        assert parsed.digest is None
+
+    def test_newer_digest_token_is_forward_compatible(self):
+        line = "1 0 2 0 4 0 0 40 d9=anything"
+        (parsed,) = parse_meta_file(line + "\n")
+        assert parsed.digest is None  # falls back to inflation
+
+    def test_malformed_digest_token_is_a_format_error(self):
+        with pytest.raises(TraceFormatError):
+            parse_meta_file("1 0 2 0 4 0 0 40 d1=1,2\n")
+
+
+class TestCollectedDigests:
+    def _collect(self, trace_dir, program, **config):
+        tool = SwordTool(
+            SwordConfig(log_dir=trace_dir, buffer_events=32, **config)
+        )
+        run_program(program, nthreads=2, tool=tool)
+        return TraceDir(trace_dir)
+
+    @staticmethod
+    def _program(m):
+        a = m.alloc_array("a", 64)
+
+        def body(ctx):
+            lo, hi = ctx.static_chunk(64)
+            ctx.write_slice(a, lo, hi, np.arange(lo, hi, dtype=float))
+            ctx.barrier()
+            ctx.read_slice(a, lo, hi)
+
+        m.parallel(body)
+
+    @pytest.mark.parametrize("config", [{}, {"delta_filter": True}, {"durable": True}])
+    def test_logged_digest_matches_reinflated_frame(self, trace_dir, config):
+        trace = self._collect(trace_dir, self._program, **config)
+        rows_seen = 0
+        for gid in trace.thread_gids:
+            with trace.reader(gid) as reader:
+                for view in reader.frames():
+                    assert view.digest is not None
+                    assert not view.inflated  # digest never touches payload
+                    again = FrameDigest.from_records(view.events())
+                    assert view.digest == again
+                    rows_seen += 1
+        assert rows_seen > 0
+
+    def test_frame_at_without_row_has_no_digest(self, trace_dir):
+        trace = self._collect(trace_dir, self._program)
+        with trace.reader(trace.thread_gids[0]) as reader:
+            row = reader.rows[0]
+            assert reader.frame_at(row.data_begin, row.size).digest is not None
+            # An ad-hoc sub-range matches no meta row.
+            view = reader.frame_at(row.data_begin, 40)
+            assert view.digest is None
+            assert view.events().shape[0] == 1
+
+    def test_deprecated_readers_warn_once_and_delegate(self, trace_dir):
+        trace = self._collect(trace_dir, self._program)
+        deprecation.reset()
+        with trace.reader(trace.thread_gids[0]) as reader:
+            row = reader.rows[0]
+            with pytest.warns(DeprecationWarning, match="read_range"):
+                eager = reader.read_range(row.data_begin, row.size)
+            lazy = reader.frame_at(row.data_begin, row.size).events()
+            assert eager.tobytes() == lazy.tobytes()
