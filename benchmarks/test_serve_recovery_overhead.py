@@ -1,0 +1,105 @@
+"""Durability overhead benchmark: WAL + shard checkpoints vs baseline.
+
+The durable-recovery layer (DESIGN.md §3.10) buys restart-at-any-WAL-
+boundary resume with two extra I/O streams on the job hot path: one
+CRC-guarded WAL append per lifecycle transition, and one content-hash
+checkpoint write per completed shard.  This benchmark prices that
+insurance: the same burst through the same thread-worker service, once
+ephemeral (no state dir) and once durable, must stay within a generous
+throughput factor — and the durable run's second pass must actually
+*cash in* the checkpoints (every shard a hit, zero recompute).
+"""
+
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.faults.harness import collect_trace
+from repro.serve import ServeConfig, Service, TenantQuota
+from repro.serve.wal import WAL_NAME, replay_wal
+
+WORKLOAD = "plusplus-orig-yes"
+NTHREADS = 4
+SUBMISSIONS = 8
+SHARD_PAIRS = 8
+#: Durable throughput must stay within this factor of ephemeral.
+MAX_SLOWDOWN = 3.0
+
+
+def _run_burst(trace, state_dir=None):
+    config = ServeConfig(
+        workers=2,
+        use_processes=False,
+        shard_pairs=SHARD_PAIRS,
+        quota=TenantQuota(max_pending=SUBMISSIONS),
+        result_cache=False,  # isolate WAL/checkpoint cost from the cache
+        state_dir=str(state_dir) if state_dir else None,
+    )
+    t0 = time.perf_counter()
+    with Service(config) as service:
+        ids = [service.submit(trace) for _ in range(SUBMISSIONS)]
+        results = [service.result(i, timeout=120) for i in ids]
+        hits = sum(service.status(i)["checkpoint_hits"] for i in ids)
+    elapsed = time.perf_counter() - t0
+    races = {
+        json.dumps(r.races.to_json(), sort_keys=True) for r in results
+    }
+    return elapsed, races, hits
+
+
+def test_serve_recovery_overhead(benchmark, save_result):
+    root = Path(tempfile.mkdtemp(prefix="bench-serve-recovery-"))
+    try:
+        trace = root / "trace"
+        collect_trace(WORKLOAD, trace, nthreads=NTHREADS, seed=0)
+
+        base_elapsed, base_races, _ = _run_burst(trace)
+
+        state = root / "state"
+
+        def durable_burst():
+            if state.exists():
+                shutil.rmtree(state)
+            return _run_burst(trace, state_dir=state)
+
+        durable_elapsed, durable_races, first_hits = benchmark.pedantic(
+            durable_burst, rounds=1, iterations=1
+        )
+        assert durable_races == base_races  # durability never changes answers
+
+        # Second pass over the surviving state dir: every shard of every
+        # job must be served from checkpoints (identical submissions
+        # share content-hashed tokens), proving the insurance pays out.
+        warm_elapsed, warm_races, warm_hits = _run_burst(
+            trace, state_dir=state
+        )
+        assert warm_races == base_races
+        replay = replay_wal(state / WAL_NAME)
+        shards_per_job = max(
+            len(j.shards_done) for j in replay.jobs.values()
+        )
+        assert warm_hits >= SUBMISSIONS * shards_per_job
+
+        slowdown = durable_elapsed / max(base_elapsed, 1e-9)
+        wal_records = replay.records
+        lines = [
+            f"Serve durability overhead ({SUBMISSIONS} submissions, "
+            f"shard_pairs={SHARD_PAIRS}, thread workers, cache off):",
+            f"  ephemeral: {base_elapsed:.2f}s "
+            f"({SUBMISSIONS / base_elapsed:.1f} jobs/s)",
+            f"  durable:   {durable_elapsed:.2f}s "
+            f"({SUBMISSIONS / durable_elapsed:.1f} jobs/s) = "
+            f"{slowdown:.2f}x, {wal_records} WAL record(s)",
+            f"  warm:      {warm_elapsed:.2f}s with {warm_hits} "
+            f"checkpoint hit(s) ({shards_per_job} shard(s)/job)",
+        ]
+        save_result("serve_recovery_overhead", "\n".join(lines))
+
+        assert slowdown <= MAX_SLOWDOWN, (
+            f"durability cost {slowdown:.2f}x exceeds the "
+            f"{MAX_SLOWDOWN}x budget"
+        )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)

@@ -47,7 +47,15 @@ from .offline.engine import AnalysisResult
 from .offline.options import AnalysisOptions, FastPathOptions, PruningOptions
 from .offline.parallel import DistributedOfflineAnalyzer, default_workers
 from .offline.report import RaceSet
-from .serve import Service, ServeConfig, TenantQuota
+from .serve import (
+    DegradationReport,
+    JobWal,
+    QuarantinedShard,
+    ServeConfig,
+    Service,
+    TenantQuota,
+    replay_wal,
+)
 from .stream.analyzer import StreamAnalyzer
 from .stream.bus import replay_trace
 from .stream.watch import WatchResult
@@ -60,8 +68,11 @@ __all__ = [
     "JSON_SCHEMA_VERSION",
     "AnalysisOptions",
     "AnalysisResult",
+    "DegradationReport",
     "FastPathOptions",
+    "JobWal",
     "PruningOptions",
+    "QuarantinedShard",
     "RunResult",
     "ServeConfig",
     "Service",
@@ -70,6 +81,7 @@ __all__ = [
     "WatchResult",
     "analyze",
     "detect",
+    "replay_wal",
     "watch",
 ]
 

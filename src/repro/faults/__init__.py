@@ -16,25 +16,43 @@ objects:
   trace at every frame boundary (and mid-frame) and assert that salvage
   analysis always completes with a race set that is a subset of the
   clean run's;
+* :mod:`~repro.faults.chaos` — the service chaos harness: restart the
+  durable service at every WAL boundary (resume sweep) and poison
+  shards to verify graceful degradation;
 * :mod:`~repro.faults.fixtures` — the same machinery as pytest fixtures.
 
-CLI: ``python -m repro faults inject <trace-dir> --seed N`` and
-``python -m repro faults sweep <workload> --out report.json``.
+CLI: ``python -m repro faults inject <trace-dir> --seed N``,
+``python -m repro faults sweep <workload> --out report.json``, and
+``python -m repro faults chaos --out artifacts/``.
 """
 
 from .plan import FaultAction, FaultPlan
 from .sink import FaultySink, FaultySinkFactory, SinkFaultSpec
 from .harness import KillPoint, SweepPointResult, SweepResult, frame_kill_points, kill_sweep
+from .chaos import (
+    DegradationScenarioResult,
+    ResumePointResult,
+    ResumeSweepResult,
+    poison_degradation,
+    resume_sweep,
+    sabotage,
+)
 
 __all__ = [
+    "DegradationScenarioResult",
     "FaultAction",
     "FaultPlan",
     "FaultySink",
     "FaultySinkFactory",
     "KillPoint",
+    "ResumePointResult",
+    "ResumeSweepResult",
     "SinkFaultSpec",
     "SweepPointResult",
     "SweepResult",
     "frame_kill_points",
     "kill_sweep",
+    "poison_degradation",
+    "resume_sweep",
+    "sabotage",
 ]

@@ -13,12 +13,21 @@ Two subcommands:
   JSON artifact; exit status 2 when any point violates the property
   (sweep failure is an *error*, not a race verdict — see
   :mod:`repro.common.exitcodes`).
+* ``chaos`` — the service-tier chaos check: the resume sweep (restart
+  a durable service at every WAL boundary, require byte-identical
+  completion with zero re-executed checkpointed shards) plus the
+  poison-shard degradation scenario.  ``--out DIR`` writes the WAL,
+  its parsed records (schema-validated against
+  ``schemas/wal-record.schema.json``), and both reports as artifacts;
+  exit status 2 when either property is violated.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import shutil
+import tempfile
 from pathlib import Path
 
 from ..common.exitcodes import EXIT_CLEAN, EXIT_ERROR, exit_meaning
@@ -68,6 +77,35 @@ def add_faults_subcommands(parser: argparse.ArgumentParser) -> None:
     )
     p.add_argument(
         "--out", metavar="PATH", help="write the sweep report JSON artifact"
+    )
+    p.add_argument("--json", action="store_true", help="machine-readable output")
+
+    p = sub.add_parser(
+        "chaos",
+        help="service chaos: WAL resume sweep + poison-shard degradation",
+    )
+    p.add_argument("workload", nargs="?", default="plusplus-orig-yes")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--threads", type=int, default=2)
+    p.add_argument(
+        "--jobs", type=int, default=2, help="submissions in the reference run"
+    )
+    p.add_argument(
+        "--shard-pairs",
+        type=int,
+        default=8,
+        help="small shards -> many WAL boundaries to restart at",
+    )
+    p.add_argument(
+        "--max-points",
+        type=int,
+        default=None,
+        help="subsample the restart points evenly (smoke runs)",
+    )
+    p.add_argument(
+        "--out",
+        metavar="DIR",
+        help="artifact directory: WAL, parsed records, both reports",
     )
     p.add_argument("--json", action="store_true", help="machine-readable output")
 
@@ -128,9 +166,96 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return code
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from ..obs.schema import validate
+    from ..serve.wal import WAL_NAME, replay_wal
+    from ..sword.traceformat import parse_journal
+    from .chaos import poison_degradation, resume_sweep
+
+    sweep = resume_sweep(
+        args.workload,
+        jobs=args.jobs,
+        nthreads=args.threads,
+        seed=args.seed,
+        shard_pairs=args.shard_pairs,
+        max_points=args.max_points,
+    )
+    # Keep the poison run's root so its WAL survives as an artifact.
+    poison_root = Path(tempfile.mkdtemp(prefix="sword-chaos-artifacts-"))
+    schema_errors: list[str] = []
+    try:
+        scenario = poison_degradation(
+            args.workload,
+            nthreads=args.threads,
+            seed=args.seed,
+            shard_pairs=max(2, args.shard_pairs // 2),
+            keep_root=poison_root,
+        )
+        wal_src = poison_root / "poison-state" / WAL_NAME
+        records = []
+        if wal_src.exists():
+            records = parse_journal(
+                wal_src.read_text(encoding="utf-8"), salvage=True
+            )
+            schema_path = (
+                Path(__file__).resolve().parents[3]
+                / "schemas"
+                / "wal-record.schema.json"
+            )
+            if schema_path.exists():
+                schema_errors = validate(
+                    records, json.loads(schema_path.read_text())
+                )
+        else:
+            schema_errors = [f"poison run left no WAL at {wal_src}"]
+        if args.out:
+            out = Path(args.out)
+            out.mkdir(parents=True, exist_ok=True)
+            if wal_src.exists():
+                shutil.copy2(wal_src, out / WAL_NAME)
+            (out / "wal-records.json").write_text(
+                json.dumps(records, indent=2, sort_keys=True)
+            )
+            (out / "resume-sweep.json").write_text(
+                json.dumps(sweep.to_json(), indent=2, sort_keys=True)
+            )
+            (out / "degradation-report.json").write_text(
+                json.dumps(scenario.to_json(), indent=2, sort_keys=True)
+            )
+    finally:
+        shutil.rmtree(poison_root, ignore_errors=True)
+    ok = sweep.ok and scenario.ok and not schema_errors
+    code = EXIT_CLEAN if ok else EXIT_ERROR
+    if args.json:
+        payload = {
+            "resume_sweep": sweep.to_json(),
+            "degradation": scenario.to_json(),
+            "wal_schema_errors": schema_errors,
+            "exit_code": code,
+            "exit_meaning": exit_meaning(code),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(sweep.summary())
+        for point in sweep.failures:
+            print(
+                f"  FAILED restart@{point.records}"
+                f"{'+torn' if point.torn else ''}: "
+                f"{point.error or 'parity/reuse violated'}"
+            )
+        print(scenario.summary())
+        if scenario.error:
+            print(f"  ERROR {scenario.error}")
+        for err in schema_errors:
+            print(f"  WAL SCHEMA {err}")
+    return code
+
+
 def run_faults_command(args: argparse.Namespace) -> int:
     if args.faults_command == "inject":
         return _cmd_inject(args)
     if args.faults_command == "sweep":
         return _cmd_sweep(args)
+    if args.faults_command == "chaos":
+        return _cmd_chaos(args)
     raise ValueError(f"unknown faults command {args.faults_command!r}")

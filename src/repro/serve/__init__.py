@@ -12,25 +12,34 @@ Entry points: :class:`Service` (also exported as ``repro.api.Service``)
 and the ``repro serve`` CLI.
 """
 
+from .checkpoint import ShardCheckpointStore, shard_token, trace_token
 from .config import ServeConfig, TenantQuota
 from .errors import (
     BackpressureError,
+    JobDeadlineError,
     JobFailedError,
     JobNotFoundError,
+    PoolClosedError,
     QuotaExceededError,
     ServeError,
     ServiceClosedError,
+    ShardTimeoutError,
+    WorkerCrashError,
 )
 from .job import (
     ACTIVE_STATES,
     CANCELLED,
+    DEGRADED,
     DONE,
     FAILED,
     PLANNING,
     QUEUED,
+    RESULT_STATES,
     RUNNING,
     TERMINAL_STATES,
+    DegradationReport,
     JobRecord,
+    QuarantinedShard,
     TriageInfo,
     triage_trace,
 )
@@ -41,42 +50,57 @@ from .scheduler import JobScheduler
 from .service import Service
 from .shards import ShardPlan, ShardSpec, plan_shards
 from .tracing import ObsConfig, TraceContext, stitch_job_trace, write_job_trace
+from .wal import JobWal, WalReplay, replay_wal
 from .workers import ShardOutcome, merge_stats, run_shard
 
 __all__ = [
     "ACTIVE_STATES",
     "BackpressureError",
     "CANCELLED",
+    "DEGRADED",
     "DONE",
+    "DegradationReport",
     "FAILED",
     "IngestionQueue",
+    "JobDeadlineError",
     "JobFailedError",
     "JobNotFoundError",
     "JobRecord",
     "JobScheduler",
+    "JobWal",
     "ObsConfig",
     "PLANNING",
+    "PoolClosedError",
     "QUEUED",
+    "QuarantinedShard",
     "QuotaExceededError",
+    "RESULT_STATES",
     "RUNNING",
     "RetryPolicy",
     "Service",
     "ServeConfig",
     "ServeError",
     "ServiceClosedError",
+    "ShardCheckpointStore",
     "ShardOutcome",
     "ShardPlan",
     "ShardSpec",
     "ShardTask",
+    "ShardTimeoutError",
     "TERMINAL_STATES",
     "TenantQuota",
     "TraceContext",
     "TriageInfo",
+    "WalReplay",
     "WorkStealingPool",
+    "WorkerCrashError",
     "merge_stats",
     "plan_shards",
+    "replay_wal",
     "run_shard",
+    "shard_token",
     "stitch_job_trace",
+    "trace_token",
     "triage_trace",
     "write_job_trace",
 ]

@@ -11,7 +11,16 @@ Exit status follows :mod:`repro.common.exitcodes` with the service
 twist: the burst *expects* races (the corpus contains racy workloads),
 so ``1`` means races were found and everything held, ``0`` means the
 corpus was race-free, and ``2`` means the service itself misbehaved —
-parity broke, or every job failed.
+parity broke, or every job failed.  A burst where any job completed
+DEGRADED (poison shards quarantined, partial pair coverage) also exits
+``1``, with ``exit_meaning: "degraded"`` in the JSON payload — the
+result set is real but incomplete, which a CI gate must not read as
+clean.
+
+``--state-dir`` makes the service durable: the job WAL and shard
+checkpoints live there, and a later run pointed at the same directory
+resumes unfinished jobs before accepting the new burst (``--watch``
+shows ``resumed=``/``resuming=`` while replayed jobs drain).
 """
 
 from __future__ import annotations
@@ -61,6 +70,12 @@ def add_serve_arguments(p: argparse.ArgumentParser) -> None:
         "--no-cache",
         action="store_true",
         help="disable the shared result cache",
+    )
+    p.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        help="durable state root (job WAL + shard checkpoints); a restart "
+        "pointed here resumes unfinished jobs",
     )
     p.add_argument(
         "--submissions", type=int, default=24, help="jobs in the load burst"
@@ -122,8 +137,25 @@ def serve_exit_code(report: LoadReport) -> int:
         return EXIT_ERROR
     if report.jobs_finished == 0 and report.jobs_submitted > 0:
         return EXIT_ERROR
+    if report.jobs_degraded:
+        # Partial coverage is never "clean", even if no race surfaced.
+        return EXIT_RACES
     races = sum(f.get("races", 0) for f in report.flavors.values())
     return EXIT_RACES if races else EXIT_CLEAN
+
+
+def serve_exit_verdict(report: LoadReport) -> tuple[int, str]:
+    """Exit code plus its meaning string for the JSON payload.
+
+    Degradation dominates the meaning: an exit-1 burst with quarantined
+    shards reports ``"degraded"`` rather than ``"races found"`` so a
+    consumer can tell "found races over full coverage" from "finished
+    with holes".
+    """
+    code = serve_exit_code(report)
+    if code == EXIT_RACES and report.jobs_degraded:
+        return code, "degraded"
+    return code, exit_meaning(code)
 
 
 def _fmt_seconds(value) -> str:
@@ -153,6 +185,7 @@ def run_serve_command(args: argparse.Namespace) -> int:
         shard_pairs=args.shard_pairs,
         result_cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        state_dir=args.state_dir,
         trace_dir=args.trace_dir,
     )
     report = generate_and_run(
@@ -175,10 +208,10 @@ def run_serve_command(args: argparse.Namespace) -> int:
             write_json(obs.registry.snapshot(), args.metrics)
     if args.journal:
         Path(args.journal).write_text(obs.journal.to_jsonl())
-    code = serve_exit_code(report)
+    code, meaning = serve_exit_verdict(report)
     payload = report.to_json()
     payload["exit_code"] = code
-    payload["exit_meaning"] = exit_meaning(code)
+    payload["exit_meaning"] = meaning
     if args.report:
         Path(args.report).write_text(
             json.dumps(payload, indent=2, sort_keys=True)
@@ -230,6 +263,14 @@ def run_serve_command(args: argparse.Namespace) -> int:
             f"parity vs single-shot analyze: {verdict} "
             f"({report.parity_checked} job(s) checked)"
         )
+    if report.jobs_degraded:
+        print(
+            f"degraded jobs: {report.jobs_degraded} "
+            f"(quarantined shards; races cover surviving pairs only)"
+        )
+    resumed = report.service_stats.get("jobs_resumed", 0)
+    if resumed:
+        print(f"resumed jobs: {resumed} replayed from the WAL")
     if report.jobs_failed:
         print(f"failed jobs: {report.jobs_failed}")
     return code

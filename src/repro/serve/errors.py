@@ -56,3 +56,37 @@ class JobFailedError(ServeError):
 
 class ServiceClosedError(ServeError):
     """The service is shut down and no longer accepts submissions."""
+
+
+class PoolClosedError(ServeError):
+    """A queued shard was cancelled by a non-graceful pool shutdown."""
+
+    def __init__(self) -> None:
+        super().__init__("worker pool closed before the shard could run")
+
+
+class ShardTimeoutError(ServeError):
+    """A shard exceeded its per-shard execution deadline."""
+
+    def __init__(self, index, timeout_s: float) -> None:
+        super().__init__(f"shard {index} exceeded timeout_s={timeout_s}")
+        self.index = index
+        self.timeout_s = timeout_s
+
+
+class WorkerCrashError(ServeError):
+    """A process worker died (SIGKILL, OOM) while executing a shard."""
+
+    def __init__(self, index, detail: str) -> None:
+        super().__init__(f"worker crashed running shard {index}: {detail}")
+        self.index = index
+        self.detail = detail
+
+
+class JobDeadlineError(ServeError):
+    """A job exceeded its submission-to-terminal deadline."""
+
+    def __init__(self, job_id: str, deadline_s: float) -> None:
+        super().__init__(f"job {job_id} exceeded deadline_s={deadline_s}")
+        self.job_id = job_id
+        self.deadline_s = deadline_s

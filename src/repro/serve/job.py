@@ -2,12 +2,18 @@
 
 States move strictly forward::
 
-    QUEUED -> PLANNING -> RUNNING -> DONE | FAILED | CANCELLED
+    QUEUED -> PLANNING -> RUNNING -> DONE | DEGRADED | FAILED | CANCELLED
 
 Admission attaches a :class:`TriageInfo` — a cheap, metadata-only
 costing of the trace (bytes, threads, meta rows) read without inflating
 a single frame, in the spirit of running admission control on compressed
 traces: the queue can reject or prioritise without paying decompression.
+
+``DEGRADED`` is the graceful-degradation terminal state: one or more
+*poison* shards exhausted their full retry/crash budget and were
+quarantined, but the surviving shards merged normally — the job carries
+a valid race set over the covered pair fraction plus a structured
+:class:`DegradationReport` saying exactly what is missing and why.
 """
 
 from __future__ import annotations
@@ -26,13 +32,16 @@ QUEUED = "queued"
 PLANNING = "planning"
 RUNNING = "running"
 DONE = "done"
+DEGRADED = "degraded"
 FAILED = "failed"
 CANCELLED = "cancelled"
 
 #: States a job can still leave.
 ACTIVE_STATES = (QUEUED, PLANNING, RUNNING)
 #: States a job never leaves.
-TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+TERMINAL_STATES = (DONE, DEGRADED, FAILED, CANCELLED)
+#: Terminal states whose merged result is valid (full or partial).
+RESULT_STATES = (DONE, DEGRADED)
 
 
 @dataclass(frozen=True, slots=True)
@@ -79,6 +88,76 @@ def triage_trace(trace_dir: str | Path) -> TriageInfo:
 
 
 @dataclass(slots=True)
+class QuarantinedShard:
+    """One poison shard: exhausted its retry/crash budget, set aside."""
+
+    index: int
+    #: Concurrent pairs this shard was assigned (its coverage weight).
+    pairs: int
+    #: The cause chain, outermost first (``__cause__`` links flattened).
+    causes: list[str] = field(default_factory=list)
+    #: Process-worker crash/timeout count at quarantine time.
+    crashes: int = 0
+
+    def to_json(self) -> dict:
+        return {
+            "index": self.index,
+            "pairs": self.pairs,
+            "causes": list(self.causes),
+            "crashes": self.crashes,
+        }
+
+
+def cause_chain(error: BaseException) -> list[str]:
+    """Flatten an exception's ``__cause__`` links, outermost first."""
+    chain: list[str] = []
+    seen: set[int] = set()
+    current: Optional[BaseException] = error
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        chain.append(f"{type(current).__name__}: {current}")
+        current = current.__cause__
+    return chain
+
+
+@dataclass(slots=True)
+class DegradationReport:
+    """What a ``DEGRADED`` job is missing, and why.
+
+    ``pair_coverage`` is the fraction of the job's planned concurrent
+    pairs actually analyzed: races over the covered pairs are exact (the
+    merged set is a strict subset of the full answer); pairs inside
+    quarantined shards are simply *unchecked*, never misreported.
+    """
+
+    job_id: str
+    shards_total: int
+    pairs_total: int
+    quarantined: list[QuarantinedShard] = field(default_factory=list)
+
+    @property
+    def pairs_missing(self) -> int:
+        return sum(q.pairs for q in self.quarantined)
+
+    @property
+    def pair_coverage(self) -> float:
+        if self.pairs_total <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.pairs_missing / self.pairs_total)
+
+    def to_json(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "shards_total": self.shards_total,
+            "shards_quarantined": sorted(q.index for q in self.quarantined),
+            "pairs_total": self.pairs_total,
+            "pairs_missing": self.pairs_missing,
+            "pair_coverage": self.pair_coverage,
+            "quarantined": [q.to_json() for q in self.quarantined],
+        }
+
+
+@dataclass(slots=True)
 class JobRecord:
     """One submission's full state, shared between queue/scheduler/pool.
 
@@ -106,6 +185,21 @@ class JobRecord:
     ttfr_seconds: Optional[float] = None
     finished_at: Optional[float] = None
     cache_hits: int = 0
+    #: Submission-to-terminal wall deadline (None: unbounded); enforced
+    #: by the scheduler, which stops dispatching and fails the job.
+    deadline_s: Optional[float] = None
+    #: True when this record was rebuilt from the WAL by a restarted
+    #: service rather than submitted in this process's lifetime.
+    resumed: bool = False
+    #: Shards whose outcomes were loaded from durable checkpoints
+    #: instead of executed (resume/retry reuse).
+    checkpoint_hits: int = 0
+    #: The planner's total concurrent-pair count (coverage denominator).
+    pairs_total: int = 0
+    #: Poison shards set aside after exhausting their retry/crash budget.
+    quarantined: list = field(default_factory=list)
+    #: Structured account of what a DEGRADED job is missing.
+    degradation: Optional[DegradationReport] = None
     #: Distributed-trace identity, minted at submission (None when the
     #: job was created outside the service facade).
     trace: Optional[TraceContext] = None
@@ -129,8 +223,18 @@ class JobRecord:
         end = self.finished_at if self.finished_at is not None else time.perf_counter()
         return end - self.submitted_at
 
+    def deadline_exceeded(self) -> bool:
+        """True once the job has outlived its wall deadline."""
+        return (
+            self.deadline_s is not None
+            and self.finished_at is None
+            and time.perf_counter() - self.submitted_at > self.deadline_s
+        )
+
     def result(self) -> AnalysisResult:
-        """The merged analysis result (meaningful once ``state == DONE``)."""
+        """The merged analysis result (meaningful once the state is in
+        :data:`RESULT_STATES` — for DEGRADED jobs it covers the pair
+        fraction reported by :attr:`degradation`)."""
         from ..sword.integrity import IntegrityReport
 
         integrity = (
@@ -159,5 +263,14 @@ class JobRecord:
                 "ttfr_seconds": self.ttfr_seconds,
                 "elapsed_seconds": self.elapsed_seconds,
                 "cache_hits": self.cache_hits,
+                "checkpoint_hits": self.checkpoint_hits,
+                "deadline_s": self.deadline_s,
+                "resumed": self.resumed,
+                "shards_quarantined": len(self.quarantined),
+                "degradation": (
+                    self.degradation.to_json()
+                    if self.degradation is not None
+                    else None
+                ),
                 "triage": self.triage.to_json(),
             }

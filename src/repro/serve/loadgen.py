@@ -54,6 +54,9 @@ class LoadReport:
     jobs_submitted: int = 0
     jobs_finished: int = 0
     jobs_failed: int = 0
+    #: Finished jobs that completed DEGRADED (quarantined shards, the
+    #: merged races cover only the surviving pair coverage).
+    jobs_degraded: int = 0
     rejected_quota: int = 0
     rejected_backpressure: int = 0
     elapsed_seconds: float = 0.0
@@ -82,6 +85,7 @@ class LoadReport:
             "jobs_submitted": self.jobs_submitted,
             "jobs_finished": self.jobs_finished,
             "jobs_failed": self.jobs_failed,
+            "jobs_degraded": self.jobs_degraded,
             "rejected_quota": self.rejected_quota,
             "rejected_backpressure": self.rejected_backpressure,
             "elapsed_seconds": self.elapsed_seconds,
@@ -241,6 +245,8 @@ def run_load(
             continue
         report.jobs_finished += 1
         status = service.status(job_id)
+        if status["state"] == "degraded":
+            report.jobs_degraded += 1
         report.cache_hits += status["cache_hits"]
         if status["ttfr_seconds"] is not None:
             report.ttfr_seconds.append(status["ttfr_seconds"])

@@ -154,6 +154,31 @@ class IngestionQueue:
             )
             self._not_empty.notify()
 
+    def readmit(self, job: JobRecord) -> None:
+        """Re-enqueue a WAL-replayed job, bypassing quota and capacity.
+
+        A resumed job was *already admitted* before the crash — its
+        tenant paid the quota then, and rejecting it now would turn a
+        restart into data loss.  Pending accounting is still charged so
+        the eventual :meth:`release` balances, and capacity is allowed
+        to overshoot transiently (the scheduler drains in FIFO order, so
+        resumed jobs go first anyway).
+        """
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("service is shut down")
+            self._pending_jobs[job.tenant] = (
+                self._pending_jobs.get(job.tenant, 0) + 1
+            )
+            self._pending_bytes[job.tenant] = (
+                self._pending_bytes.get(job.tenant, 0) + job.triage.log_bytes
+            )
+            self._items.append(job)
+            self._m_admitted.inc()
+            self._m_depth.set(len(self._items))
+            self._journal("job-readmit", job, depth=len(self._items))
+            self._not_empty.notify()
+
     def _reject_backpressure(self, job: JobRecord) -> None:
         self._m_backpressure.inc()
         self.obs.registry.counter(

@@ -10,8 +10,10 @@ recycle a worker), and try again, up to ``retries`` extra attempts.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..common.errors import TraceFormatError
 
@@ -30,34 +32,57 @@ class RetryPolicy:
     ``backoff_seconds * 2**(k-1)``.  ``retry_on`` is the exception tuple
     that counts as transient; anything else propagates immediately.
     ``sleep`` is a test seam.
+
+    ``jitter_seed`` (not None) turns on *full jitter*: each backoff is
+    drawn uniformly from ``[0, backoff_seconds * 2**(k-1)]`` using a
+    policy-private seeded RNG, so a fleet of shards that failed together
+    (one NFS blip tearing every reader at once) does not thundering-herd
+    the shared cache dir with synchronized retries — and a fixed seed
+    keeps tests deterministic.
     """
 
     retries: int = 3
     backoff_seconds: float = 0.01
     retry_on: tuple[type[BaseException], ...] = TRANSIENT_ERRORS
     sleep: object = field(default=time.sleep, repr=False)
+    jitter_seed: Optional[int] = None
+    _rng: Optional[random.Random] = field(default=None, repr=False)
+
+    def backoff(self, attempt: int) -> float:
+        """The delay before retry ``attempt`` (1-based) under this policy."""
+        base = self.backoff_seconds * (2 ** (attempt - 1))
+        if self.jitter_seed is None:
+            return base
+        if self._rng is None:
+            self._rng = random.Random(self.jitter_seed)
+        return self._rng.uniform(0.0, base)
 
     def run(
         self,
         fn,
         *,
         on_retry=None,
+        on_backoff=None,
         reset=None,
         fallback=_UNSET,
     ):
         """Call ``fn()`` under this policy and return its value.
 
         Before each retry: ``on_retry()`` is invoked (attempt counting),
-        the backoff sleep happens, then ``reset()`` (stale-handle
-        cleanup).  When every attempt fails: return ``fallback`` if one
-        was given, else re-raise the last transient error.
+        then ``on_backoff(seconds)`` with the chosen delay (metric
+        observation), the backoff sleep happens, then ``reset()``
+        (stale-handle cleanup).  When every attempt fails: return
+        ``fallback`` if one was given, else re-raise the last transient
+        error.
         """
         last: BaseException | None = None
         for attempt in range(self.retries + 1):
             if attempt:
                 if on_retry is not None:
                     on_retry()
-                backoff = self.backoff_seconds * (2 ** (attempt - 1))
+                backoff = self.backoff(attempt)
+                if on_backoff is not None:
+                    on_backoff(backoff)
                 if backoff > 0:
                     self.sleep(backoff)
                 if reset is not None:

@@ -15,6 +15,7 @@ the merged set — the moment a ``status`` poll would first show it.
 
 from __future__ import annotations
 
+import json
 import threading
 import time
 from pathlib import Path
@@ -23,11 +24,24 @@ from typing import Callable, Optional
 from ..obs import Instrumentation, SECONDS_BUCKETS, get_obs, merge_snapshots
 from ..offline.options import AnalysisOptions
 from .config import ServeConfig
-from .job import CANCELLED, DONE, FAILED, PLANNING, RUNNING, JobRecord
+from .errors import PoolClosedError
+from .job import (
+    CANCELLED,
+    DEGRADED,
+    DONE,
+    FAILED,
+    PLANNING,
+    RUNNING,
+    DegradationReport,
+    JobRecord,
+    QuarantinedShard,
+    cause_chain,
+)
 from .pool import ShardTask, WorkStealingPool
 from .queue import IngestionQueue
 from .shards import SALVAGE, plan_shards
 from .tracing import ObsConfig, coord_span, write_job_trace
+from .wal import NULL_WAL
 from .workers import ShardOutcome, merge_stats
 
 
@@ -42,11 +56,14 @@ class JobScheduler:
         *,
         obs: Optional[Instrumentation] = None,
         on_finish: Optional[Callable[[JobRecord], None]] = None,
+        wal=None,
     ) -> None:
         self.config = config
         self.queue = queue
         self.pool = pool
         self.obs = obs or get_obs()
+        #: The service's job WAL (the shared no-op when stateless).
+        self.wal = wal if wal is not None else NULL_WAL
         #: Service hook, called once per job on entry to a terminal state.
         self.on_finish = on_finish
         self._thread: Optional[threading.Thread] = None
@@ -75,6 +92,18 @@ class JobScheduler:
             "serve.queue_wait_seconds",
             "submission to scheduler dequeue",
             buckets=SECONDS_BUCKETS,
+        )
+        self._m_quarantined = registry.counter(
+            "serve.shards_quarantined",
+            "poison shards set aside after exhausting their budget",
+        )
+        self._m_degraded = registry.counter(
+            "serve.jobs_degraded",
+            "jobs finishing degraded (partial coverage + report)",
+        )
+        self._m_ckpt = registry.counter(
+            "serve.checkpoint_hits",
+            "shard outcomes loaded from durable checkpoints",
         )
         #: Worker-bundle recipe handed to every shard (None when the
         #: service runs dark — shards then skip instrumentation too).
@@ -150,6 +179,14 @@ class JobScheduler:
                 job.state = CANCELLED
                 self._finalize(job)
                 return
+            if job.deadline_exceeded():
+                job.error = (
+                    f"JobDeadlineError: job {job.job_id} exceeded "
+                    f"deadline_s={job.deadline_s} before planning"
+                )
+                job.state = FAILED
+                self._finalize(job)
+                return
             job.state = PLANNING
         t0 = time.perf_counter()
         plan_wall = time.time()
@@ -163,6 +200,8 @@ class JobScheduler:
             tenant=job.tenant,
             trace_id=self._trace_id(job) or "",
             obs_config=self.obs_config,
+            checkpoint_dir=self.config.checkpoint_root(),
+            shard_timeout_s=self.config.shard_timeout_s,
         )
         plan_seconds = time.perf_counter() - t0
         with job.lock:
@@ -170,6 +209,7 @@ class JobScheduler:
             job.stats.concurrent_pairs = plan.concurrent_pairs
             job.stats.plan_seconds = plan_seconds
             job.shards_total = len(plan.shards)
+            job.pairs_total = plan.concurrent_pairs
             job.trace_spans.append(
                 coord_span(
                     "plan", plan_wall, plan_wall + plan_seconds,
@@ -181,11 +221,20 @@ class JobScheduler:
                 job.state = DONE
                 self._finalize(job)
                 return
+        self.wal.append(
+            "planned",
+            job.job_id,
+            shards=len(plan.shards),
+            pairs=plan.concurrent_pairs,
+            tokens=[spec.checkpoint_token for spec in plan.shards],
+        )
         for spec in plan.shards:
             task = ShardTask(
                 spec=spec,
                 on_done=lambda outcome, error: None,
-                cancelled=lambda _job=job: _job.cancelled,
+                cancelled=lambda _job=job: (
+                    _job.cancelled or _job.deadline_exceeded()
+                ),
             )
             task.on_done = (
                 lambda outcome, error, _job=job, _task=task: self._on_shard(
@@ -212,6 +261,15 @@ class JobScheduler:
         if outcome.cache_hits:
             job.cache_hits += outcome.cache_hits
             self._m_cache.inc(outcome.cache_hits)
+        if outcome.from_checkpoint:
+            job.checkpoint_hits += 1
+            self._m_ckpt.inc()
+            if not outcome.cache_hits:
+                # A checkpoint hit *is* cross-run reuse even when the
+                # stored execution itself ran cold — credit it so reuse
+                # accounting covers resume the way it covers the cache.
+                job.cache_hits += 1
+                self._m_cache.inc()
         if outcome.spans:
             job.worker_spans.append((outcome.worker_pid, outcome.spans))
         if outcome.metrics:
@@ -245,6 +303,29 @@ class JobScheduler:
                     )
                 )
 
+    def _quarantine(
+        self, job: JobRecord, error: BaseException, task: ShardTask
+    ) -> None:
+        """Set one poison shard aside; caller holds ``job.lock``."""
+        shard = QuarantinedShard(
+            index=task.spec.index,
+            pairs=task.spec.npairs,
+            causes=cause_chain(error),
+            crashes=task.crashes,
+        )
+        job.quarantined.append(shard)
+        self._m_quarantined.inc()
+        self.obs.journal.record(
+            "shard-quarantine",
+            job=job.job_id,
+            shard=shard.index,
+            tenant=job.tenant,
+            trace_id=self._trace_id(job),
+            pairs=shard.pairs,
+            crashes=shard.crashes,
+            cause=shard.causes[0] if shard.causes else None,
+        )
+
     def _on_shard(
         self,
         job: JobRecord,
@@ -255,23 +336,73 @@ class JobScheduler:
         finished = False
         with job.lock:
             job.shards_done += 1
-            if error is not None and not job.error:
-                job.error = f"{type(error).__name__}: {error}"
+            if error is not None:
+                # Poison shards (exhausted retry/crash budget) are
+                # quarantined so the job can degrade gracefully; a
+                # pool shutdown is job-fatal, not a shard defect.
+                if (
+                    self.config.quarantine
+                    and task is not None
+                    and not isinstance(error, PoolClosedError)
+                ):
+                    self._quarantine(job, error, task)
+                elif not job.error:
+                    job.error = f"{type(error).__name__}: {error}"
             if outcome is not None:
                 self._merge(job, outcome)
             if task is not None:
                 self._record_attempts(job, task)
             if job.shards_done >= job.shards_total:
                 job.stats.races_found = len(job.races)
-                if job.error:
-                    job.state = FAILED
-                elif job.cancelled:
-                    job.state = CANCELLED
-                else:
-                    job.state = DONE
+                self._settle(job)
                 finished = True
+        if outcome is not None and task is not None:
+            self.wal.append(
+                "shard-done",
+                job.job_id,
+                shard=task.spec.index,
+                token=task.spec.checkpoint_token or None,
+                races=len(outcome.rows),
+                pairs=task.spec.npairs,
+            )
         if finished:
             self._finalize(job)
+
+    def _settle(self, job: JobRecord) -> None:
+        """Pick the terminal state once every shard reported; caller
+        holds ``job.lock``.
+
+        Precedence: a job-fatal error beats everything; cancellation
+        beats degradation (the caller walked away); a blown deadline is
+        job-fatal; quarantined shards degrade the job *if* any shard
+        survived to contribute coverage, else the poison consumed the
+        whole job and it plainly failed.
+        """
+        if job.error:
+            job.state = FAILED
+        elif job.cancelled:
+            job.state = CANCELLED
+        elif job.deadline_exceeded():
+            job.error = (
+                f"JobDeadlineError: job {job.job_id} exceeded "
+                f"deadline_s={job.deadline_s}"
+            )
+            job.state = FAILED
+        elif job.quarantined:
+            if len(job.quarantined) >= job.shards_total:
+                first = job.quarantined[0]
+                job.error = first.causes[0] if first.causes else "poison shard"
+                job.state = FAILED
+            else:
+                job.degradation = DegradationReport(
+                    job_id=job.job_id,
+                    shards_total=job.shards_total,
+                    pairs_total=job.pairs_total,
+                    quarantined=list(job.quarantined),
+                )
+                job.state = DEGRADED
+        else:
+            job.state = DONE
 
     # -- completion --------------------------------------------------------------
 
@@ -281,6 +412,21 @@ class JobScheduler:
         self._m_done.inc()
         if job.state == FAILED:
             self._m_failed.inc()
+        if job.state == DEGRADED:
+            self._m_degraded.inc()
+        if job.state in (DONE, DEGRADED):
+            self.wal.append("merged", job.job_id, races=len(job.races))
+        self.wal.append(
+            "finalized",
+            job.job_id,
+            state=job.state,
+            races=len(job.races),
+            quarantined=(
+                sorted(q.index for q in job.quarantined)
+                if job.quarantined
+                else None
+            ),
+        )
         self._m_job_seconds.observe(job.elapsed_seconds)
         if job.ttfr_seconds is not None:
             self._m_ttfr.observe(job.ttfr_seconds)
@@ -310,6 +456,8 @@ class JobScheduler:
             races=len(job.races),
             shards=job.shards_total,
             cache_hits=job.cache_hits,
+            checkpoint_hits=job.checkpoint_hits,
+            quarantined=len(job.quarantined) or None,
             elapsed_seconds=round(job.elapsed_seconds, 6),
             error=job.error or None,
         )
@@ -319,7 +467,8 @@ class JobScheduler:
         job.done.set()
 
     def _write_artifacts(self, job: JobRecord) -> None:
-        """Per-job trace (always) and journal slice (failures only)."""
+        """Per-job trace (always), journal slice (failures), and the
+        degradation report (degraded jobs)."""
         if self.config.trace_dir is None:
             return
         root = Path(self.config.trace_dir)
@@ -330,6 +479,11 @@ class JobScheduler:
                 root.mkdir(parents=True, exist_ok=True)
                 self.obs.journal.dump(
                     root / f"{job.job_id}.journal.jsonl", job=job.job_id
+                )
+            if job.degradation is not None:
+                root.mkdir(parents=True, exist_ok=True)
+                (root / f"{job.job_id}.degradation.json").write_text(
+                    json.dumps(job.degradation.to_json(), indent=2)
                 )
         except OSError:
             # Trace artifacts are best-effort: a full disk must not turn

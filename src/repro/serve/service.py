@@ -29,8 +29,10 @@ from .errors import JobFailedError, JobNotFoundError, ServiceClosedError
 from .job import (
     ACTIVE_STATES,
     CANCELLED,
+    DEGRADED,
     DONE,
     FAILED,
+    RESULT_STATES,
     JobRecord,
     triage_trace,
 )
@@ -39,6 +41,7 @@ from .queue import IngestionQueue
 from .retry import RetryPolicy
 from .scheduler import JobScheduler
 from .tracing import TraceContext, coord_span, stitch_job_trace
+from .wal import NULL_WAL, JobWal, replay_wal
 
 INTEGRITY_MODES = ("strict", "salvage")
 
@@ -65,9 +68,24 @@ class Service:
         self.config.validate()
         self.obs = obs or get_obs()
         self._own_cache_dir: Optional[str] = None
+        if self.config.state_dir is not None:
+            # A durable service roots its result cache under the state
+            # dir too (unless the caller chose one): resume must find
+            # the same cache the killed run was warming.
+            Path(self.config.state_dir).mkdir(parents=True, exist_ok=True)
+            if self.config.result_cache and self.config.cache_dir is None:
+                self.config.cache_dir = os.path.join(
+                    self.config.state_dir, "result-cache"
+                )
         if self.config.result_cache and self.config.cache_dir is None:
             self._own_cache_dir = tempfile.mkdtemp(prefix="repro-serve-cache-")
             self.config.cache_dir = self._own_cache_dir
+        wal_path = self.config.wal_path()
+        self.wal = (
+            JobWal(wal_path, fsync=self.config.wal_fsync)
+            if wal_path is not None
+            else NULL_WAL
+        )
         self.queue = IngestionQueue(self.config, obs=self.obs)
         self.pool = WorkStealingPool(
             self.config.workers,
@@ -75,8 +93,11 @@ class Service:
             retry=RetryPolicy(
                 retries=self.config.shard_retries,
                 backoff_seconds=self.config.shard_backoff_seconds,
+                jitter_seed=self.config.shard_backoff_jitter_seed,
             ),
             obs=self.obs,
+            default_timeout_s=self.config.shard_timeout_s,
+            max_shard_crashes=self.config.max_shard_crashes,
         )
         self.scheduler = JobScheduler(
             self.config,
@@ -84,6 +105,7 @@ class Service:
             self.pool,
             obs=self.obs,
             on_finish=self._on_finish,
+            wal=self.wal,
         )
         self._jobs: dict[str, JobRecord] = {}
         self._lock = threading.Lock()
@@ -91,6 +113,8 @@ class Service:
         self._started_at = time.perf_counter()
         self._finished = 0
         self._failed = 0
+        self._degraded = 0
+        self._resumed = 0
         self._ttfrs: list[float] = []
         #: Per-tenant SLO inputs, tracked service-side so ``stats()``
         #: answers even when the obs bundle is null.
@@ -104,9 +128,61 @@ class Service:
         if not self._started:
             self._started = True
             self._started_at = time.perf_counter()
+            if self.wal.enabled:
+                self._resume()
             self.pool.start()
             self.scheduler.start()
         return self
+
+    def _resume(self) -> None:
+        """Replay the WAL and re-enqueue every unfinished job.
+
+        Runs before the scheduler thread starts, so resumed jobs sit at
+        the head of the queue in their original submission order.  Job
+        ids and trace ids are preserved (a client polling a pre-crash id
+        keeps working), the id sequence continues past the replayed
+        maximum, and completed shards are skipped via their checkpoints
+        when the shards re-plan — resume restarts from the last
+        completed shard, not from byte zero.
+        """
+        replay = replay_wal(self.config.wal_path())
+        with self._lock:
+            self._seq = max(self._seq, replay.max_seq())
+        unfinished = replay.unfinished
+        if not unfinished:
+            return
+        resumed_counter = self.obs.registry.counter(
+            "serve.jobs_resumed", "unfinished jobs re-enqueued from the WAL"
+        )
+        for rep in unfinished:
+            trace_path = Path(rep.trace_path)
+            ctx = TraceContext.mint()
+            if rep.trace_id:
+                ctx = TraceContext(trace_id=rep.trace_id, span_id=ctx.span_id)
+            job = JobRecord(
+                job_id=rep.job_id,
+                tenant=rep.tenant,
+                trace_path=trace_path,
+                integrity=rep.integrity,
+                triage=triage_trace(trace_path),
+                trace=ctx,
+                deadline_s=rep.deadline_s,
+                resumed=True,
+            )
+            self.queue.readmit(job)
+            with self._lock:
+                self._jobs[job.job_id] = job
+                self._tenant(job.tenant)["submitted"] += 1
+                self._resumed += 1
+            resumed_counter.inc()
+            self.obs.journal.record(
+                "job-resume",
+                job=job.job_id,
+                tenant=job.tenant,
+                trace_id=ctx.trace_id,
+                shards_done=len(rep.shards_done),
+                shards_total=rep.shards_total,
+            )
 
     def close(self, drain: bool = True) -> None:
         """Shut down: stop admissions, optionally drain in-flight jobs."""
@@ -124,7 +200,8 @@ class Service:
             for job in active:
                 job.done.wait(timeout=60.0)
         self.scheduler.close()
-        self.pool.close()
+        self.pool.close(wait=drain)
+        self.wal.close()
         if self._own_cache_dir is not None:
             shutil.rmtree(self._own_cache_dir, ignore_errors=True)
             self._own_cache_dir = None
@@ -175,6 +252,7 @@ class Service:
             integrity=integrity,
             triage=triage,
             trace=TraceContext.mint(),
+            deadline_s=self.config.quota.deadline_s,
         )
         job.trace_spans.append(
             coord_span(
@@ -183,6 +261,18 @@ class Service:
             )
         )
         self.queue.submit(job, block=block, timeout=timeout)
+        # Logged after admission (a rejected submission must not be
+        # resurrected by replay) and before the id is returned — the WAL
+        # append is the acknowledgment's durability point.
+        self.wal.append(
+            "submitted",
+            job_id,
+            tenant=tenant,
+            trace=str(trace_path),
+            integrity=integrity,
+            trace_id=job.trace.trace_id if job.trace else None,
+            deadline_s=job.deadline_s,
+        )
         with self._lock:
             self._jobs[job_id] = job
             self._tenant(tenant)["submitted"] += 1
@@ -207,14 +297,17 @@ class Service:
 
         Raises :class:`~repro.serve.errors.JobFailedError` for failed or
         cancelled jobs and :class:`TimeoutError` when ``timeout``
-        elapses first.
+        elapses first.  A DEGRADED job *returns* its partial result —
+        the races over the covered pair fraction are exact; callers who
+        must distinguish check ``status()["state"]`` or the job's
+        degradation report.
         """
         job = self._job(job_id)
         if not job.done.wait(timeout=timeout):
             raise TimeoutError(
                 f"job {job_id} still {job.state!r} after {timeout}s"
             )
-        if job.state != DONE:
+        if job.state not in RESULT_STATES:
             raise JobFailedError(job_id, job.state, job.error)
         return job.result()
 
@@ -243,6 +336,13 @@ class Service:
         with self._lock:
             finished = self._finished
             failed = self._failed
+            degraded = self._degraded
+            resumed = self._resumed
+            resuming = sum(
+                1
+                for job in self._jobs.values()
+                if job.resumed and job.state in ACTIVE_STATES
+            )
             ttfrs = list(self._ttfrs)
             tenants = {
                 name: self._tenant_summary(data)
@@ -253,12 +353,18 @@ class Service:
             "jobs_submitted": self._seq,
             "jobs_finished": finished,
             "jobs_failed": failed,
+            "jobs_degraded": degraded,
+            "jobs_resumed": resumed,
+            "jobs_resuming": resuming,
             "jobs_per_second": (finished / elapsed) if elapsed > 0 else 0.0,
             "queue_depth": self.queue.depth,
             "pool_backlog": self.pool.backlog,
             "shards_executed": self.pool.executed,
             "shard_steals": self.pool.steals,
             "shard_retries": self.pool.retries,
+            "shard_timeouts": self.pool.timeouts,
+            "worker_crashes": self.pool.crashes,
+            "wal_records": self.wal.appended,
             "ttfr_p50_seconds": percentile(ttfrs, 0.50),
             "ttfr_p99_seconds": percentile(ttfrs, 0.99),
             "elapsed_seconds": elapsed,
@@ -271,7 +377,7 @@ class Service:
         s = self.stats()
         p50 = s["ttfr_p50_seconds"]
         ttfr = f"{p50 * 1000:.0f}ms" if p50 is not None else "-"
-        return (
+        line = (
             f"[serve] jobs={s['jobs_finished']}/{s['jobs_submitted']}"
             f" failed={s['jobs_failed']}"
             f" queue={s['queue_depth']} backlog={s['pool_backlog']}"
@@ -279,6 +385,14 @@ class Service:
             f" steals={s['shard_steals']} retries={s['shard_retries']}"
             f" ttfr_p50={ttfr}"
         )
+        if s["jobs_degraded"]:
+            line += f" degraded={s['jobs_degraded']}"
+        if s["jobs_resumed"]:
+            line += (
+                f" resumed={s['jobs_resumed']}"
+                f" resuming={s['jobs_resuming']}"
+            )
+        return line
 
     def trace(self, job_id: str) -> dict:
         """The job's stitched Chrome trace-event JSON (see
@@ -320,6 +434,8 @@ class Service:
             self._finished += 1
             if job.state in (FAILED, CANCELLED):
                 self._failed += job.state == FAILED
+            if job.state == DEGRADED:
+                self._degraded += 1
             if job.ttfr_seconds is not None:
                 self._ttfrs.append(job.ttfr_seconds)
             tenant = self._tenant(job.tenant)

@@ -49,6 +49,13 @@ class ShardSpec:
     #: Recipe for the worker-side instrumentation bundle; None runs the
     #: shard with the worker process's ambient (usually null) bundle.
     obs_config: Optional[ObsConfig] = None
+    #: Durable-recovery context: where completed outcomes checkpoint
+    #: (None disables) and this shard's content-hash address there.
+    checkpoint_dir: Optional[str] = None
+    checkpoint_token: str = ""
+    #: Per-shard execution deadline (None: unbounded).  Enforced for
+    #: process workers by the pool; thread workers check cooperatively.
+    timeout_s: Optional[float] = None
 
     @property
     def npairs(self) -> int:
@@ -97,6 +104,8 @@ def plan_shards(
     tenant: str = "",
     trace_id: str = "",
     obs_config: Optional[ObsConfig] = None,
+    checkpoint_dir: Optional[str] = None,
+    shard_timeout_s: Optional[float] = None,
 ) -> ShardPlan:
     """Plan one job: enumerate concurrent pairs, slice into shards.
 
@@ -106,11 +115,34 @@ def plan_shards(
 
     ``integrity="salvage"`` (on ``options``) short-circuits to a single
     salvage shard — the worker runs the full serial salvage analysis.
+
+    With ``checkpoint_dir`` set, every shard is stamped with its
+    content-hash checkpoint token (the trace digest is computed once
+    here, at plan time, and folded into each shard's address).
     """
     options = options or AnalysisOptions()
     if not isinstance(trace, TraceDir):
         trace = TraceDir(trace, integrity=options.integrity)
     fastpath = shard_fastpath(options.fastpath, cache_dir)
+    trace_digest = ""
+    if checkpoint_dir is not None:
+        from .checkpoint import trace_token  # deferred: import cycle
+
+        trace_digest = trace_token(trace.path)
+
+    def _token(kind: str, pair_keys: tuple) -> str:
+        if not trace_digest:
+            return ""
+        from .checkpoint import shard_token  # deferred: import cycle
+
+        return shard_token(
+            trace_digest,
+            kind=kind,
+            pair_keys=pair_keys,
+            chunk_events=options.chunk_events,
+            use_ilp_crosscheck=options.use_ilp_crosscheck,
+        )
+
     plan = ShardPlan()
     if options.integrity == "salvage":
         plan.shards.append(
@@ -126,6 +158,9 @@ def plan_shards(
                 tenant=tenant,
                 trace_id=trace_id,
                 obs_config=obs_config,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_token=_token(SALVAGE, ()),
+                timeout_s=shard_timeout_s,
             )
         )
         return plan
@@ -137,13 +172,14 @@ def plan_shards(
         shard_pairs = min(shard_pairs, -(-len(pairs) // min_shards))
     shard_pairs = max(1, shard_pairs)
     for index, lo in enumerate(range(0, len(pairs), shard_pairs)):
+        pair_keys = tuple(pairs[lo : lo + shard_pairs])
         plan.shards.append(
             ShardSpec(
                 job_id=job_id,
                 index=index,
                 trace_path=str(trace.path),
                 kind=PAIRS,
-                pair_keys=tuple(pairs[lo : lo + shard_pairs]),
+                pair_keys=pair_keys,
                 chunk_events=options.chunk_events,
                 use_ilp_crosscheck=options.use_ilp_crosscheck,
                 fastpath=fastpath,
@@ -151,6 +187,9 @@ def plan_shards(
                 tenant=tenant,
                 trace_id=trace_id,
                 obs_config=obs_config,
+                checkpoint_dir=checkpoint_dir,
+                checkpoint_token=_token(PAIRS, pair_keys),
+                timeout_s=shard_timeout_s,
             )
         )
     return plan

@@ -48,6 +48,9 @@ class ShardOutcome:
     metrics: dict = field(default_factory=dict)
     #: Which OS process executed the shard (its trace-viewer row).
     worker_pid: int = 0
+    #: True when the outcome was loaded from a durable shard checkpoint
+    #: instead of executed (resume and retry count these, never re-run).
+    from_checkpoint: bool = False
 
     def reports(self) -> Iterable[RaceReport]:
         return (RaceReport(*row) for row in self.rows)
@@ -84,9 +87,24 @@ def run_shard(spec: ShardSpec) -> ShardOutcome:
     Because the bundle is private to the shard, its snapshot is the
     shard's metric delta, and its spans ship home on the outcome with
     wall-clock timestamps for stitching.
+
+    When the spec names a checkpoint, a stored outcome is returned
+    without executing anything — this is how a *retried* shard whose
+    previous attempt completed (but whose result was lost with a dead
+    worker or a killed coordinator) resumes instead of recomputing.
     """
+    store = _checkpoint_store(spec)
+    if store is not None:
+        cached = store.load(
+            spec.checkpoint_token, job_id=spec.job_id, index=spec.index
+        )
+        if cached is not None:
+            return cached
     if spec.obs_config is None:
-        return _execute_shard(spec, NULL_OBS)
+        outcome = _execute_shard(spec, NULL_OBS)
+        if store is not None:
+            store.store(spec.checkpoint_token, outcome)
+        return outcome
     bundle = spec.obs_config.build()
     if multiprocessing.parent_process() is not None:
         # Own process: installing the bundle as ambient is safe (one
@@ -104,7 +122,18 @@ def run_shard(spec: ShardSpec) -> ShardOutcome:
     wall_epoch = getattr(bundle.tracer, "wall_epoch", 0.0)
     outcome.spans = [s.to_json(wall_epoch) for s in bundle.tracer.spans]
     outcome.metrics = bundle.registry.snapshot()
+    if store is not None:
+        store.store(spec.checkpoint_token, outcome)
     return outcome
+
+
+def _checkpoint_store(spec: ShardSpec):
+    """The spec's checkpoint store, or None when checkpointing is off."""
+    if spec.checkpoint_dir is None or not spec.checkpoint_token:
+        return None
+    from .checkpoint import ShardCheckpointStore  # deferred: import cycle
+
+    return ShardCheckpointStore(spec.checkpoint_dir)
 
 
 def _execute_shard(spec: ShardSpec, obs: Instrumentation) -> ShardOutcome:

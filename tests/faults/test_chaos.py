@@ -1,0 +1,53 @@
+"""Service-tier chaos: the resume sweep and poison degradation."""
+
+from repro.faults import poison_degradation, resume_sweep
+
+
+def test_resume_sweep_small_fixed_seed():
+    # A handful of evenly-sampled restart points keeps this in test
+    # budget; CI's chaos-smoke job runs the wider sweep.
+    result = resume_sweep(
+        "plusplus-orig-yes",
+        jobs=2,
+        nthreads=2,
+        seed=0,
+        shard_pairs=8,
+        max_points=4,
+    )
+    assert result.ok, [p.to_json() for p in result.failures]
+    assert result.wal_records > 0
+    assert result.clean_races > 0
+    # The sweep actually exercised resume, not just empty restarts.
+    assert any(p.jobs_resumed > 0 for p in result.points)
+
+
+def test_poison_degradation_fixed_seed():
+    result = poison_degradation(
+        "plusplus-orig-yes",
+        nthreads=2,
+        seed=0,
+        shard_pairs=4,
+        poison=(1,),
+    )
+    assert result.ok, result.to_json()
+    assert result.state == "degraded"
+    assert result.report["pair_coverage"] < 1.0
+    assert result.report["shards_quarantined"] == [1]
+
+
+def test_stalled_shard_times_out_and_quarantines():
+    # A shard sleeping past the liveness timeout on every attempt burns
+    # its crash budget and lands in quarantine like any other poison.
+    result = poison_degradation(
+        "plusplus-orig-yes",
+        nthreads=2,
+        seed=0,
+        shard_pairs=4,
+        poison=(),
+        stall=(1,),
+        shard_timeout_s=0.2,
+    )
+    assert result.ok, result.to_json()
+    assert result.stalled_shards == [1]
+    causes = result.report["quarantined"][0]["causes"]
+    assert any("ShardTimeoutError" in c for c in causes), causes

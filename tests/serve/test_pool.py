@@ -5,7 +5,7 @@ import threading
 import pytest
 
 from repro.common.errors import TraceFormatError
-from repro.serve import RetryPolicy, ShardTask, WorkStealingPool
+from repro.serve import PoolClosedError, RetryPolicy, ShardTask, WorkStealingPool
 
 
 class RecordingPool(WorkStealingPool):
@@ -170,3 +170,62 @@ def test_retry_policy_fallback():
     assert policy.run(always_fails, fallback=None) is None
     with pytest.raises(OSError):
         policy.run(always_fails)
+
+
+def test_close_without_wait_cancels_queued_tasks():
+    # One blocker holds the single worker; everything behind it must be
+    # failed with PoolClosedError instead of stranding its job forever.
+    gate = threading.Event()
+    started = threading.Event()
+
+    def behavior(spec):
+        if spec == "blocker":
+            started.set()
+            gate.wait(timeout=10.0)
+        return spec
+
+    pool = RecordingPool(1, behavior=behavior).start()
+    results, done, on_done = collect_outcomes(4)
+    pool.submit(ShardTask(spec="blocker", on_done=on_done))
+    for i in range(3):
+        pool.submit(ShardTask(spec=i, on_done=on_done))
+    # Let the worker pick the blocker up before we pull the plug.
+    assert started.wait(timeout=5.0)
+    pool.close(wait=False)
+    gate.set()
+    assert done.wait(timeout=5.0)
+    errors = [e for _, e in results if e is not None]
+    assert len(errors) >= 3
+    assert all(isinstance(e, PoolClosedError) for e in errors)
+
+
+def test_retry_backoff_jitter_is_seeded_and_bounded():
+    base = RetryPolicy(retries=4, backoff_seconds=0.01)
+    a = RetryPolicy(retries=4, backoff_seconds=0.01, jitter_seed=7)
+    b = RetryPolicy(retries=4, backoff_seconds=0.01, jitter_seed=7)
+    seq_a = [a.backoff(k) for k in range(1, 5)]
+    seq_b = [b.backoff(k) for k in range(1, 5)]
+    assert seq_a == seq_b  # same seed -> identical schedule
+    for attempt, value in enumerate(seq_a, start=1):
+        # Full jitter: uniform over [0, deterministic doubling value].
+        assert 0.0 <= value <= base.backoff(attempt)
+    # Unseeded policies keep the exact doubling the tests above pin.
+    assert [base.backoff(k) for k in range(1, 4)] == [0.01, 0.02, 0.04]
+
+
+def test_retry_run_reports_backoff_to_hook():
+    observed = []
+    fails = [0]
+
+    def fn():
+        fails[0] += 1
+        if fails[0] <= 2:
+            raise OSError("x")
+        return "done"
+
+    policy = RetryPolicy(
+        retries=3, backoff_seconds=0.01, jitter_seed=3, sleep=lambda s: None
+    )
+    assert policy.run(fn, on_backoff=observed.append) == "done"
+    assert len(observed) == 2
+    assert all(0.0 <= s <= 0.01 * (1 << k) for k, s in enumerate(observed))

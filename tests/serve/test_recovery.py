@@ -1,0 +1,224 @@
+"""Durable recovery: WAL resume, checkpoints, degradation, deadlines."""
+
+import threading
+import time
+
+import pytest
+
+from repro.faults import sabotage
+from repro.faults.harness import collect_trace
+from repro.serve import (
+    CANCELLED,
+    DEGRADED,
+    DONE,
+    FAILED,
+    RESULT_STATES,
+    JobFailedError,
+    ServeConfig,
+    Service,
+    TenantQuota,
+    replay_wal,
+)
+from repro.serve.wal import WAL_NAME
+from repro.sword.traceformat import parse_journal
+
+
+@pytest.fixture(scope="module")
+def racy_trace(tmp_path_factory):
+    trace = tmp_path_factory.mktemp("traces") / "racy"
+    collect_trace("plusplus-orig-yes", trace, nthreads=2, seed=0)
+    return trace
+
+
+def durable_service(state_dir, **kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("use_processes", False)
+    kwargs.setdefault("shard_pairs", 4)
+    kwargs.setdefault("quota", TenantQuota(max_pending=8))
+    return Service(ServeConfig(state_dir=str(state_dir), **kwargs))
+
+
+def truncate_wal(state_dir, drop_kinds):
+    """Drop raw WAL lines of the given kinds, byte-exact for the rest."""
+    wal = state_dir / WAL_NAME
+    kept = []
+    for line in wal.read_text(encoding="utf-8").splitlines(keepends=True):
+        records = parse_journal(line, salvage=True)
+        if records and records[0].get("kind") in drop_kinds:
+            continue
+        kept.append(line)
+    wal.write_text("".join(kept), encoding="utf-8")
+
+
+def test_restart_resumes_job_from_checkpoints(tmp_path, racy_trace):
+    state = tmp_path / "state"
+    with durable_service(state) as svc:
+        job_id = svc.submit(racy_trace)
+        reference = svc.result(job_id, timeout=60).races.to_json()
+    # Simulate a kill after every shard checkpointed but before the
+    # merge was acknowledged: drop the merged/finalized records.
+    truncate_wal(state, {"merged", "finalized"})
+    durable = len(replay_wal(state / WAL_NAME).jobs[job_id].shards_done)
+    assert durable > 0
+    with durable_service(state) as svc:
+        result = svc.result(job_id, timeout=60)  # same pre-crash id works
+        status = svc.status(job_id)
+        stats = svc.stats()
+        # The id sequence continues past the replayed maximum.
+        fresh = svc.submit(racy_trace)
+        svc.result(fresh, timeout=60)
+    assert result.races.to_json() == reference  # byte-identical completion
+    assert status["resumed"] is True
+    assert status["state"] == DONE
+    # Every shard the WAL proved durable was loaded, never re-executed.
+    assert status["checkpoint_hits"] >= durable
+    assert stats["jobs_resumed"] == 1
+    assert fresh != job_id
+
+
+def test_restart_with_no_planned_record_replans_from_scratch(
+    tmp_path, racy_trace
+):
+    state = tmp_path / "state"
+    with durable_service(state) as svc:
+        job_id = svc.submit(racy_trace)
+        reference = svc.result(job_id, timeout=60).races.to_json()
+    # Kill straight after admission: only the submitted record survives.
+    truncate_wal(state, {"planned", "shard-done", "merged", "finalized"})
+    for ckpt in (state / "checkpoints").glob("*.json"):
+        ckpt.unlink()
+    with durable_service(state) as svc:
+        result = svc.result(job_id, timeout=60)
+    assert result.races.to_json() == reference
+
+
+def test_degraded_job_returns_partial_result(tmp_path, racy_trace):
+    state = tmp_path / "state"
+    artifacts = tmp_path / "artifacts"
+    with durable_service(state) as svc:
+        clean = svc.result(svc.submit(racy_trace), timeout=60).races.to_json()
+    with durable_service(
+        tmp_path / "state2", trace_dir=str(artifacts)
+    ) as svc:
+        sabotage(svc, poison=(1,))
+        job_id = svc.submit(racy_trace)
+        result = svc.result(job_id, timeout=60)  # DEGRADED still returns
+        status = svc.status(job_id)
+        assert svc.stats()["jobs_degraded"] == 1
+    assert status["state"] == DEGRADED
+    assert status["state"] in RESULT_STATES
+    assert status["shards_quarantined"] == 1
+    report = status["degradation"]
+    assert report["shards_quarantined"] == [1]
+    assert 0.0 < report["pair_coverage"] < 1.0
+    assert report["quarantined"][0]["causes"]  # the cause chain survives
+    # Partial coverage yields a subset of the full answer.
+    degraded = result.races.to_json()
+    assert set(map(str, degraded)) <= set(map(str, clean))
+    # The structured report landed as an artifact next to the job trace.
+    assert (artifacts / f"{job_id}.degradation.json").exists()
+    # And the WAL's terminal record agrees.
+    replay = replay_wal(tmp_path / "state2" / WAL_NAME)
+    assert replay.jobs[job_id].final_state == DEGRADED
+
+
+def test_all_shards_quarantined_fails_job(tmp_path, racy_trace):
+    with durable_service(tmp_path / "state") as svc:
+        sabotage(svc, poison=(0, 1, 2, 3, 4, 5, 6, 7))
+        job_id = svc.submit(racy_trace)
+        with pytest.raises(JobFailedError) as exc:
+            svc.result(job_id, timeout=60)
+        assert exc.value.state == FAILED
+        assert "chaos" in svc.status(job_id)["error"]
+
+
+def test_quarantine_disabled_fails_job_directly(tmp_path, racy_trace):
+    with durable_service(tmp_path / "state", quarantine=False) as svc:
+        sabotage(svc, poison=(1,))
+        job_id = svc.submit(racy_trace)
+        with pytest.raises(JobFailedError):
+            svc.result(job_id, timeout=60)
+        assert svc.status(job_id)["state"] == FAILED
+
+
+def test_job_deadline_fails_job_not_service(tmp_path, racy_trace):
+    quota = TenantQuota(max_pending=8, deadline_s=0.05)
+    with durable_service(tmp_path / "state", quota=quota) as svc:
+        gate = threading.Event()
+        original = svc.pool._execute
+
+        def slow(spec):
+            gate.wait(timeout=10.0)
+            return original(spec)
+
+        svc.pool._execute = slow
+        job_id = svc.submit(racy_trace)
+        time.sleep(0.1)  # blow the deadline while shards sit gated
+        gate.set()
+        with pytest.raises(JobFailedError):
+            svc.result(job_id, timeout=60)
+        status = svc.status(job_id)
+        assert status["state"] == FAILED
+        assert "deadline" in status["error"].lower()
+        # The service keeps serving afterwards.
+        svc.pool._execute = original
+        follow_up = svc.submit(racy_trace, tenant="other")
+        svc.result(follow_up, timeout=60)
+
+
+def test_cancel_racing_finalization_cancel_wins(tmp_path, racy_trace):
+    # Interpose at the exact boundary: the final shard has executed and
+    # its outcome is in hand, but the terminal state is not yet chosen.
+    # A cancel landing there must win (the caller walked away) and the
+    # WAL must agree.  One worker serializes the shard callbacks.
+    with durable_service(tmp_path / "state", workers=1) as svc:
+        original = svc.scheduler._on_shard
+        cancelled_at_boundary = []
+        box = {}
+
+        def racing(job, outcome, error, task=None):
+            if (
+                job.job_id == box.get("job_id")
+                and not cancelled_at_boundary
+                and job.shards_done == job.shards_total - 1
+            ):
+                cancelled_at_boundary.append(svc.cancel(job.job_id))
+            original(job, outcome, error, task)
+
+        svc.scheduler._on_shard = racing
+        box["job_id"] = svc.submit(racy_trace)
+        with pytest.raises(JobFailedError) as exc:
+            svc.result(box["job_id"], timeout=60)
+        assert cancelled_at_boundary == [True]  # the job was still active
+        assert exc.value.state == CANCELLED
+        status = svc.status(box["job_id"])
+        assert status["state"] == CANCELLED
+        assert svc.cancel(box["job_id"]) is False  # terminal is terminal
+    replay = replay_wal(tmp_path / "state" / WAL_NAME)
+    assert replay.jobs[box["job_id"]].final_state == CANCELLED
+
+
+def test_cancel_after_finalization_is_a_stable_no(tmp_path, racy_trace):
+    state = tmp_path / "state"
+    with durable_service(state) as svc:
+        job_id = svc.submit(racy_trace)
+        svc.result(job_id, timeout=60)
+        before = svc.status(job_id)["state"]
+        assert svc.cancel(job_id) is False
+        assert svc.status(job_id)["state"] == before
+    assert replay_wal(state / WAL_NAME).jobs[job_id].final_state == before
+
+
+def test_identical_jobs_share_checkpoints(tmp_path, racy_trace):
+    # Checkpoint tokens hash trace content + shard shape, not job ids:
+    # the second identical submission is served from checkpoints.
+    with durable_service(tmp_path / "state") as svc:
+        first = svc.submit(racy_trace)
+        svc.result(first, timeout=60)
+        second = svc.submit(racy_trace)
+        svc.result(second, timeout=60)
+        status = svc.status(second)
+        assert status["checkpoint_hits"] > 0
+        assert (
+            svc._job(first).races.to_json() == svc._job(second).races.to_json()
+        )
