@@ -37,3 +37,27 @@ def test_e3_figure6(benchmark, save_result):
     base_rt = runtime_fig.get("baseline").ys()
     sword_rt = runtime_fig.get("sword").ys()
     assert all(s < 60 * b + 1.0 for s, b in zip(sword_rt, base_rt))
+
+
+def test_e3_static_prescreen_columns(benchmark, save_result):
+    """E3 extension: the pre-screening on/off overhead + elision column."""
+    runtime_fig, elision_fig = benchmark.pedantic(
+        lambda: E.ompscr_overhead.run_static(thread_counts=(8, 16)),
+        rounds=1,
+        iterations=1,
+    )
+    save_result(
+        "E3_fig6_static_prescreen",
+        runtime_fig.render() + "\n\n" + elision_fig.render(),
+    )
+
+    # Shape 1: the analyzer removes a large share of the suite's event
+    # stream at every thread count (run_static already asserted race-set
+    # parity workload by workload).
+    fracs = elision_fig.get("elided-fraction").ys()
+    assert all(f > 0.4 for f in fracs)
+
+    # Shape 2: eliding events never makes collection materially slower.
+    on = runtime_fig.get("sword").ys()
+    off = runtime_fig.get("sword-nostatic").ys()
+    assert all(s < o * 1.5 + 0.05 for s, o in zip(on, off))

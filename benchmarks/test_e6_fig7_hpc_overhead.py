@@ -91,3 +91,29 @@ def test_e6_sword_dynamic_beats_archer_elsewhere(benchmark, figures):
         if sword[24] <= archer[24]:
             wins += 1
     assert wins >= 2, "sword should win the dynamic phase on most benchmarks"
+
+
+def test_e6_static_prescreen_columns(benchmark, save_result):
+    """E6 extension: per-benchmark pre-screening on/off slowdown columns."""
+    figs = benchmark.pedantic(
+        lambda: E.hpc_overhead.run_static(
+            thread_counts=(8, 16), params_for=hpc_params
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = []
+    for name, (slow_fig, elision_fig) in figs.items():
+        text.append(slow_fig.render())
+        text.append(elision_fig.render())
+    save_result("E6_fig7_static_prescreen", "\n\n".join(text))
+
+    for name, (slow_fig, elision_fig) in figs.items():
+        # Every HPC benchmark's spec elides a stable share of the stream
+        # (AMG's partial spec is the floor at ~21%).
+        fracs = elision_fig.get("elided-fraction").ys()
+        assert all(f > 0.15 for f in fracs), name
+        # And collection with fewer events is never materially slower.
+        on = slow_fig.get("sword").ys()
+        off = slow_fig.get("sword-nostatic").ys()
+        assert all(s < o * 1.5 + 0.5 for s, o in zip(on, off)), name

@@ -1,0 +1,92 @@
+"""The static pre-screening elision gate.
+
+CI's ``benchmarks-smoke`` job runs this: across the OmpSCR + HPC corpora
+the pre-screener must elide **at least 30%** of the events a
+full-instrumentation run would log, with byte-identical race sets.  The
+per-workload table is saved under ``benchmarks/results/`` so regressions
+are diagnosable from the artifact alone.
+"""
+
+import json
+
+from repro.common.config import SwordConfig
+from repro.harness.tables import Table
+from repro.harness.tools import SwordDriver
+from repro.workloads import REGISTRY
+
+from conftest import hpc_params
+
+#: The gate floor: fraction of the full event stream elided, aggregated
+#: across the whole corpus (currently ~60%; 30% leaves headroom without
+#: letting the subsystem quietly rot).
+GATE_FRACTION = 0.30
+
+NTHREADS = 8
+
+
+def _blob(races) -> bytes:
+    return json.dumps(races.to_json(), sort_keys=True).encode()
+
+
+def _corpus():
+    for w in REGISTRY.suite("ompscr"):
+        yield w, {}
+    for name in ("hpccg", "minife", "lulesh", "amg2013_10"):
+        w = REGISTRY.get(name)
+        yield w, hpc_params(w)
+
+
+def test_static_prescreen_elision_gate(benchmark, save_result):
+    table = Table(
+        f"Static pre-screening elision at {NTHREADS} threads "
+        f"(gate: >= {GATE_FRACTION:.0%} aggregate)",
+        ("workload", "events_full", "events_elided", "fraction", "parity"),
+    )
+
+    def sweep():
+        rows = []
+        total_elided = 0
+        total_full = 0
+        for w, params in _corpus():
+            on = SwordDriver().run(w, nthreads=NTHREADS, seed=0, **params)
+            off = SwordDriver().run(
+                w,
+                nthreads=NTHREADS,
+                seed=0,
+                sword_config=SwordConfig(static_prescreen=False),
+                **params,
+            )
+            parity = _blob(on.races) == _blob(off.races)
+            elided = on.stats["events_elided"]
+            full = off.stats["events"]
+            rows.append((w.name, full, elided, parity))
+            total_elided += elided
+            total_full += full
+        return rows, total_elided, total_full
+
+    rows, total_elided, total_full = benchmark.pedantic(
+        sweep, rounds=1, iterations=1
+    )
+    for name, full, elided, parity in rows:
+        table.add(
+            name,
+            full,
+            elided,
+            f"{elided / max(full, 1):.1%}",
+            "ok" if parity else "DIVERGED",
+        )
+    fraction = total_elided / max(total_full, 1)
+    table.note(
+        f"aggregate: {total_elided}/{total_full} events elided "
+        f"({fraction:.1%})"
+    )
+    save_result("static_prescreen", table.render())
+
+    assert all(parity for _, _, _, parity in rows), "race sets diverged"
+    assert fraction >= GATE_FRACTION, (
+        f"elision gate: {fraction:.1%} < {GATE_FRACTION:.0%}"
+    )
+    # At least one DEFINITE_RACE corpus workload and a majority of the
+    # spec'd ones must actually elide.
+    eliding = [name for name, _, elided, _ in rows if elided > 0]
+    assert len(eliding) >= 8, eliding

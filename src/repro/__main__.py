@@ -43,6 +43,7 @@ import sys
 
 from . import api
 from . import obs as obslib
+from .common.config import SwordConfig
 from .common.errors import ReproError
 from .common.exitcodes import (
     EXIT_CLEAN,
@@ -155,6 +156,9 @@ def cmd_check(args: argparse.Namespace) -> int:
     options = None
     if getattr(args, "salvage", False):
         options = AnalysisOptions(integrity="salvage")
+    sword_config = None
+    if getattr(args, "no_static", False):
+        sword_config = SwordConfig(static_prescreen=False)
     result = api.detect(
         args.workload,
         tool=args.tool,
@@ -162,6 +166,7 @@ def cmd_check(args: argparse.Namespace) -> int:
         seed=args.seed,
         obs=obs,
         options=options,
+        sword_config=sword_config,
     )
     _export_obs(args, obs)
     if args.json:
@@ -287,7 +292,10 @@ def cmd_analyze(args: argparse.Namespace) -> int:
             result_cache=bool(args.cache or args.cache_dir),
             cache_dir=args.cache_dir,
         ),
-        pruning=PruningOptions(lazy_inflate=not args.no_lazy),
+        pruning=PruningOptions(
+            lazy_inflate=not args.no_lazy,
+            static_skip=not args.no_static,
+        ),
     )
     with obs.tracer.span("analyze", category="run"):
         result = api.analyze(
@@ -343,6 +351,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="tolerate trace damage during the offline phase and report "
         "what was lost (sword only)",
     )
+    p.add_argument(
+        "--no-static",
+        action="store_true",
+        help="disable the static pre-screening pass: instrument every "
+        "access site instead of eliding PROVEN_FREE ones (sword only)",
+    )
     _add_obs_flags(p)
     p.set_defaults(func=cmd_check)
 
@@ -383,6 +397,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-lazy",
         action="store_true",
         help="disable the meta-digest pre-filter (always inflate frames)",
+    )
+    p.add_argument(
+        "--no-static",
+        action="store_true",
+        help="disable the PROVEN_FREE site-pair skip (synthesized "
+        "DEFINITE_RACE reports are still injected)",
     )
     p.add_argument(
         "--cache",

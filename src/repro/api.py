@@ -39,7 +39,7 @@ import os
 from pathlib import Path
 from typing import Optional, Union
 
-from .common.config import NodeConfig
+from .common.config import NodeConfig, SwordConfig
 from .harness.tools import RunResult, driver
 from .obs import Instrumentation
 from .offline.analyzer import SerialOfflineAnalyzer
@@ -107,6 +107,7 @@ def detect(
     seed: int = 0,
     node: Optional[NodeConfig] = None,
     options: Optional[AnalysisOptions] = None,
+    sword_config: Optional[SwordConfig] = None,
     obs: Optional[Instrumentation] = None,
     **params,
 ) -> RunResult:
@@ -114,8 +115,11 @@ def detect(
 
     ``workload`` is a registry name (see ``repro.workloads.REGISTRY``) or
     a :class:`Workload` instance.  ``options`` tunes SWORD's offline
-    phase (ignored by the other tools, which have no offline phase).
-    Extra keyword arguments are forwarded to the workload's program.
+    phase (ignored by the other tools, which have no offline phase), and
+    ``sword_config`` its online phase — e.g.
+    ``SwordConfig(static_prescreen=False)`` for the ``--no-static``
+    escape hatch.  Extra keyword arguments are forwarded to the
+    workload's program.
     """
     w = _resolve_workload(workload)
     kwargs = dict(
@@ -127,6 +131,8 @@ def detect(
     )
     if tool == "sword":
         kwargs["analysis_options"] = options
+        if sword_config is not None:
+            kwargs["sword_config"] = sword_config
         if options is not None and options.workers > 1:
             kwargs["mt_workers"] = options.workers
     return driver(tool).run(w, **kwargs)

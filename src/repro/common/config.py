@@ -88,6 +88,11 @@ class SwordConfig:
             ``"raise"`` propagates :class:`~repro.common.errors.FlushError`;
             ``"drop-oldest"`` discards the failing chunk, records exactly
             what was lost in the manifest, and keeps the run alive.
+        static_prescreen: act on static region pre-screening
+            (:mod:`repro.static`): elide event emission at proven-free
+            sites and persist the verdict table into the manifest.  Off,
+            regions run fully instrumented even when the workload
+            declares specs (the ``--no-static`` escape hatch).
     """
 
     buffer_events: int = SWORD_BUFFER_EVENTS
@@ -101,6 +106,7 @@ class SwordConfig:
     flush_retries: int = 3
     flush_backoff_seconds: float = 0.01
     flush_degraded: str = "raise"
+    static_prescreen: bool = True
 
     def validate(self) -> None:
         if self.buffer_events <= 0:

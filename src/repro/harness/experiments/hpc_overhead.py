@@ -65,6 +65,68 @@ def run(
     return out
 
 
+def run_static(
+    benchmarks: Sequence[str] = ("hpccg", "minife", "lulesh", "amg2013_10"),
+    thread_counts: Sequence[int] = (8, 16, 24),
+    seed: int = 0,
+    params_for=None,
+) -> dict[str, tuple[Figure, Figure]]:
+    """E6 extension: per-benchmark SWORD slowdown with pre-screening
+    on vs. off, plus the elided-event fraction.
+
+    Returns ``{benchmark: (slowdown figure, elision figure)}``; the
+    slowdown figure carries ``sword`` and ``sword-nostatic`` series
+    (dynamic seconds over baseline).  Race-set parity is asserted.
+    """
+    from ...common.config import SwordConfig
+
+    out: dict[str, tuple[Figure, Figure]] = {}
+    for name in benchmarks:
+        (w,) = suite_workloads("hpc", include=[name])
+        params = dict(params_for(w)) if params_for else {}
+        slow_fig = Figure(
+            f"E6+: {name} SWORD slowdown, static pre-screening on/off",
+            "threads",
+            "x over baseline",
+        )
+        elision_fig = Figure(
+            f"E6+: {name} events elided by static pre-screening",
+            "threads",
+            "fraction of full-instrumentation events",
+        )
+        on_s = slow_fig.new_series("sword")
+        off_s = slow_fig.new_series("sword-nostatic")
+        frac = elision_fig.new_series("elided-fraction")
+        for nthreads in thread_counts:
+            base = driver("baseline").run(
+                w, nthreads=nthreads, seed=seed, node=NodeConfig(), **params
+            )
+            denom = max(base.dynamic_seconds, 1e-9)
+            on = driver("sword").run(
+                w, nthreads=nthreads, seed=seed, node=NodeConfig(), **params
+            )
+            off = driver("sword").run(
+                w,
+                nthreads=nthreads,
+                seed=seed,
+                node=NodeConfig(),
+                sword_config=SwordConfig(static_prescreen=False),
+                **params,
+            )
+            if on.races.pc_pairs() != off.races.pc_pairs():
+                raise AssertionError(
+                    f"{name}: static pre-screening changed the race set"
+                )
+            on_s.add(nthreads, on.dynamic_seconds / denom)
+            off_s.add(nthreads, off.dynamic_seconds / denom)
+            frac.add(
+                nthreads,
+                on.stats["events_elided"] / max(off.stats["events"], 1),
+            )
+        out[name] = (slow_fig, elision_fig)
+    return out
+
+
 def main() -> None:  # pragma: no cover - CLI convenience
     for name, (slow, mem) in run().items():
         print(slow.render())

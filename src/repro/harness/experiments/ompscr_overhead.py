@@ -53,6 +53,67 @@ def run(
     return runtime_fig, memory_fig
 
 
+def run_static(
+    thread_counts: Sequence[int] = (8, 16, 24),
+    include: Optional[Iterable[str]] = None,
+    seed: int = 0,
+) -> tuple[Figure, Figure]:
+    """E3 extension: SWORD with static pre-screening on vs. off.
+
+    Returns (runtime figure, elision figure).  The runtime figure has a
+    ``sword`` and a ``sword-nostatic`` series (geomean dynamic seconds);
+    the elision figure tracks, per thread count, the fraction of the
+    full-instrumentation event stream the pre-screener elided across the
+    suite.  Race-set parity between the two configurations is asserted
+    on every run — the overhead column is only meaningful if results are
+    unchanged.
+    """
+    from ...common.config import SwordConfig
+
+    workloads = suite_workloads("ompscr", include=include)
+    runtime_fig = Figure(
+        "E3+: OmpSCR geomean SWORD runtime, static pre-screening on/off",
+        "threads",
+        "seconds (geomean)",
+    )
+    elision_fig = Figure(
+        "E3+: OmpSCR events elided by static pre-screening",
+        "threads",
+        "fraction of full-instrumentation events",
+    )
+    on_rt = runtime_fig.new_series("sword")
+    off_rt = runtime_fig.new_series("sword-nostatic")
+    frac = elision_fig.new_series("elided-fraction")
+    for nthreads in thread_counts:
+        t_on: list[float] = []
+        t_off: list[float] = []
+        elided = 0
+        full = 0
+        for w in workloads:
+            on = driver("sword").run(
+                w, nthreads=nthreads, seed=seed, node=NodeConfig()
+            )
+            off = driver("sword").run(
+                w,
+                nthreads=nthreads,
+                seed=seed,
+                node=NodeConfig(),
+                sword_config=SwordConfig(static_prescreen=False),
+            )
+            if on.races.pc_pairs() != off.races.pc_pairs():
+                raise AssertionError(
+                    f"{w.name}: static pre-screening changed the race set"
+                )
+            t_on.append(on.dynamic_seconds)
+            t_off.append(off.dynamic_seconds)
+            elided += on.stats["events_elided"]
+            full += off.stats["events"]
+        on_rt.add(nthreads, geomean(t_on))
+        off_rt.add(nthreads, geomean(t_off))
+        frac.add(nthreads, elided / max(full, 1))
+    return runtime_fig, elision_fig
+
+
 def main() -> None:  # pragma: no cover - CLI convenience
     rt, mem = run()
     print(rt.render())

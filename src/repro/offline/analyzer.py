@@ -112,6 +112,10 @@ class SerialOfflineAnalyzer:
 
             races = RaceSet()
             report = self.trace.integrity if self.salvage else None
+            # Verdict-table contribution first: synthesised DEFINITE_RACE
+            # witnesses exist *instead of* events, so they are part of
+            # the race set, not an optimisation.
+            self.engine.apply_static_verdicts(races)
             try:
                 for ia, ib in pairs:
                     if not self.salvage:

@@ -75,6 +75,12 @@ class AnalysisStats:
     frames_pruned: int = 0
     #: Chunks whose payload was inflated for a tree build.
     frames_inflated: int = 0
+    #: Static pre-screening (trace-level constants from the verdict
+    #: table, plus this analysis' own pair skips).
+    sites_proven_free: int = 0
+    sites_definite_race: int = 0
+    events_elided: int = 0
+    site_pairs_skipped: int = 0
     plan_seconds: float = 0.0
     build_seconds: float = 0.0
     compare_seconds: float = 0.0
@@ -109,6 +115,10 @@ class AnalysisStats:
             "bytes_inflated": self.bytes_inflated,
             "frames_pruned": self.frames_pruned,
             "frames_inflated": self.frames_inflated,
+            "sites_proven_free": self.sites_proven_free,
+            "sites_definite_race": self.sites_definite_race,
+            "events_elided": self.events_elided,
+            "site_pairs_skipped": self.site_pairs_skipped,
             "plan_seconds": self.plan_seconds,
             "build_seconds": self.build_seconds,
             "compare_seconds": self.compare_seconds,
@@ -249,6 +259,14 @@ class AnalysisEngine:
         #: When meta digests are absent, keep pruning on tree digests
         #: (which costs one inflation per interval) as before.
         self._fallback = pruning.fallback_inflate
+        #: pid -> proven-free pcs from the trace's static verdict table;
+        #: pairs touching one are skipped before digest pruning.  Empty
+        #: when the trace carries no table or static_skip is off.
+        self._static_free: dict[int, frozenset[int]] = {}
+        if pruning.static_skip:
+            table = getattr(source, "static_verdicts", None)
+            if table is not None:
+                self._static_free = table.proven_free_by_pid()
         # Digests survive LRU eviction of their trees (they are tiny).
         self._digests: dict[object, TreeDigest] = {}
         self._meta_digests: dict[object, FrameDigest | None] = {}
@@ -278,6 +296,10 @@ class AnalysisEngine:
         )
         self._m_pruned = registry.counter(
             "offline.pairs_pruned", "pairs dismissed by access digests"
+        )
+        self._m_site_pairs_skipped = registry.counter(
+            "offline.site_pairs_skipped",
+            "site pairs skipped on static proven-free verdicts",
         )
         self._m_bytes_inflated = registry.counter(
             "offline.bytes_inflated", "uncompressed bytes decompressed"
@@ -496,6 +518,13 @@ class AnalysisEngine:
         # to contribute their own witness so the canonical-witness merge in
         # RaceSet stays independent of pair order across analysis modes.
         seen_here: set[tuple[int, int]] = set()
+        # Statically proven-free pcs apply only within one region
+        # instance: a pc's verdict says nothing about other regions.
+        static_free = (
+            self._static_free.get(ia.key.pid)
+            if self._static_free and ia.key.pid == ib.key.pid
+            else None
+        )
         for node in tree_a:
             si = node.interval
             for hit in tree_b.iter_overlaps(si.low, si.high):
@@ -513,6 +542,15 @@ class AnalysisEngine:
                 )
                 if pair_key in seen_here:
                     continue  # this comparison already solved the site pair
+                if static_free is not None and (
+                    si.pc in static_free or other.pc in static_free
+                ):
+                    # The verdict table proved this site disjoint from
+                    # every site of its region; no solve needed.
+                    seen_here.add(pair_key)
+                    self.stats.site_pairs_skipped += 1
+                    self._m_site_pairs_skipped.inc()
+                    continue
                 self.stats.ilp_solves += 1
                 address = check_node_pair(
                     si,
@@ -551,6 +589,29 @@ class AnalysisEngine:
                 on_race(races.get(report.key))
         self.stats.races_found = len(races)
         self._m_races.set(len(races))
+
+    def apply_static_verdicts(
+        self, races: RaceSet, on_race=None, *, table=None
+    ) -> None:
+        """Fold the trace's static verdict table into one result.
+
+        Copies the trace-level counts into the stats and injects the
+        synthesised DEFINITE_RACE reports through the same add/notify
+        path live comparisons use — RaceSet's canonical merge makes the
+        injection order-independent.  Injection is unconditional when a
+        table exists (elided sites produced no events, so dropping the
+        reports would lose races); only the pair *skip* is an opt-out.
+        ``table`` overrides the source's (the streaming driver captures
+        the live producer's table at trace begin).
+        """
+        if table is None:
+            table = getattr(self.source, "static_verdicts", None)
+        if table is None:
+            return
+        self.stats.sites_proven_free = table.sites_proven_free
+        self.stats.sites_definite_race = table.sites_definite_race
+        self.stats.events_elided = int(table.events_elided)
+        self._replay_reports(table.race_reports(), races, on_race)
 
     def analyze_pair(
         self,

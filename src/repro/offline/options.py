@@ -39,6 +39,11 @@ class PruningOptions:
     #: When meta digests are absent (v1 traces, digest-less rows), fall
     #: back to inflating and pruning on tree digests as before.
     fallback_inflate: bool = True
+    #: Skip site pairs the trace's static verdict table proved race-free
+    #: before digest pruning even looks at them.  Off, the engine solves
+    #: those pairs dynamically (synthesised DEFINITE_RACE reports are
+    #: still injected — they are data, not an optimisation).
+    static_skip: bool = True
 
     def validate(self) -> None:  # symmetry with the sibling options
         return None

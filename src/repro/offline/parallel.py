@@ -108,6 +108,16 @@ class DistributedOfflineAnalyzer:
                         self.obs.tracer.ingest(
                             outcome.spans, tid=outcome.worker_pid
                         )
+        # Coordinator-side verdict injection: one contribution regardless
+        # of the shard count, merged by RaceSet's canonical minimum just
+        # like the serial driver's.
+        table = getattr(self.trace, "static_verdicts", None)
+        if table is not None:
+            stats.sites_proven_free = table.sites_proven_free
+            stats.sites_definite_race = table.sites_definite_race
+            stats.events_elided = int(table.events_elided)
+            for report in table.race_reports():
+                races.add(report)
         stats.races_found = len(races)
         # Workers run in their own processes; the coordinator mirrors the
         # merged totals so one registry still tells the whole story.

@@ -84,9 +84,16 @@ class MasterContext:
         body: Callable[..., Any],
         *args: Any,
         nthreads: Optional[int] = None,
+        static: Optional[Any] = None,
     ) -> None:
-        """Fork a parallel region (``#pragma omp parallel``)."""
-        self.runtime.parallel(self.thread, nthreads, body, args)
+        """Fork a parallel region (``#pragma omp parallel``).
+
+        ``static`` optionally carries a
+        :class:`~repro.static.model.RegionSpec` describing the region's
+        affine access sites; the attached tool pre-screens them before
+        the body runs and proven-free sites skip event emission.
+        """
+        self.runtime.parallel(self.thread, nthreads, body, args, static=static)
 
     def parallel_for(
         self,
@@ -96,6 +103,7 @@ class MasterContext:
         nthreads: Optional[int] = None,
         schedule: str = "static",
         chunk: Optional[int] = None,
+        static: Optional[Any] = None,
     ) -> None:
         """``#pragma omp parallel for``: fork a team and distribute ``n``
         iterations, calling ``body(ctx, i, *args)`` per iteration."""
@@ -104,7 +112,7 @@ class MasterContext:
             for i in ctx.for_range(n, schedule=schedule, chunk=chunk):
                 body(ctx, i, *args)
 
-        self.runtime.parallel(self.thread, nthreads, _region, ())
+        self.runtime.parallel(self.thread, nthreads, _region, (), static=static)
 
     # -- direct (uninstrumented) data helpers ---------------------------------------
 
@@ -121,6 +129,9 @@ class ThreadContext:
         self.runtime = runtime
         self.thread = thread
         self._frame = thread.frame
+        # Sites the static pre-screener proved race-free (or reported
+        # without running): their events are suppressed before emission.
+        self._elide = self._frame.team.static_elide
 
     # -- identity -------------------------------------------------------------------
 
@@ -156,6 +167,11 @@ class ThreadContext:
         is_atomic: bool,
         pc: Optional[int],
     ) -> None:
+        if self._elide and pc is not None and pc in self._elide:
+            # Data movement already happened in the caller; only the
+            # event is suppressed (yield accounting still charged).
+            self.runtime.elide_access(self.thread, 1)
+            return
         access = Access(
             addr=addr,
             size=size,
@@ -190,6 +206,11 @@ class ThreadContext:
         """
         addrs = np.ascontiguousarray(addrs, dtype=np.uint64)
         if addrs.shape[0] == 0:
+            return
+        if self._elide and isinstance(pc, int) and pc in self._elide:
+            # One charge per element: AccessBatch length == len(addrs),
+            # so yield accounting matches the instrumented path exactly.
+            self.runtime.elide_access(self.thread, addrs.shape[0])
             return
         batch = AccessBatch.make(
             addrs,

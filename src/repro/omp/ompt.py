@@ -78,6 +78,23 @@ class OmptTool:
     def on_mutex_released(self, thread: "SimThread", mutex_id: int) -> None:
         """``thread`` released ``mutex_id``."""
 
+    def on_static_region(self, region: "ParallelRegion", team, spec):
+        """Pre-screening hook: the region carries a static RegionSpec.
+
+        Fires after ``on_parallel_begin`` with the fully formed team,
+        before any member runs the body.  A tool that consumes verdicts
+        returns a :class:`~repro.static.analyzer.RegionVerdicts`; a tool
+        that wants full instrumentation (oracles, differential baselines,
+        SWORD with ``static_prescreen`` off) returns None — and because
+        the runtime only elides sites *every* attached tool agreed to
+        drop, one None keeps the whole region instrumented.
+        """
+        return None
+
+    def on_access_elided(self, thread: "SimThread", count: int) -> None:
+        """``count`` accesses at PROVEN_FREE/DEFINITE_RACE sites were
+        suppressed before emission (bookkeeping only — no event data)."""
+
     def on_access(self, thread: "SimThread", access: Access) -> None:
         """Instrumented (parallel-context) memory access."""
 
@@ -161,6 +178,33 @@ class ToolMux(OmptTool):
     def on_mutex_released(self, thread, mutex_id):  # noqa: D102
         for t in self.tools:
             t.on_mutex_released(thread, mutex_id)
+
+    def on_static_region(self, region, team, spec):
+        """Unanimity rule: elide only what every child tool elided.
+
+        Each child still records its own verdicts; the runtime-facing
+        elide set is the intersection, and a single child declining the
+        pass (returning None) pins the region fully instrumented — the
+        event stream feeds all children, so dropping a site needs
+        everyone's consent.
+        """
+        from ..static.analyzer import RegionVerdicts  # deferred: cycle
+
+        outcomes = [t.on_static_region(region, team, spec) for t in self.tools]
+        if not outcomes or any(o is None for o in outcomes):
+            return None
+        elide = frozenset.intersection(*[o.elide for o in outcomes])
+        merged = RegionVerdicts(
+            pid=region.pid,
+            verdicts=dict(outcomes[0].verdicts),
+            elide=elide,
+            reports=list(outcomes[0].reports),
+        )
+        return merged
+
+    def on_access_elided(self, thread, count):  # noqa: D102
+        for t in self.tools:
+            t.on_access_elided(thread, count)
 
     def on_access(self, thread, access):  # noqa: D102
         for t in self.tools:

@@ -76,6 +76,10 @@ class Team:
         self.single_claims: dict[int, int] = {}
         # Deferred explicit tasks awaiting execution (tasking extension).
         self.task_queue: list["TaskObj"] = []
+        # Access pcs whose event emission the static pre-screener elided
+        # (set at registration when the region carries a RegionSpec and
+        # every attached tool consented).
+        self.static_elide: frozenset[int] = frozenset()
 
 
 class TaskObj:
@@ -522,12 +526,19 @@ class OpenMPRuntime:
         nthreads: Optional[int],
         body: Callable[..., Any],
         args: tuple = (),
+        static=None,
     ) -> None:
         """Fork a team, run ``body(ctx, *args)`` on every member, and join.
 
         The encountering thread becomes member 0 and runs the body inline;
         the other members come from the worker pool (created on demand and
         reused across regions, like real OpenMP workers).
+
+        ``static`` is an optional :class:`~repro.static.model.RegionSpec`
+        describing the region's access sites.  It is offered to the tool
+        (:meth:`~repro.omp.ompt.OmptTool.on_static_region`) before any
+        member runs; sites the tool proves race-free have their event
+        emission elided for the region's whole execution.
         """
         span = nthreads if nthreads is not None else self.config.nthreads
         if span <= 0:
@@ -548,6 +559,13 @@ class OpenMPRuntime:
         team = Team(region)
         workers = self._take_workers(span - 1)
         team.members = [me] + workers
+        if static is not None:
+            # Pre-screening happens with the team formed (verdicts need
+            # the real member gids) but before any member executes, so
+            # elision is in force for the region's very first access.
+            verdicts = self.tool.on_static_region(region, team, static)
+            if verdicts is not None:
+                team.static_elide = verdicts.elide
         for slot, worker in enumerate(workers, start=1):
             worker.assignment = (team, slot, body, args)
             self.scheduler.make_runnable(worker.handle)
@@ -662,6 +680,23 @@ class OpenMPRuntime:
         every = self.config.scheduler.yield_every
         if every > 0:
             th._ops += len(batch)
+            if th._ops >= every:
+                th._ops = 0
+                self.scheduler.switch(th.handle)
+
+    def elide_access(self, th: SimThread, count: int = 1) -> None:
+        """Suppress ``count`` accesses at a statically proven site.
+
+        The tool sees only a counter tick (no event data), but the yield
+        accounting is byte-for-byte the accounting :meth:`emit_access` /
+        :meth:`emit_access_batch` would have charged — interleavings under
+        ``yield_every`` are identical with the pre-screener on or off,
+        which is what keeps race sets byte-identical across the two.
+        """
+        self.tool.on_access_elided(th, count)
+        every = self.config.scheduler.yield_every
+        if every > 0:
+            th._ops += count
             if th._ops >= every:
                 th._ops = 0
                 self.scheduler.switch(th.handle)

@@ -216,6 +216,10 @@ class JobScheduler:
                     shards=len(plan.shards), pairs=plan.concurrent_pairs,
                 )
             )
+            # Coordinator-side verdict injection, before any shard lands:
+            # a fully elided trace can carry synthesised DEFINITE_RACE
+            # reports with zero analyzable pairs.
+            self._inject_static_verdicts(job)
             job.state = RUNNING
             if not plan.shards:  # empty trace: trivially clean
                 job.state = DONE
@@ -242,6 +246,38 @@ class JobScheduler:
                 )
             )
             self.pool.submit(task)
+
+    def _inject_static_verdicts(self, job: JobRecord) -> None:
+        """Fold the trace's static verdict table into the job (once).
+
+        Pair shards only ever analyze planned pairs, so the synthesised
+        DEFINITE_RACE reports — which exist *instead of* events — enter
+        here at the coordinator.  A corrupt or unreadable table falls
+        back to UNKNOWN-everything (no reports, no counts); the salvage
+        shard accounts that loss in its integrity report.
+        """
+        from ..common.errors import TraceFormatError
+        from ..static.table import STATIC_VERDICTS_KEY, StaticVerdictTable
+        from ..sword.traceformat import MANIFEST_NAME
+
+        try:
+            manifest = json.loads(
+                (Path(job.trace_path) / MANIFEST_NAME).read_text()
+            )
+            payload = manifest.get(STATIC_VERDICTS_KEY)
+            if payload is None:
+                return
+            table = StaticVerdictTable.from_payload(payload)
+        except (OSError, ValueError, TraceFormatError):
+            return
+        job.stats.sites_proven_free = table.sites_proven_free
+        job.stats.sites_definite_race = table.sites_definite_race
+        job.stats.events_elided = int(table.events_elided)
+        had_races = len(job.races) > 0
+        for report in table.race_reports():
+            job.races.add(report)
+        if not had_races and len(job.races) and job.ttfr_seconds is None:
+            job.ttfr_seconds = time.perf_counter() - job.submitted_at
 
     # -- merging (runs on pool worker threads) -----------------------------------
 

@@ -214,5 +214,16 @@ def merge_stats(total: AnalysisStats, part: AnalysisStats) -> None:
     total.bytes_inflated += part.bytes_inflated
     total.frames_pruned += part.frames_pruned
     total.frames_inflated += part.frames_inflated
+    total.site_pairs_skipped += part.site_pairs_skipped
+    # Trace-level constants from the verdict table, not per-shard work:
+    # every shard that saw the table reports the same totals, so max
+    # (not sum) keeps the merged figure honest.
+    total.sites_proven_free = max(
+        total.sites_proven_free, part.sites_proven_free
+    )
+    total.sites_definite_race = max(
+        total.sites_definite_race, part.sites_definite_race
+    )
+    total.events_elided = max(total.events_elided, part.events_elided)
     total.build_seconds = max(total.build_seconds, part.build_seconds)
     total.compare_seconds = max(total.compare_seconds, part.compare_seconds)

@@ -1,0 +1,53 @@
+"""Static pre-screening of parallel regions (ROADMAP item 3).
+
+LLOV-style region analysis performed by the *runtime* at parallel-region
+registration: our simulated runtime sees affine subscripts, the schedule
+clause, and the reduction set before the region body runs, so it can
+
+* prove access sites race-free (``PROVEN_FREE``) and elide their event
+  emission entirely,
+* prove races without running (``DEFINITE_RACE``) and synthesise the
+  exact reports the dynamic path would have produced, and
+* leave everything else ``UNKNOWN`` — instrumented exactly as today.
+
+Workloads opt in by passing a declarative :class:`RegionSpec` to
+``m.parallel(body, static=spec)``; undeclared regions are untouched.
+Verdicts are persisted into the trace manifest (CRC-covered, versioned,
+schema-checked — see :mod:`repro.static.table`) so the offline engine
+skips whole site pairs and ``serve`` shards inherit the skip for free.
+"""
+
+from .analyzer import RegionVerdicts, analyze_region
+from .model import (
+    DEFINITE_RACE,
+    PROVEN_FREE,
+    STATIC_SCHEDULE,
+    UNKNOWN,
+    VERDICTS,
+    AffineSite,
+    RegionSpec,
+    chunk_bounds,
+)
+from .table import (
+    STATIC_VERDICTS_KEY,
+    STATIC_VERDICTS_SCHEMA,
+    STATIC_VERDICTS_VERSION,
+    StaticVerdictTable,
+)
+
+__all__ = [
+    "AffineSite",
+    "DEFINITE_RACE",
+    "PROVEN_FREE",
+    "RegionSpec",
+    "RegionVerdicts",
+    "STATIC_SCHEDULE",
+    "STATIC_VERDICTS_KEY",
+    "STATIC_VERDICTS_SCHEMA",
+    "STATIC_VERDICTS_VERSION",
+    "StaticVerdictTable",
+    "UNKNOWN",
+    "VERDICTS",
+    "analyze_region",
+    "chunk_bounds",
+]

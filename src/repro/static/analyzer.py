@@ -1,0 +1,256 @@
+"""Region classification: the pre-screening pass proper.
+
+Runs once per parallel-region registration, before the body executes.
+For every declared site the analyzer materialises the per-thread access
+footprint as a :class:`~repro.itree.interval.StridedInterval` — the same
+representation the dynamic pipeline coalesces events into — and decides
+cross-thread disjointness with the same exact overlap check
+(:func:`repro.ilp.overlap.intervals_share_address`) the offline engine
+uses.  Sharing the geometry kernel is what makes the two paths agree:
+a statically synthesised DEFINITE_RACE witness is byte-identical to the
+dynamically detected one because both come from the same function over
+the same intervals.
+
+Verdict rules (soundness argument in DESIGN.md §3.11):
+
+* non-static schedules: every affine site is UNKNOWN (reduction sites
+  stay PROVEN_FREE — the critical lock serialises them regardless);
+* sites only pair with sites on the *same array in the same phase*
+  (different arrays are disjoint allocations; different phases are
+  barrier-ordered);
+* a site is PROVEN_FREE when no such pair with at least one write
+  shares an address across two different thread slots — including the
+  site against itself;
+* racy sites become DEFINITE_RACE only in ``complete`` regions where
+  every declared site classified (no UNKNOWN sibling a silent elision
+  could hide a race against); otherwise they demote to UNKNOWN and the
+  region stays instrumented at those pcs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..ilp.overlap import intervals_share_address
+from ..itree.interval import StridedInterval
+from .model import (
+    DEFINITE_RACE,
+    PROVEN_FREE,
+    STATIC_SCHEDULE,
+    UNKNOWN,
+    AffineSite,
+    RegionSpec,
+    chunk_bounds,
+)
+
+
+@dataclass(slots=True)
+class RegionVerdicts:
+    """Outcome of pre-screening one region (what the runtime consumes).
+
+    ``elide`` is the set of pcs whose event emission the runtime may
+    suppress; ``reports`` are the synthesised DEFINITE_RACE witnesses
+    (field tuples of :class:`~repro.offline.report.RaceReport`, kept as
+    plain tuples so this module stays import-light for the hot path).
+    """
+
+    pid: int
+    verdicts: dict[int, str] = field(default_factory=dict)
+    elide: frozenset[int] = frozenset()
+    reports: list[tuple] = field(default_factory=list)
+
+    @property
+    def sites_proven_free(self) -> int:
+        return sum(1 for v in self.verdicts.values() if v == PROVEN_FREE)
+
+    @property
+    def sites_definite_race(self) -> int:
+        return sum(1 for v in self.verdicts.values() if v == DEFINITE_RACE)
+
+
+def site_interval(
+    site: AffineSite, lo: int, hi: int
+) -> Optional[StridedInterval]:
+    """The byte footprint of one site over iterations ``[lo, hi)``.
+
+    None for an empty chunk.  The interval is exactly what the offline
+    coalescer would build from the site's event stream: ``hi - lo``
+    accesses of ``block`` elements, ``coef`` elements apart, starting at
+    element ``coef*lo + offset``.
+    """
+    if hi <= lo:
+        return None
+    array = site.array
+    esize = array.itemsize
+    return StridedInterval(
+        low=array.addr(0) + (site.coef * lo + site.offset) * esize,
+        stride=site.coef * esize,
+        size=site.block * esize,
+        count=hi - lo,
+        is_write=site.is_write,
+        is_atomic=False,
+        pc=site.pc,
+        msid=0,
+    )
+
+
+def _paired(a: AffineSite, b: AffineSite) -> bool:
+    """True when two sites can conflict at all (same array, same phase,
+    at least one write)."""
+    return (
+        a.array is b.array
+        and a.phase == b.phase
+        and (a.is_write or b.is_write)
+    )
+
+
+def analyze_region(
+    spec: RegionSpec, *, pid: int, gids: list[int]
+) -> RegionVerdicts:
+    """Classify every declared site for one region instance.
+
+    ``gids`` are the team members' thread gids in slot order — the span
+    comes from its length, and synthesised reports carry real gids so
+    they are byte-identical to what the dynamic path would report.
+    """
+    span = len(gids)
+    result = RegionVerdicts(pid=pid)
+    verdicts = result.verdicts
+    for pc in spec.reduction_pcs:
+        verdicts[pc] = PROVEN_FREE
+    if not spec.sites and not spec.reduction_pcs:
+        return result
+    if spec.schedule != STATIC_SCHEDULE:
+        for site in spec.sites:
+            verdicts[site.pc] = UNKNOWN
+        result.elide = frozenset(
+            pc for pc, v in verdicts.items() if v == PROVEN_FREE
+        )
+        return result
+
+    # Per-(site, slot) footprints under the static partition.
+    footprints: dict[int, list[Optional[StridedInterval]]] = {}
+    for idx, site in enumerate(spec.sites):
+        footprints[idx] = [
+            site_interval(site, *chunk_bounds(slot, span, spec.iterations))
+            for slot in range(span)
+        ]
+
+    # Pairwise cross-thread overlap: a site is racy when any conflicting
+    # pair (including itself) shares an address across two slots.
+    racy: set[int] = set()
+    conflicts: list[tuple[int, int]] = []
+    nsites = len(spec.sites)
+    for i in range(nsites):
+        for j in range(i, nsites):
+            if not _paired(spec.sites[i], spec.sites[j]):
+                continue
+            if _slots_overlap(footprints[i], footprints[j]):
+                racy.add(i)
+                racy.add(j)
+                conflicts.append((i, j))
+
+    for idx, site in enumerate(spec.sites):
+        verdicts[site.pc] = DEFINITE_RACE if idx in racy else PROVEN_FREE
+
+    if racy:
+        if spec.complete:
+            result.reports = _synthesize(spec, footprints, conflicts, pid, gids)
+        else:
+            # Without the completeness contract an undeclared site could
+            # race against an elided one; keep racy pcs instrumented and
+            # let the dynamic path report them.
+            for idx in racy:
+                verdicts[spec.sites[idx].pc] = UNKNOWN
+    result.elide = frozenset(
+        pc for pc, v in verdicts.items() if v != UNKNOWN
+    )
+    return result
+
+
+def _slots_overlap(
+    fa: list[Optional[StridedInterval]], fb: list[Optional[StridedInterval]]
+) -> bool:
+    """Any cross-slot shared address between two sites' footprints?"""
+    span = len(fa)
+    for s in range(span):
+        a = fa[s]
+        if a is None:
+            continue
+        for t in range(span):
+            if t == s:
+                continue
+            b = fb[t]
+            if b is None:
+                continue
+            if intervals_share_address(a, b) is not None:
+                return True
+    return False
+
+
+def _synthesize(
+    spec: RegionSpec,
+    footprints: dict[int, list[Optional[StridedInterval]]],
+    conflicts: list[tuple[int, int]],
+    pid: int,
+    gids: list[int],
+) -> list[tuple]:
+    """Reports for every statically racy (site, slot) pair.
+
+    Mirrors the engine's witness selection: the pair is oriented by
+    ascending interval key — for same-region siblings, ascending gid —
+    and the witness address comes from ``intervals_share_address`` on
+    the oriented pair, exactly as ``compare_trees`` computes it.  All
+    contributing pairs are emitted; the caller feeds them through
+    :meth:`~repro.offline.report.RaceSet.add`, whose canonical-minimum
+    merge selects the same final witness the dynamic analysis would.
+    """
+    from ..offline.report import make_report  # deferred: import cycle
+
+    reports: list[tuple] = []
+    span = len(gids)
+    for i, j in conflicts:
+        fa, fb = footprints[i], footprints[j]
+        bid = spec.sites[i].phase
+        for s in range(span):
+            for t in range(span):
+                if t == s:
+                    continue
+                a, b = fa[s], fb[t]
+                if a is None or b is None:
+                    continue
+                # Canonical orientation: lower gid is side A, matching
+                # the engine's (gid, pid, bid) key ordering.
+                if gids[s] <= gids[t]:
+                    lo_i, hi_i = a, b
+                    gid_lo, gid_hi = gids[s], gids[t]
+                else:
+                    lo_i, hi_i = b, a
+                    gid_lo, gid_hi = gids[t], gids[s]
+                witness = intervals_share_address(lo_i, hi_i)
+                if witness is None:
+                    continue
+                report = make_report(
+                    pc_a=lo_i.pc,
+                    pc_b=hi_i.pc,
+                    address=witness.address,
+                    write_a=lo_i.is_write,
+                    write_b=hi_i.is_write,
+                    gid_a=gid_lo,
+                    gid_b=gid_hi,
+                    pid_a=pid,
+                    pid_b=pid,
+                    bid_a=bid,
+                    bid_b=bid,
+                )
+                reports.append(
+                    (
+                        report.pc_a, report.pc_b, report.address,
+                        report.write_a, report.write_b,
+                        report.gid_a, report.gid_b,
+                        report.pid_a, report.pid_b,
+                        report.bid_a, report.bid_b,
+                    )
+                )
+    return reports

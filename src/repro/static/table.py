@@ -1,0 +1,202 @@
+"""The persisted verdict table: manifest payload, CRC, and schema.
+
+Verdicts ride the trace manifest under the ``"static_verdicts"`` key so
+every offline consumer — serial, distributed, streaming, and ``serve``
+shards — sees the same table the online run acted on.  The payload is
+
+* **versioned** (``version``, bumped on layout changes),
+* **CRC-covered** (``crc32`` over the canonical JSON of the body, using
+  the trace format's own CRC), and
+* **schema-checked** (:data:`STATIC_VERDICTS_SCHEMA`, the same subset
+  grammar :mod:`repro.obs.schema` validates CI artifacts with; the
+  checked-in copy lives at ``schemas/static-verdicts.schema.json``).
+
+A table that fails any of the three checks is *corrupt*: strict readers
+raise :class:`~repro.common.errors.TraceFormatError`, salvage readers
+drop to UNKNOWN-everything (full-instrumentation semantics — no pair is
+skipped, no report injected) and count the loss in the integrity report.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from ..common.errors import TraceFormatError
+from .analyzer import RegionVerdicts
+from .model import DEFINITE_RACE, PROVEN_FREE
+
+#: Manifest key the table is stored under.
+STATIC_VERDICTS_KEY = "static_verdicts"
+
+#: Payload layout version.
+STATIC_VERDICTS_VERSION = 1
+
+#: A synthesised report row: the 11 RaceReport fields in order.
+_REPORT_FIELDS = 11
+
+#: JSON Schema (repro.obs.schema subset) for the manifest payload.
+STATIC_VERDICTS_SCHEMA: dict = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "title": "SWORD static pre-screening verdict table",
+    "type": "object",
+    "required": ["version", "crc32", "events_elided", "regions"],
+    "additionalProperties": False,
+    "properties": {
+        "version": {"type": "integer", "minimum": 1},
+        "crc32": {"type": "integer", "minimum": 0},
+        "events_elided": {"type": "integer", "minimum": 0},
+        "regions": {
+            "type": "object",
+            "additionalProperties": {
+                "type": "object",
+                "required": ["proven_free", "definite_race", "reports"],
+                "additionalProperties": False,
+                "properties": {
+                    "proven_free": {
+                        "type": "array",
+                        "items": {"type": "integer", "minimum": 0},
+                    },
+                    "definite_race": {
+                        "type": "array",
+                        "items": {"type": "integer", "minimum": 0},
+                    },
+                    "reports": {
+                        "type": "array",
+                        "items": {
+                            "type": "array",
+                            "minItems": _REPORT_FIELDS,
+                            "maxItems": _REPORT_FIELDS,
+                            "items": {
+                                "anyOf": [
+                                    {"type": "integer"},
+                                    {"type": "boolean"},
+                                ]
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+@dataclass(slots=True)
+class StaticVerdictTable:
+    """In-memory form of the persisted verdict table."""
+
+    #: pid -> {"proven_free": frozenset[pc], "definite_race":
+    #: frozenset[pc], "reports": list[tuple]}.
+    regions: dict[int, dict] = field(default_factory=dict)
+    #: Access events whose emission the online run suppressed.
+    events_elided: int = 0
+
+    # -- accumulation (online side) -----------------------------------------------
+
+    def add_region(self, verdicts: RegionVerdicts) -> None:
+        self.regions[verdicts.pid] = {
+            "proven_free": frozenset(
+                pc for pc, v in verdicts.verdicts.items() if v == PROVEN_FREE
+            ),
+            "definite_race": frozenset(
+                pc
+                for pc, v in verdicts.verdicts.items()
+                if v == DEFINITE_RACE
+            ),
+            "reports": list(verdicts.reports),
+        }
+
+    # -- aggregate views (stats / offline side) -------------------------------------
+
+    @property
+    def sites_proven_free(self) -> int:
+        return sum(len(r["proven_free"]) for r in self.regions.values())
+
+    @property
+    def sites_definite_race(self) -> int:
+        return sum(len(r["definite_race"]) for r in self.regions.values())
+
+    def proven_free_by_pid(self) -> dict[int, frozenset[int]]:
+        """pid -> pcs the engine may skip pairs for (non-empty only)."""
+        return {
+            pid: entry["proven_free"]
+            for pid, entry in self.regions.items()
+            if entry["proven_free"]
+        }
+
+    def race_reports(self) -> list:
+        """Synthesised reports as RaceReport objects (injection side)."""
+        from ..offline.report import RaceReport  # deferred: import cycle
+
+        return [
+            RaceReport(*row)
+            for entry in self.regions.values()
+            for row in entry["reports"]
+        ]
+
+    # -- serialisation ---------------------------------------------------------------
+
+    def _body(self) -> dict:
+        return {
+            "version": STATIC_VERDICTS_VERSION,
+            "events_elided": int(self.events_elided),
+            "regions": {
+                str(pid): {
+                    "proven_free": sorted(entry["proven_free"]),
+                    "definite_race": sorted(entry["definite_race"]),
+                    "reports": [list(row) for row in entry["reports"]],
+                }
+                for pid, entry in sorted(self.regions.items())
+            },
+        }
+
+    def to_payload(self) -> dict:
+        """The manifest value: the body plus its covering CRC."""
+        # Deferred: repro.sword imports this module back (import cycle).
+        from ..sword.traceformat import crc32
+
+        body = self._body()
+        payload = dict(body)
+        payload["crc32"] = crc32(
+            json.dumps(body, sort_keys=True).encode("utf-8")
+        )
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload) -> "StaticVerdictTable":
+        """Parse and verify one manifest payload.
+
+        Raises :class:`TraceFormatError` on schema violations, version
+        mismatch, or CRC mismatch — the caller decides whether that is
+        fatal (strict) or a fallback to UNKNOWN-everything (salvage).
+        """
+        from ..obs.schema import validate  # deferred: keep import light
+        from ..sword.traceformat import crc32  # deferred: import cycle
+
+        errors = validate(payload, STATIC_VERDICTS_SCHEMA)
+        if errors:
+            raise TraceFormatError(
+                f"static verdict table failed schema validation: "
+                f"{'; '.join(errors[:3])}"
+            )
+        if payload["version"] != STATIC_VERDICTS_VERSION:
+            raise TraceFormatError(
+                f"static verdict table version {payload['version']} "
+                f"(expected {STATIC_VERDICTS_VERSION})"
+            )
+        body = {k: v for k, v in payload.items() if k != "crc32"}
+        expected = crc32(json.dumps(body, sort_keys=True).encode("utf-8"))
+        if payload["crc32"] != expected:
+            raise TraceFormatError(
+                f"static verdict table CRC mismatch "
+                f"(stored {payload['crc32']:#x}, computed {expected:#x})"
+            )
+        table = cls(events_elided=int(payload["events_elided"]))
+        for pid_str, entry in payload["regions"].items():
+            table.regions[int(pid_str)] = {
+                "proven_free": frozenset(entry["proven_free"]),
+                "definite_race": frozenset(entry["definite_race"]),
+                "reports": [tuple(row) for row in entry["reports"]],
+            }
+        return table

@@ -140,6 +140,10 @@ class StreamAnalyzer(TraceObserver):
         self.finished = False
         self._since_save = 0
         self._t0: float | None = None
+        #: The trace producer (live SwordTool or replayed TraceDir) —
+        #: its static verdict table is read lazily at result time, when
+        #: a live run's table is complete.
+        self._producer = None
 
     # -- wiring -----------------------------------------------------------------
 
@@ -161,6 +165,7 @@ class StreamAnalyzer(TraceObserver):
 
     def on_trace_begin(self, producer) -> None:
         self._t0 = time.perf_counter()
+        self._producer = producer
         runtime = getattr(producer, "runtime", None)
         if runtime is not None:
             # Live run: bind the runtime's growing tables.  Mutex-set ids
@@ -238,6 +243,15 @@ class StreamAnalyzer(TraceObserver):
     def result(self) -> AnalysisResult:
         """Races and stats accumulated so far (final after trace end)."""
         stats = self.engine.stats if self.engine is not None else AnalysisStats()
+        if self.engine is not None:
+            # Fold in the producer's verdict table (read lazily: a live
+            # tool's table only completes as regions register).  The
+            # injection is idempotent under RaceSet's canonical merge.
+            self.engine.apply_static_verdicts(
+                self.races,
+                on_race=self._race_seen,
+                table=getattr(self._producer, "static_verdicts", None),
+            )
         stats.intervals = len(self.scheduler)
         stats.concurrent_pairs = self.scheduler.pairs_emitted
         stats.races_found = len(self.races)

@@ -100,6 +100,10 @@ class IntegrityReport:
     pairs_skipped: int = 0
     #: Run-wide files that were missing or unusable (manifest, regions…).
     missing_files: list[str] = field(default_factory=list)
+    #: Static verdict tables rejected (truncated/corrupt payload).  The
+    #: analysis falls back to UNKNOWN-everything — no pair skipped, no
+    #: report injected — so elided DEFINITE_RACE witnesses may be lost.
+    verdicts_dropped: int = 0
     #: Free-form reconstruction notes (e.g. "regions recovered from journal").
     notes: list[str] = field(default_factory=list)
 
@@ -118,6 +122,7 @@ class IntegrityReport:
             not self.intervals_skipped
             and not self.pairs_skipped
             and not self.missing_files
+            and not self.verdicts_dropped
             and all(t.clean for t in self.threads.values())
         )
 
@@ -145,6 +150,7 @@ class IntegrityReport:
             "intervals_skipped": self.intervals_skipped,
             "pairs_skipped": self.pairs_skipped,
             "missing_files": list(self.missing_files),
+            "verdicts_dropped": self.verdicts_dropped,
             "notes": list(self.notes),
             "threads": {
                 str(gid): t.to_json() for gid, t in sorted(self.threads.items())
@@ -158,6 +164,7 @@ class IntegrityReport:
             intervals_skipped=int(payload.get("intervals_skipped", 0)),
             pairs_skipped=int(payload.get("pairs_skipped", 0)),
             missing_files=list(payload.get("missing_files", [])),
+            verdicts_dropped=int(payload.get("verdicts_dropped", 0)),
             notes=list(payload.get("notes", [])),
         )
         for key, entry in payload.get("threads", {}).items():

@@ -64,6 +64,8 @@ from ..obs import (
     get_obs,
 )
 from ..omp.ompt import OmptTool
+from ..static.analyzer import analyze_region
+from ..static.table import STATIC_VERDICTS_KEY, StaticVerdictTable
 from .buffer import EventBuffer
 from .compression import by_name, filters
 from .digest import FrameDigest
@@ -176,7 +178,13 @@ class SwordTool(OmptTool):
             "flush_retries": 0,
             "chunks_dropped": 0,
             "events_dropped": 0,
+            "events_elided": 0,
+            "sites_proven_free": 0,
+            "sites_definite_race": 0,
         }
+        #: Verdicts of the static pre-screening pass, persisted into the
+        #: manifest at finalisation (and in durable snapshots).
+        self._verdict_table = StaticVerdictTable()
         # Registry instruments (cached: one attribute lookup + call per
         # update, a shared no-op under the null backend).  The hot
         # per-event counter is mirrored at flush grain, not per event.
@@ -217,6 +225,10 @@ class SwordTool(OmptTool):
         )
         self._m_events_dropped = registry.counter(
             "sword.events_dropped", "events lost to the drop-oldest policy"
+        )
+        self._m_events_elided = registry.counter(
+            "sword.events_elided",
+            "accesses suppressed at statically classified sites",
         )
         # Live N x (B + C) verification: the gauge rides the accountant's
         # charge feed and re-checks the bound on every tool-memory move.
@@ -493,6 +505,37 @@ class SwordTool(OmptTool):
         for obs in self._observers:
             obs.on_region(region.pid, info)
 
+    # -- static pre-screening --------------------------------------------------
+
+    def on_static_region(self, region, team, spec):  # noqa: D102
+        if not self.config.static_prescreen:
+            return None
+        verdicts = analyze_region(
+            spec, pid=region.pid, gids=[m.gid for m in team.members]
+        )
+        self._verdict_table.add_region(verdicts)
+        self.stats["sites_proven_free"] += verdicts.sites_proven_free
+        self.stats["sites_definite_race"] += verdicts.sites_definite_race
+        if self.config.durable:
+            self._snapshot_tables()
+        return verdicts
+
+    def on_access_elided(self, thread, count) -> None:  # noqa: D102
+        self.stats["events_elided"] += count
+        self._verdict_table.events_elided += count
+        self._m_events_elided.inc(count)
+
+    @property
+    def static_verdicts(self) -> StaticVerdictTable | None:
+        """The live verdict table (None until a region is screened).
+
+        Offline analyzers consume this through the same attribute name
+        trace readers expose, so the streaming path skips proven-free
+        pairs and injects DEFINITE_RACE reports identically to a
+        post-mortem analysis of the persisted manifest.
+        """
+        return self._verdict_table if self._verdict_table.regions else None
+
     # -- durable-mode journalling ---------------------------------------------
 
     def _journal_region(self, pid: int, info: dict) -> None:
@@ -526,20 +569,19 @@ class SwordTool(OmptTool):
         """
         if self._runtime is not None:
             self._runtime.mutexsets.save(self.dir / MUTEXSETS_NAME)
+        snapshot = {
+            "in_progress": True,
+            "format_version": TRACE_FORMAT_VERSION,
+            "codec": self.config.codec,
+            "delta_filter": self.config.delta_filter,
+            "buffer_events": self.config.buffer_events,
+            "thread_gids": sorted(self._logs),
+        }
+        if self._verdict_table.regions:
+            snapshot[STATIC_VERDICTS_KEY] = self._verdict_table.to_payload()
         self._write_atomic(
             MANIFEST_NAME,
-            json.dumps(
-                {
-                    "in_progress": True,
-                    "format_version": TRACE_FORMAT_VERSION,
-                    "codec": self.config.codec,
-                    "delta_filter": self.config.delta_filter,
-                    "buffer_events": self.config.buffer_events,
-                    "thread_gids": sorted(self._logs),
-                },
-                indent=2,
-                sort_keys=True,
-            ),
+            json.dumps(snapshot, indent=2, sort_keys=True),
         )
 
     def on_implicit_task_begin(self, thread, region, slot) -> None:  # noqa: D102
@@ -672,6 +714,8 @@ class SwordTool(OmptTool):
         manifest["delta_filter"] = self.config.delta_filter
         manifest["buffer_events"] = self.config.buffer_events
         manifest["thread_gids"] = sorted(self._logs)
+        if self._verdict_table.regions:
+            manifest[STATIC_VERDICTS_KEY] = self._verdict_table.to_payload()
         if self.dropped_chunks:
             manifest["dropped_chunks"] = self.dropped_chunks
             manifest["lost_rows"] = self.lost_rows

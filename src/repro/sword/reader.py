@@ -50,6 +50,7 @@ from ..omp.mutexset import MutexSetTable
 from ..osl.concurrency import IntervalLabel, IntervalPair
 from .compression import by_id, filters
 from .digest import FrameDigest
+from ..static.table import STATIC_VERDICTS_KEY
 from ..tasking.graph import TaskGraph
 from .integrity import IntegrityReport, ThreadIntegrity
 from .traceformat import (
@@ -666,6 +667,7 @@ class TraceDir:
         self.integrity = IntegrityReport(mode=integrity)
         salvage = integrity == "salvage"
         self.manifest = self._load_manifest(salvage)
+        self.static_verdicts = self._load_static_verdicts(salvage)
         self.regions: dict[int, dict] = self._load_regions(salvage)
         self.mutexsets = self._load_mutexsets(salvage)
         tasks_path = self.path / TASKS_NAME
@@ -720,6 +722,34 @@ class TraceDir:
                 f"finalisation)"
             )
         return manifest
+
+    def _load_static_verdicts(self, salvage: bool):
+        """Parse the manifest's static verdict table, if present.
+
+        A table that fails its schema, version, or CRC check is corrupt:
+        strict mode raises, salvage mode falls back to UNKNOWN-everything
+        (full-instrumentation semantics — the analysis skips no pair and
+        injects no synthesised report) and counts the loss.
+        """
+        payload = self.manifest.get(STATIC_VERDICTS_KEY)
+        if payload is None:
+            return None
+        from ..static.table import StaticVerdictTable  # deferred: cycle
+
+        try:
+            return StaticVerdictTable.from_payload(payload)
+        except TraceFormatError as exc:
+            if not salvage:
+                raise TraceFormatError(
+                    f"{self.path / MANIFEST_NAME}: {exc}"
+                ) from exc
+            self.integrity.verdicts_dropped += 1
+            self.integrity.note(
+                f"{MANIFEST_NAME}: static verdict table corrupt "
+                f"({exc}); treating every site as UNKNOWN — elided "
+                f"DEFINITE_RACE witnesses may be lost"
+            )
+            return None
 
     def _load_regions(self, salvage: bool) -> dict[int, dict]:
         regions_path = self.path / REGIONS_NAME

@@ -11,6 +11,7 @@ from .dataracebench import suite as _drb_suite  # noqa: F401
 from .ompscr import suite as _ompscr_suite  # noqa: F401
 from .hpc import suite as _hpc_suite  # noqa: F401
 from .paper import suite as _paper_suite  # noqa: F401
+from .staticlab import suite as _staticlab_suite  # noqa: F401
 from .tasking import suite as _tasking_suite  # noqa: F401
 
 __all__ = ["REGISTRY", "Workload", "WorkloadRegistry", "workload"]

@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...common.sourceloc import pc_of
+from ...static import AffineSite, RegionSpec
 from ..base import workload
 
 _SUITE = "hpc"
@@ -78,6 +79,34 @@ def hpccg(m, p):
         ctx.write_slice(dst, lo, hi, 2.0 * mid - left - right,
                         pc=_pc("hpccg", 101, "spmv"))
 
+    # The affine slice sites: every one chunk-disjoint, so the whole CG
+    # data movement elides.  The single-thread scalar stores (rtrans /
+    # alpha_den seeds), the reductions, and the racy normr store stay
+    # undeclared and fully instrumented — the race is still found
+    # dynamically.  Phases follow one iteration's barrier pattern
+    # (singles carry an implicit exit barrier).
+    spec = RegionSpec(
+        iterations=n,
+        sites=(
+            AffineSite(_pc("hpccg", 120, "init"), b),
+            AffineSite(_pc("hpccg", 121, "init"), r, is_write=True),
+            AffineSite(_pc("hpccg", 122, "init"), pk, is_write=True),
+            AffineSite(_pc("hpccg", 132, "ddot"), r, phase=2),
+            AffineSite(_pc("hpccg", 98, "spmv"), pk, phase=3),
+            AffineSite(_pc("hpccg", 99, "spmv"), pk, offset=-1, phase=3),
+            AffineSite(_pc("hpccg", 100, "spmv"), pk, offset=1, phase=3),
+            AffineSite(_pc("hpccg", 101, "spmv"), ap, is_write=True, phase=3),
+            AffineSite(_pc("hpccg", 137, "ddot"), pk, phase=5),
+            AffineSite(_pc("hpccg", 138, "ddot"), ap, phase=5),
+            AffineSite(_pc("hpccg", 140, "waxpby"), x, phase=6),
+            AffineSite(_pc("hpccg", 141, "waxpby"), x, is_write=True, phase=6),
+            AffineSite(_pc("hpccg", 141, "waxpby2"), r, is_write=True, phase=6),
+            AffineSite(_pc("hpccg", 145, "waxpby"), r, phase=7),
+            AffineSite(_pc("hpccg", 146, "waxpby"), pk, is_write=True, phase=7),
+        ),
+        complete=False,
+    )
+
     def body(ctx):
         lo, hi = ctx.static_chunk(n)
         bv = ctx.read_slice(b, lo, hi, pc=_pc("hpccg", 120, "init"))
@@ -115,7 +144,7 @@ def hpccg(m, p):
             ctx.write_slice(pk, lo, hi, rv2 + beta * pv, pc=_pc("hpccg", 146, "waxpby"))
             ctx.barrier()
 
-    m.parallel(body)
+    m.parallel(body, static=spec)
 
 
 # ---------------------------------------------------------------------------
@@ -140,6 +169,23 @@ def minife(m, p):
     r = m.alloc_array("r", n)
     dot = m.alloc_scalar("dot")
 
+    # The dot scalar stays undeclared: it is written inside the single
+    # (outside reduce_add), so the reduction contract does not hold.
+    spec = RegionSpec(
+        iterations=n,
+        sites=(
+            AffineSite(_pc("minife", 77, "assemble"), diag, is_write=True),
+            AffineSite(_pc("minife", 78, "assemble"), rhs, is_write=True),
+            AffineSite(_pc("minife", 90, "solve"), diag, phase=1),
+            AffineSite(_pc("minife", 91, "solve"), off, phase=1),
+            AffineSite(_pc("minife", 92, "solve"), x, phase=1),
+            AffineSite(_pc("minife", 93, "solve"), rhs, phase=1),
+            AffineSite(_pc("minife", 94, "solve"), r, is_write=True, phase=1),
+            AffineSite(_pc("minife", 99, "solve"), x, is_write=True, phase=2),
+        ),
+        complete=False,
+    )
+
     def body(ctx):
         lo, hi = ctx.static_chunk(n)
         # Assembly: each thread owns disjoint rows.
@@ -163,7 +209,7 @@ def minife(m, p):
             ctx.write_slice(x, lo, hi, xv + 0.25 * res, pc=_pc("minife", 99, "solve"))
             ctx.barrier()
 
-    m.parallel(body)
+    m.parallel(body, static=spec)
 
 
 # ---------------------------------------------------------------------------
@@ -198,6 +244,23 @@ def lulesh(m, p):
     def kernel(name, line, reads, writes, f):
         """One LULESH sub-kernel = one parallel region."""
 
+        spec = RegionSpec(
+            iterations=n,
+            sites=tuple(
+                [
+                    AffineSite(_pc("lulesh", line + k, name), a)
+                    for k, a in enumerate(reads)
+                ]
+                + [
+                    AffineSite(
+                        _pc("lulesh", line + 10 + k, name), a, is_write=True
+                    )
+                    for k, a in enumerate(writes)
+                ]
+            ),
+            complete=True,
+        )
+
         def body(ctx):
             lo, hi = ctx.static_chunk(n)
             ins = [
@@ -210,7 +273,7 @@ def lulesh(m, p):
             for k, (a, v) in enumerate(zip(writes, outs)):
                 ctx.write_slice(a, lo, hi, v, pc=_pc("lulesh", line + 10 + k, name))
 
-        m.parallel(body)
+        m.parallel(body, static=spec)
 
     for _step in range(p.steps):
         kernel("CalcForce", 100, [pressure, q], [force],
@@ -228,6 +291,14 @@ def lulesh(m, p):
         kernel("CalcEnergy", 220, [pressure, vol], [energy],
                lambda pr, vo: np.maximum(pr * vo, 1e-9))
 
+        # The dt store is master-only (not affine), so it stays
+        # undeclared and instrumented; only the vel sweep elides.
+        dt_spec = RegionSpec(
+            iterations=n,
+            sites=(AffineSite(_pc("lulesh", 240, "UpdateDt"), vel),),
+            complete=False,
+        )
+
         def update_dt(ctx):
             # Courant reduction: every thread reads its chunk's velocities;
             # only the master stores the new dt (after the implicit join of
@@ -239,7 +310,7 @@ def lulesh(m, p):
             if ctx.master():
                 ctx.write(dt, 0, 1e-3, pc=_pc("lulesh", 244, "UpdateDt"))
 
-        m.parallel(update_dt)
+        m.parallel(update_dt, static=dt_spec)
 
 
 # ---------------------------------------------------------------------------
@@ -286,6 +357,24 @@ def _amg_program(m, p):
     known_pcs = np.array(pc_known_w, dtype=np.uint64)
     hidden_r_pcs = np.array(pc_hidden_r, dtype=np.uint64)
     hidden_w_pcs = np.array(pc_hidden_w, dtype=np.uint64)
+
+    # Declared: the chunk-disjoint fine-grid sweeps (relax + prolong).
+    # Left out on purpose: the racy flag/stat scalars (the seeded races
+    # must stay instrumented), the residual array r (its restrict read
+    # iterates the coarse index space — not expressible in one spec's
+    # iteration count — so both r sites stay instrumented), and coarse.
+    spec = RegionSpec(
+        iterations=npts,
+        sites=(
+            AffineSite(_pc("amg2013", 210, "relax"), u),
+            AffineSite(_pc("amg2013", 211, "relax"), f),
+            AffineSite(_pc("amg2013", 212, "relax"), u, is_write=True),
+            AffineSite(_pc("amg2013", 214, "relax"), work, is_write=True),
+            AffineSite(_pc("amg2013", 260, "prolong"), u, phase=2),
+            AffineSite(_pc("amg2013", 261, "prolong"), aux, is_write=True, phase=2),
+        ),
+        complete=False,
+    )
 
     def body(ctx):
         # --- one large parallel region (~the paper's 400-LOC region) ---
@@ -343,7 +432,7 @@ def _amg_program(m, p):
         av = ctx.read_slice(u, lo, hi, pc=_pc("amg2013", 260, "prolong"))
         ctx.write_slice(aux, lo, hi, av, pc=_pc("amg2013", 261, "prolong"))
 
-    m.parallel(body)
+    m.parallel(body, static=spec)
 
 
 for _size in (10, 20, 30, 40):

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...common.sourceloc import pc_of
+from ...static import AffineSite, RegionSpec
 from ..base import workload
 
 _SUITE = "ompscr"
@@ -370,16 +371,30 @@ for _name, _doc in (
 def loopa_ok(m, p):
     a = m.alloc_array("a", p.n, fill=1)
     b = m.alloc_array("b", p.n)
+    pc_ra = _pc("c_loopA.solution1", 52)
+    pc_wb = _pc("c_loopA.solution1", 53)
+    pc_rb = _pc("c_loopA.solution1", 55)
+    pc_wa = _pc("c_loopA.solution1", 56)
+    spec = RegionSpec(
+        iterations=p.n - 1,
+        sites=(
+            AffineSite(pc_ra, a),
+            AffineSite(pc_wb, b, offset=1, is_write=True),
+            AffineSite(pc_rb, b, offset=1, phase=1),
+            AffineSite(pc_wa, a, offset=1, is_write=True, phase=1),
+        ),
+        complete=True,
+    )
 
     def body(ctx):
         lo, hi = ctx.static_chunk(p.n - 1)
-        src = ctx.read_slice(a, lo, hi, pc=_pc("c_loopA.solution1", 52))
-        ctx.write_slice(b, lo + 1, hi + 1, src + 1.0, pc=_pc("c_loopA.solution1", 53))
+        src = ctx.read_slice(a, lo, hi, pc=pc_ra)
+        ctx.write_slice(b, lo + 1, hi + 1, src + 1.0, pc=pc_wb)
         ctx.barrier()
-        dst = ctx.read_slice(b, lo + 1, hi + 1, pc=_pc("c_loopA.solution1", 55))
-        ctx.write_slice(a, lo + 1, hi + 1, dst, pc=_pc("c_loopA.solution1", 56))
+        dst = ctx.read_slice(b, lo + 1, hi + 1, pc=pc_rb)
+        ctx.write_slice(a, lo + 1, hi + 1, dst, pc=pc_wa)
 
-    m.parallel(body)
+    m.parallel(body, static=spec)
 
 
 @workload(
@@ -392,6 +407,12 @@ def loopa_ok(m, p):
 def qsomp3_ok(m, p):
     data = m.alloc_array("data", p.n)
     m.data(data)[:] = np.cos(np.arange(p.n)) * 500
+    pc_w = _pc("cpp_qsomp3", 49)
+    spec = RegionSpec(
+        iterations=p.n,
+        sites=(AffineSite(pc_w, data, is_write=True),),
+        complete=True,
+    )
 
     def body(ctx):
         # The fixed variant partitions statically: each thread sorts its own
@@ -399,9 +420,9 @@ def qsomp3_ok(m, p):
         lo, hi = ctx.static_chunk(p.n)
         flat = m.data(data)
         flat[lo:hi] = np.sort(flat[lo:hi])
-        ctx.write_slice(data, lo, hi, flat[lo:hi], pc=_pc("cpp_qsomp3", 49))
+        ctx.write_slice(data, lo, hi, flat[lo:hi], pc=pc_w)
 
-    m.parallel(body)
+    m.parallel(body, static=spec)
     arr = m.data(data)
     arr[:] = np.sort(arr)
 
@@ -417,15 +438,23 @@ def c_pi(m, p):
     total = m.alloc_scalar("pi")
     xs = m.alloc_array("xs", p.n)
     m.data(xs)[:] = (np.arange(p.n) + 0.5) / p.n
+    pc_x = _pc("c_pi", 38)
+    pc_red = _pc("c_pi", 40)
+    spec = RegionSpec(
+        iterations=p.n,
+        sites=(AffineSite(pc_x, xs),),
+        reduction_pcs=(pc_red,),
+        complete=True,
+    )
 
     def body(ctx):
         lo, hi = ctx.static_chunk(p.n)
-        x = ctx.read_slice(xs, lo, hi, pc=_pc("c_pi", 38))
+        x = ctx.read_slice(xs, lo, hi, pc=pc_x)
         local = float((4.0 / (1.0 + x * x)).sum() / p.n)
-        ctx.reduce_add(total, 0, local, pc=_pc("c_pi", 40))
+        ctx.reduce_add(total, 0, local, pc=pc_red)
         ctx.barrier()
 
-    m.parallel(body)
+    m.parallel(body, static=spec)
     assert abs(m.data(total)[0] - np.pi) < 1e-3
 
 
@@ -442,20 +471,38 @@ def c_jacobi01(m, p):
     unew = m.alloc_array("unew", p.n, fill=0)
     m.data(u)[0] = 1.0
     m.data(u)[-1] = 1.0
+    pc_l = _pc("c_jacobi01", 66)
+    pc_r = _pc("c_jacobi01", 67)
+    pc_w = _pc("c_jacobi01", 68)
+    pc_cp_r = _pc("c_jacobi01", 70)
+    pc_cp_w = _pc("c_jacobi01", 71)
+    # One sweep's phase pattern; every sweep repeats the same pcs in the
+    # same relative phases, and sweeps are barrier-separated.
+    spec = RegionSpec(
+        iterations=p.n - 2,
+        sites=(
+            AffineSite(pc_l, u),
+            AffineSite(pc_r, u, offset=2),
+            AffineSite(pc_w, unew, offset=1, is_write=True),
+            AffineSite(pc_cp_r, unew, offset=1, phase=1),
+            AffineSite(pc_cp_w, u, offset=1, is_write=True, phase=1),
+        ),
+        complete=True,
+    )
 
     def body(ctx):
         for _ in range(p.sweeps):
             lo, hi = ctx.static_chunk(p.n - 2)
             lo, hi = lo + 1, hi + 1
-            left = ctx.read_slice(u, lo - 1, hi - 1, pc=_pc("c_jacobi01", 66))
-            right = ctx.read_slice(u, lo + 1, hi + 1, pc=_pc("c_jacobi01", 67))
-            ctx.write_slice(unew, lo, hi, 0.5 * (left + right), pc=_pc("c_jacobi01", 68))
+            left = ctx.read_slice(u, lo - 1, hi - 1, pc=pc_l)
+            right = ctx.read_slice(u, lo + 1, hi + 1, pc=pc_r)
+            ctx.write_slice(unew, lo, hi, 0.5 * (left + right), pc=pc_w)
             ctx.barrier()
-            vals = ctx.read_slice(unew, lo, hi, pc=_pc("c_jacobi01", 70))
-            ctx.write_slice(u, lo, hi, vals, pc=_pc("c_jacobi01", 71))
+            vals = ctx.read_slice(unew, lo, hi, pc=pc_cp_r)
+            ctx.write_slice(u, lo, hi, vals, pc=pc_cp_w)
             ctx.barrier()
 
-    m.parallel(body)
+    m.parallel(body, static=spec)
 
 
 @workload(
@@ -471,25 +518,44 @@ def c_jacobi02(m, p):
     unew = m.alloc_array("unew", p.n, fill=0)
     resid = m.alloc_scalar("resid")
     m.data(u)[0] = 1.0
+    pc_l = _pc("c_jacobi02", 70)
+    pc_r = _pc("c_jacobi02", 71)
+    pc_w = _pc("c_jacobi02", 72)
+    pc_old = _pc("c_jacobi02", 73)
+    pc_red = _pc("c_jacobi02", 74)
+    pc_cp_r = _pc("c_jacobi02", 76)
+    pc_cp_w = _pc("c_jacobi02", 77)
+    spec = RegionSpec(
+        iterations=p.n - 2,
+        sites=(
+            AffineSite(pc_l, u),
+            AffineSite(pc_r, u, offset=2),
+            AffineSite(pc_w, unew, offset=1, is_write=True),
+            AffineSite(pc_old, u, offset=1),
+            AffineSite(pc_cp_r, unew, offset=1, phase=1),
+            AffineSite(pc_cp_w, u, offset=1, is_write=True, phase=1),
+        ),
+        reduction_pcs=(pc_red,),
+        complete=True,
+    )
 
     def body(ctx):
         for _ in range(p.sweeps):
             lo, hi = ctx.static_chunk(p.n - 2)
             lo, hi = lo + 1, hi + 1
-            left = ctx.read_slice(u, lo - 1, hi - 1, pc=_pc("c_jacobi02", 70))
-            right = ctx.read_slice(u, lo + 1, hi + 1, pc=_pc("c_jacobi02", 71))
+            left = ctx.read_slice(u, lo - 1, hi - 1, pc=pc_l)
+            right = ctx.read_slice(u, lo + 1, hi + 1, pc=pc_r)
             new = 0.5 * (left + right)
-            ctx.write_slice(unew, lo, hi, new, pc=_pc("c_jacobi02", 72))
-            old = ctx.read_slice(u, lo, hi, pc=_pc("c_jacobi02", 73))
-            ctx.reduce_add(resid, 0, float(np.abs(new - old).sum()),
-                           pc=_pc("c_jacobi02", 74))
+            ctx.write_slice(unew, lo, hi, new, pc=pc_w)
+            old = ctx.read_slice(u, lo, hi, pc=pc_old)
+            ctx.reduce_add(resid, 0, float(np.abs(new - old).sum()), pc=pc_red)
             ctx.barrier()
             ctx.write_slice(u, lo, hi,
-                            ctx.read_slice(unew, lo, hi, pc=_pc("c_jacobi02", 76)),
-                            pc=_pc("c_jacobi02", 77))
+                            ctx.read_slice(unew, lo, hi, pc=pc_cp_r),
+                            pc=pc_cp_w)
             ctx.barrier()
 
-    m.parallel(body)
+    m.parallel(body, static=spec)
 
 
 @workload(
@@ -545,6 +611,14 @@ def c_arraysweep(m, p):
     b = m.alloc_array("b", p.n)
     pc_r = _pc("c_arraysweep", 31)
     pc_w = _pc("c_arraysweep", 32)
+    spec = RegionSpec(
+        iterations=p.n,
+        sites=(
+            AffineSite(pc_r, a),
+            AffineSite(pc_w, b, is_write=True),
+        ),
+        complete=True,
+    )
 
     def body(ctx):
         lo, hi = ctx.static_chunk(p.n)
@@ -560,7 +634,7 @@ def c_arraysweep(m, p):
                     ctx.write(b, i, m.data(b)[i], pc=pc_w)
             ctx.barrier()
 
-    m.parallel(body)
+    m.parallel(body, static=spec)
 
 
 @workload(

@@ -1,0 +1,1 @@
+"""Static pre-screening lab workloads (see suite.py)."""

@@ -1,0 +1,115 @@
+"""Faults: corrupt verdict tables and the kill-anywhere interplay."""
+
+import json
+
+import pytest
+
+import repro.api as api
+from repro.common.config import RunConfig, SchedulerConfig, SwordConfig
+from repro.common.errors import TraceFormatError
+from repro.faults.harness import kill_sweep
+from repro.harness.tools import SwordDriver
+from repro.omp import OpenMPRuntime, RecordingTool, ToolMux
+from repro.sword import SwordTool, TraceDir
+from repro.sword.traceformat import MANIFEST_NAME
+from repro.static.table import STATIC_VERDICTS_KEY
+from repro.workloads import REGISTRY
+
+
+def _collect(name, trace, **kw):
+    SwordDriver().run(
+        REGISTRY.get(name),
+        nthreads=4,
+        seed=0,
+        trace_dir=str(trace),
+        keep_trace=True,
+        run_offline=False,
+        **kw,
+    )
+
+
+def _corrupt_table(trace):
+    manifest_path = trace / MANIFEST_NAME
+    manifest = json.loads(manifest_path.read_text())
+    assert STATIC_VERDICTS_KEY in manifest
+    manifest[STATIC_VERDICTS_KEY]["crc32"] ^= 1
+    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+
+
+def test_strict_mode_rejects_corrupt_table(tmp_path):
+    trace = tmp_path / "trace"
+    _collect("staticlab_wshift", trace)
+    _corrupt_table(trace)
+    with pytest.raises(TraceFormatError, match="CRC mismatch"):
+        TraceDir(trace)
+
+
+def test_salvage_falls_back_to_unknown_everything(tmp_path):
+    trace = tmp_path / "trace"
+    _collect("staticlab_wshift", trace)
+    _corrupt_table(trace)
+    td = TraceDir(trace, integrity="salvage")
+    assert td.static_verdicts is None
+    assert td.integrity.verdicts_dropped == 1
+
+    # Analysis completes; with the table gone the synthesised witness is
+    # lost (its events were elided) — the documented subset semantics.
+    analysis = api.analyze(trace, integrity="salvage")
+    assert analysis.integrity.verdicts_dropped == 1
+    assert len(analysis.races) == 0
+
+
+def test_dynamic_races_survive_table_loss(tmp_path):
+    """A veto trace has full events: dropping the corrupt table loses no
+    race, because UNKNOWN-everything means every pair is analysed."""
+    trace = tmp_path / "veto"
+    w = REGISTRY.get("staticlab_wshift")
+    rec = RecordingTool()
+    sword = SwordTool(SwordConfig(log_dir=str(trace), buffer_events=128))
+    rt = OpenMPRuntime(
+        RunConfig(nthreads=4, scheduler=SchedulerConfig(seed=0)),
+        tool=ToolMux([rec, sword]),
+    )
+    rt.run(lambda master: w.run_program(master))
+    reference = api.analyze(TraceDir(trace))
+    _corrupt_table(trace)
+    salvaged = api.analyze(trace, integrity="salvage")
+    assert salvaged.integrity.verdicts_dropped == 1
+    assert salvaged.races.pc_pairs() == reference.races.pc_pairs()
+    assert len(salvaged.races) == 1
+
+
+def test_instrumented_workload_unaffected_by_table_loss(tmp_path):
+    """staticlab_incomplete elides nothing, so losing its (all-UNKNOWN)
+    table changes no result at all."""
+    trace = tmp_path / "trace"
+    _collect("staticlab_incomplete", trace)
+    reference = api.analyze(TraceDir(trace))
+    _corrupt_table(trace)
+    salvaged = api.analyze(trace, integrity="salvage")
+    assert salvaged.races.pc_pairs() == reference.races.pc_pairs()
+
+
+def test_kill_sweep_over_prescreened_workload():
+    """Kill points truncate thread logs; the verdict table lives in the
+    manifest, so the synthesised witness survives every kill."""
+    result = kill_sweep(
+        "staticlab_wshift", nthreads=2, seed=0, buffer_events=64, max_points=8
+    )
+    assert result.points, "sweep enumerated no kill points"
+    assert result.clean_races == 1
+    assert result.ok
+    assert all(p.identical for p in result.points)
+
+
+def test_kill_sweep_over_demoted_workload():
+    result = kill_sweep(
+        "staticlab_incomplete",
+        nthreads=2,
+        seed=0,
+        buffer_events=64,
+        max_points=8,
+    )
+    assert result.points
+    assert result.clean_races == 1
+    assert result.ok

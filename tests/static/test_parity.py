@@ -1,0 +1,149 @@
+"""Static pre-screening parity: eliding events must not change results.
+
+The contract of the whole subsystem: for every workload, the race set
+with pre-screening on (events elided, reports synthesised) is
+**byte-identical** — same JSON serialisation — to the race set of a full
+instrumentation run.  Sweeps the corpora (paper, DataRaceBench, OmpSCR,
+HPC, staticlab), plus salvage-mode traces and all three analysis modes.
+"""
+
+import json
+
+import pytest
+
+import repro.api as api
+from repro.common.config import SwordConfig
+from repro.harness.tools import SwordDriver
+from repro.offline.options import AnalysisOptions
+from repro.workloads import REGISTRY
+
+
+def _blob(races) -> bytes:
+    return json.dumps(races.to_json(), sort_keys=True).encode()
+
+
+#: (workload, seed) across every corpus with declared region specs, plus
+#: spec-free workloads (paper, DataRaceBench) where pre-screening must be
+#: an exact no-op.
+CASES = [
+    ("figure5-truedep", 0),
+    ("antidep1-orig-yes", 0),
+    ("atomic-orig-no", 0),
+    ("c_pi", 0),
+    ("c_loopA.solution1", 0),
+    ("c_loopA.badSolution", 0),
+    ("c_jacobi01", 0),
+    ("c_jacobi02", 1),
+    ("c_arraysweep", 0),
+    ("c_md", 0),
+    ("cpp_qsomp3", 0),
+    ("hpccg", 0),
+    ("minife", 0),
+    ("lulesh", 0),
+    ("amg2013_10", 0),
+    ("staticlab_disjoint", 0),
+    ("staticlab_wshift", 0),
+    ("staticlab_wshift", 1),
+    ("staticlab_rshift", 0),
+    ("staticlab_incomplete", 0),
+]
+
+#: Workloads whose specs must actually elide something — the perf claim.
+ELIDING = {
+    "c_pi",
+    "c_loopA.solution1",
+    "c_jacobi01",
+    "c_jacobi02",
+    "c_arraysweep",
+    "cpp_qsomp3",
+    "hpccg",
+    "minife",
+    "lulesh",
+    "amg2013_10",
+    "staticlab_disjoint",
+    "staticlab_wshift",
+    "staticlab_rshift",
+}
+
+
+@pytest.mark.parametrize("name,seed", CASES)
+def test_static_on_off_race_sets_byte_identical(name, seed):
+    w = REGISTRY.get(name)
+    on = SwordDriver().run(w, nthreads=4, seed=seed)
+    off = SwordDriver().run(
+        w,
+        nthreads=4,
+        seed=seed,
+        sword_config=SwordConfig(static_prescreen=False),
+    )
+    assert _blob(on.races) == _blob(off.races)
+    assert off.stats["events_elided"] == 0
+    assert off.stats["sites_proven_free"] == 0
+    if name in ELIDING:
+        assert on.stats["events_elided"] > 0
+        assert on.stats["events"] < off.stats["events"]
+    else:
+        # No spec (or no verdict): the event streams match exactly too.
+        assert on.stats["events"] == off.stats["events"]
+
+
+@pytest.mark.parametrize("name", ["staticlab_wshift", "c_jacobi01", "hpccg"])
+def test_salvage_mode_inherits_verdicts(name, tmp_path):
+    """Salvage analysis of an *intact* trace sees the same verdict table
+    (including synthesised reports) as strict analysis."""
+    trace = tmp_path / "trace"
+    SwordDriver().run(
+        REGISTRY.get(name),
+        nthreads=4,
+        seed=0,
+        trace_dir=str(trace),
+        keep_trace=True,
+        run_offline=False,
+    )
+    strict = api.analyze(trace)
+    salvage = api.analyze(trace, integrity="salvage")
+    assert _blob(strict.races) == _blob(salvage.races)
+    assert salvage.integrity is not None
+    assert salvage.integrity.verdicts_dropped == 0
+
+
+@pytest.mark.parametrize("name", ["staticlab_wshift", "c_loopA.badSolution"])
+def test_all_analysis_modes_agree_on_prescreened_trace(name, tmp_path):
+    trace = tmp_path / "trace"
+    SwordDriver().run(
+        REGISTRY.get(name),
+        nthreads=4,
+        seed=0,
+        trace_dir=str(trace),
+        keep_trace=True,
+        run_offline=False,
+    )
+    serial = api.analyze(trace, mode="serial")
+    parallel = api.analyze(
+        trace, mode="parallel", options=AnalysisOptions(workers=2)
+    )
+    streaming = api.analyze(trace, mode="streaming")
+    assert _blob(serial.races) == _blob(parallel.races)
+    assert _blob(serial.races) == _blob(streaming.races)
+    assert serial.stats.sites_proven_free == parallel.stats.sites_proven_free
+    assert (
+        serial.stats.sites_definite_race == parallel.stats.sites_definite_race
+    )
+
+
+def test_no_static_config_knob_disables_prescreening(tmp_path):
+    """`SwordConfig(static_prescreen=False)` leaves no verdict table."""
+    from repro.sword.reader import TraceDir
+
+    trace = tmp_path / "trace"
+    SwordDriver().run(
+        REGISTRY.get("staticlab_disjoint"),
+        nthreads=4,
+        seed=0,
+        sword_config=SwordConfig(static_prescreen=False),
+        trace_dir=str(trace),
+        keep_trace=True,
+        run_offline=False,
+    )
+    td = TraceDir(trace)
+    assert td.static_verdicts is None

@@ -1,0 +1,225 @@
+"""Unit tests for the region classifier (``repro.static.analyzer``).
+
+These drive :func:`analyze_region` directly over hand-built specs in a
+bare :class:`~repro.memory.address_space.AddressSpace` — no runtime, no
+trace — so each verdict rule is pinned down in isolation.
+"""
+
+import pytest
+
+from repro.memory.address_space import AddressSpace
+from repro.static import AffineSite, RegionSpec
+from repro.static.analyzer import analyze_region, site_interval
+from repro.static.model import (
+    DEFINITE_RACE,
+    PROVEN_FREE,
+    UNKNOWN,
+    chunk_bounds,
+)
+
+GIDS4 = [10, 11, 12, 13]
+
+
+@pytest.fixture
+def space():
+    return AddressSpace()
+
+
+def test_chunk_bounds_partition_the_iteration_space():
+    for span in (1, 2, 3, 4, 7):
+        for n in (0, 1, span - 1, span, span + 1, 64, 65):
+            covered = []
+            for slot in range(span):
+                lo, hi = chunk_bounds(slot, span, n)
+                assert 0 <= lo <= hi <= n
+                covered.extend(range(lo, hi))
+            assert covered == list(range(n))
+
+
+def test_site_interval_matches_footprint(space):
+    a = space.alloc_array("a", 64)
+    site = AffineSite(pc=7, array=a, coef=2, offset=1, is_write=True, block=3)
+    iv = site_interval(site, 4, 9)
+    assert iv.low == a.addr(0) + (2 * 4 + 1) * a.itemsize
+    assert iv.stride == 2 * a.itemsize
+    assert iv.size == 3 * a.itemsize
+    assert iv.count == 5
+    assert iv.is_write and iv.pc == 7
+
+
+def test_site_interval_empty_chunk_is_none(space):
+    a = space.alloc_array("a", 8)
+    site = AffineSite(pc=7, array=a)
+    assert site_interval(site, 3, 3) is None
+    assert site_interval(site, 5, 3) is None
+
+
+def test_disjoint_sweep_is_proven_free(space):
+    a = space.alloc_array("a", 64)
+    b = space.alloc_array("b", 64)
+    spec = RegionSpec(
+        iterations=64,
+        sites=(
+            AffineSite(pc=1, array=b),
+            AffineSite(pc=2, array=a, is_write=True),
+        ),
+        complete=True,
+    )
+    v = analyze_region(spec, pid=5, gids=GIDS4)
+    assert v.verdicts == {1: PROVEN_FREE, 2: PROVEN_FREE}
+    assert v.elide == frozenset({1, 2})
+    assert not v.reports
+    assert v.sites_proven_free == 2 and v.sites_definite_race == 0
+
+
+def test_shifted_write_collision_is_definite_race(space):
+    a = space.alloc_array("a", 65)
+    spec = RegionSpec(
+        iterations=64,
+        sites=(
+            AffineSite(pc=1, array=a, is_write=True),
+            AffineSite(pc=2, array=a, offset=1, is_write=True),
+        ),
+        complete=True,
+    )
+    v = analyze_region(spec, pid=5, gids=GIDS4)
+    assert v.verdicts == {1: DEFINITE_RACE, 2: DEFINITE_RACE}
+    # DEFINITE_RACE sites are elided too: the report is synthesised.
+    assert v.elide == frozenset({1, 2})
+    assert v.reports
+    for row in v.reports:
+        assert len(row) == 11
+        pc_a, pc_b, address = row[0], row[1], row[2]
+        assert {pc_a, pc_b} <= {1, 2}
+        assert a.addr(0) <= address < a.addr(0) + 65 * a.itemsize
+        assert pc_a <= pc_b  # make_report's pc normalisation
+        gid_a, gid_b = row[5], row[6]
+        assert gid_a in GIDS4 and gid_b in GIDS4 and gid_a != gid_b
+
+
+def test_read_read_overlap_is_not_a_race(space):
+    a = space.alloc_array("a", 65)
+    spec = RegionSpec(
+        iterations=64,
+        sites=(
+            AffineSite(pc=1, array=a),
+            AffineSite(pc=2, array=a, offset=1),
+        ),
+        complete=True,
+    )
+    v = analyze_region(spec, pid=5, gids=GIDS4)
+    assert v.verdicts == {1: PROVEN_FREE, 2: PROVEN_FREE}
+    assert not v.reports
+
+
+def test_self_overlapping_write_site_races_with_itself(space):
+    a = space.alloc_array("a", 66)
+    # block=2: iteration i writes [i, i+2) — adjacent chunks collide at
+    # every chunk boundary, a single-site race.
+    spec = RegionSpec(
+        iterations=64,
+        sites=(AffineSite(pc=9, array=a, is_write=True, block=2),),
+        complete=True,
+    )
+    v = analyze_region(spec, pid=5, gids=GIDS4)
+    assert v.verdicts == {9: DEFINITE_RACE}
+    assert v.reports
+    assert all(row[0] == 9 and row[1] == 9 for row in v.reports)
+
+
+def test_incomplete_region_demotes_racy_sites_to_unknown(space):
+    a = space.alloc_array("a", 65)
+    b = space.alloc_array("b", 64)
+    spec = RegionSpec(
+        iterations=64,
+        sites=(
+            AffineSite(pc=1, array=a, is_write=True),
+            AffineSite(pc=2, array=a, offset=1, is_write=True),
+            AffineSite(pc=3, array=b),
+        ),
+        complete=False,
+    )
+    v = analyze_region(spec, pid=5, gids=GIDS4)
+    # Racy sites stay instrumented; the innocent bystander still elides.
+    assert v.verdicts == {1: UNKNOWN, 2: UNKNOWN, 3: PROVEN_FREE}
+    assert v.elide == frozenset({3})
+    assert not v.reports
+
+
+def test_phase_separation_suppresses_pairing(space):
+    a = space.alloc_array("a", 65)
+    # Same footprints as the definite-race case, but barrier-separated:
+    # different phases never pair.
+    spec = RegionSpec(
+        iterations=64,
+        sites=(
+            AffineSite(pc=1, array=a, is_write=True, phase=0),
+            AffineSite(pc=2, array=a, offset=1, is_write=True, phase=1),
+        ),
+        complete=True,
+    )
+    v = analyze_region(spec, pid=5, gids=GIDS4)
+    assert v.verdicts == {1: PROVEN_FREE, 2: PROVEN_FREE}
+
+
+def test_different_arrays_never_pair(space):
+    a = space.alloc_array("a", 64)
+    b = space.alloc_array("b", 64)
+    spec = RegionSpec(
+        iterations=64,
+        sites=(
+            AffineSite(pc=1, array=a, is_write=True),
+            AffineSite(pc=2, array=b, is_write=True),
+        ),
+        complete=True,
+    )
+    v = analyze_region(spec, pid=5, gids=GIDS4)
+    assert set(v.verdicts.values()) == {PROVEN_FREE}
+
+
+def test_non_static_schedule_demotes_affine_sites(space):
+    a = space.alloc_array("a", 64)
+    spec = RegionSpec(
+        iterations=64,
+        schedule="dynamic",
+        sites=(AffineSite(pc=1, array=a, is_write=True),),
+        reduction_pcs=(2,),
+        complete=True,
+    )
+    v = analyze_region(spec, pid=5, gids=GIDS4)
+    # Reductions serialise under the critical lock regardless of the
+    # schedule; affine footprints depend on it and must demote.
+    assert v.verdicts == {1: UNKNOWN, 2: PROVEN_FREE}
+    assert v.elide == frozenset({2})
+
+
+def test_reduction_pcs_are_proven_free(space):
+    spec = RegionSpec(iterations=64, reduction_pcs=(7, 8), complete=True)
+    v = analyze_region(spec, pid=5, gids=GIDS4)
+    assert v.verdicts == {7: PROVEN_FREE, 8: PROVEN_FREE}
+    assert v.elide == frozenset({7, 8})
+
+
+def test_more_threads_than_iterations(space):
+    a = space.alloc_array("a", 8)
+    spec = RegionSpec(
+        iterations=2,  # slots 2..3 get empty chunks (None footprints)
+        sites=(AffineSite(pc=1, array=a, is_write=True),),
+        complete=True,
+    )
+    v = analyze_region(spec, pid=5, gids=GIDS4)
+    assert v.verdicts == {1: PROVEN_FREE}
+
+
+def test_single_thread_team_cannot_race(space):
+    a = space.alloc_array("a", 65)
+    spec = RegionSpec(
+        iterations=64,
+        sites=(
+            AffineSite(pc=1, array=a, is_write=True),
+            AffineSite(pc=2, array=a, offset=1, is_write=True),
+        ),
+        complete=True,
+    )
+    v = analyze_region(spec, pid=5, gids=[3])
+    assert set(v.verdicts.values()) == {PROVEN_FREE}

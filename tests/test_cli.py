@@ -287,3 +287,49 @@ def test_faults_sweep_cli(tmp_path, capsys):
     assert artifact["points"]
     lossy = [p for p in artifact["points"] if p["kind"] != "clean-end"]
     assert all(p["integrity"] for p in lossy)
+
+
+def test_check_json_reports_verdict_counts(capsys):
+    assert main(["check", "staticlab_wshift", "--threads", "4", "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    stats = payload["stats"]
+    assert stats["sites_definite_race"] == 2
+    assert stats["events_elided"] > 0
+    assert stats["offline"]["site_pairs_skipped"] >= 0
+    assert stats["offline"]["events_elided"] == stats["events_elided"]
+    assert len(payload["races"]) == 1
+
+
+def test_check_no_static_flag(capsys):
+    # Same race set, nothing elided: the escape hatch restores full
+    # instrumentation.
+    assert main(
+        ["check", "staticlab_wshift", "--threads", "4",
+         "--no-static", "--json"]
+    ) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["stats"]["events_elided"] == 0
+    assert payload["stats"]["sites_definite_race"] == 0
+    assert len(payload["races"]) == 1
+
+
+def test_analyze_no_static_flag(tmp_path, capsys):
+    from repro.harness.tools import SwordDriver
+    from repro.workloads import REGISTRY
+
+    trace = tmp_path / "trace"
+    SwordDriver().run(
+        REGISTRY.get("staticlab_wshift"),
+        nthreads=4,
+        trace_dir=str(trace),
+        keep_trace=True,
+        run_offline=False,
+    )
+    # Report injection is data, not pruning: the synthesised race
+    # survives --no-static (which only disables the pair skip).
+    assert main(["analyze", str(trace), "--json"]) == 1
+    with_skip = json.loads(capsys.readouterr().out)
+    assert main(["analyze", str(trace), "--no-static", "--json"]) == 1
+    without_skip = json.loads(capsys.readouterr().out)
+    assert with_skip["races"] == without_skip["races"]
+    assert len(with_skip["races"]) == 1

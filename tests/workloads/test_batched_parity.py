@@ -13,6 +13,7 @@ import pytest
 import repro.workloads.hpc.suite  # noqa: F401  (registers workloads)
 import repro.workloads.ompscr.suite  # noqa: F401
 import repro.workloads.paper.suite  # noqa: F401
+from repro.common.config import SwordConfig
 from repro.harness.tools import SwordDriver
 from repro.workloads import REGISTRY
 
@@ -43,9 +44,17 @@ def test_batched_races_byte_identical_to_scalar(name, seed):
 
 @pytest.mark.parametrize("name", CONVERTED)
 def test_batched_path_actually_engaged(name):
+    # Static pre-screening can elide a converted workload's sites wholesale
+    # (c_arraysweep is ~100% proven free); turn it off so the batched
+    # instrumentation path actually has events to log.
+    full = SwordConfig(static_prescreen=False)
     workload = REGISTRY.get(name)
-    batched = SwordDriver().run(workload, nthreads=4, seed=0, batched=1)
-    scalar = SwordDriver().run(workload, nthreads=4, seed=0, batched=0)
+    batched = SwordDriver().run(
+        workload, nthreads=4, seed=0, batched=1, sword_config=full
+    )
+    scalar = SwordDriver().run(
+        workload, nthreads=4, seed=0, batched=0, sword_config=full
+    )
     assert batched.stats["batched_events"] > 0
     assert scalar.stats["batched_events"] == 0
     # The fast path replaces scalar events rather than adding to them.

@@ -97,7 +97,14 @@ def test_ground_truth(workload):
 
 def test_registry_metadata_consistency():
     for w in REGISTRY:
-        assert w.suite in ("dataracebench", "ompscr", "hpc", "paper", "tasking")
+        assert w.suite in (
+            "dataracebench",
+            "ompscr",
+            "hpc",
+            "paper",
+            "tasking",
+            "staticlab",
+        )
         assert w.seeded_races >= 0
         assert 0 <= w.archer_misses <= max(w.seeded_races, 1) or w.seeded_races == 0
         if not w.racy:
